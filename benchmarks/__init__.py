@@ -1,0 +1,6 @@
+"""Benchmark package: one module per table/figure of the paper + ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``; each bench prints the
+reproduced table/figure (use ``-s``) and exports its data as CSV under
+``benchmarks/artifacts/``.
+"""

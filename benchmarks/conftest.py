@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Each benchmark reproduces one table/figure of the paper at laptop scale and
+prints its textual rendering (run with ``-s`` to see them, or check the
+``data`` captured in the benchmark's ``extra_info``). ``benchmark.pedantic``
+with a single round is used throughout: the experiments are deterministic
+given their seeds, and the interesting measurement is the one-shot wall time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where figure/table data lands as CSV (machine-readable twin of the text).
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with exactly one warm round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once():
+    return run_once
+
+
+def save_artifact(artifact) -> None:
+    """Export a FigureData's data as CSV under ``benchmarks/artifacts/``.
+
+    Silently skips artifacts whose data shape has no exporter — every bench
+    can call this unconditionally.
+    """
+    from repro.experiments.export import (
+        export_histogram_csv,
+        export_runtimes_csv,
+        export_series_csv,
+    )
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    base = ARTIFACT_DIR / artifact.figure_id
+    if "series" in artifact.data:
+        export_series_csv(artifact, base.with_suffix(".csv"))
+    if "counts" in artifact.data and "bin_edges" in artifact.data:
+        export_histogram_csv(artifact, base.with_suffix(".hist.csv"))
+    if "runtimes" in artifact.data:
+        export_runtimes_csv(artifact, base.with_suffix(".runtimes.csv"))

@@ -1,0 +1,162 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify *our* engineering decisions:
+
+1. incremental (IVM) conflict checking vs full query re-execution,
+2. column pruning vs table pruning vs no pruning,
+3. LPIP's LP budget (``max_programs``) vs revenue,
+4. CIP's epsilon vs revenue and runtime,
+5. designed (Section 7.2) vs random support sets.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import CIP, Layering, LPIP
+from repro.core.hypergraph import PricingInstance
+from repro.experiments.report import format_table
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.designer import designed_support
+from repro.valuations import UniformValuations
+from repro.workloads.world import world_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return world_workload(scale=0.15, expanded=False)  # 34 base queries
+
+
+@pytest.fixture(scope="module")
+def support(workload):
+    return workload.support(size=300, seed=0, cells_per_instance=2)
+
+
+def test_ablation_incremental_vs_full(benchmark, workload, support):
+    """IVM-style delta checks vs re-running every candidate query."""
+
+    def build(use_incremental):
+        engine = ConflictSetEngine(support, use_incremental=use_incremental)
+        start = time.perf_counter()
+        hypergraph = engine.build_hypergraph(workload.queries)
+        return time.perf_counter() - start, hypergraph
+
+    fast_time, fast_hg = benchmark.pedantic(
+        build, args=(True,), rounds=1, iterations=1
+    )
+    slow_time, slow_hg = build(False)
+    speedup = slow_time / max(fast_time, 1e-9)
+    print(
+        f"\nconflict-set construction: incremental {fast_time:.2f}s, "
+        f"full {slow_time:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert fast_hg.edges == slow_hg.edges  # exactness
+    assert speedup > 1.0
+
+
+def test_ablation_column_pruning(benchmark, workload, support):
+    """How many candidate instances does column pruning eliminate?"""
+
+    def measure():
+        engine = ConflictSetEngine(support)
+        total_candidates = 0
+        total_instances = 0
+        for query in workload.queries:
+            computation = engine.compute(query)
+            total_candidates += computation.num_candidates
+            total_instances += len(support)
+        return total_candidates, total_instances
+
+    candidates, universe = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fraction = candidates / universe
+    print(
+        f"\ncolumn pruning: {candidates}/{universe} candidate evaluations "
+        f"({fraction:.1%} of the naive all-pairs work)"
+    )
+    assert fraction < 0.8  # pruning must eliminate a substantial share
+
+
+def test_ablation_lpip_budget(benchmark, workload, support):
+    """Revenue vs number of LPs solved (LPIP's knob)."""
+    hypergraph = workload.hypergraph(support)
+    instance = UniformValuations(100).instance(hypergraph, rng=1)
+
+    def sweep():
+        rows = []
+        for budget in (1, 4, 16, None):
+            algorithm = LPIP(max_programs=budget)
+            start = time.perf_counter()
+            result = algorithm.run(instance)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [str(budget), f"{result.revenue:.1f}", f"{elapsed:.2f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["max_programs", "revenue", "seconds"], rows,
+        title="LPIP LP-budget ablation",
+    ))
+    revenues = [float(row[1]) for row in rows]
+    assert revenues[-1] >= revenues[0] - 1e-6  # more LPs never hurt
+
+
+def test_ablation_cip_epsilon(benchmark, workload, support):
+    """CIP's epsilon: coarser capacity sweeps are faster, possibly worse."""
+    hypergraph = workload.hypergraph(support)
+    instance = UniformValuations(100).instance(hypergraph, rng=1)
+
+    def sweep():
+        rows = []
+        for epsilon in (0.2, 1.0, 4.0):
+            algorithm = CIP(epsilon=epsilon)
+            start = time.perf_counter()
+            result = algorithm.run(instance)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [f"{epsilon:g}", f"{result.revenue:.1f}", f"{elapsed:.2f}",
+                 str(result.metadata["num_programs"])]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["epsilon", "revenue", "seconds", "LPs"], rows,
+        title="CIP epsilon ablation",
+    ))
+    lp_counts = [int(row[3]) for row in rows]
+    assert lp_counts[0] >= lp_counts[-1]  # smaller eps = more capacity points
+
+
+def test_ablation_designed_vs_random_support(benchmark, workload):
+    """Section 7.2: a designed unique-item support lets item pricing extract
+    (nearly) everything; a random support of the same size does not."""
+    queries = workload.queries[:20]
+
+    def run_design():
+        return designed_support(workload.database, queries, rng=3)
+
+    report = benchmark.pedantic(run_design, rounds=1, iterations=1)
+    size = max(len(report.support), 1)
+
+    random_support = workload.support(size=size, seed=4)
+    rng = np.random.default_rng(5)
+    valuations = rng.uniform(1, 100, size=len(queries))
+
+    rows = []
+    revenues = {}
+    for label, sup in (("designed", report.support), ("random", random_support)):
+        hypergraph = ConflictSetEngine(sup).build_hypergraph(queries)
+        instance = PricingInstance(hypergraph, valuations)
+        revenue = Layering().run(instance).revenue
+        revenues[label] = revenue
+        rows.append([label, len(sup), f"{revenue:.1f}",
+                     f"{revenue / valuations.sum():.3f}"])
+    print("\n" + format_table(
+        ["support", "|S|", "layering revenue", "normalized"], rows,
+        title=f"designed vs random support ({report.num_dedicated} of "
+              f"{len(queries)} queries separated)",
+    ))
+    assert revenues["designed"] >= revenues["random"] - 1e-9

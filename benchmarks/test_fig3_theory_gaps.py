@@ -1,0 +1,73 @@
+"""Figure 3 / Lemmas 1-4: the revenue gaps between pricing families.
+
+Reproduces the theory picture empirically: on each lower-bound construction
+the designated family loses a growing (logarithmic) factor while some other
+succinct family (or the full subadditive pricing) extracts everything.
+"""
+
+import numpy as np
+
+from repro.core.algorithms import LPIP, UBP, UIP
+from repro.experiments.report import format_table
+from repro.workloads.synthetic import (
+    harmonic_instance,
+    laminar_instance,
+    partition_instance,
+)
+
+
+def _gap_rows():
+    rows = []
+    for m in (64, 256, 1024):
+        instance = harmonic_instance(m)
+        optimal = instance.total_valuation()
+        ubp = UBP().run(instance).revenue
+        item = LPIP(max_programs=25).run(instance).revenue
+        rows.append(
+            ["harmonic (Lemma 2)", f"m={m}", f"{optimal / ubp:.2f}",
+             f"{optimal / max(item, 1e-9):.2f}"]
+        )
+    for n in (16, 64, 256):
+        instance = partition_instance(n)
+        optimal = instance.total_valuation()
+        ubp = UBP().run(instance).revenue
+        item = LPIP(max_programs=1).run(instance).revenue
+        rows.append(
+            ["partition (Lemma 3)", f"n={n}", f"{optimal / ubp:.2f}",
+             f"{optimal / max(item, 1e-9):.2f}"]
+        )
+    for t in (3, 5, 7):
+        instance = laminar_instance(t)
+        optimal = instance.total_valuation()
+        ubp = UBP().run(instance).revenue
+        item = UIP().run(instance).revenue
+        rows.append(
+            ["laminar (Lemma 4)", f"t={t}", f"{optimal / ubp:.2f}",
+             f"{optimal / max(item, 1e-9):.2f}"]
+        )
+    return rows
+
+
+def test_fig3_pricing_family_gaps(benchmark):
+    rows = benchmark.pedantic(_gap_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["construction", "size", "OPT/UBP", "OPT/item"],
+        rows,
+        title="Figure 3 (empirical): revenue gaps of succinct families",
+    )
+    print("\n" + text)
+
+    # Lemma 2: UBP gap grows with m while item pricing stays optimal.
+    harmonic = [row for row in rows if row[0].startswith("harmonic")]
+    assert float(harmonic[0][2]) < float(harmonic[-1][2])
+    assert all(float(row[3]) < 1.05 for row in harmonic)
+
+    # Lemma 3: item gap grows with n while UBP stays optimal.
+    partition = [row for row in rows if row[0].startswith("partition")]
+    assert float(partition[0][3]) < float(partition[-1][3])
+    assert all(float(row[2]) < 1.05 for row in partition)
+
+    # Lemma 4: both gaps grow with t.
+    laminar = [row for row in rows if row[0].startswith("laminar")]
+    assert float(laminar[0][2]) < float(laminar[-1][2])
+    assert float(laminar[0][3]) < float(laminar[-1][3])

@@ -1,0 +1,39 @@
+"""Figure 4: hyperedge size distributions of the four workloads.
+
+The paper's qualitative shapes: skewed/TPC-H/SSB have most edges tiny with a
+long tail (log-scale histograms), while the uniform workload concentrates
+around a large mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure4_edge_distribution, workload_hypergraph
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.mark.parametrize("workload_name", ["skewed", "uniform", "tpch", "ssb"])
+def test_fig4_edge_size_distribution(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure4_edge_distribution, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    sizes = np.asarray(artifact.data["sizes"])
+    assert len(sizes) > 0
+
+    if workload_name == "uniform":
+        # Concentrated around the mean: small coefficient of variation.
+        assert sizes.std() < 0.5 * sizes.mean()
+    else:
+        # Skewed: the median is well below the maximum.
+        assert np.median(sizes) < 0.25 * sizes.max()
+
+
+def test_fig4_uniform_edges_overlap_heavily(benchmark):
+    _, _, hypergraph = benchmark.pedantic(
+        workload_hypergraph, args=("uniform",), rounds=1, iterations=1
+    )
+    # High max degree relative to m = heavy overlap (paper: B=400 of m=1000).
+    assert hypergraph.max_degree > 0.2 * hypergraph.num_edges

@@ -1,0 +1,61 @@
+"""Figure 5a: sampled valuations (Uniform[1,k], zipf(a)) on the world
+workloads (skewed + uniform).
+
+Reproduction note (see EXPERIMENTS.md for the full analysis): with
+structure-independent valuations, the broad queries of the skewed workload
+(`select * from Country`, full-table aggregates) have conflict sets that are
+*supersets* of every selective query's conflict set. Whenever such a broad
+edge lands in LPIP's forced frontier with a low sampled valuation, it caps
+the total price of all selective edges underneath it, so threshold-LPIP
+cannot reproduce the dominance the paper reports for this panel — the
+capacity-based CIP (and the XOS combination) lead instead, with UBP a strong
+baseline. The paper's LPIP-wins finding *does* reproduce in Figures 5b/6b/7
+where valuations correlate with bundle size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure5a_uniform, figure5a_zipf
+
+from benchmarks.conftest import save_artifact
+
+
+def _series_means(artifact):
+    return {name: float(np.mean(vals)) for name, vals in artifact.data["series"].items()}
+
+
+@pytest.mark.parametrize("workload_name", ["skewed", "uniform"])
+def test_fig5a_uniform_valuations(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5a_uniform, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    means = _series_means(artifact)
+
+    # All normalized revenues are valid fractions of sum-of-valuations.
+    for name, value in means.items():
+        if name != "subadditive bound":
+            assert 0.0 <= value <= 1.0 + 1e-6, name
+
+    # The LP/capacity algorithms beat the uniform item price by a wide
+    # margin (the paper's "huge gap" between refined and uniform pricing).
+    assert max(means["cip"], means["lpip"]) > means["uip"]
+
+    # XOS tracks (at least) its best component's ballpark.
+    assert means["xos"] >= 0.8 * max(means["lpip"], means["cip"]) - 0.05
+
+
+@pytest.mark.parametrize("workload_name", ["skewed", "uniform"])
+def test_fig5a_zipf_valuations(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5a_zipf, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    means = _series_means(artifact)
+    # UBP is competitive under zipf (paper: "UBP comes a close second").
+    assert means["ubp"] >= 0.2 * max(
+        v for k, v in means.items() if k != "subadditive bound"
+    )

@@ -1,0 +1,50 @@
+"""Figure 5b: size-scaled valuations (exp(|e|^k), N(|e|^k, 10)) on the world
+workloads.
+
+Paper finding: for the skewed workload with k >= 1 the revenue concentrates
+in a few huge edges and every algorithm extracts most of it; for small k the
+algorithms separate, with LPIP/CIP in front.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5b_exponential, figure5b_normal
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.mark.parametrize("workload_name", ["skewed", "uniform"])
+def test_fig5b_exponential(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5b_exponential, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    # Sanity: normalized revenue within bounds everywhere.
+    for name, values in series.items():
+        if name == "subadditive bound":
+            continue
+        assert all(0.0 <= value <= 1.0 + 1e-6 for value in values), name
+    # An LP-based pricing beats the uniform item price at every parameter.
+    # (The exponential model's huge variance means a broad edge can still
+    # draw a low valuation and cap LPIP — see EXPERIMENTS.md — so the
+    # assertion covers the better of LPIP and CIP.)
+    for lpip_val, cip_val, uip_val in zip(
+        series["lpip"], series["cip"], series["uip"]
+    ):
+        assert max(lpip_val, cip_val) >= uip_val - 0.05
+
+
+@pytest.mark.parametrize("workload_name", ["skewed"])
+def test_fig5b_normal_high_k_extracts_most_revenue(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5b_normal, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    # Parameter order is k = 2, 3/2, 1, 1/2, 1/4; at k=2 the large edges
+    # dominate and LPIP extracts the lion's share (paper: "all algorithms
+    # perform very well").
+    assert series["lpip"][0] > 0.6

@@ -1,0 +1,40 @@
+"""Figure 6a: sampled valuations on the SSB and TPC-H workloads."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure5a_uniform, figure5a_zipf
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
+def test_fig6a_uniform_valuations(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5a_uniform, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    means = {name: float(np.mean(vals)) for name, vals in series.items()}
+    # LP-based pricing beats the single uniform item price (see the
+    # fig5a module docstring for why CIP rather than LPIP leads on
+    # sampled valuations in our instances).
+    assert max(means["lpip"], means["cip"]) >= means["uip"] - 1e-6
+    # Layering extracts revenue proportional to edges with unique items
+    # (paper: about half for SSB, a quarter for TPC-H) — nonzero here.
+    assert means["layering"] > 0.0
+
+
+@pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
+def test_fig6a_zipf_valuations(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5a_zipf, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    for name, values in series.items():
+        if name == "subadditive bound":
+            continue
+        assert all(0.0 <= value <= 1.0 + 1e-6 for value in values), name

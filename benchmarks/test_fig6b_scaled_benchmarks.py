@@ -1,0 +1,38 @@
+"""Figure 6b: size-scaled valuations on SSB and TPC-H."""
+
+import pytest
+
+from repro.experiments.figures import figure5b_exponential, figure5b_normal
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
+def test_fig6b_exponential(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5b_exponential, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    # Better of the LP pricings vs the uniform sweep (see fig5b module).
+    for lpip_val, cip_val, uip_val in zip(
+        series["lpip"], series["cip"], series["uip"]
+    ):
+        assert max(lpip_val, cip_val) >= uip_val - 0.05
+
+
+@pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
+def test_fig6b_normal(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure5b_normal, args=(workload_name,), rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+    # At k=2 (first parameter) revenue is concentrated in big edges: most
+    # algorithms do well, and LPIP leads or ties.
+    top = max(
+        values[0] for name, values in series.items() if name != "subadditive bound"
+    )
+    assert series["lpip"][0] >= top - 0.1

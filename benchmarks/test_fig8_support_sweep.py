@@ -1,0 +1,39 @@
+"""Figure 8: revenue as a function of support-set size (skewed + SSB).
+
+Paper findings: UBP is insensitive to |S| (it never looks at the items);
+item-pricing algorithms improve as the support grows (finer price
+granularity, fewer empty conflict sets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure8_support_sweep
+
+from benchmarks.conftest import save_artifact
+
+SIZES = (100, 200, 400, 800)
+
+
+@pytest.mark.parametrize("workload_name", ["skewed", "ssb"])
+def test_fig8_revenue_vs_support_size(benchmark, workload_name):
+    artifact = benchmark.pedantic(
+        figure8_support_sweep,
+        args=(workload_name,),
+        kwargs={"support_sizes": SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    series = artifact.data["series"]
+
+    # UBP ignores the support: its normalized revenue is flat across sizes.
+    ubp = series["ubp"]
+    assert max(ubp) - min(ubp) < 0.02
+
+    # Item pricing gains from a larger support: the best item-pricing
+    # algorithm at the largest size beats the one at the smallest size.
+    lpip = series["lpip"]
+    assert lpip[-1] >= lpip[0] - 1e-9
+    assert max(lpip) == pytest.approx(lpip[-1], abs=0.1)

@@ -1,0 +1,154 @@
+"""Ablation: our added heuristics vs the paper's six algorithms.
+
+Three questions, none answered by the paper's figures:
+
+1. How much revenue does exact coordinate ascent add on top of each seed
+   (UIP, Layering), and how close does it get to LPIP at a fraction of the
+   LP cost?
+2. How much does the oblivious geometric grid lose to UIP's optimal sweep
+   (theory says at most the grid ratio)?
+3. On instances tiny enough for the exact oracles: how much revenue do the
+   succinct families actually leave on the table?
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    CoordinateAscent,
+    GeometricGridItemPricing,
+    Layering,
+    LPIP,
+    UBP,
+    UIP,
+    exact_optimal_item_pricing,
+    exact_optimal_subadditive_revenue,
+)
+from repro.core.bounds import sum_of_valuations
+from repro.experiments.report import format_table
+from repro.valuations import UniformValuations
+from repro.workloads.synthetic import random_instance
+from repro.workloads.world import world_workload
+
+
+@pytest.fixture(scope="module")
+def skewed_instance():
+    workload = world_workload(scale=0.15, expanded=False)
+    support = workload.support(size=300, seed=0, cells_per_instance=2)
+    hypergraph = workload.hypergraph(support)
+    return UniformValuations(100).instance(hypergraph, rng=1)
+
+
+def test_ablation_ascent_seeds(benchmark, skewed_instance):
+    """Coordinate ascent on top of each seed vs the LP algorithms."""
+    instance = skewed_instance
+    total = sum_of_valuations(instance)
+
+    def sweep():
+        rows = []
+        for label, algorithm in (
+            ("uip", UIP()),
+            ("ascent(uip)", CoordinateAscent(seed="uip")),
+            ("layering", Layering()),
+            ("ascent(layering)", CoordinateAscent(seed=Layering())),
+            ("ascent(zero)", CoordinateAscent(seed="zero")),
+            ("lpip", LPIP()),
+        ):
+            start = time.perf_counter()
+            result = algorithm.run(instance)
+            elapsed = time.perf_counter() - start
+            rows.append((label, result.revenue / total, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["seeded algorithm", "normalized revenue", "seconds"], rows
+    ))
+    revenue = {label: norm for label, norm, _ in rows}
+    # Ascent must never hurt its seed...
+    assert revenue["ascent(uip)"] >= revenue["uip"] - 1e-9
+    assert revenue["ascent(layering)"] >= revenue["layering"] - 1e-9
+    # ...and on this skewed instance it should recover most of LPIP's edge
+    # over UIP without solving a single LP.
+    assert revenue["ascent(uip)"] >= 0.7 * revenue["lpip"]
+
+
+def test_ablation_grid_ratio(benchmark, skewed_instance):
+    """Oblivious geometric grid vs UIP as the ratio varies."""
+    instance = skewed_instance
+    uip_revenue = UIP().run(instance).revenue
+
+    def sweep():
+        rows = []
+        for ratio in (4.0, 2.0, 1.5, 1.1, 1.01):
+            result = GeometricGridItemPricing(ratio=ratio).run(instance)
+            rows.append(
+                (
+                    f"r={ratio:g}",
+                    result.metadata["num_candidates"],
+                    result.revenue / uip_revenue,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["grid", "candidates", "fraction of UIP revenue"], rows
+    ))
+    fractions = {label: fraction for label, _, fraction in rows}
+    for ratio in (4.0, 2.0, 1.5, 1.1, 1.01):
+        label = f"r={ratio:g}"
+        assert fractions[label] >= 1.0 / ratio - 1e-9  # the bracket bound
+        assert fractions[label] <= 1.0 + 1e-9  # UIP sweep is optimal
+    # Finer grids should close the gap essentially completely.
+    assert fractions["r=1.01"] >= 0.99
+
+
+def test_ablation_succinctness_gap(benchmark):
+    """Exact oracles: what do the succinct families leave on the table?
+
+    Averaged over random tiny instances (the only scale where the exact
+    optima are computable), reported as fractions of the exact subadditive
+    optimum OPT.
+    """
+    rng = np.random.default_rng(11)
+    instances = [
+        random_instance(
+            num_items=5,
+            num_edges=6,
+            min_edge_size=1,
+            max_edge_size=4,
+            valuation_high=50.0,
+            rng=rng,
+        )
+        for _ in range(12)
+    ]
+
+    def measure():
+        ratios = {"ubp": [], "uip": [], "lpip": [], "exact-item": []}
+        for instance in instances:
+            opt = exact_optimal_subadditive_revenue(instance)
+            if opt <= 0:
+                continue
+            ratios["ubp"].append(UBP().run(instance).revenue / opt)
+            ratios["uip"].append(UIP().run(instance).revenue / opt)
+            ratios["lpip"].append(LPIP().run(instance).revenue / opt)
+            _, item = exact_optimal_item_pricing(instance)
+            ratios["exact-item"].append(item / opt)
+        return {
+            label: float(np.mean(values)) for label, values in ratios.items()
+        }
+
+    means = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [(label, value) for label, value in means.items()]
+    print("\n" + format_table(["family", "mean fraction of exact OPT"], rows))
+    # Exact item pricing sandwiches between the heuristics and OPT.
+    assert means["exact-item"] <= 1.0 + 1e-6
+    assert means["exact-item"] >= means["lpip"] - 1e-6
+    assert means["exact-item"] >= means["uip"] - 1e-6
+    # On generic tiny instances item pricing captures most of OPT.
+    assert means["exact-item"] >= 0.8

@@ -1,0 +1,71 @@
+"""Extension experiment: revenue vs per-item capacity (limited supply).
+
+Not a paper figure — the paper works in the unlimited-supply regime the
+whole time, but its key algorithm (CIP) comes from the limited-supply world
+of Cheung & Swamy. This bench sweeps a uniform per-item capacity on the
+skewed slice and reports: fractional welfare (the ceiling), LimitedCIP, and
+the feasible uniform price. As capacity reaches the max degree B the
+limited revenue must converge to the unlimited-supply revenue of the same
+algorithms' families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import UIP
+from repro.experiments.report import format_table
+from repro.limited import (
+    LimitedCIP,
+    LimitedSupplyInstance,
+    LimitedUniformPricing,
+    fractional_max_welfare,
+)
+from repro.valuations import UniformValuations
+from repro.workloads.world import world_workload
+
+CAPACITIES = (1, 2, 4, 8, 32)
+
+
+@pytest.fixture(scope="module")
+def skewed_instance():
+    workload = world_workload(scale=0.15, expanded=False)
+    support = workload.support(size=300, seed=0, cells_per_instance=2)
+    hypergraph = workload.hypergraph(support)
+    return UniformValuations(100).instance(hypergraph, rng=1)
+
+
+def test_capacity_sweep(benchmark, skewed_instance):
+    instance = skewed_instance
+    unlimited_uip = UIP().run(instance).revenue
+
+    def sweep():
+        rows = []
+        for capacity in CAPACITIES:
+            market = LimitedSupplyInstance.uniform(instance, capacity)
+            welfare = fractional_max_welfare(market).welfare
+            cip = LimitedCIP(scale_range=12).run(market)
+            uip = LimitedUniformPricing().run(market)
+            rows.append((capacity, welfare, cip.revenue, uip.revenue))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["capacity", "welfare LP", "limited-CIP", "limited-UIP"], rows
+    ))
+
+    welfare = {capacity: value for capacity, value, _, _ in rows}
+    cip = {capacity: value for capacity, _, value, _ in rows}
+    uip = {capacity: value for capacity, _, _, value in rows}
+    for capacity in CAPACITIES:
+        # Welfare ceiling holds everywhere.
+        assert cip[capacity] <= welfare[capacity] + 1e-6
+        assert uip[capacity] <= welfare[capacity] + 1e-6
+    # Welfare (hence achievable revenue) is monotone in capacity.
+    for smaller, larger in zip(CAPACITIES, CAPACITIES[1:]):
+        assert welfare[larger] >= welfare[smaller] - 1e-6
+    # With ample capacity the feasible uniform price recovers classic UIP.
+    top_capacity = CAPACITIES[-1]
+    market = LimitedSupplyInstance.uniform(instance, top_capacity)
+    if market.is_effectively_unlimited():
+        assert uip[top_capacity] == pytest.approx(unlimited_uip, rel=1e-6)

@@ -1,0 +1,31 @@
+"""Table 5: runtimes vs support size, skewed workload (construction included).
+
+Paper finding: running time grows with |S| for the item-pricing algorithms
+and the hypergraph construction, while UBP stays flat.
+"""
+
+from repro.experiments.figures import support_runtime_table
+
+from benchmarks.conftest import save_artifact
+
+SIZES = (100, 200, 400, 800)
+
+
+def test_table5_skewed_support_runtimes(benchmark):
+    artifact = benchmark.pedantic(
+        support_runtime_table,
+        args=("skewed",),
+        kwargs={"support_sizes": SIZES, "include_construction": True},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    runtimes = artifact.data["runtimes"]
+
+    smallest, largest = min(SIZES), max(SIZES)
+    # LP-based algorithms and construction get slower as the support grows.
+    assert runtimes[largest]["lpip"] >= runtimes[smallest]["lpip"] * 0.5
+    assert runtimes[largest]["construction"] >= runtimes[smallest]["construction"]
+    # UBP is essentially independent of |S|.
+    assert runtimes[largest]["ubp"] < 1.0

@@ -1,0 +1,30 @@
+"""Table 6: runtimes vs support size, SSB workload (construction excluded).
+
+Paper finding: CIP's cost falls steeply with the support size (one LP
+constraint per item, and B shrinks with the item count).
+"""
+
+from repro.experiments.figures import support_runtime_table
+
+from benchmarks.conftest import save_artifact
+
+SIZES = (100, 200, 400, 800)
+
+
+def test_table6_ssb_support_runtimes(benchmark):
+    artifact = benchmark.pedantic(
+        support_runtime_table,
+        args=("ssb",),
+        kwargs={"support_sizes": SIZES, "include_construction": False},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + str(artifact))
+    save_artifact(artifact)
+    runtimes = artifact.data["runtimes"]
+
+    smallest, largest = min(SIZES), max(SIZES)
+    # CIP has one constraint per item: cost grows with the support size.
+    assert runtimes[largest]["cip"] >= runtimes[smallest]["cip"] * 0.5
+    # UBP stays flat and cheap.
+    assert runtimes[largest]["ubp"] < 1.0

@@ -1,0 +1,80 @@
+"""Algorithm shoot-out across valuation distributions (Figures 5-7 in brief).
+
+Builds one hypergraph from the TPC-H workload and sweeps the paper's
+valuation families, printing the normalized-revenue table each figure plots.
+Shows the paper's headline: worst-case-optimal CIP is *not* the best
+empirically; LPIP is.
+
+Run:  python examples/algorithm_comparison.py      (a few minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms import default_algorithm_suite
+from repro.core.bounds import subadditive_upper_bound
+from repro.experiments.report import format_series_table
+from repro.valuations import (
+    AdditiveValuations,
+    ExponentialScaledValuations,
+    UniformValuations,
+    ZipfValuations,
+)
+from repro.workloads.tpch import tpch_workload
+
+
+def main() -> None:
+    workload = tpch_workload(scale=0.4)
+    support = workload.support(size=500, seed=0, cells_per_instance=2)
+    hypergraph = workload.hypergraph(support)
+    stats = hypergraph.stats()
+    print(
+        f"TPC-H hypergraph: m={stats.num_edges}, n={stats.num_items}, "
+        f"B={stats.max_degree}, avg |e|={stats.avg_edge_size:.1f}, "
+        f"empty edges={stats.num_empty_edges}\n"
+    )
+
+    models = [
+        ("uniform[1,100]", UniformValuations(100)),
+        ("zipf(a=1.75)", ZipfValuations(1.75)),
+        ("exp(|e|^1)", ExponentialScaledValuations(1.0)),
+        ("additive(k=100)", AdditiveValuations(100, assigner="uniform")),
+    ]
+    algorithms = default_algorithm_suite(lpip_max_programs=60, cip_epsilon=0.5)
+
+    series: dict[str, list[float]] = {}
+    parameters: list[str] = []
+    wins: dict[str, int] = {}
+    for label, model in models:
+        instance = model.instance(hypergraph, rng=np.random.default_rng(7))
+        total = instance.total_valuation()
+        bound = subadditive_upper_bound(instance)
+        parameters.append(label)
+        series.setdefault("subadditive bound", []).append(bound / total)
+        best_name, best_value = None, -1.0
+        for algorithm in algorithms:
+            result = algorithm.run(instance)
+            normalized = result.revenue / total
+            series.setdefault(result.algorithm, []).append(normalized)
+            if normalized > best_value:
+                best_name, best_value = result.algorithm, normalized
+        wins[best_name] = wins.get(best_name, 0) + 1
+
+    print(
+        format_series_table(
+            "valuation model",
+            parameters,
+            series,
+            title="normalized revenue by algorithm and valuation model",
+        )
+    )
+    print("\nwinners per distribution:", wins)
+    print(
+        "takeaway: LPIP leads in practice even though CIP has the best "
+        "worst-case guarantee — matching the paper's Section 7 lessons."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The theory of Section 4, run live: Lemmas 2-4 as executable constructions.
+
+Each construction makes one succinct pricing family provably lose a log
+factor. This example grows each instance and prints the gap widening —
+the empirical twin of Figure 3.
+
+Run:  python examples/lower_bounds.py
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import LPIP, UBP, UIP
+from repro.workloads.synthetic import (
+    harmonic_instance,
+    laminar_instance,
+    partition_instance,
+)
+
+
+def show(title: str, rows: list[tuple[str, float, float, float]]) -> None:
+    print(f"\n{title}")
+    print(f"{'size':>8s} {'OPT':>10s} {'UBP gap':>9s} {'item gap':>9s}")
+    for label, optimal, ubp, item in rows:
+        print(
+            f"{label:>8s} {optimal:10.1f} {optimal / max(ubp, 1e-9):9.2f} "
+            f"{optimal / max(item, 1e-9):9.2f}"
+        )
+
+
+def main() -> None:
+    rows = []
+    for m in (16, 64, 256, 1024):
+        instance = harmonic_instance(m)
+        rows.append(
+            (
+                f"m={m}",
+                instance.total_valuation(),
+                UBP().run(instance).revenue,
+                LPIP(max_programs=20).run(instance).revenue,
+            )
+        )
+    show("Lemma 2 (harmonic): uniform bundle pricing loses Θ(log m)", rows)
+
+    rows = []
+    for n in (8, 32, 128):
+        instance = partition_instance(n)
+        rows.append(
+            (
+                f"n={n}",
+                instance.total_valuation(),
+                UBP().run(instance).revenue,
+                LPIP(max_programs=1).run(instance).revenue,
+            )
+        )
+    show("Lemma 3 (partition classes): item pricing loses Θ(log m)", rows)
+
+    rows = []
+    for t in (2, 4, 6):
+        instance = laminar_instance(t)
+        rows.append(
+            (
+                f"t={t}",
+                instance.total_valuation(),
+                UBP().run(instance).revenue,
+                UIP().run(instance).revenue,
+            )
+        )
+    show("Lemma 4 (laminar family): both families lose Θ(log m)", rows)
+
+    print(
+        "\nIn each family the subadditive optimum extracts the full OPT "
+        "column; the widening ratios are the Ω(log m) separations of Fig. 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Online posted-price learning — the paper's Section 7.2 future work.
+
+Buyers with *unknown* fixed valuations arrive one at a time; the broker only
+observes accept/reject. We compare bandit policies (UCB, EXP3, epsilon-greedy,
+a multiplicative price walk) against the best fixed price in hindsight.
+
+Run:  python examples/online_pricing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.online import (
+    BuyerStream,
+    EpsilonGreedyPolicy,
+    Exp3Policy,
+    PriceWalkPolicy,
+    UCBPolicy,
+    simulate,
+)
+from repro.online.policies import geometric_grid
+from repro.valuations import UniformValuations
+from repro.workloads.world import world_workload
+
+
+def main() -> None:
+    workload = world_workload(scale=0.15, expanded=False)
+    support = workload.support(size=150, seed=0)
+    hypergraph = workload.hypergraph(support)
+    instance = UniformValuations(100).instance(hypergraph, rng=3)
+    print(
+        f"market: {instance.num_edges} query types, "
+        f"valuations in [1, 100], horizon 5000 buyers\n"
+    )
+
+    grid = geometric_grid(1.0, 100.0, ratio=1.25)
+    policies = [
+        EpsilonGreedyPolicy(grid, epsilon=0.1, rng=1),
+        UCBPolicy(grid, rng=1),
+        Exp3Policy(grid, gamma=0.1, rng=1),
+        PriceWalkPolicy(grid, rng=1),
+    ]
+
+    print(f"{'policy':12s} {'revenue':>10s} {'best fixed':>11s} "
+          f"{'competitive':>12s} {'sales':>6s}")
+    for policy in policies:
+        stream = BuyerStream(instance, horizon=5000, rng=2)
+        result = simulate(stream, policy)
+        print(
+            f"{result.policy:12s} {result.revenue:10.1f} "
+            f"{result.best_fixed_revenue:11.1f} "
+            f"{result.competitive_ratio:12.2f} {result.sales:6d}"
+        )
+
+    print(
+        "\nThe bandit policies converge toward the best fixed posted price "
+        "without ever seeing a valuation — only accept/reject bits."
+    )
+
+
+if __name__ == "__main__":
+    main()

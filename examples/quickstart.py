@@ -1,0 +1,92 @@
+"""Quickstart: price a tiny query workload end to end.
+
+Builds a 4-row database, samples a support set of neighboring instances,
+maps six SQL queries to conflict-set bundles, runs every pricing algorithm,
+and quotes prices — including for a query that was never in the workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms import default_algorithm_suite
+from repro.db import Column, ColumnType, Database, Relation, TableSchema
+from repro.qirana import QueryMarket
+from repro.support import NeighborSampler
+
+
+def build_database() -> Database:
+    """The running example of the paper: a tiny User-like relation."""
+    country = Relation(
+        TableSchema(
+            "Country",
+            (
+                Column("Code", ColumnType.TEXT),
+                Column("Name", ColumnType.TEXT),
+                Column("Continent", ColumnType.TEXT),
+                Column("Population", ColumnType.INT),
+            ),
+            primary_key=("Code",),
+        )
+    )
+    country.insert_many(
+        [
+            ("USA", "United States", "North America", 278357000),
+            ("GRC", "Greece", "Europe", 10545700),
+            ("FRA", "France", "Europe", 59225700),
+            ("IND", "India", "Asia", 1013662000),
+        ]
+    )
+    return Database("quickstart", [country])
+
+
+def main() -> None:
+    database = build_database()
+
+    # 1. The support set: neighboring databases the buyer cannot rule out.
+    support = NeighborSampler(database, rng=np.random.default_rng(0)).generate(200)
+    market = QueryMarket(support)
+
+    # 2. The buyers: queries plus what each buyer is willing to pay.
+    queries = [
+        "select count(Name) from Country where Continent = 'Asia'",
+        "select Continent, max(Population) from Country group by Continent",
+        "select avg(Population) from Country",
+        "select * from Country",
+        "select Name from Country where Population between 10000000 and 60000000",
+    ]
+    valuations = [10.0, 35.0, 20.0, 100.0, 15.0]
+
+    # 3. Compare every pricing algorithm on this market.
+    instance = market.build_instance(queries, valuations)
+    print(f"market: {instance.num_edges} buyers over {instance.num_items} items")
+    print(f"sum of valuations: {instance.total_valuation():.1f}\n")
+    print(f"{'algorithm':10s} {'revenue':>8s} {'normalized':>11s} {'sold':>5s}")
+    best = None
+    for algorithm in default_algorithm_suite():
+        result = algorithm.run(instance)
+        normalized = result.revenue / instance.total_valuation()
+        print(
+            f"{result.algorithm:10s} {result.revenue:8.1f} "
+            f"{normalized:11.3f} {result.report.num_sold:5d}"
+        )
+        if best is None or result.revenue > best.revenue:
+            best = result
+
+    # 4. Install the best pricing and serve buyers.
+    market.set_pricing(best.pricing)
+    print(f"\ninstalled pricing: {best.algorithm} ({best.pricing.description()})")
+
+    answer, quote = market.purchase(queries[0], buyer="alice", valuation=10.0)
+    print(f"alice buys {quote.query_text!r} for {quote.price:.2f}: {answer.rows}")
+
+    # Arbitrage-free prices extend to queries outside the workload:
+    fresh = market.quote("select max(Population) from Country")
+    print(f"ad-hoc query priced at {fresh.price:.2f} (bundle size {len(fresh.bundle)})")
+    print(f"total ledger revenue: {market.revenue:.2f}")
+
+
+if __name__ == "__main__":
+    main()

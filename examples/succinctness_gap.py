@@ -1,0 +1,94 @@
+"""How much revenue do succinct pricing families leave on the table?
+
+Section 4 of the paper proves worst-case Ω(log m) gaps between the succinct
+families and the optimal subadditive pricing, but worst-case constructions
+say little about typical instances. On instances small enough for the exact
+oracles (`repro.core.algorithms.exact`) we can measure the *actual* gaps:
+
+    UBP <= UIP-family <= exact item OPT <= exact subadditive OPT <= sum(v)
+
+This example prints the whole chain for (a) the paper's three lower-bound
+constructions shrunk to oracle scale and (b) random instances, showing how
+far from the worst case typical hypergraphs sit.
+
+Run:  python examples/succinctness_gap.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms import (
+    LPIP,
+    UBP,
+    UIP,
+    exact_optimal_item_pricing,
+    exact_optimal_subadditive_revenue,
+)
+from repro.workloads.synthetic import (
+    harmonic_instance,
+    laminar_instance,
+    partition_instance,
+    random_instance,
+)
+
+
+def report(name, instance):
+    total = instance.total_valuation()
+    ubp = UBP().run(instance).revenue
+    uip = UIP().run(instance).revenue
+    lpip = LPIP().run(instance).revenue
+    _, item_opt = exact_optimal_item_pricing(instance, max_edges=12)
+    sub_opt = exact_optimal_subadditive_revenue(
+        instance, max_edges=10, max_items=8
+    )
+    print(f"{name:26s} m={instance.num_edges:2d}  "
+          f"UBP {ubp:6.2f}  UIP {uip:6.2f}  LPIP {lpip:6.2f}  "
+          f"item-OPT {item_opt:6.2f}  sub-OPT {sub_opt:6.2f}  Σv {total:6.2f}")
+    return ubp, uip, item_opt, sub_opt, total
+
+
+def main() -> None:
+    print("exact revenue chains (all numbers absolute):\n")
+
+    # (a) the paper's lower-bound constructions, shrunk to oracle scale.
+    print("paper lower-bound constructions —")
+    # Lemma 2: harmonic valuations kill uniform bundle pricing.
+    h = harmonic_instance(8)
+    ubp, _, item_opt, _, total = report("Lemma 2 (harmonic, m=8)", h)
+    print(f"  -> UBP recovers {ubp / total:.0%} of Σv; "
+          f"item pricing recovers {item_opt / total:.0%} (gap is real)\n")
+
+    # Lemma 3: uniform valuations on a partition system kill item pricing.
+    p = partition_instance(4)
+    ubp, uip, item_opt, sub_opt, total = report("Lemma 3 (partition, n=4)", p)
+    print(f"  -> item OPT {item_opt / total:.0%} of Σv vs "
+          f"UBP {ubp / total:.0%} (the mirror-image gap)\n")
+
+    # Lemma 4: the laminar family hurts both families at once.
+    lam = laminar_instance(1, copy_cap=2)
+    ubp, uip, item_opt, sub_opt, total = report("Lemma 4 (laminar, t=1)", lam)
+    print(f"  -> both families below the subadditive optimum "
+          f"({max(ubp, item_opt) / sub_opt:.0%} of OPT)\n")
+
+    # (b) random instances: the typical case.
+    print("random tiny instances (n=5, m=6, Uniform[0,50] valuations) —")
+    rng = np.random.default_rng(4)
+    fractions = []
+    for index in range(8):
+        instance = random_instance(
+            num_items=5, num_edges=6, max_edge_size=4,
+            valuation_high=50.0, rng=rng,
+        )
+        _, _, item_opt, sub_opt, _ = report(f"random #{index}", instance)
+        if sub_opt > 0:
+            fractions.append(item_opt / sub_opt)
+    print(f"\nmean item-OPT / subadditive-OPT on random instances: "
+          f"{np.mean(fractions):.1%}")
+    print("typical instances sit far from the Ω(log m) worst case — the")
+    print("paper's conclusion that succinct item pricing is a good practical")
+    print("choice, certified against the exact optimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Designing the support set — the paper's Section 7.2 open problem, solved
+greedily.
+
+"If we can create the support set in such a way that every hyperedge contains
+a unique item, then we can extract the full revenue from the buyers."
+
+Two regimes are shown:
+
+1. The 34-query base workload contains broad queries (``select * from
+   Country``) that *subsume* the selective ones — any cell flip that changes
+   a selective query also changes them, so strict separation is provably
+   impossible for most queries. The designer reports this honestly.
+2. A workload of selective per-country lookups separates almost completely,
+   and Layering/LPIP then extract (nearly) the full demand — versus a random
+   support of the same size.
+
+Run:  python examples/support_design.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms import Layering, LPIP, UBP
+from repro.core.hypergraph import PricingInstance
+from repro.db.query import sql_query
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.designer import designed_support
+from repro.workloads.world import world_workload
+
+
+def compare(base, queries, report, seed):
+    random_support = None
+    from repro.workloads.base import build_support
+
+    random_support = build_support(base, len(report.support), seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    valuations = rng.uniform(1, 100, size=len(queries))
+
+    print(f"{'support':10s} {'algorithm':10s} {'revenue':>9s} {'normalized':>11s}")
+    for label, support in (("designed", report.support), ("random", random_support)):
+        hypergraph = ConflictSetEngine(support).build_hypergraph(queries)
+        instance = PricingInstance(hypergraph, valuations)
+        for algorithm in (LPIP(), Layering(), UBP()):
+            result = algorithm.run(instance)
+            print(
+                f"{label:10s} {result.algorithm:10s} {result.revenue:9.1f} "
+                f"{result.revenue / valuations.sum():11.3f}"
+            )
+        print()
+
+
+def main() -> None:
+    workload = world_workload(scale=0.15, expanded=False)
+    base = workload.database
+
+    # --- regime 1: broad + selective queries mixed -------------------------
+    print("=== base 34-query workload (contains SELECT * queries) ===")
+    report = designed_support(base, workload.queries, rng=0, padding=10)
+    print(
+        f"separated {report.num_dedicated}/{len(workload.queries)} queries — "
+        "broad queries subsume the selective ones, so most cannot own a "
+        "private item.\n"
+    )
+
+    # --- regime 2: selective lookups ---------------------------------------
+    codes = base.table("Country").column_values("Code")[:25]
+    selective = [
+        sql_query(f"select Population from Country where Code = '{code}'", base)
+        for code in codes
+    ]
+    print(f"=== {len(selective)} selective per-country lookups ===")
+    report = designed_support(base, selective, rng=3, padding=5)
+    print(
+        f"separated {report.num_dedicated}/{len(selective)} queries, "
+        f"|S| = {len(report.support)}\n"
+    )
+    compare(base, selective, report, seed=7)
+
+    print(
+        "With dedicated items, Layering and LPIP price each query's unique "
+        "item at the buyer's valuation and extract (almost) all demand; the "
+        "random support leaves much of it on the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

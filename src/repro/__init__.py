@@ -1,0 +1,23 @@
+"""repro — reproduction of "Revenue Maximization for Query Pricing" (VLDB'19).
+
+The package is organized bottom-up:
+
+- :mod:`repro.lp` — LP modeling/solving substrate (scipy/HiGHS backend),
+- :mod:`repro.db` — in-memory relational engine + SQL-subset front-end,
+- :mod:`repro.support` — support-set ("neighboring database") generation,
+- :mod:`repro.qirana` — conflict sets, the pricing broker, arbitrage checks,
+- :mod:`repro.core` — hypergraphs, pricing functions, revenue, bounds, and the
+  six pricing algorithms (UBP, UIP, LPIP, CIP, Layering, XOS),
+- :mod:`repro.valuations` — buyer-valuation generative models,
+- :mod:`repro.workloads` — the four paper workloads + synthetic constructions,
+- :mod:`repro.experiments` — figure/table reproduction harness,
+- :mod:`repro.online` — online posted-price learning (paper future work),
+- :mod:`repro.bayesian` — posted pricing when valuations are distributions
+  (the Bayesian setting of the paper's related work, Section 2),
+- :mod:`repro.limited` — limited-supply envy-free pricing (Cheung & Swamy's
+  original setting; exclusivity tiers for data products).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,72 @@
+"""Bayesian posted pricing — valuations as distributions, not point values.
+
+The paper assumes the broker knows every buyer's valuation exactly ("found by
+performing market research", Section 3.3) and cites the Bayesian
+posted-pricing literature as the neighbouring model (Section 2). This
+subpackage implements that neighbouring model on top of the same hypergraph
+machinery: each buyer's valuation is a *distribution*, the broker posts
+prices before valuations realize, and the objective is expected revenue.
+
+Three layers:
+
+- :mod:`repro.bayesian.distributions` — valuation distributions with
+  survival functions, revenue curves, Myerson-style reserve prices and
+  hazard-rate diagnostics;
+- :mod:`repro.bayesian.posted` — a :class:`BayesianInstance` (hypergraph +
+  one distribution per edge), exact expected-revenue evaluation of any
+  pricing function, and expected-revenue-optimal uniform bundle pricing;
+- :mod:`repro.bayesian.saa` — sample-average approximation: realize sampled
+  instances, reuse the deterministic algorithms of
+  :mod:`repro.core.algorithms`, and measure how fast empirical pricing
+  converges to the distribution-optimal one.
+"""
+
+from repro.bayesian.distributions import (
+    DiscreteValuation,
+    EmpiricalValuation,
+    ExponentialValuation,
+    NormalValuation,
+    ParetoValuation,
+    UniformValuation,
+    ValuationDistribution,
+    has_monotone_hazard_rate,
+    myerson_reserve,
+    optimal_posted_price,
+)
+from repro.bayesian.posted import (
+    BayesianInstance,
+    ExpectedRevenueUBP,
+    average_realized_revenue,
+    expected_revenue,
+    uniform_edge_distributions,
+)
+from repro.bayesian.saa import (
+    SAAResult,
+    pooled_empirical_distribution,
+    saa_pricing,
+    saa_uniform_bundle_price,
+    stack_samples,
+)
+
+__all__ = [
+    "BayesianInstance",
+    "DiscreteValuation",
+    "EmpiricalValuation",
+    "ExpectedRevenueUBP",
+    "ExponentialValuation",
+    "NormalValuation",
+    "ParetoValuation",
+    "SAAResult",
+    "UniformValuation",
+    "ValuationDistribution",
+    "average_realized_revenue",
+    "expected_revenue",
+    "has_monotone_hazard_rate",
+    "myerson_reserve",
+    "optimal_posted_price",
+    "pooled_empirical_distribution",
+    "saa_pricing",
+    "saa_uniform_bundle_price",
+    "stack_samples",
+    "uniform_edge_distributions",
+]

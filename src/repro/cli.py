@@ -1,0 +1,198 @@
+"""Command-line interface: ``repro-pricing``.
+
+Subcommands::
+
+    repro-pricing workloads                      # list workloads + stats
+    repro-pricing algorithms                     # list pricing algorithms
+    repro-pricing price --workload skewed --algorithm lpip [--support 500]
+    repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
+    repro-pricing table table3                   # reproduce one table
+    repro-pricing ext heuristics|limited|saa     # extension experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-pricing",
+        description="Revenue maximization for query pricing (VLDB'19 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the paper's query workloads")
+    commands.add_parser("algorithms", help="list the pricing algorithms")
+
+    price = commands.add_parser("price", help="run one algorithm on one workload")
+    price.add_argument("--workload", default="skewed",
+                       choices=["skewed", "uniform", "tpch", "ssb"])
+    price.add_argument("--algorithm", default="lpip")
+    price.add_argument("--support", type=int, default=400)
+    price.add_argument("--scale", type=float, default=0.3)
+    price.add_argument("--valuation-k", type=float, default=100.0)
+    price.add_argument("--seed", type=int, default=1)
+
+    figure = commands.add_parser("figure", help="reproduce a figure panel")
+    figure.add_argument("figure_id", help="e.g. fig4-skewed, fig5a-uniform-tpch, fig8-ssb")
+
+    table = commands.add_parser("table", help="reproduce a table")
+    table.add_argument("table_id", choices=["table3", "table4", "table5", "table6"])
+
+    explain = commands.add_parser(
+        "explain", help="show the logical plan of a SQL query"
+    )
+    explain.add_argument("sql", help="SELECT statement over a workload schema")
+    explain.add_argument("--workload", default="skewed",
+                         choices=["skewed", "uniform", "tpch", "ssb"])
+
+    ext = commands.add_parser(
+        "ext", help="run an extension experiment (beyond the paper)"
+    )
+    ext.add_argument("experiment", choices=["heuristics", "limited", "saa"])
+    ext.add_argument("--workload", default="skewed",
+                     choices=["skewed", "uniform", "tpch", "ssb"])
+    ext.add_argument("--support", type=int, default=None)
+    ext.add_argument("--scale", type=float, default=None)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "workloads": _cmd_workloads,
+        "algorithms": _cmd_algorithms,
+        "price": _cmd_price,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "explain": _cmd_explain,
+        "ext": _cmd_ext,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import get_workload
+
+    for name in ("skewed", "uniform", "tpch", "ssb"):
+        workload = get_workload(name, scale=0.2)
+        print(
+            f"{name:8s}  m={workload.num_queries:5d}  "
+            f"rows={workload.database.total_rows:6d}  {workload.description}"
+        )
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.core.algorithms import available_algorithms
+
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.core.algorithms import get_algorithm
+    from repro.valuations import UniformValuations
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload, scale=args.scale)
+    support = workload.support(size=args.support, seed=args.seed, cells_per_instance=2)
+    hypergraph = workload.hypergraph(support)
+    model = UniformValuations(args.valuation_k)
+    instance = model.instance(hypergraph, rng=np.random.default_rng(args.seed))
+
+    algorithm = get_algorithm(args.algorithm)
+    result = algorithm.run(instance)
+    total = instance.total_valuation()
+    print(f"workload        : {args.workload} (m={instance.num_edges}, n={instance.num_items})")
+    print(f"algorithm       : {result.algorithm}")
+    print(f"revenue         : {result.revenue:.2f}")
+    print(f"sum valuations  : {total:.2f}")
+    print(f"normalized      : {result.revenue / total:.3f}")
+    print(f"buyers served   : {result.report.num_sold}/{instance.num_edges}")
+    print(f"runtime         : {result.runtime_seconds:.2f}s")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    figure_id = args.figure_id
+    artifact = _dispatch_figure(figures, figure_id)
+    if artifact is None:
+        print(f"unknown figure id: {figure_id}", file=sys.stderr)
+        return 2
+    print(artifact)
+    return 0
+
+
+def _dispatch_figure(figures, figure_id: str):
+    parts = figure_id.split("-")
+    workloads = ("skewed", "uniform", "tpch", "ssb")
+    if parts[0] == "fig4" and len(parts) == 2 and parts[1] in workloads:
+        return figures.figure4_edge_distribution(parts[1])
+    if parts[0] == "fig5a" and len(parts) == 3 and parts[2] in workloads:
+        if parts[1] == "uniform":
+            return figures.figure5a_uniform(parts[2])
+        if parts[1] == "zipf":
+            return figures.figure5a_zipf(parts[2])
+    if parts[0] == "fig5b" and len(parts) == 3 and parts[2] in workloads:
+        if parts[1] == "exp":
+            return figures.figure5b_exponential(parts[2])
+        if parts[1] == "normal":
+            return figures.figure5b_normal(parts[2])
+    if parts[0] == "fig7" and len(parts) == 3 and parts[2] in workloads:
+        if parts[1] in ("uniform", "binomial"):
+            return figures.figure7_additive(parts[2], assigner=parts[1])
+    if parts[0] == "fig8" and len(parts) == 2 and parts[1] in workloads:
+        return figures.figure8_support_sweep(parts[1])
+    return None
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    if args.table_id == "table3":
+        artifact = figures.table3_hypergraph_characteristics()
+    elif args.table_id == "table4":
+        artifact = figures.table4_runtimes()
+    elif args.table_id == "table5":
+        artifact = figures.support_runtime_table("skewed", include_construction=True)
+    else:
+        artifact = figures.support_runtime_table("ssb", include_construction=False)
+    print(artifact)
+    return 0
+
+
+def _cmd_ext(args: argparse.Namespace) -> int:
+    from repro.experiments import extensions
+
+    producers = {
+        "heuristics": extensions.extension_heuristics,
+        "limited": extensions.extension_limited_capacity,
+        "saa": extensions.extension_bayesian_saa,
+    }
+    artifact = producers[args.experiment](
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+    )
+    print(artifact)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.db.explain import explain
+    from repro.db.query import sql_query
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload, scale=0.1)
+    query = sql_query(args.sql, workload.database)
+    print(explain(query.plan))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

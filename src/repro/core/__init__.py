@@ -1,0 +1,31 @@
+"""Core pricing abstractions: hypergraphs, pricing functions, revenue, bounds.
+
+This package implements Sections 3–5 of the paper. The central object is a
+:class:`PricingInstance` — a hypergraph over the support set together with one
+buyer valuation per hyperedge — and the six pricing algorithms live in
+:mod:`repro.core.algorithms`.
+"""
+
+from repro.core.hypergraph import Hypergraph, HypergraphStats, PricingInstance
+from repro.core.pricing import (
+    ItemPricing,
+    PricingFunction,
+    UniformBundlePricing,
+    XOSPricing,
+)
+from repro.core.revenue import RevenueReport, compute_revenue
+from repro.core.bounds import subadditive_upper_bound, sum_of_valuations
+
+__all__ = [
+    "Hypergraph",
+    "HypergraphStats",
+    "ItemPricing",
+    "PricingFunction",
+    "PricingInstance",
+    "RevenueReport",
+    "UniformBundlePricing",
+    "XOSPricing",
+    "compute_revenue",
+    "subadditive_upper_bound",
+    "sum_of_valuations",
+]

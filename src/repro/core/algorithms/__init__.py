@@ -1,0 +1,69 @@
+"""Revenue-maximization algorithms (Section 5 of the paper).
+
+Six algorithms, each returning a :class:`~repro.core.algorithms.base.PricingResult`:
+
+- :class:`UBP` — optimal uniform bundle price (folklore sweep),
+- :class:`UIP` — optimal *uniform* item price [Guruswami et al. 2005],
+- :class:`LPIP` — LP-refined item pricing on top of UIP's thresholds,
+- :class:`CIP` — capacity-constrained primal-dual item pricing
+  [Cheung & Swamy 2008],
+- :class:`Layering` — the paper's fast B-approximation (Algorithm 1),
+- :class:`XOSCombiner` — XOS pricing taking the max of LPIP and CIP vectors,
+
+plus :class:`UBPRefine` — the LP post-processing step from Section 6.3 that
+upgrades the best uniform bundle price into an item pricing — and several
+additions of our own:
+
+- :class:`CoordinateAscent` — exact per-item line search from any seed,
+- :class:`GeometricGridItemPricing` — Balcan–Blum oblivious price grid,
+- :class:`ExactItemPricing` / :class:`ExactSubadditivePricing` — exponential
+  ground-truth oracles for tiny instances (used by tests and gap studies).
+"""
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.algorithms.ubp import UBP, UBPRefine
+from repro.core.algorithms.uip import UIP
+from repro.core.algorithms.lpip import LPIP
+from repro.core.algorithms.cip import CIP
+from repro.core.algorithms.exact import (
+    ExactItemPricing,
+    ExactSubadditivePricing,
+    TabularSetPricing,
+    exact_optimal_item_pricing,
+    exact_optimal_subadditive_revenue,
+    price_table_is_monotone_subadditive,
+)
+from repro.core.algorithms.layering import Layering
+from repro.core.algorithms.local_search import CoordinateAscent
+from repro.core.algorithms.powers import GeometricGridItemPricing
+from repro.core.algorithms.xos import XOSCombiner
+from repro.core.algorithms.registry import (
+    available_algorithms,
+    default_algorithm_suite,
+    get_algorithm,
+    register_algorithm,
+)
+
+__all__ = [
+    "CIP",
+    "CoordinateAscent",
+    "ExactItemPricing",
+    "ExactSubadditivePricing",
+    "GeometricGridItemPricing",
+    "Layering",
+    "LPIP",
+    "PricingAlgorithm",
+    "PricingResult",
+    "TabularSetPricing",
+    "UBP",
+    "UBPRefine",
+    "UIP",
+    "XOSCombiner",
+    "available_algorithms",
+    "default_algorithm_suite",
+    "exact_optimal_item_pricing",
+    "exact_optimal_subadditive_revenue",
+    "get_algorithm",
+    "price_table_is_monotone_subadditive",
+    "register_algorithm",
+]

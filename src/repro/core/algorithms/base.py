@@ -1,0 +1,78 @@
+"""Common interface for pricing algorithms."""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass, field
+
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import PricingFunction
+from repro.core.revenue import RevenueReport, compute_revenue
+
+
+@dataclass
+class PricingResult:
+    """Everything an algorithm run produces."""
+
+    algorithm: str
+    pricing: PricingFunction
+    report: RevenueReport
+    runtime_seconds: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def revenue(self) -> float:
+        return self.report.revenue
+
+    def normalized_revenue(self, reference: float) -> float:
+        """Revenue divided by a reference upper bound."""
+        return self.report.normalized(reference)
+
+
+class PricingAlgorithm:
+    """Base class for pricing algorithms.
+
+    Subclasses implement :meth:`compute_pricing`; :meth:`run` wraps it with
+    timing and revenue evaluation so all algorithms report uniformly.
+    """
+
+    #: Registry key and display name (e.g. ``"lpip"``).
+    name = "abstract"
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        """Return the pricing function and free-form metadata."""
+        raise NotImplementedError
+
+    #: One-slot memo: (weakref to instance, result). Lets a suite that
+    #: contains both an algorithm and an XOS combiner sharing that same
+    #: algorithm object avoid solving the identical LPs twice per instance.
+    #: A weak reference (checked by identity) rather than ``id()`` so a
+    #: garbage-collected instance can never alias a fresh one.
+    _memo: tuple["weakref.ref[PricingInstance]", PricingResult] | None = None
+
+    def run(self, instance: PricingInstance) -> PricingResult:
+        """Compute a pricing for ``instance`` and evaluate its revenue.
+
+        The result for the most recent instance is cached per algorithm
+        object (keyed by object identity), so re-running the same algorithm
+        object on the same instance is free.
+        """
+        if self._memo is not None and self._memo[0]() is instance:
+            return self._memo[1]
+        start = time.perf_counter()
+        pricing, metadata = self.compute_pricing(instance)
+        elapsed = time.perf_counter() - start
+        report = compute_revenue(pricing, instance)
+        result = PricingResult(
+            algorithm=self.name,
+            pricing=pricing,
+            report=report,
+            runtime_seconds=elapsed,
+            metadata=metadata,
+        )
+        self._memo = (weakref.ref(instance), result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

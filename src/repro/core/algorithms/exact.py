@@ -1,0 +1,347 @@
+"""Exact optimal pricing oracles for tiny instances.
+
+Finding the revenue-maximizing item pricing is NP-hard (the k-hypergraph
+pricing problem; see Section 2 of the paper), and the optimal monotone
+subadditive pricing may take exponential space. Neither is usable at market
+scale — but at toy scale both are computable exactly, which makes them
+invaluable as *ground truth*:
+
+- they turn approximation claims into checkable inequalities
+  (``heuristic <= exact item OPT <= exact subadditive OPT <= sum of
+  valuations``), used heavily by the property-based tests, and
+- they quantify, on small instances, how much revenue the succinct families
+  of Section 3.4 leave on the table relative to the unrestricted optimum.
+
+Both oracles enumerate the *sold set* ``F`` (which buyers end up purchasing)
+and solve one LP per candidate ``F``. Correctness rests on a simple exchange
+argument, spelled out in :func:`exact_optimal_item_pricing`: the optimum's
+own sold set appears in the enumeration, and for that ``F`` the LP revenue is
+at least the optimum while every LP solution's realized revenue is at most
+the optimum.
+
+Running time is ``O(2^m)`` LPs (and the subadditive oracle additionally uses
+``2^n`` variables per LP), so both classes refuse instances above small,
+explicit caps rather than silently hanging.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import Bundle, ItemPricing, PricingFunction
+from repro.core.revenue import PRICE_TOLERANCE, compute_revenue
+from repro.exceptions import LPError, PricingError
+from repro.lp import LinExpr, LPModel, Sense
+
+
+class TabularSetPricing(PricingFunction):
+    """A pricing function stored explicitly as a table over item subsets.
+
+    This is the exponential-size representation that Section 3.4 of the paper
+    argues *against* for production use; it exists here purely as the output
+    of the exact subadditive oracle. The table covers every subset of
+    ``universe`` (the items the oracle saw); bundles containing items outside
+    the universe are priced by their restriction to it, which keeps the
+    function monotone and subadditive over the full item space.
+    """
+
+    family = "tabular"
+
+    def __init__(self, universe: Sequence[int], table: dict[frozenset[int], float]):
+        self.universe = frozenset(universe)
+        expected = 2 ** len(self.universe)
+        if len(table) != expected:
+            raise PricingError(
+                f"table has {len(table)} entries, expected {expected} "
+                f"(every subset of the universe)"
+            )
+        self.table = dict(table)
+
+    def price(self, bundle: Bundle) -> float:
+        return self.table[frozenset(bundle) & self.universe]
+
+    def description(self) -> str:
+        return f"tabular(|universe|={len(self.universe)})"
+
+
+def _sold_set_candidates(
+    edges: Sequence[frozenset[int]],
+    valuations: np.ndarray,
+    eligible: Sequence[int],
+) -> Iterable[tuple[int, ...]]:
+    """Enumerate candidate sold sets, pruning dominated ones.
+
+    If two buyers want the *same* bundle, any pricing that sells to the
+    cheaper buyer also sells to the more expensive one (identical bundles get
+    identical prices). A candidate ``F`` containing the cheaper buyer but not
+    the more expensive one is therefore dominated by ``F + {expensive}``:
+    same feasible region, strictly larger objective. Skip it.
+    """
+    eligible = list(eligible)
+    for size in range(1, len(eligible) + 1):
+        for subset in combinations(eligible, size):
+            chosen = set(subset)
+            dominated = False
+            for index in subset:
+                for other in eligible:
+                    if (
+                        other not in chosen
+                        and edges[other] == edges[index]
+                        and valuations[other] >= valuations[index]
+                    ):
+                        dominated = True
+                        break
+                if dominated:
+                    break
+            if not dominated:
+                yield subset
+
+
+class ExactItemPricing(PricingAlgorithm):
+    """Exact optimal additive (item) pricing by sold-set enumeration.
+
+    For every candidate sold set ``F`` solve
+
+        maximize   sum_{e in F} sum_{j in e} w_j
+        subject to sum_{j in e} w_j <= v_e    for all e in F,   w >= 0
+
+    and keep the realized-revenue maximum. Exponential in ``m``; refuses
+    instances with more than ``max_edges`` non-empty positive-value edges.
+    """
+
+    name = "exact-item"
+
+    def __init__(self, max_edges: int = 12):
+        if max_edges < 1:
+            raise PricingError("max_edges must be at least 1")
+        self.max_edges = max_edges
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        edges = instance.edges
+        valuations = instance.valuations
+        # Empty edges always cost 0 under item pricing, and zero-value edges
+        # can only contribute revenue 0: neither affects the optimum.
+        eligible = [
+            index
+            for index in range(instance.num_edges)
+            if edges[index] and valuations[index] > 0
+        ]
+        if len(eligible) > self.max_edges:
+            raise PricingError(
+                f"exact item pricing enumerates 2^m sold sets; instance has "
+                f"m={len(eligible)} eligible edges > max_edges={self.max_edges}"
+            )
+
+        best_weights = np.zeros(instance.num_items)
+        best_revenue = 0.0
+        programs = 0
+        for subset in _sold_set_candidates(edges, valuations, eligible):
+            weights = self._solve_sold_set(instance, subset)
+            if weights is None:
+                continue
+            programs += 1
+            revenue = compute_revenue(ItemPricing(weights), instance).revenue
+            if revenue > best_revenue:
+                best_revenue = revenue
+                best_weights = weights
+        return ItemPricing(best_weights), {
+            "num_programs": programs,
+            "exact_revenue": best_revenue,
+        }
+
+    def _solve_sold_set(
+        self, instance: PricingInstance, sold: Sequence[int]
+    ) -> np.ndarray | None:
+        items = sorted({item for index in sold for item in instance.edges[index]})
+        model = LPModel(name="exact-item", sense=Sense.MAXIMIZE)
+        weight_vars = {item: model.add_variable(f"w{item}") for item in items}
+        objective_terms = []
+        for index in sold:
+            bundle_price = LinExpr.sum_of(
+                [weight_vars[item] for item in instance.edges[index]]
+            )
+            model.add_constraint(bundle_price <= float(instance.valuations[index]))
+            objective_terms.append(bundle_price)
+        model.set_objective(LinExpr.sum_of(objective_terms))
+        try:
+            solution = model.solve()
+        except LPError:
+            return None
+        weights = np.zeros(instance.num_items)
+        for item, variable in weight_vars.items():
+            weights[item] = max(0.0, solution.value(variable))
+        return weights
+
+
+class ExactSubadditivePricing(PricingAlgorithm):
+    """Exact optimal monotone subadditive pricing for tiny instances.
+
+    One LP per candidate sold set ``F``, with a variable ``f_T`` for every
+    subset ``T`` of the used items:
+
+        maximize   sum_{e in F} f_{e}
+        subject to f_T <= f_{T + j}        (monotonicity)
+                   f_{A u B} <= f_A + f_B  for disjoint non-empty A, B
+                   f_{e} <= v_e            for e in F,     f >= 0
+
+    Monotonicity plus *disjoint* subadditivity implies full subadditivity:
+    for overlapping ``A, B``, ``f(A u B) <= f(A) + f(B \\ A) <= f(A) + f(B)``.
+    Unlike item pricing, the empty bundle may carry a positive price (uniform
+    bundle pricing does exactly that), so empty edges participate.
+
+    Exponential in both ``m`` and ``n``; refuses instances above the caps.
+    """
+
+    name = "exact-subadditive"
+
+    def __init__(self, max_edges: int = 10, max_items: int = 8):
+        if max_edges < 1 or max_items < 0:
+            raise PricingError("caps must be positive")
+        self.max_edges = max_edges
+        self.max_items = max_items
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        edges = instance.edges
+        valuations = instance.valuations
+        eligible = [
+            index for index in range(instance.num_edges) if valuations[index] > 0
+        ]
+        used_items = sorted({item for index in eligible for item in edges[index]})
+        if len(eligible) > self.max_edges:
+            raise PricingError(
+                f"exact subadditive pricing enumerates 2^m sold sets; "
+                f"m={len(eligible)} > max_edges={self.max_edges}"
+            )
+        if len(used_items) > self.max_items:
+            raise PricingError(
+                f"exact subadditive pricing uses 2^n LP variables; "
+                f"n={len(used_items)} > max_items={self.max_items}"
+            )
+
+        best_table = {
+            frozenset(subset): 0.0 for subset in _powerset(used_items)
+        }
+        best_revenue = 0.0
+        programs = 0
+        for subset in _sold_set_candidates(edges, valuations, eligible):
+            table = self._solve_sold_set(instance, subset, used_items)
+            if table is None:
+                continue
+            programs += 1
+            pricing = TabularSetPricing(used_items, table)
+            revenue = compute_revenue(pricing, instance).revenue
+            if revenue > best_revenue:
+                best_revenue = revenue
+                best_table = table
+        return TabularSetPricing(used_items, best_table), {
+            "num_programs": programs,
+            "exact_revenue": best_revenue,
+        }
+
+    def _solve_sold_set(
+        self,
+        instance: PricingInstance,
+        sold: Sequence[int],
+        used_items: Sequence[int],
+    ) -> dict[frozenset[int], float] | None:
+        subsets = [frozenset(subset) for subset in _powerset(used_items)]
+        model = LPModel(name="exact-subadditive", sense=Sense.MAXIMIZE)
+        f = {subset: model.add_variable(f"f{sorted(subset)}") for subset in subsets}
+
+        for subset in subsets:
+            for item in used_items:
+                if item not in subset:
+                    model.add_constraint(
+                        LinExpr.of(f[subset]) <= f[subset | {item}]
+                    )
+        for first, second in _disjoint_pairs(subsets):
+            model.add_constraint(
+                LinExpr.of(f[first | second]) <= f[first] + f[second]
+            )
+
+        objective_terms = []
+        for index in sold:
+            bundle = frozenset(instance.edges[index])
+            model.add_constraint(
+                LinExpr.of(f[bundle]) <= float(instance.valuations[index])
+            )
+            objective_terms.append(LinExpr.of(f[bundle]))
+        model.set_objective(LinExpr.sum_of(objective_terms))
+        try:
+            solution = model.solve()
+        except LPError:
+            return None
+        return {subset: max(0.0, solution.value(var)) for subset, var in f.items()}
+
+
+def _powerset(items: Sequence[int]) -> Iterable[tuple[int, ...]]:
+    """All subsets of ``items``, smallest first (includes the empty tuple)."""
+    for size in range(len(items) + 1):
+        yield from combinations(items, size)
+
+
+def _disjoint_pairs(
+    subsets: Sequence[frozenset[int]],
+) -> Iterable[tuple[frozenset[int], frozenset[int]]]:
+    """Unordered pairs of disjoint non-empty subsets."""
+    nonempty = [subset for subset in subsets if subset]
+    for i, first in enumerate(nonempty):
+        for second in nonempty[i:]:
+            if not (first & second):
+                yield first, second
+
+
+def exact_optimal_item_pricing(
+    instance: PricingInstance, max_edges: int = 12
+) -> tuple[ItemPricing, float]:
+    """The revenue-optimal item pricing and its revenue (tiny instances only).
+
+    The enumeration is exact: the true optimum sells some set ``F*`` of
+    buyers, and ``LP(F*)`` maximizes exactly the revenue collected from
+    ``F*`` subject to the same sale constraints the optimum satisfies — so
+    its objective is at least the optimal revenue. Conversely every LP
+    solution is a feasible item pricing, so its realized revenue is at most
+    the optimum. Taking the realized-revenue maximum over all ``F`` closes
+    the sandwich.
+    """
+    result = ExactItemPricing(max_edges=max_edges).run(instance)
+    pricing = result.pricing
+    assert isinstance(pricing, ItemPricing)
+    return pricing, result.revenue
+
+
+def exact_optimal_subadditive_revenue(
+    instance: PricingInstance, max_edges: int = 10, max_items: int = 8
+) -> float:
+    """OPT — the best monotone subadditive revenue (tiny instances only).
+
+    This is the quantity the paper's greedy LP (Section 6.1) upper-bounds;
+    on instances small enough for this oracle the greedy bound can be
+    validated against the exact value.
+    """
+    algorithm = ExactSubadditivePricing(max_edges=max_edges, max_items=max_items)
+    return algorithm.run(instance).revenue
+
+
+def price_table_is_monotone_subadditive(
+    pricing: TabularSetPricing, tolerance: float = PRICE_TOLERANCE
+) -> bool:
+    """Check monotonicity + subadditivity of a tabular pricing exhaustively."""
+    universe = sorted(pricing.universe)
+    subsets = [frozenset(subset) for subset in _powerset(universe)]
+    for subset in subsets:
+        for item in universe:
+            if item not in subset:
+                grown = subset | {item}
+                if pricing.table[subset] > pricing.table[grown] + tolerance:
+                    return False
+    for first, second in _disjoint_pairs(subsets):
+        combined = pricing.table[first | second]
+        if combined > pricing.table[first] + pricing.table[second] + tolerance:
+            return False
+    return True

@@ -1,0 +1,121 @@
+"""The Layering algorithm (Algorithm 1 of the paper).
+
+Repeatedly peel a *minimal* set cover of the remaining items: by minimality,
+every hyperedge in the cover owns an item unique within the cover, so pricing
+each edge's unique item at ``v_e`` (and everything else at 0) extracts the
+full value of the layer. Keep the most valuable layer. Since each peel
+reduces every item's degree by at least one, there are at most ``B`` layers,
+giving a ``B``-approximation in ``O(Bm)`` time.
+
+The minimal cover is built greedily (largest uncovered gain first) and then
+pruned: an edge is dropped if the remaining edges still cover the layer
+universe, which restores minimality and hence the unique-item property.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing, PricingFunction
+
+
+def minimal_cover(edge_ids: list[int], edges: list[frozenset[int]]) -> list[int]:
+    """A minimal set cover of ``union of edges[edge_ids]`` by those edges.
+
+    Greedy max-gain construction followed by a pruning pass. The result
+    covers the same universe, and no edge can be removed — hence each chosen
+    edge has an item not present in any other chosen edge.
+    """
+    universe: set[int] = set()
+    for edge_id in edge_ids:
+        universe |= edges[edge_id]
+    if not universe:
+        return []
+
+    uncovered = set(universe)
+    chosen: list[int] = []
+    candidates = sorted(edge_ids, key=lambda edge_id: len(edges[edge_id]), reverse=True)
+    for edge_id in candidates:
+        if not uncovered:
+            break
+        gain = uncovered & edges[edge_id]
+        if gain:
+            chosen.append(edge_id)
+            uncovered -= gain
+    # Greedy by static size is not max-residual-gain greedy; make sure we
+    # actually covered everything (we always do: any uncovered item belongs
+    # to some candidate edge, which would have been chosen).
+    if uncovered:  # pragma: no cover - defensive
+        for edge_id in candidates:
+            if uncovered & edges[edge_id]:
+                chosen.append(edge_id)
+                uncovered -= edges[edge_id]
+            if not uncovered:
+                break
+
+    # Prune to minimality: drop edges whose items are all covered elsewhere.
+    coverage = Counter()
+    for edge_id in chosen:
+        coverage.update(edges[edge_id])
+    pruned: list[int] = []
+    for edge_id in sorted(chosen, key=lambda eid: len(edges[eid])):
+        if all(coverage[item] > 1 for item in edges[edge_id]):
+            for item in edges[edge_id]:
+                coverage[item] -= 1
+        else:
+            pruned.append(edge_id)
+    return pruned
+
+
+def unique_items(cover: list[int], edges: list[frozenset[int]]) -> dict[int, int]:
+    """Map each cover edge to one item unique to it within the cover."""
+    coverage = Counter()
+    for edge_id in cover:
+        coverage.update(edges[edge_id])
+    assignment: dict[int, int] = {}
+    for edge_id in cover:
+        for item in edges[edge_id]:
+            if coverage[item] == 1:
+                assignment[edge_id] = item
+                break
+    return assignment
+
+
+class Layering(PricingAlgorithm):
+    """Fast B-approximation via layered minimal set covers."""
+
+    name = "layering"
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        edges = instance.edges
+        valuations = instance.valuations
+        remaining = [index for index in range(instance.num_edges) if edges[index]]
+
+        best_layer: list[int] = []
+        best_value = 0.0
+        num_layers = 0
+
+        while remaining:
+            cover = minimal_cover(remaining, edges)
+            num_layers += 1
+            layer_value = float(valuations[cover].sum()) if cover else 0.0
+            if layer_value > best_value:
+                best_value = layer_value
+                best_layer = cover
+            covered = set(cover)
+            remaining = [index for index in remaining if index not in covered]
+
+        weights = np.zeros(instance.num_items)
+        assignment = unique_items(best_layer, edges)
+        for edge_id, item in assignment.items():
+            weights[item] = float(valuations[edge_id])
+
+        return ItemPricing(weights), {
+            "num_layers": num_layers,
+            "best_layer_size": len(best_layer),
+            "best_layer_value": best_value,
+        }

@@ -1,0 +1,169 @@
+"""Coordinate-ascent local search over item prices.
+
+The paper observes (Section 6.3) that a single LP "refinement" pass can lift
+UBP's revenue from 0.78 to 0.99 of the bound on one instance — i.e. cheap
+post-processing of a simple pricing recovers most of the revenue that the
+expensive LP algorithms extract. This module pushes that idea to its natural
+fixed point: start from any item pricing and repeatedly improve one item
+weight at a time, each step solved *exactly*.
+
+Revenue as a function of a single weight ``w_j`` (all others fixed) is
+piecewise linear with one breakpoint per incident edge: edge ``e`` with
+residual price ``r_e = p(e) - w_j`` sells iff ``w_j <= v_e - r_e``. The
+one-dimensional optimum therefore lies at one of the thresholds
+``t_e = v_e - r_e`` (sell edge ``e`` at exactly its valuation) or at 0, and
+scanning thresholds in descending order evaluates all of them in
+``O(d log d)`` for an item of degree ``d``. Each step never decreases
+revenue, so the search is an anytime algorithm: stop it whenever, the
+current pricing is valid and at least as good as the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.algorithms.uip import best_uniform_item_price
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing, PricingFunction
+from repro.core.revenue import PRICE_TOLERANCE
+from repro.exceptions import PricingError
+
+#: Seeds accepted by name. "uip" starts from the optimal uniform item price;
+#: "zero" starts from the all-zero pricing (sell everything at 0).
+_NAMED_SEEDS = ("uip", "zero")
+
+
+class CoordinateAscent(PricingAlgorithm):
+    """Exact per-item line search, swept over items until a fixed point.
+
+    Parameters
+    ----------
+    seed:
+        Starting point — ``"uip"`` (default), ``"zero"``, an explicit weight
+        vector, or another :class:`PricingAlgorithm` whose output weights are
+        used (it must produce an :class:`ItemPricing`).
+    max_passes:
+        Upper bound on full sweeps over the items.
+    min_gain:
+        Relative revenue improvement below which a pass counts as converged.
+    """
+
+    name = "ascent"
+
+    def __init__(
+        self,
+        seed: str | np.ndarray | PricingAlgorithm = "uip",
+        max_passes: int = 8,
+        min_gain: float = 1e-6,
+    ):
+        if isinstance(seed, str) and seed not in _NAMED_SEEDS:
+            raise PricingError(
+                f"unknown seed {seed!r}; named seeds are {_NAMED_SEEDS}"
+            )
+        if max_passes < 1:
+            raise PricingError("max_passes must be at least 1")
+        self.seed = seed
+        self.max_passes = max_passes
+        self.min_gain = min_gain
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        weights, seed_name = self._seed_weights(instance)
+        state = _AscentState(instance, weights)
+        seed_revenue = state.revenue()
+
+        passes = 0
+        for _ in range(self.max_passes):
+            passes += 1
+            before = state.revenue()
+            for item in state.items_by_degree():
+                state.optimize_item(item)
+            after = state.revenue()
+            if after <= before * (1.0 + self.min_gain):
+                break
+
+        return ItemPricing(state.weights), {
+            "seed": seed_name,
+            "seed_revenue": seed_revenue,
+            "passes": passes,
+            "final_revenue": state.revenue(),
+        }
+
+    def _seed_weights(self, instance: PricingInstance) -> tuple[np.ndarray, str]:
+        if isinstance(self.seed, np.ndarray):
+            if self.seed.shape != (instance.num_items,):
+                raise PricingError(
+                    f"seed weights have shape {self.seed.shape}, "
+                    f"expected ({instance.num_items},)"
+                )
+            return self.seed.astype(np.float64).copy(), "explicit"
+        if isinstance(self.seed, PricingAlgorithm):
+            pricing = self.seed.run(instance).pricing
+            if not isinstance(pricing, ItemPricing):
+                raise PricingError(
+                    f"seed algorithm {self.seed.name!r} produced a "
+                    f"{pricing.family} pricing, not an item pricing"
+                )
+            return pricing.weights.copy(), self.seed.name
+        if self.seed == "zero":
+            return np.zeros(instance.num_items), "zero"
+        weight, _ = best_uniform_item_price(instance)
+        return np.full(instance.num_items, weight), "uip"
+
+
+class _AscentState:
+    """Mutable weights plus incrementally maintained edge prices."""
+
+    def __init__(self, instance: PricingInstance, weights: np.ndarray):
+        self.instance = instance
+        self.weights = weights
+        self.prices = np.array(
+            [sum(weights[item] for item in edge) for edge in instance.edges]
+        )
+
+    def revenue(self) -> float:
+        valuations = self.instance.valuations
+        sold = self.prices <= valuations * (1.0 + PRICE_TOLERANCE) + PRICE_TOLERANCE
+        return float(self.prices[sold].sum())
+
+    def items_by_degree(self) -> list[int]:
+        """Items in descending degree order — high-impact weights first."""
+        degrees = self.instance.hypergraph.degrees
+        order = np.argsort(degrees, kind="stable")[::-1]
+        return [int(item) for item in order if degrees[item] > 0]
+
+    def optimize_item(self, item: int) -> None:
+        """Set ``weights[item]`` to the exact one-dimensional optimum."""
+        incident = self.instance.hypergraph.incidence[item]
+        if not incident:
+            return
+        valuations = self.instance.valuations
+        current = self.weights[item]
+
+        residuals = np.array([self.prices[e] for e in incident]) - current
+        thresholds = np.array([valuations[e] for e in incident]) - residuals
+        # Candidate weights: every attainable "sell edge e exactly at v_e"
+        # point, plus 0 (sell every incident edge whose residual allows it).
+        candidates = np.unique(np.clip(thresholds, 0.0, None))
+
+        best_weight = current
+        best_gain = self._incident_revenue(residuals, thresholds, current)
+        for candidate in candidates:
+            gain = self._incident_revenue(residuals, thresholds, candidate)
+            if gain > best_gain * (1.0 + 1e-12):
+                best_gain = gain
+                best_weight = candidate
+
+        if best_weight != current:
+            delta = best_weight - current
+            self.weights[item] = best_weight
+            for e in incident:
+                self.prices[e] += delta
+
+    @staticmethod
+    def _incident_revenue(
+        residuals: np.ndarray, thresholds: np.ndarray, weight: float
+    ) -> float:
+        """Revenue collected from the incident edges at a candidate weight."""
+        sold = weight <= thresholds * (1.0 + PRICE_TOLERANCE) + PRICE_TOLERANCE
+        return float((residuals[sold] + weight).sum())

@@ -1,0 +1,81 @@
+"""Registry mapping algorithm names to factories.
+
+The experiment harness and CLI refer to algorithms by name; new algorithms
+can be registered by downstream code via :func:`register_algorithm`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.algorithms.cip import CIP
+from repro.core.algorithms.exact import ExactItemPricing, ExactSubadditivePricing
+from repro.core.algorithms.layering import Layering
+from repro.core.algorithms.local_search import CoordinateAscent
+from repro.core.algorithms.lpip import LPIP
+from repro.core.algorithms.powers import GeometricGridItemPricing
+from repro.core.algorithms.ubp import UBP, UBPRefine
+from repro.core.algorithms.uip import UIP
+from repro.core.algorithms.xos import XOSCombiner
+from repro.exceptions import PricingError
+
+_REGISTRY: dict[str, Callable[..., PricingAlgorithm]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[..., PricingAlgorithm]) -> None:
+    """Register ``factory`` under ``name`` (lowercase)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise PricingError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_algorithm(name: str, **params) -> PricingAlgorithm:
+    """Instantiate a registered algorithm by name with optional parameters."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PricingError(f"unknown algorithm {name!r} (known: {known})") from None
+    return factory(**params)
+
+
+def available_algorithms() -> list[str]:
+    """Sorted names of every registered algorithm."""
+    return sorted(_REGISTRY)
+
+
+def default_algorithm_suite(
+    lpip_max_programs: int | None = None,
+    cip_epsilon: float = 0.5,
+) -> list[PricingAlgorithm]:
+    """The six algorithms evaluated in the paper's figures, in plot order.
+
+    The XOS combiner shares the LPIP/CIP *objects*, so running the whole
+    suite on one instance solves each component's LPs exactly once (the
+    base-class one-slot memo serves the combiner's re-run).
+    """
+    lpip = LPIP(max_programs=lpip_max_programs)
+    cip = CIP(epsilon=cip_epsilon)
+    return [
+        lpip,
+        UBP(),
+        cip,
+        UIP(),
+        Layering(),
+        XOSCombiner([lpip, cip]),
+    ]
+
+
+register_algorithm("ubp", UBP)
+register_algorithm("ubp+lp", UBPRefine)
+register_algorithm("uip", UIP)
+register_algorithm("lpip", LPIP)
+register_algorithm("cip", CIP)
+register_algorithm("layering", Layering)
+register_algorithm("xos", XOSCombiner)
+register_algorithm("grid-uip", GeometricGridItemPricing)
+register_algorithm("ascent", CoordinateAscent)
+register_algorithm("exact-item", ExactItemPricing)
+register_algorithm("exact-subadditive", ExactSubadditivePricing)

@@ -1,0 +1,100 @@
+"""Uniform bundle pricing (UBP) and its LP refinement.
+
+UBP is the folklore ``O(log m)``-approximation (Lemma 1): the optimal uniform
+price is one of the valuations, so sort the valuations descending and sweep.
+``UBPRefine`` implements the post-processing observation from Section 6.3:
+take the buyers sold by the best uniform price and solve an LP for the
+revenue-maximizing *item* pricing that still sells all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing, PricingFunction, UniformBundlePricing
+from repro.exceptions import LPError
+from repro.lp import LinExpr, LPModel, Sense
+
+
+def best_uniform_bundle_price(valuations: np.ndarray) -> tuple[float, float]:
+    """Return ``(price, revenue)`` of the optimal uniform bundle price.
+
+    With valuations sorted descending, setting the price to the ``i``-th
+    largest valuation sells exactly the top ``i`` buyers (ties included,
+    which only helps), for revenue ``(i + 1) * v_(i)``.
+    """
+    if len(valuations) == 0:
+        return 0.0, 0.0
+    ordered = np.sort(valuations)[::-1]
+    counts = np.arange(1, len(ordered) + 1)
+    revenues = ordered * counts
+    best = int(np.argmax(revenues))
+    return float(ordered[best]), float(revenues[best])
+
+
+class UBP(PricingAlgorithm):
+    """Optimal uniform bundle price via the sort-and-sweep algorithm."""
+
+    name = "ubp"
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        price, sweep_revenue = best_uniform_bundle_price(instance.valuations)
+        return UniformBundlePricing(price), {"sweep_revenue": sweep_revenue}
+
+
+class UBPRefine(PricingAlgorithm):
+    """UBP followed by the LP item-pricing refinement (Section 6.3).
+
+    Let ``E*`` be the buyers sold by the optimal uniform bundle price. Solve::
+
+        maximize   sum_{e in E*} sum_{j in e} w_j
+        subject to sum_{j in e} w_j <= v_e   for every e in E*,  w >= 0
+
+    Every constraint is satisfiable (w = 0), the refined pricing still sells
+    all of ``E*``, and it may additionally extract more from each of them and
+    sell further cheap edges. The paper reports this step lifting TPC-H
+    revenue from 0.78 to 0.99 normalized.
+    """
+
+    name = "ubp+lp"
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        price, _ = best_uniform_bundle_price(instance.valuations)
+        sold = [
+            index
+            for index in range(instance.num_edges)
+            if instance.valuations[index] >= price and instance.edges[index]
+        ]
+        if not sold:
+            return UniformBundlePricing(price), {"refined": False}
+
+        items = sorted({item for index in sold for item in instance.edges[index]})
+        model = LPModel(name="ubp-refine", sense=Sense.MAXIMIZE)
+        weight_vars = {item: model.add_variable(f"w{item}") for item in items}
+        objective_terms = []
+        for index in sold:
+            bundle_price = LinExpr.sum_of(
+                [weight_vars[item] for item in instance.edges[index]]
+            )
+            model.add_constraint(
+                bundle_price <= float(instance.valuations[index])
+            )
+            objective_terms.append(bundle_price)
+        model.set_objective(LinExpr.sum_of(objective_terms))
+        try:
+            solution = model.solve()
+        except LPError:
+            # Solver trouble costs us the refinement, not the pricing: fall
+            # back to the uniform bundle price the LP was refining.
+            return UniformBundlePricing(price), {"refined": False}
+
+        weights = np.zeros(instance.num_items)
+        for item, variable in weight_vars.items():
+            weights[item] = max(0.0, solution.value(variable))
+        return ItemPricing(weights), {
+            "refined": True,
+            "uniform_price": price,
+            "lp_objective": solution.objective,
+        }

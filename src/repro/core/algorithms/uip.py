@@ -1,0 +1,48 @@
+"""Uniform item pricing (UIP) — Guruswami et al. [2005].
+
+Every item gets the same weight ``w``, so edge ``e`` costs ``w * |e|``. The
+optimal uniform weight is one of the candidates ``q_e = v_e / |e|``: sort
+edges by ``q_e`` descending; at ``w = q_(i)`` exactly the first ``i`` edges
+are sold (ties included), so revenue is ``q_(i) * sum_{j<=i} |e_j|`` — a
+prefix sum. ``O(m log m)`` total, ``O(log n + log m)``-approximate.
+
+Empty edges always sell at price 0 under any item pricing and contribute no
+revenue, so they are ignored when choosing ``w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing, PricingFunction
+
+
+def best_uniform_item_price(instance: PricingInstance) -> tuple[float, float]:
+    """Return ``(weight, revenue)`` of the best uniform item price."""
+    sizes = instance.hypergraph.edge_sizes().astype(np.float64)
+    valuations = instance.valuations
+    nonempty = sizes > 0
+    if not np.any(nonempty):
+        return 0.0, 0.0
+    sizes = sizes[nonempty]
+    quality = valuations[nonempty] / sizes
+
+    order = np.argsort(quality)[::-1]
+    sorted_quality = quality[order]
+    size_prefix = np.cumsum(sizes[order])
+    revenues = sorted_quality * size_prefix
+    best = int(np.argmax(revenues))
+    return float(sorted_quality[best]), float(revenues[best])
+
+
+class UIP(PricingAlgorithm):
+    """Optimal uniform item pricing via the prefix-sum sweep."""
+
+    name = "uip"
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        weight, sweep_revenue = best_uniform_item_price(instance)
+        pricing = ItemPricing.uniform(instance.num_items, weight)
+        return pricing, {"uniform_weight": weight, "sweep_revenue": sweep_revenue}

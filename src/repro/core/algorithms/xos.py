@@ -1,0 +1,44 @@
+"""XOS pricing obtained by combining item-pricing vectors (Section 5.2).
+
+The paper's XOS algorithm runs LPIP and CIP and prices each bundle at the
+*maximum* of the two additive prices. The max of monotone additive functions
+is monotone and fractionally subadditive (XOS), hence arbitrage-free. The
+combiner is generic: any set of component algorithms producing
+:class:`~repro.core.pricing.ItemPricing` vectors can be combined.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.algorithms.cip import CIP
+from repro.core.algorithms.lpip import LPIP
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing, PricingFunction, XOSPricing
+from repro.exceptions import PricingError
+
+
+class XOSCombiner(PricingAlgorithm):
+    """XOS pricing: max over the item-price vectors of component algorithms."""
+
+    name = "xos"
+
+    def __init__(self, components: list[PricingAlgorithm] | None = None):
+        """Default components are LPIP and CIP, as in the paper
+        ("XOS-LPIP+CIP" in the figures)."""
+        self.components = components if components is not None else [LPIP(), CIP()]
+        if not self.components:
+            raise PricingError("XOS combiner needs at least one component")
+
+    def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
+        vectors: list[ItemPricing] = []
+        component_revenues: dict[str, float] = {}
+        for algorithm in self.components:
+            result = algorithm.run(instance)
+            if not isinstance(result.pricing, ItemPricing):
+                raise PricingError(
+                    f"XOS component {algorithm.name!r} did not return an item pricing"
+                )
+            vectors.append(result.pricing)
+            component_revenues[algorithm.name] = result.revenue
+        pricing = XOSPricing(vectors)
+        return pricing, {"component_revenues": component_revenues}

@@ -1,0 +1,159 @@
+"""Structural analysis of pricing instances.
+
+Tools for understanding *why* an algorithm behaves the way it does on an
+instance — used by EXPERIMENTS.md to explain where our reproduction matches
+the paper and where (and why) it deviates:
+
+- :func:`containment_stats` — how nested the hypergraph is: edges whose item
+  set contains other edges ("umbrella" edges) are exactly what caps
+  forced-frontier pricings like LPIP.
+- :func:`frontier_cap` — for a valuation threshold, the provable upper bound
+  on any item pricing that must sell the entire frontier: selling an umbrella
+  edge ``u`` at price <= v_u caps the *summed* price of all its sub-edges at
+  ``v_u`` (additivity), so nested structure + structure-independent
+  valuations squeeze the frontier's extractable value.
+- :func:`lpip_structural_bound` — the best frontier value over all
+  thresholds after applying the umbrella caps; if this is far below the sum
+  of valuations, no threshold-LP pricing can approach it, whatever the LP
+  does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+
+
+@dataclass(frozen=True)
+class ContainmentStats:
+    """Nesting structure of a hypergraph."""
+
+    num_edges: int
+    num_subset_pairs: int
+    num_umbrella_edges: int
+    max_children: int
+
+    @property
+    def nesting_ratio(self) -> float:
+        """Subset pairs per edge — 0 for laminar-free instances."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.num_subset_pairs / self.num_edges
+
+
+def subset_relation(hypergraph: Hypergraph) -> dict[int, list[int]]:
+    """Map each edge to the indices of its strict sub-edges.
+
+    Empty edges are trivially subsets of everything and are excluded (they
+    carry no extractable value for item pricings).
+
+    The incidence index makes this near-linear for sparse hypergraphs: a
+    candidate superset must contain *some* item of the subset, so only edges
+    sharing the subset's rarest item are examined.
+    """
+    edges = hypergraph.edges
+    incidence = hypergraph.incidence
+    degrees = hypergraph.degrees
+    children: dict[int, list[int]] = {}
+    for small_index, small in enumerate(edges):
+        if not small:
+            continue
+        rarest = min(small, key=lambda item: degrees[item])
+        for big_index in incidence[rarest]:
+            if big_index == small_index:
+                continue
+            big = edges[big_index]
+            if len(big) > len(small) and small < big:
+                children.setdefault(big_index, []).append(small_index)
+    return children
+
+
+def containment_stats(hypergraph: Hypergraph) -> ContainmentStats:
+    """Summary of the hypergraph's nesting structure."""
+    children = subset_relation(hypergraph)
+    num_pairs = sum(len(subs) for subs in children.values())
+    max_children = max((len(subs) for subs in children.values()), default=0)
+    return ContainmentStats(
+        num_edges=hypergraph.num_edges,
+        num_subset_pairs=num_pairs,
+        num_umbrella_edges=len(children),
+        max_children=max_children,
+    )
+
+
+def frontier_cap(
+    instance: PricingInstance,
+    threshold: float,
+    children: dict[int, list[int]] | None = None,
+) -> float:
+    """Upper bound on Σ prices of any additive pricing selling the whole
+    frontier ``F = {e : v_e >= threshold}``.
+
+    For an umbrella edge ``u`` in the frontier whose frontier sub-edges have
+    maximum per-item multiplicity ``m`` (each item of ``u`` lies in at most
+    ``m`` of them), additivity gives
+
+        sum_{e subset of u} price(e) <= m * price(u) <= m * v_u,
+
+    since summing the sub-edge prices counts every item weight at most ``m``
+    times and ``price(u) <= v_u`` because ``u`` must be sold. We charge each
+    capped sub-edge at most its proportional share of ``m * v_u`` and every
+    uncapped edge its own valuation — a *valid upper bound* on the frontier
+    revenue of any pricing forced to sell all of ``F`` (LPIP's LP at this
+    threshold).
+    """
+    if children is None:
+        children = subset_relation(instance.hypergraph)
+    valuations = instance.valuations
+    edges = instance.edges
+    frontier = {
+        index
+        for index in range(instance.num_edges)
+        if valuations[index] >= threshold and edges[index]
+    }
+    if not frontier:
+        return 0.0
+
+    # Start optimistic: every frontier edge sells at its full valuation.
+    capped_value = {index: float(valuations[index]) for index in frontier}
+    for umbrella, subs in children.items():
+        if umbrella not in frontier:
+            continue
+        frontier_subs = [s for s in subs if s in frontier]
+        if not frontier_subs:
+            continue
+        multiplicity: dict[int, int] = {}
+        for s in frontier_subs:
+            for item in edges[s]:
+                multiplicity[item] = multiplicity.get(item, 0) + 1
+        m = max(multiplicity.values())
+        limit = m * float(valuations[umbrella])
+        current = sum(capped_value[s] for s in frontier_subs)
+        if current > limit:
+            scale = limit / current
+            for s in frontier_subs:
+                capped_value[s] *= scale
+    return float(sum(capped_value.values()))
+
+
+def lpip_structural_bound(instance: PricingInstance, max_thresholds: int = 64) -> float:
+    """Best frontier value over thresholds, after umbrella caps.
+
+    An upper bound on what any forced-frontier item pricing (LPIP) can earn
+    *from its frontier*. Realized revenue can additionally pick up cheap
+    edges outside the frontier, so this is diagnostic rather than absolute —
+    but when it sits far below ``sum v``, the umbrella structure (not the LP
+    or the threshold sampling) is what limits LPIP.
+    """
+    children = subset_relation(instance.hypergraph)
+    thresholds = np.unique(instance.valuations)[::-1]
+    if len(thresholds) > max_thresholds:
+        positions = np.linspace(0, len(thresholds) - 1, max_thresholds)
+        thresholds = thresholds[np.round(positions).astype(int)]
+    best = 0.0
+    for threshold in thresholds:
+        best = max(best, frontier_cap(instance, float(threshold), children))
+    return best

@@ -1,0 +1,143 @@
+"""Revenue upper bounds used to normalize experimental results.
+
+Two reference bounds, matching Section 6.1 of the paper:
+
+1. :func:`sum_of_valuations` — the coarse bound ``sum_e v_e`` (welfare).
+2. :func:`subadditive_upper_bound` — the paper's LP bound "on the optimal
+   subadditive valuation": maximize ``sum_e p_e`` subject to ``p_e <= v_e``
+   and *arbitrage (cover) constraints* ``p_e <= sum_{e' in X} p_{e'}`` for
+   greedily generated covers ``X`` of ``e`` by other hyperedges. Since the
+   number of exact subadditivity constraints is exponential, the paper (and
+   we) greedily add one cheap cover per edge.
+
+Caveat (faithful to the paper, worth knowing): the LP is an upper bound on
+the revenue of any arbitrage-free pricing that *sells every edge*. The true
+optimum may decline to sell the cheap edges of a cover and charge the covered
+edge more — e.g. edges ``{0}, {1}`` at value 1 and ``{0,1}`` at value 100:
+the LP caps revenue at 4 while the item pricing ``w = (50, 50)`` legitimately
+earns 100. On the paper's valuation distributions the reference is almost
+always the top line, exactly as plotted there, but it is a *normalization
+reference*, not a certified bound (the certified one is sum-of-valuations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypergraph import PricingInstance
+from repro.lp import LinExpr, LPModel, Sense
+
+
+def sum_of_valuations(instance: PricingInstance) -> float:
+    """The welfare bound ``sum_e v_e``."""
+    return instance.total_valuation()
+
+
+def greedy_cover(
+    target: frozenset[int],
+    candidates: list[tuple[int, frozenset[int], float]],
+) -> list[int] | None:
+    """Greedy weighted set cover of ``target`` by candidate edges.
+
+    ``candidates`` are ``(edge_index, items, weight)`` triples; the greedy
+    rule picks the candidate minimizing ``weight / |covered ∩ uncovered|``.
+    Returns the list of chosen edge indices, or ``None`` when the candidates
+    cannot cover the target.
+    """
+    uncovered = set(target)
+    chosen: list[int] = []
+    available = list(candidates)
+    while uncovered:
+        best_index = -1
+        best_ratio = np.inf
+        best_gain: set[int] = set()
+        for position, (_, items, weight) in enumerate(available):
+            gain = uncovered & items
+            if not gain:
+                continue
+            ratio = weight / len(gain)
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best_index = position
+                best_gain = gain
+        if best_index < 0:
+            return None
+        edge_index, _, _ = available.pop(best_index)
+        chosen.append(edge_index)
+        uncovered -= best_gain
+    return chosen
+
+
+def subadditive_upper_bound(
+    instance: PricingInstance,
+    max_cover_size: int = 32,
+    max_candidates: int = 96,
+) -> float:
+    """The paper's LP upper bound on optimal subadditive revenue.
+
+    For every edge, we try to cover it with *other* edges using greedy
+    weighted set cover (weights = valuations, so expensive covers are
+    avoided); each successful cover adds the constraint
+    ``p_e <= sum_{e' in cover} p_{e'}``.
+
+    Covers longer than ``max_cover_size`` are discarded — they produce very
+    weak constraints while bloating the LP. ``max_candidates`` caps the
+    candidate pool per edge (cheapest per-item candidates first); both caps
+    only *drop* constraints, which makes the reference larger, never invalid.
+
+    Returns ``sum_e v_e`` unchanged when no useful cover exists (then the LP
+    optimum is attained at ``p_e = v_e``).
+    """
+    m = instance.num_edges
+    if m == 0:
+        return 0.0
+    edges = instance.edges
+    valuations = instance.valuations
+    incidence = instance.hypergraph.incidence
+
+    model = LPModel(name="subadditive-bound", sense=Sense.MAXIMIZE)
+    prices = model.add_variables(m, prefix="p")
+    model.set_objective(LinExpr.sum_of(prices))
+    for index in range(m):
+        model.add_constraint(prices[index] <= float(valuations[index]))
+
+    added_any = False
+    for index in range(m):
+        target = edges[index]
+        if not target:
+            # Empty bundles are covered by the empty set: a monotone pricing
+            # with f(emptyset)=0 cannot extract revenue from them. (A flat
+            # fee could, but the LP bound follows the paper's normalization.)
+            model.add_constraint(prices[index] <= 0.0)
+            added_any = True
+            continue
+        # Only edges sharing an item with the target can participate in a
+        # cover; among those, prefer the cheapest value-per-item candidates.
+        overlapping = {
+            other
+            for item in target
+            for other in incidence[item]
+            if other != index
+        }
+        pool = sorted(
+            overlapping,
+            key=lambda other: valuations[other] / max(len(edges[other]), 1),
+        )[:max_candidates]
+        candidates = [
+            (other, edges[other], float(valuations[other])) for other in pool
+        ]
+        cover = greedy_cover(target, candidates)
+        if cover is None or len(cover) > max_cover_size:
+            continue
+        cover_value = float(valuations[list(cover)].sum())
+        if cover_value >= valuations[index]:
+            # Constraint can never bind below v_e; skip it.
+            continue
+        total = LinExpr.sum_of([prices[other] for other in cover])
+        model.add_constraint(prices[index] <= total)
+        added_any = True
+
+    if not added_any:
+        return float(valuations.sum())
+    solution = model.solve()
+    return min(float(solution.objective), float(valuations.sum()))

@@ -1,0 +1,214 @@
+"""Hypergraphs over the support set and priced instances.
+
+Following Section 3.3 of the paper: the support set ``S`` is the vertex set
+(items are integers ``0..n-1``), each buyer's query maps to the hyperedge
+``CS(Q, D)`` (its conflict set), and a *pricing instance* attaches one
+valuation per hyperedge. Key structural parameters used throughout:
+
+- ``n`` — number of items (support size),
+- ``m`` — number of hyperedges (buyers/queries),
+- ``k`` — size of the largest hyperedge,
+- ``B`` — maximum number of hyperedges any item belongs to (max degree).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PricingError
+
+
+class Hypergraph:
+    """An immutable hypergraph with integer items ``0..num_items-1``.
+
+    Edges are stored as frozensets; per-item incidence lists are built lazily
+    and cached (the Layering algorithm and CIP use them heavily).
+    """
+
+    __slots__ = ("num_items", "edges", "labels", "_degrees", "_incidence")
+
+    def __init__(
+        self,
+        num_items: int,
+        edges: Iterable[Iterable[int]],
+        labels: Sequence[str] | None = None,
+    ):
+        if num_items < 0:
+            raise PricingError("num_items must be non-negative")
+        self.num_items = num_items
+        self.edges: list[frozenset[int]] = []
+        for edge in edges:
+            edge_set = frozenset(edge)
+            for item in edge_set:
+                if not 0 <= item < num_items:
+                    raise PricingError(
+                        f"item {item} out of range [0, {num_items}) in edge "
+                        f"{len(self.edges)}"
+                    )
+            self.edges.append(edge_set)
+        if labels is not None and len(labels) != len(self.edges):
+            raise PricingError(
+                f"{len(labels)} labels for {len(self.edges)} edges"
+            )
+        self.labels = list(labels) if labels is not None else None
+        self._degrees: np.ndarray | None = None
+        self._incidence: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Structural parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """m — the number of hyperedges."""
+        return len(self.edges)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Array of item degrees (number of edges containing each item)."""
+        if self._degrees is None:
+            degrees = np.zeros(self.num_items, dtype=np.int64)
+            for edge in self.edges:
+                for item in edge:
+                    degrees[item] += 1
+            self._degrees = degrees
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """B — the maximum item degree (0 for an empty hypergraph)."""
+        if self.num_items == 0 or self.num_edges == 0:
+            return 0
+        return int(self.degrees.max())
+
+    @property
+    def max_edge_size(self) -> int:
+        """k — the size of the largest hyperedge."""
+        return max((len(edge) for edge in self.edges), default=0)
+
+    @property
+    def avg_edge_size(self) -> float:
+        """Mean hyperedge size (0 for no edges)."""
+        if not self.edges:
+            return 0.0
+        return sum(len(edge) for edge in self.edges) / len(self.edges)
+
+    @property
+    def incidence(self) -> list[list[int]]:
+        """For each item, the indices of edges containing it."""
+        if self._incidence is None:
+            incidence: list[list[int]] = [[] for _ in range(self.num_items)]
+            for edge_index, edge in enumerate(self.edges):
+                for item in edge:
+                    incidence[item].append(edge_index)
+            self._incidence = incidence
+        return self._incidence
+
+    def edge_sizes(self) -> np.ndarray:
+        """Array of hyperedge sizes in edge order."""
+        return np.array([len(edge) for edge in self.edges], dtype=np.int64)
+
+    def used_items(self) -> list[int]:
+        """Items with degree >= 1, ascending."""
+        return [item for item, degree in enumerate(self.degrees) if degree > 0]
+
+    def edges_with_unique_item(self) -> list[int]:
+        """Indices of edges containing at least one item of degree 1.
+
+        The paper uses this statistic to explain when Layering performs well
+        (Section 6.2/6.3).
+        """
+        degrees = self.degrees
+        return [
+            index
+            for index, edge in enumerate(self.edges)
+            if any(degrees[item] == 1 for item in edge)
+        ]
+
+    def stats(self) -> "HypergraphStats":
+        """Summary row matching Table 3 of the paper."""
+        return HypergraphStats(
+            num_items=self.num_items,
+            num_edges=self.num_edges,
+            max_degree=self.max_degree,
+            max_edge_size=self.max_edge_size,
+            avg_edge_size=self.avg_edge_size,
+            num_empty_edges=sum(1 for edge in self.edges if not edge),
+            num_edges_with_unique_item=len(self.edges_with_unique_item()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hypergraph(n={self.num_items}, m={self.num_edges})"
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Structural summary of a hypergraph (Table 3 columns and more)."""
+
+    num_items: int
+    num_edges: int
+    max_degree: int
+    max_edge_size: int
+    avg_edge_size: float
+    num_empty_edges: int
+    num_edges_with_unique_item: int
+
+
+class PricingInstance:
+    """A hypergraph plus one buyer valuation per hyperedge.
+
+    This is the input to every pricing algorithm. Valuations must be
+    non-negative and finite.
+    """
+
+    __slots__ = ("hypergraph", "valuations", "name", "__weakref__")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        valuations: Sequence[float] | np.ndarray,
+        name: str = "instance",
+    ):
+        valuations = np.asarray(valuations, dtype=np.float64)
+        if valuations.shape != (hypergraph.num_edges,):
+            raise PricingError(
+                f"expected {hypergraph.num_edges} valuations, "
+                f"got shape {valuations.shape}"
+            )
+        if not np.all(np.isfinite(valuations)) or np.any(valuations < 0):
+            raise PricingError("valuations must be finite and non-negative")
+        self.hypergraph = hypergraph
+        self.valuations = valuations
+        self.name = name
+
+    @property
+    def num_items(self) -> int:
+        return self.hypergraph.num_items
+
+    @property
+    def num_edges(self) -> int:
+        return self.hypergraph.num_edges
+
+    @property
+    def edges(self) -> list[frozenset[int]]:
+        return self.hypergraph.edges
+
+    def total_valuation(self) -> float:
+        """Sum of all buyer valuations — the coarse revenue upper bound."""
+        return float(self.valuations.sum())
+
+    def edges_by_valuation(self, descending: bool = True) -> list[int]:
+        """Edge indices sorted by valuation."""
+        order = np.argsort(self.valuations, kind="stable")
+        if descending:
+            order = order[::-1]
+        return [int(index) for index in order]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PricingInstance({self.name!r}, n={self.num_items}, "
+            f"m={self.num_edges})"
+        )

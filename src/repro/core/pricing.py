@@ -1,0 +1,155 @@
+"""Succinct pricing functions (Section 3.4 of the paper).
+
+Three families, all monotone and subadditive (hence arbitrage-free by
+Theorem 1 of [Deep & Koutris 2017]):
+
+- :class:`UniformBundlePricing` — one price for every bundle,
+- :class:`ItemPricing` — additive over per-item weights,
+- :class:`XOSPricing` — max over several additive components
+  (fractionally subadditive).
+
+A pricing function maps bundles (sets of item indices) to non-negative
+prices. The classes are deliberately tiny — algorithms construct them and
+:func:`repro.core.revenue.compute_revenue` evaluates them over an instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import PricingError
+
+Bundle = frozenset[int] | set[int]
+
+
+class PricingFunction:
+    """Base class: a monotone subadditive set function over items."""
+
+    #: Human-readable family name.
+    family = "abstract"
+
+    def price(self, bundle: Bundle) -> float:
+        """Price of a bundle of items."""
+        raise NotImplementedError
+
+    def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
+        """Vector of prices for a list of bundles."""
+        return np.array([self.price(edge) for edge in edges], dtype=np.float64)
+
+    def description(self) -> str:
+        """Short description used in reports."""
+        return self.family
+
+
+class UniformBundlePricing(PricingFunction):
+    """Every bundle costs the same fixed price ``P``.
+
+    This is the "whole dataset at a flat fee" scheme most data markets use.
+    Note it charges ``P`` even for the empty bundle, which is still monotone
+    and subadditive (and models a flat access fee).
+    """
+
+    family = "uniform-bundle"
+
+    def __init__(self, bundle_price: float):
+        if bundle_price < 0 or not np.isfinite(bundle_price):
+            raise PricingError("bundle price must be finite and non-negative")
+        self.bundle_price = float(bundle_price)
+
+    def price(self, bundle: Bundle) -> float:
+        return self.bundle_price
+
+    def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
+        return np.full(len(edges), self.bundle_price)
+
+    def description(self) -> str:
+        return f"uniform-bundle(P={self.bundle_price:g})"
+
+
+class ItemPricing(PricingFunction):
+    """Additive pricing: ``p(e) = sum_{j in e} w_j`` with weights ``w >= 0``."""
+
+    family = "item"
+
+    def __init__(self, weights: Sequence[float] | np.ndarray | dict[int, float],
+                 num_items: int | None = None):
+        if isinstance(weights, dict):
+            if num_items is None:
+                num_items = (max(weights) + 1) if weights else 0
+            dense = np.zeros(num_items, dtype=np.float64)
+            for item, weight in weights.items():
+                dense[item] = weight
+            weights = dense
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise PricingError("item weights must be a vector")
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+            raise PricingError("item weights must be finite and non-negative")
+        self.weights = weights
+
+    @classmethod
+    def uniform(cls, num_items: int, weight: float) -> "ItemPricing":
+        """All items share the same weight (the UIP family)."""
+        return cls(np.full(num_items, float(weight)))
+
+    @property
+    def num_items(self) -> int:
+        return len(self.weights)
+
+    def price(self, bundle: Bundle) -> float:
+        weights = self.weights
+        return float(sum(weights[item] for item in bundle))
+
+    def support_size(self) -> int:
+        """Number of items with strictly positive weight."""
+        return int(np.count_nonzero(self.weights))
+
+    def description(self) -> str:
+        return f"item(nnz={self.support_size()}/{self.num_items})"
+
+
+class XOSPricing(PricingFunction):
+    """Fractionally subadditive pricing: max over additive components.
+
+    ``p(e) = max_i sum_{j in e} w^i_j`` — strictly more expressive than both
+    item pricing (1 component) and uniform bundle pricing (cannot be expressed
+    exactly, but approximated with a constant component on every item).
+    """
+
+    family = "xos"
+
+    def __init__(self, components: Iterable[ItemPricing | Sequence[float] | np.ndarray]):
+        parsed: list[ItemPricing] = []
+        for component in components:
+            if isinstance(component, ItemPricing):
+                parsed.append(component)
+            else:
+                parsed.append(ItemPricing(component))
+        if not parsed:
+            raise PricingError("XOS pricing needs at least one component")
+        sizes = {component.num_items for component in parsed}
+        if len(sizes) != 1:
+            raise PricingError("XOS components must share the item universe")
+        self.components = parsed
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def num_items(self) -> int:
+        return self.components[0].num_items
+
+    def price(self, bundle: Bundle) -> float:
+        return max(component.price(bundle) for component in self.components)
+
+    def description(self) -> str:
+        return f"xos(k={self.num_components})"
+
+
+def zero_pricing(num_items: int) -> ItemPricing:
+    """The all-zero item pricing (sells everything, revenue zero)."""
+    return ItemPricing(np.zeros(num_items))

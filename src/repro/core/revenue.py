@@ -1,0 +1,78 @@
+"""Revenue accounting for a pricing function over a pricing instance.
+
+A single-minded buyer with valuation ``v_e`` purchases iff ``p(e) <= v_e``
+(we allow a tiny relative tolerance so LP round-off does not flip sales).
+Revenue is the sum of prices of sold edges — the unlimited-supply objective
+``R(p)`` of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import PricingFunction
+
+#: Relative tolerance when comparing price to valuation. LP-based algorithms
+#: (LPIP, CIP) produce prices that should exactly equal a valuation but differ
+#: by solver round-off; the paper's CVXPY implementation has the same issue.
+PRICE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class RevenueReport:
+    """Outcome of offering a pricing function to the instance's buyers."""
+
+    revenue: float
+    num_sold: int
+    num_edges: int
+    prices: np.ndarray
+    sold: np.ndarray  # boolean mask over edges
+
+    @property
+    def sell_through(self) -> float:
+        """Fraction of buyers who purchased."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.num_sold / self.num_edges
+
+    def normalized(self, reference: float) -> float:
+        """Revenue normalized by a reference bound (e.g. sum of valuations)."""
+        if reference <= 0:
+            return 0.0
+        return self.revenue / reference
+
+
+def compute_revenue(
+    pricing: PricingFunction,
+    instance: PricingInstance,
+    tolerance: float = PRICE_TOLERANCE,
+) -> RevenueReport:
+    """Evaluate ``pricing`` against every buyer of ``instance``."""
+    prices = pricing.price_edges(instance.edges)
+    valuations = instance.valuations
+    # p <= v with relative tolerance: p <= v * (1 + tol) + tol.
+    sold = prices <= valuations * (1.0 + tolerance) + tolerance
+    revenue = float(prices[sold].sum())
+    return RevenueReport(
+        revenue=revenue,
+        num_sold=int(sold.sum()),
+        num_edges=instance.num_edges,
+        prices=prices,
+        sold=sold,
+    )
+
+
+def revenue_of_item_weights(
+    weights: np.ndarray,
+    instance: PricingInstance,
+    tolerance: float = PRICE_TOLERANCE,
+) -> float:
+    """Fast path: revenue of an additive pricing given as a weight vector."""
+    prices = np.array(
+        [sum(weights[item] for item in edge) for edge in instance.edges]
+    )
+    sold = prices <= instance.valuations * (1.0 + tolerance) + tolerance
+    return float(prices[sold].sum())

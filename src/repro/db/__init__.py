@@ -1,0 +1,35 @@
+"""In-memory relational database substrate.
+
+The paper runs its query workloads on MySQL; pricing only needs deterministic
+query answers over the seller's database and over each support instance, so
+this package provides a compact pure-Python relational engine:
+
+- :mod:`repro.db.schema` / :mod:`repro.db.relation` / :mod:`repro.db.database`
+  — tables, rows, and databases (with cheap copy-on-write patching used by the
+  support machinery),
+- :mod:`repro.db.expr` — scalar expression language (comparisons, boolean
+  logic, LIKE/BETWEEN/IN, arithmetic) shared by the SQL front-end and plans,
+- :mod:`repro.db.plan` — logical operators (scan, filter, hash join, project,
+  aggregate, distinct, sort, limit) with a straightforward executor,
+- :mod:`repro.db.sql` — a recursive-descent parser for the SELECT fragment
+  used by the paper's four workloads, plus a planner compiling to plans,
+- :mod:`repro.db.result` — canonical, order-insensitive query answers (the
+  objects compared when computing conflict sets).
+"""
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.result import QueryResult
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.db.query import Query, sql_query
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "Query",
+    "QueryResult",
+    "Relation",
+    "TableSchema",
+    "sql_query",
+]

@@ -1,0 +1,65 @@
+"""Aggregate functions for GROUP BY evaluation.
+
+All aggregates skip NULL inputs, except ``COUNT(*)`` which counts rows.
+``AVG`` returns a float; ``SUM`` over an empty (or all-NULL) input is NULL,
+matching SQL semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.db.schema import Value
+from repro.exceptions import QueryError
+
+#: Names of the supported aggregate functions (lowercase).
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def is_aggregate_name(name: str) -> bool:
+    """Whether ``name`` refers to a supported aggregate function."""
+    return name.lower() in AGGREGATE_NAMES
+
+
+def compute_aggregate(
+    name: str,
+    values: Iterable[Value],
+    distinct: bool = False,
+    count_star: bool = False,
+) -> Value:
+    """Evaluate aggregate ``name`` over ``values``.
+
+    Parameters
+    ----------
+    name:
+        One of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+    values:
+        Input values for the group (one per row).
+    distinct:
+        Deduplicate non-NULL inputs first (``COUNT(DISTINCT c)`` etc.).
+    count_star:
+        For ``count``: count every row including NULLs (``COUNT(*)``).
+    """
+    name = name.lower()
+    if name not in AGGREGATE_NAMES:
+        raise QueryError(f"unknown aggregate function {name!r}")
+
+    materialized = list(values)
+    if name == "count" and count_star:
+        return len(materialized)
+
+    non_null = [value for value in materialized if value is not None]
+    if distinct:
+        non_null = list(dict.fromkeys(non_null))
+
+    if name == "count":
+        return len(non_null)
+    if not non_null:
+        return None
+    if name == "sum":
+        return sum(non_null)
+    if name == "avg":
+        return sum(non_null) / len(non_null)
+    if name == "min":
+        return min(non_null)
+    return max(non_null)

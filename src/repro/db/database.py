@@ -1,0 +1,70 @@
+"""Databases: named collections of relations with copy-on-write patching."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.db.relation import Relation
+from repro.exceptions import SchemaError
+
+
+class Database:
+    """A set of relations addressed by (case-insensitive) table name.
+
+    Databases are cheap to patch: :meth:`with_table_replaced` shares all
+    untouched relations with the original, which is what makes support sets of
+    thousands of "neighboring" instances affordable.
+    """
+
+    __slots__ = ("name", "_tables")
+
+    def __init__(self, name: str = "db", tables: Iterable[Relation] = ()):
+        self.name = name
+        self._tables: dict[str, Relation] = {}
+        for relation in tables:
+            self.add_table(relation)
+
+    def add_table(self, relation: Relation) -> None:
+        """Register a relation under its schema name."""
+        key = relation.schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {relation.schema.name!r} already exists")
+        self._tables[key] = relation
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no table {name!r} in database {self.name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return [relation.schema.name for relation in self._tables.values()]
+
+    def tables(self) -> Iterator[Relation]:
+        return iter(self._tables.values())
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(relation) for relation in self._tables.values())
+
+    def with_table_replaced(self, relation: Relation) -> "Database":
+        """New database sharing every table except the replaced one."""
+        key = relation.schema.name.lower()
+        if key not in self._tables:
+            raise SchemaError(
+                f"cannot replace unknown table {relation.schema.name!r} "
+                f"in database {self.name!r}"
+            )
+        clone = Database.__new__(Database)
+        clone.name = self.name
+        clone._tables = dict(self._tables)
+        clone._tables[key] = relation
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        summary = ", ".join(f"{r.schema.name}({len(r)})" for r in self._tables.values())
+        return f"Database({self.name!r}: {summary})"

@@ -1,0 +1,128 @@
+"""Plan pretty-printing (EXPLAIN).
+
+Renders a logical plan as an indented operator tree — used by the CLI's
+``explain`` command, by tests asserting planner rewrites, and handy when
+debugging why a query's conflict set looks wrong.
+"""
+
+from __future__ import annotations
+
+from repro.db.expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    And,
+    Not,
+    Or,
+)
+from repro.db.plan import (
+    Aggregate,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Sort,
+    TableScan,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    """Compact, SQL-ish rendering of an expression tree."""
+    if isinstance(expr, ColumnRef):
+        return expr.display_name()
+    if isinstance(expr, Literal):
+        return repr(expr.value) if isinstance(expr.value, str) else str(expr.value)
+    if isinstance(expr, Comparison):
+        return f"{format_expr(expr.left)} {expr.op} {format_expr(expr.right)}"
+    if isinstance(expr, Arithmetic):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, Between):
+        return (
+            f"{format_expr(expr.operand)} BETWEEN "
+            f"{format_expr(expr.low)} AND {format_expr(expr.high)}"
+        )
+    if isinstance(expr, Like):
+        negate = " NOT" if expr.negated else ""
+        return f"{format_expr(expr.operand)}{negate} LIKE {expr.pattern!r}"
+    if isinstance(expr, InList):
+        negate = " NOT" if expr.negated else ""
+        values = ", ".join(repr(v) for v in expr.values)
+        return f"{format_expr(expr.operand)}{negate} IN ({values})"
+    if isinstance(expr, IsNull):
+        negate = " NOT" if expr.negated else ""
+        return f"{format_expr(expr.operand)} IS{negate} NULL"
+    if isinstance(expr, And):
+        return f"({format_expr(expr.left)} AND {format_expr(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({format_expr(expr.left)} OR {format_expr(expr.right)})"
+    if isinstance(expr, Not):
+        return f"NOT {format_expr(expr.operand)}"
+    return repr(expr)  # pragma: no cover - future node types
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Indented operator-tree rendering of a plan."""
+    pad = "  " * indent
+    if isinstance(plan, TableScan):
+        alias = f" AS {plan.alias}" if plan.alias else ""
+        return f"{pad}Scan {plan.table}{alias}"
+    if isinstance(plan, Filter):
+        return (
+            f"{pad}Filter [{format_expr(plan.predicate)}]\n"
+            + explain(plan.child, indent + 1)
+        )
+    if isinstance(plan, Project):
+        items = ", ".join(
+            f"{format_expr(item.expr)} AS {item.name}" for item in plan.items
+        )
+        return f"{pad}Project [{items}]\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, HashJoin):
+        keys = ", ".join(
+            f"{format_expr(l)} = {format_expr(r)}"
+            for l, r in zip(plan.left_keys, plan.right_keys)
+        )
+        return (
+            f"{pad}HashJoin [{keys}]\n"
+            + explain(plan.left, indent + 1)
+            + "\n"
+            + explain(plan.right, indent + 1)
+        )
+    if isinstance(plan, CrossJoin):
+        return (
+            f"{pad}CrossJoin\n"
+            + explain(plan.left, indent + 1)
+            + "\n"
+            + explain(plan.right, indent + 1)
+        )
+    if isinstance(plan, Aggregate):
+        groups = ", ".join(format_expr(item.expr) for item in plan.group_items)
+        aggregates = ", ".join(
+            f"{spec.func}({'DISTINCT ' if spec.distinct else ''}"
+            f"{format_expr(spec.arg) if spec.arg is not None else '*'}) AS {spec.name}"
+            for spec in plan.aggregates
+        )
+        label = f"group by [{groups}] " if groups else ""
+        return (
+            f"{pad}Aggregate {label}[{aggregates}]\n"
+            + explain(plan.child, indent + 1)
+        )
+    if isinstance(plan, Distinct):
+        return f"{pad}Distinct\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, Sort):
+        keys = ", ".join(
+            f"{format_expr(key.expr)} {'ASC' if key.ascending else 'DESC'}"
+            for key in plan.keys
+        )
+        return f"{pad}Sort [{keys}]\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, Limit):
+        return f"{pad}Limit {plan.count}\n" + explain(plan.child, indent + 1)
+    return f"{pad}{type(plan).__name__}"  # pragma: no cover - future nodes

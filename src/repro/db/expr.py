@@ -1,0 +1,381 @@
+"""Scalar expression language shared by the SQL front-end and query plans.
+
+Expressions are immutable trees of :class:`Expr` nodes. They are *unbound*:
+column references carry names, not positions. Binding against a
+:class:`Scope` (the column layout of an operator's input rows) produces a
+plain Python closure ``row -> value``, so expression evaluation inside tight
+loops costs one function call per node with no name lookups.
+
+NULL semantics follow SQL's three-valued logic restricted to what the
+workloads need: any comparison involving NULL is false, ``AND``/``OR`` treat
+"unknown" as false, and aggregates skip NULLs (``COUNT(*)`` counts all rows).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.db.schema import Value
+from repro.exceptions import QueryError
+
+#: A compiled expression: maps an input row to a scalar value.
+Evaluator = Callable[[tuple], Value]
+
+
+class Scope:
+    """Column layout of the rows an expression will be evaluated against.
+
+    Each slot is a ``(qualifier, column_name)`` pair; the qualifier is a table
+    alias (lowercase) or ``None`` for derived columns. Lookup is
+    case-insensitive and raises on ambiguity, mirroring SQL name resolution.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: list[tuple[str | None, str]]):
+        self.slots = [(q.lower() if q else None, n) for q, n in slots]
+
+    @property
+    def arity(self) -> int:
+        return len(self.slots)
+
+    def column_names(self) -> list[str]:
+        return [name for _, name in self.slots]
+
+    def resolve(self, qualifier: str | None, name: str) -> int:
+        """Slot index for a (possibly qualified) column reference."""
+        wanted_name = name.lower()
+        wanted_qualifier = qualifier.lower() if qualifier else None
+        matches = [
+            index
+            for index, (slot_qualifier, slot_name) in enumerate(self.slots)
+            if slot_name.lower() == wanted_name
+            and (wanted_qualifier is None or slot_qualifier == wanted_qualifier)
+        ]
+        display = f"{qualifier}.{name}" if qualifier else name
+        if not matches:
+            raise QueryError(f"unknown column {display!r}")
+        if len(matches) > 1:
+            raise QueryError(f"ambiguous column {display!r}")
+        return matches[0]
+
+    def concat(self, other: "Scope") -> "Scope":
+        """Scope of the concatenation of two row layouts (joins)."""
+        return Scope(self.slots + other.slots)
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def bind(self, scope: Scope) -> Evaluator:
+        """Compile against ``scope`` into a ``row -> value`` closure."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[tuple[str | None, str]]:
+        """All (qualifier, column) pairs mentioned by this expression."""
+        found: set[tuple[str | None, str]] = set()
+        self._collect_columns(found)
+        return found
+
+    def _collect_columns(self, accumulator: set[tuple[str | None, str]]) -> None:
+        for child in self.children():
+            child._collect_columns(accumulator)
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified by a table alias."""
+
+    name: str
+    qualifier: str | None = None
+
+    def bind(self, scope: Scope) -> Evaluator:
+        index = scope.resolve(self.qualifier, self.name)
+        return lambda row: row[index]
+
+    def _collect_columns(self, accumulator: set[tuple[str | None, str]]) -> None:
+        accumulator.add((self.qualifier.lower() if self.qualifier else None, self.name.lower()))
+
+    def display_name(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+
+    value: Value
+
+    def bind(self, scope: Scope) -> Evaluator:
+        value = self.value
+        return lambda row: value
+
+
+_COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """Binary comparison with SQL NULL semantics (NULL compares false)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        compare = _COMPARATORS[self.op]
+        left = self.left.bind(scope)
+        right = self.right.bind(scope)
+
+        def evaluate(row: tuple) -> Value:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return False
+            try:
+                return compare(a, b)
+            except TypeError:
+                raise QueryError(
+                    f"cannot compare {a!r} ({type(a).__name__}) with "
+                    f"{b!r} ({type(b).__name__})"
+                ) from None
+
+        return evaluate
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand, self.low, self.high)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        operand = self.operand.bind(scope)
+        low = self.low.bind(scope)
+        high = self.high.bind(scope)
+
+        def evaluate(row: tuple) -> Value:
+            value = operand(row)
+            lo = low(row)
+            hi = high(row)
+            if value is None or lo is None or hi is None:
+                return False
+            return lo <= value <= hi
+
+        return evaluate
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr LIKE pattern`` with SQL wildcards ``%`` and ``_``."""
+
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        operand = self.operand.bind(scope)
+        regex = re.compile(_like_to_regex(self.pattern), re.IGNORECASE | re.DOTALL)
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Value:
+            value = operand(row)
+            if value is None or not isinstance(value, str):
+                return False
+            matched = regex.fullmatch(value) is not None
+            return (not matched) if negated else matched
+
+        return evaluate
+
+
+def _like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern to a regular expression."""
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    operand: Expr
+    values: tuple[Value, ...]
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        operand = self.operand.bind(scope)
+        members = set(self.values)
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Value:
+            value = operand(row)
+            if value is None:
+                return False
+            contained = value in members
+            return (not contained) if negated else contained
+
+        return evaluate
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        operand = self.operand.bind(scope)
+        negated = self.negated
+
+        def evaluate(row: tuple) -> Value:
+            is_null = operand(row) is None
+            return (not is_null) if negated else is_null
+
+        return evaluate
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        left = self.left.bind(scope)
+        right = self.right.bind(scope)
+        return lambda row: bool(left(row)) and bool(right(row))
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        left = self.left.bind(scope)
+        right = self.right.bind(scope)
+        return lambda row: bool(left(row)) or bool(right(row))
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        operand = self.operand.bind(scope)
+        return lambda row: not bool(operand(row))
+
+
+_ARITHMETIC: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic; NULL-propagating; division by zero yields NULL."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def bind(self, scope: Scope) -> Evaluator:
+        combine = _ARITHMETIC[self.op]
+        left = self.left.bind(scope)
+        right = self.right.bind(scope)
+        is_division = self.op == "/"
+
+        def evaluate(row: tuple) -> Value:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            if is_division and b == 0:
+                return None
+            return combine(a, b)
+
+        return evaluate
+
+
+def conjuncts(predicate: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return conjuncts(predicate.left) + conjuncts(predicate.right)
+    return [predicate]
+
+
+def conjoin(predicates: list[Expr]) -> Expr | None:
+    """Rebuild a conjunction from a list of conjuncts (None when empty)."""
+    if not predicates:
+        return None
+    combined = predicates[0]
+    for predicate in predicates[1:]:
+        combined = And(combined, predicate)
+    return combined

@@ -1,0 +1,338 @@
+"""Logical query plans and their executor.
+
+Plans are trees of :class:`PlanNode`. Each node knows the :class:`Scope`
+(column layout) of the rows it produces for a given database and can execute
+itself bottom-up. The planner (:mod:`repro.db.sql.planner`) chooses hash joins
+for equality predicates so the TPC-H/SSB style star joins never materialize a
+cartesian product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.aggregates import compute_aggregate
+from repro.db.database import Database
+from repro.db.expr import Expr, Scope
+from repro.db.result import QueryResult, _row_key, _sort_key
+from repro.db.schema import Value
+from repro.exceptions import QueryError
+
+
+class PlanNode:
+    """Base class for logical plan operators."""
+
+    def output_scope(self, db: Database) -> Scope:
+        """Column layout of the rows produced against ``db``."""
+        raise NotImplementedError
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        """Produce all output rows against ``db``."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def referenced_tables(self) -> set[str]:
+        """Lowercased names of every base table referenced in the subtree."""
+        tables: set[str] = set()
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TableScan):
+                tables.add(node.table.lower())
+            stack.extend(node.children())
+        return tables
+
+
+@dataclass
+class TableScan(PlanNode):
+    """Scan a base table, exposing its columns under ``alias``."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return (self.alias or self.table).lower()
+
+    def output_scope(self, db: Database) -> Scope:
+        schema = db.table(self.table).schema
+        return Scope([(self.effective_alias, name) for name in schema.column_names])
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        return db.table(self.table).rows
+
+
+@dataclass
+class Filter(PlanNode):
+    """Keep rows where ``predicate`` evaluates truthy."""
+
+    child: PlanNode
+    predicate: Expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.child.output_scope(db)
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        test = self.predicate.bind(self.child.output_scope(db))
+        return [row for row in self.child.execute(db) if test(row)]
+
+
+@dataclass
+class CrossJoin(PlanNode):
+    """Cartesian product; the planner only uses this when no equi-key exists."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.left.output_scope(db).concat(self.right.output_scope(db))
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        right_rows = self.right.execute(db)
+        return [
+            left_row + right_row
+            for left_row in self.left.execute(db)
+            for right_row in right_rows
+        ]
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join: build a hash table on the right input, probe with the left.
+
+    Join keys are expressions over the respective inputs; rows whose key
+    contains NULL never match (SQL equality semantics).
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_keys: list[Expr]
+    right_keys: list[Expr]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.left.output_scope(db).concat(self.right.output_scope(db))
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        if len(self.left_keys) != len(self.right_keys) or not self.left_keys:
+            raise QueryError("hash join requires matching, non-empty key lists")
+        left_scope = self.left.output_scope(db)
+        right_scope = self.right.output_scope(db)
+        left_eval = [key.bind(left_scope) for key in self.left_keys]
+        right_eval = [key.bind(right_scope) for key in self.right_keys]
+
+        table: dict[tuple, list[tuple[Value, ...]]] = {}
+        for row in self.right.execute(db):
+            key = tuple(evaluate(row) for evaluate in right_eval)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(row)
+
+        output: list[tuple[Value, ...]] = []
+        for row in self.left.execute(db):
+            key = tuple(evaluate(row) for evaluate in left_eval)
+            if any(part is None for part in key):
+                continue
+            for match in table.get(key, ()):
+                output.append(row + match)
+        return output
+
+
+@dataclass
+class ProjectItem:
+    """One output column of a projection."""
+
+    expr: Expr
+    name: str
+
+
+@dataclass
+class Project(PlanNode):
+    """Compute a list of named output expressions per input row."""
+
+    child: PlanNode
+    items: list[ProjectItem]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        return Scope([(None, item.name) for item in self.items])
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        scope = self.child.output_scope(db)
+        evaluators = [item.expr.bind(scope) for item in self.items]
+        return [
+            tuple(evaluate(row) for evaluate in evaluators)
+            for row in self.child.execute(db)
+        ]
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate output column: ``func([DISTINCT] arg)`` AS ``name``."""
+
+    func: str
+    arg: Expr | None  # None encodes COUNT(*)
+    name: str
+    distinct: bool = False
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """GROUP BY + aggregate evaluation.
+
+    Output columns are the group expressions (in order) followed by the
+    aggregates. With no group expressions the input forms a single group, and
+    an empty input still yields one output row (SQL scalar-aggregate rule).
+    """
+
+    child: PlanNode
+    group_items: list[ProjectItem] = field(default_factory=list)
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        slots: list[tuple[str | None, str]] = [
+            (None, item.name) for item in self.group_items
+        ]
+        slots.extend((None, spec.name) for spec in self.aggregates)
+        return Scope(slots)
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        scope = self.child.output_scope(db)
+        group_eval = [item.expr.bind(scope) for item in self.group_items]
+        arg_eval = [
+            spec.arg.bind(scope) if spec.arg is not None else None
+            for spec in self.aggregates
+        ]
+
+        groups: dict[tuple, list[tuple[Value, ...]]] = {}
+        for row in self.child.execute(db):
+            key = tuple(evaluate(row) for evaluate in group_eval)
+            groups.setdefault(key, []).append(row)
+
+        if not groups and not self.group_items:
+            groups[()] = []
+
+        output: list[tuple[Value, ...]] = []
+        for key, rows in groups.items():
+            aggregated: list[Value] = []
+            for spec, evaluate in zip(self.aggregates, arg_eval):
+                if evaluate is None:
+                    if spec.func.lower() != "count":
+                        raise QueryError(f"{spec.func}(*) is not a valid aggregate")
+                    value = len(rows)
+                else:
+                    value = compute_aggregate(
+                        spec.func,
+                        (evaluate(row) for row in rows),
+                        distinct=spec.distinct,
+                    )
+                aggregated.append(value)
+            output.append(key + tuple(aggregated))
+        return output
+
+
+@dataclass
+class Distinct(PlanNode):
+    """Remove duplicate rows, keeping first occurrence order."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.child.output_scope(db)
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        return list(dict.fromkeys(self.child.execute(db)))
+
+
+@dataclass
+class SortKey:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Sort(PlanNode):
+    """Sort rows by one or more keys (NULLs first, SQL-ish)."""
+
+    child: PlanNode
+    keys: list[SortKey]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.child.output_scope(db)
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        scope = self.child.output_scope(db)
+        evaluators = [(key.expr.bind(scope), key.ascending) for key in self.keys]
+        rows = list(self.child.execute(db))
+        # Stable multi-key sort: apply keys right-to-left.
+        for evaluate, ascending in reversed(evaluators):
+            rows.sort(key=lambda row: _sort_key(evaluate(row)), reverse=not ascending)
+        return rows
+
+
+@dataclass
+class Limit(PlanNode):
+    """Keep the first ``count`` rows."""
+
+    child: PlanNode
+    count: int
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_scope(self, db: Database) -> Scope:
+        return self.child.output_scope(db)
+
+    def execute(self, db: Database) -> list[tuple[Value, ...]]:
+        if self.count < 0:
+            raise QueryError("LIMIT count must be non-negative")
+        return self.child.execute(db)[: self.count]
+
+
+def run_plan(root: PlanNode, db: Database, ordered: bool = False) -> QueryResult:
+    """Execute a plan and wrap the rows in a :class:`QueryResult`."""
+    scope = root.output_scope(db)
+    rows = root.execute(db)
+    return QueryResult(scope.column_names(), rows, ordered=ordered)
+
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "CrossJoin",
+    "Distinct",
+    "Filter",
+    "HashJoin",
+    "Limit",
+    "PlanNode",
+    "Project",
+    "ProjectItem",
+    "Sort",
+    "SortKey",
+    "TableScan",
+    "run_plan",
+    "_row_key",
+]

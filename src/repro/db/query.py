@@ -1,0 +1,65 @@
+"""User-facing query objects.
+
+A :class:`Query` is a *deterministic function from databases to answers* — the
+exact notion of "query" in the pricing framework (Section 3.1 of the paper).
+Queries are planned once against a schema catalog and can then be executed on
+any database with the same schemas, which is what conflict-set computation
+does across thousands of support instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.db.plan import PlanNode, run_plan
+from repro.db.result import QueryResult
+from repro.db.sql.parser import parse_select
+from repro.db.sql.planner import plan_select
+
+
+@dataclass
+class Query:
+    """A planned, executable query.
+
+    Attributes
+    ----------
+    text:
+        Original SQL text (or a synthetic description for programmatic plans).
+    plan:
+        Root of the logical plan.
+    ordered:
+        Whether answer row order is semantically meaningful (ORDER BY).
+    """
+
+    text: str
+    plan: PlanNode
+    ordered: bool = False
+    _tables: frozenset[str] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self._tables is None:
+            object.__setattr__(self, "_tables", frozenset(self.plan.referenced_tables()))
+
+    @property
+    def referenced_tables(self) -> frozenset[str]:
+        """Lowercased base-table names this query reads.
+
+        Used by the conflict engine to skip support instances whose deltas
+        touch only unreferenced tables (the answer cannot change).
+        """
+        return self._tables
+
+    def run(self, db: Database) -> QueryResult:
+        """Execute against ``db`` and return a canonicalizable answer."""
+        return run_plan(self.plan, db, ordered=self.ordered)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def sql_query(sql: str, catalog: Database) -> Query:
+    """Parse + plan ``sql`` against the schemas of ``catalog``."""
+    statement = parse_select(sql)
+    plan = plan_select(statement, catalog)
+    return Query(sql, plan, ordered=bool(statement.order_by))

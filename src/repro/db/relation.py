@@ -1,0 +1,122 @@
+"""Relations: a schema plus an ordered list of tuples.
+
+Rows keep insertion order, which makes ``LIMIT`` deterministic without an
+``ORDER BY`` — the engine is a deterministic function of the database, a
+property the pricing framework requires of queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.db.schema import TableSchema, Value
+from repro.exceptions import SchemaError
+
+
+class Relation:
+    """An in-memory table.
+
+    Mutation is only supported through :meth:`insert` (bulk load) and the
+    copy-on-write helpers used by the support machinery
+    (:meth:`with_cell_replaced`, :meth:`with_row_deleted`,
+    :meth:`with_row_inserted`), which return new relations sharing row storage
+    with the original wherever possible.
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: TableSchema, rows: Iterable[tuple[Value, ...]] = ()):
+        self.schema = schema
+        self._rows: list[tuple[Value, ...]] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: tuple[Value, ...] | list[Value]) -> None:
+        """Validate and append a row."""
+        row = tuple(row)
+        self.schema.validate_row(row)
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[tuple[Value, ...] | list[Value]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def rows(self) -> list[tuple[Value, ...]]:
+        """The row list. Treat as read-only."""
+        return self._rows
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Value, ...]]:
+        return iter(self._rows)
+
+    def cell(self, row_index: int, column: str | int) -> Value:
+        """Value at (row, column); column by name or position."""
+        column_index = (
+            column if isinstance(column, int) else self.schema.column_index(column)
+        )
+        return self._rows[row_index][column_index]
+
+    def column_values(self, column: str | int) -> list[Value]:
+        """All values of one column, in row order."""
+        column_index = (
+            column if isinstance(column, int) else self.schema.column_index(column)
+        )
+        return [row[column_index] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Copy-on-write helpers (support-set machinery)
+    # ------------------------------------------------------------------
+
+    def _shallow_copy(self) -> "Relation":
+        clone = Relation.__new__(Relation)
+        clone.schema = self.schema
+        clone._rows = list(self._rows)
+        return clone
+
+    def with_cell_replaced(self, row_index: int, column: str | int, value: Value) -> "Relation":
+        """New relation identical to this one except one cell."""
+        column_index = (
+            column if isinstance(column, int) else self.schema.column_index(column)
+        )
+        if not 0 <= row_index < len(self._rows):
+            raise SchemaError(
+                f"row index {row_index} out of range for table {self.schema.name!r}"
+            )
+        if not self.schema.columns[column_index].dtype.accepts(value):
+            raise SchemaError(
+                f"value {value!r} invalid for column "
+                f"{self.schema.name}.{self.schema.columns[column_index].name}"
+            )
+        clone = self._shallow_copy()
+        row = list(clone._rows[row_index])
+        row[column_index] = value
+        clone._rows[row_index] = tuple(row)
+        return clone
+
+    def with_row_deleted(self, row_index: int) -> "Relation":
+        """New relation with one row removed."""
+        if not 0 <= row_index < len(self._rows):
+            raise SchemaError(
+                f"row index {row_index} out of range for table {self.schema.name!r}"
+            )
+        clone = self._shallow_copy()
+        del clone._rows[row_index]
+        return clone
+
+    def with_row_inserted(self, row: tuple[Value, ...]) -> "Relation":
+        """New relation with one row appended."""
+        row = tuple(row)
+        self.schema.validate_row(row)
+        clone = self._shallow_copy()
+        clone._rows.append(row)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name!r}, rows={len(self._rows)})"

@@ -1,0 +1,104 @@
+"""Canonical query answers.
+
+Conflict-set computation compares ``Q(D)`` with ``Q(D')``; SQL answers without
+``ORDER BY`` are *bags*, so equality must be order-insensitive but
+multiplicity-sensitive. :class:`QueryResult` stores rows in execution order
+(for display and LIMIT determinism) and compares via a canonical sorted form
+that tolerates mixed types and NULLs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.db.schema import Value
+
+
+def _sort_key(value: Value) -> tuple[int, object]:
+    """Total order over heterogeneous values: NULL < numbers < strings."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, float(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    return (2, value)
+
+
+def _row_key(row: tuple[Value, ...]) -> tuple[tuple[int, object], ...]:
+    return tuple(_sort_key(value) for value in row)
+
+
+class QueryResult:
+    """The answer of a query: named columns plus a bag of rows."""
+
+    __slots__ = ("columns", "rows", "ordered", "_canonical")
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: Iterable[tuple[Value, ...]],
+        ordered: bool = False,
+    ):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+        #: When True (query had ORDER BY) row order is semantically relevant.
+        self.ordered = ordered
+        self._canonical: tuple[tuple[Value, ...], ...] | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def canonical(self) -> tuple[tuple[Value, ...], ...]:
+        """Rows in a canonical order (identity for ordered results)."""
+        if self._canonical is None:
+            if self.ordered:
+                self._canonical = tuple(self.rows)
+            else:
+                self._canonical = tuple(sorted(self.rows, key=_row_key))
+        return self._canonical
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def scalar(self) -> Value:
+        """The single value of a 1x1 result (aggregates without GROUP BY)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Value]:
+        """All values of a named output column."""
+        lowered = [c.lower() for c in self.columns]
+        try:
+            index = lowered.index(name.lower())
+        except ValueError:
+            raise KeyError(f"no output column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """Plain-text rendering for examples and debugging."""
+        header = " | ".join(self.columns)
+        divider = "-" * len(header)
+        lines = [header, divider]
+        for row in self.rows[:max_rows]:
+            lines.append(" | ".join("NULL" if v is None else str(v) for v in row))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"

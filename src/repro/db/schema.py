@@ -1,0 +1,106 @@
+"""Table schemas: typed, named columns with an optional primary key."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+
+#: Scalar value stored in a cell. ``None`` encodes SQL NULL.
+Value = int | float | str | None
+
+
+class ColumnType(enum.Enum):
+    """Logical column type. Python values are validated on insert."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+
+    def accepts(self, value: Value) -> bool:
+        """Whether ``value`` may be stored in a column of this type."""
+        if value is None:
+            return True
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    dtype: ColumnType = ColumnType.TEXT
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a single relation.
+
+    Column lookup is case-insensitive, matching the workload queries which mix
+    e.g. ``Code`` and ``code``.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in index:
+                raise SchemaError(f"duplicate column {column.name!r} in table {self.name!r}")
+            index[key] = position
+        object.__setattr__(self, "_index", index)
+        for key_column in self.primary_key:
+            if key_column.lower() not in index:
+                raise SchemaError(
+                    f"primary key column {key_column!r} not in table {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_index(self, name: str) -> int:
+        """Position of ``name`` (case-insensitive); raises SchemaError if absent."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def validate_row(self, row: tuple[Value, ...]) -> None:
+        """Check arity and per-column types; raise SchemaError on mismatch."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"arity {self.arity}"
+            )
+        for column, value in zip(self.columns, row):
+            if not column.dtype.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} is not valid for column "
+                    f"{self.name}.{column.name} of type {column.dtype.value}"
+                )

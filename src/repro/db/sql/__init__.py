@@ -1,0 +1,21 @@
+"""SQL front-end: lexer, parser, and planner for the supported fragment.
+
+Supported grammar (covers every query in the paper's four workloads)::
+
+    SELECT [DISTINCT] select_item [, ...]
+    FROM table [alias] [, table [alias]] ...
+    [WHERE predicate]
+    [GROUP BY column [, ...]]
+    [ORDER BY column [ASC|DESC] [, ...]]
+    [LIMIT n]
+
+where ``select_item`` is ``*``, an expression with optional ``AS name``, or an
+aggregate ``count|sum|avg|min|max ( [DISTINCT] expr | * )``, and ``predicate``
+supports comparisons, ``AND``/``OR``/``NOT``, ``LIKE``, ``BETWEEN``, ``IN``,
+``IS [NOT] NULL``, parentheses, and arithmetic.
+"""
+
+from repro.db.sql.parser import parse_select
+from repro.db.sql.planner import plan_select
+
+__all__ = ["parse_select", "plan_select"]

@@ -1,0 +1,106 @@
+"""Abstract syntax tree for parsed SELECT statements.
+
+The scalar-expression half of the AST *is* :mod:`repro.db.expr`; this module
+only adds the statement-level shapes the parser produces before planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.expr import Expr
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``FROM`` clause entry: a table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return (self.alias or self.table).lower()
+
+
+@dataclass(frozen=True)
+class SelectColumn:
+    """A plain (non-aggregate) select item: expression with optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectAggregate:
+    """An aggregate select item: ``func([DISTINCT] expr | *) [AS alias]``."""
+
+    func: str
+    arg: Expr | None  # None encodes '*'
+    distinct: bool = False
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectStar:
+    """A ``*`` (or ``alias.*``) select item."""
+
+    qualifier: str | None = None
+
+
+SelectItem = SelectColumn | SelectAggregate | SelectStar
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """An aggregate call appearing *inside* an expression (HAVING only).
+
+    The evaluator cannot compute aggregates row by row, so this node is a
+    placeholder: the planner rewrites it into a :class:`ColumnRef` pointing
+    at the matching :class:`~repro.db.plan.AggregateSpec` output column.
+    Binding one directly is a planner bug.
+    """
+
+    func: str
+    arg: Expr | None  # None encodes '*'
+    distinct: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.arg,) if self.arg is not None else ()
+
+    def _collect_columns(self, accumulator: set[tuple[str | None, str]]) -> None:
+        if self.arg is not None:
+            self.arg._collect_columns(accumulator)
+
+    def bind(self, scope):
+        raise QueryError(
+            f"aggregate {self.func}(...) was not rewritten by the planner "
+            "(aggregate calls are only valid in HAVING)"
+        )
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT query."""
+
+    items: list[SelectItem]
+    tables: list[TableRef]
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, SelectAggregate) for item in self.items)

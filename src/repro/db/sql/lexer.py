@@ -1,0 +1,105 @@
+"""Tokenizer for the supported SQL fragment."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "limit", "and", "or", "not", "like", "between", "in", "is",
+        "null", "as", "asc", "desc",
+    }
+)
+
+_PUNCTUATION = {",", "(", ")", "*", "+", "-", "/", ".", "%"}
+_COMPARISON_START = {"=", "<", ">", "!"}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"       # = != < <= > >=
+    PUNCTUATION = "punctuation"  # , ( ) * + - / .
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens, normalizing keywords to lowercase."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'" or char == '"':
+            end = sql.find(char, index + 1)
+            if end == -1:
+                raise SQLSyntaxError(f"unterminated string literal at {index}")
+            tokens.append(Token(TokenType.STRING, sql[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and sql[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    # A dot not followed by a digit is a qualifier separator.
+                    if end + 1 >= length or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            index = end
+            continue
+        if char in _COMPARISON_START:
+            two = sql[index : index + 2]
+            if two in ("<=", ">=", "!=", "<>"):
+                text = "!=" if two == "<>" else two
+                tokens.append(Token(TokenType.OPERATOR, text, index))
+                index += 2
+                continue
+            if char == "!":
+                raise SQLSyntaxError(f"unexpected character {char!r} at {index}")
+            tokens.append(Token(TokenType.OPERATOR, char, index))
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r} at {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,430 @@
+"""Recursive-descent parser for the supported SELECT fragment."""
+
+from __future__ import annotations
+
+from repro.db.aggregates import is_aggregate_name
+from repro.db.expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjoin,
+)
+from repro.db.schema import Value
+from repro.db.sql.ast import (
+    AggregateCall,
+    OrderItem,
+    SelectAggregate,
+    SelectColumn,
+    SelectItem,
+    SelectStar,
+    SelectStatement,
+    TableRef,
+)
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.exceptions import SQLSyntaxError, UnsupportedSQLError
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse SQL text into a :class:`SelectStatement`."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    """Standard recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+        self._in_having = False
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._position + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.type is not TokenType.END:
+            self._position += 1
+        return token
+
+    def _match_keyword(self, *words: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.text in words:
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._match_keyword(word)
+        if token is None:
+            raise SQLSyntaxError(
+                f"expected {word.upper()!r} at position {self._peek().position}, "
+                f"got {self._peek().text!r}"
+            )
+        return token
+
+    def _match_punct(self, text: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.text == text:
+            return self._advance()
+        return None
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._match_punct(text)
+        if token is None:
+            raise SQLSyntaxError(
+                f"expected {text!r} at position {self._peek().position}, "
+                f"got {self._peek().text!r}"
+            )
+        return token
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SQLSyntaxError(
+                f"expected identifier at position {token.position}, got {token.text!r}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Statement
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct") is not None
+        items = self._parse_select_list()
+        self._expect_keyword("from")
+        tables = self._parse_from_list()
+
+        where: Expr | None = None
+        if self._match_keyword("where"):
+            where = self._parse_or()
+
+        group_by: list[Expr] = []
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._parse_expr_list()
+
+        having: Expr | None = None
+        if self._match_keyword("having"):
+            # Aggregate calls are legal inside the HAVING predicate only;
+            # the flag re-routes _parse_term's aggregate rejection.
+            self._in_having = True
+            try:
+                having = self._parse_or()
+            finally:
+                self._in_having = False
+
+        order_by: list[OrderItem] = []
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._parse_order_list()
+
+        limit: int | None = None
+        if self._match_keyword("limit"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise SQLSyntaxError(f"expected number after LIMIT, got {token.text!r}")
+            self._advance()
+            limit = int(token.text)
+
+        trailing = self._peek()
+        if trailing.type is not TokenType.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input at position {trailing.position}: "
+                f"{trailing.text!r}"
+            )
+        return SelectStatement(
+            items,
+            tables,
+            where,
+            group_by,
+            having,
+            order_by,
+            limit,
+            distinct,
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT list / FROM list
+    # ------------------------------------------------------------------
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.text == "*":
+            self._advance()
+            return SelectStar()
+        # alias.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek(1).text == "."
+            and self._peek(2).text == "*"
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return SelectStar(qualifier=token.text)
+        # aggregate call
+        if (
+            token.type is TokenType.IDENTIFIER
+            and is_aggregate_name(token.text)
+            and self._peek(1).text == "("
+        ):
+            return self._parse_aggregate_item()
+        expr = self._parse_additive()
+        alias = self._parse_optional_alias()
+        return SelectColumn(expr, alias)
+
+    def _parse_aggregate_item(self) -> SelectAggregate:
+        call = self._parse_aggregate_call()
+        alias = self._parse_optional_alias()
+        return SelectAggregate(call.func, call.arg, call.distinct, alias)
+
+    def _parse_aggregate_call(self) -> AggregateCall:
+        func = self._advance().text.lower()
+        self._expect_punct("(")
+        distinct = self._match_keyword("distinct") is not None
+        arg: Expr | None
+        if self._peek().text == "*" and self._peek().type is TokenType.PUNCTUATION:
+            self._advance()
+            arg = None
+            if distinct:
+                raise UnsupportedSQLError("DISTINCT * inside an aggregate")
+        else:
+            arg = self._parse_additive()
+        self._expect_punct(")")
+        return AggregateCall(func, arg, distinct)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self._match_keyword("as"):
+            return self._expect_identifier().text
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._advance().text
+        return None
+
+    def _parse_from_list(self) -> list[TableRef]:
+        tables = [self._parse_table_ref()]
+        while self._match_punct(","):
+            tables.append(self._parse_table_ref())
+        return tables
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_identifier().text
+        alias: str | None = None
+        if self._match_keyword("as"):
+            alias = self._expect_identifier().text
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self._parse_additive()]
+        while self._match_punct(","):
+            exprs.append(self._parse_additive())
+        return exprs
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items: list[OrderItem] = []
+        while True:
+            expr = self._parse_additive()
+            ascending = True
+            if self._match_keyword("desc"):
+                ascending = False
+            else:
+                self._match_keyword("asc")
+            items.append(OrderItem(expr, ascending))
+            if not self._match_punct(","):
+                return items
+
+    # ------------------------------------------------------------------
+    # Predicates (precedence: OR < AND < NOT < comparison < additive < term)
+    # ------------------------------------------------------------------
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._match_keyword("or"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._match_keyword("and"):
+            left = conjoin([left, self._parse_not()])
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._match_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        # Parenthesized sub-predicate vs. parenthesized arithmetic: try the
+        # predicate interpretation when the parenthesis directly opens a
+        # predicate; arithmetic parens are handled inside _parse_term.
+        if self._peek().text == "(" and self._looks_like_predicate_paren():
+            self._expect_punct("(")
+            inner = self._parse_or()
+            self._expect_punct(")")
+            return inner
+
+        operand = self._parse_additive()
+
+        negated = self._match_keyword("not") is not None
+        if self._match_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            between = Between(operand, low, high)
+            return Not(between) if negated else between
+        if self._match_keyword("like"):
+            token = self._peek()
+            if token.type is not TokenType.STRING:
+                raise SQLSyntaxError("LIKE requires a string literal pattern")
+            self._advance()
+            return Like(operand, token.text, negated=negated)
+        if self._match_keyword("in"):
+            self._expect_punct("(")
+            values = [self._parse_literal_value()]
+            while self._match_punct(","):
+                values.append(self._parse_literal_value())
+            self._expect_punct(")")
+            return InList(operand, tuple(values), negated=negated)
+        if self._match_keyword("is"):
+            is_negated = self._match_keyword("not") is not None
+            self._expect_keyword("null")
+            return IsNull(operand, negated=is_negated)
+        if negated:
+            raise SQLSyntaxError("NOT must be followed by BETWEEN, LIKE or IN here")
+
+        token = self._peek()
+        if token.type is TokenType.OPERATOR:
+            self._advance()
+            right = self._parse_additive()
+            return Comparison(token.text, operand, right)
+        # Bare expression used as a predicate (e.g. `select distinct 1`);
+        # treat nonzero/non-empty as true at evaluation time.
+        return operand
+
+    def _looks_like_predicate_paren(self) -> bool:
+        """Heuristic: `(` starts a predicate if a boolean keyword or comparison
+        appears before its matching `)` at depth 1."""
+        depth = 0
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token.type is TokenType.END:
+                return False
+            if token.text == "(" and token.type is TokenType.PUNCTUATION:
+                depth += 1
+            elif token.text == ")" and token.type is TokenType.PUNCTUATION:
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1:
+                if token.type is TokenType.OPERATOR:
+                    return True
+                if token.type is TokenType.KEYWORD and token.text in (
+                    "and", "or", "not", "like", "between", "in", "is",
+                ):
+                    return True
+            offset += 1
+
+    def _parse_literal_value(self) -> Value:
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.text
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return _number_value(token.text)
+        if token.text == "-" and self._peek(1).type is TokenType.NUMBER:
+            self._advance()
+            number = self._advance()
+            value = _number_value(number.text)
+            return -value
+        if token.is_keyword("null"):
+            self._advance()
+            return None
+        raise SQLSyntaxError(f"expected literal at position {token.position}")
+
+    # ------------------------------------------------------------------
+    # Arithmetic expressions
+    # ------------------------------------------------------------------
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.PUNCTUATION and token.text in ("+", "-"):
+                self._advance()
+                left = Arithmetic(token.text, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.PUNCTUATION and token.text in ("*", "/"):
+                self._advance()
+                left = Arithmetic(token.text, left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(_number_value(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.text == "-" and token.type is TokenType.PUNCTUATION:
+            self._advance()
+            inner = self._parse_term()
+            return Arithmetic("-", Literal(0), inner)
+        if token.text == "(" and token.type is TokenType.PUNCTUATION:
+            self._advance()
+            inner = self._parse_additive()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            if is_aggregate_name(token.text) and self._peek(1).text == "(":
+                if self._in_having:
+                    return self._parse_aggregate_call()
+                raise UnsupportedSQLError(
+                    "aggregates are only allowed in the SELECT list or HAVING"
+                )
+            self._advance()
+            if self._match_punct("."):
+                column = self._expect_identifier()
+                return ColumnRef(column.text, qualifier=token.text)
+            return ColumnRef(token.text)
+        raise SQLSyntaxError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+
+def _number_value(text: str) -> int | float:
+    return float(text) if "." in text else int(text)

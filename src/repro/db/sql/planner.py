@@ -1,0 +1,437 @@
+"""Compile a parsed :class:`SelectStatement` into an executable plan.
+
+The planner performs the three classical rewrites the workloads need:
+
+1. **Predicate pushdown** — single-table conjuncts of the WHERE clause become
+   filters directly above the corresponding scan.
+2. **Hash-join selection** — equality conjuncts between columns of two
+   different tables become :class:`~repro.db.plan.HashJoin` keys; the join
+   order is chosen greedily so each new table is connected to the already
+   joined set whenever possible (falling back to a cross join only when the
+   query genuinely has no join predicate).
+3. **Aggregate normalization** — the SELECT list is evaluated on top of an
+   :class:`~repro.db.plan.Aggregate` node via a final projection, so group
+   keys and aggregates can appear in any order.
+
+Planning needs the database *schema catalog* (to resolve unqualified columns),
+but the produced plan is reusable across any database with the same schemas —
+exactly what conflict-set computation over thousands of support instances
+requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.db.database import Database
+from repro.db.expr import ColumnRef, Comparison, Expr, conjoin, conjuncts
+from repro.db.plan import (
+    Aggregate,
+    AggregateSpec,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    ProjectItem,
+    Sort,
+    SortKey,
+    TableScan,
+)
+from repro.db.sql.ast import (
+    AggregateCall,
+    SelectAggregate,
+    SelectColumn,
+    SelectStar,
+    SelectStatement,
+    TableRef,
+)
+from repro.exceptions import QueryError, UnsupportedSQLError
+
+
+def plan_select(statement: SelectStatement, catalog: Database) -> PlanNode:
+    """Build an executable plan for ``statement`` against ``catalog`` schemas."""
+    return _Planner(statement, catalog).plan()
+
+
+class _Planner:
+    def __init__(self, statement: SelectStatement, catalog: Database):
+        self.statement = statement
+        self.catalog = catalog
+        self.tables = statement.tables
+        if not self.tables:
+            raise QueryError("FROM clause must reference at least one table")
+        seen_aliases: set[str] = set()
+        for ref in self.tables:
+            if ref.effective_alias in seen_aliases:
+                raise QueryError(f"duplicate table alias {ref.effective_alias!r}")
+            seen_aliases.add(ref.effective_alias)
+
+    # ------------------------------------------------------------------
+    # Column -> table resolution
+    # ------------------------------------------------------------------
+
+    def _tables_of(self, expr: Expr) -> set[str]:
+        """Effective aliases of every table referenced by ``expr``."""
+        aliases: set[str] = set()
+        for qualifier, column in expr.referenced_columns():
+            aliases.add(self._resolve_alias(qualifier, column))
+        return aliases
+
+    def _resolve_alias(self, qualifier: str | None, column: str) -> str:
+        if qualifier is not None:
+            for ref in self.tables:
+                if ref.effective_alias == qualifier:
+                    return qualifier
+            raise QueryError(f"unknown table alias {qualifier!r}")
+        owners = [
+            ref.effective_alias
+            for ref in self.tables
+            if self.catalog.table(ref.table).schema.has_column(column)
+        ]
+        if not owners:
+            raise QueryError(f"unknown column {column!r}")
+        if len(owners) > 1:
+            raise QueryError(f"ambiguous column {column!r} (in {sorted(owners)})")
+        return owners[0]
+
+    # ------------------------------------------------------------------
+    # Plan assembly
+    # ------------------------------------------------------------------
+
+    def plan(self) -> PlanNode:
+        self._validate_references()
+        statement = self.statement
+        if statement.having is not None and not (
+            statement.has_aggregates or statement.group_by
+        ):
+            raise UnsupportedSQLError(
+                "HAVING requires GROUP BY or aggregates in the SELECT list"
+            )
+        source = self._plan_joins()
+        node = self._plan_select_list(source)
+        if self.statement.distinct:
+            node = Distinct(node)
+        if self.statement.order_by:
+            node = self._plan_order_by(source, node)
+        if self.statement.limit is not None:
+            node = Limit(node, self.statement.limit)
+        return node
+
+    def _plan_order_by(self, source: PlanNode, node: PlanNode) -> PlanNode:
+        """Attach the Sort above the projection when its keys are output
+        columns, or below it when they only exist in the input (SQL allows
+        both, e.g. ``SELECT Name ... ORDER BY Population``)."""
+        keys = [SortKey(item.expr, item.ascending) for item in self.statement.order_by]
+        top_scope = node.output_scope(self.catalog)
+        try:
+            for key in keys:
+                key.expr.bind(top_scope)
+        except QueryError:
+            if isinstance(node, Project) and node.child is source:
+                inner = Sort(source, keys)
+                return Project(inner, node.items)
+            raise
+        return Sort(node, keys)
+
+    def _validate_references(self) -> None:
+        """Resolve every column reference at plan time so bad queries fail
+        fast instead of at execution (select list, group by, order by)."""
+        for item in self.statement.items:
+            if isinstance(item, SelectColumn):
+                self._tables_of(item.expr)
+            elif isinstance(item, SelectAggregate) and item.arg is not None:
+                self._tables_of(item.arg)
+            elif isinstance(item, SelectStar) and item.qualifier is not None:
+                self._resolve_alias(item.qualifier.lower(), "")
+        for expr in self.statement.group_by:
+            self._tables_of(expr)
+        # ORDER BY may legitimately reference projected output names; it is
+        # validated later in _plan_order_by against both scopes.
+
+    def _plan_joins(self) -> PlanNode:
+        single_table: dict[str, list[Expr]] = {ref.effective_alias: [] for ref in self.tables}
+        join_predicates: list[tuple[str, str, Expr, Expr]] = []  # (alias_a, alias_b, key_a, key_b)
+        residual: list[Expr] = []
+
+        for conjunct in conjuncts(self.statement.where):
+            aliases = self._tables_of(conjunct)
+            if len(aliases) <= 1:
+                if aliases:
+                    single_table[next(iter(aliases))].append(conjunct)
+                else:
+                    residual.append(conjunct)  # constant predicate
+                continue
+            equi = self._as_equi_join(conjunct)
+            if equi is not None:
+                join_predicates.append(equi)
+            else:
+                residual.append(conjunct)
+
+        inputs: dict[str, PlanNode] = {}
+        for ref in self.tables:
+            node: PlanNode = TableScan(ref.table, ref.alias)
+            pushed = single_table[ref.effective_alias]
+            if pushed:
+                node = Filter(node, conjoin(pushed))
+            inputs[ref.effective_alias] = node
+
+        # Greedy left-deep join order: start with the first FROM table and
+        # repeatedly attach a table connected by at least one join predicate.
+        remaining = [ref.effective_alias for ref in self.tables]
+        joined = {remaining.pop(0)}
+        node = inputs[self.tables[0].effective_alias]
+        pending = list(join_predicates)
+
+        while remaining:
+            chosen: str | None = None
+            for alias in remaining:
+                if any(
+                    (a in joined and b == alias) or (b in joined and a == alias)
+                    for a, b, _, _ in pending
+                ):
+                    chosen = alias
+                    break
+            if chosen is None:
+                chosen = remaining[0]  # no connecting predicate: cross join
+            remaining.remove(chosen)
+
+            left_keys: list[Expr] = []
+            right_keys: list[Expr] = []
+            still_pending: list[tuple[str, str, Expr, Expr]] = []
+            for a, b, key_a, key_b in pending:
+                if a in joined and b == chosen:
+                    left_keys.append(key_a)
+                    right_keys.append(key_b)
+                elif b in joined and a == chosen:
+                    left_keys.append(key_b)
+                    right_keys.append(key_a)
+                else:
+                    still_pending.append((a, b, key_a, key_b))
+            pending = still_pending
+
+            right = inputs[chosen]
+            if left_keys:
+                node = HashJoin(node, right, left_keys, right_keys)
+            else:
+                node = CrossJoin(node, right)
+            joined.add(chosen)
+
+        # Join predicates between tables that ended up merged before both were
+        # available (e.g. cycles) plus non-equi multi-table predicates.
+        leftover = [Comparison("=", ka, kb) for _, _, ka, kb in pending]
+        residual.extend(leftover)
+        if residual:
+            node = Filter(node, conjoin(residual))
+        return node
+
+    def _as_equi_join(self, conjunct: Expr) -> tuple[str, str, Expr, Expr] | None:
+        """Recognize ``colA = colB`` across two distinct tables."""
+        if not (isinstance(conjunct, Comparison) and conjunct.op == "="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            return None
+        alias_left = self._resolve_alias(
+            left.qualifier.lower() if left.qualifier else None, left.name
+        )
+        alias_right = self._resolve_alias(
+            right.qualifier.lower() if right.qualifier else None, right.name
+        )
+        if alias_left == alias_right:
+            return None
+        # Rewrite refs with explicit qualifiers so binding is unambiguous.
+        left_ref = ColumnRef(left.name, alias_left)
+        right_ref = ColumnRef(right.name, alias_right)
+        return alias_left, alias_right, left_ref, right_ref
+
+    # ------------------------------------------------------------------
+    # SELECT list
+    # ------------------------------------------------------------------
+
+    def _plan_select_list(self, node: PlanNode) -> PlanNode:
+        statement = self.statement
+        if statement.has_aggregates or statement.group_by:
+            return self._plan_aggregate(node)
+
+        items: list[ProjectItem] = []
+        for item in statement.items:
+            if isinstance(item, SelectStar):
+                items.extend(self._expand_star(item))
+            elif isinstance(item, SelectColumn):
+                items.append(ProjectItem(item.expr, self._column_name(item)))
+            else:  # pragma: no cover - has_aggregates above catches this
+                raise UnsupportedSQLError("aggregate outside aggregate query")
+        return Project(node, items)
+
+    def _expand_star(self, star: SelectStar) -> list[ProjectItem]:
+        items: list[ProjectItem] = []
+        for ref in self.tables:
+            alias = ref.effective_alias
+            if star.qualifier is not None and star.qualifier.lower() != alias:
+                continue
+            schema = self.catalog.table(ref.table).schema
+            for column in schema.column_names:
+                items.append(ProjectItem(ColumnRef(column, alias), column))
+        if not items:
+            raise QueryError(f"alias {star.qualifier!r} in star expansion not found")
+        return items
+
+    def _plan_aggregate(self, node: PlanNode) -> PlanNode:
+        statement = self.statement
+        group_items = [
+            ProjectItem(expr, f"_g{i}") for i, expr in enumerate(statement.group_by)
+        ]
+        aggregates: list[AggregateSpec] = []
+        final_items: list[ProjectItem] = []
+        alias_refs: dict[str, str] = {}  # select alias -> internal column
+
+        for item in statement.items:
+            if isinstance(item, SelectAggregate):
+                name = f"_a{len(aggregates)}"
+                aggregates.append(AggregateSpec(item.func, item.arg, name, item.distinct))
+                final_items.append(
+                    ProjectItem(ColumnRef(name), self._aggregate_name(item))
+                )
+                if item.alias:
+                    alias_refs[item.alias.lower()] = name
+            elif isinstance(item, SelectColumn):
+                position = self._matching_group(item.expr, statement.group_by)
+                final_items.append(
+                    ProjectItem(ColumnRef(f"_g{position}"), self._column_name(item))
+                )
+                if item.alias:
+                    alias_refs[item.alias.lower()] = f"_g{position}"
+            else:
+                raise UnsupportedSQLError("SELECT * is not valid in aggregate queries")
+
+        # Rewrite HAVING before building the Aggregate: the rewriter may
+        # append aggregates that HAVING computes but the SELECT list does not
+        # show (they exist only below the final Project).
+        predicate: Expr | None = None
+        if statement.having is not None:
+            predicate = _HavingRewriter(self, aggregates, alias_refs).rewrite(
+                statement.having
+            )
+        result: PlanNode = Aggregate(node, group_items, aggregates)
+        if predicate is not None:
+            result = Filter(result, predicate)
+        return Project(result, final_items)
+
+    def _matching_group(
+        self, expr: Expr, group_by: list[Expr], context: str = "SELECT item"
+    ) -> int:
+        for position, group_expr in enumerate(group_by):
+            if _same_column(expr, group_expr):
+                return position
+        raise QueryError(
+            f"non-aggregate {context} must appear in GROUP BY "
+            f"(offending expression: {expr!r})"
+        )
+
+    def _column_name(self, item: SelectColumn) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.name
+        return "expr"
+
+    def _aggregate_name(self, item: SelectAggregate) -> str:
+        if item.alias:
+            return item.alias
+        if item.arg is None:
+            return f"{item.func}(*)"
+        inner = (
+            item.arg.display_name()
+            if isinstance(item.arg, ColumnRef)
+            else "expr"
+        )
+        prefix = "distinct " if item.distinct else ""
+        return f"{item.func}({prefix}{inner})"
+
+
+class _HavingRewriter:
+    """Rewrite a HAVING predicate into the Aggregate node's output scope.
+
+    - :class:`AggregateCall` placeholders become references to the matching
+      :class:`AggregateSpec` column, appending a new spec when HAVING uses an
+      aggregate the SELECT list does not (its column exists only below the
+      final projection);
+    - unqualified names matching a SELECT alias resolve to that item's
+      internal column;
+    - remaining column references must match a GROUP BY expression.
+    """
+
+    def __init__(
+        self,
+        planner: "_Planner",
+        aggregates: list[AggregateSpec],
+        alias_refs: dict[str, str],
+    ):
+        self.planner = planner
+        self.aggregates = aggregates
+        self.alias_refs = alias_refs
+
+    def rewrite(self, expr: Expr) -> Expr:
+        if isinstance(expr, AggregateCall):
+            return ColumnRef(self._aggregate_column(expr))
+        if isinstance(expr, ColumnRef):
+            if expr.qualifier is None and expr.name.lower() in self.alias_refs:
+                return ColumnRef(self.alias_refs[expr.name.lower()])
+            position = self.planner._matching_group(
+                expr, self.planner.statement.group_by, context="HAVING reference"
+            )
+            return ColumnRef(f"_g{position}")
+        if not dataclasses.is_dataclass(expr):
+            return expr
+        # Structural recursion: rewrite every Expr-typed field, keep the rest.
+        changes = {}
+        for field in dataclasses.fields(expr):
+            value = getattr(expr, field.name)
+            if isinstance(value, Expr):
+                rewritten = self.rewrite(value)
+                if rewritten is not value:
+                    changes[field.name] = rewritten
+        return dataclasses.replace(expr, **changes) if changes else expr
+
+    def _aggregate_column(self, call: AggregateCall) -> str:
+        for spec in self.aggregates:
+            if (
+                spec.func == call.func
+                and spec.distinct == call.distinct
+                and _same_aggregate_arg(spec.arg, call.arg)
+            ):
+                return spec.name
+        name = f"_a{len(self.aggregates)}"
+        self.aggregates.append(
+            AggregateSpec(call.func, call.arg, name, call.distinct)
+        )
+        return name
+
+
+def _same_aggregate_arg(a: Expr | None, b: Expr | None) -> bool:
+    """Whether two aggregate arguments denote the same input ('*' or expr)."""
+    if a is None or b is None:
+        return a is None and b is None
+    return _same_column(a, b)
+
+
+def _same_column(a: Expr, b: Expr) -> bool:
+    """Whether two expressions denote the same column (ignoring case)."""
+    if isinstance(a, ColumnRef) and isinstance(b, ColumnRef):
+        if a.name.lower() != b.name.lower():
+            return False
+        if a.qualifier is None or b.qualifier is None:
+            return True
+        return a.qualifier.lower() == b.qualifier.lower()
+    return a == b
+
+
+def referenced_table_names(statement: SelectStatement) -> set[str]:
+    """Lowercased base-table names referenced by a statement."""
+    return {ref.table.lower() for ref in statement.tables}
+
+
+__all__ = ["plan_select", "referenced_table_names"]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause while still
+being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class LPError(ReproError):
+    """Base class for errors raised by the linear-programming layer."""
+
+
+class LPInfeasibleError(LPError):
+    """The linear program has no feasible solution."""
+
+
+class LPUnboundedError(LPError):
+    """The linear program is unbounded in the direction of the objective."""
+
+
+class LPSolverError(LPError):
+    """The backend solver failed for a reason other than infeasible/unbounded."""
+
+
+class SchemaError(ReproError):
+    """A relation or database schema was malformed or violated."""
+
+
+class QueryError(ReproError):
+    """A logical query plan is invalid or cannot be evaluated."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class UnsupportedSQLError(QueryError):
+    """The SQL text parses but uses a feature outside the supported fragment."""
+
+
+class SupportError(ReproError):
+    """Support-set generation failed (e.g. no perturbable cells)."""
+
+
+class PricingError(ReproError):
+    """A pricing function or pricing algorithm was misused."""
+
+
+class ArbitrageViolation(PricingError):
+    """A pricing function violated monotonicity or subadditivity."""
+
+
+class WorkloadError(ReproError):
+    """A workload/dataset generator received invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or failed to run."""

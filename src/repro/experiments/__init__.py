@@ -1,0 +1,27 @@
+"""Experiment harness: reproduce every table and figure of the paper.
+
+Each figure/table has a config-driven experiment in
+:mod:`repro.experiments.figures`; :mod:`repro.experiments.runner` executes the
+algorithm suite over (workload, valuation-model, parameter) grids and
+:mod:`repro.experiments.report` renders the same rows/series the paper plots.
+
+Scale note: defaults are laptop-sized (see DESIGN.md §2.4); pass larger
+``support_size``/``scale`` for closer-to-paper instances.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    SeriesPoint,
+    run_algorithms,
+    run_parameter_sweep,
+)
+from repro.experiments.report import format_series_table, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "SeriesPoint",
+    "format_series_table",
+    "format_table",
+    "run_algorithms",
+    "run_parameter_sweep",
+]

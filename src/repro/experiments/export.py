@@ -1,0 +1,78 @@
+"""CSV export of experiment artifacts.
+
+Every :class:`~repro.experiments.figures.FigureData` can be dumped to a CSV
+file so the paper's plots can be regenerated with any plotting tool (the
+offline environment has no matplotlib; the benchmark suite prints text tables
+and these CSVs are the machine-readable twin).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.figures import FigureData
+from repro.exceptions import ExperimentError
+
+
+def export_series_csv(artifact: FigureData, path: str | Path) -> Path:
+    """Write a sweep-style artifact (``data['series']``) as CSV.
+
+    Layout: one row per algorithm, one column per parameter value — the same
+    orientation as :func:`~repro.experiments.report.format_series_table`.
+    """
+    series = artifact.data.get("series")
+    parameters = artifact.data.get("parameters")
+    if series is None:
+        raise ExperimentError(
+            f"artifact {artifact.figure_id!r} has no series data to export"
+        )
+    if parameters is None:
+        lengths = {len(values) for values in series.values()}
+        if len(lengths) != 1:
+            raise ExperimentError("series have inconsistent lengths")
+        parameters = list(range(lengths.pop()))
+
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series"] + [str(p) for p in parameters])
+        for name, values in series.items():
+            writer.writerow([name] + [f"{v:.6f}" for v in values])
+    return path
+
+
+def export_runtimes_csv(artifact: FigureData, path: str | Path) -> Path:
+    """Write a runtime-table artifact (``data['runtimes']``) as CSV."""
+    runtimes = artifact.data.get("runtimes")
+    if runtimes is None:
+        raise ExperimentError(
+            f"artifact {artifact.figure_id!r} has no runtime data to export"
+        )
+    path = Path(path)
+    keys = sorted({name for row in runtimes.values() for name in row})
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["row"] + keys)
+        for row_label, row in runtimes.items():
+            writer.writerow(
+                [str(row_label)] + [f"{row.get(key, float('nan')):.6f}" for key in keys]
+            )
+    return path
+
+
+def export_histogram_csv(artifact: FigureData, path: str | Path) -> Path:
+    """Write a Figure-4-style histogram artifact as CSV."""
+    counts = artifact.data.get("counts")
+    edges = artifact.data.get("bin_edges")
+    if counts is None or edges is None:
+        raise ExperimentError(
+            f"artifact {artifact.figure_id!r} has no histogram data to export"
+        )
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["bin_low", "bin_high", "count"])
+        for i, count in enumerate(counts):
+            writer.writerow([f"{edges[i]:.1f}", f"{edges[i + 1]:.1f}", int(count)])
+    return path

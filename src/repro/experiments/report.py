@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's figures plot *normalized revenue* per algorithm as a parameter
+varies; these helpers render the same data as aligned text tables so every
+figure/table has a textual twin in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    parameter_name: str,
+    parameter_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one row per algorithm, one column per
+    parameter value (what the paper plots as grouped bars)."""
+    headers = [parameter_name] + [_fmt(value) for value in parameter_values]
+    rows = [
+        [name] + [_fmt(value) for value in values]
+        for name, values in series.items()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

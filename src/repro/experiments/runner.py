@@ -1,0 +1,150 @@
+"""Running the algorithm suite over instances and parameter sweeps."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.bounds import subadditive_upper_bound
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.valuations.base import ValuationModel
+
+
+@dataclass
+class ExperimentResult:
+    """Results of running a suite of algorithms on one instance."""
+
+    instance_name: str
+    total_valuation: float
+    subadditive_bound: float | None
+    results: dict[str, PricingResult] = field(default_factory=dict)
+
+    def normalized(self, algorithm: str) -> float:
+        """Revenue / sum-of-valuations — the y-axis of every figure."""
+        if self.total_valuation <= 0:
+            return 0.0
+        return self.results[algorithm].revenue / self.total_valuation
+
+    def normalized_series(self) -> dict[str, float]:
+        series = {name: self.normalized(name) for name in self.results}
+        if self.subadditive_bound is not None and self.total_valuation > 0:
+            series["subadditive bound"] = self.subadditive_bound / self.total_valuation
+        return series
+
+    def runtimes(self) -> dict[str, float]:
+        return {
+            name: result.runtime_seconds for name, result in self.results.items()
+        }
+
+
+def run_algorithms(
+    instance: PricingInstance,
+    algorithms: Sequence[PricingAlgorithm],
+    compute_bound: bool = True,
+    bound_max_cover_size: int = 32,
+) -> ExperimentResult:
+    """Run every algorithm on ``instance``; optionally add the LP bound."""
+    bound = (
+        subadditive_upper_bound(instance, max_cover_size=bound_max_cover_size)
+        if compute_bound
+        else None
+    )
+    outcome = ExperimentResult(
+        instance_name=instance.name,
+        total_valuation=instance.total_valuation(),
+        subadditive_bound=bound,
+    )
+    for algorithm in algorithms:
+        outcome.results[algorithm.name] = algorithm.run(instance)
+    return outcome
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (parameter value, experiment result) pair of a sweep."""
+
+    parameter: object
+    result: ExperimentResult
+
+
+def run_parameter_sweep(
+    hypergraph: Hypergraph,
+    models: Sequence[tuple[object, ValuationModel]],
+    algorithms: Sequence[PricingAlgorithm],
+    seed: int = 1,
+    compute_bound: bool = True,
+    repetitions: int = 1,
+) -> list[SeriesPoint]:
+    """The paper's figure pattern: one hypergraph, a family of valuation
+    models indexed by a parameter, all algorithms on each.
+
+    With ``repetitions > 1`` the reported revenue for each algorithm is the
+    mean over fresh valuation draws (the paper averages 5 runs).
+    """
+    points: list[SeriesPoint] = []
+    for offset, (parameter, model) in enumerate(models):
+        merged: ExperimentResult | None = None
+        for repetition in range(repetitions):
+            rng = np.random.default_rng(seed + 1000 * offset + repetition)
+            instance = model.instance(hypergraph, rng=rng)
+            outcome = run_algorithms(
+                instance, algorithms, compute_bound=compute_bound
+            )
+            if merged is None:
+                merged = outcome
+            else:
+                merged = _merge_mean(merged, outcome, repetition)
+        points.append(SeriesPoint(parameter, merged))
+    return points
+
+
+def _merge_mean(
+    accumulated: ExperimentResult, new: ExperimentResult, repetition: int
+) -> ExperimentResult:
+    """Running mean of revenues/bounds across repetitions.
+
+    Only scalar summaries are averaged; the pricing objects kept are from the
+    first repetition (they are representative, and figures only use scalars).
+    """
+    weight = repetition / (repetition + 1)
+    accumulated.total_valuation = (
+        weight * accumulated.total_valuation + (1 - weight) * new.total_valuation
+    )
+    if accumulated.subadditive_bound is not None and new.subadditive_bound is not None:
+        accumulated.subadditive_bound = (
+            weight * accumulated.subadditive_bound
+            + (1 - weight) * new.subadditive_bound
+        )
+    for name, result in accumulated.results.items():
+        fresh = new.results[name]
+        result.report = type(result.report)(
+            revenue=weight * result.report.revenue + (1 - weight) * fresh.report.revenue,
+            num_sold=result.report.num_sold,
+            num_edges=result.report.num_edges,
+            prices=result.report.prices,
+            sold=result.report.sold,
+        )
+        result.runtime_seconds = (
+            weight * result.runtime_seconds + (1 - weight) * fresh.runtime_seconds
+        )
+    return accumulated
+
+
+def sweep_series(
+    points: Sequence[SeriesPoint],
+) -> tuple[list[object], dict[str, list[float]]]:
+    """Reshape sweep points into (parameter values, name -> series)."""
+    parameters = [point.parameter for point in points]
+    names: list[str] = []
+    for point in points:
+        for name in point.result.normalized_series():
+            if name not in names:
+                names.append(name)
+    series = {
+        name: [point.result.normalized_series().get(name, float("nan")) for point in points]
+        for name in names
+    }
+    return parameters, series

@@ -1,0 +1,53 @@
+"""Limited-supply, envy-free pricing — the setting CIP was born in.
+
+The paper adapts Cheung & Swamy's capacity item pricing to unlimited supply
+(a query answer can be sold any number of times). The *original* setting —
+each item exists in finitely many copies — matters for data markets too:
+exclusivity tiers ("at most k buyers may learn this"), privacy budgets, and
+revenue-managed early access all cap how many times a conflict-set item may
+be revealed.
+
+Semantics (envy-free pricing with single-minded buyers, per Guruswami et al.
+and Cheung & Swamy): under an item pricing ``w``, every buyer whose bundle
+is *strictly* affordable (``p(e) < v_e``) must receive it — otherwise the
+buyer envies the allocation. Buyers that are exactly indifferent
+(``p(e) = v_e``) may be rationed. A pricing is *feasible* when the forced
+winners fit the capacities.
+
+- :mod:`repro.limited.market` — capacities, allocation, envy-freeness;
+- :mod:`repro.limited.welfare` — capacitated welfare LP and greedy integral
+  allocation (the revenue upper bound and the social-optimum reference);
+- :mod:`repro.limited.algorithms` — limited-supply pricing algorithms
+  (capacity-LP duals with a price-scaling sweep, and feasible uniform
+  pricing).
+"""
+
+from repro.limited.market import (
+    AllocationReport,
+    LimitedSupplyInstance,
+    allocate,
+    is_envy_free_feasible,
+    priced_out_pricing,
+)
+from repro.limited.welfare import (
+    WelfareResult,
+    fractional_max_welfare,
+    greedy_integral_welfare,
+)
+from repro.limited.algorithms import (
+    LimitedCIP,
+    LimitedUniformPricing,
+)
+
+__all__ = [
+    "AllocationReport",
+    "LimitedCIP",
+    "LimitedSupplyInstance",
+    "LimitedUniformPricing",
+    "WelfareResult",
+    "allocate",
+    "fractional_max_welfare",
+    "greedy_integral_welfare",
+    "is_envy_free_feasible",
+    "priced_out_pricing",
+]

@@ -1,0 +1,214 @@
+"""Pricing algorithms for the limited-supply, envy-free setting.
+
+Two algorithms, both returning a :class:`LimitedPricingResult`:
+
+- :class:`LimitedCIP` — Cheung–Swamy in its native habitat: solve the
+  capacitated welfare LP once with the *true* capacities, read item prices
+  off the capacity duals, then sweep a geometric scaling of the price
+  vector and keep the best feasible revenue. Scaling up prices thins demand
+  (restoring feasibility when LP degeneracy overcommits); scaling down
+  trades margin for volume.
+- :class:`LimitedUniformPricing` — the UIP idea under capacities: try the
+  candidate uniform prices ``v_e / |e|`` and keep the best feasible one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pricing import ItemPricing
+from repro.exceptions import LPError, PricingError
+from repro.limited.market import (
+    AllocationReport,
+    LimitedSupplyInstance,
+    allocate,
+    priced_out_pricing,
+)
+from repro.lp import LinExpr, LPModel, Sense
+
+
+@dataclass
+class LimitedPricingResult:
+    """A pricing, its allocation, and bookkeeping."""
+
+    algorithm: str
+    pricing: ItemPricing
+    report: AllocationReport
+    runtime_seconds: float
+    metadata: dict
+
+    @property
+    def revenue(self) -> float:
+        return self.report.revenue
+
+
+class LimitedCIP:
+    """Cheung–Swamy capacity duals, generalized to per-item capacities.
+
+    Classic CIP sweeps a synthetic capacity ``k`` because in unlimited
+    supply nothing else makes the welfare LP bind. Here the true capacities
+    may bind — but when they are slack (capacity >= degree) the duals
+    vanish and the LP says nothing about prices. The sweep therefore solves
+    the welfare LP with caps ``min(k, c_j)`` for ``k = 1, (1+eps), ...``:
+    tight ``k`` recovers classic CIP behaviour, large ``k`` recovers the
+    true-capacity duals. Each dual vector is additionally scaled across a
+    small geometric range (LP degeneracy can leave duals a notch too low to
+    be feasible, or a notch too high to be profitable).
+    """
+
+    name = "limited-cip"
+
+    def __init__(self, epsilon: float = 0.25, scale_range: int = 6):
+        if epsilon <= 0:
+            raise PricingError("epsilon must be positive")
+        if scale_range < 0:
+            raise PricingError("scale_range must be non-negative")
+        self.epsilon = epsilon
+        self.scale_range = scale_range
+
+    def run(self, market: LimitedSupplyInstance) -> LimitedPricingResult:
+        start = time.perf_counter()
+        best_pricing, best_report = _feasible_baseline(market)
+        best_scale: float | None = None
+        best_sweep_capacity: float | None = None
+        programs = 0
+
+        max_degree = market.instance.hypergraph.max_degree
+        for sweep_capacity in _capacity_schedule(max_degree, self.epsilon):
+            duals = self._capacity_duals(market, sweep_capacity)
+            if duals is None or not np.any(duals > 0):
+                continue
+            programs += 1
+            for power in range(-self.scale_range, self.scale_range + 1):
+                scale = (1.0 + self.epsilon) ** power
+                pricing = ItemPricing(duals * scale)
+                report = allocate(pricing, market)
+                if report.feasible and report.revenue > best_report.revenue:
+                    best_pricing = pricing
+                    best_report = report
+                    best_scale = scale
+                    best_sweep_capacity = sweep_capacity
+
+        elapsed = time.perf_counter() - start
+        return LimitedPricingResult(
+            algorithm=self.name,
+            pricing=best_pricing,
+            report=best_report,
+            runtime_seconds=elapsed,
+            metadata={
+                "num_programs": programs,
+                "best_scale": best_scale,
+                "best_sweep_capacity": best_sweep_capacity,
+                "epsilon": self.epsilon,
+            },
+        )
+
+    def _capacity_duals(
+        self, market: LimitedSupplyInstance, sweep_capacity: float
+    ) -> np.ndarray | None:
+        instance = market.instance
+        nonempty = [
+            index for index in range(instance.num_edges) if instance.edges[index]
+        ]
+        used_items = instance.hypergraph.used_items()
+        if not nonempty or not used_items:
+            return None
+        model = LPModel(name=f"limited-cip-k{sweep_capacity:g}", sense=Sense.MAXIMIZE)
+        x = {
+            index: model.add_variable(f"x{index}", lower=0.0, upper=1.0)
+            for index in nonempty
+        }
+        model.set_objective(
+            LinExpr.weighted_sum(
+                (x[index], float(instance.valuations[index])) for index in nonempty
+            )
+        )
+        incidence = instance.hypergraph.incidence
+        constrained_items = []
+        for item in used_items:
+            members = [x[index] for index in incidence[item] if index in x]
+            if members:
+                cap = min(sweep_capacity, float(market.capacities[item]))
+                model.add_constraint(
+                    LinExpr.sum_of(members) <= cap, name=f"cap-{item}"
+                )
+                constrained_items.append(item)
+        try:
+            solution = model.solve()
+        except LPError:
+            return None
+        duals = np.zeros(market.num_items)
+        for item in constrained_items:
+            duals[item] = max(0.0, solution.dual(f"cap-{item}"))
+        return duals
+
+
+def _capacity_schedule(max_degree: int, epsilon: float) -> list[float]:
+    """Geometric sweep ``1, (1+eps), ..., >= B`` (classic CIP's schedule)."""
+    if max_degree <= 0:
+        return [1.0]
+    schedule: list[float] = []
+    value = 1.0
+    while value < max_degree:
+        schedule.append(value)
+        value *= 1.0 + epsilon
+    schedule.append(float(max_degree))
+    return schedule
+
+
+def _feasible_baseline(
+    market: LimitedSupplyInstance,
+) -> tuple[ItemPricing, AllocationReport]:
+    """Zero pricing when feasible (sell everything free), else price out."""
+    zero = ItemPricing(np.zeros(market.num_items))
+    report = allocate(zero, market)
+    if report.feasible:
+        return zero, report
+    fallback = priced_out_pricing(market)
+    return fallback, allocate(fallback, market)
+
+
+class LimitedUniformPricing:
+    """Best feasible uniform item price under capacities."""
+
+    name = "limited-uip"
+
+    def run(self, market: LimitedSupplyInstance) -> LimitedPricingResult:
+        start = time.perf_counter()
+        instance = market.instance
+        candidates = sorted(
+            {
+                float(instance.valuations[index]) / len(instance.edges[index])
+                for index in range(instance.num_edges)
+                if instance.edges[index] and instance.valuations[index] > 0
+            },
+            reverse=True,
+        )
+        best_pricing, best_report = _feasible_baseline(market)
+        best_weight: float | None = None
+        infeasible = 0
+        for weight in candidates:
+            pricing = ItemPricing.uniform(market.num_items, weight)
+            report = allocate(pricing, market)
+            if not report.feasible:
+                infeasible += 1
+                continue
+            if report.revenue > best_report.revenue:
+                best_pricing = pricing
+                best_report = report
+                best_weight = weight
+        elapsed = time.perf_counter() - start
+        return LimitedPricingResult(
+            algorithm=self.name,
+            pricing=best_pricing,
+            report=best_report,
+            runtime_seconds=elapsed,
+            metadata={
+                "best_weight": best_weight,
+                "num_candidates": len(candidates),
+                "num_infeasible": infeasible,
+            },
+        )

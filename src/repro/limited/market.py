@@ -1,0 +1,164 @@
+"""Limited-supply market semantics: capacities, allocation, envy-freeness.
+
+An item pricing together with capacities induces an allocation:
+
+1. every buyer with ``p(e) < v_e`` (strictly affordable) is a *forced
+   winner* — serving fewer would leave an envious buyer;
+2. buyers with ``p(e) = v_e`` are indifferent and may be rationed;
+3. buyers with ``p(e) > v_e`` walk away.
+
+A pricing is envy-free *feasible* when the forced winners alone respect
+every item capacity; the allocator then admits indifferent buyers greedily
+(highest price first) while capacity remains. Revenue is the sum of prices
+over served buyers. With all capacities at least the max degree ``B`` the
+semantics collapse to the paper's unlimited-supply model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing
+from repro.core.revenue import PRICE_TOLERANCE
+from repro.exceptions import PricingError
+
+
+@dataclass
+class LimitedSupplyInstance:
+    """A pricing instance plus per-item capacities (copies available)."""
+
+    instance: PricingInstance
+    capacities: np.ndarray
+
+    def __post_init__(self):
+        self.capacities = np.asarray(self.capacities, dtype=np.int64)
+        if self.capacities.shape != (self.instance.num_items,):
+            raise PricingError(
+                f"expected {self.instance.num_items} capacities, "
+                f"got shape {self.capacities.shape}"
+            )
+        if np.any(self.capacities < 0):
+            raise PricingError("capacities must be non-negative")
+
+    @classmethod
+    def uniform(cls, instance: PricingInstance, capacity: int) -> "LimitedSupplyInstance":
+        """Every item has the same number of copies."""
+        return cls(instance, np.full(instance.num_items, capacity, dtype=np.int64))
+
+    @property
+    def num_items(self) -> int:
+        return self.instance.num_items
+
+    @property
+    def num_edges(self) -> int:
+        return self.instance.num_edges
+
+    def is_effectively_unlimited(self) -> bool:
+        """True when no capacity can ever bind (capacity >= item degree)."""
+        return bool(np.all(self.capacities >= self.instance.hypergraph.degrees))
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Outcome of offering an item pricing to a limited-supply market."""
+
+    feasible: bool
+    revenue: float
+    served: np.ndarray  # boolean mask over edges
+    forced_winners: np.ndarray  # strictly-affordable mask
+    rationed: np.ndarray  # indifferent buyers that were *not* served
+    overdemanded_items: tuple[int, ...]  # non-empty iff infeasible
+
+    @property
+    def num_served(self) -> int:
+        return int(self.served.sum())
+
+
+def allocate(
+    pricing: ItemPricing,
+    market: LimitedSupplyInstance,
+    tolerance: float = PRICE_TOLERANCE,
+) -> AllocationReport:
+    """Allocate bundles under ``pricing``, enforcing envy-freeness.
+
+    Returns an infeasible report (revenue 0, nothing served) when the forced
+    winners alone exceed some capacity — such a pricing cannot be posted.
+    """
+    instance = market.instance
+    edges = instance.edges
+    valuations = instance.valuations
+    prices = pricing.price_edges(edges)
+
+    # Classify buyers. The tolerance band around equality mirrors
+    # compute_revenue: LP-produced prices sit exactly on valuations.
+    slack = valuations * tolerance + tolerance
+    strict = prices < valuations - slack
+    indifferent = (~strict) & (prices <= valuations + slack)
+
+    usage = np.zeros(market.num_items, dtype=np.int64)
+    for index in np.flatnonzero(strict):
+        for item in edges[index]:
+            usage[item] += 1
+    over = np.flatnonzero(usage > market.capacities)
+    if len(over):
+        nothing = np.zeros(instance.num_edges, dtype=bool)
+        return AllocationReport(
+            feasible=False,
+            revenue=0.0,
+            served=nothing,
+            forced_winners=strict,
+            rationed=nothing.copy(),
+            overdemanded_items=tuple(int(item) for item in over),
+        )
+
+    served = strict.copy()
+    rationed = np.zeros(instance.num_edges, dtype=bool)
+    # Admit indifferent buyers greedily, most expensive bundle first: each
+    # admission adds p(e) to revenue, so higher prices are preferred when
+    # capacity is scarce.
+    order = sorted(
+        np.flatnonzero(indifferent), key=lambda index: -float(prices[index])
+    )
+    for index in order:
+        bundle = edges[index]
+        if all(usage[item] < market.capacities[item] for item in bundle):
+            for item in bundle:
+                usage[item] += 1
+            served[index] = True
+        else:
+            rationed[index] = True
+
+    revenue = float(prices[served].sum())
+    return AllocationReport(
+        feasible=True,
+        revenue=revenue,
+        served=served,
+        forced_winners=strict,
+        rationed=rationed,
+        overdemanded_items=(),
+    )
+
+
+def is_envy_free_feasible(
+    pricing: ItemPricing,
+    market: LimitedSupplyInstance,
+    tolerance: float = PRICE_TOLERANCE,
+) -> bool:
+    """Whether the pricing's forced winners fit within the capacities."""
+    return allocate(pricing, market, tolerance).feasible
+
+
+def priced_out_pricing(market: LimitedSupplyInstance) -> ItemPricing:
+    """A pricing that is always feasible: every non-empty bundle costs more
+    than any valuation, so no buyer is a forced winner.
+
+    This is the safe fallback when even the zero pricing violates a
+    capacity (e.g. a zero-capacity item wanted by a positive-value buyer:
+    at price 0 that buyer strictly affords a copy that does not exist).
+    Revenue is 0 — the envy-free analogue of "shop closed".
+    """
+    top = float(market.instance.valuations.max(initial=0.0))
+    return ItemPricing(np.full(market.num_items, top + 1.0))

@@ -1,0 +1,89 @@
+"""Capacitated welfare maximization — reference bounds for limited supply.
+
+Social welfare (sum of winners' valuations) upper-bounds revenue: every
+served buyer pays at most their valuation. Two allocators:
+
+- :func:`fractional_max_welfare` — the LP relaxation (the same LP family CIP
+  solves, with true per-item capacities). Its value certifies an upper bound
+  on any envy-free revenue.
+- :func:`greedy_integral_welfare` — a fast integral baseline: admit bundles
+  in decreasing valuation order while capacity remains. For single-minded
+  buyers with bundle size at most ``k`` this is a ``k+1``-approximation to
+  the integral optimum (standard greedy argument); here it serves as the
+  social-optimum *lower* bound and a sanity check on the LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LPError
+from repro.limited.market import LimitedSupplyInstance
+from repro.lp import LinExpr, LPModel, Sense
+
+
+@dataclass(frozen=True)
+class WelfareResult:
+    """Welfare value plus the allocation achieving it."""
+
+    welfare: float
+    allocation: np.ndarray  # per-edge quantity in [0, 1] (0/1 for integral)
+
+    @property
+    def num_allocated(self) -> int:
+        return int(np.count_nonzero(self.allocation > 1e-9))
+
+
+def fractional_max_welfare(market: LimitedSupplyInstance) -> WelfareResult:
+    """Solve ``max sum v_e x_e  s.t.  sum_{e ∋ j} x_e <= c_j, 0 <= x <= 1``."""
+    instance = market.instance
+    nonempty = [index for index in range(instance.num_edges) if instance.edges[index]]
+    allocation = np.zeros(instance.num_edges)
+    if not nonempty:
+        return WelfareResult(0.0, allocation)
+
+    model = LPModel(name="limited-welfare", sense=Sense.MAXIMIZE)
+    x = {
+        index: model.add_variable(f"x{index}", lower=0.0, upper=1.0)
+        for index in nonempty
+    }
+    model.set_objective(
+        LinExpr.weighted_sum(
+            (x[index], float(instance.valuations[index])) for index in nonempty
+        )
+    )
+    incidence = instance.hypergraph.incidence
+    for item in instance.hypergraph.used_items():
+        members = [x[index] for index in incidence[item] if index in x]
+        if members:
+            model.add_constraint(
+                LinExpr.sum_of(members) <= float(market.capacities[item]),
+                name=f"cap-{item}",
+            )
+    try:
+        solution = model.solve()
+    except LPError:
+        return WelfareResult(0.0, allocation)
+    for index, variable in x.items():
+        allocation[index] = min(1.0, max(0.0, solution.value(variable)))
+    return WelfareResult(float(solution.objective), allocation)
+
+
+def greedy_integral_welfare(market: LimitedSupplyInstance) -> WelfareResult:
+    """Admit bundles by decreasing valuation while capacities allow."""
+    instance = market.instance
+    usage = np.zeros(market.num_items, dtype=np.int64)
+    allocation = np.zeros(instance.num_edges)
+    welfare = 0.0
+    for index in instance.edges_by_valuation(descending=True):
+        bundle = instance.edges[index]
+        if not bundle or instance.valuations[index] <= 0:
+            continue
+        if all(usage[item] < market.capacities[item] for item in bundle):
+            for item in bundle:
+                usage[item] += 1
+            allocation[index] = 1.0
+            welfare += float(instance.valuations[index])
+    return WelfareResult(welfare, allocation)

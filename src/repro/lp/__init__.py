@@ -1,0 +1,31 @@
+"""Linear-programming substrate.
+
+The paper's implementation uses CVXPY; this package provides the small slice
+of functionality the pricing algorithms need — building LPs declaratively and
+solving them with dual values — on top of ``scipy.optimize.linprog`` (HiGHS).
+
+Public API::
+
+    model = LPModel(name="lpip", sense=Sense.MAXIMIZE)
+    w = [model.add_variable(f"w{j}", lower=0.0) for j in range(n)]
+    model.set_objective(LinExpr.sum_of(w))
+    model.add_constraint(w[0] + w[1] <= 5.0, name="edge-0")
+    solution = model.solve()
+    solution.value(w[0]); solution.objective; solution.dual("edge-0")
+"""
+
+from repro.lp.model import Constraint, LinExpr, LPModel, Sense, Variable
+from repro.lp.solution import LPSolution, SolveStats
+from repro.lp.solver import ScipySolver, solve_model
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "LPModel",
+    "LPSolution",
+    "ScipySolver",
+    "Sense",
+    "SolveStats",
+    "Variable",
+    "solve_model",
+]

@@ -1,0 +1,259 @@
+"""Declarative LP model: variables, linear expressions, constraints.
+
+This is a deliberately small modeling layer — just enough expressiveness for
+the pricing LPs in the paper (LPIP, CIP, the subadditive bound, and the UBP
+post-processing refinement). Expressions support ``+``, ``-``, scalar ``*``,
+and comparisons ``<=``, ``>=``, ``==`` that produce :class:`Constraint`
+objects, mirroring the CVXPY idiom used by the authors.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import LPError
+
+
+class Sense(enum.Enum):
+    """Optimization direction of an :class:`LPModel`."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+class Relation(enum.Enum):
+    """Comparison relation of a :class:`Constraint`."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable.
+
+    Variables are created through :meth:`LPModel.add_variable`; ``index`` is
+    the column index assigned by the owning model.
+    """
+
+    name: str
+    index: int
+    lower: float | None = 0.0
+    upper: float | None = None
+
+    def __add__(self, other: object) -> "LinExpr":
+        return LinExpr.of(self) + other
+
+    def __radd__(self, other: object) -> "LinExpr":
+        return LinExpr.of(self) + other
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return LinExpr.of(self) - other
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return (-1.0) * LinExpr.of(self) + other
+
+    def __mul__(self, coef: object) -> "LinExpr":
+        return LinExpr.of(self) * coef
+
+    def __rmul__(self, coef: object) -> "LinExpr":
+        return LinExpr.of(self) * coef
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr.of(self) * -1.0
+
+    def __le__(self, other: object) -> "Constraint":
+        return LinExpr.of(self) <= other
+
+    def __ge__(self, other: object) -> "Constraint":
+        return LinExpr.of(self) >= other
+
+    # dataclass(frozen=True) already provides __eq__/__hash__ on identity
+    # fields; constraint construction uses LinExpr explicitly via `==` on
+    # expressions, not on bare variables, to keep hashing intact.
+
+
+class LinExpr:
+    """A linear expression ``sum_j coeffs[j] * x_j + constant``.
+
+    Stored sparsely as a mapping from variable index to coefficient.
+    Instances are immutable from the caller's perspective: all operators
+    return new expressions.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    @classmethod
+    def of(cls, var: Variable, coef: float = 1.0) -> "LinExpr":
+        """Expression consisting of a single scaled variable."""
+        return cls({var.index: float(coef)})
+
+    @classmethod
+    def constant_of(cls, value: float) -> "LinExpr":
+        """Expression with no variables."""
+        return cls(constant=value)
+
+    @classmethod
+    def sum_of(cls, terms: Iterable["Variable | LinExpr"]) -> "LinExpr":
+        """Efficient sum of many variables/expressions (avoids O(n^2) adds)."""
+        coeffs: dict[int, float] = {}
+        constant = 0.0
+        for term in terms:
+            if isinstance(term, Variable):
+                coeffs[term.index] = coeffs.get(term.index, 0.0) + 1.0
+            elif isinstance(term, LinExpr):
+                constant += term.constant
+                for idx, coef in term.coeffs.items():
+                    coeffs[idx] = coeffs.get(idx, 0.0) + coef
+            else:
+                raise TypeError(f"cannot sum term of type {type(term).__name__}")
+        return cls(coeffs, constant)
+
+    @classmethod
+    def weighted_sum(cls, pairs: Iterable[tuple["Variable", float]]) -> "LinExpr":
+        """Expression ``sum coef * var`` from (var, coef) pairs."""
+        coeffs: dict[int, float] = {}
+        for var, coef in pairs:
+            coeffs[var.index] = coeffs.get(var.index, 0.0) + float(coef)
+        return cls(coeffs)
+
+    def _coerce(self, other: object) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr.of(other)
+        if isinstance(other, (int, float)):
+            return LinExpr.constant_of(float(other))
+        raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other: object) -> "LinExpr":
+        rhs = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for idx, coef in rhs.coeffs.items():
+            coeffs[idx] = coeffs.get(idx, 0.0) + coef
+        return LinExpr(coeffs, self.constant + rhs.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: object) -> "LinExpr":
+        return self._coerce(other) + (self * -1.0)
+
+    def __mul__(self, coef: object) -> "LinExpr":
+        if not isinstance(coef, (int, float)):
+            raise TypeError("LinExpr supports only scalar multiplication")
+        scale = float(coef)
+        return LinExpr({i: c * scale for i, c in self.coeffs.items()}, self.constant * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other: object) -> "Constraint":
+        return Constraint(self - self._coerce(other), Relation.LE)
+
+    def __ge__(self, other: object) -> "Constraint":
+        return Constraint(self - self._coerce(other), Relation.GE)
+
+    def equals(self, other: object) -> "Constraint":
+        """Equality constraint (``==`` is kept for object identity)."""
+        return Constraint(self - self._coerce(other), Relation.EQ)
+
+    def evaluate(self, values: Mapping[int, float]) -> float:
+        """Value of the expression under an assignment index -> value."""
+        return self.constant + sum(coef * values.get(idx, 0.0) for idx, coef in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass
+class Constraint:
+    """A constraint ``expr (<=|>=|==) 0`` after moving everything left.
+
+    Created by comparing expressions; named via :meth:`LPModel.add_constraint`.
+    """
+
+    expr: LinExpr
+    relation: Relation
+    name: str | None = None
+
+    def normalized(self) -> tuple[dict[int, float], float]:
+        """Return (coeffs, rhs) with the constant moved to the right side."""
+        return self.expr.coeffs, -self.expr.constant
+
+
+@dataclass
+class LPModel:
+    """A linear program under construction.
+
+    The model owns its variables and constraints; :meth:`solve` delegates to
+    :func:`repro.lp.solver.solve_model`.
+    """
+
+    name: str = "lp"
+    sense: Sense = Sense.MAXIMIZE
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+    objective: LinExpr = field(default_factory=LinExpr)
+    _names: set[str] = field(default_factory=set, repr=False)
+
+    def add_variable(
+        self,
+        name: str | None = None,
+        lower: float | None = 0.0,
+        upper: float | None = None,
+    ) -> Variable:
+        """Create and register a new decision variable.
+
+        Bounds default to ``[0, +inf)`` which is what every pricing LP in the
+        paper uses (prices are non-negative).
+        """
+        index = len(self.variables)
+        var = Variable(name or f"x{index}", index, lower, upper)
+        self.variables.append(var)
+        return var
+
+    def add_variables(self, count: int, prefix: str = "x", lower: float | None = 0.0,
+                      upper: float | None = None) -> list[Variable]:
+        """Create ``count`` homogeneous variables named ``{prefix}{i}``."""
+        return [self.add_variable(f"{prefix}{i}", lower, upper) for i in range(count)]
+
+    def add_constraint(self, constraint: Constraint, name: str | None = None) -> Constraint:
+        """Register a constraint, optionally naming it for dual lookup."""
+        if name is not None:
+            if name in self._names:
+                raise LPError(f"duplicate constraint name: {name!r}")
+            self._names.add(name)
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: LinExpr | Variable) -> None:
+        """Set the objective expression (direction comes from ``sense``)."""
+        self.objective = LinExpr.of(expr) if isinstance(expr, Variable) else expr
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def solve(self, **kwargs) -> "LPSolution":
+        """Solve with the default scipy backend. See :func:`solve_model`."""
+        from repro.lp.solver import solve_model
+
+        return solve_model(self, **kwargs)

@@ -1,0 +1,58 @@
+"""Solution objects returned by the LP solver backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.lp.model import LinExpr, Variable
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Diagnostics for a single solve call."""
+
+    solver: str
+    status: str
+    iterations: int
+    wall_time_seconds: float
+    num_variables: int
+    num_constraints: int
+
+
+@dataclass
+class LPSolution:
+    """An optimal solution to an :class:`~repro.lp.model.LPModel`.
+
+    Primal values are indexed by variable column; duals by constraint name
+    (unnamed constraints are only reachable positionally via ``dual_by_index``).
+    """
+
+    objective: float
+    primal: Mapping[int, float]
+    duals_by_name: Mapping[str, float] = field(default_factory=dict)
+    duals_by_index: Mapping[int, float] = field(default_factory=dict)
+    stats: SolveStats | None = None
+
+    def value(self, target: Variable | LinExpr) -> float:
+        """Value of a variable or expression under the optimal assignment."""
+        if isinstance(target, Variable):
+            return self.primal.get(target.index, 0.0)
+        return target.evaluate(self.primal)
+
+    def values(self, variables: list[Variable]) -> list[float]:
+        """Values of several variables, in order."""
+        return [self.primal.get(v.index, 0.0) for v in variables]
+
+    def dual(self, name: str) -> float:
+        """Dual (shadow price) of the named constraint.
+
+        For HiGHS, duals of ``<=`` constraints in a maximization problem are
+        reported non-negative (the marginal revenue of relaxing the bound),
+        which is the sign convention CIP expects for item prices.
+        """
+        return self.duals_by_name.get(name, 0.0)
+
+    def dual_by_index(self, index: int) -> float:
+        """Dual of the ``index``-th constraint added to the model."""
+        return self.duals_by_index.get(index, 0.0)

@@ -1,0 +1,158 @@
+"""Scipy (HiGHS) backend for :class:`~repro.lp.model.LPModel`.
+
+Compiles the declarative model to the matrix form expected by
+``scipy.optimize.linprog`` and maps the result (including dual values) back to
+model-level names. HiGHS reports duals for a *minimization* problem; for
+maximization models we negate the objective before solving and flip the dual
+signs back so that callers always see the "marginal value of relaxing the
+constraint toward feasibility" convention.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.exceptions import LPInfeasibleError, LPSolverError, LPUnboundedError
+from repro.lp.model import LPModel, Relation, Sense
+from repro.lp.solution import LPSolution, SolveStats
+
+
+class ScipySolver:
+    """LP solver backed by ``scipy.optimize.linprog`` with the HiGHS method.
+
+    Parameters
+    ----------
+    method:
+        scipy ``linprog`` method. ``"highs"`` lets HiGHS pick between its
+        simplex and interior-point codes; duals are available either way.
+    """
+
+    def __init__(self, method: str = "highs"):
+        self.method = method
+
+    def solve(self, model: LPModel) -> LPSolution:
+        """Solve the model, raising on infeasible/unbounded programs."""
+        num_vars = model.num_variables
+        maximize = model.sense is Sense.MAXIMIZE
+
+        c = np.zeros(num_vars)
+        for idx, coef in model.objective.coeffs.items():
+            c[idx] = coef
+        if maximize:
+            c = -c
+
+        ub_rows: list[tuple[dict[int, float], float]] = []
+        ub_positions: list[int] = []
+        eq_rows: list[tuple[dict[int, float], float]] = []
+        eq_positions: list[int] = []
+        for position, constraint in enumerate(model.constraints):
+            coeffs, rhs = constraint.normalized()
+            if constraint.relation is Relation.LE:
+                ub_rows.append((coeffs, rhs))
+                ub_positions.append(position)
+            elif constraint.relation is Relation.GE:
+                # a >= b  <=>  -a <= -b
+                ub_rows.append(({i: -v for i, v in coeffs.items()}, -rhs))
+                ub_positions.append(position)
+            else:
+                eq_rows.append((coeffs, rhs))
+                eq_positions.append(position)
+
+        a_ub, b_ub = _build_sparse(ub_rows, num_vars)
+        a_eq, b_eq = _build_sparse(eq_rows, num_vars)
+        bounds = [(v.lower, v.upper) for v in model.variables]
+
+        start = time.perf_counter()
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method=self.method,
+        )
+        elapsed = time.perf_counter() - start
+
+        if result.status == 2:
+            raise LPInfeasibleError(f"model {model.name!r} is infeasible")
+        if result.status == 3:
+            raise LPUnboundedError(f"model {model.name!r} is unbounded")
+        if not result.success:
+            raise LPSolverError(
+                f"model {model.name!r} failed: {result.message} (status {result.status})"
+            )
+
+        objective = float(result.fun)
+        if maximize:
+            objective = -objective
+        objective += model.objective.constant
+
+        primal = {i: float(x) for i, x in enumerate(result.x)}
+
+        duals_by_index: dict[int, float] = {}
+        # HiGHS duals follow the minimization convention; flip sign so that
+        # for a maximization model the dual of a binding `<=` constraint is
+        # the (non-negative) marginal objective gain of relaxing it.
+        sign = -1.0 if maximize else 1.0
+        ineq = getattr(result, "ineqlin", None)
+        if ineq is not None and ineq.marginals is not None:
+            for row, marginal in enumerate(ineq.marginals):
+                position = ub_positions[row]
+                value = sign * float(marginal)
+                # GE rows were negated on the way in; negate the dual back.
+                if model.constraints[position].relation is Relation.GE:
+                    value = -value
+                duals_by_index[position] = value
+        eqlin = getattr(result, "eqlin", None)
+        if eqlin is not None and eqlin.marginals is not None:
+            for row, marginal in enumerate(eqlin.marginals):
+                duals_by_index[eq_positions[row]] = sign * float(marginal)
+
+        duals_by_name = {
+            constraint.name: duals_by_index[position]
+            for position, constraint in enumerate(model.constraints)
+            if constraint.name is not None and position in duals_by_index
+        }
+
+        stats = SolveStats(
+            solver=f"scipy-{self.method}",
+            status="optimal",
+            iterations=int(getattr(result, "nit", 0) or 0),
+            wall_time_seconds=elapsed,
+            num_variables=num_vars,
+            num_constraints=model.num_constraints,
+        )
+        return LPSolution(objective, primal, duals_by_name, duals_by_index, stats)
+
+
+def _build_sparse(
+    rows: list[tuple[dict[int, float], float]], num_vars: int
+) -> tuple[csr_matrix | None, np.ndarray | None]:
+    """Assemble a CSR matrix + rhs vector from sparse row dicts."""
+    if not rows:
+        return None, None
+    data: list[float] = []
+    indices: list[int] = []
+    indptr: list[int] = [0]
+    rhs = np.empty(len(rows))
+    for r, (coeffs, b) in enumerate(rows):
+        for idx, coef in coeffs.items():
+            indices.append(idx)
+            data.append(coef)
+        indptr.append(len(data))
+        rhs[r] = b
+    matrix = csr_matrix((data, indices, indptr), shape=(len(rows), num_vars))
+    return matrix, rhs
+
+
+_DEFAULT_SOLVER = ScipySolver()
+
+
+def solve_model(model: LPModel, solver: ScipySolver | None = None) -> LPSolution:
+    """Solve ``model`` with ``solver`` (default: module-level HiGHS solver)."""
+    return (solver or _DEFAULT_SOLVER).solve(model)

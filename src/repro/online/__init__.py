@@ -1,0 +1,39 @@
+"""Online posted-price learning — the paper's "Learning buyer valuations"
+future-work direction (Section 7.2).
+
+Buyers arrive one at a time with a fixed but *unknown* valuation for their
+query bundle; the market posts a price and only observes accept/reject. The
+policies here — fixed-grid UCB, EXP3, and a multiplicative price-walk — learn
+a uniform bundle price online; the environment also supports per-item price
+learning for additive pricing.
+"""
+
+from repro.online.env import BuyerStream, OnlineMarketEnv
+from repro.online.item_pricing import (
+    ItemSimulationResult,
+    OnlineItemPricingPolicy,
+    simulate_item_pricing,
+)
+from repro.online.policies import (
+    EpsilonGreedyPolicy,
+    Exp3Policy,
+    FixedPricePolicy,
+    PriceWalkPolicy,
+    UCBPolicy,
+)
+from repro.online.simulate import SimulationResult, simulate
+
+__all__ = [
+    "BuyerStream",
+    "EpsilonGreedyPolicy",
+    "Exp3Policy",
+    "FixedPricePolicy",
+    "ItemSimulationResult",
+    "OnlineItemPricingPolicy",
+    "OnlineMarketEnv",
+    "PriceWalkPolicy",
+    "SimulationResult",
+    "UCBPolicy",
+    "simulate",
+    "simulate_item_pricing",
+]

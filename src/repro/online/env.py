@@ -1,0 +1,89 @@
+"""Online market environment: a stream of single-minded buyers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypergraph import PricingInstance
+from repro.exceptions import PricingError
+
+
+@dataclass(frozen=True)
+class BuyerArrival:
+    """One arriving buyer: which edge they want and their private valuation."""
+
+    step: int
+    edge_index: int
+    valuation: float
+
+
+class BuyerStream:
+    """Random arrival order over an instance's buyers, with replacement.
+
+    Each arrival picks one of the instance's hyperedges uniformly (or by
+    supplied weights); its valuation is the instance's fixed valuation —
+    unknown to the seller, as in the paper's online formulation.
+    """
+
+    def __init__(
+        self,
+        instance: PricingInstance,
+        horizon: int,
+        rng: np.random.Generator | int | None = None,
+        weights: np.ndarray | None = None,
+    ):
+        if horizon < 1:
+            raise PricingError("horizon must be >= 1")
+        if instance.num_edges == 0:
+            raise PricingError("instance has no buyers")
+        self.instance = instance
+        self.horizon = horizon
+        self.rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (instance.num_edges,) or np.any(weights < 0):
+                raise PricingError("weights must be non-negative, one per edge")
+            total = weights.sum()
+            if total <= 0:
+                raise PricingError("weights must not all be zero")
+            self.probabilities = weights / total
+        else:
+            self.probabilities = None
+
+    def __iter__(self):
+        for step in range(self.horizon):
+            if self.probabilities is None:
+                edge = int(self.rng.integers(self.instance.num_edges))
+            else:
+                edge = int(
+                    self.rng.choice(self.instance.num_edges, p=self.probabilities)
+                )
+            yield BuyerArrival(step, edge, float(self.instance.valuations[edge]))
+
+
+class OnlineMarketEnv:
+    """Posted-price interaction: the seller quotes, the buyer accepts iff
+    ``price <= valuation``; only the accept/reject bit is revealed."""
+
+    def __init__(self, stream: BuyerStream):
+        self.stream = stream
+        self.revenue = 0.0
+        self.sales = 0
+        self.steps = 0
+
+    def play(self, arrival: BuyerArrival, price: float) -> bool:
+        """Post ``price`` to ``arrival``; returns whether the buyer bought."""
+        self.steps += 1
+        accepted = price <= arrival.valuation
+        if accepted:
+            self.revenue += price
+            self.sales += 1
+        return accepted
+
+    @property
+    def average_revenue(self) -> float:
+        return self.revenue / self.steps if self.steps else 0.0

@@ -1,0 +1,133 @@
+"""Online *item* pricing — gradient-style learning of per-item weights.
+
+The grid policies of :mod:`repro.online.policies` learn one bundle price;
+here the seller maintains a full item-price vector (the succinct family the
+paper recommends) and updates it from accept/reject feedback only:
+
+- **accept** — the bundle was (weakly) underpriced; scale its items up,
+- **reject** — overpriced; scale its items down.
+
+Multiplicative updates keep weights positive, so the posted pricing is a
+valid additive (hence arbitrage-free) pricing at every step. This is the
+"gradient descent" direction the paper proposes to investigate in
+Section 7.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypergraph import PricingInstance
+from repro.core.pricing import ItemPricing
+from repro.exceptions import PricingError
+from repro.online.env import BuyerStream, OnlineMarketEnv
+
+
+class OnlineItemPricingPolicy:
+    """Multiplicative-update learner over an item-price vector.
+
+    Parameters
+    ----------
+    num_items:
+        Size of the support set.
+    initial_weight:
+        Starting uniform item weight (e.g. mean valuation / mean bundle size).
+    step_up / step_down:
+        Multiplicative factors applied to the items of accepted / rejected
+        bundles. ``step_up > 1 > step_down``. Asymmetric steps implement the
+        usual exploration bias: probing upward slowly, backing off fast.
+    floor:
+        Lower bound keeping weights strictly positive (and the policy
+        responsive after long rejection streaks).
+    """
+
+    name = "online-item"
+
+    def __init__(
+        self,
+        num_items: int,
+        initial_weight: float = 1.0,
+        step_up: float = 1.05,
+        step_down: float = 0.8,
+        floor: float = 1e-6,
+    ):
+        if num_items < 1:
+            raise PricingError("num_items must be >= 1")
+        if not (step_up > 1.0 > step_down > 0.0):
+            raise PricingError("need step_up > 1 > step_down > 0")
+        if initial_weight <= 0 or floor <= 0:
+            raise PricingError("initial weight and floor must be positive")
+        self.weights = np.full(num_items, float(initial_weight))
+        self.step_up = step_up
+        self.step_down = step_down
+        self.floor = floor
+
+    def price(self, bundle: frozenset[int]) -> float:
+        return float(sum(self.weights[item] for item in bundle))
+
+    def update(self, bundle: frozenset[int], accepted: bool) -> None:
+        if not bundle:
+            return
+        items = list(bundle)
+        factor = self.step_up if accepted else self.step_down
+        self.weights[items] = np.maximum(self.weights[items] * factor, self.floor)
+
+    def as_pricing(self) -> ItemPricing:
+        """Snapshot of the current learned additive pricing."""
+        return ItemPricing(self.weights.copy())
+
+
+@dataclass
+class ItemSimulationResult:
+    """Outcome of an online item-pricing simulation."""
+
+    horizon: int
+    revenue: float
+    sales: int
+    final_pricing: ItemPricing
+    offline_revenue: float
+    revenue_curve: np.ndarray
+
+    @property
+    def competitive_ratio(self) -> float:
+        if self.offline_revenue <= 0:
+            return 1.0
+        return self.revenue / self.offline_revenue
+
+
+def simulate_item_pricing(
+    stream: BuyerStream,
+    policy: OnlineItemPricingPolicy,
+    offline_algorithm=None,
+) -> ItemSimulationResult:
+    """Run the posted item-price loop over the buyer stream.
+
+    ``offline_algorithm`` (default LPIP) provides the hindsight benchmark:
+    the revenue its pricing would earn over the same expected arrivals.
+    """
+    from repro.core.algorithms.lpip import LPIP
+    from repro.core.revenue import compute_revenue
+
+    instance: PricingInstance = stream.instance
+    env = OnlineMarketEnv(stream)
+    curve = np.zeros(stream.horizon)
+    for arrival in stream:
+        bundle = instance.edges[arrival.edge_index]
+        price = policy.price(bundle)
+        accepted = env.play(arrival, price)
+        policy.update(bundle, accepted)
+        curve[arrival.step] = env.revenue
+
+    algorithm = offline_algorithm or LPIP(max_programs=30)
+    offline = algorithm.run(instance)
+    per_step = compute_revenue(offline.pricing, instance).revenue / instance.num_edges
+    return ItemSimulationResult(
+        horizon=stream.horizon,
+        revenue=env.revenue,
+        sales=env.sales,
+        final_pricing=policy.as_pricing(),
+        offline_revenue=per_step * stream.horizon,
+        revenue_curve=curve,
+    )

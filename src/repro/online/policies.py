@@ -1,0 +1,169 @@
+"""Online pricing policies over a fixed price grid.
+
+Posting prices from a geometric grid loses at most a ``(1 + grid_ratio)``
+factor against the best fixed price; the policies differ in how they balance
+exploring grid prices against exploiting the best one seen so far.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PricingError
+
+
+def geometric_grid(low: float, high: float, ratio: float = 1.2) -> np.ndarray:
+    """Price grid ``low, low*ratio, ... , >= high``."""
+    if low <= 0 or high < low or ratio <= 1:
+        raise PricingError("need 0 < low <= high and ratio > 1")
+    prices = [low]
+    while prices[-1] < high:
+        prices.append(prices[-1] * ratio)
+    return np.array(prices)
+
+
+class PricingPolicy:
+    """Base class: pick a price each step, learn from the accept bit."""
+
+    name = "abstract"
+
+    def __init__(self, grid: np.ndarray, rng: np.random.Generator | int | None = None):
+        if len(grid) == 0:
+            raise PricingError("price grid must be non-empty")
+        self.grid = np.asarray(grid, dtype=float)
+        self.rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+    def select(self, step: int) -> int:
+        """Index into the grid to post this step."""
+        raise NotImplementedError
+
+    def update(self, arm: int, revenue: float) -> None:
+        """Observe the revenue (0 on reject, price on accept) of ``arm``."""
+        raise NotImplementedError
+
+
+class FixedPricePolicy(PricingPolicy):
+    """Always post the same price (baseline / oracle evaluation)."""
+
+    name = "fixed"
+
+    def __init__(self, price: float):
+        super().__init__(np.array([price]))
+
+    def select(self, step: int) -> int:
+        return 0
+
+    def update(self, arm: int, revenue: float) -> None:
+        pass
+
+
+class EpsilonGreedyPolicy(PricingPolicy):
+    """Explore uniformly with probability ``epsilon``, else exploit."""
+
+    name = "eps-greedy"
+
+    def __init__(self, grid, epsilon: float = 0.1, rng=None):
+        super().__init__(grid, rng)
+        if not 0 <= epsilon <= 1:
+            raise PricingError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.counts = np.zeros(len(self.grid))
+        self.totals = np.zeros(len(self.grid))
+
+    def select(self, step: int) -> int:
+        if self.rng.random() < self.epsilon or not self.counts.any():
+            return int(self.rng.integers(len(self.grid)))
+        means = np.divide(
+            self.totals, self.counts,
+            out=np.zeros_like(self.totals), where=self.counts > 0,
+        )
+        return int(np.argmax(means))
+
+    def update(self, arm: int, revenue: float) -> None:
+        self.counts[arm] += 1
+        self.totals[arm] += revenue
+
+
+class UCBPolicy(PricingPolicy):
+    """UCB1 over grid prices; rewards scaled by the max grid price."""
+
+    name = "ucb"
+
+    def __init__(self, grid, exploration: float = 2.0, rng=None):
+        super().__init__(grid, rng)
+        self.exploration = exploration
+        self.counts = np.zeros(len(self.grid))
+        self.totals = np.zeros(len(self.grid))
+        self.scale = float(self.grid.max())
+
+    def select(self, step: int) -> int:
+        untried = np.flatnonzero(self.counts == 0)
+        if len(untried):
+            return int(untried[0])
+        means = self.totals / self.counts / self.scale
+        bonus = np.sqrt(
+            self.exploration * np.log(max(step, 2)) / self.counts
+        )
+        return int(np.argmax(means + bonus))
+
+    def update(self, arm: int, revenue: float) -> None:
+        self.counts[arm] += 1
+        self.totals[arm] += revenue
+
+
+class Exp3Policy(PricingPolicy):
+    """EXP3 (adversarial bandit) over grid prices."""
+
+    name = "exp3"
+
+    def __init__(self, grid, gamma: float = 0.1, rng=None):
+        super().__init__(grid, rng)
+        if not 0 < gamma <= 1:
+            raise PricingError("gamma must be in (0, 1]")
+        self.gamma = gamma
+        self.log_weights = np.zeros(len(self.grid))
+        self.scale = float(self.grid.max())
+        self._last_probabilities: np.ndarray | None = None
+
+    def _probabilities(self) -> np.ndarray:
+        shifted = self.log_weights - self.log_weights.max()
+        weights = np.exp(shifted)
+        probabilities = (1 - self.gamma) * weights / weights.sum()
+        probabilities += self.gamma / len(self.grid)
+        return probabilities / probabilities.sum()
+
+    def select(self, step: int) -> int:
+        probabilities = self._probabilities()
+        self._last_probabilities = probabilities
+        return int(self.rng.choice(len(self.grid), p=probabilities))
+
+    def update(self, arm: int, revenue: float) -> None:
+        probabilities = (
+            self._last_probabilities
+            if self._last_probabilities is not None
+            else self._probabilities()
+        )
+        estimated = (revenue / self.scale) / probabilities[arm]
+        self.log_weights[arm] += self.gamma * estimated / len(self.grid)
+
+
+class PriceWalkPolicy(PricingPolicy):
+    """Multiplicative price walk: raise the price after a sale, lower it
+    after a rejection — a gradient-descent-flavoured heuristic."""
+
+    name = "price-walk"
+
+    def __init__(self, grid, rng=None, start: int | None = None):
+        super().__init__(grid, rng)
+        self.position = start if start is not None else len(self.grid) // 2
+
+    def select(self, step: int) -> int:
+        return self.position
+
+    def update(self, arm: int, revenue: float) -> None:
+        if revenue > 0:
+            self.position = min(self.position + 1, len(self.grid) - 1)
+        else:
+            self.position = max(self.position - 1, 0)

@@ -1,0 +1,48 @@
+"""The Qirana pricing system: conflict sets, the broker, arbitrage checks.
+
+This package glues the database substrate to the pricing core:
+
+- :mod:`repro.qirana.conflict` computes ``CS(Q, D)`` — the hyperedge of a
+  query — with table/column pruning over delta-encoded support instances,
+- :mod:`repro.qirana.broker` is the data-market front desk: quote prices,
+  sell query answers, keep the ledger,
+- :mod:`repro.qirana.validation` empirically checks monotonicity and
+  subadditivity (arbitrage-freeness via Theorem 1).
+"""
+
+from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
+from repro.qirana.conflict import ConflictSetEngine
+from repro.qirana.history import HistoryAwareLedger, MarginalQuote
+from repro.qirana.persistence import (
+    load_market_state,
+    load_pricing,
+    save_market_state,
+    save_pricing,
+)
+from repro.qirana.validation import (
+    check_monotonicity,
+    check_subadditivity,
+    verify_arbitrage_freeness,
+)
+from repro.qirana.weighted import (
+    degree_weighted_pricing,
+    uniform_calibrated_pricing,
+)
+
+__all__ = [
+    "ConflictSetEngine",
+    "HistoryAwareLedger",
+    "MarginalQuote",
+    "PriceQuote",
+    "QueryMarket",
+    "Transaction",
+    "check_monotonicity",
+    "check_subadditivity",
+    "degree_weighted_pricing",
+    "load_market_state",
+    "load_pricing",
+    "save_market_state",
+    "save_pricing",
+    "uniform_calibrated_pricing",
+    "verify_arbitrage_freeness",
+]

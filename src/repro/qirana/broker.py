@@ -1,0 +1,170 @@
+"""The data-market broker: quoting, selling, and the transaction ledger.
+
+:class:`QueryMarket` is the end-to-end entry point a data seller would use:
+
+1. wrap the dataset and a sampled support set,
+2. collect the buyers' queries and valuations,
+3. call :meth:`QueryMarket.optimize_pricing` with one of the paper's
+   algorithms to install a revenue-maximizing arbitrage-free pricing,
+4. serve :meth:`quote` / :meth:`purchase` requests.
+
+Prices come from a monotone subadditive function applied to conflict sets,
+so they are arbitrage-free for *any* incoming query — including queries that
+were not in the optimization workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import PricingFunction, UniformBundlePricing
+from repro.db.database import Database
+from repro.db.query import Query, sql_query
+from repro.db.result import QueryResult
+from repro.exceptions import PricingError
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.generator import SupportSet
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """A quoted price for a query, with its conflict set for transparency."""
+
+    query_text: str
+    price: float
+    bundle: frozenset[int]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed sale."""
+
+    buyer: str
+    query_text: str
+    price: float
+
+
+@dataclass
+class QueryMarket:
+    """A Qirana-style data market session."""
+
+    support: SupportSet
+    pricing: PricingFunction | None = None
+    transactions: list[Transaction] = field(default_factory=list)
+    _engine: ConflictSetEngine = field(init=False, repr=False)
+    _bundle_cache: dict[str, frozenset[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._engine = ConflictSetEngine(self.support)
+
+    @property
+    def base(self) -> Database:
+        """The seller's database."""
+        return self.support.base
+
+    @property
+    def engine(self) -> ConflictSetEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Pricing management
+    # ------------------------------------------------------------------
+
+    def set_pricing(self, pricing: PricingFunction) -> None:
+        """Install a pricing function (must be monotone + subadditive)."""
+        self.pricing = pricing
+
+    def set_flat_fee(self, price: float) -> None:
+        """Install the simplest scheme: one price for everything."""
+        self.pricing = UniformBundlePricing(price)
+
+    def build_instance(
+        self,
+        queries: list[Query | str],
+        valuations: list[float] | np.ndarray,
+        name: str = "market",
+    ) -> PricingInstance:
+        """Transform a (query, valuation) workload into a pricing instance."""
+        planned = [self._as_query(query) for query in queries]
+        if len(planned) != len(valuations):
+            raise PricingError(
+                f"{len(planned)} queries but {len(valuations)} valuations"
+            )
+        hypergraph = self._engine.build_hypergraph(planned)
+        for query, edge in zip(planned, hypergraph.edges):
+            self._bundle_cache[query.text] = edge
+        return PricingInstance(hypergraph, np.asarray(valuations, dtype=float), name)
+
+    def optimize_pricing(
+        self,
+        queries: list[Query | str],
+        valuations: list[float] | np.ndarray,
+        algorithm: PricingAlgorithm,
+    ) -> PricingResult:
+        """Run a pricing algorithm on the workload and install the result."""
+        instance = self.build_instance(queries, valuations)
+        result = algorithm.run(instance)
+        self.pricing = result.pricing
+        return result
+
+    # ------------------------------------------------------------------
+    # Buyer-facing API
+    # ------------------------------------------------------------------
+
+    def quote(self, query: Query | str) -> PriceQuote:
+        """Price a query without selling it."""
+        if self.pricing is None:
+            raise PricingError("no pricing installed; call optimize_pricing first")
+        planned = self._as_query(query)
+        bundle = self._bundle_of(planned)
+        return PriceQuote(planned.text, self.pricing.price(bundle), bundle)
+
+    def purchase(
+        self,
+        query: Query | str,
+        buyer: str,
+        valuation: float | None = None,
+    ) -> tuple[QueryResult | None, PriceQuote]:
+        """Attempt to sell a query answer.
+
+        A buyer with a stated ``valuation`` walks away when the price exceeds
+        it (returns ``(None, quote)``); with no valuation the buyer always
+        pays. Sales are appended to the ledger.
+        """
+        quote = self.quote(query)
+        if valuation is not None and quote.price > valuation:
+            return None, quote
+        planned = self._as_query(query)
+        answer = planned.run(self.base)
+        self.transactions.append(Transaction(buyer, quote.query_text, quote.price))
+        return answer, quote
+
+    @property
+    def revenue(self) -> float:
+        """Total revenue collected so far."""
+        return sum(transaction.price for transaction in self.transactions)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _as_query(self, query: Query | str) -> Query:
+        if isinstance(query, Query):
+            return query
+        return sql_query(query, self.base)
+
+    def _bundle_of(self, query: Query) -> frozenset[int]:
+        bundle = self._bundle_cache.get(query.text)
+        if bundle is None:
+            bundle = self._engine.conflict_set(query)
+            self._bundle_cache[query.text] = bundle
+        return bundle
+
+
+def market_hypergraph(support: SupportSet, queries: list[Query]) -> Hypergraph:
+    """Convenience: the hypergraph of a workload over a support set."""
+    return ConflictSetEngine(support).build_hypergraph(queries)

@@ -1,0 +1,87 @@
+"""History-aware (marginal) pricing with refunds.
+
+Related work the paper builds on (Upadhyaya et al., "Price-optimal querying
+with data APIs") charges returning buyers only for the *new* information a
+query reveals: a buyer who already owns bundles with union ``H`` pays
+
+    marginal(e | H) = f(H ∪ e) - f(H)
+
+for a new bundle ``e``. For monotone ``f`` the marginal price is
+non-negative, and for subadditive ``f`` it never exceeds the fresh price
+``f(e)`` — the difference is the refund. Cumulative payments telescope to
+``f(H_final)``, so a buyer can never do better by splitting a query across
+sessions: the combination-arbitrage guarantee extends across a purchase
+history.
+
+:class:`HistoryAwareLedger` tracks per-buyer owned bundles and computes
+marginal quotes against any :class:`~repro.core.pricing.PricingFunction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pricing import PricingFunction
+from repro.exceptions import PricingError
+
+
+@dataclass(frozen=True)
+class MarginalQuote:
+    """A history-aware quote: fresh price, marginal price, implied refund."""
+
+    fresh_price: float
+    marginal_price: float
+
+    @property
+    def refund(self) -> float:
+        return self.fresh_price - self.marginal_price
+
+
+@dataclass
+class HistoryAwareLedger:
+    """Per-buyer purchase history with marginal pricing.
+
+    The ledger is pricing-function-agnostic: it consults the installed
+    :class:`PricingFunction` at quote time, so re-optimizing prices mid-season
+    simply changes future marginals.
+    """
+
+    pricing: PricingFunction
+    owned: dict[str, frozenset[int]] = field(default_factory=dict)
+    total_paid: dict[str, float] = field(default_factory=dict)
+
+    def holdings(self, buyer: str) -> frozenset[int]:
+        """The union of bundles the buyer already purchased."""
+        return self.owned.get(buyer, frozenset())
+
+    def quote(self, buyer: str, bundle: frozenset[int]) -> MarginalQuote:
+        """Marginal price of ``bundle`` for ``buyer``."""
+        fresh = self.pricing.price(bundle)
+        held = self.holdings(buyer)
+        if not held:
+            return MarginalQuote(fresh, fresh)
+        marginal = self.pricing.price(held | bundle) - self.pricing.price(held)
+        if marginal < -1e-9:
+            raise PricingError(
+                "negative marginal price: the installed pricing function "
+                "is not monotone"
+            )
+        return MarginalQuote(fresh, max(0.0, marginal))
+
+    def record_purchase(self, buyer: str, bundle: frozenset[int]) -> MarginalQuote:
+        """Quote, then commit the purchase to the buyer's history."""
+        quote = self.quote(buyer, bundle)
+        self.owned[buyer] = self.holdings(buyer) | bundle
+        self.total_paid[buyer] = self.total_paid.get(buyer, 0.0) + quote.marginal_price
+        return quote
+
+    def cumulative_price_consistent(self, buyer: str, tolerance: float = 1e-6) -> bool:
+        """Check the telescoping invariant: total paid = f(holdings) - f(∅).
+
+        This is what makes history-aware pricing arbitrage-free across
+        sessions — the buyer ends up paying exactly the one-shot price of
+        everything they own, regardless of how they split their purchases.
+        """
+        held = self.holdings(buyer)
+        expected = self.pricing.price(held) - self.pricing.price(frozenset())
+        return abs(self.total_paid.get(buyer, 0.0) - expected) <= tolerance

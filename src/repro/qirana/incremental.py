@@ -1,0 +1,557 @@
+"""Incremental conflict checks (delta evaluation).
+
+Deciding whether ``Q(D') != Q(D)`` for a neighbor ``D'`` that differs from
+``D`` in a few cells does not require re-running ``Q``: for common plan
+shapes the change is a local function of the modified rows — the same insight
+incremental view maintenance uses. This module compiles a query into an
+:class:`IncrementalChecker` when its plan matches a supported shape::
+
+    [Sort] Project [Filter(HAVING)] [Aggregate] [Filter] <source>
+    <source> ::= TableScan | Filter(TableScan)
+               | HashJoin(<side>, <side>)        (two distinct tables)
+    <side>   ::= TableScan | Filter(TableScan)
+
+- **Flat plans**: the bag answer changes iff some modified row's
+  *contribution* — the multiset of (projected) rows it induces — changes
+  between its old and new version.
+- **Aggregated plans**: per-group ``(count, value-multiset per aggregate)``
+  state is precomputed from the base; the modified rows' old/new
+  contributions are applied as edits and the affected groups' output rows
+  compared. COUNT/SUM/AVG/MIN/MAX are all exact.
+- **Joins**: contributions are found via a hash index on the opposite side,
+  so a dimension-row patch costs O(matching fact rows) instead of a full
+  join.
+
+A checker returns ``True``/``False``, or ``None`` when it cannot decide for
+this particular instance (e.g. a patch touching both sides of a join at
+once) — the caller then falls back to full re-evaluation for that instance.
+Unsupported plans (3-way joins, DISTINCT, LIMIT, self-joins) yield no checker
+at all. Soundness is paramount: a decided answer must equal the truth of
+``Q(D') != Q(D)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.db.aggregates import compute_aggregate
+from repro.db.database import Database
+from repro.db.expr import Scope
+from repro.db.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.db.query import Query
+from repro.db.schema import Value
+from repro.support.delta import SupportInstance
+
+#: A compiled checker: does this instance's patch change the query answer?
+#: ``None`` means "cannot decide incrementally for this instance".
+IncrementalChecker = Callable[[SupportInstance], bool | None]
+
+
+# ---------------------------------------------------------------------------
+# Contribution sources
+# ---------------------------------------------------------------------------
+
+
+class _SingleTableSource:
+    """Rows entering the project/aggregate stage for a one-table plan."""
+
+    def __init__(self, base: Database, scan: TableScan, predicate: Filter | None):
+        self.base = base
+        self.table = scan.table.lower()
+        self.tables = {self.table}
+        self.scope = scan.output_scope(base)
+        self.predicate_eval = (
+            predicate.predicate.bind(self.scope) if predicate is not None else None
+        )
+
+    def base_rows(self) -> Iterable[tuple[Value, ...]]:
+        rows = self.base.table(self.table).rows
+        if self.predicate_eval is None:
+            return rows
+        return (row for row in rows if self.predicate_eval(row))
+
+    def contributions(self, table: str, row: tuple[Value, ...]) -> list[tuple[Value, ...]]:
+        if self.predicate_eval is not None and not self.predicate_eval(row):
+            return []
+        return [row]
+
+
+class _JoinTreeSource:
+    """Rows entering the project/aggregate stage for a left-deep join tree.
+
+    The tree is decomposed into the leftmost side plus one ``(join, right
+    side)`` level per HashJoin, bottom-up. Precomputed per level:
+
+    - ``right_index`` — right-side rows (filtered) keyed by the join key,
+    - ``left_index`` — the materialized sub-join below the level, keyed by
+      the level's left join key,
+
+    so a patched row on *any* participating table contributes in
+    O(its matches): probe left_index once if the table is a right side, then
+    cascade through the right indexes of the levels above. A residual filter
+    above the join applies to every produced row.
+    """
+
+    def __init__(self, base: Database, join_root: HashJoin, residual: Filter | None):
+        self.base = base
+        leftmost, levels = _decompose_left_deep(join_root)
+        if leftmost is None:
+            raise _UnsupportedShape
+        self.leftmost_scan, self.leftmost_filter_node = leftmost
+
+        self.leftmost_table = self.leftmost_scan.table.lower()
+        scope = self.leftmost_scan.output_scope(base)
+        self.leftmost_filter = (
+            self.leftmost_filter_node.predicate.bind(scope)
+            if self.leftmost_filter_node
+            else None
+        )
+
+        #: Per level: dict with bound evaluators, indexes, and table name.
+        self.levels: list[dict] = []
+        tables = {self.leftmost_table}
+        rows = [
+            row
+            for row in base.table(self.leftmost_table).rows
+            if self.leftmost_filter is None or self.leftmost_filter(row)
+        ]
+
+        for join, (right_scan, right_filter_node) in levels:
+            right_table = right_scan.table.lower()
+            if right_table in tables:
+                raise _UnsupportedShape  # self-join: one patch hits two slots
+            tables.add(right_table)
+
+            right_scope = right_scan.output_scope(base)
+            right_filter = (
+                right_filter_node.predicate.bind(right_scope)
+                if right_filter_node
+                else None
+            )
+            left_keys = [key.bind(scope) for key in join.left_keys]
+            right_keys = [key.bind(right_scope) for key in join.right_keys]
+
+            right_index = _build_key_index(
+                base.table(right_table).rows, right_filter, right_keys
+            )
+            left_index = _build_key_index(rows, None, left_keys)
+
+            self.levels.append(
+                {
+                    "table": right_table,
+                    "right_filter": right_filter,
+                    "left_keys": left_keys,
+                    "right_keys": right_keys,
+                    "right_index": right_index,
+                    "left_index": left_index,
+                }
+            )
+            # Materialize this level's join for the next level's left_index.
+            next_rows: list[tuple[Value, ...]] = []
+            for left_row in rows:
+                key = tuple(evaluate(left_row) for evaluate in left_keys)
+                if any(part is None for part in key):
+                    continue
+                for right_row in right_index.get(key, ()):
+                    next_rows.append(left_row + right_row)
+            rows = next_rows
+            scope = scope.concat(right_scope)
+
+        self.tables = tables
+        self._scope = scope
+        self.residual_eval = (
+            residual.predicate.bind(scope) if residual is not None else None
+        )
+        self._base_join_rows = rows
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def base_rows(self) -> Iterable[tuple[Value, ...]]:
+        if self.residual_eval is None:
+            return iter(self._base_join_rows)
+        return (row for row in self._base_join_rows if self.residual_eval(row))
+
+    def _cascade(
+        self, rows: list[tuple[Value, ...]], start_level: int
+    ) -> list[tuple[Value, ...]]:
+        """Probe ``rows`` through the right indexes of levels >= start_level."""
+        for level in self.levels[start_level:]:
+            left_keys = level["left_keys"]
+            right_index = level["right_index"]
+            joined: list[tuple[Value, ...]] = []
+            for row in rows:
+                key = tuple(evaluate(row) for evaluate in left_keys)
+                if any(part is None for part in key):
+                    continue
+                for match in right_index.get(key, ()):
+                    joined.append(row + match)
+            rows = joined
+            if not rows:
+                break
+        return rows
+
+    def contributions(self, table: str, row: tuple[Value, ...]) -> list[tuple[Value, ...]]:
+        if table == self.leftmost_table:
+            if self.leftmost_filter is not None and not self.leftmost_filter(row):
+                joined: list[tuple[Value, ...]] = []
+            else:
+                joined = self._cascade([row], 0)
+        else:
+            position = next(
+                index
+                for index, level in enumerate(self.levels)
+                if level["table"] == table
+            )
+            level = self.levels[position]
+            if level["right_filter"] is not None and not level["right_filter"](row):
+                joined = []
+            else:
+                key = tuple(evaluate(row) for evaluate in level["right_keys"])
+                if any(part is None for part in key):
+                    joined = []
+                else:
+                    matched = level["left_index"].get(key, ())
+                    joined = self._cascade(
+                        [left_row + row for left_row in matched], position + 1
+                    )
+        if self.residual_eval is not None:
+            joined = [j for j in joined if self.residual_eval(j)]
+        return joined
+
+
+class _UnsupportedShape(Exception):
+    """Internal: the plan looked like a join tree but is not left-deep/simple."""
+
+
+def _build_key_index(rows, predicate, key_evals):
+    index: dict[tuple, list[tuple[Value, ...]]] = {}
+    for row in rows:
+        if predicate is not None and not predicate(row):
+            continue
+        key = tuple(evaluate(row) for evaluate in key_evals)
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(row)
+    return index
+
+
+def _decompose_left_deep(
+    node: PlanNode,
+) -> tuple[
+    tuple[TableScan, Filter | None] | None,
+    list[tuple[HashJoin, tuple[TableScan, Filter | None]]],
+]:
+    """Split a left-deep HashJoin tree into (leftmost side, join levels)."""
+    levels: list[tuple[HashJoin, tuple[TableScan, Filter | None]]] = []
+    while isinstance(node, HashJoin):
+        right_scan, right_filter = _unwrap_side(node.right)
+        if right_scan is None:
+            return None, []
+        levels.append((node, (right_scan, right_filter)))
+        node = node.left
+    scan, scan_filter = _unwrap_side(node)
+    if scan is None:
+        return None, []
+    levels.reverse()
+    return (scan, scan_filter), levels
+
+
+def _unwrap_side(node: PlanNode) -> tuple[TableScan | None, Filter | None]:
+    """Match ``TableScan`` or ``Filter(TableScan)``."""
+    if isinstance(node, TableScan):
+        return node, None
+    if isinstance(node, Filter) and isinstance(node.child, TableScan):
+        return node.child, node
+    return None, None
+
+
+# ---------------------------------------------------------------------------
+# Plan-shape matching
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Shape:
+    project: Project
+    aggregate: Aggregate | None
+    source: _SingleTableSource | _JoinTreeSource
+    having: Filter | None = None
+
+
+def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
+    node = plan
+    if isinstance(node, Sort):
+        # A Sort above the projection cannot mask or create an answer change:
+        # our sort is a deterministic function of the row multiset and the
+        # (patch-invariant) input order.
+        node = node.child
+    if not isinstance(node, Project):
+        return None
+    project = node
+    node = node.child
+
+    having: Filter | None = None
+    if isinstance(node, Filter) and isinstance(node.child, Aggregate):
+        # HAVING: a filter over the aggregate's output rows. A group's
+        # output is *visible* only when the predicate passes; visibility is
+        # recomputed per group before and after the patch.
+        having = node
+        node = node.child
+
+    aggregate: Aggregate | None = None
+    if isinstance(node, Aggregate):
+        aggregate = node
+        if not {spec.func.lower() for spec in aggregate.aggregates} <= {
+            "count", "sum", "avg", "min", "max",
+        }:
+            return None
+        node = node.child
+
+    residual: Filter | None = None
+    if isinstance(node, Filter) and isinstance(node.child, HashJoin):
+        residual = node
+        node = node.child
+
+    if isinstance(node, HashJoin):
+        try:
+            source: _SingleTableSource | _JoinTreeSource = _JoinTreeSource(
+                base, node, residual
+            )
+        except _UnsupportedShape:
+            return None
+        return _Shape(project, aggregate, source, having)
+
+    predicate: Filter | None = None
+    if isinstance(node, Filter):
+        predicate = node
+        node = node.child
+    if isinstance(node, TableScan):
+        source = _SingleTableSource(base, node, predicate)
+        return _Shape(project, aggregate, source, having)
+    return None
+
+
+def build_incremental_checker(
+    query: Query, base: Database
+) -> IncrementalChecker | None:
+    """Compile ``query`` into a per-instance conflict checker.
+
+    Returns ``None`` when the plan shape is unsupported (the caller then
+    falls back to full evaluation for every instance).
+    """
+    shape = _match_shape(query.plan, base)
+    if shape is None:
+        return None
+    if shape.aggregate is None:
+        return _FlatChecker(base, shape).check
+    return _GroupedChecker(base, shape).check
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+
+
+def _patched_rows(
+    base: Database, table: str, instance: SupportInstance
+) -> dict[int, tuple[Value, ...]]:
+    """Row index -> new row version for this instance's patches on ``table``."""
+    relation = base.table(table)
+    schema = relation.schema
+    patched: dict[int, list[Value]] = {}
+    for delta in instance.deltas:
+        if delta.table.lower() != table.lower():
+            continue
+        row = patched.get(delta.row_index)
+        if row is None:
+            row = list(relation.rows[delta.row_index])
+            patched[delta.row_index] = row
+        row[schema.column_index(delta.column)] = delta.value
+    return {index: tuple(row) for index, row in patched.items()}
+
+
+class _CheckerBase:
+    """Shared patch decomposition: which source table does the patch hit?"""
+
+    def __init__(self, base: Database, shape: _Shape):
+        self.base = base
+        self.source = shape.source
+
+    def _patch(self, instance: SupportInstance) -> tuple[str, dict] | None:
+        """The (table, patched-rows) of this instance within the source.
+
+        ``None`` signals "cannot decide": the instance patches more than one
+        source table, so old/new contributions would interact.
+        """
+        touched = instance.touched_tables & self.source.tables
+        if len(touched) != 1:
+            if not touched:
+                return "", {}
+            return None
+        table = next(iter(touched))
+        return table, _patched_rows(self.base, table, instance)
+
+
+class _FlatChecker(_CheckerBase):
+    """Plans without aggregation: compare projected contribution multisets."""
+
+    def __init__(self, base: Database, shape: _Shape):
+        super().__init__(base, shape)
+        scope = shape.source.scope
+        self.project_evals = [item.expr.bind(scope) for item in shape.project.items]
+
+    def _projected(self, rows: list[tuple[Value, ...]]) -> Counter:
+        return Counter(
+            tuple(evaluate(row) for evaluate in self.project_evals) for row in rows
+        )
+
+    def check(self, instance: SupportInstance) -> bool | None:
+        patch = self._patch(instance)
+        if patch is None:
+            return None
+        table, rows = patch
+        if not rows:
+            return False
+        relation = self.base.table(table)
+        for row_index, new_row in rows.items():
+            old = self._projected(self.source.contributions(table, relation.rows[row_index]))
+            new = self._projected(self.source.contributions(table, new_row))
+            if old != new:
+                return True
+        return False
+
+
+class _GroupedChecker(_CheckerBase):
+    """Plans with GROUP BY/aggregates: per-group state + edits.
+
+    Base state per group: row count and, per aggregate, a Counter of input
+    values (a multiset — supports exact COUNT/SUM/AVG/MIN/MAX under removal).
+    """
+
+    def __init__(self, base: Database, shape: _Shape):
+        super().__init__(base, shape)
+        aggregate = shape.aggregate
+        scope = self.source.scope
+        self.group_evals = [item.expr.bind(scope) for item in aggregate.group_items]
+        self.has_groups = bool(aggregate.group_items)
+        self.specs = aggregate.aggregates
+        self.arg_evals = [
+            spec.arg.bind(scope) if spec.arg is not None else None
+            for spec in self.specs
+        ]
+        # HAVING predicate over the aggregate's output row (keys + aggs).
+        # HAVING may force extra aggregates the SELECT list never shows, so
+        # with a HAVING present the comparison uses the *projected* row of
+        # each visible group — a hidden-aggregate-only change is not an
+        # answer change.
+        if shape.having is not None:
+            aggregate_scope = aggregate.output_scope(base)
+            self.having_eval = shape.having.predicate.bind(aggregate_scope)
+            self.project_evals = [
+                item.expr.bind(aggregate_scope) for item in shape.project.items
+            ]
+        else:
+            self.having_eval = None
+            self.project_evals = None
+        self._build_state()
+
+    def _visible(self, output: tuple | None) -> tuple | None:
+        """The comparable row of a group: projected if it passes HAVING."""
+        if output is None or self.having_eval is None:
+            return output
+        if not self.having_eval(output):
+            return None
+        return tuple(evaluate(output) for evaluate in self.project_evals)
+
+    def _build_state(self) -> None:
+        self.counts: dict[tuple, int] = {}
+        self.values: dict[tuple, list[Counter]] = {}
+        for row in self.source.base_rows():
+            key = tuple(evaluate(row) for evaluate in self.group_evals)
+            self.counts[key] = self.counts.get(key, 0) + 1
+            counters = self.values.get(key)
+            if counters is None:
+                counters = [Counter() for _ in self.specs]
+                self.values[key] = counters
+            for counter, evaluate in zip(counters, self.arg_evals):
+                if evaluate is not None:
+                    counter[evaluate(row)] += 1
+
+    def _group_output(
+        self, key: tuple, count: int, counters: list[Counter]
+    ) -> tuple | None:
+        """Output row for a group, or None when the group is absent."""
+        if count <= 0:
+            if self.has_groups:
+                return None
+            counters = [Counter() for _ in self.specs]
+        outputs: list[Value] = []
+        for spec, counter in zip(self.specs, counters):
+            if spec.arg is None:
+                outputs.append(max(count, 0))
+                continue
+            expanded = (
+                value for value, times in counter.items() for _ in range(times)
+            )
+            outputs.append(
+                compute_aggregate(spec.func, expanded, distinct=spec.distinct)
+            )
+        return key + tuple(outputs)
+
+    def check(self, instance: SupportInstance) -> bool | None:
+        patch = self._patch(instance)
+        if patch is None:
+            return None
+        table, rows = patch
+        if not rows:
+            return False
+        relation = self.base.table(table)
+
+        edits: dict[tuple, tuple[int, list[Counter]]] = {}
+
+        def apply(joined_rows: list[tuple[Value, ...]], sign: int) -> None:
+            for row in joined_rows:
+                key = tuple(evaluate(row) for evaluate in self.group_evals)
+                count_delta, counters = edits.get(key, (0, None))
+                if counters is None:
+                    counters = [Counter() for _ in self.specs]
+                for counter, evaluate in zip(counters, self.arg_evals):
+                    if evaluate is not None:
+                        counter[evaluate(row)] += sign
+                edits[key] = (count_delta + sign, counters)
+
+        for row_index, new_row in rows.items():
+            apply(self.source.contributions(table, relation.rows[row_index]), -1)
+            apply(self.source.contributions(table, new_row), +1)
+
+        for key, (count_delta, counter_deltas) in edits.items():
+            base_count = self.counts.get(key, 0)
+            base_counters = self.values.get(key) or [Counter() for _ in self.specs]
+            old_output = self._group_output(key, base_count, base_counters)
+            # Merge counter deltas by hand: Counter.__add__ silently drops
+            # non-positive entries mid-merge, which would corrupt multisets
+            # containing legitimate removals.
+            new_counters = []
+            for base_counter, delta_counter in zip(base_counters, counter_deltas):
+                merged = Counter(base_counter)
+                for value, times in delta_counter.items():
+                    merged[value] += times
+                    if merged[value] <= 0:
+                        del merged[value]
+                new_counters.append(merged)
+            new_output = self._group_output(key, base_count + count_delta, new_counters)
+            if self._visible(old_output) != self._visible(new_output):
+                return True
+        return False

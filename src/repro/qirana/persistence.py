@@ -1,0 +1,108 @@
+"""Serialization of pricing functions and market state.
+
+A broker re-optimizes prices offline and ships the result to the serving
+tier; these helpers round-trip the three pricing families (and the broker's
+bundle cache) through plain JSON — no pickle, no code execution on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithms.exact import TabularSetPricing
+from repro.core.pricing import (
+    ItemPricing,
+    PricingFunction,
+    UniformBundlePricing,
+    XOSPricing,
+)
+from repro.exceptions import PricingError
+
+
+def pricing_to_dict(pricing: PricingFunction) -> dict:
+    """JSON-serializable representation of a pricing function."""
+    if isinstance(pricing, UniformBundlePricing):
+        return {"family": "uniform-bundle", "price": pricing.bundle_price}
+    if isinstance(pricing, XOSPricing):
+        return {
+            "family": "xos",
+            "components": [component.weights.tolist() for component in pricing.components],
+        }
+    if isinstance(pricing, ItemPricing):
+        return {"family": "item", "weights": pricing.weights.tolist()}
+    if isinstance(pricing, TabularSetPricing):
+        return {
+            "family": "tabular",
+            "universe": sorted(pricing.universe),
+            # JSON keys must be strings; encode each subset as a sorted
+            # comma-separated item list ("" for the empty set).
+            "table": {
+                ",".join(str(item) for item in sorted(subset)): price
+                for subset, price in pricing.table.items()
+            },
+        }
+    raise PricingError(
+        f"cannot serialize pricing family {type(pricing).__name__!r}"
+    )
+
+
+def pricing_from_dict(payload: dict) -> PricingFunction:
+    """Inverse of :func:`pricing_to_dict`."""
+    family = payload.get("family")
+    if family == "uniform-bundle":
+        return UniformBundlePricing(float(payload["price"]))
+    if family == "item":
+        return ItemPricing(np.asarray(payload["weights"], dtype=float))
+    if family == "xos":
+        return XOSPricing([np.asarray(w, dtype=float) for w in payload["components"]])
+    if family == "tabular":
+        table = {}
+        for key, price in payload["table"].items():
+            items = [int(item) for item in key.split(",")] if key else []
+            table[frozenset(items)] = float(price)
+        return TabularSetPricing(payload["universe"], table)
+    raise PricingError(f"unknown pricing family in payload: {family!r}")
+
+
+def save_pricing(pricing: PricingFunction, path: str | Path) -> None:
+    """Write a pricing function to a JSON file."""
+    Path(path).write_text(json.dumps(pricing_to_dict(pricing), indent=2))
+
+
+def load_pricing(path: str | Path) -> PricingFunction:
+    """Read a pricing function from a JSON file."""
+    return pricing_from_dict(json.loads(Path(path).read_text()))
+
+
+def bundles_to_dict(bundles: dict[str, frozenset[int]]) -> dict:
+    """Serialize a query-text -> conflict-set cache."""
+    return {text: sorted(bundle) for text, bundle in bundles.items()}
+
+
+def bundles_from_dict(payload: dict) -> dict[str, frozenset[int]]:
+    """Inverse of :func:`bundles_to_dict`."""
+    return {text: frozenset(items) for text, items in payload.items()}
+
+
+def save_market_state(
+    pricing: PricingFunction,
+    bundles: dict[str, frozenset[int]],
+    path: str | Path,
+) -> None:
+    """Persist everything the serving tier needs: prices + known bundles."""
+    payload = {
+        "pricing": pricing_to_dict(pricing),
+        "bundles": bundles_to_dict(bundles),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_market_state(
+    path: str | Path,
+) -> tuple[PricingFunction, dict[str, frozenset[int]]]:
+    """Inverse of :func:`save_market_state`."""
+    payload = json.loads(Path(path).read_text())
+    return pricing_from_dict(payload["pricing"]), bundles_from_dict(payload["bundles"])

@@ -1,0 +1,117 @@
+"""Empirical arbitrage-freeness checks.
+
+Theorem 1: ``p(Q, D) = f(CS(Q, D))`` is arbitrage-free iff ``f`` is monotone
+and subadditive. Exhaustive verification is exponential in the item count, so
+these helpers sample bundle pairs; they are used both in property tests and
+as a guardrail when installing custom pricing functions in a market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pricing import PricingFunction
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A sampled counterexample to monotonicity or subadditivity."""
+
+    kind: str  # "monotonicity" | "subadditivity"
+    bundle_a: frozenset[int]
+    bundle_b: frozenset[int]
+    price_a: float
+    price_b: float
+    price_union: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        if self.kind == "monotonicity":
+            return (
+                f"monotonicity violated: p({set(self.bundle_a)}) = {self.price_a:g} "
+                f"> p({set(self.bundle_b)}) = {self.price_b:g}"
+            )
+        return (
+            f"subadditivity violated: p(A u B) = {self.price_union:g} > "
+            f"p(A) + p(B) = {self.price_a:g} + {self.price_b:g}"
+        )
+
+
+def _random_bundle(rng: np.random.Generator, num_items: int) -> frozenset[int]:
+    size = int(rng.integers(0, max(1, num_items // 2) + 1))
+    if size == 0:
+        return frozenset()
+    return frozenset(int(x) for x in rng.choice(num_items, size=size, replace=False))
+
+
+def check_monotonicity(
+    pricing: PricingFunction,
+    num_items: int,
+    trials: int = 200,
+    rng: np.random.Generator | int | None = None,
+    tolerance: float = 1e-9,
+) -> list[Violation]:
+    """Sample subset pairs ``A ⊆ B`` and report ``p(A) > p(B)`` violations."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    violations: list[Violation] = []
+    for _ in range(trials):
+        superset = _random_bundle(rng, num_items)
+        if superset:
+            keep = rng.random(len(superset)) < 0.5
+            subset = frozenset(
+                item for item, kept in zip(sorted(superset), keep) if kept
+            )
+        else:
+            subset = frozenset()
+        price_subset = pricing.price(subset)
+        price_superset = pricing.price(superset)
+        if price_subset > price_superset + tolerance:
+            violations.append(
+                Violation(
+                    "monotonicity", subset, superset,
+                    price_subset, price_superset, 0.0,
+                )
+            )
+    return violations
+
+
+def check_subadditivity(
+    pricing: PricingFunction,
+    num_items: int,
+    trials: int = 200,
+    rng: np.random.Generator | int | None = None,
+    tolerance: float = 1e-9,
+) -> list[Violation]:
+    """Sample bundle pairs and report ``p(A u B) > p(A) + p(B)`` violations."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    violations: list[Violation] = []
+    for _ in range(trials):
+        bundle_a = _random_bundle(rng, num_items)
+        bundle_b = _random_bundle(rng, num_items)
+        price_a = pricing.price(bundle_a)
+        price_b = pricing.price(bundle_b)
+        price_union = pricing.price(bundle_a | bundle_b)
+        if price_union > price_a + price_b + tolerance:
+            violations.append(
+                Violation(
+                    "subadditivity", bundle_a, bundle_b,
+                    price_a, price_b, price_union,
+                )
+            )
+    return violations
+
+
+def verify_arbitrage_freeness(
+    pricing: PricingFunction,
+    num_items: int,
+    trials: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> list[Violation]:
+    """Sampled check of both arbitrage conditions; empty list = no violation
+    found (not a proof, but the three built-in families are arbitrage-free by
+    construction)."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return check_monotonicity(pricing, num_items, trials, rng) + check_subadditivity(
+        pricing, num_items, trials, rng
+    )

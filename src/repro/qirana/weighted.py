@@ -1,0 +1,62 @@
+"""Qirana's calibrated weighted item pricing (the pre-revenue-max baseline).
+
+Before this paper, Qirana priced queries by assigning a *weight* to every
+support instance and charging ``p(Q) = sum of weights of CS(Q, D)``, with the
+weights calibrated so that the entire dataset — a query revealing everything,
+whose conflict set is all of ``S`` — costs exactly the seller's asking price
+``P_full``. That is an additive (item) pricing with uniform weights
+``P_full / |S|`` in the simplest scheme, or importance-weighted variants.
+
+This module provides those baselines; the revenue-maximization algorithms of
+the paper can then be read as *replacing* the calibrated weights with
+optimized ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.pricing import ItemPricing
+from repro.exceptions import PricingError
+from repro.support.generator import SupportSet
+
+
+def uniform_calibrated_pricing(
+    support: SupportSet | int, full_price: float
+) -> ItemPricing:
+    """Uniform weights summing to ``full_price`` over the support.
+
+    The whole dataset (conflict set = all of S) costs exactly
+    ``full_price``; a query conflicting with a fraction ``f`` of the support
+    costs ``f * full_price`` — Qirana's default proportional scheme.
+    """
+    size = support if isinstance(support, int) else len(support)
+    if size <= 0:
+        raise PricingError("support must be non-empty to calibrate prices")
+    if full_price < 0:
+        raise PricingError("full dataset price must be non-negative")
+    return ItemPricing(np.full(size, full_price / size))
+
+
+def degree_weighted_pricing(
+    hypergraph: Hypergraph, full_price: float, smoothing: float = 1.0
+) -> ItemPricing:
+    """Demand-aware calibration: weight items by their workload degree.
+
+    Items contained in many buyers' bundles carry more of the dataset price
+    (they distinguish more queries). Weights are proportional to
+    ``degree + smoothing`` and normalized so the full bundle costs
+    ``full_price``.
+    """
+    if hypergraph.num_items <= 0:
+        raise PricingError("hypergraph has no items to price")
+    if full_price < 0:
+        raise PricingError("full dataset price must be non-negative")
+    if smoothing < 0:
+        raise PricingError("smoothing must be non-negative")
+    raw = hypergraph.degrees.astype(np.float64) + smoothing
+    total = raw.sum()
+    if total <= 0:
+        raise PricingError("all items have zero weight; increase smoothing")
+    return ItemPricing(raw * (full_price / total))

@@ -1,0 +1,22 @@
+"""Support-set machinery.
+
+Qirana prices queries relative to a *support set* ``S`` of alternative
+database instances. Following the paper (Section 6.1), instances are sampled
+as "neighbors" of the seller's database ``D`` — they differ from ``D`` in a
+few cells — so each instance is stored as a small set of
+:class:`~repro.support.delta.CellDelta` patches rather than a full copy.
+"""
+
+from repro.support.delta import CellDelta, SupportInstance
+from repro.support.designer import DesignReport, SupportDesigner, designed_support
+from repro.support.generator import NeighborSampler, SupportSet
+
+__all__ = [
+    "CellDelta",
+    "DesignReport",
+    "NeighborSampler",
+    "SupportDesigner",
+    "SupportInstance",
+    "SupportSet",
+    "designed_support",
+]

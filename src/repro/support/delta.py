@@ -1,0 +1,88 @@
+"""Delta-encoded support instances.
+
+A support instance ``D'`` differs from the base database ``D`` in a handful
+of cells. Storing just the patches makes a support set of tens of thousands
+of instances affordable, and lets the conflict engine skip instances whose
+patches cannot affect a query (table/column pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import Value
+from repro.exceptions import SupportError
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One changed cell: ``table[row_index].column = value``."""
+
+    table: str
+    row_index: int
+    column: str
+    value: Value
+
+    def key(self) -> tuple[str, int, str]:
+        """Identity of the targeted cell (lowercased names)."""
+        return (self.table.lower(), self.row_index, self.column.lower())
+
+
+@dataclass(frozen=True)
+class SupportInstance:
+    """A neighboring database, identified by its patch set.
+
+    ``instance_id`` is the item index in the pricing hypergraph.
+    """
+
+    instance_id: int
+    deltas: tuple[CellDelta, ...]
+
+    def __post_init__(self) -> None:
+        if not self.deltas:
+            raise SupportError(
+                f"support instance {self.instance_id} must differ from the base"
+            )
+        keys = [delta.key() for delta in self.deltas]
+        if len(set(keys)) != len(keys):
+            raise SupportError(
+                f"support instance {self.instance_id} patches a cell twice"
+            )
+
+    @property
+    def touched_tables(self) -> frozenset[str]:
+        """Lowercased names of tables this instance modifies."""
+        return frozenset(delta.table.lower() for delta in self.deltas)
+
+    @property
+    def touched_columns(self) -> frozenset[tuple[str, str]]:
+        """Lowercased (table, column) pairs this instance modifies."""
+        return frozenset(
+            (delta.table.lower(), delta.column.lower()) for delta in self.deltas
+        )
+
+    def materialize(self, base: Database) -> Database:
+        """Apply the patches to ``base``, returning the neighbor database.
+
+        Only patched tables are copied (copy-on-write); a patch whose value
+        equals the base cell is rejected because the instance would not be a
+        *neighbor* (it must differ from ``D``).
+        """
+        patched = base
+        by_table: dict[str, list[CellDelta]] = {}
+        for delta in self.deltas:
+            by_table.setdefault(delta.table.lower(), []).append(delta)
+        for table_name, deltas in by_table.items():
+            relation = patched.table(table_name)
+            for delta in deltas:
+                if relation.cell(delta.row_index, delta.column) == delta.value:
+                    raise SupportError(
+                        f"delta on {delta.table}[{delta.row_index}].{delta.column} "
+                        f"does not change the base value {delta.value!r}"
+                    )
+                relation = relation.with_cell_replaced(
+                    delta.row_index, delta.column, delta.value
+                )
+            patched = patched.with_table_replaced(relation)
+        return patched

@@ -1,0 +1,264 @@
+"""Sampling neighboring databases — Qirana's support-set strategy.
+
+"Qirana generates a support set S by randomly sampling 'neighboring'
+databases of the underlying database D, i.e. databases from I that differ
+from D only in a few places." (Section 6.1.) The sampler perturbs random
+cells with type-aware replacement values drawn from the column's active
+domain, guaranteeing each instance differs from the base.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.schema import ColumnType, Value
+from repro.exceptions import SupportError
+from repro.support.delta import CellDelta, SupportInstance
+
+
+class SupportSet:
+    """An ordered collection of support instances over a base database.
+
+    The index maps lowercased table names (and (table, column) pairs) to the
+    instance ids touching them — the conflict engine's pruning structure.
+    Materialized neighbor databases are cached so that pricing a workload of
+    hundreds of queries materializes each instance once.
+    """
+
+    def __init__(self, base: Database, instances: list[SupportInstance]):
+        for position, instance in enumerate(instances):
+            if instance.instance_id != position:
+                raise SupportError(
+                    f"instance ids must be consecutive, got {instance.instance_id} "
+                    f"at position {position}"
+                )
+        self.base = base
+        self.instances = instances
+        self._by_table: dict[str, list[int]] = {}
+        self._by_column: dict[tuple[str, str], list[int]] = {}
+        for instance in instances:
+            for table in instance.touched_tables:
+                self._by_table.setdefault(table, []).append(instance.instance_id)
+            for pair in instance.touched_columns:
+                self._by_column.setdefault(pair, []).append(instance.instance_id)
+        self._materialized: dict[int, Database] = {}
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[SupportInstance]:
+        return iter(self.instances)
+
+    def instance(self, instance_id: int) -> SupportInstance:
+        return self.instances[instance_id]
+
+    def instances_touching_table(self, table: str) -> list[int]:
+        return self._by_table.get(table.lower(), [])
+
+    def instances_touching_column(self, table: str, column: str) -> list[int]:
+        return self._by_column.get((table.lower(), column.lower()), [])
+
+    def materialize(self, instance_id: int) -> Database:
+        """The neighbor database for ``instance_id`` (cached)."""
+        cached = self._materialized.get(instance_id)
+        if cached is None:
+            cached = self.instances[instance_id].materialize(self.base)
+            self._materialized[instance_id] = cached
+        return cached
+
+    def clear_cache(self) -> None:
+        """Drop materialized databases (memory pressure relief)."""
+        self._materialized.clear()
+
+    def restrict(self, size: int) -> "SupportSet":
+        """A prefix support set of the first ``size`` instances.
+
+        Used by the support-size sweep experiments (Figure 8, Tables 5/6):
+        shrinking the support keeps instance identities stable, so revenue
+        differences come from granularity alone.
+        """
+        if not 0 <= size <= len(self.instances):
+            raise SupportError(f"cannot restrict {len(self.instances)} instances to {size}")
+        return SupportSet(self.base, self.instances[:size])
+
+
+class NeighborSampler:
+    """Type-aware random perturbation of base-database cells.
+
+    Parameters
+    ----------
+    base:
+        The seller's database ``D``.
+    rng:
+        numpy Generator (deterministic support sets for reproducibility).
+    cells_per_instance:
+        How many cells each neighbor differs in (``mode="cell"``).
+    perturb_primary_keys:
+        When False (default), primary-key columns are never modified, so
+        neighbors keep the same join structure — matching how Qirana
+        perturbs attribute values rather than identities.
+    mode:
+        ``"cell"`` — each neighbor differs in ``cells_per_instance`` random
+        cells anywhere in the database; ``"row"`` — each neighbor differs in
+        one random *row* (every non-primary-key cell of it), which is how
+        Qirana's neighbors behave and what reproduces the paper's hypergraph
+        densities (a query conflicts with an instance iff the perturbed row
+        is relevant to it).
+    """
+
+    MODES = ("cell", "row")
+
+    def __init__(
+        self,
+        base: Database,
+        rng: np.random.Generator | int | None = None,
+        cells_per_instance: int = 1,
+        perturb_primary_keys: bool = False,
+        mode: str = "cell",
+    ):
+        if cells_per_instance < 1:
+            raise SupportError("cells_per_instance must be at least 1")
+        if mode not in self.MODES:
+            raise SupportError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.mode = mode
+        self.base = base
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        self.cells_per_instance = cells_per_instance
+        self._targets = self._collect_targets(perturb_primary_keys)
+        if not self._targets:
+            raise SupportError("base database has no perturbable cells")
+        # Sample (table, column) proportionally to the number of cells in the
+        # column, so deltas are uniform over perturbable *cells* — large
+        # tables absorb proportionally more perturbations, as in Qirana.
+        weights = np.array(
+            [len(self.base.table(table)) for table, _ in self._targets],
+            dtype=np.float64,
+        )
+        self._target_probabilities = weights / weights.sum()
+        self._domains: dict[tuple[str, str], list[Value]] = {}
+
+    def _collect_targets(self, perturb_primary_keys: bool) -> list[tuple[str, str]]:
+        """(table, column) pairs eligible for perturbation."""
+        targets: list[tuple[str, str]] = []
+        for relation in self.base.tables():
+            if len(relation) == 0:
+                continue
+            pk = {name.lower() for name in relation.schema.primary_key}
+            for column in relation.schema.columns:
+                if not perturb_primary_keys and column.name.lower() in pk:
+                    continue
+                targets.append((relation.schema.name, column.name))
+        return targets
+
+    def _column_domain(self, table: str, column: str) -> list[Value]:
+        key = (table.lower(), column.lower())
+        domain = self._domains.get(key)
+        if domain is None:
+            values = self.base.table(table).column_values(column)
+            domain = list(dict.fromkeys(value for value in values if value is not None))
+            self._domains[key] = domain
+        return domain
+
+    def _perturb_value(self, table: str, column: str, current: Value) -> Value:
+        """A replacement value guaranteed to differ from ``current``."""
+        relation = self.base.table(table)
+        dtype = relation.schema.column(column).dtype
+        domain = self._column_domain(table, column)
+        alternatives = [value for value in domain if value != current]
+        if alternatives:
+            choice = alternatives[int(self.rng.integers(len(alternatives)))]
+            # For numeric columns, occasionally jitter instead of resampling
+            # the domain, giving neighbors values outside the active domain.
+            if dtype in (ColumnType.INT, ColumnType.FLOAT) and self.rng.random() < 0.5:
+                return self._jitter(current, dtype)
+            return choice
+        return self._fallback_value(current, dtype)
+
+    def _jitter(self, current: Value, dtype: ColumnType) -> Value:
+        base = current if isinstance(current, (int, float)) else 0
+        offset = int(self.rng.integers(1, 10))
+        if self.rng.random() < 0.5:
+            offset = -offset
+        if dtype is ColumnType.INT:
+            return int(base) + offset
+        return float(base) + offset + float(self.rng.random())
+
+    def _fallback_value(self, current: Value, dtype: ColumnType) -> Value:
+        if dtype is ColumnType.INT:
+            return (int(current) + 1) if isinstance(current, int) else 0
+        if dtype is ColumnType.FLOAT:
+            return (float(current) + 1.0) if isinstance(current, (int, float)) else 0.0
+        return (str(current) + "~") if current is not None else "~"
+
+    def sample_instance(self, instance_id: int) -> SupportInstance:
+        """One neighbor, per the configured ``mode``."""
+        if self.mode == "row":
+            return self._sample_row_instance(instance_id)
+        return self._sample_cell_instance(instance_id)
+
+    def _sample_row_instance(self, instance_id: int) -> SupportInstance:
+        """Perturb every non-PK cell of one randomly chosen row."""
+        # Choose a table proportionally to its row count, then a row.
+        tables = [r for r in self.base.tables() if len(r) > 0]
+        weights = np.array([len(r) for r in tables], dtype=float)
+        relation = tables[int(self.rng.choice(len(tables), p=weights / weights.sum()))]
+        row_index = int(self.rng.integers(len(relation)))
+        schema = relation.schema
+        pk = {name.lower() for name in schema.primary_key}
+
+        deltas: list[CellDelta] = []
+        for column in schema.columns:
+            if column.name.lower() in pk:
+                continue
+            current = relation.cell(row_index, column.name)
+            replacement = self._perturb_value(schema.name, column.name, current)
+            if replacement == current:
+                replacement = self._fallback_value(current, column.dtype)
+            if replacement == current:
+                continue
+            deltas.append(CellDelta(schema.name, row_index, column.name, replacement))
+        if not deltas:
+            # Degenerate row (all PK): fall back to a cell perturbation.
+            return self._sample_cell_instance(instance_id)
+        return SupportInstance(instance_id, tuple(deltas))
+
+    def _sample_cell_instance(self, instance_id: int) -> SupportInstance:
+        """One neighbor differing from the base in ``cells_per_instance`` cells."""
+        deltas: list[CellDelta] = []
+        used: set[tuple[str, int, str]] = set()
+        attempts = 0
+        while len(deltas) < self.cells_per_instance:
+            attempts += 1
+            if attempts > 100 * self.cells_per_instance:
+                raise SupportError("could not sample enough distinct cells")
+            target_index = int(
+                self.rng.choice(len(self._targets), p=self._target_probabilities)
+            )
+            table, column = self._targets[target_index]
+            relation: Relation = self.base.table(table)
+            row_index = int(self.rng.integers(len(relation)))
+            key = (table.lower(), row_index, column.lower())
+            if key in used:
+                continue
+            current = relation.cell(row_index, column)
+            replacement = self._perturb_value(table, column, current)
+            if replacement == current:
+                continue
+            used.add(key)
+            deltas.append(CellDelta(table, row_index, column, replacement))
+        return SupportInstance(instance_id, tuple(deltas))
+
+    def generate(self, size: int) -> SupportSet:
+        """A support set of ``size`` sampled neighbors."""
+        if size < 0:
+            raise SupportError("support size must be non-negative")
+        instances = [self.sample_instance(index) for index in range(size)]
+        return SupportSet(self.base, instances)

@@ -1,0 +1,27 @@
+"""Buyer-valuation generative models (Section 6.3 of the paper).
+
+Three families, each a :class:`~repro.valuations.base.ValuationModel`:
+
+- **sampled** (:mod:`repro.valuations.sampled`) — valuations drawn i.i.d.
+  from ``Uniform[1, k]`` or a zipfian with exponent ``a``, independent of
+  bundle structure,
+- **scaled** (:mod:`repro.valuations.scaled`) — valuations correlated with
+  hyperedge size: ``Exponential(mean=|e|^k)`` or ``Normal(|e|^k, 10)``,
+- **additive** (:mod:`repro.valuations.additive`) — an item-level generative
+  model: each item draws a price level from an assignment distribution
+  (uniform or binomial) and the edge valuation is the sum over its items.
+"""
+
+from repro.valuations.base import ValuationModel
+from repro.valuations.sampled import UniformValuations, ZipfValuations
+from repro.valuations.scaled import ExponentialScaledValuations, NormalScaledValuations
+from repro.valuations.additive import AdditiveValuations
+
+__all__ = [
+    "AdditiveValuations",
+    "ExponentialScaledValuations",
+    "NormalScaledValuations",
+    "UniformValuations",
+    "ValuationModel",
+    "ZipfValuations",
+]

@@ -1,0 +1,43 @@
+"""Valuation model interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+
+
+class ValuationModel:
+    """Generates one non-negative valuation per hyperedge.
+
+    Models are deterministic given the rng, so experiments are reproducible
+    run to run.
+    """
+
+    #: Short name used in experiment labels (e.g. ``"uniform[1,100]"``).
+    name = "abstract"
+
+    def generate(
+        self, hypergraph: Hypergraph, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Valuation vector of length ``hypergraph.num_edges``."""
+        raise NotImplementedError
+
+    def instance(
+        self,
+        hypergraph: Hypergraph,
+        rng: np.random.Generator | int | None = None,
+        name: str | None = None,
+    ) -> PricingInstance:
+        """Convenience: attach generated valuations to the hypergraph."""
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        valuations = self.generate(hypergraph, rng)
+        return PricingInstance(hypergraph, valuations, name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+def clip_non_negative(valuations: np.ndarray) -> np.ndarray:
+    """Clamp at zero (normal-model draws can dip below)."""
+    return np.maximum(valuations, 0.0)

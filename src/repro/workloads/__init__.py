@@ -1,0 +1,63 @@
+"""Datasets and query workloads.
+
+Four workloads mirror the paper's experimental design space (Table 2):
+
+- :mod:`repro.workloads.world` — the ``world`` database (3 tables, 21
+  attributes) with the 34-query skewed workload of Table 7, template-expanded
+  to exactly 986 queries,
+- :mod:`repro.workloads.uniform` — 1000 selection/projection queries of equal
+  selectivity over the same database (concentrated, highly-overlapping
+  hyperedges),
+- :mod:`repro.workloads.tpch` — a TPC-H-shaped star schema with the paper's 7
+  query templates expanded to 220 queries,
+- :mod:`repro.workloads.ssb` — a Star-Schema-Benchmark-shaped schema with
+  templates expanded to 701 queries,
+
+plus :mod:`repro.workloads.synthetic` with the lower-bound constructions of
+Lemmas 2-4 and random hypergraph generators.
+
+The real datasets (MySQL ``world``, dbgen TPC-H at SF1, SSB) are replaced by
+deterministic synthetic generators with the same schemas and query templates;
+see DESIGN.md for why this preserves the hypergraph shapes that drive the
+paper's results.
+"""
+
+from repro.workloads.base import Workload, build_support, build_workload_instance
+from repro.workloads.world import world_database, world_workload
+from repro.workloads.uniform import uniform_workload
+from repro.workloads.tpch import tpch_database, tpch_workload
+from repro.workloads.ssb import ssb_database, ssb_workload
+from repro.workloads import synthetic
+
+__all__ = [
+    "Workload",
+    "build_support",
+    "build_workload_instance",
+    "ssb_database",
+    "ssb_workload",
+    "synthetic",
+    "tpch_database",
+    "tpch_workload",
+    "uniform_workload",
+    "world_database",
+    "world_workload",
+]
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Look up one of the four paper workloads by name."""
+    from repro.exceptions import WorkloadError
+
+    factories = {
+        "skewed": world_workload,
+        "uniform": uniform_workload,
+        "tpch": tpch_workload,
+        "ssb": ssb_workload,
+    }
+    try:
+        factory = factories[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r} (known: {sorted(factories)})"
+        ) from None
+    return factory(scale=scale)

@@ -1,0 +1,279 @@
+"""Star-Schema-Benchmark-shaped dataset and the 701-query workload.
+
+Appendix C: "the parameters are year (7), region (5), nation (25), city
+(250). Q1, Q2, Q3 generate one query for each year, Q4–Q7, Q11, Q12 one per
+region, Q9, Q10 one per city and Q42 one for each (region, nation) pair."
+Our expansion:
+
+- 3 year templates x 7 years            =  21
+- 6 region templates x 5 regions        =  30
+- 2 city templates x 250 cities         = 500
+- 1 nation template x 25 nations        =  25
+- 1 (region, nation) template x 125     = 125
+                                   total  701
+
+City-parameterized queries dominate; since each city appears in only a few
+dimension rows, their conflict sets are tiny and frequently contain an item
+unique to them — reproducing the paper's observation that close to half of
+SSB's hyperedges contain a unique item (and at least one is empty when a city
+has no matching rows at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.query import Query, sql_query
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.workloads.base import Workload
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+YEARS = (1992, 1993, 1994, 1995, 1996, 1997, 1998)
+NATIONS_PER_REGION = 5
+CITIES_PER_NATION = 10
+
+
+def nations() -> list[tuple[str, str]]:
+    """All 25 (nation, region) pairs."""
+    pairs: list[tuple[str, str]] = []
+    for region_index, region in enumerate(REGIONS):
+        for local in range(NATIONS_PER_REGION):
+            pairs.append((f"NATION{region_index * NATIONS_PER_REGION + local:02d}", region))
+    return pairs
+
+
+def cities() -> list[tuple[str, str, str]]:
+    """All 250 (city, nation, region) triples."""
+    triples: list[tuple[str, str, str]] = []
+    for nation, region in nations():
+        for local in range(CITIES_PER_NATION):
+            triples.append((f"{nation}-C{local}", nation, region))
+    return triples
+
+
+def ssb_database(scale: float = 1.0, seed: int = 23) -> Database:
+    """Laptop-scale SSB-shaped database."""
+    rng = np.random.default_rng(seed)
+    # Floors keep every city present in both dimensions (250 cities).
+    num_customers = max(300, int(300 * scale))
+    num_suppliers = max(250, int(250 * scale))
+    num_parts = max(40, int(200 * scale))
+    num_lineorders = max(2000, int(3000 * scale))
+
+    dimdate = Relation(
+        TableSchema(
+            "DimDate",
+            (
+                Column("d_datekey", ColumnType.INT),
+                Column("d_year", ColumnType.INT),
+                Column("d_month", ColumnType.INT),
+            ),
+            primary_key=("d_datekey",),
+        )
+    )
+    datekeys: list[int] = []
+    for year in YEARS:
+        for month in range(1, 13):
+            key = year * 100 + month
+            datekeys.append(key)
+            dimdate.insert((key, year, month))
+
+    all_cities = cities()
+    customer = Relation(
+        TableSchema(
+            "Customer",
+            (
+                Column("c_custkey", ColumnType.INT),
+                Column("c_name", ColumnType.TEXT),
+                Column("c_city", ColumnType.TEXT),
+                Column("c_nation", ColumnType.TEXT),
+                Column("c_region", ColumnType.TEXT),
+            ),
+            primary_key=("c_custkey",),
+        )
+    )
+    # Round-robin city assignment (like dbgen's uniform spread): every city
+    # appears as soon as there are >= 250 customers, matching the paper's
+    # SSB structure where only a single hyperedge ends up empty.
+    for key in range(num_customers):
+        city, nation, region = all_cities[key % len(all_cities)]
+        customer.insert((key, f"Customer{key:04d}", city, nation, region))
+
+    supplier = Relation(
+        TableSchema(
+            "Supplier",
+            (
+                Column("s_suppkey", ColumnType.INT),
+                Column("s_name", ColumnType.TEXT),
+                Column("s_city", ColumnType.TEXT),
+                Column("s_nation", ColumnType.TEXT),
+                Column("s_region", ColumnType.TEXT),
+            ),
+            primary_key=("s_suppkey",),
+        )
+    )
+    for key in range(num_suppliers):
+        city, nation, region = all_cities[key % len(all_cities)]
+        supplier.insert((key, f"Supplier{key:04d}", city, nation, region))
+
+    part = Relation(
+        TableSchema(
+            "Part",
+            (
+                Column("p_partkey", ColumnType.INT),
+                Column("p_name", ColumnType.TEXT),
+                Column("p_category", ColumnType.TEXT),
+                Column("p_brand", ColumnType.TEXT),
+                Column("p_mfgr", ColumnType.TEXT),
+            ),
+            primary_key=("p_partkey",),
+        )
+    )
+    categories = [f"MFGR#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+    for key in range(num_parts):
+        category = categories[int(rng.integers(len(categories)))]
+        part.insert(
+            (
+                key,
+                f"part{key:04d}",
+                category,
+                f"{category}-{int(rng.integers(1, 41))}",
+                f"MFGR#{int(rng.integers(1, 6))}",
+            )
+        )
+
+    lineorder = Relation(
+        TableSchema(
+            "LineOrder",
+            (
+                Column("lo_orderkey", ColumnType.INT),
+                Column("lo_custkey", ColumnType.INT),
+                Column("lo_suppkey", ColumnType.INT),
+                Column("lo_partkey", ColumnType.INT),
+                Column("lo_orderdate", ColumnType.INT),
+                Column("lo_quantity", ColumnType.INT),
+                Column("lo_extendedprice", ColumnType.FLOAT),
+                Column("lo_discount", ColumnType.INT),
+                Column("lo_revenue", ColumnType.FLOAT),
+                Column("lo_supplycost", ColumnType.FLOAT),
+            ),
+        )
+    )
+    for key in range(num_lineorders):
+        lineorder.insert(
+            (
+                key,
+                int(rng.integers(num_customers)),
+                int(rng.integers(num_suppliers)),
+                int(rng.integers(num_parts)),
+                datekeys[int(rng.integers(len(datekeys)))],
+                int(rng.integers(1, 51)),
+                float(np.round(rng.uniform(100, 60_000), 2)),
+                int(rng.integers(0, 11)),
+                float(np.round(rng.uniform(100, 60_000), 2)),
+                float(np.round(rng.uniform(10, 1000), 2)),
+            )
+        )
+
+    return Database("ssb", [dimdate, customer, supplier, part, lineorder])
+
+
+def ssb_queries() -> list[str]:
+    """The 701-query SSB workload."""
+    texts: list[str] = []
+    # 3 year templates (flight 1 + a monthly drill-down): 21 queries.
+    for year in YEARS:
+        texts.append(
+            "select sum(L.lo_extendedprice * L.lo_discount) "
+            "from LineOrder L, DimDate D "
+            f"where L.lo_orderdate = D.d_datekey and D.d_year = {year} "
+            "and L.lo_discount between 1 and 3 and L.lo_quantity < 25"
+        )
+        texts.append(
+            "select sum(L.lo_extendedprice * L.lo_discount) "
+            "from LineOrder L, DimDate D "
+            f"where L.lo_orderdate = D.d_datekey and D.d_year = {year} "
+            "and L.lo_discount between 4 and 6 "
+            "and L.lo_quantity between 26 and 35"
+        )
+        texts.append(
+            "select D.d_month, sum(L.lo_revenue) from LineOrder L, DimDate D "
+            f"where L.lo_orderdate = D.d_datekey and D.d_year = {year} "
+            "group by D.d_month"
+        )
+    # 6 region templates: 30 queries.
+    for region in REGIONS:
+        texts.append(
+            "select C.c_nation, sum(L.lo_revenue) from LineOrder L, Customer C "
+            "where L.lo_custkey = C.c_custkey "
+            f"and C.c_region = '{region}' group by C.c_nation"
+        )
+        texts.append(
+            "select S.s_nation, sum(L.lo_revenue) from LineOrder L, Supplier S "
+            "where L.lo_suppkey = S.s_suppkey "
+            f"and S.s_region = '{region}' group by S.s_nation"
+        )
+        texts.append(
+            "select P.p_category, count(*) from LineOrder L, Part P, Supplier S "
+            "where L.lo_partkey = P.p_partkey and L.lo_suppkey = S.s_suppkey "
+            f"and S.s_region = '{region}' group by P.p_category"
+        )
+        texts.append(
+            "select C.c_city, sum(L.lo_revenue) from LineOrder L, Customer C "
+            "where L.lo_custkey = C.c_custkey "
+            f"and C.c_region = '{region}' group by C.c_city"
+        )
+        texts.append(
+            "select S.s_city, avg(L.lo_supplycost) from LineOrder L, Supplier S "
+            "where L.lo_suppkey = S.s_suppkey "
+            f"and S.s_region = '{region}' group by S.s_city"
+        )
+        texts.append(
+            "select D.d_year, sum(L.lo_revenue) "
+            "from LineOrder L, DimDate D, Customer C "
+            "where L.lo_orderdate = D.d_datekey and L.lo_custkey = C.c_custkey "
+            f"and C.c_region = '{region}' group by D.d_year"
+        )
+    # 2 city templates: 500 queries.
+    for city, _, _ in cities():
+        texts.append(
+            "select sum(L.lo_revenue) from LineOrder L, Customer C "
+            f"where L.lo_custkey = C.c_custkey and C.c_city = '{city}'"
+        )
+        texts.append(
+            "select count(*) from LineOrder L, Supplier S "
+            f"where L.lo_suppkey = S.s_suppkey and S.s_city = '{city}'"
+        )
+    # 1 nation template: 25 queries.
+    for nation, _ in nations():
+        texts.append(
+            "select C.c_city, sum(L.lo_revenue) from LineOrder L, Customer C "
+            f"where L.lo_custkey = C.c_custkey and C.c_nation = '{nation}' "
+            "group by C.c_city"
+        )
+    # 1 (region, nation) template: 125 queries.
+    for nation, _ in nations():
+        for region in REGIONS:
+            texts.append(
+                "select S.s_city, count(*) "
+                "from LineOrder L, Supplier S, Customer C "
+                "where L.lo_suppkey = S.s_suppkey and L.lo_custkey = C.c_custkey "
+                f"and C.c_region = '{region}' and S.s_nation = '{nation}' "
+                "group by S.s_city"
+            )
+    return texts
+
+
+def ssb_workload(scale: float = 1.0, seed: int = 23) -> Workload:
+    """The 701-query SSB workload."""
+    database = ssb_database(scale=scale, seed=seed)
+    queries: list[Query] = [sql_query(text, database) for text in ssb_queries()]
+    return Workload(
+        name="ssb",
+        database=database,
+        queries=queries,
+        description="SSB-shaped schema, 701 queries from 13 templates",
+        default_support_size=2000,
+    )

@@ -1,0 +1,142 @@
+"""Synthetic hypergraph constructions.
+
+The three lower-bound families from Section 4 / Appendix A — each exhibits an
+``Omega(log m)`` revenue gap for one or both succinct pricing families while a
+subadditive pricing extracts full value:
+
+- :func:`harmonic_instance` (Lemma 2) — additive valuations where *uniform
+  bundle* pricing loses a log factor,
+- :func:`partition_instance` (Lemma 3) — uniform valuations where *item*
+  pricing loses a log factor,
+- :func:`laminar_instance` (Lemma 4) — submodular valuations where both lose
+  a log factor,
+
+plus random hypergraph generators used by tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.exceptions import WorkloadError
+
+
+def harmonic_instance(m: int) -> PricingInstance:
+    """Lemma 2: buyer ``i`` wants item ``i`` alone at value ``1/(i+1)``.
+
+    Optimal revenue is the harmonic sum ``H_m = Theta(log m)`` (item pricing
+    at ``w_i = 1/(i+1)`` extracts it all); any uniform bundle price earns
+    ``O(1)``.
+    """
+    if m < 1:
+        raise WorkloadError("m must be >= 1")
+    edges = [frozenset({i}) for i in range(m)]
+    valuations = np.array([1.0 / (i + 1) for i in range(m)])
+    return PricingInstance(Hypergraph(m, edges), valuations, name=f"harmonic(m={m})")
+
+
+def partition_instance(n: int) -> PricingInstance:
+    """Lemma 3: customer class ``C_i`` holds ``floor(n/i)`` buyers, each
+    wanting a fresh block of ``i`` items; every valuation is 1.
+
+    Uniform bundle price 1 sells everything (revenue ``Theta(n log n)``);
+    any item pricing earns ``O(n)``.
+    """
+    if n < 1:
+        raise WorkloadError("n must be >= 1")
+    edges: list[frozenset[int]] = []
+    for class_size in range(1, n + 1):
+        num_customers = n // class_size
+        if num_customers == 0:
+            break
+        # Every class partitions the SAME universe [0, n) — the sharing of
+        # items across classes is exactly what defeats additive pricing.
+        next_item = 0
+        for _ in range(num_customers):
+            edges.append(
+                frozenset(range(next_item, next_item + class_size))
+            )
+            next_item += class_size
+    return _compact(edges, name=f"partition(n={n})")
+
+
+def _compact(edges: list[frozenset[int]], name: str) -> PricingInstance:
+    """Renumber items consecutively and attach unit valuations."""
+    mapping: dict[int, int] = {}
+    remapped: list[frozenset[int]] = []
+    for edge in edges:
+        remapped.append(
+            frozenset(mapping.setdefault(item, len(mapping)) for item in edge)
+        )
+    hypergraph = Hypergraph(len(mapping), remapped)
+    return PricingInstance(hypergraph, np.ones(len(remapped)), name=name)
+
+
+def laminar_instance(t: int, copy_cap: int | None = None) -> PricingInstance:
+    """Lemma 4: the laminar (binary-tree) family over ``n = 2^t`` items.
+
+    Depth-``l`` sets have value ``(3/4)^l`` and ``c_l = (2/3)^l * 3^t``
+    copies. Copy counts grow as ``3^t``; ``copy_cap`` truncates the number of
+    copies per set (keeping at least one) so moderate depths stay tractable
+    while preserving the gap structure.
+
+    Optimal subadditive revenue is ``(t+1) * 3^t`` (uncapped); both uniform
+    bundle pricing and item pricing are stuck at ``O(3^t)``.
+    """
+    if t < 0:
+        raise WorkloadError("t must be >= 0")
+    n = 2**t
+    edges: list[frozenset[int]] = []
+    valuations: list[float] = []
+    for depth in range(t + 1):
+        num_sets = 2**depth
+        set_size = n // num_sets
+        value = (3.0 / 4.0) ** depth
+        copies = int(round((2.0 / 3.0) ** depth * 3**t))
+        copies = max(1, copies)
+        if copy_cap is not None:
+            copies = min(copies, copy_cap)
+        for block in range(num_sets):
+            items = frozenset(range(block * set_size, (block + 1) * set_size))
+            for _ in range(copies):
+                edges.append(items)
+                valuations.append(value)
+    hypergraph = Hypergraph(n, edges)
+    return PricingInstance(
+        hypergraph, np.array(valuations), name=f"laminar(t={t})"
+    )
+
+
+def laminar_optimal_revenue(t: int, copy_cap: int | None = None) -> float:
+    """Full value of the laminar instance (selling every copy at its value)."""
+    total = 0.0
+    for depth in range(t + 1):
+        copies = max(1, int(round((2.0 / 3.0) ** depth * 3**t)))
+        if copy_cap is not None:
+            copies = min(copies, copy_cap)
+        total += 2**depth * copies * (3.0 / 4.0) ** depth
+    return total
+
+
+def random_instance(
+    num_items: int,
+    num_edges: int,
+    min_edge_size: int = 1,
+    max_edge_size: int = 8,
+    valuation_high: float = 100.0,
+    rng: np.random.Generator | int | None = None,
+) -> PricingInstance:
+    """A random hypergraph with uniform random valuations (test fodder)."""
+    if max_edge_size < min_edge_size or min_edge_size < 0:
+        raise WorkloadError("invalid edge size bounds")
+    if max_edge_size > num_items:
+        raise WorkloadError("max_edge_size exceeds the item count")
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    edges = []
+    for _ in range(num_edges):
+        size = int(rng.integers(min_edge_size, max_edge_size + 1))
+        edges.append(frozenset(int(x) for x in rng.choice(num_items, size=size, replace=False)))
+    hypergraph = Hypergraph(num_items, edges)
+    valuations = rng.uniform(1.0, valuation_high, size=num_edges)
+    return PricingInstance(hypergraph, valuations, name="random")

@@ -1,0 +1,291 @@
+"""The ``world`` dataset and the skewed query workload (Table 7).
+
+The paper uses MySQL's sample ``world`` database: 3 tables, 21 attributes,
+~5000 tuples. This module generates a deterministic synthetic database with
+the same schema and value distributions chosen so that every query in the
+workload is meaningful (selective predicates select something, LIKE 'A%'
+matches a fraction of names, joins have matches, and so on).
+
+The skewed workload is the 34 base queries of Table 7 expanded exactly as
+Appendix B prescribes: one query per country for Q17/Q27/Q31, one per
+continent for Q1/Q12, one per language for Q29/Q30. With 238 countries,
+7 continents, and 112 languages this yields
+
+    34 + 3*238 + 2*7 + 2*112 = 986 queries,
+
+matching the paper's m = 986.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.query import Query, sql_query
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.workloads.base import Workload
+
+#: Cardinalities chosen to match the paper's world database description.
+NUM_COUNTRIES = 238
+NUM_CONTINENTS = 7
+NUM_LANGUAGES = 112
+NUM_REGIONS = 25
+NUM_GOVERNMENT_FORMS = 10
+
+CONTINENTS = (
+    "Asia", "Europe", "Africa", "North America",
+    "South America", "Oceania", "Antarctica",
+)
+
+#: Codes embedded verbatim in the Table 7 queries.
+SPECIAL_CODES = ("USA", "GRC", "FRA", "IND", "CHN", "BRA", "DEU", "JPN")
+
+#: Languages embedded verbatim in the Table 7 queries.
+SPECIAL_LANGUAGES = ("Greek", "English", "Spanish")
+
+
+def _country_code(index: int) -> str:
+    if index < len(SPECIAL_CODES):
+        return SPECIAL_CODES[index]
+    return f"C{index:03d}"
+
+
+def _country_name(index: int, rng: np.random.Generator) -> str:
+    # First letter cycles the alphabet so LIKE 'A%' matches ~1/26 of names.
+    first = chr(ord("A") + index % 26)
+    suffix = int(rng.integers(100, 999))
+    return f"{first}land{suffix}"
+
+
+def _language_name(index: int) -> str:
+    if index < len(SPECIAL_LANGUAGES):
+        return SPECIAL_LANGUAGES[index]
+    return f"Lang{index:03d}"
+
+
+def world_database(scale: float = 1.0, seed: int = 42) -> Database:
+    """Deterministic synthetic ``world`` database.
+
+    ``scale`` multiplies the City/CountryLanguage row counts (Country stays
+    at 238 so the query-template expansion always yields 986 queries).
+    """
+    rng = np.random.default_rng(seed)
+    num_cities = max(NUM_COUNTRIES, int(3000 * scale))
+    num_language_rows = max(NUM_LANGUAGES, int(1000 * scale))
+
+    country_schema = TableSchema(
+        "Country",
+        (
+            Column("Code", ColumnType.TEXT),
+            Column("Name", ColumnType.TEXT),
+            Column("Continent", ColumnType.TEXT),
+            Column("Region", ColumnType.TEXT),
+            Column("SurfaceArea", ColumnType.FLOAT),
+            Column("IndepYear", ColumnType.INT),
+            Column("Population", ColumnType.INT),
+            Column("LifeExpectancy", ColumnType.FLOAT),
+            Column("GNP", ColumnType.FLOAT),
+            Column("GovernmentForm", ColumnType.TEXT),
+            Column("HeadOfState", ColumnType.TEXT),
+            Column("Capital", ColumnType.INT),
+        ),
+        primary_key=("Code",),
+    )
+    city_schema = TableSchema(
+        "City",
+        (
+            Column("ID", ColumnType.INT),
+            Column("Name", ColumnType.TEXT),
+            Column("CountryCode", ColumnType.TEXT),
+            Column("District", ColumnType.TEXT),
+            Column("Population", ColumnType.INT),
+        ),
+        primary_key=("ID",),
+    )
+    language_schema = TableSchema(
+        "CountryLanguage",
+        (
+            Column("CountryCode", ColumnType.TEXT),
+            Column("Language", ColumnType.TEXT),
+            Column("IsOfficial", ColumnType.TEXT),
+            Column("Percentage", ColumnType.FLOAT),
+        ),
+        primary_key=("CountryCode", "Language"),
+    )
+
+    regions = [f"Region{i:02d}" for i in range(NUM_REGIONS)]
+    regions[0] = "Caribbean"  # referenced verbatim by Q13/Q14
+    government_forms = [f"Form{i}" for i in range(NUM_GOVERNMENT_FORMS)]
+    government_forms[0] = "Republic"
+
+    # Cities first (capitals reference city ids).
+    city = Relation(city_schema)
+    cities_per_country = max(1, num_cities // NUM_COUNTRIES)
+    city_rows: list[tuple] = []
+    for country_index in range(NUM_COUNTRIES):
+        code = _country_code(country_index)
+        for local in range(cities_per_country):
+            city_id = country_index * cities_per_country + local + 1
+            population = int(rng.lognormal(mean=11.5, sigma=1.2))
+            city_rows.append(
+                (
+                    city_id,
+                    f"{_country_name(country_index, rng)}City{local}",
+                    code,
+                    f"District{int(rng.integers(0, 40)):02d}",
+                    population,
+                )
+            )
+    # A couple of megacities so Q20/Q28-style predicates are non-trivial.
+    for offset, code in enumerate(("USA", "CHN", "IND", "BRA")):
+        row_index = offset * cities_per_country
+        row = list(city_rows[row_index])
+        row[2] = code
+        row[4] = int(rng.integers(8_000_000, 20_000_000))
+        city_rows[row_index] = tuple(row)
+    city.insert_many(city_rows)
+
+    country = Relation(country_schema)
+    for index in range(NUM_COUNTRIES):
+        capital_id = index * cities_per_country + 1
+        country.insert(
+            (
+                _country_code(index),
+                _country_name(index, rng),
+                CONTINENTS[index % NUM_CONTINENTS],
+                regions[index % NUM_REGIONS],
+                float(np.round(rng.uniform(1_000, 17_000_000), 1)),
+                int(rng.integers(1200, 2000)),
+                int(rng.lognormal(mean=15.5, sigma=1.5)),
+                float(np.round(rng.uniform(40, 85), 1)),
+                float(np.round(rng.uniform(100, 1_000_000), 2)),
+                government_forms[index % NUM_GOVERNMENT_FORMS],
+                f"Head{index:03d}",
+                capital_id,
+            )
+        )
+
+    language = Relation(language_schema)
+    rows_per_language = max(1, num_language_rows // NUM_LANGUAGES)
+    seen: set[tuple[str, str]] = set()
+    for lang_index in range(NUM_LANGUAGES):
+        lang = _language_name(lang_index)
+        for _ in range(rows_per_language):
+            code = _country_code(int(rng.integers(NUM_COUNTRIES)))
+            if (code, lang) in seen:
+                continue
+            seen.add((code, lang))
+            language.insert(
+                (
+                    code,
+                    lang,
+                    "T" if rng.random() < 0.3 else "F",
+                    float(np.round(rng.uniform(0.5, 100.0), 1)),
+                )
+            )
+    # Guarantee the specific joins in Q29/Q30/Q32 have matches.
+    for code, lang in (("GRC", "Greek"), ("USA", "English"), ("USA", "Spanish")):
+        if (code, lang) not in seen:
+            seen.add((code, lang))
+            language.insert((code, lang, "T", 80.0))
+
+    return Database("world", [country, city, language])
+
+
+def base_queries() -> list[str]:
+    """The 34 queries of Table 7 (with the paper's obvious typos fixed)."""
+    return [
+        "select count(Name) from Country where Continent = 'Asia'",
+        "select count(distinct Continent) from Country",
+        "select avg(Population) from Country",
+        "select max(Population) from Country",
+        "select min(LifeExpectancy) from Country",
+        "select count(Name) from Country where Name like 'A%'",
+        "select Region, max(SurfaceArea) from Country group by Region",
+        "select Continent, max(Population) from Country group by Continent",
+        "select Continent, count(Code) from Country group by Continent",
+        "select * from Country",
+        "select Name from Country where Name like 'A%'",
+        "select * from Country where Continent='Europe' and Population > 5000000",
+        "select * from Country where Region='Caribbean'",
+        "select Name from Country where Region='Caribbean'",
+        "select Name from Country where Population between 10000000 and 20000000",
+        "select * from Country where Continent='Europe' limit 2",
+        "select Population from Country where Code = 'USA'",
+        "select GovernmentForm from Country",
+        "select distinct GovernmentForm from Country",
+        "select * from City where Population >= 1000000 and CountryCode = 'USA'",
+        "select distinct Language from CountryLanguage where CountryCode='USA'",
+        "select * from CountryLanguage where IsOfficial = 'T'",
+        "select Language, count(CountryCode) from CountryLanguage group by Language",
+        "select count(Language) from CountryLanguage where CountryCode = 'USA'",
+        "select CountryCode, sum(Population) from City group by CountryCode",
+        "select CountryCode, count(ID) from City group by CountryCode",
+        "select * from City where CountryCode = 'GRC'",
+        "select distinct 1 from City where CountryCode = 'USA' and Population > 10000000",
+        "select Name from Country , CountryLanguage where Code = CountryCode and Language = 'Greek'",
+        "select C.Name from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'English' and L.Percentage >= 50",
+        "select T.District from Country C, City T where C.Code = 'USA' and C.Capital = T.ID",
+        "select * from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'Spanish'",
+        "select Name, Language from Country , CountryLanguage where Code = CountryCode",
+        "select * from Country , CountryLanguage where Code = CountryCode",
+    ]
+
+
+def expanded_queries() -> list[str]:
+    """The 986-query skewed workload per Appendix B."""
+    queries = base_queries()
+    codes = [_country_code(index) for index in range(NUM_COUNTRIES)]
+    languages = [_language_name(index) for index in range(NUM_LANGUAGES)]
+
+    for code in codes:
+        queries.append(f"select Population from Country where Code = '{code}'")
+        queries.append(f"select * from City where CountryCode = '{code}'")
+        queries.append(
+            "select T.District from Country C, City T "
+            f"where C.Code = '{code}' and C.Capital = T.ID"
+        )
+    for continent in CONTINENTS:
+        queries.append(
+            f"select count(Name) from Country where Continent = '{continent}'"
+        )
+        queries.append(
+            f"select * from Country where Continent='{continent}' "
+            "and Population > 5000000"
+        )
+    for lang in languages:
+        queries.append(
+            "select Name from Country , CountryLanguage "
+            f"where Code = CountryCode and Language = '{lang}'"
+        )
+        queries.append(
+            "select C.Name from Country C, CountryLanguage L "
+            f"where C.Code = L.CountryCode and L.Language = '{lang}' "
+            "and L.Percentage >= 50"
+        )
+    return queries
+
+
+def world_workload(
+    scale: float = 1.0,
+    seed: int = 42,
+    expanded: bool = True,
+) -> Workload:
+    """The skewed workload over the world database.
+
+    With ``expanded=False`` only the 34 base queries of Table 7 are used
+    (handy for fast tests and examples).
+    """
+    database = world_database(scale=scale, seed=seed)
+    texts = expanded_queries() if expanded else base_queries()
+    # Duplicate texts (expansion regenerates e.g. Q17 for 'USA') are kept —
+    # the paper's workload also contains them and they model repeat buyers.
+    queries: list[Query] = [sql_query(text, database) for text in texts]
+    return Workload(
+        name="skewed",
+        database=database,
+        queries=queries,
+        description="world dataset, 986-query skewed workload (Table 7 + Appendix B)",
+        default_support_size=1500,
+    )

@@ -1,0 +1,116 @@
+"""Shared fixtures: a small deterministic database, support set, instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.support.generator import NeighborSampler
+
+
+@pytest.fixture
+def country_schema() -> TableSchema:
+    return TableSchema(
+        "Country",
+        (
+            Column("Code", ColumnType.TEXT),
+            Column("Name", ColumnType.TEXT),
+            Column("Continent", ColumnType.TEXT),
+            Column("Region", ColumnType.TEXT),
+            Column("Population", ColumnType.INT),
+            Column("LifeExpectancy", ColumnType.FLOAT),
+        ),
+        primary_key=("Code",),
+    )
+
+
+@pytest.fixture
+def mini_db(country_schema) -> Database:
+    """Four countries, four cities, three languages — small but join-able."""
+    country = Relation(country_schema)
+    country.insert_many(
+        [
+            ("USA", "United States", "North America", "Northern America", 278357000, 77.1),
+            ("GRC", "Greece", "Europe", "Southern Europe", 10545700, 78.4),
+            ("FRA", "France", "Europe", "Western Europe", 59225700, 78.8),
+            ("IND", "India", "Asia", "Southern Asia", 1013662000, 62.5),
+        ]
+    )
+    city = Relation(
+        TableSchema(
+            "City",
+            (
+                Column("ID", ColumnType.INT),
+                Column("Name", ColumnType.TEXT),
+                Column("CountryCode", ColumnType.TEXT),
+                Column("Population", ColumnType.INT),
+            ),
+            primary_key=("ID",),
+        )
+    )
+    city.insert_many(
+        [
+            (1, "Athens", "GRC", 745514),
+            (2, "Paris", "FRA", 2125246),
+            (3, "New York", "USA", 8008278),
+            (4, "Mumbai", "IND", 10500000),
+        ]
+    )
+    language = Relation(
+        TableSchema(
+            "CountryLanguage",
+            (
+                Column("CountryCode", ColumnType.TEXT),
+                Column("Language", ColumnType.TEXT),
+                Column("Percentage", ColumnType.FLOAT),
+            ),
+            primary_key=("CountryCode", "Language"),
+        )
+    )
+    language.insert_many(
+        [
+            ("GRC", "Greek", 98.5),
+            ("USA", "English", 86.2),
+            ("FRA", "French", 93.6),
+        ]
+    )
+    return Database("mini-world", [country, city, language])
+
+
+@pytest.fixture
+def mini_support(mini_db):
+    sampler = NeighborSampler(mini_db, rng=np.random.default_rng(11))
+    return sampler.generate(40)
+
+
+@pytest.fixture
+def small_instance() -> PricingInstance:
+    """Hand-built 5-item, 6-edge instance with known-good prices."""
+    edges = [
+        {0},          # v = 10
+        {1},          # v = 6
+        {0, 1},       # v = 14
+        {2, 3},       # v = 8
+        {2, 3, 4},    # v = 9
+        set(),        # v = 5 (empty conflict set)
+    ]
+    valuations = np.array([10.0, 6.0, 14.0, 8.0, 9.0, 5.0])
+    return PricingInstance(Hypergraph(5, edges), valuations, "small")
+
+
+@pytest.fixture
+def random_instance_factory():
+    """Factory for random instances with a given seed (hypothesis-free)."""
+
+    def make(num_items=30, num_edges=20, seed=0, high=50.0):
+        from repro.workloads.synthetic import random_instance
+
+        return random_instance(
+            num_items, num_edges, valuation_high=high, rng=seed
+        )
+
+    return make

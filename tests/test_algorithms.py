@@ -1,0 +1,292 @@
+"""Unit tests for the six pricing algorithms (+ UBP refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    CIP,
+    Layering,
+    LPIP,
+    UBP,
+    UBPRefine,
+    UIP,
+    XOSCombiner,
+    available_algorithms,
+    default_algorithm_suite,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.algorithms.cip import capacity_schedule
+from repro.core.algorithms.layering import minimal_cover, unique_items
+from repro.core.algorithms.ubp import best_uniform_bundle_price
+from repro.core.algorithms.uip import best_uniform_item_price
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import ItemPricing, UniformBundlePricing, XOSPricing
+from repro.exceptions import PricingError
+
+
+class TestUBP:
+    def test_optimal_price_simple(self):
+        # valuations 3, 2, 1: price 2 sells 2 -> revenue 4 beats 3 and 3.
+        _, revenue = best_uniform_bundle_price(np.array([3.0, 2.0, 1.0]))
+        assert revenue == pytest.approx(4.0)
+
+    def test_uniform_valuations_full_revenue(self):
+        hypergraph = Hypergraph(3, [{0}, {1}, {2}])
+        instance = PricingInstance(hypergraph, [5.0, 5.0, 5.0])
+        result = UBP().run(instance)
+        assert result.revenue == pytest.approx(15.0)
+
+    def test_empty_instance(self):
+        instance = PricingInstance(Hypergraph(0, []), [])
+        assert UBP().run(instance).revenue == 0.0
+
+    def test_price_is_some_valuation(self, random_instance_factory):
+        instance = random_instance_factory(seed=1)
+        result = UBP().run(instance)
+        assert isinstance(result.pricing, UniformBundlePricing)
+        assert result.pricing.bundle_price in instance.valuations
+
+    def test_exhaustive_optimality(self, random_instance_factory):
+        instance = random_instance_factory(num_edges=12, seed=2)
+        result = UBP().run(instance)
+        for price in instance.valuations:
+            manual = price * np.sum(instance.valuations >= price)
+            assert result.revenue >= manual - 1e-9
+
+    def test_sells_empty_edges_too(self, small_instance):
+        result = UBP().run(small_instance)
+        # a uniform bundle price applies to the empty conflict set as well
+        prices = result.pricing.price_edges(small_instance.edges)
+        assert prices[5] == result.pricing.bundle_price
+
+
+class TestUIP:
+    def test_uniform_weight_structure(self, random_instance_factory):
+        instance = random_instance_factory(seed=3)
+        result = UIP().run(instance)
+        weights = result.pricing.weights
+        positive = weights[weights > 0]
+        assert len(set(np.round(positive, 12))) <= 1
+
+    def test_candidate_is_quality_ratio(self):
+        hypergraph = Hypergraph(4, [{0, 1}, {2}, {3}])
+        instance = PricingInstance(hypergraph, [8.0, 3.0, 3.0])
+        weight, _ = best_uniform_item_price(instance)
+        # candidates: 8/2=4, 3/1=3; w=3 sells all: 6+3+3=12 > w=4: 8.
+        assert weight == pytest.approx(3.0)
+
+    def test_empty_edges_ignored(self):
+        hypergraph = Hypergraph(2, [set(), {0}])
+        instance = PricingInstance(hypergraph, [100.0, 2.0])
+        weight, revenue = best_uniform_item_price(instance)
+        assert weight == pytest.approx(2.0)
+        assert revenue == pytest.approx(2.0)
+
+    def test_all_empty_edges(self):
+        hypergraph = Hypergraph(2, [set(), set()])
+        instance = PricingInstance(hypergraph, [1.0, 2.0])
+        assert UIP().run(instance).revenue == 0.0
+
+
+class TestLPIP:
+    def test_beats_uip_on_typical_random_instances(self, random_instance_factory):
+        # Not a theorem (see test_properties), but holds on typical random
+        # instances without nested subset structure — pinned with fixed seeds.
+        for seed in range(4):
+            instance = random_instance_factory(seed=seed)
+            lpip_revenue = LPIP().run(instance).revenue
+            uip_revenue = UIP().run(instance).revenue
+            assert lpip_revenue >= uip_revenue - 1e-6
+
+    def test_extracts_full_revenue_on_disjoint_edges(self):
+        hypergraph = Hypergraph(4, [{0}, {1}, {2, 3}])
+        instance = PricingInstance(hypergraph, [3.0, 7.0, 5.0])
+        result = LPIP().run(instance)
+        assert result.revenue == pytest.approx(15.0)
+
+    def test_max_programs_caps_lp_count(self, random_instance_factory):
+        instance = random_instance_factory(num_edges=25, seed=4)
+        result = LPIP(max_programs=5).run(instance)
+        assert result.metadata["num_programs"] <= 5
+
+    def test_respects_valuation_constraints_on_frontier(self):
+        # Threshold at the top edge must sell it exactly at its valuation.
+        hypergraph = Hypergraph(2, [{0, 1}])
+        instance = PricingInstance(hypergraph, [9.0])
+        result = LPIP().run(instance)
+        assert result.revenue == pytest.approx(9.0)
+
+
+class TestCIP:
+    def test_capacity_schedule_geometric(self):
+        schedule = capacity_schedule(10, 1.0)
+        assert schedule[0] == 1.0
+        assert schedule[-1] == 10.0
+        assert all(b > a for a, b in zip(schedule, schedule[1:]))
+
+    def test_capacity_schedule_requires_positive_epsilon(self):
+        with pytest.raises(PricingError):
+            capacity_schedule(10, 0.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(PricingError):
+            CIP(epsilon=-1.0)
+
+    def test_duals_price_scarce_items(self):
+        # Two buyers want the same item; k=1 prices it at the lower valuation.
+        hypergraph = Hypergraph(1, [{0}, {0}])
+        instance = PricingInstance(hypergraph, [10.0, 4.0])
+        result = CIP(epsilon=0.5).run(instance)
+        assert result.revenue >= 8.0 - 1e-6  # price 4 sells twice
+
+    def test_handles_empty_edges(self, small_instance):
+        result = CIP(epsilon=0.5).run(small_instance)
+        assert result.revenue >= 0.0
+
+    def test_no_edges(self):
+        instance = PricingInstance(Hypergraph(3, []), [])
+        assert CIP().run(instance).revenue == 0.0
+
+
+class TestLayering:
+    def test_minimal_cover_has_unique_items(self, random_instance_factory):
+        instance = random_instance_factory(num_items=20, num_edges=15, seed=6)
+        edge_ids = [i for i in range(instance.num_edges) if instance.edges[i]]
+        cover = minimal_cover(edge_ids, instance.edges)
+        assignment = unique_items(cover, instance.edges)
+        assert set(assignment) == set(cover)  # every cover edge got one
+        assert len(set(assignment.values())) == len(assignment)
+
+    def test_cover_covers_universe(self, random_instance_factory):
+        instance = random_instance_factory(num_items=20, num_edges=15, seed=7)
+        edge_ids = [i for i in range(instance.num_edges) if instance.edges[i]]
+        universe = set().union(*(instance.edges[i] for i in edge_ids))
+        cover = minimal_cover(edge_ids, instance.edges)
+        covered = set().union(*(instance.edges[i] for i in cover))
+        assert covered == universe
+
+    def test_extracts_best_layer_value(self):
+        # Disjoint edges form a single layer -> full revenue.
+        hypergraph = Hypergraph(4, [{0}, {1}, {2}, {3}])
+        instance = PricingInstance(hypergraph, [1.0, 2.0, 3.0, 4.0])
+        result = Layering().run(instance)
+        assert result.revenue == pytest.approx(10.0)
+
+    def test_at_most_B_layers(self, random_instance_factory):
+        instance = random_instance_factory(num_items=15, num_edges=25, seed=8)
+        result = Layering().run(instance)
+        assert result.metadata["num_layers"] <= instance.hypergraph.max_degree + 1
+
+    def test_duplicate_edges_handled(self):
+        hypergraph = Hypergraph(2, [{0, 1}, {0, 1}, {0, 1}])
+        instance = PricingInstance(hypergraph, [2.0, 3.0, 4.0])
+        result = Layering().run(instance)
+        assert result.revenue > 0
+
+
+class TestXOS:
+    def test_combines_lpip_and_cip_by_default(self, random_instance_factory):
+        instance = random_instance_factory(seed=9)
+        result = XOSCombiner().run(instance)
+        assert isinstance(result.pricing, XOSPricing)
+        assert result.pricing.num_components == 2
+        assert set(result.metadata["component_revenues"]) == {"lpip", "cip"}
+
+    def test_requires_components(self):
+        with pytest.raises(PricingError):
+            XOSCombiner([])
+
+    def test_rejects_non_item_components(self, random_instance_factory):
+        instance = random_instance_factory(seed=10)
+        with pytest.raises(PricingError, match="item pricing"):
+            XOSCombiner([UBP()]).run(instance)
+
+    def test_xos_price_at_least_components(self, random_instance_factory):
+        instance = random_instance_factory(seed=11)
+        result = XOSCombiner().run(instance)
+        for component in result.pricing.components:
+            for edge in instance.edges:
+                assert result.pricing.price(edge) >= component.price(edge) - 1e-12
+
+
+class TestUBPRefine:
+    def test_never_worse_than_ubp(self, random_instance_factory):
+        for seed in range(4):
+            instance = random_instance_factory(seed=seed)
+            refined = UBPRefine().run(instance).revenue
+            plain = UBP().run(instance).revenue
+            assert refined >= plain - 1e-6
+
+    def test_refinement_strictly_helps_on_heterogeneous_edges(self):
+        # One uniform price cannot separate 10 and 6; item weights can.
+        hypergraph = Hypergraph(2, [{0}, {1}])
+        instance = PricingInstance(hypergraph, [10.0, 6.0])
+        refined = UBPRefine().run(instance)
+        assert refined.revenue == pytest.approx(16.0)
+        assert UBP().run(instance).revenue == pytest.approx(12.0)
+
+    def test_falls_back_on_empty_edges_only(self):
+        hypergraph = Hypergraph(1, [set(), set()])
+        instance = PricingInstance(hypergraph, [5.0, 5.0])
+        result = UBPRefine().run(instance)
+        assert not result.metadata["refined"]
+
+
+class TestSuiteInvariants:
+    def test_revenue_never_exceeds_welfare(self, random_instance_factory):
+        for seed in range(3):
+            instance = random_instance_factory(seed=seed, num_edges=30)
+            for algorithm in default_algorithm_suite():
+                result = algorithm.run(instance)
+                assert result.revenue <= instance.total_valuation() + 1e-6
+
+    def test_sold_buyers_pay_at_most_their_valuation(self, random_instance_factory):
+        instance = random_instance_factory(seed=12)
+        for algorithm in default_algorithm_suite():
+            result = algorithm.run(instance)
+            prices = result.report.prices
+            sold = result.report.sold
+            tolerance = instance.valuations[sold] * 1e-6 + 1e-6
+            assert np.all(prices[sold] <= instance.valuations[sold] + tolerance)
+
+    def test_runtime_recorded(self, random_instance_factory):
+        result = UBP().run(random_instance_factory(seed=13))
+        assert result.runtime_seconds >= 0.0
+
+    def test_all_pricings_arbitrage_free(self, random_instance_factory):
+        from repro.qirana.validation import verify_arbitrage_freeness
+
+        instance = random_instance_factory(seed=14)
+        for algorithm in default_algorithm_suite():
+            result = algorithm.run(instance)
+            violations = verify_arbitrage_freeness(
+                result.pricing, instance.num_items, trials=100, rng=0
+            )
+            assert violations == [], algorithm.name
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_algorithms()
+        for expected in ("ubp", "ubp+lp", "uip", "lpip", "cip", "layering", "xos"):
+            assert expected in names
+
+    def test_get_algorithm_with_params(self):
+        algorithm = get_algorithm("lpip", max_programs=3)
+        assert algorithm.max_programs == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(PricingError, match="unknown algorithm"):
+            get_algorithm("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PricingError, match="already registered"):
+            register_algorithm("ubp", UBP)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_algorithm("UBP"), UBP)
+
+    def test_default_suite_order(self):
+        names = [algorithm.name for algorithm in default_algorithm_suite()]
+        assert names == ["lpip", "ubp", "cip", "uip", "layering", "xos"]

@@ -1,0 +1,108 @@
+"""Tests for the structural instance analysis (containment caps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    containment_stats,
+    frontier_cap,
+    lpip_structural_bound,
+    subset_relation,
+)
+from repro.core.hypergraph import Hypergraph, PricingInstance
+
+
+@pytest.fixture
+def nested():
+    """Umbrella {0,1,2,3} over disjoint singletons, plus an unrelated edge."""
+    edges = [{0}, {1}, {2}, {0, 1, 2, 3}, {4}]
+    return Hypergraph(5, edges)
+
+
+class TestSubsetRelation:
+    def test_finds_strict_subsets(self, nested):
+        children = subset_relation(nested)
+        assert sorted(children[3]) == [0, 1, 2]
+
+    def test_no_self_or_equal(self):
+        hypergraph = Hypergraph(2, [{0, 1}, {0, 1}])
+        assert subset_relation(hypergraph) == {}
+
+    def test_empty_edges_excluded(self):
+        hypergraph = Hypergraph(2, [set(), {0, 1}])
+        assert subset_relation(hypergraph) == {}
+
+    def test_chain(self):
+        hypergraph = Hypergraph(3, [{0}, {0, 1}, {0, 1, 2}])
+        children = subset_relation(hypergraph)
+        assert sorted(children[2]) == [0, 1]
+        assert children[1] == [0]
+
+
+class TestContainmentStats:
+    def test_counts(self, nested):
+        stats = containment_stats(nested)
+        assert stats.num_subset_pairs == 3
+        assert stats.num_umbrella_edges == 1
+        assert stats.max_children == 3
+        assert stats.nesting_ratio == pytest.approx(3 / 5)
+
+    def test_flat_instance(self):
+        stats = containment_stats(Hypergraph(4, [{0}, {1}, {2}, {3}]))
+        assert stats.num_subset_pairs == 0
+        assert stats.nesting_ratio == 0.0
+
+
+class TestFrontierCap:
+    def test_cheap_umbrella_caps_disjoint_subs(self, nested):
+        # Singletons valued 10 each, umbrella valued 5, unrelated valued 10.
+        instance = PricingInstance(nested, [10.0, 10.0, 10.0, 5.0, 10.0])
+        cap = frontier_cap(instance, threshold=1.0)
+        # Selling all: subs jointly capped at 1 * v_umbrella = 5;
+        # umbrella itself 5; unrelated 10 -> 20 total (vs naive 45).
+        assert cap == pytest.approx(5.0 + 5.0 + 10.0)
+
+    def test_threshold_above_umbrella_uncaps(self, nested):
+        instance = PricingInstance(nested, [10.0, 10.0, 10.0, 5.0, 10.0])
+        cap = frontier_cap(instance, threshold=6.0)
+        # Umbrella out of the frontier: singletons + unrelated all full.
+        assert cap == pytest.approx(40.0)
+
+    def test_overlapping_subs_use_multiplicity(self):
+        # Two identical singletons under one umbrella: multiplicity 2.
+        hypergraph = Hypergraph(2, [{0}, {0}, {0, 1}])
+        instance = PricingInstance(hypergraph, [10.0, 10.0, 3.0])
+        cap = frontier_cap(instance, threshold=1.0)
+        # subs capped at 2 * 3 = 6, umbrella 3 -> 9.
+        assert cap == pytest.approx(9.0)
+
+    def test_empty_frontier(self, nested):
+        instance = PricingInstance(nested, [1.0] * 5)
+        assert frontier_cap(instance, threshold=99.0) == 0.0
+
+
+class TestStructuralBound:
+    def test_picks_best_threshold(self, nested):
+        instance = PricingInstance(nested, [10.0, 10.0, 10.0, 5.0, 10.0])
+        # threshold 6 gives 40 (umbrella excluded), threshold 1 gives 20.
+        assert lpip_structural_bound(instance) == pytest.approx(40.0)
+
+    def test_bound_dominates_lpip_frontier_revenue(self):
+        # On the cap construction, realized LPIP revenue stays within the
+        # structural bound + uncapped cheap edges.
+        from repro.core.algorithms import LPIP
+
+        edges = [{i} for i in range(8)] + [set(range(8))]
+        rng = np.random.default_rng(0)
+        valuations = np.concatenate([rng.uniform(5, 10, 8), [2.0]])
+        instance = PricingInstance(Hypergraph(8, edges), valuations)
+        bound = lpip_structural_bound(instance)
+        result = LPIP().run(instance)
+        # All singleton value is reachable by excluding the umbrella.
+        assert bound >= valuations[:8].sum() - 1e-9
+        assert result.revenue <= instance.total_valuation() + 1e-9
+
+    def test_flat_instance_bound_is_total(self):
+        hypergraph = Hypergraph(3, [{0}, {1}, {2}])
+        instance = PricingInstance(hypergraph, [3.0, 4.0, 5.0])
+        assert lpip_structural_bound(instance) == pytest.approx(12.0)

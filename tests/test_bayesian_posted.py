@@ -1,0 +1,176 @@
+"""Bayesian instances, expected revenue, EV-optimal UBP, and SAA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesian import (
+    BayesianInstance,
+    DiscreteValuation,
+    ExpectedRevenueUBP,
+    ExponentialValuation,
+    UniformValuation,
+    average_realized_revenue,
+    expected_revenue,
+    pooled_empirical_distribution,
+    saa_pricing,
+    saa_uniform_bundle_price,
+    stack_samples,
+    uniform_edge_distributions,
+)
+from repro.core.algorithms import UBP, UIP
+from repro.core.hypergraph import Hypergraph
+from repro.core.pricing import ItemPricing, UniformBundlePricing
+from repro.exceptions import PricingError
+
+
+@pytest.fixture
+def chain_instance() -> BayesianInstance:
+    """Three edges over four items with mixed distributions."""
+    hypergraph = Hypergraph(4, [{0, 1}, {1, 2}, {2, 3}])
+    return BayesianInstance(
+        hypergraph,
+        [
+            UniformValuation(0.0, 10.0),
+            ExponentialValuation(4.0),
+            DiscreteValuation([2.0, 6.0], [0.5, 0.5]),
+        ],
+    )
+
+
+class TestBayesianInstance:
+    def test_distribution_count_is_validated(self):
+        hypergraph = Hypergraph(2, [{0}, {1}])
+        with pytest.raises(PricingError, match="distributions"):
+            BayesianInstance(hypergraph, [UniformValuation(0, 1)])
+
+    def test_realize_produces_valid_instance(self, chain_instance):
+        realized = chain_instance.realize(rng=0)
+        assert realized.num_edges == 3
+        assert np.all(realized.valuations >= 0)
+        # Same seed, same draw; different seed, (almost surely) different.
+        again = chain_instance.realize(rng=0)
+        np.testing.assert_allclose(realized.valuations, again.valuations)
+        other = chain_instance.realize(rng=1)
+        assert not np.allclose(realized.valuations, other.valuations)
+
+    def test_expected_welfare(self, chain_instance):
+        assert chain_instance.expected_welfare() == pytest.approx(
+            5.0 + 4.0 + 4.0
+        )
+
+    def test_expected_revenue_decomposes_per_edge(self, chain_instance):
+        pricing = ItemPricing([1.0, 2.0, 0.0, 3.0])
+        # Edge prices: {0,1} -> 3, {1,2} -> 2, {2,3} -> 3.
+        expected = (
+            3.0 * chain_instance.distributions[0].survival(3.0)
+            + 2.0 * chain_instance.distributions[1].survival(2.0)
+            + 3.0 * chain_instance.distributions[2].survival(3.0)
+        )
+        assert expected_revenue(pricing, chain_instance) == pytest.approx(expected)
+        assert chain_instance.expected_revenue(pricing) == pytest.approx(expected)
+
+    def test_expected_revenue_bounded_by_welfare(self, chain_instance):
+        # Markov: p * P(v >= p) <= E[v] edge by edge.
+        for price in (0.5, 2.0, 7.0):
+            pricing = UniformBundlePricing(price)
+            assert (
+                expected_revenue(pricing, chain_instance)
+                <= chain_instance.expected_welfare() + 1e-9
+            )
+
+
+class TestExpectedRevenueUBP:
+    def test_single_discrete_edge_is_exact(self):
+        hypergraph = Hypergraph(1, [{0}])
+        instance = BayesianInstance(
+            hypergraph, [DiscreteValuation([1.0, 10.0], [0.8, 0.2])]
+        )
+        pricing, revenue = ExpectedRevenueUBP().run(instance)
+        # Post 10: 10 * 0.2 = 2 beats post 1: 1 * 1 = 1.
+        assert pricing.bundle_price == pytest.approx(10.0)
+        assert revenue == pytest.approx(2.0)
+
+    def test_identical_uniform_edges_recover_single_buyer_optimum(self):
+        hypergraph = Hypergraph(3, [{0}, {1}, {2}])
+        instance = BayesianInstance(
+            hypergraph, uniform_edge_distributions(3, UniformValuation(0.0, 8.0))
+        )
+        pricing, revenue = ExpectedRevenueUBP().run(instance)
+        # Each edge's curve peaks at 4 with value 2; three edges -> 6.
+        assert pricing.bundle_price == pytest.approx(4.0, rel=0.05)
+        assert revenue == pytest.approx(6.0, rel=0.02)
+
+    def test_beats_every_individual_optimal_price(self, chain_instance):
+        _, best = ExpectedRevenueUBP().run(chain_instance)
+        for dist in chain_instance.distributions:
+            price, _ = dist.optimal_price()
+            candidate = UniformBundlePricing(price)
+            assert best >= expected_revenue(candidate, chain_instance) - 1e-9
+
+    def test_grid_size_validation(self):
+        with pytest.raises(PricingError):
+            ExpectedRevenueUBP(grid_size=1)
+
+
+class TestSAA:
+    def test_stack_shape(self, chain_instance):
+        stacked = stack_samples(chain_instance, num_samples=5, rng=0)
+        assert stacked.num_edges == 15
+        assert stacked.num_items == 4
+        with pytest.raises(PricingError):
+            stack_samples(chain_instance, num_samples=0)
+
+    def test_saa_ubp_converges_to_ev_optimum(self):
+        hypergraph = Hypergraph(2, [{0}, {1}])
+        instance = BayesianInstance(
+            hypergraph, uniform_edge_distributions(2, UniformValuation(0.0, 10.0))
+        )
+        _, ev_optimal = ExpectedRevenueUBP().run(instance)
+        result = saa_uniform_bundle_price(instance, num_samples=400, rng=1)
+        assert result.num_samples == 400
+        # With 800 pooled samples the SAA price should capture almost all of
+        # the distribution-optimal expected revenue.
+        assert result.true_expected_revenue >= 0.93 * ev_optimal
+
+    def test_saa_with_item_pricing_algorithm(self, chain_instance):
+        result = saa_pricing(chain_instance, UIP(), num_samples=50, rng=2)
+        assert isinstance(result.pricing, ItemPricing)
+        assert result.empirical_revenue >= 0.0
+        assert result.true_expected_revenue >= 0.0
+
+    def test_generalization_gap_shrinks_with_samples(self):
+        hypergraph = Hypergraph(2, [{0}, {0, 1}])
+        instance = BayesianInstance(
+            hypergraph,
+            [ExponentialValuation(3.0), ExponentialValuation(6.0)],
+        )
+        small = [
+            abs(saa_pricing(instance, UBP(), 4, rng=seed).generalization_gap)
+            for seed in range(12)
+        ]
+        large = [
+            abs(saa_pricing(instance, UBP(), 256, rng=seed).generalization_gap)
+            for seed in range(12)
+        ]
+        assert np.mean(large) < np.mean(small)
+
+    def test_pooled_empirical_distribution(self, chain_instance):
+        pooled = pooled_empirical_distribution(chain_instance, 100, rng=3)
+        assert pooled.survival(0.0) == pytest.approx(1.0)
+        # 3 edges x 100 samples pooled.
+        assert len(pooled.values) == 300
+
+
+class TestProphetBenchmark:
+    def test_hindsight_ubp_dominates_ex_ante_ubp(self, chain_instance):
+        # Running UBP after seeing valuations can only beat committing to a
+        # single ex-ante price.
+        hindsight = average_realized_revenue(
+            UBP(), chain_instance, num_rounds=200, rng=5
+        )
+        _, ex_ante = ExpectedRevenueUBP().run(chain_instance)
+        assert hindsight >= ex_ante - 0.05 * ex_ante
+        with pytest.raises(PricingError):
+            average_realized_revenue(UBP(), chain_instance, num_rounds=0)

@@ -1,0 +1,104 @@
+"""Integration tests for the QueryMarket broker."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.pricing import UniformBundlePricing
+from repro.exceptions import PricingError
+from repro.qirana.broker import QueryMarket
+
+WORKLOAD = [
+    "select count(Name) from Country where Continent = 'Asia'",
+    "select Continent, max(Population) from Country group by Continent",
+    "select avg(Population) from Country",
+    "select Name from Country where Population between 10000000 and 60000000",
+    "select * from Country where Continent='Europe'",
+    "select Name, Language from Country , CountryLanguage where Code = CountryCode",
+]
+VALUATIONS = [10.0, 40.0, 25.0, 15.0, 80.0, 30.0]
+
+
+@pytest.fixture
+def market(mini_support):
+    return QueryMarket(mini_support)
+
+
+class TestSetup:
+    def test_quote_requires_pricing(self, market):
+        with pytest.raises(PricingError, match="no pricing"):
+            market.quote(WORKLOAD[0])
+
+    def test_flat_fee(self, market):
+        market.set_flat_fee(12.0)
+        assert market.quote(WORKLOAD[0]).price == 12.0
+        assert market.quote(WORKLOAD[4]).price == 12.0
+
+    def test_build_instance_mismatched_lengths(self, market):
+        with pytest.raises(PricingError):
+            market.build_instance(WORKLOAD, [1.0])
+
+
+class TestOptimization:
+    def test_optimize_installs_pricing(self, market):
+        result = market.optimize_pricing(WORKLOAD, VALUATIONS, get_algorithm("lpip"))
+        assert market.pricing is result.pricing
+        assert result.revenue > 0
+
+    def test_quotes_respect_optimized_prices(self, market):
+        market.optimize_pricing(WORKLOAD, VALUATIONS, get_algorithm("lpip"))
+        for sql, valuation in zip(WORKLOAD, VALUATIONS):
+            quote = market.quote(sql)
+            # LPIP sells most buyers; anything sold satisfies p <= v.
+            if quote.price <= valuation:
+                assert quote.price >= 0
+
+    def test_instance_edges_cached_for_quotes(self, market):
+        market.optimize_pricing(WORKLOAD, VALUATIONS, get_algorithm("ubp"))
+        quote_first = market.quote(WORKLOAD[0])
+        quote_second = market.quote(WORKLOAD[0])
+        assert quote_first.bundle == quote_second.bundle
+
+
+class TestPurchases:
+    def test_purchase_returns_answer_and_records(self, market, mini_db):
+        market.set_flat_fee(5.0)
+        answer, quote = market.purchase(WORKLOAD[2], buyer="alice")
+        assert answer is not None
+        assert answer.scalar() == pytest.approx(
+            np.mean(mini_db.table("Country").column_values("Population"))
+        )
+        assert market.revenue == 5.0
+        assert market.transactions[0].buyer == "alice"
+
+    def test_buyer_walks_away_when_too_expensive(self, market):
+        market.set_flat_fee(50.0)
+        answer, quote = market.purchase(WORKLOAD[0], buyer="bob", valuation=10.0)
+        assert answer is None
+        assert market.revenue == 0.0
+        assert market.transactions == []
+
+    def test_buyer_buys_at_valuation(self, market):
+        market.set_flat_fee(10.0)
+        answer, _ = market.purchase(WORKLOAD[0], buyer="carol", valuation=10.0)
+        assert answer is not None
+
+    def test_ad_hoc_query_gets_arbitrage_free_price(self, market):
+        """A query never seen during optimization still gets a price."""
+        market.optimize_pricing(WORKLOAD, VALUATIONS, get_algorithm("lpip"))
+        quote = market.quote("select min(LifeExpectancy) from Country")
+        assert quote.price >= 0.0
+
+    def test_information_arbitrage_on_quotes(self, market):
+        """A query whose conflict set is a subset must not cost more."""
+        market.optimize_pricing(WORKLOAD, VALUATIONS, get_algorithm("lpip"))
+        narrow = market.quote("select count(Name) from Country where Continent = 'Asia'")
+        broad = market.quote("select Continent, count(Name) from Country group by Continent")
+        if narrow.bundle <= broad.bundle:
+            assert narrow.price <= broad.price + 1e-9
+
+
+class TestPricingFunctionSwap:
+    def test_set_custom_pricing(self, market):
+        market.set_pricing(UniformBundlePricing(3.0))
+        assert market.quote(WORKLOAD[0]).price == 3.0

@@ -1,0 +1,206 @@
+"""Tests for conflict-set computation (semantics + pruning)."""
+
+import numpy as np
+import pytest
+
+from repro.db.query import sql_query
+from repro.qirana.conflict import ConflictSetEngine, referenced_columns
+from repro.support.delta import CellDelta, SupportInstance
+from repro.support.generator import SupportSet
+
+
+def manual_conflict_set(query, support):
+    """Definition-level conflict set: run the query on every instance."""
+    baseline = query.run(support.base)
+    return frozenset(
+        instance.instance_id
+        for instance in support
+        if query.run(instance.materialize(support.base)) != baseline
+    )
+
+
+@pytest.fixture
+def engine(mini_support):
+    return ConflictSetEngine(mini_support)
+
+
+class TestReferencedColumns:
+    def test_simple_selection(self, mini_db):
+        query = sql_query(
+            "select Name from Country where Continent = 'Asia'", mini_db
+        )
+        assert referenced_columns(query, mini_db) == {
+            ("country", "name"),
+            ("country", "continent"),
+        }
+
+    def test_star_references_all_columns(self, mini_db):
+        query = sql_query("select * from City", mini_db)
+        pairs = referenced_columns(query, mini_db)
+        assert ("city", "population") in pairs
+        assert len([p for p in pairs if p[0] == "city"]) == 4
+
+    def test_join_references_both_tables(self, mini_db):
+        query = sql_query(
+            "select Name from Country , CountryLanguage where Code = CountryCode",
+            mini_db,
+        )
+        pairs = referenced_columns(query, mini_db)
+        assert ("country", "code") in pairs
+        assert ("countrylanguage", "countrycode") in pairs
+
+    def test_aggregate_arguments_referenced(self, mini_db):
+        query = sql_query(
+            "select Continent, max(Population) from Country group by Continent",
+            mini_db,
+        )
+        pairs = referenced_columns(query, mini_db)
+        assert ("country", "population") in pairs
+        assert ("country", "continent") in pairs
+
+
+class TestConflictSets:
+    def test_matches_definition(self, engine, mini_support, mini_db):
+        queries = [
+            "select count(Name) from Country where Continent = 'Asia'",
+            "select * from City where Population >= 1000000",
+            "select Continent, max(Population) from Country group by Continent",
+            "select Name from Country , CountryLanguage where Code = CountryCode "
+            "and Language = 'Greek'",
+            "select avg(LifeExpectancy) from Country",
+            "select distinct Continent from Country",
+            "select Name from Country order by Population desc limit 2",
+        ]
+        for sql in queries:
+            query = sql_query(sql, mini_db)
+            assert engine.conflict_set(query) == manual_conflict_set(
+                query, mini_support
+            ), sql
+
+    def test_unreferenced_table_never_conflicts(self, engine, mini_db, mini_support):
+        query = sql_query("select Language from CountryLanguage", mini_db)
+        conflict = engine.conflict_set(query)
+        for instance_id in conflict:
+            instance = mini_support.instance(instance_id)
+            assert "countrylanguage" in instance.touched_tables
+
+    def test_diagnostics(self, engine, mini_db, mini_support):
+        query = sql_query("select Name from Country", mini_db)
+        computation = engine.compute(query)
+        assert computation.num_candidates + computation.num_pruned == len(mini_support)
+        assert computation.conflict_set <= set(range(len(mini_support)))
+
+    def test_incremental_flag_set(self, engine, mini_db):
+        query = sql_query("select Name from Country", mini_db)
+        assert engine.compute(query).incremental
+
+    def test_build_hypergraph(self, engine, mini_db):
+        queries = [
+            sql_query("select Name from Country", mini_db),
+            sql_query("select Language from CountryLanguage", mini_db),
+        ]
+        hypergraph = engine.build_hypergraph(queries)
+        assert hypergraph.num_edges == 2
+        assert hypergraph.num_items == len(engine.support)
+        assert hypergraph.labels[0] == "select Name from Country"
+
+    def test_disabled_incremental_same_result(self, mini_support, mini_db):
+        fast = ConflictSetEngine(mini_support, use_incremental=True)
+        slow = ConflictSetEngine(mini_support, use_incremental=False)
+        query = sql_query(
+            "select Continent, count(Code) from Country group by Continent", mini_db
+        )
+        assert fast.conflict_set(query) == slow.conflict_set(query)
+
+
+class TestHandPickedDeltas:
+    """Conflict semantics on hand-constructed instances (no sampling)."""
+
+    def _support(self, mini_db, deltas_list):
+        instances = [
+            SupportInstance(i, tuple(deltas)) for i, deltas in enumerate(deltas_list)
+        ]
+        return SupportSet(mini_db, instances)
+
+    def test_count_conflicts_only_when_predicate_flips(self, mini_db):
+        support = self._support(
+            mini_db,
+            [
+                # Moves Greece to Asia: count(Asia) changes.
+                [CellDelta("Country", 1, "Continent", "Asia")],
+                # Renames a city: irrelevant to the count.
+                [CellDelta("City", 0, "Name", "Sparta")],
+                # Changes a European population: count unchanged.
+                [CellDelta("Country", 2, "Population", 1)],
+            ],
+        )
+        query = sql_query(
+            "select count(Name) from Country where Continent = 'Asia'", mini_db
+        )
+        assert ConflictSetEngine(support).conflict_set(query) == {0}
+
+    def test_projection_hides_changes(self, mini_db):
+        support = self._support(
+            mini_db,
+            [
+                [CellDelta("Country", 0, "LifeExpectancy", 1.0)],  # not projected
+                [CellDelta("Country", 0, "Name", "Renamed")],      # projected
+            ],
+        )
+        query = sql_query("select Name from Country", mini_db)
+        assert ConflictSetEngine(support).conflict_set(query) == {1}
+
+    def test_max_insensitive_to_non_extremal_change(self, mini_db):
+        support = self._support(
+            mini_db,
+            [
+                # Bump a small population: max unchanged.
+                [CellDelta("Country", 1, "Population", 10545701)],
+                # Beat the maximum: answer changes.
+                [CellDelta("Country", 1, "Population", 2000000000)],
+            ],
+        )
+        query = sql_query("select max(Population) from Country", mini_db)
+        assert ConflictSetEngine(support).conflict_set(query) == {1}
+
+    def test_join_conflict_via_dimension_change(self, mini_db):
+        support = self._support(
+            mini_db,
+            [
+                # Re-label Greek speakers as German: join result changes.
+                [CellDelta("CountryLanguage", 0, "Language", "German")],
+                # Change percentage (not selected, not filtered): no change.
+                [CellDelta("CountryLanguage", 1, "Percentage", 50.0)],
+            ],
+        )
+        query = sql_query(
+            "select Name from Country , CountryLanguage "
+            "where Code = CountryCode and Language = 'Greek'",
+            mini_db,
+        )
+        assert ConflictSetEngine(support).conflict_set(query) == {0}
+
+    def test_multi_cell_instance(self, mini_db):
+        support = self._support(
+            mini_db,
+            [
+                # Two changes that cancel in count but not in sum.
+                [
+                    CellDelta("City", 0, "Population", 745515),
+                    CellDelta("City", 1, "Population", 2125245),
+                ],
+            ],
+        )
+        count_query = sql_query("select count(ID) from City", mini_db)
+        sum_query = sql_query("select sum(Population) from City", mini_db)
+        assert ConflictSetEngine(support).conflict_set(count_query) == set()
+        # +1 and -1 cancel exactly in the sum as well: still no conflict.
+        assert ConflictSetEngine(support).conflict_set(sum_query) == set()
+
+    def test_multi_cell_sum_changes(self, mini_db):
+        support = self._support(
+            mini_db,
+            [[CellDelta("City", 0, "Population", 745520)]],
+        )
+        sum_query = sql_query("select sum(Population) from City", mini_db)
+        assert ConflictSetEngine(support).conflict_set(sum_query) == {0}

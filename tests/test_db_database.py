@@ -1,0 +1,51 @@
+"""Unit tests for the Database container."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.exceptions import SchemaError
+
+
+def _relation(name: str):
+    schema = TableSchema(name, (Column("a", ColumnType.INT),))
+    relation = Relation(schema)
+    relation.insert((1,))
+    return relation
+
+
+class TestDatabase:
+    def test_lookup_case_insensitive(self, mini_db):
+        assert mini_db.table("country") is mini_db.table("COUNTRY")
+
+    def test_unknown_table_raises(self, mini_db):
+        with pytest.raises(SchemaError, match="no table"):
+            mini_db.table("nope")
+
+    def test_has_table(self, mini_db):
+        assert mini_db.has_table("City")
+        assert not mini_db.has_table("Missing")
+
+    def test_duplicate_table_rejected(self):
+        db = Database("d", [_relation("T")])
+        with pytest.raises(SchemaError, match="already exists"):
+            db.add_table(_relation("t"))
+
+    def test_table_names(self, mini_db):
+        assert set(mini_db.table_names) == {"Country", "City", "CountryLanguage"}
+
+    def test_total_rows(self, mini_db):
+        assert mini_db.total_rows == 4 + 4 + 3
+
+    def test_with_table_replaced_shares_other_tables(self, mini_db):
+        patched_city = mini_db.table("City").with_cell_replaced(0, "Population", 1)
+        clone = mini_db.with_table_replaced(patched_city)
+        assert clone.table("Country") is mini_db.table("Country")
+        assert clone.table("City") is not mini_db.table("City")
+        assert clone.table("City").cell(0, "Population") == 1
+        assert mini_db.table("City").cell(0, "Population") == 745514
+
+    def test_with_table_replaced_unknown_table(self, mini_db):
+        with pytest.raises(SchemaError, match="unknown table"):
+            mini_db.with_table_replaced(_relation("Ghost"))

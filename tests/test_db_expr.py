@@ -1,0 +1,184 @@
+"""Unit tests for the scalar expression language."""
+
+import pytest
+
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Scope,
+    conjoin,
+    conjuncts,
+)
+from repro.exceptions import QueryError
+
+SCOPE = Scope([("t", "a"), ("t", "b"), (None, "c")])
+ROW = (10, "hello", None)
+
+
+def evaluate(expr, row=ROW, scope=SCOPE):
+    return expr.bind(scope)(row)
+
+
+class TestScope:
+    def test_resolve_qualified(self):
+        assert SCOPE.resolve("t", "a") == 0
+
+    def test_resolve_unqualified(self):
+        assert SCOPE.resolve(None, "b") == 1
+
+    def test_resolve_case_insensitive(self):
+        assert SCOPE.resolve("T", "A") == 0
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError, match="unknown column"):
+            SCOPE.resolve(None, "zzz")
+
+    def test_ambiguous_column(self):
+        scope = Scope([("x", "a"), ("y", "a")])
+        with pytest.raises(QueryError, match="ambiguous"):
+            scope.resolve(None, "a")
+
+    def test_ambiguity_resolved_by_qualifier(self):
+        scope = Scope([("x", "a"), ("y", "a")])
+        assert scope.resolve("y", "a") == 1
+
+    def test_concat(self):
+        merged = SCOPE.concat(Scope([(None, "d")]))
+        assert merged.arity == 4
+        assert merged.resolve(None, "d") == 3
+
+
+class TestBasicNodes:
+    def test_column_ref(self):
+        assert evaluate(ColumnRef("a", "t")) == 10
+
+    def test_literal(self):
+        assert evaluate(Literal(42)) == 42
+
+    def test_comparison_true(self):
+        assert evaluate(Comparison("<", ColumnRef("a"), Literal(20))) is True
+
+    def test_comparison_false(self):
+        assert evaluate(Comparison(">", ColumnRef("a"), Literal(20))) is False
+
+    def test_comparison_null_is_false(self):
+        assert evaluate(Comparison("=", ColumnRef("c"), Literal(1))) is False
+
+    def test_comparison_type_mismatch_raises(self):
+        with pytest.raises(QueryError, match="cannot compare"):
+            evaluate(Comparison("<", ColumnRef("a"), Literal("text")))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Literal(1), Literal(2))
+
+    def test_not_equal(self):
+        assert evaluate(Comparison("!=", ColumnRef("b"), Literal("x"))) is True
+
+
+class TestPredicates:
+    def test_between_inclusive(self):
+        assert evaluate(Between(ColumnRef("a"), Literal(10), Literal(20))) is True
+        assert evaluate(Between(ColumnRef("a"), Literal(11), Literal(20))) is False
+
+    def test_between_null_false(self):
+        assert evaluate(Between(ColumnRef("c"), Literal(0), Literal(5))) is False
+
+    def test_like_percent(self):
+        assert evaluate(Like(ColumnRef("b"), "he%")) is True
+        assert evaluate(Like(ColumnRef("b"), "x%")) is False
+
+    def test_like_underscore(self):
+        assert evaluate(Like(ColumnRef("b"), "h_llo")) is True
+
+    def test_like_case_insensitive(self):
+        assert evaluate(Like(ColumnRef("b"), "HELLO")) is True
+
+    def test_like_negated(self):
+        assert evaluate(Like(ColumnRef("b"), "x%", negated=True)) is True
+
+    def test_like_escapes_regex_chars(self):
+        scope = Scope([(None, "s")])
+        assert Like(ColumnRef("s"), "a.b").bind(scope)(("a.b",)) is True
+        assert Like(ColumnRef("s"), "a.b").bind(scope)(("axb",)) is False
+
+    def test_like_on_null_false(self):
+        assert evaluate(Like(ColumnRef("c"), "%")) is False
+
+    def test_in_list(self):
+        assert evaluate(InList(ColumnRef("a"), (5, 10))) is True
+        assert evaluate(InList(ColumnRef("a"), (5, 11))) is False
+
+    def test_in_list_negated(self):
+        assert evaluate(InList(ColumnRef("a"), (5,), negated=True)) is True
+
+    def test_is_null(self):
+        assert evaluate(IsNull(ColumnRef("c"))) is True
+        assert evaluate(IsNull(ColumnRef("a"))) is False
+
+    def test_is_not_null(self):
+        assert evaluate(IsNull(ColumnRef("a"), negated=True)) is True
+
+
+class TestBooleanLogic:
+    def test_and(self):
+        true = Comparison("=", Literal(1), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert evaluate(And(true, true)) is True
+        assert evaluate(And(true, false)) is False
+
+    def test_or(self):
+        true = Comparison("=", Literal(1), Literal(1))
+        false = Comparison("=", Literal(1), Literal(2))
+        assert evaluate(Or(false, true)) is True
+        assert evaluate(Or(false, false)) is False
+
+    def test_not(self):
+        assert evaluate(Not(Literal(0))) is True
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        expr = Arithmetic("+", ColumnRef("a"), Arithmetic("*", Literal(2), Literal(3)))
+        assert evaluate(expr) == 16
+
+    def test_null_propagates(self):
+        assert evaluate(Arithmetic("+", ColumnRef("c"), Literal(1))) is None
+
+    def test_division_by_zero_yields_null(self):
+        assert evaluate(Arithmetic("/", Literal(1), Literal(0))) is None
+
+    def test_division(self):
+        assert evaluate(Arithmetic("/", Literal(7), Literal(2))) == 3.5
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flattens(self):
+        a, b, c = Literal(1), Literal(2), Literal(3)
+        assert conjuncts(And(And(a, b), c)) == [a, b, c]
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjoin_roundtrip(self):
+        a, b = Literal(1), Literal(2)
+        assert conjuncts(conjoin([a, b])) == [a, b]
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_referenced_columns(self):
+        expr = And(
+            Comparison("=", ColumnRef("a", "t"), Literal(1)),
+            Like(ColumnRef("b"), "%"),
+        )
+        assert expr.referenced_columns() == {("t", "a"), (None, "b")}

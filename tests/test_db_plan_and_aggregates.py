@@ -1,0 +1,184 @@
+"""Unit tests for plan operators and aggregate functions."""
+
+import pytest
+
+from repro.db.aggregates import compute_aggregate, is_aggregate_name
+from repro.db.expr import ColumnRef, Comparison, Literal
+from repro.db.plan import (
+    Aggregate,
+    AggregateSpec,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    ProjectItem,
+    Sort,
+    SortKey,
+    TableScan,
+    run_plan,
+)
+from repro.exceptions import QueryError
+
+
+class TestAggregateFunctions:
+    def test_count_star(self):
+        assert compute_aggregate("count", [1, None, 2], count_star=True) == 3
+
+    def test_count_skips_nulls(self):
+        assert compute_aggregate("count", [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert compute_aggregate("count", [1, 1, 2, None], distinct=True) == 2
+
+    def test_sum(self):
+        assert compute_aggregate("sum", [1, 2, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert compute_aggregate("sum", []) is None
+        assert compute_aggregate("sum", [None]) is None
+
+    def test_avg(self):
+        assert compute_aggregate("avg", [1, 2, 3, None]) == 2.0
+
+    def test_min_max(self):
+        assert compute_aggregate("min", [3, 1, 2]) == 1
+        assert compute_aggregate("max", [3, 1, 2]) == 3
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            compute_aggregate("median", [1])
+
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("COUNT")
+        assert not is_aggregate_name("median")
+
+
+class TestScanFilterProject:
+    def test_scan_rows(self, mini_db):
+        rows = TableScan("Country").execute(mini_db)
+        assert len(rows) == 4
+
+    def test_scan_scope_uses_alias(self, mini_db):
+        scope = TableScan("Country", "C").output_scope(mini_db)
+        assert scope.resolve("c", "code") == 0
+
+    def test_filter(self, mini_db):
+        plan = Filter(
+            TableScan("Country"),
+            Comparison("=", ColumnRef("Continent"), Literal("Europe")),
+        )
+        assert len(plan.execute(mini_db)) == 2
+
+    def test_project(self, mini_db):
+        plan = Project(TableScan("Country"), [ProjectItem(ColumnRef("Name"), "Name")])
+        result = run_plan(plan, mini_db)
+        assert result.columns == ["Name"]
+        assert ("Greece",) in result.rows
+
+
+class TestJoins:
+    def test_hash_join_matches(self, mini_db):
+        join = HashJoin(
+            TableScan("Country", "C"),
+            TableScan("City", "T"),
+            [ColumnRef("Code", "C")],
+            [ColumnRef("CountryCode", "T")],
+        )
+        rows = join.execute(mini_db)
+        assert len(rows) == 4  # every city matches its country
+
+    def test_hash_join_null_keys_never_match(self, mini_db):
+        patched = mini_db.with_table_replaced(
+            mini_db.table("City").with_cell_replaced(0, "CountryCode", None)
+        )
+        join = HashJoin(
+            TableScan("Country", "C"),
+            TableScan("City", "T"),
+            [ColumnRef("Code", "C")],
+            [ColumnRef("CountryCode", "T")],
+        )
+        assert len(join.execute(patched)) == 3
+
+    def test_hash_join_requires_keys(self, mini_db):
+        join = HashJoin(TableScan("Country"), TableScan("City"), [], [])
+        with pytest.raises(QueryError):
+            join.execute(mini_db)
+
+    def test_cross_join_size(self, mini_db):
+        cross = CrossJoin(TableScan("Country"), TableScan("City"))
+        assert len(cross.execute(mini_db)) == 16
+
+
+class TestAggregatePlan:
+    def test_group_by(self, mini_db):
+        plan = Aggregate(
+            TableScan("Country"),
+            [ProjectItem(ColumnRef("Continent"), "Continent")],
+            [AggregateSpec("count", ColumnRef("Code"), "n")],
+        )
+        rows = dict(plan.execute(mini_db))
+        assert rows["Europe"] == 2
+        assert rows["Asia"] == 1
+
+    def test_scalar_aggregate_on_empty_input(self, mini_db):
+        plan = Aggregate(
+            Filter(
+                TableScan("Country"),
+                Comparison("=", ColumnRef("Continent"), Literal("Atlantis")),
+            ),
+            [],
+            [AggregateSpec("count", None, "n")],
+        )
+        assert plan.execute(mini_db) == [(0,)]
+
+    def test_count_star_spec(self, mini_db):
+        plan = Aggregate(TableScan("City"), [], [AggregateSpec("count", None, "n")])
+        assert plan.execute(mini_db) == [(4,)]
+
+    def test_non_count_star_rejected(self, mini_db):
+        plan = Aggregate(TableScan("City"), [], [AggregateSpec("sum", None, "s")])
+        with pytest.raises(QueryError):
+            plan.execute(mini_db)
+
+
+class TestDistinctSortLimit:
+    def test_distinct(self, mini_db):
+        plan = Distinct(
+            Project(TableScan("Country"), [ProjectItem(ColumnRef("Continent"), "c")])
+        )
+        assert len(plan.execute(mini_db)) == 3
+
+    def test_sort_ascending(self, mini_db):
+        plan = Sort(
+            Project(TableScan("Country"), [ProjectItem(ColumnRef("Population"), "p")]),
+            [SortKey(ColumnRef("p"))],
+        )
+        values = [row[0] for row in plan.execute(mini_db)]
+        assert values == sorted(values)
+
+    def test_sort_descending(self, mini_db):
+        plan = Sort(
+            Project(TableScan("Country"), [ProjectItem(ColumnRef("Population"), "p")]),
+            [SortKey(ColumnRef("p"), ascending=False)],
+        )
+        values = [row[0] for row in plan.execute(mini_db)]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit(self, mini_db):
+        plan = Limit(TableScan("Country"), 2)
+        assert len(plan.execute(mini_db)) == 2
+
+    def test_limit_negative_rejected(self, mini_db):
+        with pytest.raises(QueryError):
+            Limit(TableScan("Country"), -1).execute(mini_db)
+
+    def test_referenced_tables(self, mini_db):
+        join = HashJoin(
+            TableScan("Country", "C"),
+            TableScan("City", "T"),
+            [ColumnRef("Code", "C")],
+            [ColumnRef("CountryCode", "T")],
+        )
+        assert join.referenced_tables() == {"country", "city"}

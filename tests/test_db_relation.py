@@ -1,0 +1,89 @@
+"""Unit tests for relations and copy-on-write patching."""
+
+import pytest
+
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def simple():
+    schema = TableSchema(
+        "T", (Column("a", ColumnType.INT), Column("b", ColumnType.TEXT))
+    )
+    relation = Relation(schema)
+    relation.insert_many([(1, "x"), (2, "y"), (3, "z")])
+    return relation
+
+
+class TestInsert:
+    def test_insert_and_len(self, simple):
+        assert len(simple) == 3
+
+    def test_insert_validates_arity(self, simple):
+        with pytest.raises(SchemaError):
+            simple.insert((1,))
+
+    def test_insert_validates_type(self, simple):
+        with pytest.raises(SchemaError):
+            simple.insert(("no", "x"))
+
+    def test_insert_list_coerced_to_tuple(self, simple):
+        simple.insert([4, "w"])
+        assert simple.rows[-1] == (4, "w")
+
+    def test_iteration_order(self, simple):
+        assert [row[0] for row in simple] == [1, 2, 3]
+
+
+class TestAccessors:
+    def test_cell_by_name(self, simple):
+        assert simple.cell(1, "b") == "y"
+
+    def test_cell_by_index(self, simple):
+        assert simple.cell(0, 0) == 1
+
+    def test_column_values(self, simple):
+        assert simple.column_values("a") == [1, 2, 3]
+
+    def test_num_rows(self, simple):
+        assert simple.num_rows == 3
+
+
+class TestCopyOnWrite:
+    def test_with_cell_replaced_changes_clone_only(self, simple):
+        clone = simple.with_cell_replaced(0, "b", "CHANGED")
+        assert clone.cell(0, "b") == "CHANGED"
+        assert simple.cell(0, "b") == "x"
+
+    def test_with_cell_replaced_shares_untouched_rows(self, simple):
+        clone = simple.with_cell_replaced(0, "a", 99)
+        assert clone.rows[1] is simple.rows[1]
+
+    def test_with_cell_replaced_validates_type(self, simple):
+        with pytest.raises(SchemaError):
+            simple.with_cell_replaced(0, "a", "not-int")
+
+    def test_with_cell_replaced_bad_row(self, simple):
+        with pytest.raises(SchemaError, match="out of range"):
+            simple.with_cell_replaced(10, "a", 1)
+
+    def test_with_row_deleted(self, simple):
+        clone = simple.with_row_deleted(1)
+        assert len(clone) == 2
+        assert len(simple) == 3
+        assert clone.rows == [(1, "x"), (3, "z")]
+
+    def test_with_row_deleted_bad_index(self, simple):
+        with pytest.raises(SchemaError):
+            simple.with_row_deleted(-1)
+
+    def test_with_row_inserted(self, simple):
+        clone = simple.with_row_inserted((9, "q"))
+        assert len(clone) == 4
+        assert len(simple) == 3
+
+    def test_with_row_inserted_validates(self, simple):
+        with pytest.raises(SchemaError):
+            simple.with_row_inserted(("bad", "q"))

@@ -1,0 +1,62 @@
+"""Unit tests for canonical query answers."""
+
+import pytest
+
+from repro.db.result import QueryResult
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = QueryResult(["x"], [(1,), (2,)])
+        b = QueryResult(["x"], [(2,), (1,)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_multiplicity_sensitive(self):
+        a = QueryResult(["x"], [(1,), (1,)])
+        b = QueryResult(["x"], [(1,)])
+        assert a != b
+
+    def test_ordered_results_compare_in_order(self):
+        a = QueryResult(["x"], [(1,), (2,)], ordered=True)
+        b = QueryResult(["x"], [(2,), (1,)], ordered=True)
+        assert a != b
+
+    def test_mixed_types_sortable(self):
+        a = QueryResult(["x"], [(None,), ("s",), (1,)])
+        b = QueryResult(["x"], [(1,), (None,), ("s",)])
+        assert a == b
+
+    def test_different_values_differ(self):
+        assert QueryResult(["x"], [(1,)]) != QueryResult(["x"], [(2,)])
+
+    def test_not_equal_to_other_types(self):
+        assert QueryResult(["x"], []) != 42
+
+
+class TestAccessors:
+    def test_scalar(self):
+        assert QueryResult(["n"], [(7,)]).scalar() == 7
+
+    def test_scalar_requires_1x1(self):
+        with pytest.raises(ValueError):
+            QueryResult(["n"], [(7,), (8,)]).scalar()
+
+    def test_column_case_insensitive(self):
+        result = QueryResult(["Name", "Pop"], [("a", 1), ("b", 2)])
+        assert result.column("name") == ["a", "b"]
+
+    def test_column_missing(self):
+        with pytest.raises(KeyError):
+            QueryResult(["a"], []).column("b")
+
+    def test_num_rows(self):
+        assert QueryResult(["a"], [(1,), (2,)]).num_rows == 2
+
+    def test_to_text_truncates(self):
+        result = QueryResult(["a"], [(i,) for i in range(30)])
+        text = result.to_text(max_rows=5)
+        assert "more rows" in text
+
+    def test_to_text_renders_null(self):
+        assert "NULL" in QueryResult(["a"], [(None,)]).to_text()

@@ -1,0 +1,102 @@
+"""Unit tests for schemas, column types and row validation."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.exceptions import SchemaError
+
+
+class TestColumnType:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.accepts(5)
+
+    def test_int_rejects_bool(self):
+        assert not ColumnType.INT.accepts(True)
+
+    def test_int_rejects_float(self):
+        assert not ColumnType.INT.accepts(5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.FLOAT.accepts(5.5)
+
+    def test_float_rejects_bool(self):
+        assert not ColumnType.FLOAT.accepts(False)
+
+    def test_text_accepts_str(self):
+        assert ColumnType.TEXT.accepts("abc")
+
+    def test_text_rejects_int(self):
+        assert not ColumnType.TEXT.accepts(1)
+
+    def test_all_types_accept_null(self):
+        for dtype in ColumnType:
+            assert dtype.accepts(None)
+
+
+class TestColumn:
+    def test_valid_name(self):
+        assert Column("Population", ColumnType.INT).name == "Population"
+
+    def test_underscore_name(self):
+        assert Column("l_shipyear").name == "l_shipyear"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_name_with_space_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name")
+
+
+class TestTableSchema:
+    def test_column_lookup_case_insensitive(self, country_schema):
+        assert country_schema.column_index("code") == 0
+        assert country_schema.column_index("CODE") == 0
+        assert country_schema.column_index("Population") == 4
+
+    def test_unknown_column_raises(self, country_schema):
+        with pytest.raises(SchemaError, match="no column"):
+            country_schema.column_index("Nope")
+
+    def test_has_column(self, country_schema):
+        assert country_schema.has_column("name")
+        assert not country_schema.has_column("nope")
+
+    def test_arity_and_names(self, country_schema):
+        assert country_schema.arity == 6
+        assert country_schema.column_names[0] == "Code"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("T", (Column("a"), Column("A")))
+
+    def test_duplicate_columns_case_insensitive(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", (Column("Code"), Column("code")))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ())
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            TableSchema("T", (Column("a"),), primary_key=("b",))
+
+    def test_validate_row_ok(self, country_schema):
+        country_schema.validate_row(("X", "Y", "Z", "W", 1, 2.0))
+
+    def test_validate_row_wrong_arity(self, country_schema):
+        with pytest.raises(SchemaError, match="arity"):
+            country_schema.validate_row(("X",))
+
+    def test_validate_row_wrong_type(self, country_schema):
+        with pytest.raises(SchemaError, match="not valid"):
+            country_schema.validate_row(("X", "Y", "Z", "W", "not-int", 2.0))
+
+    def test_validate_row_allows_null(self, country_schema):
+        country_schema.validate_row((None, None, None, None, None, None))
+
+    def test_column_accessor(self, country_schema):
+        assert country_schema.column("population").dtype is ColumnType.INT

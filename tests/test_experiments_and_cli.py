@@ -1,0 +1,107 @@
+"""Tests for the experiment harness, report rendering and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.algorithms import UBP, UIP
+from repro.experiments.report import format_series_table, format_table
+from repro.experiments.runner import (
+    run_algorithms,
+    run_parameter_sweep,
+    sweep_series,
+)
+from repro.valuations import UniformValuations
+from repro.workloads.synthetic import random_instance
+
+
+@pytest.fixture
+def instance():
+    return random_instance(25, 15, rng=2)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_floats(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_series_table(self):
+        text = format_series_table(
+            "k", [1, 2], {"ubp": [0.5, 0.25], "uip": [0.75, 0.5]}
+        )
+        assert "ubp" in text and "0.250" in text
+
+
+class TestRunner:
+    def test_run_algorithms_collects_results(self, instance):
+        outcome = run_algorithms(instance, [UBP(), UIP()], compute_bound=True)
+        assert set(outcome.results) == {"ubp", "uip"}
+        assert outcome.subadditive_bound is not None
+        assert 0 <= outcome.normalized("ubp") <= 1.0 + 1e-9
+
+    def test_normalized_series_includes_bound(self, instance):
+        outcome = run_algorithms(instance, [UBP()], compute_bound=True)
+        series = outcome.normalized_series()
+        assert "subadditive bound" in series
+
+    def test_skip_bound(self, instance):
+        outcome = run_algorithms(instance, [UBP()], compute_bound=False)
+        assert outcome.subadditive_bound is None
+
+    def test_parameter_sweep_shape(self, instance):
+        models = [(k, UniformValuations(k)) for k in (10, 100)]
+        points = run_parameter_sweep(
+            instance.hypergraph, models, [UBP(), UIP()], compute_bound=False
+        )
+        assert [point.parameter for point in points] == [10, 100]
+        parameters, series = sweep_series(points)
+        assert parameters == [10, 100]
+        assert len(series["ubp"]) == 2
+
+    def test_sweep_repetitions_average(self, instance):
+        models = [(100, UniformValuations(100))]
+        single = run_parameter_sweep(
+            instance.hypergraph, models, [UBP()], compute_bound=False, repetitions=1
+        )[0]
+        averaged = run_parameter_sweep(
+            instance.hypergraph, models, [UBP()], compute_bound=False, repetitions=4
+        )[0]
+        assert averaged.result.results["ubp"].revenue > 0
+        # Averaged value differs from any single run in general but stays in range.
+        assert (
+            0.5 * single.result.results["ubp"].revenue
+            < averaged.result.results["ubp"].revenue
+            < 2.0 * single.result.results["ubp"].revenue
+        )
+
+    def test_runtimes_reported(self, instance):
+        outcome = run_algorithms(instance, [UBP()], compute_bound=False)
+        assert outcome.runtimes()["ubp"] >= 0.0
+
+
+class TestCLI:
+    def test_algorithms_lists(self, capsys):
+        assert cli_main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "lpip" in output and "layering" in output
+
+    def test_price_command_small(self, capsys):
+        code = cli_main(
+            [
+                "price", "--workload", "skewed", "--algorithm", "ubp",
+                "--support", "40", "--scale", "0.1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "revenue" in output and "normalized" in output
+
+    def test_unknown_figure_id(self, capsys):
+        assert cli_main(["figure", "fig99-bogus"]) == 2

@@ -1,0 +1,114 @@
+"""Tests for EXPLAIN output and planner rewrites it makes visible."""
+
+import pytest
+
+from repro.db.explain import explain, format_expr
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.query import sql_query
+
+
+class TestFormatExpr:
+    def test_comparison(self):
+        expr = Comparison("<=", ColumnRef("a", "t"), Literal(5))
+        assert format_expr(expr) == "t.a <= 5"
+
+    def test_string_literal_quoted(self):
+        assert format_expr(Literal("x")) == "'x'"
+
+    def test_between(self):
+        expr = Between(ColumnRef("a"), Literal(1), Literal(2))
+        assert format_expr(expr) == "a BETWEEN 1 AND 2"
+
+    def test_like(self):
+        assert format_expr(Like(ColumnRef("n"), "A%")) == "n LIKE 'A%'"
+        assert "NOT LIKE" in format_expr(Like(ColumnRef("n"), "A%", negated=True))
+
+    def test_in_list(self):
+        assert format_expr(InList(ColumnRef("a"), (1, 2))) == "a IN (1, 2)"
+
+    def test_is_null(self):
+        assert format_expr(IsNull(ColumnRef("a"))) == "a IS NULL"
+        assert format_expr(IsNull(ColumnRef("a"), negated=True)) == "a IS NOT NULL"
+
+    def test_boolean_combinators(self):
+        a = Comparison("=", ColumnRef("x"), Literal(1))
+        b = Comparison("=", ColumnRef("y"), Literal(2))
+        assert format_expr(And(a, b)) == "(x = 1 AND y = 2)"
+        assert format_expr(Or(a, b)) == "(x = 1 OR y = 2)"
+        assert format_expr(Not(a)) == "NOT x = 1"
+
+    def test_arithmetic(self):
+        expr = Arithmetic("*", ColumnRef("a"), Literal(2))
+        assert format_expr(expr) == "(a * 2)"
+
+
+class TestExplainShowsRewrites:
+    def test_predicate_pushdown_visible(self, mini_db):
+        query = sql_query(
+            "select C.Name from Country C, CountryLanguage L "
+            "where C.Code = L.CountryCode and L.Language = 'Greek'",
+            mini_db,
+        )
+        text = explain(query.plan)
+        lines = text.splitlines()
+        # The language filter sits directly above the CountryLanguage scan,
+        # below the join.
+        join_line = next(i for i, l in enumerate(lines) if "HashJoin" in l)
+        filter_line = next(i for i, l in enumerate(lines) if "Greek" in l)
+        assert filter_line > join_line
+        assert "Scan CountryLanguage" in lines[filter_line + 1]
+
+    def test_hash_join_keys_rendered(self, mini_db):
+        query = sql_query(
+            "select Name, Language from Country , CountryLanguage "
+            "where Code = CountryCode",
+            mini_db,
+        )
+        assert "HashJoin [country.Code = countrylanguage.CountryCode]" in explain(
+            query.plan
+        )
+
+    def test_aggregate_rendered(self, mini_db):
+        query = sql_query(
+            "select Continent, count(distinct Region) from Country "
+            "group by Continent",
+            mini_db,
+        )
+        text = explain(query.plan)
+        assert "Aggregate group by [Continent]" in text
+        assert "count(DISTINCT Region)" in text
+
+    def test_sort_and_limit_rendered(self, mini_db):
+        query = sql_query(
+            "select Name from Country order by Population desc limit 2", mini_db
+        )
+        text = explain(query.plan)
+        assert "Limit 2" in text
+        assert "Sort [Population DESC]" in text
+
+    def test_distinct_rendered(self, mini_db):
+        query = sql_query("select distinct Continent from Country", mini_db)
+        assert explain(query.plan).startswith("Distinct")
+
+    def test_cross_join_only_without_equi_predicate(self, mini_db):
+        query = sql_query(
+            "select C.Name from Country C, City T where T.Population > 1000000",
+            mini_db,
+        )
+        assert "CrossJoin" in explain(query.plan)
+
+    def test_count_star_rendered(self, mini_db):
+        query = sql_query("select count(*) from City", mini_db)
+        assert "count(*)" in explain(query.plan)

@@ -1,0 +1,83 @@
+"""Tests for CSV export of experiment artifacts."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.export import (
+    export_histogram_csv,
+    export_runtimes_csv,
+    export_series_csv,
+)
+from repro.experiments.figures import FigureData
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestSeriesExport:
+    def test_roundtrip(self, tmp_path):
+        artifact = FigureData(
+            "figX", "t", "",
+            data={"series": {"lpip": [0.9, 0.8], "ubp": [0.5, 0.4]},
+                  "parameters": ["k=1", "k=2"]},
+        )
+        path = export_series_csv(artifact, tmp_path / "s.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["series", "k=1", "k=2"]
+        assert rows[1][0] == "lpip"
+        assert float(rows[1][1]) == pytest.approx(0.9)
+
+    def test_missing_parameters_defaults_to_indices(self, tmp_path):
+        artifact = FigureData("figX", "t", "", data={"series": {"a": [1.0]}})
+        rows = read_csv(export_series_csv(artifact, tmp_path / "s.csv"))
+        assert rows[0] == ["series", "0"]
+
+    def test_no_series_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_series_csv(FigureData("f", "t", ""), tmp_path / "s.csv")
+
+    def test_inconsistent_lengths_raise(self, tmp_path):
+        artifact = FigureData(
+            "figX", "t", "", data={"series": {"a": [1.0], "b": [1.0, 2.0]}}
+        )
+        with pytest.raises(ExperimentError):
+            export_series_csv(artifact, tmp_path / "s.csv")
+
+
+class TestRuntimeExport:
+    def test_roundtrip(self, tmp_path):
+        artifact = FigureData(
+            "table4", "t", "",
+            data={"runtimes": {"skewed": {"ubp": 0.1, "lpip": 2.0}}},
+        )
+        rows = read_csv(export_runtimes_csv(artifact, tmp_path / "r.csv"))
+        assert rows[0] == ["row", "lpip", "ubp"]
+        assert rows[1][0] == "skewed"
+
+    def test_missing_data(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_runtimes_csv(FigureData("f", "t", ""), tmp_path / "r.csv")
+
+
+class TestHistogramExport:
+    def test_roundtrip(self, tmp_path):
+        artifact = FigureData(
+            "fig4", "t", "",
+            data={
+                "sizes": np.array([1, 2, 3]),
+                "counts": np.array([2, 1]),
+                "bin_edges": np.array([0.0, 1.5, 3.0]),
+            },
+        )
+        rows = read_csv(export_histogram_csv(artifact, tmp_path / "h.csv"))
+        assert rows[0] == ["bin_low", "bin_high", "count"]
+        assert rows[1] == ["0.0", "1.5", "2"]
+
+    def test_missing_data(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_histogram_csv(FigureData("f", "t", ""), tmp_path / "h.csv")

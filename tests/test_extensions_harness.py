@@ -1,0 +1,76 @@
+"""Extension experiments (repro.experiments.extensions) and their CLI path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.extensions import (
+    extension_bayesian_saa,
+    extension_heuristics,
+    extension_limited_capacity,
+)
+
+#: Tiny shared settings so each experiment runs in well under a second of
+#: hypergraph construction (cached across tests within the module).
+SMALL = {"scale": 0.1, "support_size": 120}
+
+
+class TestExtensionFigures:
+    def test_heuristics_figure_shape(self):
+        artifact = extension_heuristics("skewed", **SMALL)
+        assert artifact.figure_id == "ext-heuristics-skewed"
+        labels = [row[0] for row in artifact.data["rows"]]
+        assert "ascent(uip)" in labels and "lpip" in labels
+        revenue = {row[0]: row[1] for row in artifact.data["rows"]}
+        assert revenue["ascent(uip)"] >= revenue["uip"] - 1e-9
+        assert "normalized revenue" in artifact.text
+
+    def test_limited_figure_monotone_welfare(self):
+        artifact = extension_limited_capacity(
+            "skewed", capacities=(1, 4), **SMALL
+        )
+        rows = artifact.data["rows"]
+        assert [row[0] for row in rows] == [1, 4]
+        welfare = [row[1] for row in rows]
+        assert welfare[1] >= welfare[0] - 1e-6
+        for _, ceiling, cip, uip, _ in rows:
+            assert cip <= ceiling + 1e-6
+            assert uip <= ceiling + 1e-6
+
+    def test_saa_figure_reports_hindsight(self):
+        artifact = extension_bayesian_saa(
+            "skewed",
+            sample_sizes=(2, 16),
+            num_seeds=2,
+            hindsight_rounds=5,
+            **SMALL,
+        )
+        assert artifact.data["ev_optimal"] > 0
+        assert artifact.data["hindsight"] >= artifact.data["ev_optimal"] * 0.5
+        assert "hindsight" in artifact.text
+
+
+class TestCLIExt:
+    @pytest.mark.parametrize("experiment", ["heuristics", "limited", "saa"])
+    def test_ext_commands_run(self, experiment, capsys):
+        code = cli_main(
+            [
+                "ext",
+                experiment,
+                "--workload",
+                "skewed",
+                "--support",
+                "120",
+                "--scale",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"ext-{'limited' if experiment == 'limited' else experiment}" \
+            in out or "ext-" in out
+
+    def test_ext_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["ext", "nope"])

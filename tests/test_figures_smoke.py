@@ -1,0 +1,66 @@
+"""Smoke tests for the figure/table harness at tiny scales.
+
+The real reproductions live in ``benchmarks/``; these exercise the same code
+paths fast so the harness is covered by the plain test suite.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+TINY = {"scale": 0.1, "support_size": 60}
+
+
+@pytest.fixture(autouse=True)
+def clear_caches():
+    figures._cached_workload.cache_clear()
+    figures._cached_hypergraph.cache_clear()
+    yield
+
+
+class TestFigureHarness:
+    def test_figure4(self):
+        artifact = figures.figure4_edge_distribution("tpch", **TINY)
+        assert artifact.figure_id == "fig4-tpch"
+        assert "#hyperedges" in artifact.text
+        assert len(artifact.data["sizes"]) == 220
+
+    def test_figure5a_uniform(self):
+        artifact = figures.figure5a_uniform("tpch", fast=True, **TINY)
+        series = artifact.data["series"]
+        assert "lpip" in series and "subadditive bound" in series
+        assert len(series["lpip"]) == len(figures.UNIFORM_KS)
+
+    def test_figure5b_exponential(self):
+        artifact = figures.figure5b_exponential("tpch", fast=True, **TINY)
+        assert len(artifact.data["parameters"]) == len(figures.SCALE_KS)
+
+    def test_figure7_additive(self):
+        artifact = figures.figure7_additive(
+            "tpch", assigner="binomial", fast=True, **TINY
+        )
+        assert "bin" in artifact.text
+
+    def test_figure8_support_sweep(self):
+        artifact = figures.figure8_support_sweep(
+            "tpch", support_sizes=(20, 60), scale=0.1
+        )
+        assert artifact.data["sizes"] == (20, 60)
+        for values in artifact.data["series"].values():
+            assert len(values) == 2
+
+    def test_support_runtime_table(self):
+        artifact = figures.support_runtime_table(
+            "tpch", support_sizes=(20, 60), include_construction=True
+        )
+        assert "construction" in artifact.text
+        assert set(artifact.data["runtimes"]) == {20, 60}
+
+    def test_workload_hypergraph_cached(self):
+        first = figures.workload_hypergraph("tpch", **TINY)
+        second = figures.workload_hypergraph("tpch", **TINY)
+        assert first[2] is second[2]
+
+    def test_figure_str_renders(self):
+        artifact = figures.figure4_edge_distribution("tpch", **TINY)
+        assert artifact.figure_id in str(artifact)

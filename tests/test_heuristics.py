@@ -1,0 +1,204 @@
+"""Coordinate-ascent and geometric-grid heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import (
+    CoordinateAscent,
+    GeometricGridItemPricing,
+    Layering,
+    UBP,
+    UIP,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.core.algorithms.uip import best_uniform_item_price
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import ItemPricing
+from repro.exceptions import PricingError
+from repro.workloads.synthetic import random_instance
+
+
+def make_instance(num_items, edges, valuations, name="test"):
+    return PricingInstance(Hypergraph(num_items, edges), valuations, name=name)
+
+
+@st.composite
+def small_instances(draw):
+    num_items = draw(st.integers(1, 8))
+    num_edges = draw(st.integers(1, 10))
+    edges = [
+        draw(st.sets(st.integers(0, num_items - 1), max_size=num_items))
+        for _ in range(num_edges)
+    ]
+    valuations = [
+        draw(st.floats(0, 100, allow_nan=False, width=32))
+        for _ in range(num_edges)
+    ]
+    return make_instance(num_items, edges, valuations)
+
+
+# ---------------------------------------------------------------------------
+# Coordinate ascent
+# ---------------------------------------------------------------------------
+
+
+class TestCoordinateAscent:
+    def test_escapes_uip_on_nested_instance(self):
+        # UIP tops out at 3.0 here; one ascent pass reaches the optimum 4.0.
+        instance = make_instance(2, [{0}, {0, 1}], [1.0, 3.0])
+        _, uip_revenue = best_uniform_item_price(instance)
+        assert uip_revenue == pytest.approx(3.0)
+        result = CoordinateAscent(seed="uip").run(instance)
+        assert result.revenue == pytest.approx(4.0)
+
+    def test_metadata_records_seed_and_progress(self):
+        instance = make_instance(2, [{0}, {1}], [1.0, 2.0])
+        result = CoordinateAscent().run(instance)
+        assert result.metadata["seed"] == "uip"
+        assert result.metadata["passes"] >= 1
+        assert result.metadata["final_revenue"] >= result.metadata["seed_revenue"]
+
+    def test_zero_seed(self):
+        instance = make_instance(2, [{0}, {1}], [1.0, 2.0])
+        result = CoordinateAscent(seed="zero").run(instance)
+        assert result.metadata["seed"] == "zero"
+        assert result.revenue == pytest.approx(3.0)
+
+    def test_explicit_weight_seed(self):
+        instance = make_instance(2, [{0}, {1}], [1.0, 2.0])
+        result = CoordinateAscent(seed=np.array([0.5, 0.5])).run(instance)
+        assert result.metadata["seed"] == "explicit"
+        assert result.revenue == pytest.approx(3.0)
+
+    def test_algorithm_seed(self):
+        instance = make_instance(3, [{0}, {1}, {2}], [1.0, 2.0, 3.0])
+        result = CoordinateAscent(seed=Layering()).run(instance)
+        assert result.metadata["seed"] == "layering"
+        assert result.revenue == pytest.approx(6.0)
+
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(PricingError, match="unknown seed"):
+            CoordinateAscent(seed="nope")
+        with pytest.raises(PricingError):
+            CoordinateAscent(max_passes=0)
+        instance = make_instance(2, [{0}], [1.0])
+        with pytest.raises(PricingError, match="shape"):
+            CoordinateAscent(seed=np.zeros(5)).run(instance)
+        with pytest.raises(PricingError, match="item pricing"):
+            CoordinateAscent(seed=UBP()).run(instance)
+
+    def test_handles_instance_with_no_usable_edges(self):
+        instance = make_instance(3, [set(), set()], [1.0, 2.0])
+        result = CoordinateAscent().run(instance)
+        assert result.revenue == pytest.approx(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instance=small_instances())
+    def test_never_below_uip(self, instance):
+        uip = UIP().run(instance).revenue
+        ascent = CoordinateAscent(seed="uip").run(instance).revenue
+        assert ascent >= uip - 1e-6 - 1e-6 * uip
+
+    @settings(max_examples=40, deadline=None)
+    @given(instance=small_instances())
+    def test_output_is_valid_item_pricing(self, instance):
+        result = CoordinateAscent(seed="zero").run(instance)
+        pricing = result.pricing
+        assert isinstance(pricing, ItemPricing)
+        assert np.all(pricing.weights >= 0)
+        assert np.all(np.isfinite(pricing.weights))
+
+    def test_improves_on_larger_random_instance(self):
+        instance = random_instance(
+            num_items=40, num_edges=60, max_edge_size=6, rng=7
+        )
+        uip = UIP().run(instance).revenue
+        ascent = CoordinateAscent(seed="uip").run(instance)
+        assert ascent.revenue >= uip
+        # Sanity: ascent should find strictly better prices on a generic
+        # random instance (equality would suggest the line search is inert).
+        assert ascent.revenue > uip * 1.01
+
+
+# ---------------------------------------------------------------------------
+# Geometric grid
+# ---------------------------------------------------------------------------
+
+
+class TestGeometricGrid:
+    def test_rejects_ratio_at_most_one(self):
+        with pytest.raises(PricingError):
+            GeometricGridItemPricing(ratio=1.0)
+
+    def test_empty_instance(self):
+        instance = make_instance(2, [set()], [5.0])
+        result = GeometricGridItemPricing().run(instance)
+        assert result.revenue == pytest.approx(0.0)
+        assert result.metadata["num_candidates"] == 0
+
+    def test_singletons_hit_top_value(self):
+        instance = make_instance(2, [{0}, {1}], [8.0, 8.0])
+        result = GeometricGridItemPricing().run(instance)
+        assert result.revenue == pytest.approx(16.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instance=small_instances())
+    def test_grid_is_between_uip_over_ratio_and_uip(self, instance):
+        ratio = 2.0
+        uip = UIP().run(instance).revenue
+        grid = GeometricGridItemPricing(ratio=ratio).run(instance).revenue
+        slack = 1e-6 + 1e-6 * uip
+        assert grid <= uip + slack  # UIP is optimal among uniform prices
+        assert grid >= uip / ratio - slack  # grid bracket argument
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        instance=small_instances(),
+        ratio=st.floats(1.05, 4.0, allow_nan=False),
+    )
+    def test_finer_grids_do_not_lose_revenue_guarantee(self, instance, ratio):
+        uip = UIP().run(instance).revenue
+        grid = GeometricGridItemPricing(ratio=ratio).run(instance).revenue
+        assert grid >= uip / ratio - 1e-6 - 1e-6 * uip
+
+
+# ---------------------------------------------------------------------------
+# Registry integration
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryIntegration:
+    def test_new_algorithms_are_registered(self):
+        names = available_algorithms()
+        for name in ("ascent", "grid-uip", "exact-item", "exact-subadditive"):
+            assert name in names
+
+    def test_get_algorithm_with_params(self):
+        algorithm = get_algorithm("ascent", seed="zero", max_passes=3)
+        assert isinstance(algorithm, CoordinateAscent)
+        assert algorithm.max_passes == 3
+        grid = get_algorithm("grid-uip", ratio=1.5)
+        assert isinstance(grid, GeometricGridItemPricing)
+
+    def test_xos_combiner_accepts_new_item_algorithms(self):
+        from repro.core.algorithms import XOSCombiner
+        from repro.core.pricing import XOSPricing
+
+        instance = make_instance(
+            4, [{0}, {0, 1}, {1, 2}, {3}], [3.0, 5.0, 4.0, 2.0]
+        )
+        combiner = XOSCombiner(
+            [CoordinateAscent(seed="uip"), GeometricGridItemPricing()]
+        )
+        result = combiner.run(instance)
+        assert isinstance(result.pricing, XOSPricing)
+        assert result.pricing.num_components == 2
+        # Every bundle's XOS price dominates both components' prices.
+        for edge in instance.edges:
+            assert result.pricing.price(edge) >= max(
+                component.price(edge) for component in result.pricing.components
+            ) - 1e-12

@@ -1,0 +1,165 @@
+"""Tests for history-aware (marginal) pricing and JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import ItemPricing, UniformBundlePricing, XOSPricing
+from repro.exceptions import PricingError
+from repro.qirana.history import HistoryAwareLedger
+from repro.qirana.persistence import (
+    load_market_state,
+    load_pricing,
+    pricing_from_dict,
+    pricing_to_dict,
+    save_market_state,
+    save_pricing,
+)
+
+
+@pytest.fixture
+def item_pricing():
+    return ItemPricing([1.0, 2.0, 3.0, 4.0])
+
+
+class TestHistoryAwareLedger:
+    def test_first_purchase_pays_fresh_price(self, item_pricing):
+        ledger = HistoryAwareLedger(item_pricing)
+        quote = ledger.quote("alice", frozenset({0, 1}))
+        assert quote.marginal_price == quote.fresh_price == 3.0
+        assert quote.refund == 0.0
+
+    def test_overlap_is_refunded(self, item_pricing):
+        ledger = HistoryAwareLedger(item_pricing)
+        ledger.record_purchase("alice", frozenset({0, 1}))
+        quote = ledger.quote("alice", frozenset({1, 2}))
+        assert quote.fresh_price == 5.0
+        assert quote.marginal_price == 3.0  # item 1 already owned
+        assert quote.refund == 2.0
+
+    def test_fully_owned_bundle_is_free(self, item_pricing):
+        ledger = HistoryAwareLedger(item_pricing)
+        ledger.record_purchase("alice", frozenset({0, 1, 2}))
+        assert ledger.quote("alice", frozenset({1})).marginal_price == 0.0
+
+    def test_histories_are_per_buyer(self, item_pricing):
+        ledger = HistoryAwareLedger(item_pricing)
+        ledger.record_purchase("alice", frozenset({0}))
+        assert ledger.quote("bob", frozenset({0})).marginal_price == 1.0
+
+    def test_telescoping_invariant(self, item_pricing):
+        ledger = HistoryAwareLedger(item_pricing)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            bundle = frozenset(
+                int(x) for x in rng.choice(4, size=rng.integers(1, 4), replace=False)
+            )
+            ledger.record_purchase("alice", bundle)
+        assert ledger.cumulative_price_consistent("alice")
+
+    def test_marginal_never_exceeds_fresh_for_subadditive(self):
+        rng = np.random.default_rng(1)
+        pricing = XOSPricing([rng.uniform(0, 5, 8) for _ in range(3)])
+        ledger = HistoryAwareLedger(pricing)
+        ledger.record_purchase("alice", frozenset({0, 1, 2}))
+        for _ in range(50):
+            bundle = frozenset(
+                int(x) for x in rng.choice(8, size=rng.integers(1, 5), replace=False)
+            )
+            quote = ledger.quote("alice", bundle)
+            assert quote.marginal_price <= quote.fresh_price + 1e-9
+            assert quote.marginal_price >= -1e-9
+
+    def test_split_purchase_pays_same_as_one_shot(self, item_pricing):
+        """Combination arbitrage across sessions is impossible."""
+        split = HistoryAwareLedger(item_pricing)
+        split.record_purchase("alice", frozenset({0}))
+        split.record_purchase("alice", frozenset({1}))
+        split.record_purchase("alice", frozenset({0, 1, 2}))
+        one_shot = item_pricing.price(frozenset({0, 1, 2}))
+        assert split.total_paid["alice"] == pytest.approx(one_shot)
+
+    def test_non_monotone_pricing_detected(self):
+        class Bad(ItemPricing):
+            def price(self, bundle):
+                return -float(len(bundle))
+
+        ledger = HistoryAwareLedger(Bad([0.0, 0.0]))
+        ledger.owned["alice"] = frozenset({0}) | frozenset()
+        ledger.owned["alice"] = frozenset({0})
+        with pytest.raises(PricingError, match="not monotone"):
+            # owning {0}, buying {1}: price({0,1}) - price({0}) = -2 + 1 < 0
+            ledger.quote("alice", frozenset({1}))
+
+
+class TestPersistence:
+    def test_uniform_roundtrip(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_pricing(UniformBundlePricing(7.5), path)
+        loaded = load_pricing(path)
+        assert isinstance(loaded, UniformBundlePricing)
+        assert loaded.bundle_price == 7.5
+
+    def test_item_roundtrip(self, tmp_path, item_pricing):
+        path = tmp_path / "p.json"
+        save_pricing(item_pricing, path)
+        loaded = load_pricing(path)
+        assert isinstance(loaded, ItemPricing)
+        assert np.array_equal(loaded.weights, item_pricing.weights)
+
+    def test_xos_roundtrip(self, tmp_path):
+        pricing = XOSPricing([[1.0, 2.0], [3.0, 0.5]])
+        path = tmp_path / "p.json"
+        save_pricing(pricing, path)
+        loaded = load_pricing(path)
+        assert isinstance(loaded, XOSPricing)
+        for bundle in (frozenset(), frozenset({0}), frozenset({0, 1})):
+            assert loaded.price(bundle) == pricing.price(bundle)
+
+    def test_unknown_family_rejected_on_load(self):
+        with pytest.raises(PricingError, match="unknown pricing family"):
+            pricing_from_dict({"family": "mystery"})
+
+    def test_unknown_family_rejected_on_save(self):
+        class Custom(UniformBundlePricing):
+            pass
+
+        # Subclasses of known families still serialize (isinstance check).
+        assert pricing_to_dict(Custom(1.0))["family"] == "uniform-bundle"
+
+        class Alien:
+            pass
+
+        with pytest.raises(PricingError, match="cannot serialize"):
+            pricing_to_dict(Alien())
+
+    def test_market_state_roundtrip(self, tmp_path, item_pricing):
+        bundles = {
+            "select 1 from T": frozenset({1, 2}),
+            "select 2 from T": frozenset(),
+        }
+        path = tmp_path / "market.json"
+        save_market_state(item_pricing, bundles, path)
+        pricing, loaded_bundles = load_market_state(path)
+        assert loaded_bundles == bundles
+        assert pricing.price(frozenset({1, 2})) == item_pricing.price(frozenset({1, 2}))
+
+    def test_loaded_pricing_prices_quotes_identically(
+        self, tmp_path, mini_support
+    ):
+        from repro.core.algorithms import get_algorithm
+        from repro.qirana.broker import QueryMarket
+
+        market = QueryMarket(mini_support)
+        queries = ["select Name from Country", "select avg(Population) from Country"]
+        market.optimize_pricing(queries, [30.0, 10.0], get_algorithm("lpip"))
+        path = tmp_path / "state.json"
+        save_market_state(market.pricing, market._bundle_cache, path)
+
+        pricing, bundles = load_market_state(path)
+        fresh_market = QueryMarket(mini_support)
+        fresh_market.set_pricing(pricing)
+        fresh_market._bundle_cache.update(bundles)
+        for sql in queries:
+            assert fresh_market.quote(sql).price == pytest.approx(
+                market.quote(sql).price
+            )

@@ -1,0 +1,96 @@
+"""Unit tests for hypergraphs and pricing instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.exceptions import PricingError
+
+
+@pytest.fixture
+def hypergraph():
+    return Hypergraph(4, [{0, 1}, {1, 2}, {1}, set()], labels=["a", "b", "c", "d"])
+
+
+class TestHypergraph:
+    def test_num_edges(self, hypergraph):
+        assert hypergraph.num_edges == 4
+
+    def test_degrees(self, hypergraph):
+        assert list(hypergraph.degrees) == [1, 3, 1, 0]
+
+    def test_max_degree(self, hypergraph):
+        assert hypergraph.max_degree == 3
+
+    def test_max_degree_empty(self):
+        assert Hypergraph(0, []).max_degree == 0
+
+    def test_max_edge_size(self, hypergraph):
+        assert hypergraph.max_edge_size == 2
+
+    def test_avg_edge_size(self, hypergraph):
+        assert hypergraph.avg_edge_size == pytest.approx(5 / 4)
+
+    def test_avg_edge_size_no_edges(self):
+        assert Hypergraph(3, []).avg_edge_size == 0.0
+
+    def test_incidence(self, hypergraph):
+        assert hypergraph.incidence[1] == [0, 1, 2]
+
+    def test_edge_sizes(self, hypergraph):
+        assert list(hypergraph.edge_sizes()) == [2, 2, 1, 0]
+
+    def test_used_items(self, hypergraph):
+        assert hypergraph.used_items() == [0, 1, 2]
+
+    def test_edges_with_unique_item(self, hypergraph):
+        # items 0 and 2 have degree 1; edges 0 and 1 contain them.
+        assert hypergraph.edges_with_unique_item() == [0, 1]
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(PricingError, match="out of range"):
+            Hypergraph(2, [{5}])
+
+    def test_negative_num_items_rejected(self):
+        with pytest.raises(PricingError):
+            Hypergraph(-1, [])
+
+    def test_label_count_checked(self):
+        with pytest.raises(PricingError):
+            Hypergraph(2, [{0}], labels=["a", "b"])
+
+    def test_stats(self, hypergraph):
+        stats = hypergraph.stats()
+        assert stats.num_edges == 4
+        assert stats.max_degree == 3
+        assert stats.num_empty_edges == 1
+        assert stats.num_edges_with_unique_item == 2
+
+
+class TestPricingInstance:
+    def test_valuation_length_checked(self, hypergraph):
+        with pytest.raises(PricingError):
+            PricingInstance(hypergraph, [1.0])
+
+    def test_negative_valuation_rejected(self, hypergraph):
+        with pytest.raises(PricingError):
+            PricingInstance(hypergraph, [1, 2, -3, 4])
+
+    def test_nan_valuation_rejected(self, hypergraph):
+        with pytest.raises(PricingError):
+            PricingInstance(hypergraph, [1, 2, np.nan, 4])
+
+    def test_total_valuation(self, hypergraph):
+        instance = PricingInstance(hypergraph, [1, 2, 3, 4])
+        assert instance.total_valuation() == 10.0
+
+    def test_edges_by_valuation(self, hypergraph):
+        instance = PricingInstance(hypergraph, [1, 4, 2, 3])
+        assert instance.edges_by_valuation() == [1, 3, 2, 0]
+        assert instance.edges_by_valuation(descending=False) == [0, 2, 3, 1]
+
+    def test_properties_delegate(self, hypergraph):
+        instance = PricingInstance(hypergraph, [1, 2, 3, 4], "x")
+        assert instance.num_items == 4
+        assert instance.num_edges == 4
+        assert instance.edges is hypergraph.edges

@@ -1,0 +1,127 @@
+"""Equivalence tests: incremental conflict checks vs full re-evaluation.
+
+The incremental checker must return *exactly* ``Q(D') != Q(D)`` whenever it
+decides. These tests sweep query shapes x hand-crafted and sampled patches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.query import sql_query
+from repro.qirana.incremental import build_incremental_checker
+from repro.support.generator import NeighborSampler
+
+QUERIES = [
+    # Shape A: selection / projection
+    "select * from Country",
+    "select Name from Country",
+    "select Name from Country where Continent = 'Europe'",
+    "select Name, Population from Country where Population > 50000000",
+    "select Name from Country where Name like 'F%'",
+    "select * from City where Population between 1000000 and 9000000",
+    # Shape A + Sort
+    "select Name from Country order by Name",
+    # Shape B: aggregates
+    "select count(*) from Country",
+    "select count(Name) from Country where Continent = 'Asia'",
+    "select count(distinct Continent) from Country",
+    "select avg(Population) from Country",
+    "select min(LifeExpectancy) from Country",
+    "select max(Population) from Country where Continent = 'Europe'",
+    "select Continent, count(Code) from Country group by Continent",
+    "select Continent, sum(Population), avg(LifeExpectancy) from Country group by Continent",
+    "select CountryCode, count(ID) from City group by CountryCode",
+    # Joins
+    "select Name, Language from Country , CountryLanguage where Code = CountryCode",
+    "select Name from Country , CountryLanguage where Code = CountryCode and Language = 'Greek'",
+    "select C.Name, count(L.Language) from Country C, CountryLanguage L "
+    "where C.Code = L.CountryCode group by C.Name",
+    "select C.Continent, sum(T.Population) from Country C, City T "
+    "where C.Code = T.CountryCode group by C.Continent",
+    # Three-way join
+    "select C.Name, T.Name, L.Language from Country C, City T, CountryLanguage L "
+    "where C.Code = T.CountryCode and C.Code = L.CountryCode",
+]
+
+UNSUPPORTED = [
+    "select distinct Continent from Country",      # Distinct node
+    "select * from Country limit 2",                # Limit node
+]
+
+
+def _all_instances(mini_db, seed=9, size=120, cells=2):
+    sampler = NeighborSampler(
+        mini_db, rng=np.random.default_rng(seed), cells_per_instance=cells
+    )
+    return sampler.generate(size)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_checker_matches_full_eval(self, sql, mini_db):
+        query = sql_query(sql, mini_db)
+        checker = build_incremental_checker(query, mini_db)
+        assert checker is not None, f"expected incremental support for: {sql}"
+        support = _all_instances(mini_db)
+        baseline = query.run(mini_db)
+        for instance in support:
+            decision = checker(instance)
+            truth = query.run(instance.materialize(mini_db)) != baseline
+            if decision is None:
+                continue  # checker declined; engine would fall back
+            assert decision == truth, (sql, instance.deltas)
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_checker_with_single_cell_patches(self, sql, mini_db):
+        query = sql_query(sql, mini_db)
+        checker = build_incremental_checker(query, mini_db)
+        support = _all_instances(mini_db, seed=21, cells=1)
+        baseline = query.run(mini_db)
+        undecided = 0
+        for instance in support:
+            decision = checker(instance)
+            if decision is None:
+                undecided += 1
+                continue
+            truth = query.run(instance.materialize(mini_db)) != baseline
+            assert decision == truth, (sql, instance.deltas)
+        # Single-cell patches always touch exactly one table: decidable.
+        assert undecided == 0
+
+    @pytest.mark.parametrize("sql", UNSUPPORTED)
+    def test_unsupported_shapes_return_none(self, sql, mini_db):
+        query = sql_query(sql, mini_db)
+        assert build_incremental_checker(query, mini_db) is None
+
+    def test_self_join_unsupported(self, mini_db):
+        query = sql_query(
+            "select A.Name from Country A, Country B where A.Code = B.Code",
+            mini_db,
+        )
+        assert build_incremental_checker(query, mini_db) is None
+
+    def test_patch_on_both_join_sides_declines(self, mini_db):
+        from repro.support.delta import CellDelta, SupportInstance
+
+        query = sql_query(
+            "select Name, Language from Country , CountryLanguage "
+            "where Code = CountryCode",
+            mini_db,
+        )
+        checker = build_incremental_checker(query, mini_db)
+        both = SupportInstance(
+            0,
+            (
+                CellDelta("Country", 0, "Name", "X"),
+                CellDelta("CountryLanguage", 0, "Language", "Y"),
+            ),
+        )
+        assert checker(both) is None
+
+    def test_patch_on_unreferenced_table_is_no_conflict(self, mini_db):
+        from repro.support.delta import CellDelta, SupportInstance
+
+        query = sql_query("select Name from Country", mini_db)
+        checker = build_incremental_checker(query, mini_db)
+        patch = SupportInstance(0, (CellDelta("City", 0, "Name", "Z"),))
+        assert checker(patch) is False

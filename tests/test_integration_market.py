@@ -1,0 +1,132 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises the full pipeline the way examples do: database →
+support → conflict sets → algorithm → broker → buyers, with invariants
+checked at every joint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import default_algorithm_suite, get_algorithm
+from repro.qirana import (
+    HistoryAwareLedger,
+    QueryMarket,
+    load_market_state,
+    save_market_state,
+    verify_arbitrage_freeness,
+)
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.support.designer import designed_support
+from repro.workloads.world import world_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return world_workload(scale=0.1, expanded=False)
+
+
+@pytest.fixture(scope="module")
+def market(workload):
+    support = workload.support(size=150, seed=0)
+    return QueryMarket(support)
+
+
+@pytest.fixture(scope="module")
+def priced_market(workload, market):
+    rng = np.random.default_rng(1)
+    valuations = rng.uniform(5, 100, size=workload.num_queries)
+    market.optimize_pricing(
+        workload.queries, valuations, get_algorithm("lpip", max_programs=20)
+    )
+    return market, valuations
+
+
+class TestFullPipeline:
+    def test_all_algorithms_complete_on_real_workload(self, workload, market):
+        rng = np.random.default_rng(2)
+        valuations = rng.uniform(5, 100, size=workload.num_queries)
+        instance = market.build_instance(workload.queries, valuations)
+        for algorithm in default_algorithm_suite(lpip_max_programs=10, cip_epsilon=2.0):
+            result = algorithm.run(instance)
+            assert 0 <= result.revenue <= instance.total_valuation() + 1e-6
+
+    def test_installed_pricing_is_arbitrage_free(self, priced_market):
+        market, _ = priced_market
+        violations = verify_arbitrage_freeness(
+            market.pricing, len(market.support), trials=200, rng=3
+        )
+        assert violations == []
+
+    def test_buyers_with_valuations_behave_rationally(self, priced_market, workload):
+        market, valuations = priced_market
+        sold = walked = 0
+        for query, valuation in list(zip(workload.queries, valuations))[:15]:
+            answer, quote = market.purchase(
+                query, buyer="it", valuation=float(valuation)
+            )
+            if answer is None:
+                walked += 1
+                assert quote.price > valuation
+            else:
+                sold += 1
+                assert quote.price <= valuation
+        assert sold + walked == 15
+
+    def test_quote_answer_consistency(self, priced_market, workload):
+        market, _ = priced_market
+        query = workload.queries[0]
+        answer, quote = market.purchase(query, buyer="checker")
+        assert answer == query.run(market.base)
+
+    def test_history_ledger_on_market_pricing(self, priced_market, workload):
+        market, _ = priced_market
+        ledger = HistoryAwareLedger(market.pricing)
+        bundles = [market.quote(q).bundle for q in workload.queries[:6]]
+        for bundle in bundles:
+            ledger.record_purchase("eve", bundle)
+        assert ledger.cumulative_price_consistent("eve")
+
+    def test_market_state_roundtrip_preserves_quotes(
+        self, priced_market, workload, tmp_path
+    ):
+        market, _ = priced_market
+        path = tmp_path / "state.json"
+        save_market_state(market.pricing, market._bundle_cache, path)
+        pricing, bundles = load_market_state(path)
+        fresh = QueryMarket(market.support)
+        fresh.set_pricing(pricing)
+        fresh._bundle_cache.update(bundles)
+        for query in workload.queries[:8]:
+            assert fresh.quote(query).price == pytest.approx(
+                market.quote(query).price
+            )
+
+    def test_calibrated_baseline_is_dominated(self, priced_market, workload):
+        market, valuations = priced_market
+        from repro.core.revenue import compute_revenue
+
+        instance = market.build_instance(workload.queries, valuations)
+        calibrated = uniform_calibrated_pricing(market.support, 100.0)
+        optimized = get_algorithm("lpip", max_programs=20).run(instance)
+        assert (
+            optimized.revenue
+            >= compute_revenue(calibrated, instance).revenue - 1e-9
+        )
+
+
+class TestDesignedSupportMarket:
+    def test_market_over_designed_support(self, workload):
+        queries = workload.queries[:10]
+        report = designed_support(workload.database, queries, rng=4, padding=5)
+        market = QueryMarket(report.support)
+        rng = np.random.default_rng(5)
+        valuations = rng.uniform(10, 50, size=len(queries))
+        result = market.optimize_pricing(
+            queries, valuations, get_algorithm("layering")
+        )
+        # Every separated query is sold at its full valuation.
+        separated_value = sum(
+            valuations[i] for i in report.dedicated_items
+        )
+        assert result.revenue >= separated_value - 1e-6

@@ -1,0 +1,184 @@
+"""Unit tests for the LP modeling layer and scipy backend."""
+
+import pytest
+
+from repro.exceptions import LPError, LPInfeasibleError, LPUnboundedError
+from repro.lp import LinExpr, LPModel, Sense
+
+
+class TestLinExpr:
+    def test_variable_addition(self):
+        model = LPModel()
+        x, y = model.add_variables(2)
+        expr = x + y
+        assert expr.coeffs == {0: 1.0, 1: 1.0}
+
+    def test_scalar_multiplication(self):
+        model = LPModel()
+        x = model.add_variable()
+        assert (3 * x).coeffs == {0: 3.0}
+        assert (x * 0.5).coeffs == {0: 0.5}
+
+    def test_subtraction_and_negation(self):
+        model = LPModel()
+        x, y = model.add_variables(2)
+        expr = x - y
+        assert expr.coeffs == {0: 1.0, 1: -1.0}
+        assert (-x).coeffs == {0: -1.0}
+
+    def test_constants_fold(self):
+        model = LPModel()
+        x = model.add_variable()
+        expr = x + 5 - 2
+        assert expr.constant == 3.0
+
+    def test_sum_of_linear_in_terms(self):
+        model = LPModel()
+        xs = model.add_variables(100)
+        expr = LinExpr.sum_of(xs)
+        assert len(expr.coeffs) == 100
+
+    def test_sum_of_merges_duplicates(self):
+        model = LPModel()
+        x = model.add_variable()
+        expr = LinExpr.sum_of([x, x, x])
+        assert expr.coeffs == {0: 3.0}
+
+    def test_weighted_sum(self):
+        model = LPModel()
+        x, y = model.add_variables(2)
+        expr = LinExpr.weighted_sum([(x, 2.0), (y, -1.0)])
+        assert expr.coeffs == {0: 2.0, 1: -1.0}
+
+    def test_evaluate(self):
+        model = LPModel()
+        x, y = model.add_variables(2)
+        assert (2 * x + y + 1).evaluate({0: 3.0, 1: 4.0}) == 11.0
+
+    def test_type_errors(self):
+        model = LPModel()
+        x = model.add_variable()
+        with pytest.raises(TypeError):
+            x + "str"
+        with pytest.raises(TypeError):
+            (x + x) * (x + x)
+
+
+class TestModel:
+    def test_duplicate_constraint_name_rejected(self):
+        model = LPModel()
+        x = model.add_variable()
+        model.add_constraint(x <= 1, name="c")
+        with pytest.raises(LPError, match="duplicate"):
+            model.add_constraint(x <= 2, name="c")
+
+    def test_counts(self):
+        model = LPModel()
+        x = model.add_variable()
+        model.add_constraint(x <= 1)
+        assert model.num_variables == 1
+        assert model.num_constraints == 1
+
+
+class TestSolver:
+    def test_simple_maximization(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable(upper=4.0)
+        y = model.add_variable(upper=3.0)
+        model.add_constraint(x + y <= 5.0)
+        model.set_objective(x + 2 * y)
+        solution = model.solve()
+        assert solution.objective == pytest.approx(8.0)
+        assert solution.value(x) == pytest.approx(2.0)
+        assert solution.value(y) == pytest.approx(3.0)
+
+    def test_simple_minimization(self):
+        model = LPModel(sense=Sense.MINIMIZE)
+        x = model.add_variable(lower=1.0)
+        model.set_objective(x)
+        assert model.solve().objective == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x, y = model.add_variables(2)
+        model.add_constraint((x + y).equals(4.0))
+        model.add_constraint(x <= 1.0)
+        model.set_objective(x)
+        solution = model.solve()
+        assert solution.value(x) == pytest.approx(1.0)
+        assert solution.value(y) == pytest.approx(3.0)
+
+    def test_ge_constraint(self):
+        model = LPModel(sense=Sense.MINIMIZE)
+        x = model.add_variable()
+        model.add_constraint(x >= 7.0)
+        model.set_objective(x)
+        assert model.solve().objective == pytest.approx(7.0)
+
+    def test_infeasible(self):
+        model = LPModel()
+        x = model.add_variable()
+        model.add_constraint(x <= -1.0)  # x >= 0 by default bound
+        model.set_objective(x)
+        with pytest.raises(LPInfeasibleError):
+            model.solve()
+
+    def test_unbounded(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable()
+        model.set_objective(x)
+        with pytest.raises(LPUnboundedError):
+            model.solve()
+
+    def test_objective_constant_included(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable(upper=1.0)
+        model.set_objective(x + 10)
+        assert model.solve().objective == pytest.approx(11.0)
+
+    def test_duals_of_binding_le_constraint(self):
+        # max x + y st x + y <= 5 (binding): shadow price of the constraint
+        # equals the objective gain per unit of slack = 1.
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x, y = model.add_variables(2)
+        model.add_constraint(x + y <= 5.0, name="cap")
+        model.set_objective(x + y)
+        solution = model.solve()
+        assert solution.dual("cap") == pytest.approx(1.0)
+
+    def test_duals_of_slack_constraint_zero(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable(upper=1.0)
+        model.add_constraint(x <= 100.0, name="loose")
+        model.set_objective(x)
+        solution = model.solve()
+        assert solution.dual("loose") == pytest.approx(0.0)
+
+    def test_duals_capacity_pricing_semantics(self):
+        # Knapsack-relaxation: two "buyers" compete for one capacity unit;
+        # the dual is the market-clearing item price (CIP's core mechanism).
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x1 = model.add_variable(upper=1.0)
+        x2 = model.add_variable(upper=1.0)
+        model.add_constraint(x1 + x2 <= 1.0, name="item")
+        model.set_objective(10 * x1 + 4 * x2)
+        solution = model.solve()
+        assert solution.value(x1) == pytest.approx(1.0)
+        # Relaxing capacity by 1 admits the second buyer: dual = 4.
+        assert solution.dual("item") == pytest.approx(4.0)
+
+    def test_dual_by_index(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable()
+        model.add_constraint(x <= 2.0)
+        model.set_objective(x)
+        solution = model.solve()
+        assert solution.dual_by_index(0) == pytest.approx(1.0)
+
+    def test_stats_populated(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variable(upper=1.0)
+        model.set_objective(x)
+        solution = model.solve()
+        assert solution.stats.status == "optimal"
+        assert solution.stats.num_variables == 1

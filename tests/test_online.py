@@ -1,0 +1,131 @@
+"""Unit tests for the online posted-price learning extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PricingError
+from repro.online import (
+    BuyerStream,
+    EpsilonGreedyPolicy,
+    Exp3Policy,
+    FixedPricePolicy,
+    PriceWalkPolicy,
+    UCBPolicy,
+    simulate,
+)
+from repro.online.env import OnlineMarketEnv
+from repro.online.policies import geometric_grid
+from repro.online.simulate import best_fixed_price_revenue
+from repro.workloads.synthetic import random_instance
+
+
+@pytest.fixture
+def instance():
+    return random_instance(40, 25, valuation_high=80.0, rng=1)
+
+
+class TestGrid:
+    def test_geometric_coverage(self):
+        grid = geometric_grid(1.0, 100.0, ratio=2.0)
+        assert grid[0] == 1.0
+        assert grid[-1] >= 100.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PricingError):
+            geometric_grid(0.0, 10.0)
+        with pytest.raises(PricingError):
+            geometric_grid(1.0, 10.0, ratio=1.0)
+        with pytest.raises(PricingError):
+            geometric_grid(10.0, 1.0)
+
+
+class TestStream:
+    def test_deterministic(self, instance):
+        a = [arrival.edge_index for arrival in BuyerStream(instance, 50, rng=3)]
+        b = [arrival.edge_index for arrival in BuyerStream(instance, 50, rng=3)]
+        assert a == b
+
+    def test_valuations_match_instance(self, instance):
+        for arrival in BuyerStream(instance, 30, rng=4):
+            assert arrival.valuation == instance.valuations[arrival.edge_index]
+
+    def test_weighted_arrivals(self, instance):
+        weights = np.zeros(instance.num_edges)
+        weights[7] = 1.0
+        stream = BuyerStream(instance, 20, rng=5, weights=weights)
+        assert all(arrival.edge_index == 7 for arrival in stream)
+
+    def test_invalid_weights(self, instance):
+        with pytest.raises(PricingError):
+            BuyerStream(instance, 10, weights=np.zeros(instance.num_edges))
+
+    def test_invalid_horizon(self, instance):
+        with pytest.raises(PricingError):
+            BuyerStream(instance, 0)
+
+
+class TestEnv:
+    def test_accept_iff_price_at_most_valuation(self, instance):
+        stream = BuyerStream(instance, 1, rng=6)
+        env = OnlineMarketEnv(stream)
+        arrival = next(iter(stream))
+        assert env.play(arrival, arrival.valuation) is True
+        assert env.play(arrival, arrival.valuation + 1e-6) is False
+        assert env.revenue == pytest.approx(arrival.valuation)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda grid: EpsilonGreedyPolicy(grid, rng=0),
+            lambda grid: UCBPolicy(grid, rng=0),
+            lambda grid: Exp3Policy(grid, rng=0),
+            lambda grid: PriceWalkPolicy(grid, rng=0),
+        ],
+    )
+    def test_policy_learns_something(self, instance, policy_factory):
+        grid = geometric_grid(1.0, 80.0, ratio=1.3)
+        result = simulate(BuyerStream(instance, 3000, rng=7), policy_factory(grid))
+        # Learned revenue should beat always-posting-the-max-price.
+        worst = simulate(
+            BuyerStream(instance, 3000, rng=7),
+            FixedPricePolicy(float(grid[-1])),
+        )
+        assert result.revenue > worst.revenue
+
+    def test_ucb_approaches_best_fixed(self, instance):
+        grid = geometric_grid(1.0, 80.0, ratio=1.2)
+        result = simulate(BuyerStream(instance, 8000, rng=8), UCBPolicy(grid, rng=8))
+        assert result.competitive_ratio > 0.5
+
+    def test_fixed_policy_revenue_matches_oracle(self, instance):
+        price, expected = best_fixed_price_revenue(BuyerStream(instance, 5000, rng=9))
+        result = simulate(
+            BuyerStream(instance, 5000, rng=9), FixedPricePolicy(price)
+        )
+        # Sampled revenue concentrates near the expectation.
+        assert result.revenue == pytest.approx(expected, rel=0.15)
+
+    def test_regret_definition(self, instance):
+        result = simulate(
+            BuyerStream(instance, 500, rng=10),
+            FixedPricePolicy(1.0),
+        )
+        assert result.regret == pytest.approx(
+            result.best_fixed_revenue - result.revenue
+        )
+
+    def test_revenue_curve_monotone(self, instance):
+        result = simulate(
+            BuyerStream(instance, 300, rng=11),
+            EpsilonGreedyPolicy(geometric_grid(1, 80), rng=11),
+        )
+        assert np.all(np.diff(result.revenue_curve) >= -1e-9)
+
+    def test_invalid_policy_parameters(self):
+        grid = geometric_grid(1, 10)
+        with pytest.raises(PricingError):
+            EpsilonGreedyPolicy(grid, epsilon=2.0)
+        with pytest.raises(PricingError):
+            Exp3Policy(grid, gamma=0.0)

@@ -1,0 +1,105 @@
+"""Tests for online per-item price learning."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import ItemPricing
+from repro.exceptions import PricingError
+from repro.online import (
+    BuyerStream,
+    OnlineItemPricingPolicy,
+    simulate_item_pricing,
+)
+from repro.workloads.synthetic import random_instance
+
+
+@pytest.fixture
+def instance():
+    return random_instance(30, 20, valuation_high=60.0, rng=2)
+
+
+class TestPolicy:
+    def test_price_is_additive(self):
+        policy = OnlineItemPricingPolicy(4, initial_weight=2.0)
+        assert policy.price(frozenset({0, 2})) == 4.0
+        assert policy.price(frozenset()) == 0.0
+
+    def test_accept_raises_prices(self):
+        policy = OnlineItemPricingPolicy(3, initial_weight=1.0, step_up=1.5)
+        policy.update(frozenset({0, 1}), accepted=True)
+        assert policy.weights[0] == pytest.approx(1.5)
+        assert policy.weights[2] == 1.0
+
+    def test_reject_lowers_prices(self):
+        policy = OnlineItemPricingPolicy(3, initial_weight=1.0, step_down=0.5)
+        policy.update(frozenset({2}), accepted=False)
+        assert policy.weights[2] == pytest.approx(0.5)
+
+    def test_floor_respected(self):
+        policy = OnlineItemPricingPolicy(
+            2, initial_weight=1.0, step_down=0.1, floor=0.05
+        )
+        for _ in range(10):
+            policy.update(frozenset({0}), accepted=False)
+        assert policy.weights[0] >= 0.05
+
+    def test_empty_bundle_update_noop(self):
+        policy = OnlineItemPricingPolicy(2)
+        before = policy.weights.copy()
+        policy.update(frozenset(), accepted=True)
+        assert np.array_equal(policy.weights, before)
+
+    def test_snapshot_is_valid_pricing(self):
+        policy = OnlineItemPricingPolicy(5, initial_weight=3.0)
+        snapshot = policy.as_pricing()
+        assert isinstance(snapshot, ItemPricing)
+        assert snapshot.price(frozenset({0, 1})) == 6.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(PricingError):
+            OnlineItemPricingPolicy(0)
+        with pytest.raises(PricingError):
+            OnlineItemPricingPolicy(3, step_up=0.9)
+        with pytest.raises(PricingError):
+            OnlineItemPricingPolicy(3, step_down=1.1)
+        with pytest.raises(PricingError):
+            OnlineItemPricingPolicy(3, initial_weight=0.0)
+
+
+class TestSimulation:
+    def test_earns_meaningful_revenue(self, instance):
+        stream = BuyerStream(instance, horizon=4000, rng=3)
+        policy = OnlineItemPricingPolicy(
+            instance.num_items, initial_weight=0.5
+        )
+        result = simulate_item_pricing(stream, policy)
+        assert result.revenue > 0
+        assert result.competitive_ratio > 0.2
+
+    def test_revenue_curve_cumulative(self, instance):
+        stream = BuyerStream(instance, horizon=500, rng=4)
+        policy = OnlineItemPricingPolicy(instance.num_items)
+        result = simulate_item_pricing(stream, policy)
+        assert np.all(np.diff(result.revenue_curve) >= -1e-9)
+        assert result.revenue_curve[-1] == pytest.approx(result.revenue)
+
+    def test_final_pricing_arbitrage_free(self, instance):
+        from repro.qirana.validation import verify_arbitrage_freeness
+
+        stream = BuyerStream(instance, horizon=1000, rng=5)
+        policy = OnlineItemPricingPolicy(instance.num_items)
+        result = simulate_item_pricing(stream, policy)
+        violations = verify_arbitrage_freeness(
+            result.final_pricing, instance.num_items, trials=100, rng=6
+        )
+        assert violations == []
+
+    def test_learning_beats_static_overpricing(self, instance):
+        # Start absurdly high: the learner must walk prices down to sell.
+        stream = BuyerStream(instance, horizon=3000, rng=7)
+        policy = OnlineItemPricingPolicy(
+            instance.num_items, initial_weight=1000.0, step_down=0.5
+        )
+        result = simulate_item_pricing(stream, policy)
+        assert result.sales > 0
+        assert result.revenue > 0

@@ -1,0 +1,141 @@
+"""Unit tests for the three pricing-function families + arbitrage checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import (
+    ItemPricing,
+    UniformBundlePricing,
+    XOSPricing,
+    zero_pricing,
+)
+from repro.exceptions import PricingError
+from repro.qirana.validation import (
+    check_monotonicity,
+    check_subadditivity,
+    verify_arbitrage_freeness,
+)
+
+
+class TestUniformBundlePricing:
+    def test_constant_price(self):
+        pricing = UniformBundlePricing(5.0)
+        assert pricing.price({0, 1}) == 5.0
+        assert pricing.price(set()) == 5.0
+
+    def test_price_edges_vectorized(self):
+        pricing = UniformBundlePricing(2.0)
+        assert list(pricing.price_edges([{0}, {1, 2}])) == [2.0, 2.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(PricingError):
+            UniformBundlePricing(-1.0)
+
+    def test_arbitrage_free(self):
+        violations = verify_arbitrage_freeness(UniformBundlePricing(3.0), 10, rng=0)
+        assert violations == []
+
+
+class TestItemPricing:
+    def test_additive_price(self):
+        pricing = ItemPricing([1.0, 2.0, 3.0])
+        assert pricing.price({0, 2}) == 4.0
+        assert pricing.price(set()) == 0.0
+
+    def test_from_dict(self):
+        pricing = ItemPricing({1: 5.0}, num_items=3)
+        assert pricing.price({0, 1}) == 5.0
+        assert pricing.num_items == 3
+
+    def test_uniform_constructor(self):
+        pricing = ItemPricing.uniform(4, 2.5)
+        assert pricing.price({0, 1, 2, 3}) == 10.0
+
+    def test_support_size(self):
+        assert ItemPricing([0.0, 1.0, 0.0, 2.0]).support_size() == 2
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PricingError):
+            ItemPricing([1.0, -0.1])
+
+    def test_matrix_rejected(self):
+        with pytest.raises(PricingError):
+            ItemPricing(np.ones((2, 2)))
+
+    def test_arbitrage_free(self):
+        rng = np.random.default_rng(1)
+        pricing = ItemPricing(rng.uniform(0, 10, size=12))
+        assert verify_arbitrage_freeness(pricing, 12, rng=2) == []
+
+    def test_zero_pricing_helper(self):
+        assert zero_pricing(5).price({0, 4}) == 0.0
+
+
+class TestXOSPricing:
+    def test_max_of_components(self):
+        a = ItemPricing([3.0, 0.0])
+        b = ItemPricing([0.0, 5.0])
+        pricing = XOSPricing([a, b])
+        assert pricing.price({0}) == 3.0
+        assert pricing.price({1}) == 5.0
+        assert pricing.price({0, 1}) == 5.0  # max(3, 5), not 8
+
+    def test_accepts_raw_vectors(self):
+        pricing = XOSPricing([[1.0, 2.0], [2.0, 1.0]])
+        assert pricing.price({0, 1}) == 3.0
+
+    def test_single_component_equals_item_pricing(self):
+        weights = [1.0, 2.0, 4.0]
+        xos = XOSPricing([weights])
+        item = ItemPricing(weights)
+        for bundle in ({0}, {1, 2}, {0, 1, 2}, set()):
+            assert xos.price(bundle) == item.price(bundle)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(PricingError):
+            XOSPricing([])
+
+    def test_mismatched_universes_rejected(self):
+        with pytest.raises(PricingError):
+            XOSPricing([[1.0], [1.0, 2.0]])
+
+    def test_arbitrage_free(self):
+        rng = np.random.default_rng(3)
+        components = [rng.uniform(0, 10, size=10) for _ in range(4)]
+        assert verify_arbitrage_freeness(XOSPricing(components), 10, rng=4) == []
+
+    def test_num_components(self):
+        assert XOSPricing([[1.0], [2.0]]).num_components == 2
+
+
+class TestValidationCatchesViolations:
+    """The validators must actually detect non-arbitrage-free functions."""
+
+    class _SuperadditivePricing(ItemPricing):
+        """Price = (sum of weights)^2 — violates subadditivity."""
+
+        def price(self, bundle):
+            return super().price(bundle) ** 2
+
+    class _AntitonePricing(ItemPricing):
+        """Bigger bundles cheaper — violates monotonicity."""
+
+        def price(self, bundle):
+            return max(0.0, 100.0 - super().price(bundle))
+
+    def test_detects_subadditivity_violation(self):
+        pricing = self._SuperadditivePricing(np.ones(10) * 3)
+        violations = check_subadditivity(pricing, 10, trials=500, rng=5)
+        assert violations
+        assert all(v.kind == "subadditivity" for v in violations)
+
+    def test_detects_monotonicity_violation(self):
+        pricing = self._AntitonePricing(np.ones(10) * 3)
+        violations = check_monotonicity(pricing, 10, trials=500, rng=6)
+        assert violations
+        assert all(v.kind == "monotonicity" for v in violations)
+
+    def test_violation_str(self):
+        pricing = self._AntitonePricing(np.ones(10) * 3)
+        violations = check_monotonicity(pricing, 10, trials=500, rng=7)
+        assert "monotonicity" in str(violations[0])

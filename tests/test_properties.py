@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Four families of properties:
+
+1. Arbitrage-freeness of the three pricing families on arbitrary bundles.
+2. Algorithm sanity on random instances (revenue bounds, buyer rationality).
+3. LinExpr algebra vs. direct evaluation.
+4. Canonical answer equality is permutation-invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import ItemPricing, UniformBundlePricing, XOSPricing
+from repro.core.revenue import compute_revenue
+from repro.db.result import QueryResult
+from repro.lp import LinExpr, LPModel
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NUM_ITEMS = 12
+
+bundles = st.sets(st.integers(0, NUM_ITEMS - 1), max_size=NUM_ITEMS).map(frozenset)
+weight_vectors = st.lists(
+    st.floats(0, 100, allow_nan=False), min_size=NUM_ITEMS, max_size=NUM_ITEMS
+)
+
+
+@st.composite
+def instances(draw):
+    num_edges = draw(st.integers(1, 12))
+    edges = [draw(bundles) for _ in range(num_edges)]
+    valuations = [
+        draw(st.floats(0, 1000, allow_nan=False)) for _ in range(num_edges)
+    ]
+    return PricingInstance(Hypergraph(NUM_ITEMS, edges), valuations)
+
+
+@st.composite
+def xos_pricings(draw):
+    num_components = draw(st.integers(1, 4))
+    return XOSPricing([draw(weight_vectors) for _ in range(num_components)])
+
+
+# ---------------------------------------------------------------------------
+# 1. Arbitrage-freeness
+# ---------------------------------------------------------------------------
+
+
+class TestPricingFamilyProperties:
+    @given(weights=weight_vectors, a=bundles, b=bundles)
+    def test_item_pricing_monotone_and_subadditive(self, weights, a, b):
+        pricing = ItemPricing(weights)
+        assert pricing.price(a) <= pricing.price(a | b) + 1e-9
+        assert pricing.price(a | b) <= pricing.price(a) + pricing.price(b) + 1e-9
+
+    @given(pricing=xos_pricings(), a=bundles, b=bundles)
+    def test_xos_pricing_monotone_and_subadditive(self, pricing, a, b):
+        assert pricing.price(a) <= pricing.price(a | b) + 1e-9
+        assert pricing.price(a | b) <= pricing.price(a) + pricing.price(b) + 1e-9
+
+    @given(price=st.floats(0, 1000, allow_nan=False), a=bundles, b=bundles)
+    def test_uniform_bundle_monotone_and_subadditive(self, price, a, b):
+        pricing = UniformBundlePricing(price)
+        assert pricing.price(a) <= pricing.price(a | b)
+        assert pricing.price(a | b) <= pricing.price(a) + pricing.price(b)
+
+    @given(pricing=xos_pricings(), bundle=bundles)
+    def test_xos_dominates_components(self, pricing, bundle):
+        for component in pricing.components:
+            assert pricing.price(bundle) >= component.price(bundle) - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# 2. Algorithm sanity on random instances
+# ---------------------------------------------------------------------------
+
+
+class TestAlgorithmProperties:
+    @given(instance=instances())
+    @settings(max_examples=25, deadline=None)
+    def test_ubp_revenue_bounds(self, instance):
+        from repro.core.algorithms import UBP
+
+        result = UBP().run(instance)
+        assert 0 <= result.revenue <= instance.total_valuation() + 1e-6
+
+    @given(instance=instances())
+    @settings(max_examples=25, deadline=None)
+    def test_uip_buyers_rational(self, instance):
+        from repro.core.algorithms import UIP
+
+        result = UIP().run(instance)
+        sold = result.report.sold
+        tolerance = instance.valuations[sold] * 1e-6 + 1e-6
+        assert np.all(
+            result.report.prices[sold] <= instance.valuations[sold] + tolerance
+        )
+
+    @given(instance=instances())
+    @settings(max_examples=15, deadline=None)
+    def test_layering_revenue_bounds(self, instance):
+        from repro.core.algorithms import Layering
+
+        result = Layering().run(instance)
+        assert 0 <= result.revenue <= instance.total_valuation() + 1e-6
+
+    @given(instance=instances())
+    @settings(max_examples=10, deadline=None)
+    def test_lpip_revenue_bounds(self, instance):
+        # NOTE: LPIP >= UIP is *not* a theorem (LP tie-breaking and the
+        # forced-frontier constraints can lose to the uniform sweep on
+        # subset-heavy instances), so only the safety bounds are properties.
+        from repro.core.algorithms import LPIP
+
+        result = LPIP().run(instance)
+        assert 0 <= result.revenue <= instance.total_valuation() + 1e-6
+
+    @given(instance=instances(), price=st.floats(0, 500, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_revenue_equals_manual_sum(self, instance, price):
+        report = compute_revenue(UniformBundlePricing(price), instance)
+        manual = sum(
+            price for v in instance.valuations if price <= v * (1 + 1e-9) + 1e-9
+        )
+        assert abs(report.revenue - manual) <= 1e-9 * max(1.0, abs(manual))
+
+
+# ---------------------------------------------------------------------------
+# 3. LinExpr algebra
+# ---------------------------------------------------------------------------
+
+
+class TestLinExprProperties:
+    @given(
+        coeffs=st.lists(st.floats(-50, 50, allow_nan=False), min_size=3, max_size=3),
+        values=st.lists(st.floats(-50, 50, allow_nan=False), min_size=3, max_size=3),
+        scale=st.floats(-10, 10, allow_nan=False),
+    )
+    def test_linear_combination_evaluates_correctly(self, coeffs, values, scale):
+        model = LPModel()
+        variables = model.add_variables(3)
+        expr = LinExpr.weighted_sum(zip(variables, coeffs)) * scale
+        assignment = {i: v for i, v in enumerate(values)}
+        expected = scale * sum(c * v for c, v in zip(coeffs, values))
+        assert abs(expr.evaluate(assignment) - expected) < 1e-6
+
+    @given(values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=2))
+    def test_addition_commutes(self, values):
+        model = LPModel()
+        x, y = model.add_variables(2)
+        assignment = {0: values[0], 1: values[1]}
+        assert (x + y).evaluate(assignment) == (y + x).evaluate(assignment)
+
+    @given(constant=st.floats(-100, 100, allow_nan=False))
+    def test_constant_folding(self, constant):
+        model = LPModel()
+        x = model.add_variable()
+        expr = x + constant - constant
+        assert abs(expr.constant) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# 4. Canonical answers
+# ---------------------------------------------------------------------------
+
+row_values = st.one_of(
+    st.none(), st.integers(-100, 100), st.text(max_size=4),
+    st.floats(-100, 100, allow_nan=False),
+)
+rows = st.lists(st.tuples(row_values, row_values), max_size=8)
+
+
+class TestQueryResultProperties:
+    @given(rows=rows, seed=st.integers(0, 10_000))
+    def test_equality_is_permutation_invariant(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        assert QueryResult(["a", "b"], rows) == QueryResult(["a", "b"], shuffled)
+
+    @given(rows=rows)
+    def test_dropping_a_row_changes_equality(self, rows):
+        if not rows:
+            return
+        assert QueryResult(["a", "b"], rows) != QueryResult(["a", "b"], rows[1:])
+
+    @given(rows=rows)
+    def test_hash_consistent_with_equality(self, rows):
+        a = QueryResult(["a", "b"], rows)
+        b = QueryResult(["a", "b"], list(reversed(rows)))
+        assert a == b and hash(a) == hash(b)

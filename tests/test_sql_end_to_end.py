@@ -1,0 +1,219 @@
+"""End-to-end SQL tests: parse + plan + execute on the mini database.
+
+Includes every query shape from the paper's Table 7 workload.
+"""
+
+import pytest
+
+from repro.db.plan import CrossJoin, HashJoin
+from repro.db.query import sql_query
+from repro.exceptions import QueryError
+
+
+def run(sql, db):
+    return sql_query(sql, db).run(db)
+
+
+class TestSelections:
+    def test_count_with_filter(self, mini_db):
+        result = run("select count(Name) from Country where Continent = 'Asia'", mini_db)
+        assert result.scalar() == 1
+
+    def test_count_distinct(self, mini_db):
+        assert run("select count(distinct Continent) from Country", mini_db).scalar() == 3
+
+    def test_avg(self, mini_db):
+        result = run("select avg(LifeExpectancy) from Country", mini_db)
+        assert result.scalar() == pytest.approx((77.1 + 78.4 + 78.8 + 62.5) / 4)
+
+    def test_max_min(self, mini_db):
+        assert run("select max(Population) from Country", mini_db).scalar() == 1013662000
+        assert run("select min(LifeExpectancy) from Country", mini_db).scalar() == 62.5
+
+    def test_like(self, mini_db):
+        result = run("select Name from Country where Name like 'F%'", mini_db)
+        assert result.rows == [("France",)]
+
+    def test_between(self, mini_db):
+        result = run(
+            "select Name from Country where Population between 10000000 and 60000000",
+            mini_db,
+        )
+        assert sorted(result.rows) == [("France",), ("Greece",)]
+
+    def test_star(self, mini_db):
+        result = run("select * from Country", mini_db)
+        assert result.num_rows == 4
+        assert result.columns[0] == "Code"
+
+    def test_conjunction(self, mini_db):
+        result = run(
+            "select * from Country where Continent='Europe' and Population > 20000000",
+            mini_db,
+        )
+        assert result.num_rows == 1
+
+    def test_limit(self, mini_db):
+        result = run("select * from Country where Continent='Europe' limit 1", mini_db)
+        assert result.num_rows == 1
+
+    def test_select_constant(self, mini_db):
+        result = run(
+            "select distinct 1 from City where CountryCode = 'USA' and Population > 10000000",
+            mini_db,
+        )
+        assert result.num_rows == 0
+
+    def test_select_constant_nonempty(self, mini_db):
+        result = run(
+            "select distinct 1 from City where CountryCode = 'IND' and Population > 10000000",
+            mini_db,
+        )
+        assert result.rows == [(1,)]
+
+
+class TestGroupBy:
+    def test_group_count(self, mini_db):
+        result = run(
+            "select Continent, count(Code) from Country group by Continent", mini_db
+        )
+        as_dict = dict(result.rows)
+        assert as_dict["Europe"] == 2
+
+    def test_group_max(self, mini_db):
+        result = run(
+            "select Continent, max(Population) from Country group by Continent",
+            mini_db,
+        )
+        assert dict(result.rows)["Asia"] == 1013662000
+
+    def test_group_sum_over_join_table(self, mini_db):
+        result = run(
+            "select CountryCode, sum(Population) from City group by CountryCode",
+            mini_db,
+        )
+        assert dict(result.rows)["GRC"] == 745514
+
+    def test_select_order_differs_from_group_order(self, mini_db):
+        result = run(
+            "select count(Code), Continent from Country group by Continent", mini_db
+        )
+        assert result.columns == ["count(Code)", "Continent"]
+        assert (2, "Europe") in result.rows
+
+    def test_non_grouped_column_rejected(self, mini_db):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            sql_query("select Name, count(*) from Country group by Continent", mini_db)
+
+
+class TestJoins:
+    def test_implicit_join_uses_hash_join(self, mini_db):
+        query = sql_query(
+            "select Name, Language from Country , CountryLanguage "
+            "where Code = CountryCode",
+            mini_db,
+        )
+        # Project(HashJoin) — no cross join anywhere in the plan.
+        nodes = [query.plan]
+        found_hash = found_cross = False
+        while nodes:
+            node = nodes.pop()
+            found_hash |= isinstance(node, HashJoin)
+            found_cross |= isinstance(node, CrossJoin)
+            nodes.extend(node.children())
+        assert found_hash and not found_cross
+
+    def test_join_with_selection(self, mini_db):
+        result = run(
+            "select Name from Country , CountryLanguage "
+            "where Code = CountryCode and Language = 'Greek'",
+            mini_db,
+        )
+        assert result.rows == [("Greece",)]
+
+    def test_aliased_join(self, mini_db):
+        result = run(
+            "select C.Name from Country C, CountryLanguage L "
+            "where C.Code = L.CountryCode and L.Percentage >= 90",
+            mini_db,
+        )
+        assert sorted(result.rows) == [("France",), ("Greece",)]
+
+    def test_join_star(self, mini_db):
+        result = run(
+            "select * from Country , CountryLanguage where Code = CountryCode",
+            mini_db,
+        )
+        assert result.num_rows == 3
+        assert len(result.columns) == 6 + 3
+
+    def test_three_way_join(self, mini_db):
+        result = run(
+            "select C.Name, T.Name, L.Language from Country C, City T, CountryLanguage L "
+            "where C.Code = T.CountryCode and C.Code = L.CountryCode "
+            "and L.Language = 'Greek'",
+            mini_db,
+        )
+        assert result.rows == [("Greece", "Athens", "Greek")]
+
+    def test_join_on_constant_lookup(self, mini_db):
+        result = run(
+            "select T.Name from Country C, City T "
+            "where C.Code = 'USA' and C.Code = T.CountryCode",
+            mini_db,
+        )
+        assert result.rows == [("New York",)]
+
+
+class TestOrderBy:
+    def test_order_by_projected_column(self, mini_db):
+        result = run("select Name from Country order by Name", mini_db)
+        assert result.rows[0] == ("France",)
+        assert result.ordered
+
+    def test_order_by_unprojected_column(self, mini_db):
+        result = run("select Name from Country order by Population desc", mini_db)
+        assert result.rows[0] == ("India",)
+
+    def test_order_by_then_limit(self, mini_db):
+        result = run("select Name from Country order by Population desc limit 2", mini_db)
+        assert result.rows == [("India",), ("United States",)]
+
+
+class TestErrors:
+    def test_unknown_table(self, mini_db):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            sql_query("select * from Nowhere", mini_db)
+
+    def test_unknown_column(self, mini_db):
+        with pytest.raises(QueryError, match="unknown column"):
+            sql_query("select Nope from Country", mini_db)
+
+    def test_ambiguous_column(self, mini_db):
+        with pytest.raises(QueryError, match="ambiguous"):
+            sql_query(
+                "select Name from Country, City where Code = CountryCode", mini_db
+            )
+
+    def test_duplicate_alias(self, mini_db):
+        with pytest.raises(QueryError, match="duplicate"):
+            sql_query("select * from Country X, City X", mini_db)
+
+    def test_unknown_alias(self, mini_db):
+        with pytest.raises(QueryError):
+            sql_query("select Z.Name from Country C", mini_db)
+
+
+class TestDeterminism:
+    def test_same_query_same_answer(self, mini_db):
+        sql = "select Continent, count(Code) from Country group by Continent"
+        assert run(sql, mini_db) == run(sql, mini_db)
+
+    def test_referenced_tables(self, mini_db):
+        query = sql_query(
+            "select Name from Country , CountryLanguage where Code = CountryCode",
+            mini_db,
+        )
+        assert query.referenced_tables == {"country", "countrylanguage"}

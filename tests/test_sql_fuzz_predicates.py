@@ -1,0 +1,236 @@
+"""Differential fuzzing of WHERE/HAVING evaluation.
+
+Hypothesis builds random predicate trees over the star schema's fact table,
+renders them to SQL, and compares the engine's filtered row set against an
+*independent* interpreter implemented here in plain Python (so a shared bug
+in the engine's expression evaluator cannot vouch for itself).
+
+SQL three-valued logic is deliberately out of scope — the generated rows
+contain no NULLs — so the reference semantics are ordinary booleans.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.query import sql_query
+from repro.db.testing import random_star_database
+
+DB = random_star_database(np.random.default_rng(3), fact_rows=30)
+FACT = DB.table("F")
+COLUMNS = {name: index for index, name in enumerate(FACT.schema.column_names)}
+ROWS = list(FACT.rows)
+
+
+# ---------------------------------------------------------------------------
+# Predicate AST (test-local, independent of repro.db.expr)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cmp:
+    column: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class Rng:  # BETWEEN
+    column: str
+    low: float
+    high: float
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Member:  # IN
+    column: str
+    values: tuple
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Pattern:  # LIKE on the g column
+    text: str
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Bool:
+    op: str  # "and" | "or"
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Neg:
+    child: object
+
+
+def render(node) -> str:
+    if isinstance(node, Cmp):
+        value = f"'{node.value}'" if isinstance(node.value, str) else f"{node.value}"
+        return f"{node.column} {node.op} {value}"
+    if isinstance(node, Rng):
+        body = f"{node.column} between {node.low} and {node.high}"
+        return f"{node.column} not between {node.low} and {node.high}" if node.negated else body
+    if isinstance(node, Member):
+        rendered = ", ".join(
+            f"'{v}'" if isinstance(v, str) else str(v) for v in node.values
+        )
+        keyword = "not in" if node.negated else "in"
+        return f"{node.column} {keyword} ({rendered})"
+    if isinstance(node, Pattern):
+        keyword = "not like" if node.negated else "like"
+        return f"g {keyword} '{node.text}'"
+    if isinstance(node, Bool):
+        return f"({render(node.left)}) {node.op} ({render(node.right)})"
+    if isinstance(node, Neg):
+        return f"not ({render(node.child)})"
+    raise TypeError(type(node))
+
+
+def holds(node, row) -> bool:
+    """Reference semantics, written independently of the engine."""
+    if isinstance(node, Cmp):
+        cell = row[COLUMNS[node.column]]
+        ops = {
+            "=": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }
+        return ops[node.op](cell, node.value)
+    if isinstance(node, Rng):
+        cell = row[COLUMNS[node.column]]
+        inside = node.low <= cell <= node.high
+        return not inside if node.negated else inside
+    if isinstance(node, Member):
+        cell = row[COLUMNS[node.column]]
+        inside = cell in node.values
+        return not inside if node.negated else inside
+    if isinstance(node, Pattern):
+        cell = row[COLUMNS["g"]]
+        regex = "^" + re.escape(node.text).replace("%", ".*").replace("_", ".") + "$"
+        # re.escape escapes % and _ literally; undo for the wildcard chars.
+        regex = regex.replace(re.escape("%"), ".*").replace(re.escape("_"), ".")
+        matched = re.match(regex, str(cell)) is not None
+        return not matched if node.negated else matched
+    if isinstance(node, Bool):
+        if node.op == "and":
+            return holds(node.left, row) and holds(node.right, row)
+        return holds(node.left, row) or holds(node.right, row)
+    if isinstance(node, Neg):
+        return not holds(node.child, row)
+    raise TypeError(type(node))
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+numeric_columns = st.sampled_from(["fid", "x", "y"])
+operators = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+group_values = st.sampled_from(["a", "b", "c", "z"])
+
+
+@st.composite
+def comparisons(draw):
+    if draw(st.booleans()):
+        column = draw(numeric_columns)
+        value = draw(st.integers(-2, 25))
+        return Cmp(column, draw(operators), value)
+    return Cmp("g", draw(st.sampled_from(["=", "!="])), draw(group_values))
+
+
+@st.composite
+def leaves(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(comparisons())
+    if kind == 1:
+        low = draw(st.integers(-2, 20))
+        return Rng(
+            draw(numeric_columns),
+            low,
+            low + draw(st.integers(0, 10)),
+            draw(st.booleans()),
+        )
+    if kind == 2:
+        values = tuple(
+            sorted(draw(st.sets(st.integers(0, 20), min_size=1, max_size=4)))
+        )
+        return Member(draw(st.sampled_from(["fid", "x"])), values, draw(st.booleans()))
+    pattern = draw(st.sampled_from(["a", "b%", "%", "_", "a%b", "%a%"]))
+    return Pattern(pattern, draw(st.booleans()))
+
+
+predicates = st.recursive(
+    leaves(),
+    lambda children: st.one_of(
+        st.builds(Bool, st.sampled_from(["and", "or"]), children, children),
+        st.builds(Neg, children),
+    ),
+    max_leaves=6,
+)
+
+
+# ---------------------------------------------------------------------------
+# The differential test
+# ---------------------------------------------------------------------------
+
+
+class TestPredicateFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(predicate=predicates)
+    def test_engine_matches_reference_filter(self, predicate):
+        sql = f"select fid from F where {render(predicate)}"
+        result = sql_query(sql, DB).run(DB)
+        engine_ids = sorted(row[0] for row in result.rows)
+        expected_ids = sorted(
+            row[COLUMNS["fid"]] for row in ROWS if holds(predicate, row)
+        )
+        assert engine_ids == expected_ids, sql
+
+    @settings(max_examples=60, deadline=None)
+    @given(predicate=predicates)
+    def test_where_and_count_agree(self, predicate):
+        """COUNT(*) under the same predicate equals the filtered row count."""
+        sql = f"select count(*) from F where {render(predicate)}"
+        result = sql_query(sql, DB).run(DB)
+        expected = sum(1 for row in ROWS if holds(predicate, row))
+        assert result.rows[0][0] == expected, sql
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        threshold=st.integers(0, 15),
+        op=st.sampled_from([">", ">=", "<", "<=", "=", "!="]),
+    )
+    def test_having_count_matches_reference(self, threshold, op):
+        sql = (
+            "select g, count(*) from F group by g "
+            f"having count(*) {op} {threshold}"
+        )
+        result = sql_query(sql, DB).run(DB)
+        from collections import Counter
+
+        counts = Counter(row[COLUMNS["g"]] for row in ROWS)
+        ops = {
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            "=": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+        }
+        expected = sorted(
+            (g, c) for g, c in counts.items() if ops[op](c, threshold)
+        )
+        assert sorted(result.rows) == expected, sql

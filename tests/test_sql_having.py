@@ -1,0 +1,158 @@
+"""HAVING clause: parsing, planning, and end-to-end evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.ast import AggregateCall
+from repro.db.sql.parser import parse_select
+from repro.exceptions import QueryError, SQLSyntaxError, UnsupportedSQLError
+
+
+@pytest.fixture
+def run(mini_db):
+    """Execute SQL against the shared mini database, returning row tuples."""
+
+    def _run(sql: str):
+        from repro.db.query import sql_query
+
+        return sql_query(sql, mini_db).run(mini_db).rows
+
+    return _run
+
+
+class TestParsing:
+    def test_having_with_aggregate_call(self):
+        statement = parse_select(
+            "select Continent, count(*) from Country "
+            "group by Continent having count(*) > 1"
+        )
+        assert statement.having is not None
+        call = statement.having.left
+        assert isinstance(call, AggregateCall)
+        assert call.func == "count"
+        assert call.arg is None
+
+    def test_having_with_alias_reference(self):
+        statement = parse_select(
+            "select Continent, count(*) as c from Country "
+            "group by Continent having c > 1"
+        )
+        assert statement.having is not None
+
+    def test_having_before_order_by(self):
+        statement = parse_select(
+            "select Continent, count(*) as c from Country "
+            "group by Continent having c > 1 order by c desc limit 2"
+        )
+        assert statement.having is not None
+        assert len(statement.order_by) == 1
+        assert statement.limit == 2
+
+    def test_aggregate_still_rejected_in_where(self):
+        with pytest.raises(UnsupportedSQLError, match="SELECT list or HAVING"):
+            parse_select("select Name from Country where count(*) > 1")
+
+    def test_having_supports_boolean_combinations(self):
+        statement = parse_select(
+            "select Continent, count(*) from Country group by Continent "
+            "having count(*) > 1 and max(Population) < 100 or min(Population) > 5"
+        )
+        assert statement.having is not None
+
+
+class TestExecution:
+    def test_filters_groups_by_count(self, run):
+        rows = run(
+            "select Continent, count(*) from Country "
+            "group by Continent having count(*) > 1"
+        )
+        # mini_db: Europe has GRC + FRA; the other continents have one each.
+        assert rows == [("Europe", 2)]
+
+    def test_having_on_alias(self, run):
+        rows = run(
+            "select Continent, count(*) as c from Country "
+            "group by Continent having c > 1"
+        )
+        assert rows == [("Europe", 2)]
+
+    def test_having_aggregate_not_in_select_list(self, run):
+        # max(Population) is computed only for the filter; the output keeps
+        # exactly the SELECT list shape.
+        rows = run(
+            "select Continent from Country "
+            "group by Continent having max(Population) > 500000000"
+        )
+        assert rows == [("Asia",)]
+        assert all(len(row) == 1 for row in rows)
+
+    def test_having_on_group_key(self, run):
+        rows = run(
+            "select Continent, count(*) from Country "
+            "group by Continent having Continent = 'Europe'"
+        )
+        assert rows == [("Europe", 2)]
+
+    def test_having_with_scalar_aggregate_no_group_by(self, run):
+        # A global aggregate forms one group; HAVING filters it in or out.
+        assert run("select count(*) from Country having count(*) >= 4") == [(4,)]
+        assert run("select count(*) from Country having count(*) > 4") == []
+
+    def test_having_reuses_matching_select_aggregate(self, mini_db):
+        # The plan should not compute count(*) twice when HAVING repeats it.
+        from repro.db.plan import Aggregate
+        from repro.db.query import sql_query
+
+        query = sql_query(
+            "select Continent, count(*) from Country "
+            "group by Continent having count(*) > 1",
+            mini_db,
+        )
+        aggregate_nodes = [
+            node for node in _walk(query.plan) if isinstance(node, Aggregate)
+        ]
+        assert len(aggregate_nodes) == 1
+        assert len(aggregate_nodes[0].aggregates) == 1
+
+    def test_having_combined_with_order_and_limit(self, run):
+        rows = run(
+            "select Continent, count(*) as c from Country "
+            "group by Continent having c >= 1 order by c desc limit 2"
+        )
+        assert rows[0] == ("Europe", 2)
+        assert len(rows) == 2
+
+    def test_having_over_join(self, run):
+        rows = run(
+            "select Country.Continent, count(*) as c "
+            "from Country, City where Code = CountryCode "
+            "group by Country.Continent having c > 1"
+        )
+        assert rows == [("Europe", 2)]
+
+
+class TestErrors:
+    def test_having_without_group_or_aggregates(self, run):
+        with pytest.raises(UnsupportedSQLError, match="HAVING requires"):
+            run("select Name from Country having Name = 'Greece'")
+
+    def test_having_on_ungrouped_column(self, run):
+        with pytest.raises(QueryError, match="HAVING reference"):
+            run(
+                "select Continent, count(*) from Country "
+                "group by Continent having Name = 'Greece'"
+            )
+
+    def test_having_needs_predicate(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select(
+                "select Continent, count(*) from Country "
+                "group by Continent having"
+            )
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

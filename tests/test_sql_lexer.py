@@ -1,0 +1,75 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.exceptions import SQLSyntaxError
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql) if t.type is not TokenType.END]
+
+
+class TestTokenize:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT FROM")[0] == (TokenType.KEYWORD, "select")
+
+    def test_identifier_preserves_case(self):
+        assert kinds("Population")[0] == (TokenType.IDENTIFIER, "Population")
+
+    def test_integer(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+
+    def test_float(self):
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+
+    def test_qualified_name_splits_on_dot(self):
+        tokens = kinds("C.Name")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "C"),
+            (TokenType.PUNCTUATION, "."),
+            (TokenType.IDENTIFIER, "Name"),
+        ]
+
+    def test_single_quoted_string(self):
+        assert kinds("'Asia'")[0] == (TokenType.STRING, "Asia")
+
+    def test_double_quoted_string(self):
+        assert kinds('"Asia"')[0] == (TokenType.STRING, "Asia")
+
+    def test_string_with_spaces(self):
+        assert kinds("'MIDDLE EAST'")[0] == (TokenType.STRING, "MIDDLE EAST")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert [k[1] for k in kinds("= != <> <= >= < >")] == [
+            "=", "!=", "!=", "<=", ">=", "<", ">",
+        ]
+
+    def test_arithmetic_punctuation(self):
+        assert [k[1] for k in kinds("a * b + c / d - e")] == [
+            "a", "*", "b", "+", "c", "/", "d", "-", "e",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("select ? from t")
+
+    def test_end_token_present(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")
+
+    def test_underscored_identifier(self):
+        assert kinds("l_shipyear")[0] == (TokenType.IDENTIFIER, "l_shipyear")
+
+    def test_number_then_dot_identifier(self):
+        # "1 and T.x" style: the dot after a digit boundary is punctuation
+        tokens = kinds("T2.x")
+        assert tokens[0] == (TokenType.IDENTIFIER, "T2")

@@ -1,0 +1,218 @@
+"""Unit tests for the SQL parser (AST construction only)."""
+
+import pytest
+
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.sql.ast import SelectAggregate, SelectColumn, SelectStar
+from repro.db.sql.parser import parse_select
+from repro.exceptions import SQLSyntaxError, UnsupportedSQLError
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse_select("select * from T")
+        assert isinstance(statement.items[0], SelectStar)
+
+    def test_qualified_star(self):
+        statement = parse_select("select C.* from Country C")
+        assert statement.items[0].qualifier == "C"
+
+    def test_column_item(self):
+        statement = parse_select("select Name from T")
+        item = statement.items[0]
+        assert isinstance(item, SelectColumn)
+        assert item.expr == ColumnRef("Name")
+
+    def test_qualified_column(self):
+        statement = parse_select("select C.Name from T C")
+        assert statement.items[0].expr == ColumnRef("Name", "C")
+
+    def test_alias_with_as(self):
+        statement = parse_select("select Name as n from T")
+        assert statement.items[0].alias == "n"
+
+    def test_bare_alias(self):
+        statement = parse_select("select Name n from T")
+        assert statement.items[0].alias == "n"
+
+    def test_multiple_items(self):
+        statement = parse_select("select a, b, c from T")
+        assert len(statement.items) == 3
+
+    def test_literal_item(self):
+        statement = parse_select("select 1 from T")
+        assert statement.items[0].expr == Literal(1)
+
+    def test_aggregate_count_star(self):
+        statement = parse_select("select count(*) from T")
+        item = statement.items[0]
+        assert isinstance(item, SelectAggregate)
+        assert item.func == "count" and item.arg is None
+
+    def test_aggregate_with_column(self):
+        item = parse_select("select max(Population) from T").items[0]
+        assert item.func == "max"
+        assert item.arg == ColumnRef("Population")
+
+    def test_aggregate_distinct(self):
+        item = parse_select("select count(distinct Continent) from T").items[0]
+        assert item.distinct
+
+    def test_aggregate_expression_argument(self):
+        item = parse_select("select sum(a * b) from T").items[0]
+        assert isinstance(item.arg, Arithmetic)
+
+    def test_aggregate_distinct_star_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_select("select count(distinct *) from T")
+
+    def test_nested_aggregate_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_select("select a from T where max(b) > 1")
+
+
+class TestFromClause:
+    def test_single_table(self):
+        statement = parse_select("select * from Country")
+        assert statement.tables[0].table == "Country"
+
+    def test_alias(self):
+        statement = parse_select("select * from Country C")
+        assert statement.tables[0].alias == "C"
+
+    def test_as_alias(self):
+        statement = parse_select("select * from Country as C")
+        assert statement.tables[0].alias == "C"
+
+    def test_comma_join(self):
+        statement = parse_select("select * from A, B, C")
+        assert [t.table for t in statement.tables] == ["A", "B", "C"]
+
+
+class TestWhereClause:
+    def test_comparison(self):
+        statement = parse_select("select * from T where a = 1")
+        assert statement.where == Comparison("=", ColumnRef("a"), Literal(1))
+
+    def test_and_or_precedence(self):
+        statement = parse_select("select * from T where a=1 or b=2 and c=3")
+        assert isinstance(statement.where, Or)
+        assert isinstance(statement.where.right, And)
+
+    def test_parenthesized_predicate(self):
+        statement = parse_select("select * from T where (a=1 or b=2) and c=3")
+        assert isinstance(statement.where, And)
+        assert isinstance(statement.where.left, Or)
+
+    def test_not(self):
+        statement = parse_select("select * from T where not a = 1")
+        assert isinstance(statement.where, Not)
+
+    def test_between(self):
+        statement = parse_select("select * from T where a between 1 and 5")
+        assert statement.where == Between(ColumnRef("a"), Literal(1), Literal(5))
+
+    def test_between_binds_tighter_than_and(self):
+        statement = parse_select("select * from T where a between 1 and 5 and b = 2")
+        assert isinstance(statement.where, And)
+        assert isinstance(statement.where.left, Between)
+
+    def test_like(self):
+        statement = parse_select("select * from T where name like 'A%'")
+        assert statement.where == Like(ColumnRef("name"), "A%")
+
+    def test_not_like(self):
+        statement = parse_select("select * from T where name not like 'A%'")
+        assert statement.where == Like(ColumnRef("name"), "A%", negated=True)
+
+    def test_like_requires_string(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select * from T where a like 5")
+
+    def test_in_list(self):
+        statement = parse_select("select * from T where a in (1, 2, 3)")
+        assert statement.where == InList(ColumnRef("a"), (1, 2, 3))
+
+    def test_in_list_strings(self):
+        statement = parse_select("select * from T where a in ('x', 'y')")
+        assert statement.where.values == ("x", "y")
+
+    def test_not_in(self):
+        statement = parse_select("select * from T where a not in (1)")
+        assert statement.where.negated
+
+    def test_is_null(self):
+        statement = parse_select("select * from T where a is null")
+        assert statement.where == IsNull(ColumnRef("a"))
+
+    def test_is_not_null(self):
+        statement = parse_select("select * from T where a is not null")
+        assert statement.where == IsNull(ColumnRef("a"), negated=True)
+
+    def test_arithmetic_in_predicate(self):
+        statement = parse_select("select * from T where a * 2 > b + 1")
+        assert isinstance(statement.where, Comparison)
+        assert isinstance(statement.where.left, Arithmetic)
+
+    def test_negative_literal(self):
+        statement = parse_select("select * from T where a > -5")
+        bound = statement.where.right
+        assert isinstance(bound, Arithmetic)
+
+    def test_qualified_comparison(self):
+        statement = parse_select("select * from A x, B y where x.k = y.k")
+        assert statement.where == Comparison(
+            "=", ColumnRef("k", "x"), ColumnRef("k", "y")
+        )
+
+
+class TestClauses:
+    def test_group_by(self):
+        statement = parse_select("select a, count(*) from T group by a")
+        assert statement.group_by == [ColumnRef("a")]
+
+    def test_group_by_multiple(self):
+        statement = parse_select("select a, b, count(*) from T group by a, b")
+        assert len(statement.group_by) == 2
+
+    def test_order_by_default_ascending(self):
+        statement = parse_select("select a from T order by a")
+        assert statement.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        statement = parse_select("select a from T order by a desc")
+        assert not statement.order_by[0].ascending
+
+    def test_limit(self):
+        assert parse_select("select a from T limit 5").limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select a from T limit x")
+
+    def test_distinct_flag(self):
+        assert parse_select("select distinct a from T").distinct
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_select("select a from T alias 123")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("select a")
+
+    def test_has_aggregates_property(self):
+        assert parse_select("select count(*) from T").has_aggregates
+        assert not parse_select("select a from T").has_aggregates

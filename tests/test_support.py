@@ -1,0 +1,142 @@
+"""Unit tests for support-set deltas and the neighbor sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SupportError
+from repro.support.delta import CellDelta, SupportInstance
+from repro.support.generator import NeighborSampler, SupportSet
+
+
+class TestCellDelta:
+    def test_key_lowercases(self):
+        delta = CellDelta("Country", 3, "Population", 42)
+        assert delta.key() == ("country", 3, "population")
+
+
+class TestSupportInstance:
+    def test_requires_deltas(self):
+        with pytest.raises(SupportError):
+            SupportInstance(0, ())
+
+    def test_rejects_duplicate_cell(self):
+        delta = CellDelta("Country", 0, "Population", 1)
+        dup = CellDelta("country", 0, "population", 2)
+        with pytest.raises(SupportError, match="twice"):
+            SupportInstance(0, (delta, dup))
+
+    def test_touched_tables_and_columns(self):
+        instance = SupportInstance(
+            0,
+            (
+                CellDelta("Country", 0, "Population", 1),
+                CellDelta("City", 1, "Name", "X"),
+            ),
+        )
+        assert instance.touched_tables == {"country", "city"}
+        assert ("city", "name") in instance.touched_columns
+
+    def test_materialize_patches_cell(self, mini_db):
+        instance = SupportInstance(0, (CellDelta("Country", 0, "Population", 7),))
+        patched = instance.materialize(mini_db)
+        assert patched.table("Country").cell(0, "Population") == 7
+        assert mini_db.table("Country").cell(0, "Population") == 278357000
+
+    def test_materialize_shares_untouched_tables(self, mini_db):
+        instance = SupportInstance(0, (CellDelta("Country", 0, "Population", 7),))
+        patched = instance.materialize(mini_db)
+        assert patched.table("City") is mini_db.table("City")
+
+    def test_materialize_rejects_noop_delta(self, mini_db):
+        instance = SupportInstance(
+            0, (CellDelta("Country", 0, "Population", 278357000),)
+        )
+        with pytest.raises(SupportError, match="does not change"):
+            instance.materialize(mini_db)
+
+
+class TestSupportSet:
+    def test_ids_must_be_consecutive(self, mini_db):
+        bad = [SupportInstance(5, (CellDelta("Country", 0, "Population", 7),))]
+        with pytest.raises(SupportError, match="consecutive"):
+            SupportSet(mini_db, bad)
+
+    def test_index_by_table_and_column(self, mini_support):
+        for table in ("country", "city", "countrylanguage"):
+            for instance_id in mini_support.instances_touching_table(table):
+                instance = mini_support.instance(instance_id)
+                assert table in instance.touched_tables
+
+    def test_materialize_cached(self, mini_support):
+        first = mini_support.materialize(0)
+        assert mini_support.materialize(0) is first
+        mini_support.clear_cache()
+        assert mini_support.materialize(0) is not first
+
+    def test_restrict_prefix(self, mini_support):
+        smaller = mini_support.restrict(10)
+        assert len(smaller) == 10
+        assert smaller.instance(3) is mini_support.instance(3)
+
+    def test_restrict_bad_size(self, mini_support):
+        with pytest.raises(SupportError):
+            mini_support.restrict(10_000)
+
+
+class TestNeighborSampler:
+    def test_every_instance_differs_from_base(self, mini_db):
+        sampler = NeighborSampler(mini_db, rng=0)
+        support = sampler.generate(50)
+        for instance in support:
+            patched = instance.materialize(mini_db)  # raises if no-op
+            assert patched is not mini_db
+
+    def test_deterministic_given_seed(self, mini_db):
+        a = NeighborSampler(mini_db, rng=7).generate(20)
+        b = NeighborSampler(mini_db, rng=7).generate(20)
+        assert [i.deltas for i in a] == [i.deltas for i in b]
+
+    def test_respects_cells_per_instance(self, mini_db):
+        sampler = NeighborSampler(mini_db, rng=1, cells_per_instance=3)
+        support = sampler.generate(10)
+        assert all(len(instance.deltas) == 3 for instance in support)
+
+    def test_primary_keys_untouched_by_default(self, mini_db):
+        support = NeighborSampler(mini_db, rng=2).generate(100)
+        for instance in support:
+            for delta in instance.deltas:
+                table = mini_db.table(delta.table)
+                pk = {c.lower() for c in table.schema.primary_key}
+                assert delta.column.lower() not in pk
+
+    def test_perturb_primary_keys_flag(self, mini_db):
+        sampler = NeighborSampler(
+            mini_db, rng=3, perturb_primary_keys=True
+        )
+        targets = {column.lower() for _, column in sampler._targets}
+        assert "code" in targets
+
+    def test_types_preserved(self, mini_db):
+        support = NeighborSampler(mini_db, rng=4).generate(100)
+        for instance in support:
+            for delta in instance.deltas:
+                schema = mini_db.table(delta.table).schema
+                dtype = schema.column(delta.column).dtype
+                assert dtype.accepts(delta.value)
+
+    def test_invalid_cells_per_instance(self, mini_db):
+        with pytest.raises(SupportError):
+            NeighborSampler(mini_db, cells_per_instance=0)
+
+    def test_negative_size_rejected(self, mini_db):
+        with pytest.raises(SupportError):
+            NeighborSampler(mini_db, rng=0).generate(-1)
+
+    def test_cell_proportional_sampling(self, mini_db):
+        # City (4 rows) and Country (4 rows) should both be hit; with row
+        # weighting no table with rows is starved over a large sample.
+        support = NeighborSampler(mini_db, rng=5).generate(300)
+        touched = set()
+        for instance in support:
+            touched |= instance.touched_tables
+        assert touched == {"country", "city", "countrylanguage"}

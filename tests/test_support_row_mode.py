@@ -1,0 +1,90 @@
+"""Tests for row-mode neighbor sampling (the Qirana-faithful default)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SupportError
+from repro.support.generator import NeighborSampler
+
+
+@pytest.fixture
+def sampler(mini_db):
+    return NeighborSampler(mini_db, rng=np.random.default_rng(0), mode="row")
+
+
+class TestRowMode:
+    def test_invalid_mode_rejected(self, mini_db):
+        with pytest.raises(SupportError, match="mode"):
+            NeighborSampler(mini_db, mode="bogus")
+
+    def test_single_table_single_row(self, sampler):
+        support = sampler.generate(60)
+        for instance in support:
+            tables = {delta.table for delta in instance.deltas}
+            rows = {(delta.table.lower(), delta.row_index) for delta in instance.deltas}
+            assert len(tables) == 1
+            assert len(rows) == 1
+
+    def test_all_non_pk_columns_perturbed(self, sampler, mini_db):
+        support = sampler.generate(60)
+        for instance in support:
+            delta = instance.deltas[0]
+            schema = mini_db.table(delta.table).schema
+            pk = {c.lower() for c in schema.primary_key}
+            non_pk = {c.name.lower() for c in schema.columns} - pk
+            touched = {d.column.lower() for d in instance.deltas}
+            assert touched == non_pk
+
+    def test_primary_keys_never_touched(self, sampler, mini_db):
+        support = sampler.generate(80)
+        for instance in support:
+            for delta in instance.deltas:
+                pk = {
+                    c.lower()
+                    for c in mini_db.table(delta.table).schema.primary_key
+                }
+                assert delta.column.lower() not in pk
+
+    def test_materializes_to_valid_neighbor(self, sampler, mini_db):
+        support = sampler.generate(40)
+        for instance in support:
+            patched = instance.materialize(mini_db)  # raises on no-op deltas
+            assert patched.total_rows == mini_db.total_rows
+
+    def test_deterministic(self, mini_db):
+        a = NeighborSampler(mini_db, rng=5, mode="row").generate(20)
+        b = NeighborSampler(mini_db, rng=5, mode="row").generate(20)
+        assert [i.deltas for i in a] == [i.deltas for i in b]
+
+    def test_row_mode_flips_row_local_queries(self, mini_db):
+        """A query reading one row conflicts iff that row's instance exists."""
+        from repro.db.query import sql_query
+        from repro.qirana.conflict import ConflictSetEngine
+        from repro.support.generator import SupportSet
+
+        sampler = NeighborSampler(mini_db, rng=1, mode="row")
+        support = sampler.generate(100)
+        engine = ConflictSetEngine(support)
+        query = sql_query(
+            "select Population from Country where Code = 'GRC'", mini_db
+        )
+        conflict = engine.conflict_set(query)
+        greece_instances = {
+            instance.instance_id
+            for instance in support
+            if instance.deltas[0].table.lower() == "country"
+            and instance.deltas[0].row_index == 1  # GRC row
+        }
+        # Every Greece-row perturbation changes Population (all non-PK cells
+        # change), and nothing else can affect the query.
+        assert conflict == greece_instances
+
+    def test_workload_support_uses_row_mode_by_default(self, mini_db):
+        from repro.workloads.base import Workload
+
+        workload = Workload("w", mini_db, [])
+        support = workload.support(size=10, seed=0)
+        tables_per_instance = [
+            len({d.table for d in inst.deltas}) for inst in support
+        ]
+        assert set(tables_per_instance) == {1}

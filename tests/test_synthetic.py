@@ -1,0 +1,148 @@
+"""Tests for the lower-bound constructions (Lemmas 2-4) and random graphs.
+
+These also *verify the paper's theory empirically*: each construction must
+exhibit the claimed revenue gap for the corresponding pricing family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import UBP, UIP, LPIP, Layering
+from repro.workloads.synthetic import (
+    harmonic_instance,
+    laminar_instance,
+    laminar_optimal_revenue,
+    partition_instance,
+    random_instance,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestHarmonic:
+    """Lemma 2: uniform bundle pricing loses Omega(log m)."""
+
+    def test_structure(self):
+        instance = harmonic_instance(16)
+        assert instance.num_edges == 16
+        assert all(len(edge) == 1 for edge in instance.edges)
+
+    def test_item_pricing_extracts_everything(self):
+        instance = harmonic_instance(64)
+        result = LPIP().run(instance)
+        assert result.revenue == pytest.approx(instance.total_valuation(), rel=1e-6)
+
+    def test_ubp_stuck_at_constant(self):
+        # Any uniform price 1/c earns at most c * (1/c) = 1.
+        instance = harmonic_instance(256)
+        result = UBP().run(instance)
+        assert result.revenue <= 1.0 + 1e-9
+
+    def test_gap_grows_with_m(self):
+        gaps = []
+        for m in (16, 64, 256):
+            instance = harmonic_instance(m)
+            gaps.append(instance.total_valuation() / UBP().run(instance).revenue)
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_invalid_m(self):
+        with pytest.raises(WorkloadError):
+            harmonic_instance(0)
+
+
+class TestPartition:
+    """Lemma 3: item pricing loses Omega(log m) on unit valuations."""
+
+    def test_structure(self):
+        instance = partition_instance(8)
+        # class sizes i = 1..8 with floor(8/i) customers each
+        assert instance.num_edges == sum(8 // i for i in range(1, 9))
+        assert np.all(instance.valuations == 1.0)
+
+    def test_edges_within_class_are_disjoint(self):
+        instance = partition_instance(6)
+        # reconstruct classes by edge size
+        by_size: dict[int, list] = {}
+        for edge in instance.edges:
+            by_size.setdefault(len(edge), []).append(edge)
+        for size, edges in by_size.items():
+            seen = set()
+            for edge in edges:
+                assert not (edge & seen)
+                seen |= edge
+
+    def test_ubp_extracts_everything(self):
+        instance = partition_instance(16)
+        result = UBP().run(instance)
+        assert result.revenue == pytest.approx(instance.total_valuation())
+
+    def test_item_pricing_gap_grows(self):
+        # Optimal revenue Theta(n log n); item pricing O(n).
+        ratios = []
+        for n in (8, 32, 128):
+            instance = partition_instance(n)
+            revenue = LPIP(max_programs=1).run(instance).revenue
+            ratios.append(instance.total_valuation() / max(revenue, 1e-9))
+        assert ratios[-1] > ratios[0]
+
+
+class TestLaminar:
+    """Lemma 4: both families lose Omega(log m) on the laminar family."""
+
+    def test_structure(self):
+        instance = laminar_instance(3)
+        assert instance.num_items == 8
+        # depth 0: 1 set x 27 copies; total edges = sum over depths
+        expected = sum(
+            2**depth * max(1, round((2 / 3) ** depth * 27)) for depth in range(4)
+        )
+        assert instance.num_edges == expected
+
+    def test_valuations_follow_depth(self):
+        instance = laminar_instance(2)
+        top = [v for e, v in zip(instance.edges, instance.valuations) if len(e) == 4]
+        assert all(v == 1.0 for v in top)
+        leaves = [v for e, v in zip(instance.edges, instance.valuations) if len(e) == 1]
+        assert all(v == pytest.approx(0.5625) for v in leaves)
+
+    def test_full_value_matches_formula(self):
+        instance = laminar_instance(4)
+        assert instance.total_valuation() == pytest.approx(laminar_optimal_revenue(4))
+
+    def test_both_families_lose(self):
+        instance = laminar_instance(5)
+        total = instance.total_valuation()  # (t+1) * 3^t = 6 * 243 = 1458
+        ubp = UBP().run(instance).revenue
+        uip = UIP().run(instance).revenue
+        # O(3^t) bound: with t=5, best-of-both should be well below total.
+        assert max(ubp, uip) < 0.75 * total
+
+    def test_gap_grows_with_t(self):
+        ratios = []
+        for t in (2, 4, 6):
+            instance = laminar_instance(t, copy_cap=200)
+            best = max(UBP().run(instance).revenue, UIP().run(instance).revenue)
+            ratios.append(instance.total_valuation() / best)
+        assert ratios[0] < ratios[-1]
+
+    def test_copy_cap(self):
+        capped = laminar_instance(4, copy_cap=2)
+        uncapped = laminar_instance(4)
+        assert capped.num_edges < uncapped.num_edges
+
+
+class TestRandomInstance:
+    def test_deterministic(self):
+        a = random_instance(20, 10, rng=5)
+        b = random_instance(20, 10, rng=5)
+        assert a.edges == b.edges
+        assert np.array_equal(a.valuations, b.valuations)
+
+    def test_size_bounds_respected(self):
+        instance = random_instance(30, 40, min_edge_size=2, max_edge_size=5, rng=1)
+        assert all(2 <= len(edge) <= 5 for edge in instance.edges)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(WorkloadError):
+            random_instance(10, 5, min_edge_size=5, max_edge_size=2)
+        with pytest.raises(WorkloadError):
+            random_instance(3, 5, max_edge_size=10)

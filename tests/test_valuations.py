@@ -1,0 +1,148 @@
+"""Unit tests for the valuation generative models."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import PricingError
+from repro.valuations import (
+    AdditiveValuations,
+    ExponentialScaledValuations,
+    NormalScaledValuations,
+    UniformValuations,
+    ZipfValuations,
+)
+
+
+@pytest.fixture
+def hypergraph():
+    rng = np.random.default_rng(0)
+    edges = [set(rng.choice(40, size=size, replace=False)) for size in
+             [1, 2, 4, 8, 16, 1, 3, 9, 27, 5]]
+    edges.append(set())
+    return Hypergraph(40, edges)
+
+
+class TestUniform:
+    def test_range(self, hypergraph):
+        values = UniformValuations(100).generate(hypergraph, np.random.default_rng(1))
+        assert values.shape == (hypergraph.num_edges,)
+        assert np.all(values >= 1.0) and np.all(values <= 100.0)
+
+    def test_deterministic_given_rng(self, hypergraph):
+        a = UniformValuations(50).generate(hypergraph, np.random.default_rng(2))
+        b = UniformValuations(50).generate(hypergraph, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+    def test_invalid_k(self):
+        with pytest.raises(PricingError):
+            UniformValuations(0.5)
+
+    def test_name(self):
+        assert UniformValuations(200).name == "uniform[1,200]"
+
+
+class TestZipf:
+    def test_minimum_one(self, hypergraph):
+        values = ZipfValuations(2.0).generate(hypergraph, np.random.default_rng(3))
+        assert np.all(values >= 1.0)
+
+    def test_heavier_tail_for_smaller_a(self):
+        rng = np.random.default_rng(4)
+        big = Hypergraph(10, [{0}] * 4000)
+        heavy = ZipfValuations(1.5).generate(big, np.random.default_rng(4))
+        light = ZipfValuations(2.5).generate(big, np.random.default_rng(4))
+        assert heavy.max() > light.max()
+
+    def test_truncation(self, hypergraph):
+        values = ZipfValuations(1.2, max_value=10.0).generate(
+            hypergraph, np.random.default_rng(5)
+        )
+        assert np.all(values <= 10.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(PricingError):
+            ZipfValuations(1.0)
+
+
+class TestScaled:
+    def test_exponential_scales_with_size(self, hypergraph):
+        model = ExponentialScaledValuations(k=1.0)
+        rng = np.random.default_rng(6)
+        # average many draws: mean should grow with |e|
+        totals = np.zeros(hypergraph.num_edges)
+        for _ in range(300):
+            totals += model.generate(hypergraph, rng)
+        means = totals / 300
+        sizes = hypergraph.edge_sizes()
+        big = means[sizes >= 16].mean()
+        small = means[(sizes >= 1) & (sizes <= 2)].mean()
+        assert big > small * 3
+
+    def test_exponential_empty_edge_zero(self, hypergraph):
+        model = ExponentialScaledValuations(k=1.0)
+        values = model.generate(hypergraph, np.random.default_rng(7))
+        assert values[-1] == 0.0  # the empty edge
+
+    def test_normal_nonnegative(self, hypergraph):
+        model = NormalScaledValuations(k=0.25)
+        values = model.generate(hypergraph, np.random.default_rng(8))
+        assert np.all(values >= 0.0)
+
+    def test_normal_mean_tracks_size_power(self, hypergraph):
+        model = NormalScaledValuations(k=2.0, variance=1.0)
+        rng = np.random.default_rng(9)
+        totals = np.zeros(hypergraph.num_edges)
+        for _ in range(200):
+            totals += model.generate(hypergraph, rng)
+        means = totals / 200
+        sizes = hypergraph.edge_sizes()
+        index = int(np.argmax(sizes))
+        assert means[index] == pytest.approx(sizes[index] ** 2.0, rel=0.1)
+
+    def test_invalid_variance(self):
+        with pytest.raises(PricingError):
+            NormalScaledValuations(k=1.0, variance=0.0)
+
+
+class TestAdditive:
+    def test_edge_value_is_sum_of_item_prices(self, hypergraph):
+        model = AdditiveValuations(k=10, assigner="uniform")
+        rng = np.random.default_rng(10)
+        prices = model.item_prices(hypergraph.num_items, rng)
+        values = np.array(
+            [sum(prices[j] for j in edge) for edge in hypergraph.edges]
+        )
+        regenerated = model.generate(hypergraph, np.random.default_rng(10))
+        assert np.allclose(values, regenerated)
+
+    def test_item_price_ranges_uniform(self):
+        model = AdditiveValuations(k=5, assigner="uniform")
+        prices = model.item_prices(5000, np.random.default_rng(11))
+        assert prices.min() >= 1.0
+        assert prices.max() <= 6.0
+
+    def test_item_price_ranges_binomial(self):
+        model = AdditiveValuations(k=10, assigner="binomial")
+        prices = model.item_prices(5000, np.random.default_rng(12))
+        assert prices.min() >= 0.0
+        assert prices.max() <= 11.0
+        # binomial(10, .5) concentrates near 5
+        assert 4.5 < np.median(prices) < 6.5
+
+    def test_empty_edge_zero(self, hypergraph):
+        values = AdditiveValuations(k=3).generate(hypergraph, np.random.default_rng(13))
+        assert values[-1] == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PricingError):
+            AdditiveValuations(k=0)
+        with pytest.raises(PricingError):
+            AdditiveValuations(k=5, assigner="gamma")
+
+
+class TestInstanceHelper:
+    def test_instance_builds_and_names(self, hypergraph):
+        instance = UniformValuations(10).instance(hypergraph, rng=0)
+        assert instance.num_edges == hypergraph.num_edges
+        assert instance.name == "uniform[1,10]"

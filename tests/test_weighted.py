@@ -1,0 +1,81 @@
+"""Tests for Qirana's calibrated weighted pricing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import PricingError
+from repro.qirana.weighted import degree_weighted_pricing, uniform_calibrated_pricing
+
+
+class TestUniformCalibrated:
+    def test_full_bundle_costs_full_price(self):
+        pricing = uniform_calibrated_pricing(100, 500.0)
+        assert pricing.price(frozenset(range(100))) == pytest.approx(500.0)
+
+    def test_proportionality(self):
+        pricing = uniform_calibrated_pricing(100, 500.0)
+        assert pricing.price(frozenset(range(40))) == pytest.approx(200.0)
+
+    def test_accepts_support_set(self, mini_support):
+        pricing = uniform_calibrated_pricing(mini_support, 80.0)
+        assert pricing.num_items == len(mini_support)
+        assert pricing.price(frozenset(range(len(mini_support)))) == pytest.approx(80.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PricingError):
+            uniform_calibrated_pricing(0, 10.0)
+        with pytest.raises(PricingError):
+            uniform_calibrated_pricing(10, -1.0)
+
+
+class TestDegreeWeighted:
+    @pytest.fixture
+    def hypergraph(self):
+        return Hypergraph(4, [{0, 1}, {1}, {1, 2}])
+
+    def test_calibration(self, hypergraph):
+        pricing = degree_weighted_pricing(hypergraph, 100.0)
+        assert pricing.price(frozenset(range(4))) == pytest.approx(100.0)
+
+    def test_popular_items_cost_more(self, hypergraph):
+        pricing = degree_weighted_pricing(hypergraph, 100.0)
+        # item 1 has degree 3; item 3 degree 0.
+        assert pricing.weights[1] > pricing.weights[3]
+
+    def test_smoothing_keeps_unused_items_positive(self, hypergraph):
+        pricing = degree_weighted_pricing(hypergraph, 100.0, smoothing=1.0)
+        assert pricing.weights[3] > 0
+
+    def test_zero_smoothing(self, hypergraph):
+        pricing = degree_weighted_pricing(hypergraph, 100.0, smoothing=0.0)
+        assert pricing.weights[3] == 0.0
+        assert pricing.price(frozenset(range(4))) == pytest.approx(100.0)
+
+    def test_invalid_inputs(self, hypergraph):
+        with pytest.raises(PricingError):
+            degree_weighted_pricing(hypergraph, -5.0)
+        with pytest.raises(PricingError):
+            degree_weighted_pricing(hypergraph, 10.0, smoothing=-1.0)
+        empty = Hypergraph(3, [])
+        with pytest.raises(PricingError):
+            degree_weighted_pricing(empty, 10.0, smoothing=0.0)
+
+    def test_comparison_against_optimized(self, mini_support, mini_db):
+        """Calibrated weights leave revenue on the table vs LPIP."""
+        from repro.core.algorithms import LPIP
+        from repro.core.revenue import compute_revenue
+        from repro.qirana.broker import QueryMarket
+
+        market = QueryMarket(mini_support)
+        queries = [
+            "select Name from Country",
+            "select avg(Population) from Country",
+            "select * from City where Population >= 1000000",
+        ]
+        valuations = [40.0, 15.0, 25.0]
+        instance = market.build_instance(queries, valuations)
+        calibrated = degree_weighted_pricing(instance.hypergraph, 100.0)
+        optimized = LPIP().run(instance)
+        calibrated_revenue = compute_revenue(calibrated, instance).revenue
+        assert optimized.revenue >= calibrated_revenue - 1e-9

@@ -1,0 +1,47 @@
+"""Workload-level conflict-set integration: incremental == full everywhere.
+
+Small-scale versions of the real workloads, sampling a slice of each query
+set and checking the whole hypergraph agrees between the incremental engine
+and brute-force re-execution (the strongest end-to-end exactness check).
+"""
+
+import random
+
+import pytest
+
+from repro.qirana.conflict import ConflictSetEngine
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("name,count", [("skewed", 60), ("tpch", 60), ("ssb", 60)])
+def test_hypergraph_incremental_matches_full(name, count):
+    workload = get_workload(name, scale=0.1)
+    support = workload.support(size=80, seed=9, mode="row")
+    random.seed(3)
+    queries = random.sample(workload.queries, min(count, workload.num_queries))
+
+    fast = ConflictSetEngine(support, use_incremental=True)
+    slow = ConflictSetEngine(support, use_incremental=False)
+    for query in queries:
+        assert fast.conflict_set(query) == slow.conflict_set(query), query.text
+
+
+@pytest.mark.parametrize("name", ["skewed", "tpch", "ssb", "uniform"])
+def test_hypergraph_deterministic(name):
+    workload = get_workload(name, scale=0.1)
+    support = workload.support(size=50, seed=4)
+    engine = ConflictSetEngine(support)
+    queries = workload.queries[:25]
+    first = [engine.conflict_set(q) for q in queries]
+    second = [engine.conflict_set(q) for q in queries]
+    assert first == second
+
+
+def test_cell_mode_also_consistent():
+    workload = get_workload("skewed", scale=0.1)
+    support = workload.support(size=60, seed=5, mode="cell", cells_per_instance=3)
+    fast = ConflictSetEngine(support, use_incremental=True)
+    slow = ConflictSetEngine(support, use_incremental=False)
+    random.seed(6)
+    for query in random.sample(workload.queries, 40):
+        assert fast.conflict_set(query) == slow.conflict_set(query), query.text

@@ -1,0 +1,159 @@
+"""Tests for the four paper workloads (small scales for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.db.query import sql_query
+from repro.exceptions import WorkloadError
+from repro.workloads import get_workload
+from repro.workloads.base import build_workload_instance
+from repro.workloads.ssb import cities, nations, ssb_database, ssb_queries
+from repro.workloads.tpch import containers, part_types, tpch_database, tpch_queries
+from repro.workloads.uniform import uniform_workload
+from repro.workloads.world import (
+    NUM_COUNTRIES,
+    base_queries,
+    expanded_queries,
+    world_database,
+    world_workload,
+)
+from repro.valuations import UniformValuations
+
+
+class TestWorldDatabase:
+    def test_schema_has_21_attributes(self):
+        database = world_database(scale=0.1)
+        total = sum(len(r.schema.columns) for r in database.tables())
+        assert total == 21
+
+    def test_three_tables(self):
+        database = world_database(scale=0.1)
+        assert set(database.table_names) == {"Country", "City", "CountryLanguage"}
+
+    def test_country_count_fixed(self):
+        database = world_database(scale=0.1)
+        assert len(database.table("Country")) == NUM_COUNTRIES
+
+    def test_deterministic(self):
+        a = world_database(scale=0.1, seed=3)
+        b = world_database(scale=0.1, seed=3)
+        assert a.table("Country").rows == b.table("Country").rows
+
+    def test_special_values_present(self):
+        database = world_database(scale=0.1)
+        codes = set(database.table("Country").column_values("Code"))
+        assert {"USA", "GRC", "FRA"} <= codes
+        languages = set(database.table("CountryLanguage").column_values("Language"))
+        assert {"Greek", "English", "Spanish"} <= languages
+
+    def test_every_base_query_runs(self):
+        database = world_database(scale=0.1)
+        for sql in base_queries():
+            result = sql_query(sql, database).run(database)
+            assert result is not None
+
+    def test_queries_return_data(self):
+        database = world_database(scale=0.1)
+        greek = sql_query(
+            "select Name from Country , CountryLanguage "
+            "where Code = CountryCode and Language = 'Greek'",
+            database,
+        ).run(database)
+        assert greek.num_rows >= 1
+
+
+class TestSkewedWorkload:
+    def test_exactly_986_queries(self):
+        assert len(expanded_queries()) == 986
+
+    def test_unexpanded_34(self):
+        workload = world_workload(scale=0.1, expanded=False)
+        assert workload.num_queries == 34
+
+    def test_workload_builds(self):
+        workload = world_workload(scale=0.1)
+        assert workload.num_queries == 986
+        assert workload.name == "skewed"
+
+
+class TestUniformWorkload:
+    def test_query_count(self):
+        workload = uniform_workload(scale=0.1, num_queries=50)
+        assert workload.num_queries == 50
+
+    def test_equal_selectivity(self):
+        workload = uniform_workload(scale=0.1, num_queries=30)
+        sizes = [
+            query.run(workload.database).num_rows for query in workload.queries
+        ]
+        assert max(sizes) - min(sizes) <= 1  # same window width everywhere
+
+    def test_hypergraph_concentrated(self):
+        workload = uniform_workload(scale=0.1, num_queries=40)
+        support = workload.support(size=120, seed=1)
+        hypergraph = workload.hypergraph(support)
+        sizes = hypergraph.edge_sizes()
+        assert sizes.std() < sizes.mean()  # concentrated, unlike skewed
+
+
+class TestTPCH:
+    def test_domains(self):
+        assert len(part_types()) == 150
+        assert len(containers()) == 40
+
+    def test_exactly_220_queries(self):
+        assert len(tpch_queries()) == 220
+
+    def test_database_builds_and_queries_run(self):
+        database = tpch_database(scale=0.1)
+        for sql in tpch_queries()[:30]:
+            sql_query(sql, database).run(database)
+
+    def test_workload(self):
+        workload = get_workload("tpch", scale=0.1)
+        assert workload.num_queries == 220
+
+
+class TestSSB:
+    def test_domains(self):
+        assert len(nations()) == 25
+        assert len(cities()) == 250
+
+    def test_exactly_701_queries(self):
+        assert len(ssb_queries()) == 701
+
+    def test_database_builds_and_queries_run(self):
+        database = ssb_database(scale=0.1)
+        for sql in ssb_queries()[:25] + ssb_queries()[-25:]:
+            sql_query(sql, database).run(database)
+
+    def test_workload(self):
+        workload = get_workload("ssb", scale=0.1)
+        assert workload.num_queries == 701
+
+
+class TestWorkloadHelpers:
+    def test_get_workload_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_hypergraph_cached_per_support(self):
+        workload = world_workload(scale=0.1, expanded=False)
+        support = workload.support(size=50, seed=0)
+        first = workload.hypergraph(support)
+        assert workload.hypergraph(support) is first
+
+    def test_build_workload_instance(self):
+        workload = world_workload(scale=0.1, expanded=False)
+        instance, support = build_workload_instance(
+            workload, UniformValuations(50), support_size=60
+        )
+        assert instance.num_edges == 34
+        assert instance.num_items == 60
+        assert len(support) == 60
+
+    def test_support_seed_determinism(self):
+        workload = world_workload(scale=0.1, expanded=False)
+        a = workload.support(size=30, seed=5)
+        b = workload.support(size=30, seed=5)
+        assert [i.deltas for i in a] == [i.deltas for i in b]
