@@ -5,16 +5,58 @@ prints its textual rendering (run with ``-s`` to see them, or check the
 ``data`` captured in the benchmark's ``extra_info``). ``benchmark.pedantic``
 with a single round is used throughout: the experiments are deterministic
 given their seeds, and the interesting measurement is the one-shot wall time.
+
+Two levers keep the default (tier-1) run fast:
+
+- the heaviest parametrizations carry ``@pytest.mark.slow`` and only run
+  with ``--runslow`` (see the repository-level conftest),
+- the figure defaults are shrunk to CI scale below; set ``REPRO_BENCH_FULL=1``
+  to benchmark at the original laptop-scale defaults.
+
+The tracked CSVs under ``artifacts/`` are laptop-scale (paper-shaped) data,
+written only under ``REPRO_BENCH_FULL=1``; default CI-scale runs write to
+the untracked ``artifacts/ci/`` so they never clobber the reference data.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 #: Where figure/table data lands as CSV (machine-readable twin of the text).
 ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+#: CI-scale figure defaults: (data scale, support size) per workload. The
+#: qualitative shapes the benchmarks assert (edge-size distributions, degree
+#: orderings, algorithm runtime orderings) are preserved at this scale.
+CI_SCALES = {
+    "skewed": (0.15, 1200),
+    "uniform": (0.2, 600),
+    "tpch": (0.6, 700),
+    "ssb": (0.35, 600),
+}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _ci_scale_figure_defaults():
+    """Shrink the figure defaults while benchmark tests run.
+
+    A fixture (not ``pytest_configure``) so the override activates only when
+    a benchmark actually executes — merely collecting this directory leaves
+    ``figures.DEFAULT_SCALES`` untouched — and is restored on teardown.
+    """
+    if os.environ.get("REPRO_BENCH_FULL"):
+        yield
+        return
+    from repro.experiments import figures
+
+    saved = dict(figures.DEFAULT_SCALES)
+    figures.DEFAULT_SCALES.update(CI_SCALES)
+    yield
+    figures.DEFAULT_SCALES.clear()
+    figures.DEFAULT_SCALES.update(saved)
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -39,8 +81,13 @@ def save_artifact(artifact) -> None:
         export_series_csv,
     )
 
-    ARTIFACT_DIR.mkdir(exist_ok=True)
-    base = ARTIFACT_DIR / artifact.figure_id
+    # CI-scale runs land in the untracked artifacts/ci/ so the committed
+    # laptop-scale reference CSVs stay pristine.
+    target = (
+        ARTIFACT_DIR if os.environ.get("REPRO_BENCH_FULL") else ARTIFACT_DIR / "ci"
+    )
+    target.mkdir(parents=True, exist_ok=True)
+    base = target / artifact.figure_id
     if "series" in artifact.data:
         export_series_csv(artifact, base.with_suffix(".csv"))
     if "counts" in artifact.data and "bin_edges" in artifact.data:

@@ -22,6 +22,10 @@ from repro.support.designer import designed_support
 from repro.valuations import UniformValuations
 from repro.workloads.world import world_workload
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def workload():
@@ -37,7 +41,10 @@ def test_ablation_incremental_vs_full(benchmark, workload, support):
     """IVM-style delta checks vs re-running every candidate query."""
 
     def build(use_incremental):
-        engine = ConflictSetEngine(support, use_incremental=use_incremental)
+        # Name the backend explicitly: this ablation isolates the IVM delta
+        # checkers, not the auto backend's vectorized dispatch.
+        backend = "incremental" if use_incremental else "naive"
+        engine = ConflictSetEngine(support, backend=backend)
         start = time.perf_counter()
         hypergraph = engine.build_hypergraph(workload.queries)
         return time.perf_counter() - start, hypergraph

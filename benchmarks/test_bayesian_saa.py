@@ -24,6 +24,10 @@ from repro.core.algorithms import UBP
 from repro.experiments.report import format_table
 from repro.workloads.world import world_workload
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 SAMPLE_SIZES = (1, 4, 16, 64, 256)
 
 

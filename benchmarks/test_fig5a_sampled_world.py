@@ -20,6 +20,10 @@ from repro.experiments.figures import figure5a_uniform, figure5a_zipf
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 def _series_means(artifact):
     return {name: float(np.mean(vals)) for name, vals in artifact.data["series"].items()}

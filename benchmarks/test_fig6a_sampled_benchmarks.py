@@ -7,6 +7,10 @@ from repro.experiments.figures import figure5a_uniform, figure5a_zipf
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
 def test_fig6a_uniform_valuations(benchmark, workload_name):

@@ -6,6 +6,10 @@ from repro.experiments.figures import figure5b_exponential, figure5b_normal
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
 def test_fig6b_exponential(benchmark, workload_name):

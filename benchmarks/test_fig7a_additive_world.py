@@ -12,6 +12,10 @@ from repro.experiments.figures import figure7_additive
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.mark.parametrize("workload_name", ["skewed", "uniform"])
 @pytest.mark.parametrize("assigner", ["uniform", "binomial"])

@@ -14,6 +14,10 @@ from repro.valuations import AdditiveValuations
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.mark.parametrize("workload_name", ["ssb", "tpch"])
 @pytest.mark.parametrize("assigner", ["uniform", "binomial"])

@@ -12,6 +12,10 @@ from repro.experiments.figures import figure8_support_sweep
 
 from benchmarks.conftest import save_artifact
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 SIZES = (100, 200, 400, 800)
 
 

@@ -34,6 +34,10 @@ from repro.valuations import UniformValuations
 from repro.workloads.synthetic import random_instance
 from repro.workloads.world import world_workload
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 
 @pytest.fixture(scope="module")
 def skewed_instance():

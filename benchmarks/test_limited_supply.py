@@ -24,6 +24,10 @@ from repro.limited import (
 from repro.valuations import UniformValuations
 from repro.workloads.world import world_workload
 
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
+
 CAPACITIES = (1, 2, 4, 8, 32)
 
 

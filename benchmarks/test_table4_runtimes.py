@@ -8,6 +8,11 @@ algorithms (LPIP, CIP) dominate the cost.
 from repro.experiments.figures import table4_runtimes
 
 from benchmarks.conftest import save_artifact
+import pytest
+
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
 
 
 def test_table4_algorithm_runtimes(benchmark):

@@ -7,6 +7,11 @@ constraint per item, and B shrinks with the item count).
 from repro.experiments.figures import support_runtime_table
 
 from benchmarks.conftest import save_artifact
+import pytest
+
+#: Full LP sweep - heavy; runs only with --runslow (tier-1 stays fast).
+pytestmark = pytest.mark.slow
+
 
 SIZES = (100, 200, 400, 800)
 

@@ -1,0 +1,34 @@
+"""Repository-level pytest configuration.
+
+Defines the ``slow`` marker used by the heavy benchmark parametrizations
+(full LP sweeps). Slow tests are skipped by default so the tier-1 run
+(``PYTHONPATH=src python -m pytest -x -q``) stays fast; run them with
+``--runslow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run benchmarks marked @pytest.mark.slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavy benchmark (full LP sweep); skipped unless --runslow is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark; pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -4,7 +4,10 @@ Subcommands::
 
     repro-pricing workloads                      # list workloads + stats
     repro-pricing algorithms                     # list pricing algorithms
+    repro-pricing backends                       # list conflict-set backends
     repro-pricing price --workload skewed --algorithm lpip [--support 500]
+                        [--conflict-backend auto]
+    repro-pricing bench-backends --workload uniform  # backend speed comparison
     repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
     repro-pricing table table3                   # reproduce one table
     repro-pricing ext heuristics|limited|saa     # extension experiments
@@ -27,6 +30,7 @@ def main(argv: list[str] | None = None) -> int:
 
     commands.add_parser("workloads", help="list the paper's query workloads")
     commands.add_parser("algorithms", help="list the pricing algorithms")
+    commands.add_parser("backends", help="list the conflict-set backends")
 
     price = commands.add_parser("price", help="run one algorithm on one workload")
     price.add_argument("--workload", default="skewed",
@@ -36,6 +40,17 @@ def main(argv: list[str] | None = None) -> int:
     price.add_argument("--scale", type=float, default=0.3)
     price.add_argument("--valuation-k", type=float, default=100.0)
     price.add_argument("--seed", type=int, default=1)
+    price.add_argument("--conflict-backend", default="auto",
+                       help="conflict-set backend (see `backends`)")
+
+    bench = commands.add_parser(
+        "bench-backends", help="time hypergraph construction per conflict backend"
+    )
+    bench.add_argument("--workload", default="uniform",
+                       choices=["skewed", "uniform", "tpch", "ssb"])
+    bench.add_argument("--support", type=int, default=None)
+    bench.add_argument("--scale", type=float, default=None)
+    bench.add_argument("--queries", type=int, default=None)
 
     figure = commands.add_parser("figure", help="reproduce a figure panel")
     figure.add_argument("figure_id", help="e.g. fig4-skewed, fig5a-uniform-tpch, fig8-ssb")
@@ -63,7 +78,9 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "workloads": _cmd_workloads,
         "algorithms": _cmd_algorithms,
+        "backends": _cmd_backends,
         "price": _cmd_price,
+        "bench-backends": _cmd_bench_backends,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "explain": _cmd_explain,
@@ -92,6 +109,27 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.qirana.backends import available_backends
+
+    for name in available_backends():
+        print(name)
+    return 0
+
+
+def _cmd_bench_backends(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    artifact = figures.backend_comparison(
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+        num_queries=args.queries,
+    )
+    print(artifact)
+    return 0
+
+
 def _cmd_price(args: argparse.Namespace) -> int:
     from repro.core.algorithms import get_algorithm
     from repro.valuations import UniformValuations
@@ -99,7 +137,7 @@ def _cmd_price(args: argparse.Namespace) -> int:
 
     workload = get_workload(args.workload, scale=args.scale)
     support = workload.support(size=args.support, seed=args.seed, cells_per_instance=2)
-    hypergraph = workload.hypergraph(support)
+    hypergraph = workload.hypergraph(support, backend=args.conflict_backend)
     model = UniformValuations(args.valuation_k)
     instance = model.instance(hypergraph, rng=np.random.default_rng(args.seed))
 

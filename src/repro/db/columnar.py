@@ -1,0 +1,413 @@
+"""Columnar (batched) expression and plan evaluation.
+
+The scalar path in :mod:`repro.db.expr` compiles expressions into
+``row -> value`` closures: fine for answering one query, ruinous for conflict
+sets, where the same handful of expressions is evaluated against thousands of
+candidate support instances. This module is the batched twin: a column is a
+NumPy vector plus a NULL mask, a batch is one vector per scope slot, and an
+expression compiles into a ``batch -> vector`` function — so deciding every
+candidate of a query costs a handful of array operations instead of a Python
+loop.
+
+Representation
+--------------
+Numeric columns (``INT``/``FLOAT``) become ``float64`` arrays with NULLs as
+NaN + mask; everything else becomes ``object`` arrays. Integers are exact in
+``float64`` up to 2**53, far beyond the workloads' key and population ranges;
+comparisons between old and new versions of a cell are therefore exact.
+
+NULL semantics mirror the scalar evaluators bit for bit: comparisons
+involving NULL are false, ``AND``/``OR`` treat unknown as false, arithmetic
+propagates NULL, and division by zero yields NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Scope,
+    _like_to_regex,
+)
+from repro.db.schema import ColumnType, Value
+from repro.exceptions import QueryError
+
+
+@dataclass
+class ColumnVector:
+    """One column of a batch: values plus a NULL mask.
+
+    ``values`` is ``float64`` (NaN at NULLs), ``bool`` (predicate results,
+    never NULL), or ``object``. ``null`` is a boolean mask, True at NULLs.
+    """
+
+    values: np.ndarray
+    null: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.values.dtype.kind in "fb"
+
+    def copy(self) -> "ColumnVector":
+        return ColumnVector(self.values.copy(), self.null.copy())
+
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        return ColumnVector(self.values.take(indices), self.null.take(indices))
+
+    def value_at(self, index: int) -> Value:
+        """The Python-level value at ``index`` (None for NULL)."""
+        if self.null[index]:
+            return None
+        value = self.values[index]
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, np.bool_):
+            return bool(value)
+        return value
+
+    def as_object(self) -> np.ndarray:
+        """The column as an object array with ``None`` at NULLs."""
+        out = self.values.astype(object)
+        if self.null.any():
+            out[self.null] = None
+        return out
+
+
+def vector_from_values(values: list[Value], dtype: ColumnType | None = None) -> ColumnVector:
+    """Columnarize a list of scalar values.
+
+    ``dtype`` (from the table schema) short-circuits kind detection; without
+    it the column is numeric iff every non-NULL value is an int/float.
+    """
+    null = np.fromiter((value is None for value in values), dtype=bool, count=len(values))
+    numeric = (
+        dtype in (ColumnType.INT, ColumnType.FLOAT)
+        if dtype is not None
+        else all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in values
+            if value is not None
+        )
+    )
+    if numeric:
+        data = np.fromiter(
+            (np.nan if value is None else float(value) for value in values),
+            dtype=np.float64,
+            count=len(values),
+        )
+    else:
+        data = np.empty(len(values), dtype=object)
+        data[:] = values
+    return ColumnVector(data, null)
+
+
+@dataclass
+class ColumnarBatch:
+    """A batch of rows in columnar form: one vector per scope slot.
+
+    Slots an evaluator never references may be ``None`` (the conflict engine
+    only materializes a query's referenced cells).
+    """
+
+    scope: Scope
+    columns: list[ColumnVector | None]
+    num_rows: int
+
+    def compress(self, mask: np.ndarray) -> "ColumnarBatch":
+        """Keep only the rows where ``mask`` is True."""
+        indices = np.nonzero(mask)[0]
+        return ColumnarBatch(
+            self.scope,
+            [column.take(indices) if column is not None else None for column in self.columns],
+            int(len(indices)),
+        )
+
+
+#: A compiled batch expression: maps a batch to one vector of results.
+BatchEvaluator = Callable[[ColumnarBatch], ColumnVector]
+
+
+def table_batch(relation, scope: Scope | None = None) -> ColumnarBatch:
+    """Columnarize a whole relation (all rows, all columns)."""
+    schema = relation.schema
+    if scope is None:
+        scope = Scope([(schema.name, name) for name in schema.column_names])
+    transposed = list(zip(*relation.rows)) if relation.rows else [
+        () for _ in schema.columns
+    ]
+    columns = [
+        vector_from_values(list(values), column.dtype)
+        for values, column in zip(transposed, schema.columns)
+    ]
+    return ColumnarBatch(scope, columns, len(relation))
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by the compiled evaluators
+# ---------------------------------------------------------------------------
+
+
+def _false_vector(n: int) -> ColumnVector:
+    return ColumnVector(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+
+
+def _bool_vector(values: np.ndarray) -> ColumnVector:
+    return ColumnVector(values, np.zeros(len(values), dtype=bool))
+
+
+def truth(vector: ColumnVector) -> np.ndarray:
+    """SQL truthiness: NULL and falsy values are False."""
+    values = vector.values
+    if values.dtype == bool:
+        truthy = values
+    elif values.dtype.kind == "f":
+        with np.errstate(invalid="ignore"):
+            truthy = values != 0.0
+    else:
+        truthy = np.fromiter(
+            (bool(value) for value in values), dtype=bool, count=len(values)
+        )
+    return truthy & ~vector.null
+
+
+_NUMPY_COMPARATORS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ORDERING_OPS = {"<", "<=", ">", ">="}
+
+
+def _aligned_values(a: ColumnVector, b: ColumnVector, op: str) -> tuple[np.ndarray, np.ndarray]:
+    """Value arrays of two operands coerced to a comparable common kind."""
+    if a.is_numeric == b.is_numeric:
+        return a.values, b.values
+    if op in _ORDERING_OPS:
+        # The scalar path raises on e.g. str < int; mismatched kinds here
+        # mean the whole column would raise on its first non-NULL row.
+        raise QueryError("cannot compare numeric and non-numeric columns")
+    return a.as_object(), b.as_object()
+
+
+def _compare(op: str, a: ColumnVector, b: ColumnVector) -> np.ndarray:
+    """Elementwise comparison with SQL NULL semantics (NULL compares false)."""
+    left, right = _aligned_values(a, b, op)
+    try:
+        with np.errstate(invalid="ignore"):
+            raw = _NUMPY_COMPARATORS[op](left, right)
+    except TypeError:
+        raise QueryError(
+            f"cannot compare columns of kinds {left.dtype} and {right.dtype}"
+        ) from None
+    return np.asarray(raw, dtype=bool) & ~a.null & ~b.null
+
+
+# ---------------------------------------------------------------------------
+# Expression compiler
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
+    """Compile ``expression`` against ``scope`` into a batch evaluator.
+
+    The batched twin of :meth:`Expr.bind`; every expression type is
+    supported, so batch-evaluability is decided at the plan level, not here.
+    """
+    if isinstance(expression, ColumnRef):
+        slot = scope.resolve(expression.qualifier, expression.name)
+
+        def eval_column(batch: ColumnarBatch, index=slot) -> ColumnVector:
+            column = batch.columns[index]
+            if column is None:
+                raise QueryError(
+                    f"batch is missing column slot {index} "
+                    f"({batch.scope.slots[index]})"
+                )
+            return column
+
+        return eval_column
+
+    if isinstance(expression, Literal):
+        value = expression.value
+
+        def eval_literal(batch: ColumnarBatch) -> ColumnVector:
+            n = batch.num_rows
+            if value is None:
+                return ColumnVector(
+                    np.full(n, np.nan), np.ones(n, dtype=bool)
+                )
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return ColumnVector(
+                    np.full(n, float(value)), np.zeros(n, dtype=bool)
+                )
+            data = np.empty(n, dtype=object)
+            data[:] = value
+            return ColumnVector(data, np.zeros(n, dtype=bool))
+
+        return eval_literal
+
+    if isinstance(expression, Comparison):
+        op = expression.op
+        left = compile_expr(expression.left, scope)
+        right = compile_expr(expression.right, scope)
+        return lambda batch: _bool_vector(_compare(op, left(batch), right(batch)))
+
+    if isinstance(expression, Between):
+        operand = compile_expr(expression.operand, scope)
+        low = compile_expr(expression.low, scope)
+        high = compile_expr(expression.high, scope)
+
+        def eval_between(batch: ColumnarBatch) -> ColumnVector:
+            value = operand(batch)
+            return _bool_vector(
+                _compare("<=", low(batch), value) & _compare("<=", value, high(batch))
+            )
+
+        return eval_between
+
+    if isinstance(expression, Like):
+        operand = compile_expr(expression.operand, scope)
+        regex = re.compile(_like_to_regex(expression.pattern), re.IGNORECASE | re.DOTALL)
+        negated = expression.negated
+
+        def eval_like(batch: ColumnarBatch) -> ColumnVector:
+            vector = operand(batch)
+            values = vector.as_object() if vector.is_numeric else vector.values
+            matched = np.fromiter(
+                (
+                    isinstance(value, str) and regex.fullmatch(value) is not None
+                    for value in values
+                ),
+                dtype=bool,
+                count=vector.size,
+            )
+            # Non-string and NULL operands are false under either polarity.
+            applicable = np.fromiter(
+                (isinstance(value, str) for value in values),
+                dtype=bool,
+                count=vector.size,
+            ) & ~vector.null
+            result = (~matched if negated else matched) & applicable
+            return _bool_vector(result)
+
+        return eval_like
+
+    if isinstance(expression, InList):
+        operand = compile_expr(expression.operand, scope)
+        members = set(expression.values)
+        numeric_members = np.array(
+            sorted(
+                float(value)
+                for value in members
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ),
+            dtype=np.float64,
+        )
+        negated = expression.negated
+
+        def eval_in(batch: ColumnarBatch) -> ColumnVector:
+            vector = operand(batch)
+            if vector.is_numeric:
+                contained = np.isin(vector.values, numeric_members)
+            else:
+                contained = np.fromiter(
+                    (value in members for value in vector.values),
+                    dtype=bool,
+                    count=vector.size,
+                )
+            result = (~contained if negated else contained) & ~vector.null
+            return _bool_vector(result)
+
+        return eval_in
+
+    if isinstance(expression, IsNull):
+        operand = compile_expr(expression.operand, scope)
+        negated = expression.negated
+        return lambda batch: _bool_vector(
+            ~operand(batch).null if negated else operand(batch).null.copy()
+        )
+
+    if isinstance(expression, And):
+        left = compile_expr(expression.left, scope)
+        right = compile_expr(expression.right, scope)
+        return lambda batch: _bool_vector(truth(left(batch)) & truth(right(batch)))
+
+    if isinstance(expression, Or):
+        left = compile_expr(expression.left, scope)
+        right = compile_expr(expression.right, scope)
+        return lambda batch: _bool_vector(truth(left(batch)) | truth(right(batch)))
+
+    if isinstance(expression, Not):
+        operand = compile_expr(expression.operand, scope)
+        return lambda batch: _bool_vector(~truth(operand(batch)))
+
+    if isinstance(expression, Arithmetic):
+        op = expression.op
+        left = compile_expr(expression.left, scope)
+        right = compile_expr(expression.right, scope)
+
+        def eval_arithmetic(batch: ColumnarBatch) -> ColumnVector:
+            a = left(batch)
+            b = right(batch)
+            if not (a.is_numeric and b.is_numeric):
+                # String arithmetic stays on the scalar path.
+                raise QueryError("batched arithmetic requires numeric operands")
+            null = a.null | b.null
+            with np.errstate(invalid="ignore", divide="ignore"):
+                if op == "+":
+                    values = a.values + b.values
+                elif op == "-":
+                    values = a.values - b.values
+                elif op == "*":
+                    values = a.values * b.values
+                else:
+                    zero = b.values == 0.0
+                    null = null | zero
+                    values = np.where(zero, np.nan, a.values / np.where(zero, 1.0, b.values))
+            values = np.where(null, np.nan, values)
+            return ColumnVector(values, null)
+
+        return eval_arithmetic
+
+    raise QueryError(
+        f"no batch evaluation for expression type {type(expression).__name__}"
+    )
+
+
+def null_aware_neq(a: ColumnVector, b: ColumnVector) -> np.ndarray:
+    """Elementwise "values differ" with NULL == NULL (for change detection).
+
+    Unlike SQL's ``!=`` (NULL compares false), this is the *identity* test the
+    conflict engine needs: two cells differ iff exactly one is NULL or both
+    are non-NULL with different values.
+    """
+    left, right = _aligned_values(a, b, "!=")
+    with np.errstate(invalid="ignore"):
+        raw = np.asarray(np.not_equal(left, right), dtype=bool)
+    both_null = a.null & b.null
+    one_null = a.null ^ b.null
+    return (raw & ~both_null & ~one_null) | one_null

@@ -73,6 +73,16 @@ class Expr:
         """Compile against ``scope`` into a ``row -> value`` closure."""
         raise NotImplementedError
 
+    def eval_batch(self, scope: Scope):
+        """Compile against ``scope`` into a columnar ``batch -> vector`` function.
+
+        The vectorized twin of :meth:`bind`, used by the batch conflict
+        engine; see :mod:`repro.db.columnar` for the batch representation.
+        """
+        from repro.db.columnar import compile_expr
+
+        return compile_expr(self, scope)
+
     def referenced_columns(self) -> set[tuple[str | None, str]]:
         """All (qualifier, column) pairs mentioned by this expression."""
         found: set[tuple[str | None, str]] = set()

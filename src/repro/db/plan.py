@@ -30,6 +30,23 @@ class PlanNode:
         """Produce all output rows against ``db``."""
         raise NotImplementedError
 
+    def execute_batch(self, db: Database, source=None):
+        """Columnar execution, producing a :class:`~repro.db.columnar.ColumnarBatch`.
+
+        ``source`` (a ColumnarBatch over the scan scope) substitutes the base
+        rows at the TableScan leaf, letting columnar consumers evaluate a
+        plan fragment over externally supplied rows. (The vectorized
+        conflict backend composes :meth:`Expr.eval_batch` pieces directly
+        instead — it needs the filter *mask* over position-aligned old/new
+        row pairs, which Filter's row compaction here would destroy.)
+        Raises :class:`QueryError` for operators without a columnar
+        implementation (joins, aggregates, sorts); callers fall back to the
+        scalar path per query.
+        """
+        raise QueryError(
+            f"{type(self).__name__} has no columnar execution path"
+        )
+
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 
@@ -63,6 +80,13 @@ class TableScan(PlanNode):
     def execute(self, db: Database) -> list[tuple[Value, ...]]:
         return db.table(self.table).rows
 
+    def execute_batch(self, db: Database, source=None):
+        if source is not None:
+            return source
+        from repro.db.columnar import table_batch
+
+        return table_batch(db.table(self.table), self.output_scope(db))
+
 
 @dataclass
 class Filter(PlanNode):
@@ -80,6 +104,13 @@ class Filter(PlanNode):
     def execute(self, db: Database) -> list[tuple[Value, ...]]:
         test = self.predicate.bind(self.child.output_scope(db))
         return [row for row in self.child.execute(db) if test(row)]
+
+    def execute_batch(self, db: Database, source=None):
+        from repro.db.columnar import truth
+
+        batch = self.child.execute_batch(db, source)
+        evaluate = self.predicate.eval_batch(self.child.output_scope(db))
+        return batch.compress(truth(evaluate(batch)))
 
 
 @dataclass
@@ -176,6 +207,14 @@ class Project(PlanNode):
             tuple(evaluate(row) for evaluate in evaluators)
             for row in self.child.execute(db)
         ]
+
+    def execute_batch(self, db: Database, source=None):
+        from repro.db.columnar import ColumnarBatch
+
+        batch = self.child.execute_batch(db, source)
+        scope = self.child.output_scope(db)
+        columns = [item.expr.eval_batch(scope)(batch) for item in self.items]
+        return ColumnarBatch(self.output_scope(db), columns, batch.num_rows)
 
 
 @dataclass

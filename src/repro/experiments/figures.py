@@ -28,6 +28,7 @@ from repro.experiments.runner import (
     run_algorithms,
     run_parameter_sweep,
     sweep_series,
+    time_hypergraph_builds,
 )
 from repro.qirana.conflict import ConflictSetEngine
 from repro.support.generator import SupportSet
@@ -74,11 +75,11 @@ def _cached_workload(name: str, scale: float) -> Workload:
 
 @functools.lru_cache(maxsize=16)
 def _cached_hypergraph(
-    name: str, scale: float, support_size: int, seed: int
+    name: str, scale: float, support_size: int, seed: int, backend: str
 ) -> tuple[Workload, SupportSet, Hypergraph]:
     workload = _cached_workload(name, scale)
     support = workload.support(size=support_size, seed=seed, mode="row")
-    hypergraph = workload.hypergraph(support)
+    hypergraph = workload.hypergraph(support, backend=backend)
     return workload, support, hypergraph
 
 
@@ -87,14 +88,21 @@ def workload_hypergraph(
     scale: float | None = None,
     support_size: int | None = None,
     seed: int = 0,
+    backend: str = "auto",
 ) -> tuple[Workload, SupportSet, Hypergraph]:
-    """(workload, support, hypergraph) with per-process caching."""
+    """(workload, support, hypergraph) with per-process caching.
+
+    ``backend`` names a conflict backend from
+    :func:`repro.qirana.backends.available_backends`; every backend yields
+    identical hyperedges, so it only affects construction speed.
+    """
     default_scale, default_support = DEFAULT_SCALES[name]
     return _cached_hypergraph(
         name,
         scale if scale is not None else default_scale,
         support_size if support_size is not None else default_support,
         seed,
+        backend.lower(),
     )
 
 
@@ -379,3 +387,76 @@ def support_runtime_table(
         title=f"{table_id}: runtimes vs support size ({workload_name})",
     )
     return FigureData(table_id, f"runtimes vs |S| ({workload_name})", text, {"runtimes": raw})
+
+
+# ---------------------------------------------------------------------------
+# Conflict-backend comparison (beyond the paper: systems scaling)
+# ---------------------------------------------------------------------------
+
+def backend_comparison(
+    workload_name: str = "uniform",
+    backends: tuple[str, ...] = ("naive", "incremental", "vectorized", "auto"),
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int | None = None,
+    seed: int = 0,
+) -> FigureData:
+    """Hypergraph-construction time per conflict backend on one workload.
+
+    Runs every backend over the same support set and query list (parity is
+    asserted — identical hyperedges), reporting wall-clock seconds and the
+    speedup relative to ``naive``. The uniform workload is the headline:
+    its flat selection queries are fully vectorizable.
+    """
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    support = workload.support(
+        size=support_size if support_size is not None else default_support,
+        seed=seed,
+        mode="row",
+    )
+    queries = (
+        workload.queries
+        if num_queries is None
+        else workload.queries[:num_queries]
+    )
+    builds = time_hypergraph_builds(support, queries, backends)
+    by_name = {build.backend: build for build in builds}
+    reference = by_name.get("naive", builds[0])
+
+    rows = []
+    speedups: dict[str, float] = {}
+    for build in builds:
+        speedup = (
+            reference.seconds / build.seconds if build.seconds > 0 else float("inf")
+        )
+        speedups[build.backend] = speedup
+        rows.append([build.backend, f"{build.seconds:.3f}", f"{speedup:.1f}x"])
+    text = format_table(
+        ["conflict backend", "construction (s)", f"speedup vs {reference.backend}"],
+        rows,
+        title=(
+            f"{len(queries)} queries, |S|={len(support)}, "
+            f"{workload_name} workload"
+        ),
+    )
+    return FigureData(
+        f"backend-comparison-{workload_name}",
+        f"conflict backend construction times ({workload_name})",
+        text,
+        {
+            "seconds": {build.backend: build.seconds for build in builds},
+            "speedups": speedups,
+            "speedup_reference": reference.backend,
+            "edges": builds[0].hypergraph.num_edges,
+            # Exportable via export_runtimes_csv (row per backend).
+            "runtimes": {
+                build.backend: {"construction": build.seconds} for build in builds
+            },
+            "diagnostics": {
+                build.backend: build.diagnostics for build in builds
+            },
+        },
+    )

@@ -1,7 +1,9 @@
-"""Running the algorithm suite over instances and parameter sweeps."""
+"""Running the algorithm suite over instances and parameter sweeps,
+plus conflict-backend comparisons over hypergraph construction."""
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -10,7 +12,56 @@ import numpy as np
 from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.bounds import subadditive_upper_bound
 from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.db.query import Query
+from repro.exceptions import PricingError
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.generator import SupportSet
 from repro.valuations.base import ValuationModel
+
+
+@dataclass(frozen=True)
+class HypergraphBuild:
+    """One timed hypergraph construction with one conflict backend."""
+
+    backend: str
+    hypergraph: Hypergraph
+    seconds: float
+    diagnostics: dict[str, dict[str, float]]
+
+
+def time_hypergraph_builds(
+    support: SupportSet,
+    queries: Sequence[Query],
+    backends: Sequence[str] = ("naive", "incremental", "vectorized", "auto"),
+    check_parity: bool = True,
+) -> list[HypergraphBuild]:
+    """Build the same workload hypergraph with each backend, timed.
+
+    With ``check_parity`` the hyperedges of every backend are compared
+    against the first one's; a mismatch is a correctness bug and raises.
+    The support set's caches (materialized neighbors, delta tensors) are
+    cleared before each build, so every backend pays its own setup and the
+    timings are directly comparable.
+    """
+    builds: list[HypergraphBuild] = []
+    for backend in backends:
+        support.clear_cache()
+        engine = ConflictSetEngine(support, backend=backend)
+        start = time.perf_counter()
+        hypergraph = engine.build_hypergraph(list(queries))
+        seconds = time.perf_counter() - start
+        builds.append(
+            HypergraphBuild(backend, hypergraph, seconds, engine.diagnostics)
+        )
+    if check_parity and builds:
+        reference = builds[0]
+        for build in builds[1:]:
+            if build.hypergraph.edges != reference.hypergraph.edges:
+                raise PricingError(
+                    f"conflict backend {build.backend!r} disagrees with "
+                    f"{reference.backend!r} on the workload hypergraph"
+                )
+    return builds
 
 
 @dataclass

@@ -10,6 +10,13 @@ This package glues the database substrate to the pricing core:
   subadditivity (arbitrage-freeness via Theorem 1).
 """
 
+from repro.qirana.backends import (
+    ConflictBackend,
+    ConflictComputation,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
 from repro.qirana.conflict import ConflictSetEngine
 from repro.qirana.history import HistoryAwareLedger, MarginalQuote
@@ -30,17 +37,22 @@ from repro.qirana.weighted import (
 )
 
 __all__ = [
+    "ConflictBackend",
+    "ConflictComputation",
     "ConflictSetEngine",
     "HistoryAwareLedger",
     "MarginalQuote",
     "PriceQuote",
     "QueryMarket",
     "Transaction",
+    "available_backends",
     "check_monotonicity",
     "check_subadditivity",
     "degree_weighted_pricing",
+    "get_backend",
     "load_market_state",
     "load_pricing",
+    "register_backend",
     "save_market_state",
     "save_pricing",
     "uniform_calibrated_pricing",

@@ -1,0 +1,275 @@
+"""Conflict-set backends: pluggable strategies for computing ``CS(Q, D)``.
+
+A :class:`ConflictBackend` decides, for every candidate support instance,
+whether it changes a query's answer. Backends share the table/column pruning
+of :func:`referenced_columns` and differ only in how candidates are decided:
+
+- ``naive`` — re-run the query on every candidate's materialized neighbor,
+- ``incremental`` — the delta checkers of :mod:`repro.qirana.incremental`,
+- ``vectorized`` — columnar batch evaluation over a NumPy delta tensor
+  (:mod:`repro.qirana.vectorized`), falling back per query when the plan
+  shape is not vectorizable,
+- ``auto`` — per-query choice between ``vectorized`` and ``incremental``.
+
+The registry mirrors :mod:`repro.core.algorithms.registry`: backends are
+addressed by name from the engine, the broker, the experiment harness, and
+the CLI, and downstream code can plug in new ones via
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.hypergraph import Hypergraph
+from repro.db.database import Database
+from repro.db.expr import Expr
+from repro.db.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.db.query import Query
+from repro.exceptions import PricingError
+from repro.qirana.incremental import build_incremental_checker
+from repro.support.generator import SupportSet
+
+
+def referenced_columns(query: Query, catalog: Database) -> set[tuple[str, str]]:
+    """Lowercased (table, column) pairs the query's answer may depend on.
+
+    Unqualified references are resolved against every table in the query;
+    when ambiguous, all matches are kept (conservative, still sound).
+    """
+    alias_to_table: dict[str, str] = {}
+    expressions: list[Expr] = []
+
+    stack: list[PlanNode] = [query.plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TableScan):
+            alias_to_table[node.effective_alias] = node.table.lower()
+        elif isinstance(node, Filter):
+            expressions.append(node.predicate)
+        elif isinstance(node, Project):
+            expressions.extend(item.expr for item in node.items)
+        elif isinstance(node, Aggregate):
+            expressions.extend(item.expr for item in node.group_items)
+            expressions.extend(
+                spec.arg for spec in node.aggregates if spec.arg is not None
+            )
+        elif isinstance(node, HashJoin):
+            expressions.extend(node.left_keys)
+            expressions.extend(node.right_keys)
+        elif isinstance(node, Sort):
+            expressions.extend(key.expr for key in node.keys)
+        stack.extend(node.children())
+
+    tables = set(alias_to_table.values())
+    pairs: set[tuple[str, str]] = set()
+    for expression in expressions:
+        for qualifier, column in expression.referenced_columns():
+            if qualifier is not None and qualifier in alias_to_table:
+                pairs.add((alias_to_table[qualifier], column))
+                continue
+            # Unqualified (or derived-scope qualifier): match every base
+            # table of the query that has such a column.
+            matched = False
+            for table in tables:
+                if catalog.has_table(table) and catalog.table(table).schema.has_column(column):
+                    pairs.add((table, column))
+                    matched = True
+            if not matched:
+                # Reference to a derived column (aggregate output); its
+                # inputs were collected from the node that computed it.
+                continue
+    return pairs
+
+
+@dataclass(frozen=True)
+class ConflictComputation:
+    """A conflict set plus backend/pruning/timing diagnostics.
+
+    ``wall_time_seconds`` covers candidate evaluation only; one-time
+    per-query setup (incremental-checker construction, batch-plan
+    compilation, baseline runs) is reported separately in ``setup_seconds``
+    so per-backend timings are comparable.
+    """
+
+    conflict_set: frozenset[int]
+    num_candidates: int
+    num_pruned: int
+    wall_time_seconds: float
+    incremental: bool = False
+    backend: str = ""
+    setup_seconds: float = 0.0
+    num_reexecuted: int = 0
+
+
+class ConflictBackend:
+    """Base class: shared candidate pruning + the per-query compute hook."""
+
+    name = "abstract"
+
+    def __init__(self, support: SupportSet):
+        self.support = support
+        self.base = support.base
+
+    def candidate_instances(self, query: Query) -> list[int]:
+        """Instance ids that could possibly conflict with ``query``.
+
+        Column pruning: the answer of our plans is a function of the
+        referenced (table, column) cells only — support deltas never insert
+        or delete rows — so an instance must patch a referenced column.
+        """
+        pairs = referenced_columns(query, self.base)
+        candidates: set[int] = set()
+        for table, column in pairs:
+            candidates.update(self.support.instances_touching_column(table, column))
+        return sorted(candidates)
+
+    def compute(
+        self, query: Query, candidates: list[int] | None = None
+    ) -> ConflictComputation:
+        """Conflict set of ``query`` with diagnostics.
+
+        ``candidates`` (sorted instance ids) skips the pruning walk when the
+        caller — e.g. a dispatching backend — already computed it.
+        """
+        raise NotImplementedError
+
+
+class NaiveBackend(ConflictBackend):
+    """Definition-level evaluation: re-run the query on every candidate."""
+
+    name = "naive"
+
+    def compute(
+        self, query: Query, candidates: list[int] | None = None
+    ) -> ConflictComputation:
+        setup_start = time.perf_counter()
+        if candidates is None:
+            candidates = self.candidate_instances(query)
+        baseline = query.run(self.base)
+        setup = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        conflicting = [
+            instance_id
+            for instance_id in candidates
+            if query.run(self.support.materialize(instance_id)) != baseline
+        ]
+        elapsed = time.perf_counter() - start
+        return ConflictComputation(
+            conflict_set=frozenset(conflicting),
+            num_candidates=len(candidates),
+            num_pruned=len(self.support) - len(candidates),
+            wall_time_seconds=elapsed,
+            incremental=False,
+            backend=self.name,
+            setup_seconds=setup,
+            num_reexecuted=len(candidates),
+        )
+
+
+class IncrementalBackend(ConflictBackend):
+    """Per-candidate delta checkers, with full re-execution as the escape
+    hatch for plans (or individual patches) the checkers cannot decide."""
+
+    name = "incremental"
+
+    def compute(
+        self, query: Query, candidates: list[int] | None = None
+    ) -> ConflictComputation:
+        setup_start = time.perf_counter()
+        if candidates is None:
+            candidates = self.candidate_instances(query)
+        checker = build_incremental_checker(query, self.base)
+        setup = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        baseline = None
+        baseline_seconds = 0.0
+        reexecuted = 0
+        conflicting = []
+        for instance_id in candidates:
+            decision: bool | None = None
+            if checker is not None:
+                decision = checker(self.support.instance(instance_id))
+            if decision is None:
+                # Full evaluation: either no checker exists for this plan
+                # shape, or this particular patch is outside the checker's
+                # decidable cases (e.g. it touches both sides of a join).
+                if baseline is None:
+                    # The one-time baseline run counts as setup, as in
+                    # NaiveBackend, so per-candidate timings stay comparable.
+                    baseline_start = time.perf_counter()
+                    baseline = query.run(self.base)
+                    baseline_seconds = time.perf_counter() - baseline_start
+                decision = (
+                    query.run(self.support.materialize(instance_id)) != baseline
+                )
+                reexecuted += 1
+            if decision:
+                conflicting.append(instance_id)
+        elapsed = time.perf_counter() - start - baseline_seconds
+        return ConflictComputation(
+            conflict_set=frozenset(conflicting),
+            num_candidates=len(candidates),
+            num_pruned=len(self.support) - len(candidates),
+            wall_time_seconds=elapsed,
+            incremental=checker is not None,
+            backend=self.name,
+            setup_seconds=setup + baseline_seconds,
+            num_reexecuted=reexecuted,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., ConflictBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ConflictBackend]) -> None:
+    """Register a backend ``factory(support, **params)`` under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise PricingError(f"conflict backend {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def _ensure_builtin_backends() -> None:
+    # The vectorized/auto backends live in their own module (they pull in the
+    # columnar machinery); importing it registers them.
+    import repro.qirana.vectorized  # noqa: F401
+
+
+def get_backend(name: str, support: SupportSet, **params) -> ConflictBackend:
+    """Instantiate a registered backend by name over ``support``."""
+    _ensure_builtin_backends()
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PricingError(
+            f"unknown conflict backend {name!r} (known: {known})"
+        ) from None
+    return factory(support, **params)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered conflict backend."""
+    _ensure_builtin_backends()
+    return sorted(_REGISTRY)
+
+
+register_backend(NaiveBackend.name, NaiveBackend)
+register_backend(IncrementalBackend.name, IncrementalBackend)

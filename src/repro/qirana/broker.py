@@ -50,16 +50,23 @@ class Transaction:
 
 @dataclass
 class QueryMarket:
-    """A Qirana-style data market session."""
+    """A Qirana-style data market session.
+
+    ``conflict_backend`` selects the conflict-set strategy by registry name
+    (``naive``, ``incremental``, ``vectorized``, ``auto``); the default
+    ``auto`` batches vectorizable queries and is the right choice for
+    production traffic.
+    """
 
     support: SupportSet
     pricing: PricingFunction | None = None
+    conflict_backend: str = "auto"
     transactions: list[Transaction] = field(default_factory=list)
     _engine: ConflictSetEngine = field(init=False, repr=False)
     _bundle_cache: dict[str, frozenset[int]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
-        self._engine = ConflictSetEngine(self.support)
+        self._engine = ConflictSetEngine(self.support, backend=self.conflict_backend)
 
     @property
     def base(self) -> Database:
@@ -82,6 +89,19 @@ class QueryMarket:
         """Install the simplest scheme: one price for everything."""
         self.pricing = UniformBundlePricing(price)
 
+    def build_hypergraph(self, queries: list[Query | str]) -> Hypergraph:
+        """Conflict-set hypergraph of a workload, feeding the bundle cache.
+
+        Batched on purpose: the engine's delta tensors and columnar base
+        tables are built once and shared across every query, so pricing a
+        whole workload costs far less than quoting its queries one by one.
+        """
+        planned = [self._as_query(query) for query in queries]
+        hypergraph = self._engine.build_hypergraph(planned)
+        for query, edge in zip(planned, hypergraph.edges):
+            self._bundle_cache[query.text] = edge
+        return hypergraph
+
     def build_instance(
         self,
         queries: list[Query | str],
@@ -89,14 +109,11 @@ class QueryMarket:
         name: str = "market",
     ) -> PricingInstance:
         """Transform a (query, valuation) workload into a pricing instance."""
-        planned = [self._as_query(query) for query in queries]
-        if len(planned) != len(valuations):
+        if len(queries) != len(valuations):
             raise PricingError(
-                f"{len(planned)} queries but {len(valuations)} valuations"
+                f"{len(queries)} queries but {len(valuations)} valuations"
             )
-        hypergraph = self._engine.build_hypergraph(planned)
-        for query, edge in zip(planned, hypergraph.edges):
-            self._bundle_cache[query.text] = edge
+        hypergraph = self.build_hypergraph(queries)
         return PricingInstance(hypergraph, np.asarray(valuations, dtype=float), name)
 
     def optimize_pricing(
@@ -122,6 +139,32 @@ class QueryMarket:
         planned = self._as_query(query)
         bundle = self._bundle_of(planned)
         return PriceQuote(planned.text, self.pricing.price(bundle), bundle)
+
+    def quote_batch(self, queries: list[Query | str]) -> list[PriceQuote]:
+        """Price many queries at once.
+
+        Uncached conflict sets are computed together through
+        :meth:`build_hypergraph`, amortizing delta-tensor construction across
+        the batch — the fast path for bulk quoting traffic.
+        """
+        if self.pricing is None:
+            raise PricingError("no pricing installed; call optimize_pricing first")
+        planned = [self._as_query(query) for query in queries]
+        missing = {
+            query.text: query
+            for query in planned
+            if query.text not in self._bundle_cache
+        }
+        if missing:
+            self.build_hypergraph(list(missing.values()))
+        return [
+            PriceQuote(
+                query.text,
+                self.pricing.price(self._bundle_cache[query.text]),
+                self._bundle_cache[query.text],
+            )
+            for query in planned
+        ]
 
     def purchase(
         self,
@@ -165,6 +208,8 @@ class QueryMarket:
         return bundle
 
 
-def market_hypergraph(support: SupportSet, queries: list[Query]) -> Hypergraph:
+def market_hypergraph(
+    support: SupportSet, queries: list[Query], backend: str = "auto"
+) -> Hypergraph:
     """Convenience: the hypergraph of a workload over a support set."""
-    return ConflictSetEngine(support).build_hypergraph(queries)
+    return ConflictSetEngine(support, backend=backend).build_hypergraph(queries)

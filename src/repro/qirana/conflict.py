@@ -1,8 +1,9 @@
 """Conflict-set computation: from queries to hyperedges.
 
-``CS(Q, D) = {D' in S : Q(D') != Q(D)}`` (Section 3.2). The naive approach
-re-runs the query on every support instance; we prune with two sound
-observations about delta-encoded neighbors:
+``CS(Q, D) = {D' in S : Q(D') != Q(D)}`` (Section 3.2). Naively that is one
+query re-execution per support instance; this module prunes and batches it
+down to array operations in the common case. Two sound observations about
+delta-encoded neighbors drive the pruning:
 
 1. **Table pruning** — an instance whose patches only touch tables the query
    never reads cannot change the answer.
@@ -11,158 +12,122 @@ observations about delta-encoded neighbors:
    or delete rows), so an instance must patch at least one referenced column
    to conflict.
 
-For the paper's workloads, where most queries read a handful of columns,
-column pruning removes the vast majority of candidate instances.
+The surviving candidates are decided by a pluggable
+:class:`~repro.qirana.backends.ConflictBackend`:
+
+- ``naive`` re-runs the query per candidate (the definition),
+- ``incremental`` applies the delta checkers of
+  :mod:`repro.qirana.incremental`,
+- ``vectorized`` decides all candidates of a query at once with columnar
+  NumPy evaluation over a delta tensor (:mod:`repro.qirana.vectorized`),
+- ``auto`` (the default) picks per query: batch evaluation when the plan is
+  vectorizable and the candidate set is large enough to amortize it,
+  incremental checkers otherwise.
+
+:class:`ConflictSetEngine` is the stable facade: construct it over a support
+set, then ask for conflict sets, diagnostics, or a whole workload's
+hypergraph. All backends produce identical hyperedges; they differ only in
+speed and in the diagnostics they report.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-
 from repro.core.hypergraph import Hypergraph
-from repro.db.database import Database
-from repro.db.expr import Expr
-from repro.db.plan import (
-    Aggregate,
-    Filter,
-    HashJoin,
-    PlanNode,
-    Project,
-    Sort,
-    TableScan,
-)
 from repro.db.query import Query
-from repro.qirana.incremental import build_incremental_checker
+from repro.qirana.backends import (
+    ConflictBackend,
+    ConflictComputation,
+    available_backends,
+    get_backend,
+    referenced_columns,
+)
 from repro.support.generator import SupportSet
 
-
-def referenced_columns(query: Query, catalog: Database) -> set[tuple[str, str]]:
-    """Lowercased (table, column) pairs the query's answer may depend on.
-
-    Unqualified references are resolved against every table in the query;
-    when ambiguous, all matches are kept (conservative, still sound).
-    """
-    alias_to_table: dict[str, str] = {}
-    expressions: list[Expr] = []
-
-    stack: list[PlanNode] = [query.plan]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, TableScan):
-            alias_to_table[node.effective_alias] = node.table.lower()
-        elif isinstance(node, Filter):
-            expressions.append(node.predicate)
-        elif isinstance(node, Project):
-            expressions.extend(item.expr for item in node.items)
-        elif isinstance(node, Aggregate):
-            expressions.extend(item.expr for item in node.group_items)
-            expressions.extend(
-                spec.arg for spec in node.aggregates if spec.arg is not None
-            )
-        elif isinstance(node, HashJoin):
-            expressions.extend(node.left_keys)
-            expressions.extend(node.right_keys)
-        elif isinstance(node, Sort):
-            expressions.extend(key.expr for key in node.keys)
-        stack.extend(node.children())
-
-    tables = set(alias_to_table.values())
-    pairs: set[tuple[str, str]] = set()
-    for expression in expressions:
-        for qualifier, column in expression.referenced_columns():
-            if qualifier is not None and qualifier in alias_to_table:
-                pairs.add((alias_to_table[qualifier], column))
-                continue
-            # Unqualified (or derived-scope qualifier): match every base
-            # table of the query that has such a column.
-            matched = False
-            for table in tables:
-                if catalog.has_table(table) and catalog.table(table).schema.has_column(column):
-                    pairs.add((table, column))
-                    matched = True
-            if not matched:
-                # Reference to a derived column (aggregate output); its
-                # inputs were collected from the node that computed it.
-                continue
-    return pairs
-
-
-@dataclass(frozen=True)
-class ConflictComputation:
-    """A conflict set plus pruning/timing diagnostics."""
-
-    conflict_set: frozenset[int]
-    num_candidates: int
-    num_pruned: int
-    wall_time_seconds: float
-    incremental: bool = False
+__all__ = [
+    "ConflictComputation",
+    "ConflictSetEngine",
+    "available_backends",
+    "referenced_columns",
+]
 
 
 class ConflictSetEngine:
     """Computes conflict sets (hyperedges) for queries over a support set.
 
-    Per-candidate evaluation uses the incremental checker of
-    :mod:`repro.qirana.incremental` when the plan shape supports it
-    (single-table filter/projection/aggregation — the bulk of the paper's
-    workloads), falling back to full query re-execution otherwise.
+    Parameters
+    ----------
+    support:
+        The sampled support set ``S``.
+    use_incremental:
+        Legacy switch kept for compatibility: ``False`` forces the ``naive``
+        backend (full re-execution per candidate).
+    backend:
+        Name of a registered conflict backend (``naive``, ``incremental``,
+        ``vectorized``, ``auto``); overrides ``use_incremental``. Defaults
+        to ``auto``.
     """
 
-    def __init__(self, support: SupportSet, use_incremental: bool = True):
+    def __init__(
+        self,
+        support: SupportSet,
+        use_incremental: bool = True,
+        backend: str | None = None,
+        **backend_params,
+    ):
         self.support = support
         self.base = support.base
         self.use_incremental = use_incremental
+        if backend is None:
+            backend = "auto" if use_incremental else "naive"
+        self.backend_name = backend.lower()
+        self._backend: ConflictBackend = get_backend(
+            self.backend_name, support, **backend_params
+        )
+        #: Aggregate diagnostics across every compute() call, keyed by the
+        #: backend that actually decided each query.
+        self.diagnostics: dict[str, dict[str, float]] = {}
+
+    @property
+    def backend(self) -> ConflictBackend:
+        return self._backend
 
     def candidate_instances(self, query: Query) -> list[int]:
         """Instance ids that could possibly conflict with ``query``."""
-        pairs = referenced_columns(query, self.base)
-        candidates: set[int] = set()
-        for table, column in pairs:
-            candidates.update(self.support.instances_touching_column(table, column))
-        return sorted(candidates)
+        return self._backend.candidate_instances(query)
 
     def compute(self, query: Query) -> ConflictComputation:
         """Conflict set with diagnostics."""
-        start = time.perf_counter()
-        candidates = self.candidate_instances(query)
-
-        checker = (
-            build_incremental_checker(query, self.base)
-            if self.use_incremental
-            else None
+        computation = self._backend.compute(query)
+        record = self.diagnostics.setdefault(
+            computation.backend or self.backend_name,
+            {
+                "queries": 0,
+                "candidates": 0,
+                "pruned": 0,
+                "reexecuted": 0,
+                "wall_time_seconds": 0.0,
+                "setup_seconds": 0.0,
+            },
         )
-        baseline = None
-        conflicting = []
-        for instance_id in candidates:
-            decision: bool | None = None
-            if checker is not None:
-                decision = checker(self.support.instance(instance_id))
-            if decision is None:
-                # Full evaluation: either no checker exists for this plan
-                # shape, or this particular patch is outside the checker's
-                # decidable cases (e.g. it touches both sides of a join).
-                if baseline is None:
-                    baseline = query.run(self.base)
-                decision = (
-                    query.run(self.support.materialize(instance_id)) != baseline
-                )
-            if decision:
-                conflicting.append(instance_id)
-        elapsed = time.perf_counter() - start
-        return ConflictComputation(
-            conflict_set=frozenset(conflicting),
-            num_candidates=len(candidates),
-            num_pruned=len(self.support) - len(candidates),
-            wall_time_seconds=elapsed,
-            incremental=checker is not None,
-        )
+        record["queries"] += 1
+        record["candidates"] += computation.num_candidates
+        record["pruned"] += computation.num_pruned
+        record["reexecuted"] += computation.num_reexecuted
+        record["wall_time_seconds"] += computation.wall_time_seconds
+        record["setup_seconds"] += computation.setup_seconds
+        return computation
 
     def conflict_set(self, query: Query) -> frozenset[int]:
         """Just the hyperedge ``CS(Q, D)``."""
         return self.compute(query).conflict_set
 
     def build_hypergraph(self, queries: list[Query]) -> Hypergraph:
-        """The pricing hypergraph of a workload: one hyperedge per query."""
+        """The pricing hypergraph of a workload: one hyperedge per query.
+
+        Batch-friendly: the delta tensors and columnar base tables built for
+        the first query are shared by every later one, so the construction
+        cost is amortized across the workload.
+        """
         edges = [self.conflict_set(query) for query in queries]
         labels = [query.text for query in queries]
         return Hypergraph(len(self.support), edges, labels=labels)

@@ -288,14 +288,19 @@ class _Shape:
     aggregate: Aggregate | None
     source: _SingleTableSource | _JoinTreeSource
     having: Filter | None = None
+    ordered: bool = False
 
 
 def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
     node = plan
+    ordered = False
     if isinstance(node, Sort):
-        # A Sort above the projection cannot mask or create an answer change:
-        # our sort is a deterministic function of the row multiset and the
-        # (patch-invariant) input order.
+        # With ORDER BY the answer is a sequence, not a bag: a single row's
+        # contribution changing still decides exactly (the bag changes iff
+        # the value changes), but *multi-row* patches can reorder tie groups
+        # while preserving the bag — those are undecidable here and the
+        # checkers return None for them (full re-execution).
+        ordered = True
         node = node.child
     if not isinstance(node, Project):
         return None
@@ -331,7 +336,7 @@ def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
             )
         except _UnsupportedShape:
             return None
-        return _Shape(project, aggregate, source, having)
+        return _Shape(project, aggregate, source, having, ordered)
 
     predicate: Filter | None = None
     if isinstance(node, Filter):
@@ -339,7 +344,7 @@ def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
         node = node.child
     if isinstance(node, TableScan):
         source = _SingleTableSource(base, node, predicate)
-        return _Shape(project, aggregate, source, having)
+        return _Shape(project, aggregate, source, having, ordered)
     return None
 
 
@@ -354,6 +359,9 @@ def build_incremental_checker(
     shape = _match_shape(query.plan, base)
     if shape is None:
         return None
+    # Orderedness can come from the plan (a Sort node) or be declared on the
+    # query itself (programmatic plans); either makes the answer a sequence.
+    shape.ordered = shape.ordered or query.ordered
     if shape.aggregate is None:
         return _FlatChecker(base, shape).check
     return _GroupedChecker(base, shape).check
@@ -409,6 +417,7 @@ class _FlatChecker(_CheckerBase):
 
     def __init__(self, base: Database, shape: _Shape):
         super().__init__(base, shape)
+        self.ordered = shape.ordered
         scope = shape.source.scope
         self.project_evals = [item.expr.bind(scope) for item in shape.project.items]
 
@@ -425,11 +434,25 @@ class _FlatChecker(_CheckerBase):
         if not rows:
             return False
         relation = self.base.table(table)
+        # Compare the combined contribution multiset of ALL patched rows:
+        # per-row comparison would flag two rows swapping values even though
+        # the answer bag is unchanged.
+        old: Counter = Counter()
+        new: Counter = Counter()
+        any_row_changed = False
         for row_index, new_row in rows.items():
-            old = self._projected(self.source.contributions(table, relation.rows[row_index]))
-            new = self._projected(self.source.contributions(table, new_row))
-            if old != new:
-                return True
+            row_old = self._projected(self.source.contributions(table, relation.rows[row_index]))
+            row_new = self._projected(self.source.contributions(table, new_row))
+            any_row_changed = any_row_changed or row_old != row_new
+            old.update(row_old)
+            new.update(row_new)
+        if old != new:
+            # A bag change conflicts regardless of output order.
+            return True
+        if self.ordered and any_row_changed and len(rows) > 1:
+            # ORDER BY answers are sequences: a multi-row swap can preserve
+            # the bag yet reorder a tie group. Undecidable here.
+            return None
         return False
 
 
@@ -442,6 +465,7 @@ class _GroupedChecker(_CheckerBase):
 
     def __init__(self, base: Database, shape: _Shape):
         super().__init__(base, shape)
+        self.ordered = shape.ordered
         aggregate = shape.aggregate
         scope = self.source.scope
         self.group_evals = [item.expr.bind(scope) for item in aggregate.group_items]
@@ -521,9 +545,11 @@ class _GroupedChecker(_CheckerBase):
 
         edits: dict[tuple, tuple[int, list[Counter]]] = {}
 
-        def apply(joined_rows: list[tuple[Value, ...]], sign: int) -> None:
+        def apply(joined_rows: list[tuple[Value, ...]], sign: int) -> list[tuple]:
+            keys: list[tuple] = []
             for row in joined_rows:
                 key = tuple(evaluate(row) for evaluate in self.group_evals)
+                keys.append(key)
                 count_delta, counters = edits.get(key, (0, None))
                 if counters is None:
                     counters = [Counter() for _ in self.specs]
@@ -531,10 +557,13 @@ class _GroupedChecker(_CheckerBase):
                     if evaluate is not None:
                         counter[evaluate(row)] += sign
                 edits[key] = (count_delta + sign, counters)
+            return keys
 
+        key_order_changed = False
         for row_index, new_row in rows.items():
-            apply(self.source.contributions(table, relation.rows[row_index]), -1)
-            apply(self.source.contributions(table, new_row), +1)
+            old_keys = apply(self.source.contributions(table, relation.rows[row_index]), -1)
+            new_keys = apply(self.source.contributions(table, new_row), +1)
+            key_order_changed = key_order_changed or old_keys != new_keys
 
         for key, (count_delta, counter_deltas) in edits.items():
             base_count = self.counts.get(key, 0)
@@ -554,4 +583,10 @@ class _GroupedChecker(_CheckerBase):
             new_output = self._group_output(key, base_count + count_delta, new_counters)
             if self._visible(old_output) != self._visible(new_output):
                 return True
+        if self.ordered and self.has_groups and key_order_changed:
+            # ORDER BY ties among output rows are broken by group *insertion*
+            # order (first occurrence in the source). Every group's output is
+            # unchanged, but a patch that moves contributions between groups
+            # can reorder a tie block. Undecidable here.
+            return None
         return False

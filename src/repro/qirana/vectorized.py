@@ -1,0 +1,512 @@
+"""Vectorized conflict-set backend: batch evaluation over delta tensors.
+
+For the plan shapes that dominate the paper's workloads — single-table
+selection/projection queries and scalar aggregates — whether a support
+instance changes the answer is a function of the *patched rows only*:
+
+- **flat** (``[Sort] Project [Filter] TableScan``): the bag answer changes
+  iff some patched row's (filter status, projected tuple) changes between
+  its old and new version; instances patching several rows of the table are
+  routed through an exact multiset comparison (a pairwise test would flag
+  value swaps that leave the bag unchanged).
+- **scalar aggregates** (``Project Aggregate([Filter] TableScan)`` without
+  GROUP BY/HAVING/DISTINCT): per-aggregate deltas are accumulated per
+  instance and compared against the base output. COUNT is always exact;
+  SUM/AVG are vectorized only over INT columns, where float64 accumulation
+  is exact (integers below 2**53), so the decision matches full
+  re-execution bit for bit.
+
+All candidates of a query are decided together: their patched rows are
+gathered from the support set's :class:`~repro.support.tensor.TableDeltaTensor`
+into old/new columnar batches of the query's referenced cells, and the
+plan's expressions are evaluated once per batch via
+:meth:`~repro.db.expr.Expr.eval_batch`. Queries whose plan shape is not
+vectorizable fall back — per query, not per engine — to the incremental
+backend.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.columnar import (
+    BatchEvaluator,
+    ColumnarBatch,
+    ColumnVector,
+    null_aware_neq,
+    table_batch,
+    truth,
+)
+from repro.db.expr import ColumnRef, Scope
+from repro.db.plan import Aggregate, Filter, PlanNode, Project, Sort, TableScan
+from repro.db.query import Query
+from repro.db.schema import ColumnType
+from repro.exceptions import QueryError
+from repro.qirana.backends import (
+    ConflictBackend,
+    ConflictComputation,
+    IncrementalBackend,
+    register_backend,
+)
+from repro.support.generator import SupportSet
+
+
+@dataclass
+class _AggSpec:
+    """One compiled scalar aggregate: COUNT(*) / COUNT(e) / SUM(c) / AVG(c)."""
+
+    func: str
+    arg_eval: BatchEvaluator | None  # None encodes COUNT(*)
+    compared: bool  # referenced by the projection (changes are visible)
+
+
+@dataclass
+class _BatchQuery:
+    """A query compiled for batch conflict evaluation."""
+
+    table: str
+    scan_scope: Scope
+    needed_slots: list[int]
+    filter_eval: BatchEvaluator | None
+    project_evals: list[BatchEvaluator] | None  # flat plans
+    agg_specs: list[_AggSpec] | None  # scalar-aggregate plans
+    ordered: bool = False  # ORDER BY: the answer is a sequence, not a bag
+    base_state: tuple | None = None  # lazily computed aggregate base state
+
+
+def _unwrap_source(node: PlanNode) -> tuple[TableScan, Filter | None] | None:
+    predicate: Filter | None = None
+    if isinstance(node, Filter):
+        predicate = node
+        node = node.child
+    if isinstance(node, TableScan):
+        return node, predicate
+    return None
+
+
+def compile_batch_query(query: Query, base) -> _BatchQuery | None:
+    """Compile ``query`` for batch evaluation, or ``None`` if unsupported."""
+    node = query.plan
+    # Orderedness from the plan (Sort) or declared on the query itself.
+    ordered = query.ordered
+    if isinstance(node, Sort):
+        ordered = True
+        node = node.child
+    if not isinstance(node, Project):
+        return None
+    project = node
+    node = node.child
+
+    aggregate: Aggregate | None = None
+    if isinstance(node, Aggregate):
+        aggregate = node
+        node = node.child
+
+    source = _unwrap_source(node)
+    if source is None:
+        return None
+    scan, predicate = source
+    if not base.has_table(scan.table):
+        return None
+    scan_scope = scan.output_scope(base)
+    schema = base.table(scan.table).schema
+
+    try:
+        filter_eval = (
+            predicate.predicate.eval_batch(scan_scope) if predicate else None
+        )
+
+        if aggregate is None:
+            project_evals = [item.expr.eval_batch(scan_scope) for item in project.items]
+            agg_specs = None
+        else:
+            if aggregate.group_items:
+                return None
+            agg_specs = _compile_aggregates(aggregate, project, scan_scope, schema, base)
+            if agg_specs is None:
+                return None
+            project_evals = None
+    except QueryError:
+        return None
+
+    needed: set[int] = set()
+    expressions = []
+    if predicate is not None:
+        expressions.append(predicate.predicate)
+    if aggregate is None:
+        expressions.extend(item.expr for item in project.items)
+    else:
+        expressions.extend(
+            spec.arg for spec in aggregate.aggregates if spec.arg is not None
+        )
+    for expression in expressions:
+        for qualifier, column in expression.referenced_columns():
+            try:
+                needed.add(scan_scope.resolve(qualifier, column))
+            except QueryError:
+                return None
+
+    return _BatchQuery(
+        table=scan.table.lower(),
+        scan_scope=scan_scope,
+        needed_slots=sorted(needed),
+        filter_eval=filter_eval,
+        project_evals=project_evals,
+        agg_specs=agg_specs,
+        ordered=ordered,
+    )
+
+
+def _compile_aggregates(
+    aggregate: Aggregate, project: Project, scan_scope: Scope, schema, base
+) -> list[_AggSpec] | None:
+    """Compile scalar aggregates, or ``None`` when any is unsupported."""
+    # The projection must be a simple column selection over the aggregate's
+    # output row — then a change is visible iff a *projected* aggregate
+    # changes. Arithmetic over aggregates would need scalar re-evaluation.
+    output_scope = aggregate.output_scope(base)
+    compared: set[int] = set()
+    for item in project.items:
+        if not isinstance(item.expr, ColumnRef):
+            return None
+        try:
+            compared.add(output_scope.resolve(item.expr.qualifier, item.expr.name))
+        except QueryError:
+            return None
+
+    specs: list[_AggSpec] = []
+    for index, spec in enumerate(aggregate.aggregates):
+        func = spec.func.lower()
+        if spec.distinct or func not in ("count", "sum", "avg"):
+            return None
+        if spec.arg is None:
+            if func != "count":
+                return None
+            arg_eval = None
+        else:
+            if func in ("sum", "avg"):
+                # Restrict to INT columns: float64 accumulation of integers
+                # is exact, so incremental deltas agree with re-execution.
+                if not isinstance(spec.arg, ColumnRef):
+                    return None
+                slot = scan_scope.resolve(spec.arg.qualifier, spec.arg.name)
+                if schema.columns[slot].dtype is not ColumnType.INT:
+                    return None
+            arg_eval = spec.arg.eval_batch(scan_scope)
+        specs.append(_AggSpec(func, arg_eval, compared=index in compared))
+    return specs
+
+
+class VectorizedBackend(ConflictBackend):
+    """Columnar batch backend with per-query fallback to ``incremental``."""
+
+    name = "vectorized"
+
+    def __init__(self, support: SupportSet, fallback: ConflictBackend | None = None):
+        super().__init__(support)
+        self._fallback = fallback or IncrementalBackend(support)
+        # Keyed by query identity, not text: programmatic queries may share
+        # text with different plans. The query object is pinned in the value
+        # so its id() cannot be recycled while the cache lives.
+        self._compiled: dict[int, tuple[Query, _BatchQuery | None]] = {}
+        self._table_batches: dict[str, ColumnarBatch] = {}
+
+    # -- compilation caches -------------------------------------------------
+
+    #: Compiled-plan cache bound: compilation is cheap relative to conflict
+    #: computation, so wholesale clearing at the cap keeps a long-lived
+    #: market (a stream of unique ad-hoc queries) from growing unboundedly.
+    MAX_COMPILED_PLANS = 4096
+
+    def batch_plan(self, query: Query) -> _BatchQuery | None:
+        cached = self._compiled.get(id(query))
+        if cached is None:
+            if len(self._compiled) >= self.MAX_COMPILED_PLANS:
+                self._compiled.clear()
+            plan = compile_batch_query(query, self.base)
+            self._compiled[id(query)] = (query, plan)
+            return plan
+        return cached[1]
+
+    def _table_batch(self, table: str) -> ColumnarBatch:
+        batch = self._table_batches.get(table)
+        if batch is None:
+            batch = table_batch(self.base.table(table))
+            self._table_batches[table] = batch
+        return batch
+
+    # -- the backend hook ---------------------------------------------------
+
+    def compute(
+        self, query: Query, candidates: list[int] | None = None
+    ) -> ConflictComputation:
+        setup_start = time.perf_counter()
+        plan = self.batch_plan(query)
+        if plan is None:
+            return self._fallback.compute(query, candidates)
+        if candidates is None:
+            candidates = self.candidate_instances(query)
+        setup = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        try:
+            conflicting, reexecuted = self._decide(plan, candidates, query)
+        except QueryError:
+            # Runtime type surprises (e.g. mixed-kind ordering comparisons)
+            # are rare enough to pay full fallback for the whole query.
+            return self._fallback.compute(query, candidates)
+        elapsed = time.perf_counter() - start
+        return ConflictComputation(
+            conflict_set=frozenset(conflicting),
+            num_candidates=len(candidates),
+            num_pruned=len(self.support) - len(candidates),
+            wall_time_seconds=elapsed,
+            incremental=False,
+            backend=self.name,
+            setup_seconds=setup,
+            num_reexecuted=reexecuted,
+        )
+
+    # -- batch decision -----------------------------------------------------
+
+    def _decide(
+        self, plan: _BatchQuery, candidates: list[int], query: Query
+    ) -> tuple[list[int], int]:
+        if not candidates:
+            return [], 0
+        tensor = self.support.delta_tensor(plan.table)
+        candidate_array = np.asarray(candidates, dtype=np.int64)
+        selected_mask = np.isin(tensor.pair_instance, candidate_array)
+        selected = np.nonzero(selected_mask)[0]
+        if len(selected) == 0:
+            return [], 0
+        instances = tensor.pair_instance[selected]
+        rows = tensor.pair_row[selected]
+
+        old_batch, new_batch = self._gather(plan, tensor, selected_mask, selected, rows)
+
+        ones = np.ones(len(selected), dtype=bool)
+        old_pass = truth(plan.filter_eval(old_batch)) if plan.filter_eval else ones
+        new_pass = truth(plan.filter_eval(new_batch)) if plan.filter_eval else ones.copy()
+
+        if plan.project_evals is not None:
+            return self._decide_flat(
+                plan, tensor, instances, old_batch, new_batch, old_pass, new_pass, query
+            )
+        conflicting = self._decide_aggregate(
+            plan, candidate_array, instances, old_batch, new_batch, old_pass, new_pass
+        )
+        return conflicting, 0
+
+    def _gather(self, plan, tensor, selected_mask, selected, rows):
+        """Old/new columnar batches of the referenced cells of the pairs."""
+        base = self._table_batch(plan.table)
+        schema = self.base.table(plan.table).schema
+        num_slots = plan.scan_scope.arity
+
+        old_columns: list[ColumnVector | None] = [None] * num_slots
+        new_columns: list[ColumnVector | None] = [None] * num_slots
+        for slot in plan.needed_slots:
+            old_columns[slot] = base.columns[slot].take(rows)
+            new_columns[slot] = old_columns[slot].copy()
+
+        inverse = np.full(tensor.num_pairs, -1, dtype=np.int64)
+        inverse[selected] = np.arange(len(selected), dtype=np.int64)
+        for column, patches in tensor.column_patches.items():
+            slot = schema.column_index(column)
+            vector = new_columns[slot]
+            if vector is None:
+                continue
+            applicable = selected_mask[patches.positions]
+            if not applicable.any():
+                continue
+            local = inverse[patches.positions[applicable]]
+            values = patches.values[applicable]
+            null = np.fromiter(
+                (value is None for value in values), dtype=bool, count=len(values)
+            )
+            if vector.is_numeric:
+                vector.values[local] = np.fromiter(
+                    (
+                        np.nan if value is None else float(value)
+                        for value in values
+                    ),
+                    dtype=np.float64,
+                    count=len(values),
+                )
+            else:
+                vector.values[local] = values
+            vector.null[local] = null
+
+        num = len(selected)
+        return (
+            ColumnarBatch(plan.scan_scope, old_columns, num),
+            ColumnarBatch(plan.scan_scope, new_columns, num),
+        )
+
+    def _decide_flat(
+        self, plan, tensor, instances, old_batch, new_batch, old_pass, new_pass, query
+    ) -> tuple[list[int], int]:
+        old_projected = [evaluate(old_batch) for evaluate in plan.project_evals]
+        new_projected = [evaluate(new_batch) for evaluate in plan.project_evals]
+
+        changed = np.zeros(old_batch.num_rows, dtype=bool)
+        for old_column, new_column in zip(old_projected, new_projected):
+            changed |= null_aware_neq(old_column, new_column)
+        pair_conflict = (old_pass != new_pass) | (old_pass & new_pass & changed)
+
+        flagged = np.unique(instances[pair_conflict])
+        conflicting: list[int] = []
+        baseline = None
+        reexecuted = 0
+        for instance_id in flagged:
+            if tensor.pair_counts[instance_id] <= 1:
+                conflicting.append(int(instance_id))
+                continue
+            # Multi-row instance: a pairwise change can still leave the
+            # answer bag unchanged (two rows swapping values). Compare the
+            # exact contribution multisets, as the incremental checker does.
+            # `instances` is sorted (tensor pairs are grouped by instance),
+            # so the instance's slice is found by bisection, not a full scan.
+            low = np.searchsorted(instances, instance_id, side="left")
+            high = np.searchsorted(instances, instance_id, side="right")
+            positions = np.arange(low, high)
+            old_bag = _contribution_bag(old_projected, old_pass, positions)
+            new_bag = _contribution_bag(new_projected, new_pass, positions)
+            if old_bag != new_bag:
+                # A bag change conflicts regardless of output order.
+                conflicting.append(int(instance_id))
+            elif plan.ordered:
+                # ORDER BY answers are sequences: a bag-preserving multi-row
+                # swap can still reorder a tie group. Re-execute to decide.
+                if baseline is None:
+                    baseline = query.run(self.base)
+                reexecuted += 1
+                if query.run(self.support.materialize(int(instance_id))) != baseline:
+                    conflicting.append(int(instance_id))
+        return conflicting, reexecuted
+
+    def _decide_aggregate(
+        self, plan, candidate_array, instances, old_batch, new_batch, old_pass, new_pass
+    ) -> list[int]:
+        base_state = self._aggregate_base_state(plan)
+        compact = np.searchsorted(candidate_array, instances)
+        num_candidates = len(candidate_array)
+
+        changed_any = np.zeros(num_candidates, dtype=bool)
+        for spec, (base_count, base_sum) in zip(plan.agg_specs, base_state):
+            if not spec.compared:
+                continue
+            if spec.arg_eval is None:
+                delta = new_pass.astype(np.float64) - old_pass.astype(np.float64)
+                count_delta = np.bincount(
+                    compact, weights=delta, minlength=num_candidates
+                )
+                changed_any |= count_delta != 0
+                continue
+
+            old_vector = spec.arg_eval(old_batch)
+            new_vector = spec.arg_eval(new_batch)
+            old_valid = old_pass & ~old_vector.null
+            new_valid = new_pass & ~new_vector.null
+            count_delta = np.bincount(
+                compact,
+                weights=new_valid.astype(np.float64) - old_valid.astype(np.float64),
+                minlength=num_candidates,
+            )
+            if spec.func == "count":
+                changed_any |= count_delta != 0
+                continue
+
+            sum_delta = np.bincount(
+                compact,
+                weights=np.where(new_valid, new_vector.values, 0.0)
+                - np.where(old_valid, old_vector.values, 0.0),
+                minlength=num_candidates,
+            )
+            new_count = base_count + count_delta
+            presence_changed = (base_count > 0) != (new_count > 0)
+            both_present = (base_count > 0) & (new_count > 0)
+            if spec.func == "sum":
+                changed_any |= presence_changed | (both_present & (sum_delta != 0))
+            else:  # avg
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    old_average = base_sum / base_count if base_count > 0 else np.nan
+                    new_average = (base_sum + sum_delta) / np.where(
+                        new_count > 0, new_count, 1
+                    )
+                changed_any |= presence_changed | (
+                    both_present & (new_average != old_average)
+                )
+        return [int(candidate) for candidate in candidate_array[changed_any]]
+
+    def _aggregate_base_state(self, plan: _BatchQuery) -> list[tuple[int, float]]:
+        """Per aggregate: (non-NULL passing count, exact sum) over the base."""
+        if plan.base_state is not None:
+            return plan.base_state
+        batch = self._table_batch(plan.table)
+        passing = (
+            truth(plan.filter_eval(batch))
+            if plan.filter_eval
+            else np.ones(batch.num_rows, dtype=bool)
+        )
+        state: list[tuple[int, float]] = []
+        for spec in plan.agg_specs:
+            if spec.arg_eval is None:
+                state.append((int(passing.sum()), 0.0))
+                continue
+            vector = spec.arg_eval(batch)
+            valid = passing & ~vector.null
+            if spec.func == "count":
+                total = 0.0  # COUNT needs no sum (and the column may be TEXT)
+            else:
+                total = float(vector.values[valid].sum()) if valid.any() else 0.0
+            state.append((int(valid.sum()), total))
+        plan.base_state = state
+        return state
+
+
+def _contribution_bag(projected, passing, positions) -> Counter:
+    """Multiset of projected tuples contributed by the given pair positions."""
+    bag: Counter = Counter()
+    for position in positions:
+        if not passing[position]:
+            continue
+        bag[tuple(column.value_at(position) for column in projected)] += 1
+    return bag
+
+
+class AutoBackend(ConflictBackend):
+    """Per-query choice: batch evaluation when it can win, checkers otherwise.
+
+    The batch path pays fixed costs (candidate gather, patch application)
+    that only amortize across enough candidates; below the threshold the
+    incremental checker's per-instance work is cheaper.
+    """
+
+    name = "auto"
+
+    def __init__(self, support: SupportSet, min_batch_candidates: int = 48):
+        super().__init__(support)
+        self.min_batch_candidates = min_batch_candidates
+        self._incremental = IncrementalBackend(support)
+        self._vectorized = VectorizedBackend(support, fallback=self._incremental)
+
+    def compute(
+        self, query: Query, candidates: list[int] | None = None
+    ) -> ConflictComputation:
+        if self._vectorized.batch_plan(query) is None:
+            return self._incremental.compute(query, candidates)
+        if candidates is None:
+            candidates = self.candidate_instances(query)
+        if len(candidates) >= self.min_batch_candidates:
+            return self._vectorized.compute(query, candidates)
+        return self._incremental.compute(query, candidates)
+
+
+register_backend(VectorizedBackend.name, VectorizedBackend)
+register_backend(AutoBackend.name, AutoBackend)

@@ -46,6 +46,7 @@ class SupportSet:
             for pair in instance.touched_columns:
                 self._by_column.setdefault(pair, []).append(instance.instance_id)
         self._materialized: dict[int, Database] = {}
+        self._delta_tensors: dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self.instances)
@@ -70,9 +71,25 @@ class SupportSet:
             self._materialized[instance_id] = cached
         return cached
 
+    def delta_tensor(self, table: str):
+        """The :class:`~repro.support.tensor.TableDeltaTensor` of ``table``.
+
+        Built once per table and cached — the batch conflict engine shares it
+        across every query of a workload.
+        """
+        from repro.support.tensor import build_delta_tensor
+
+        key = table.lower()
+        tensor = self._delta_tensors.get(key)
+        if tensor is None:
+            tensor = build_delta_tensor(self, table)
+            self._delta_tensors[key] = tensor
+        return tensor
+
     def clear_cache(self) -> None:
-        """Drop materialized databases (memory pressure relief)."""
+        """Drop materialized databases and delta tensors (memory relief)."""
         self._materialized.clear()
+        self._delta_tensors.clear()
 
     def restrict(self, size: int) -> "SupportSet":
         """A prefix support set of the first ``size`` instances.

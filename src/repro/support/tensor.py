@@ -1,0 +1,90 @@
+"""NumPy delta tensors over a support set.
+
+The batch conflict engine decides all candidates of a query in a few array
+operations. Its input is the *delta tensor* of one table: every
+``(instance, row)`` pair some support instance patches, in instance order,
+plus the per-column patch assignments. Building it costs one pass over the
+support set's deltas and is cached on the :class:`SupportSet`, so the cost is
+amortized over an entire workload (hundreds to thousands of queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnPatches:
+    """All patches of one column: positions into the pair arrays + values."""
+
+    positions: np.ndarray  #: int64 indices into pair_instance/pair_row
+    values: np.ndarray  #: object array of replacement values (None = NULL)
+
+
+@dataclass(frozen=True)
+class TableDeltaTensor:
+    """Columnar view of every patch a support set applies to one table.
+
+    ``pair_instance``/``pair_row`` enumerate the distinct ``(instance, row)``
+    pairs that are patched, sorted by instance id (instances are consecutive
+    by construction, so the arrays are grouped). ``pair_counts[i]`` is the
+    number of patched rows instance ``i`` has on this table — the batch
+    engine uses it to route multi-row instances through the exact multiset
+    comparison instead of the pairwise fast path.
+    """
+
+    table: str
+    num_instances: int
+    pair_instance: np.ndarray  #: int64[P]
+    pair_row: np.ndarray  #: int64[P]
+    pair_counts: np.ndarray  #: int64[num_instances]
+    column_patches: dict[str, ColumnPatches]  #: lowercased column -> patches
+
+    @property
+    def num_pairs(self) -> int:
+        return int(len(self.pair_instance))
+
+
+def build_delta_tensor(support, table: str) -> TableDeltaTensor:
+    """The delta tensor of ``table`` for every instance of ``support``."""
+    key = table.lower()
+    pair_instances: list[int] = []
+    pair_rows: list[int] = []
+    per_column: dict[str, tuple[list[int], list[object]]] = {}
+
+    for instance in support:
+        first_pair: dict[int, int] = {}
+        for delta in instance.deltas:
+            if delta.table.lower() != key:
+                continue
+            position = first_pair.get(delta.row_index)
+            if position is None:
+                position = len(pair_instances)
+                first_pair[delta.row_index] = position
+                pair_instances.append(instance.instance_id)
+                pair_rows.append(delta.row_index)
+            column = delta.column.lower()
+            positions, values = per_column.setdefault(column, ([], []))
+            positions.append(position)
+            values.append(delta.value)
+
+    column_patches = {}
+    for column, (positions, values) in per_column.items():
+        value_array = np.empty(len(values), dtype=object)
+        value_array[:] = values
+        column_patches[column] = ColumnPatches(
+            np.asarray(positions, dtype=np.int64), value_array
+        )
+
+    pair_instance = np.asarray(pair_instances, dtype=np.int64)
+    pair_counts = np.bincount(pair_instance, minlength=len(support)).astype(np.int64)
+    return TableDeltaTensor(
+        table=key,
+        num_instances=len(support),
+        pair_instance=pair_instance,
+        pair_row=np.asarray(pair_rows, dtype=np.int64),
+        pair_counts=pair_counts,
+        column_patches=column_patches,
+    )

@@ -29,7 +29,10 @@ class Workload:
     queries: list[Query]
     description: str = ""
     default_support_size: int = 1000
-    _hypergraph_cache: dict[int, Hypergraph] = field(
+    #: (id(support), backend) -> (support, hypergraph). The support object is
+    #: pinned in the value so its id() cannot be recycled for a different
+    #: support set after garbage collection.
+    _hypergraph_cache: dict[tuple[int, str], tuple[SupportSet, Hypergraph]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -60,19 +63,28 @@ class Workload:
         )
         return sampler.generate(size)
 
-    def hypergraph(self, support: SupportSet) -> Hypergraph:
+    def hypergraph(self, support: SupportSet, backend: str = "auto") -> Hypergraph:
         """Conflict-set hypergraph of all queries over ``support``.
 
-        Cached per support identity (the conflict computation dominates
-        experiment time, and every figure reuses the same hypergraph with
-        different valuation models — as the paper does).
+        ``backend`` names a registered conflict backend; every backend
+        produces identical hyperedges, so the cache is keyed by (support,
+        backend) only to keep per-backend timing experiments honest. Cached
+        per support identity (the conflict computation dominates experiment
+        time, and every figure reuses the same hypergraph with different
+        valuation models — as the paper does).
         """
-        key = id(support)
+        key = (id(support), backend.lower())
         cached = self._hypergraph_cache.get(key)
         if cached is None:
-            cached = ConflictSetEngine(support).build_hypergraph(self.queries)
-            self._hypergraph_cache[key] = cached
-        return cached
+            hypergraph = ConflictSetEngine(support, backend=backend).build_hypergraph(
+                self.queries
+            )
+            # Bound the cache (FIFO): each pinned SupportSet retains its
+            # materialization caches, so a long sweep must not hoard them.
+            while len(self._hypergraph_cache) >= 8:
+                self._hypergraph_cache.pop(next(iter(self._hypergraph_cache)))
+            self._hypergraph_cache[key] = cached = (support, hypergraph)
+        return cached[1]
 
 
 def build_support(

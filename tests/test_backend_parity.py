@@ -1,0 +1,276 @@
+"""Cross-backend parity: every conflict backend produces identical hyperedges.
+
+This is the tentpole guarantee of the backend registry — ``naive`` is the
+definition, ``incremental`` and ``vectorized`` are optimizations, ``auto``
+is a per-query mixture; all four must agree *exactly* on every workload
+shape: flat selections (uniform), mixed hand-built shapes over a synthetic
+database, and the join/aggregate templates of SSB.
+"""
+
+import random
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import sql_query
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.qirana.backends import available_backends
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.delta import CellDelta, SupportInstance
+from repro.support.generator import SupportSet
+from repro.workloads import get_workload
+
+BACKENDS = ("naive", "incremental", "vectorized", "auto")
+
+
+def assert_hyperedge_parity(support, queries):
+    hypergraphs = {
+        backend: ConflictSetEngine(support, backend=backend).build_hypergraph(queries)
+        for backend in BACKENDS
+    }
+    reference = hypergraphs["naive"]
+    for backend, hypergraph in hypergraphs.items():
+        for query, edge, expected in zip(
+            queries, hypergraph.edges, reference.edges
+        ):
+            assert edge == expected, (backend, query.text)
+
+
+def test_registry_exposes_all_builtin_backends():
+    names = available_backends()
+    for backend in BACKENDS:
+        assert backend in names
+
+
+def test_uniform_mini_workload_parity():
+    workload = get_workload("uniform", scale=0.1)
+    support = workload.support(size=60, seed=2, mode="row")
+    random.seed(1)
+    queries = random.sample(workload.queries, 40)
+    assert_hyperedge_parity(support, queries)
+
+
+def test_ssb_mini_workload_parity():
+    workload = get_workload("ssb", scale=0.1)
+    support = workload.support(size=60, seed=3, mode="row")
+    random.seed(2)
+    queries = random.sample(workload.queries, 40)
+    assert_hyperedge_parity(support, queries)
+
+
+@pytest.fixture
+def synthetic_db() -> Database:
+    items = Relation(
+        TableSchema(
+            "Items",
+            (
+                Column("id", ColumnType.INT),
+                Column("grp", ColumnType.TEXT),
+                Column("qty", ColumnType.INT),
+                Column("price", ColumnType.FLOAT),
+                Column("note", ColumnType.TEXT),
+            ),
+            primary_key=("id",),
+        )
+    )
+    values = [
+        (1, "a", 10, 1.5, "x"),
+        (2, "b", 20, 2.5, None),
+        (3, "a", 30, 3.5, "y"),
+        (4, "c", 40, 4.5, "x"),
+        (5, "b", 50, 5.5, "z"),
+        (6, "a", 10, 1.5, "x"),
+    ]
+    items.insert_many(values)
+    groups = Relation(
+        TableSchema(
+            "Groups",
+            (Column("grp", ColumnType.TEXT), Column("weight", ColumnType.INT)),
+        )
+    )
+    groups.insert_many([("a", 1), ("b", 2), ("c", 3)])
+    return Database("synthetic", [items, groups])
+
+
+def test_synthetic_mini_workload_parity(synthetic_db):
+    # Hand-built support hitting every interesting case: single-cell
+    # patches, multi-row swaps, NULL patches, multi-table instances.
+    support = SupportSet(
+        synthetic_db,
+        [
+            SupportInstance(0, (CellDelta("Items", 0, "qty", 15),)),
+            SupportInstance(1, (CellDelta("Items", 1, "grp", "a"),)),
+            # Swap: rows 0 and 5 exchange qty values — bags unchanged.
+            SupportInstance(
+                2,
+                (
+                    CellDelta("Items", 0, "qty", 99),
+                    CellDelta("Items", 5, "qty", 11),
+                ),
+            ),
+            SupportInstance(3, (CellDelta("Items", 2, "note", None),)),
+            SupportInstance(4, (CellDelta("Items", 1, "note", "w"),)),
+            SupportInstance(
+                5,
+                (
+                    CellDelta("Items", 3, "qty", 41),
+                    CellDelta("Groups", 2, "weight", 9),
+                ),
+            ),
+            SupportInstance(6, (CellDelta("Groups", 0, "weight", 7),)),
+            SupportInstance(7, (CellDelta("Items", 4, "price", 50.5),)),
+        ],
+    )
+    queries = [
+        sql_query(text, synthetic_db)
+        for text in [
+            "select qty from Items",
+            "select id, qty from Items where qty >= 20",
+            "select * from Items where grp = 'a'",
+            "select count(*) from Items where qty between 10 and 30",
+            "select count(note) from Items",
+            "select sum(qty) from Items where grp != 'c'",
+            "select avg(qty) from Items",
+            "select min(price) from Items",
+            "select grp, count(*) from Items group by grp",
+            "select grp, sum(qty) from Items group by grp",
+            "select Items.id from Items, Groups where Items.grp = Groups.grp "
+            "and Groups.weight >= 2",
+            "select distinct grp from Items",
+            "select id from Items order by qty desc limit 3",
+            "select note from Items where note like 'x%'",
+            "select id from Items where grp in ('a', 'c')",
+            "select id, qty * 2 + 1 from Items where qty / 10 >= 2",
+        ]
+    ]
+    assert_hyperedge_parity(support, queries)
+
+
+def test_ordered_query_multi_row_swap_parity():
+    # Regression: an ORDER BY answer is a sequence. A multi-row patch that
+    # swaps projected values between rows preserves the bag but can reorder
+    # a tie group (instance 0) — a conflict that bag comparison misses — or
+    # leave the sorted output identical (no conflict for the ordered output
+    # when nothing projected distinguishes the rows). Backends must agree
+    # with naive on both.
+    table = Relation(
+        TableSchema(
+            "T",
+            (
+                Column("id", ColumnType.INT),
+                Column("Name", ColumnType.TEXT),
+                Column("K", ColumnType.INT),
+            ),
+        )
+    )
+    table.insert_many([(1, "A", 7), (2, "B", 7), (3, "C", 5)])
+    db = Database("ordered", [table])
+    support = SupportSet(
+        db,
+        [
+            # Tie-group swap: bag unchanged, ordered answer reordered.
+            SupportInstance(
+                0, (CellDelta("T", 0, "Name", "B"), CellDelta("T", 1, "Name", "A"))
+            ),
+            # Cross-tie swap: bag of (Name, K) changes.
+            SupportInstance(
+                1, (CellDelta("T", 0, "Name", "C"), CellDelta("T", 2, "Name", "A"))
+            ),
+        ],
+    )
+    queries = [
+        sql_query("select Name, K from T order by K", db),
+        sql_query("select Name from T order by K", db),
+        sql_query("select Name, K from T", db),
+    ]
+    assert_hyperedge_parity(support, queries)
+
+
+def test_ordered_group_by_membership_swap_parity():
+    # Regression: GROUP BY output rows are emitted in group *insertion*
+    # order (first occurrence in the source), which breaks ORDER BY ties. A
+    # patch swapping two rows' group membership leaves every group's count
+    # unchanged but flips which group is encountered first — a conflict only
+    # visible in the ordered answer sequence.
+    table = Relation(
+        TableSchema("T", (Column("id", ColumnType.INT), Column("g", ColumnType.TEXT)))
+    )
+    table.insert_many([(1, "a"), (2, "b"), (3, "a"), (4, "b")])
+    db = Database("grouped", [table])
+    support = SupportSet(
+        db,
+        [
+            SupportInstance(
+                0, (CellDelta("T", 0, "g", "b"), CellDelta("T", 1, "g", "a"))
+            ),
+        ],
+    )
+    queries = [
+        sql_query("select g, count(*) as c from T group by g order by c", db),
+        sql_query("select g, count(*) from T group by g", db),
+    ]
+    assert_hyperedge_parity(support, queries)
+
+
+def test_programmatic_ordered_query_without_sort_node_parity():
+    # Regression: Query(ordered=True) makes the answer a sequence even when
+    # the plan carries no Sort node; the checkers must not fall back to bag
+    # comparison on the plan shape alone.
+    from repro.db.expr import ColumnRef
+    from repro.db.plan import Project, ProjectItem, TableScan
+    from repro.db.query import Query
+
+    table = Relation(
+        TableSchema("T", (Column("id", ColumnType.INT), Column("v", ColumnType.INT)))
+    )
+    table.insert_many([(1, 10), (2, 20)])
+    db = Database("ordered-flag", [table])
+    support = SupportSet(
+        db,
+        [
+            SupportInstance(
+                0, (CellDelta("T", 0, "v", 20), CellDelta("T", 1, "v", 10))
+            ),
+        ],
+    )
+    query = Query(
+        "manual-ordered",
+        Project(TableScan("T"), [ProjectItem(ColumnRef("v"), "v")]),
+        ordered=True,
+    )
+    assert_hyperedge_parity(support, [query])
+
+
+def test_vectorized_plan_cache_keyed_by_query_identity(synthetic_db):
+    # Two programmatic queries sharing text but with different plans must
+    # not reuse each other's compiled batch plan.
+    from repro.db.expr import ColumnRef
+    from repro.db.plan import Project, ProjectItem, TableScan
+    from repro.db.query import Query
+
+    support = SupportSet(
+        synthetic_db,
+        [
+            SupportInstance(0, (CellDelta("Items", 0, "qty", 15),)),
+            SupportInstance(1, (CellDelta("Items", 1, "note", "w"),)),
+        ],
+    )
+    by_qty = Query(
+        "manual", Project(TableScan("Items"), [ProjectItem(ColumnRef("qty"), "qty")])
+    )
+    by_note = Query(
+        "manual", Project(TableScan("Items"), [ProjectItem(ColumnRef("note"), "note")])
+    )
+    vectorized = ConflictSetEngine(support, backend="vectorized")
+    naive = ConflictSetEngine(support, backend="naive")
+    assert vectorized.conflict_set(by_qty) == naive.conflict_set(by_qty)
+    assert vectorized.conflict_set(by_note) == naive.conflict_set(by_note)
+
+
+def test_parity_under_cell_mode_sampling(synthetic_db):
+    workload = get_workload("skewed", scale=0.1)
+    support = workload.support(size=50, seed=7, mode="cell", cells_per_instance=3)
+    random.seed(5)
+    queries = random.sample(workload.queries, 25)
+    assert_hyperedge_parity(support, queries)

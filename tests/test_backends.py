@@ -1,0 +1,179 @@
+"""Conflict-backend registry, engine facade, and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.db.query import sql_query
+from repro.exceptions import PricingError
+from repro.qirana.backends import (
+    ConflictBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.qirana.conflict import ConflictSetEngine
+from repro.qirana.vectorized import VectorizedBackend, compile_batch_query
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self, mini_support):
+        names = available_backends()
+        assert {"naive", "incremental", "vectorized", "auto"} <= set(names)
+
+    def test_unknown_backend_raises(self, mini_support):
+        with pytest.raises(PricingError, match="unknown conflict backend"):
+            get_backend("nope", mini_support)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(PricingError, match="already registered"):
+            register_backend("naive", ConflictBackend)
+
+    def test_engine_accepts_backend_name(self, mini_support, mini_db):
+        engine = ConflictSetEngine(mini_support, backend="vectorized")
+        query = sql_query("select Name from City", mini_db)
+        computation = engine.compute(query)
+        assert computation.backend == "vectorized"
+
+    def test_use_incremental_false_maps_to_naive(self, mini_support, mini_db):
+        engine = ConflictSetEngine(mini_support, use_incremental=False)
+        computation = engine.compute(sql_query("select Name from City", mini_db))
+        assert computation.backend == "naive"
+        assert computation.num_reexecuted == computation.num_candidates
+
+
+class TestDiagnostics:
+    def test_setup_time_separate_from_wall_time(self, mini_support, mini_db):
+        # The bugfix under test: checker construction must not pollute the
+        # per-candidate timing, so backends are comparable.
+        engine = ConflictSetEngine(mini_support, backend="incremental")
+        query = sql_query(
+            "select Continent, count(Code) from Country group by Continent", mini_db
+        )
+        computation = engine.compute(query)
+        assert computation.setup_seconds >= 0.0
+        assert computation.wall_time_seconds >= 0.0
+        assert computation.incremental
+
+    def test_engine_aggregates_per_backend_diagnostics(self, mini_support, mini_db):
+        engine = ConflictSetEngine(mini_support, backend="auto")
+        queries = [
+            "select Name from City",  # vectorizable shape (small -> incremental)
+            "select distinct Continent from Country",  # falls back
+        ]
+        for text in queries:
+            engine.compute(sql_query(text, mini_db))
+        total_queries = sum(r["queries"] for r in engine.diagnostics.values())
+        assert total_queries == 2
+        for record in engine.diagnostics.values():
+            assert record["candidates"] + 0 >= 0
+            assert record["wall_time_seconds"] >= 0.0
+
+    def test_vectorized_reports_no_reexecution_on_batch_path(
+        self, mini_support, mini_db
+    ):
+        engine = ConflictSetEngine(mini_support, backend="vectorized")
+        computation = engine.compute(sql_query("select Name from City", mini_db))
+        assert computation.backend == "vectorized"
+        assert computation.num_reexecuted == 0
+
+
+class TestBatchCompilation:
+    def test_flat_plan_compiles(self, mini_support, mini_db):
+        query = sql_query("select Name from City where Population > 1000", mini_db)
+        assert compile_batch_query(query, mini_db) is not None
+
+    def test_scalar_int_aggregates_compile(self, mini_db):
+        for text in [
+            "select count(*) from City",
+            "select count(Name) from City",
+            "select sum(Population) from City",
+            "select avg(Population) from City",
+        ]:
+            assert compile_batch_query(sql_query(text, mini_db), mini_db) is not None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # float SUM/AVG: float accumulation order differs from
+            # re-execution, so these stay on the incremental path
+            "select sum(LifeExpectancy) from Country",
+            "select avg(LifeExpectancy) from Country",
+            "select max(Population) from Country",
+            "select distinct Continent from Country",
+            "select Continent, count(Code) from Country group by Continent",
+            "select Name from Country order by Population desc limit 2",
+            "select Name from Country , CountryLanguage where Code = CountryCode",
+        ],
+    )
+    def test_unsupported_shapes_do_not_compile(self, mini_db, text):
+        assert compile_batch_query(sql_query(text, mini_db), mini_db) is None
+
+    def test_fallback_still_correct(self, mini_support, mini_db):
+        query = sql_query("select distinct Continent from Country", mini_db)
+        vectorized = ConflictSetEngine(mini_support, backend="vectorized")
+        naive = ConflictSetEngine(mini_support, backend="naive")
+        assert vectorized.conflict_set(query) == naive.conflict_set(query)
+        computation = vectorized.compute(query)
+        assert computation.backend == "incremental"
+
+    def test_compiled_plans_are_cached(self, mini_support, mini_db):
+        backend = VectorizedBackend(mini_support)
+        query = sql_query("select Name from City", mini_db)
+        first = backend.batch_plan(query)
+        assert backend.batch_plan(query) is first
+
+
+class TestBrokerBatchAPIs:
+    def _market(self, mini_support):
+        from repro.qirana.broker import QueryMarket
+
+        market = QueryMarket(mini_support)
+        market.set_flat_fee(5.0)
+        return market
+
+    def test_quote_batch_deduplicates_repeated_queries(self, mini_support, mini_db):
+        market = self._market(mini_support)
+        text = "select Name from City"
+        quotes = market.quote_batch([text, text, text])
+        assert len(quotes) == 3
+        assert len({quote.price for quote in quotes}) == 1
+        # Only one conflict computation ran for the repeated text.
+        total_queries = sum(
+            record["queries"] for record in market.engine.diagnostics.values()
+        )
+        assert total_queries == 1
+
+    def test_quote_batch_matches_individual_quotes(self, mini_support, mini_db):
+        market = self._market(mini_support)
+        texts = [
+            "select Name from City",
+            "select count(Name) from Country where Continent = 'Asia'",
+            "select Language from CountryLanguage",
+        ]
+        batch_quotes = market.quote_batch(texts)
+        for text, quote in zip(texts, batch_quotes):
+            single = market.quote(text)
+            assert single.price == quote.price
+            assert single.bundle == quote.bundle
+
+    def test_quote_batch_requires_pricing(self, mini_support):
+        from repro.exceptions import PricingError
+        from repro.qirana.broker import QueryMarket
+
+        market = QueryMarket(mini_support)
+        with pytest.raises(PricingError):
+            market.quote_batch(["select Name from City"])
+
+    def test_build_hypergraph_fills_bundle_cache(self, mini_support, mini_db):
+        market = self._market(mini_support)
+        texts = ["select Name from City", "select Language from CountryLanguage"]
+        hypergraph = market.build_hypergraph(texts)
+        assert hypergraph.num_edges == 2
+        for text, edge in zip(texts, hypergraph.edges):
+            assert market._bundle_cache[text] == edge
+
+    def test_market_conflict_backend_parameter(self, mini_support, mini_db):
+        from repro.qirana.broker import QueryMarket
+
+        market = QueryMarket(mini_support, conflict_backend="naive")
+        assert market.engine.backend_name == "naive"

@@ -58,6 +58,62 @@ class TestReferencedColumns:
         assert ("country", "population") in pairs
         assert ("country", "continent") in pairs
 
+    def test_ambiguous_unqualified_column_matches_all_tables(self, mini_db):
+        # Both Country and City have a Name column. The SQL planner rejects
+        # the ambiguity outright, but programmatic plans can carry an
+        # unqualified reference; it must conservatively reference *both*
+        # tables (a sound over-approximation for pruning).
+        from repro.db.expr import ColumnRef, Comparison, Literal
+        from repro.db.plan import (
+            CrossJoin,
+            Filter,
+            Project,
+            ProjectItem,
+            TableScan,
+        )
+        from repro.db.query import Query
+
+        plan = Project(
+            Filter(
+                CrossJoin(TableScan("Country"), TableScan("City")),
+                Comparison("!=", ColumnRef("Name"), Literal("x")),
+            ),
+            [ProjectItem(ColumnRef("Code", "country"), "code")],
+        )
+        pairs = referenced_columns(Query("manual", plan), mini_db)
+        assert ("country", "name") in pairs
+        assert ("city", "name") in pairs
+
+    def test_derived_scope_qualifier_skipped(self, mini_db):
+        # ORDER BY over an aggregate alias references a derived column; only
+        # the aggregate's *inputs* count as referenced cells.
+        query = sql_query(
+            "select Continent, count(Code) as c from Country "
+            "group by Continent order by c",
+            mini_db,
+        )
+        pairs = referenced_columns(query, mini_db)
+        assert pairs == {("country", "continent"), ("country", "code")}
+
+    def test_aggregate_only_plan_references_nothing(self, mini_db):
+        # COUNT(*) depends on the row count only; support deltas never
+        # insert or delete rows, so no cell is referenced and no instance
+        # can conflict.
+        query = sql_query("select count(*) from City", mini_db)
+        assert referenced_columns(query, mini_db) == set()
+
+    def test_aggregate_only_plan_has_empty_conflict_set(self, mini_db, mini_support):
+        query = sql_query("select count(*) from City", mini_db)
+        for backend in ("naive", "incremental", "vectorized", "auto"):
+            engine = ConflictSetEngine(mini_support, backend=backend)
+            assert engine.conflict_set(query) == frozenset(), backend
+
+    def test_count_star_with_filter_references_predicate_columns(self, mini_db):
+        query = sql_query(
+            "select count(*) from City where Population > 1000000", mini_db
+        )
+        assert referenced_columns(query, mini_db) == {("city", "population")}
+
 
 class TestConflictSets:
     def test_matches_definition(self, engine, mini_support, mini_db):
