@@ -51,6 +51,13 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--support", type=int, default=None)
     bench.add_argument("--scale", type=float, default=None)
     bench.add_argument("--queries", type=int, default=None)
+    bench.add_argument("--join-only", action="store_true",
+                       help="restrict to two-table equi-join templates "
+                            "(times the vectorized join kernels vs the "
+                            "incremental checkers)")
+    bench.add_argument("--template", default=None,
+                       help="with --join-only: keep only queries containing "
+                            "this substring (e.g. 'count(*)')")
 
     figure = commands.add_parser("figure", help="reproduce a figure panel")
     figure.add_argument("figure_id", help="e.g. fig4-skewed, fig5a-uniform-tpch, fig8-ssb")
@@ -120,12 +127,24 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 def _cmd_bench_backends(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
-    artifact = figures.backend_comparison(
-        workload_name=args.workload,
-        scale=args.scale,
-        support_size=args.support,
-        num_queries=args.queries,
-    )
+    if args.template is not None and not args.join_only:
+        print("error: --template requires --join-only", file=sys.stderr)
+        return 2
+    if args.join_only:
+        artifact = figures.join_backend_comparison(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+            template=args.template,
+        )
+    else:
+        artifact = figures.backend_comparison(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+        )
     print(artifact)
     return 0
 

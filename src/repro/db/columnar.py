@@ -142,6 +142,14 @@ class ColumnarBatch:
             int(len(indices)),
         )
 
+    def take(self, indices: np.ndarray) -> "ColumnarBatch":
+        """A new batch of the rows at ``indices`` (repeats allowed)."""
+        return ColumnarBatch(
+            self.scope,
+            [column.take(indices) if column is not None else None for column in self.columns],
+            int(len(indices)),
+        )
+
 
 #: A compiled batch expression: maps a batch to one vector of results.
 BatchEvaluator = Callable[[ColumnarBatch], ColumnVector]
@@ -395,6 +403,66 @@ def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
 
     raise QueryError(
         f"no batch evaluation for expression type {type(expression).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hash-join kernels (shared by HashJoin.execute_batch and the conflict engine)
+# ---------------------------------------------------------------------------
+
+
+def key_tuples(vectors: list[ColumnVector]) -> list[tuple]:
+    """Row-wise key tuples of one or more key vectors (None at NULLs)."""
+    if not vectors:
+        return []
+    return list(zip(*(vector.as_object() for vector in vectors)))
+
+
+def build_key_index(
+    keys: list[tuple], mask: np.ndarray | None = None
+) -> dict[tuple, list[int]]:
+    """Hash index: key tuple -> row positions, in row order.
+
+    Rows whose key contains NULL never match (SQL equality) and are left out;
+    ``mask`` restricts the index to passing rows (e.g. a side filter).
+    """
+    index: dict[tuple, list[int]] = {}
+    positions = range(len(keys)) if mask is None else np.nonzero(mask)[0]
+    for position in positions:
+        key = keys[position]
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(int(position))
+    return index
+
+
+def hash_join_indices(
+    probe_keys: list[tuple],
+    index: dict[tuple, list[int]],
+    probe_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-join row pairs: (probe row, indexed row) position arrays.
+
+    Pairs are produced probe-row-major with indexed rows in row order —
+    exactly the output order of :meth:`HashJoin.execute`.
+    """
+    probe_positions: list[int] = []
+    match_positions: list[int] = []
+    positions = (
+        range(len(probe_keys)) if probe_mask is None else np.nonzero(probe_mask)[0]
+    )
+    for position in positions:
+        key = probe_keys[position]
+        if any(part is None for part in key):
+            continue
+        matches = index.get(key)
+        if not matches:
+            continue
+        probe_positions.extend([int(position)] * len(matches))
+        match_positions.extend(matches)
+    return (
+        np.asarray(probe_positions, dtype=np.int64),
+        np.asarray(match_positions, dtype=np.int64),
     )
 
 

@@ -178,6 +178,39 @@ class HashJoin(PlanNode):
                 output.append(row + match)
         return output
 
+    def execute_batch(self, db: Database, source=None):
+        from repro.db.columnar import (
+            ColumnarBatch,
+            build_key_index,
+            hash_join_indices,
+            key_tuples,
+        )
+
+        if source is not None:
+            # With two scan leaves there is no unambiguous substitution point.
+            raise QueryError("HashJoin cannot substitute an external source batch")
+        if len(self.left_keys) != len(self.right_keys) or not self.left_keys:
+            raise QueryError("hash join requires matching, non-empty key lists")
+        left_batch = self.left.execute_batch(db)
+        right_batch = self.right.execute_batch(db)
+        left_scope = self.left.output_scope(db)
+        right_scope = self.right.output_scope(db)
+        left_keys = key_tuples(
+            [key.eval_batch(left_scope)(left_batch) for key in self.left_keys]
+        )
+        right_keys = key_tuples(
+            [key.eval_batch(right_scope)(right_batch) for key in self.right_keys]
+        )
+        index = build_key_index(right_keys)
+        left_rows, right_rows = hash_join_indices(left_keys, index)
+        left_taken = left_batch.take(left_rows)
+        right_taken = right_batch.take(right_rows)
+        return ColumnarBatch(
+            left_scope.concat(right_scope),
+            left_taken.columns + right_taken.columns,
+            left_taken.num_rows,
+        )
+
 
 @dataclass
 class ProjectItem:
@@ -283,6 +316,54 @@ class Aggregate(PlanNode):
                 aggregated.append(value)
             output.append(key + tuple(aggregated))
         return output
+
+    def execute_batch(self, db: Database, source=None):
+        from repro.db.columnar import ColumnarBatch, key_tuples, vector_from_values
+
+        batch = self.child.execute_batch(db, source)
+        scope = self.child.output_scope(db)
+        key_vectors = [
+            item.expr.eval_batch(scope)(batch) for item in self.group_items
+        ]
+        arg_vectors = [
+            spec.arg.eval_batch(scope)(batch) if spec.arg is not None else None
+            for spec in self.aggregates
+        ]
+        keys = (
+            key_tuples(key_vectors)
+            if key_vectors
+            else [()] * batch.num_rows
+        )
+        groups: dict[tuple, list[int]] = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(key, []).append(position)
+        if not groups and not self.group_items:
+            groups[()] = []
+
+        output_rows: list[tuple[Value, ...]] = []
+        for key, positions in groups.items():
+            aggregated: list[Value] = []
+            for spec, vector in zip(self.aggregates, arg_vectors):
+                if vector is None:
+                    if spec.func.lower() != "count":
+                        raise QueryError(f"{spec.func}(*) is not a valid aggregate")
+                    value = len(positions)
+                else:
+                    value = compute_aggregate(
+                        spec.func,
+                        (vector.value_at(position) for position in positions),
+                        distinct=spec.distinct,
+                    )
+                aggregated.append(value)
+            output_rows.append(key + tuple(aggregated))
+
+        transposed = (
+            list(zip(*output_rows))
+            if output_rows
+            else [() for _ in range(len(self.group_items) + len(self.aggregates))]
+        )
+        columns = [vector_from_values(list(values)) for values in transposed]
+        return ColumnarBatch(self.output_scope(db), columns, len(output_rows))
 
 
 @dataclass

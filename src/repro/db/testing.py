@@ -82,3 +82,317 @@ def random_query_text(rng: np.random.Generator | int | None = None) -> str:
         "select D.w, sum(F.x) from F, D where F.g = D.g "
         f"and F.x <= {hi} group by D.w"
     )
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity fuzzing: database, support set, and query generators
+# ---------------------------------------------------------------------------
+
+#: Text domain shared by the fuzz fact/dim tables (small, so joins and group
+#: keys collide often — collisions are where conflict checkers go wrong).
+FUZZ_TEXT_DOMAIN = ("a", "b", "c", "d")
+
+
+def random_fuzz_database(
+    rng: np.random.Generator | int | None = None,
+) -> Database:
+    """A two-table database for conflict-backend parity fuzzing.
+
+    ``T(id, k, g, x, y, s)`` joins ``U(k, h, w)`` on the small-domain key
+    ``k``; NULLs are sprinkled through keys, group columns, and aggregate
+    inputs. Float values are multiples of 0.25, so float sums are exact in
+    binary regardless of accumulation order — decisions then depend on the
+    data, not on which order a backend happens to add values in.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    fact = Relation(
+        TableSchema(
+            "T",
+            (
+                Column("id", ColumnType.INT),
+                Column("k", ColumnType.INT),
+                Column("g", ColumnType.TEXT),
+                Column("x", ColumnType.INT),
+                Column("y", ColumnType.FLOAT),
+                Column("s", ColumnType.TEXT),
+            ),
+            primary_key=("id",),
+        )
+    )
+    for i in range(int(rng.integers(8, 25))):
+        fact.insert(
+            (
+                i,
+                None if rng.random() < 0.07 else int(rng.integers(0, 5)),
+                None
+                if rng.random() < 0.12
+                else FUZZ_TEXT_DOMAIN[int(rng.integers(3))],
+                None if rng.random() < 0.08 else int(rng.integers(0, 9)),
+                None if rng.random() < 0.12 else float(int(rng.integers(0, 32))) / 4.0,
+                None
+                if rng.random() < 0.15
+                else FUZZ_TEXT_DOMAIN[int(rng.integers(len(FUZZ_TEXT_DOMAIN)))],
+            )
+        )
+    dim = Relation(
+        TableSchema(
+            "U",
+            (
+                Column("k", ColumnType.INT),
+                Column("h", ColumnType.TEXT),
+                Column("w", ColumnType.INT),
+            ),
+        )
+    )
+    for _ in range(int(rng.integers(3, 9))):
+        dim.insert(
+            (
+                None if rng.random() < 0.08 else int(rng.integers(0, 5)),
+                FUZZ_TEXT_DOMAIN[int(rng.integers(3))],
+                int(rng.integers(0, 7)),
+            )
+        )
+    return Database("fuzz", [fact, dim])
+
+
+def random_fuzz_value(rng: np.random.Generator, column: Column):
+    """A random replacement value for a fuzz-database column (maybe NULL)."""
+    if rng.random() < 0.12:
+        return None
+    if column.dtype is ColumnType.INT:
+        return int(rng.integers(0, 9))
+    if column.dtype is ColumnType.FLOAT:
+        return float(int(rng.integers(0, 32))) / 4.0
+    return FUZZ_TEXT_DOMAIN[int(rng.integers(len(FUZZ_TEXT_DOMAIN)))]
+
+
+def random_support_set(
+    db: Database,
+    rng: np.random.Generator | int | None = None,
+    size: int = 24,
+    max_deltas: int = 3,
+):
+    """A random support set over ``db``: 1..max_deltas cell patches each.
+
+    Unlike :class:`~repro.support.generator.NeighborSampler` this patches
+    *any* column — including primary keys and join keys — which checkers
+    must decide correctly. Replacement values always differ from the base
+    cell (a support instance must be a *neighbor* of ``D``).
+    """
+    from repro.support.delta import CellDelta, SupportInstance
+    from repro.support.generator import SupportSet
+
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    tables = list(db.tables())
+    instances = []
+    for instance_id in range(size):
+        wanted = 1 + int(rng.integers(max_deltas))
+        used: set[tuple[str, int, str]] = set()
+        deltas = []
+        attempts = 0
+        while len(deltas) < wanted and attempts < 50:
+            attempts += 1
+            relation = tables[int(rng.integers(len(tables)))]
+            schema = relation.schema
+            row_index = int(rng.integers(len(relation)))
+            column = schema.columns[int(rng.integers(len(schema.columns)))]
+            key = (schema.name.lower(), row_index, column.name.lower())
+            if key in used:
+                continue
+            replacement = random_fuzz_value(rng, column)
+            if replacement == relation.cell(row_index, column.name):
+                continue
+            used.add(key)
+            deltas.append(
+                CellDelta(schema.name, row_index, column.name, replacement)
+            )
+        instances.append(SupportInstance(instance_id, tuple(deltas)))
+    return SupportSet(db, instances)
+
+
+def _fuzz_fact_atom(rng: np.random.Generator, qualifier: str = "") -> str:
+    """One random predicate atom over the fuzz fact table ``T``."""
+    kind = int(rng.integers(7))
+    op = ("=", "!=", "<", "<=", ">", ">=")[int(rng.integers(6))]
+    if kind == 0:
+        return f"{qualifier}x {op} {int(rng.integers(0, 9))}"
+    if kind == 1:
+        low = float(int(rng.integers(0, 16))) / 4.0
+        return f"{qualifier}y between {low} and {low + float(int(rng.integers(1, 16))) / 4.0}"
+    if kind == 2:
+        return f"{qualifier}g in ('a', 'b')"
+    if kind == 3:
+        negated = "not " if rng.random() < 0.4 else ""
+        return f"{qualifier}s {negated}like '{FUZZ_TEXT_DOMAIN[int(rng.integers(3))]}%'"
+    if kind == 4:
+        negated = "not " if rng.random() < 0.5 else ""
+        return f"{qualifier}g is {negated}null"
+    if kind == 5:
+        return f"{qualifier}x + 1 {op} {int(rng.integers(1, 10))}"
+    return f"{qualifier}k {op} {int(rng.integers(0, 5))}"
+
+
+def _fuzz_where(rng: np.random.Generator, atoms: list[str]) -> str:
+    if not atoms:
+        return ""
+    connector = " or " if len(atoms) > 1 and rng.random() < 0.3 else " and "
+    return " where " + connector.join(atoms)
+
+
+def _fuzz_aggs(rng: np.random.Generator, qualifier: str = "") -> list[str]:
+    """1..3 random aggregate expressions over the fuzz fact table."""
+    pool = [
+        "count(*)",
+        f"count({qualifier}s)",
+        f"sum({qualifier}x)",
+        f"avg({qualifier}x)",
+        f"min({qualifier}y)",
+        f"max({qualifier}y)",
+        f"min({qualifier}s)",
+        f"max({qualifier}x)",
+        f"sum({qualifier}y)",
+        f"avg({qualifier}y)",
+    ]
+    picks = rng.choice(len(pool), size=1 + int(rng.integers(3)), replace=False)
+    return [pool[int(index)] for index in picks]
+
+
+def random_fuzz_query_text(rng: np.random.Generator | int | None = None) -> str:
+    """A random query over :func:`random_fuzz_database`'s schema.
+
+    The grammar spans the conflict engine's whole decision surface: flat
+    selections/projections, scalar aggregates, GROUP BY (with the group key
+    sometimes *not* projected — the collision case), all five aggregate
+    functions over INT/FLOAT/TEXT columns, ORDER BY, HAVING, DISTINCT,
+    LIMIT, and two-table equi-joins in flat, scalar, and grouped forms.
+    Extend it here (one new branch per feature) and every parity suite that
+    samples it picks the new shapes up automatically.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    kind = int(rng.integers(12))
+    atoms = [_fuzz_fact_atom(rng) for _ in range(int(rng.integers(3)))]
+    where = _fuzz_where(rng, atoms)
+
+    if kind == 0:
+        order = " order by x" if rng.random() < 0.4 else ""
+        return f"select x, s from T{where}{order}"
+    if kind == 1:
+        return f"select * from T{where}"
+    if kind == 2:  # Sort below the projection (unsupported shape, full fallback)
+        return f"select s from T{where} order by y desc"
+    if kind == 3:
+        return f"select {', '.join(_fuzz_aggs(rng))} from T{where}"
+    if kind == 4:  # DISTINCT / LIMIT: fallback shapes stay parity-checked
+        if rng.random() < 0.5:
+            return f"select distinct g from T{where}"
+        return f"select x from T{where} order by x limit {int(rng.integers(1, 5))}"
+    if kind in (5, 6, 7):  # grouped single-table
+        keys = [["g"], ["x"], ["g", "x"]][int(rng.integers(3))]
+        aggs = _fuzz_aggs(rng)
+        if rng.random() < 0.3:
+            selected = aggs  # group key not projected: the collision case
+        else:
+            selected = keys + aggs
+        having = ""
+        if rng.random() < 0.25:
+            having = f" having count(*) >= {int(rng.integers(1, 4))}"
+        order = ""
+        if rng.random() < 0.3:
+            selected = selected + ["count(*) as c"]
+            order = " order by c"
+        return (
+            f"select {', '.join(selected)} from T{where} "
+            f"group by {', '.join(keys)}{having}{order}"
+        )
+    join_atoms = ["T.k = U.k"]
+    join_atoms += [_fuzz_fact_atom(rng, "T.") for _ in range(int(rng.integers(3)))]
+    if rng.random() < 0.5:
+        join_atoms.append(f"U.w {('<', '>=')[int(rng.integers(2))]} {int(rng.integers(0, 7))}")
+    if rng.random() < 0.3:
+        join_atoms.append(f"U.h = '{FUZZ_TEXT_DOMAIN[int(rng.integers(3))]}'")
+    where = " where " + " and ".join(join_atoms)
+    if kind == 8:
+        order = " order by x" if rng.random() < 0.4 else ""
+        return f"select T.x as x, U.w as w from T, U{where}{order}"
+    if kind == 9:
+        aggs = ["count(*)", "count(U.h)", "sum(T.x)", "avg(T.x)", "sum(U.w)"]
+        picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
+        return f"select {', '.join(aggs[int(i)] for i in picks)} from T, U{where}"
+    key = ("U.h", "T.g", "U.k")[int(rng.integers(3))]
+    aggs = ["count(*)", "sum(T.x)", "min(T.y)", "max(U.w)", "count(T.s)"]
+    picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
+    selected = [aggs[int(i)] for i in picks]
+    if rng.random() >= 0.3:
+        selected = [key] + selected
+    order = ""
+    if rng.random() < 0.35:
+        # Ordered grouped joins: ORDER BY ties are broken by group emission
+        # order, which depends on join contribution *positions* — the case
+        # where value-level comparisons alone are unsound.
+        selected = selected + ["count(*) as c"]
+        order = " order by c"
+    return (
+        f"select {', '.join(selected)} from T, U{where} "
+        f"group by {key}{order}"
+    )
+
+
+def render_parity_repro(
+    db: Database, support, query_text: str, note: str = ""
+) -> str:
+    """A standalone repro script for a cross-backend parity mismatch.
+
+    The returned source rebuilds the database and support set literally (no
+    seeds involved), runs every registered backend on the query, and prints
+    each backend's hyperedge — ready to attach to a bug report or bisect.
+    """
+    lines = [
+        '"""Auto-generated cross-backend parity repro.',
+        "",
+        f"{note}".rstrip(),
+        "Run: PYTHONPATH=src python <this file>",
+        '"""',
+        "",
+        "from repro.db.database import Database",
+        "from repro.db.query import sql_query",
+        "from repro.db.relation import Relation",
+        "from repro.db.schema import Column, ColumnType, TableSchema",
+        "from repro.qirana.conflict import ConflictSetEngine",
+        "from repro.support.delta import CellDelta, SupportInstance",
+        "from repro.support.generator import SupportSet",
+        "",
+        "tables = []",
+    ]
+    for relation in db.tables():
+        schema = relation.schema
+        columns = ", ".join(
+            f"Column({column.name!r}, ColumnType.{column.dtype.name})"
+            for column in schema.columns
+        )
+        lines.append(
+            f"relation = Relation(TableSchema({schema.name!r}, ({columns},), "
+            f"primary_key={tuple(schema.primary_key)!r}))"
+        )
+        lines.append(f"relation.insert_many({[tuple(row) for row in relation.rows]!r})")
+        lines.append("tables.append(relation)")
+    lines.append(f"db = Database({db.name!r}, tables)")
+    lines.append("instances = [")
+    for instance in support:
+        deltas = ", ".join(
+            f"CellDelta({d.table!r}, {d.row_index!r}, {d.column!r}, {d.value!r})"
+            for d in instance.deltas
+        )
+        # A delta-less instance must render as () — "(,)" is a SyntaxError.
+        tuple_source = f"({deltas},)" if instance.deltas else "()"
+        lines.append(f"    SupportInstance({instance.instance_id}, {tuple_source}),")
+    lines.append("]")
+    lines.append("support = SupportSet(db, instances)")
+    lines.append(f"query = sql_query({query_text!r}, db)")
+    lines.append(
+        "for backend in ('naive', 'incremental', 'vectorized', 'auto'):"
+    )
+    lines.append(
+        "    edge = ConflictSetEngine(support, backend=backend).conflict_set(query)"
+    )
+    lines.append("    print(backend, sorted(edge))")
+    return "\n".join(lines) + "\n"

@@ -424,8 +424,22 @@ def backend_comparison(
     )
     builds = time_hypergraph_builds(support, queries, backends)
     by_name = {build.backend: build for build in builds}
-    reference = by_name.get("naive", builds[0])
+    return _backend_comparison_figure(
+        builds,
+        reference=by_name.get("naive", builds[0]),
+        figure_id=f"backend-comparison-{workload_name}",
+        title=f"conflict backend construction times ({workload_name})",
+        table_title=(
+            f"{len(queries)} queries, |S|={len(support)}, "
+            f"{workload_name} workload"
+        ),
+    )
 
+
+def _backend_comparison_figure(
+    builds, reference, figure_id: str, title: str, table_title: str
+) -> FigureData:
+    """Assemble the speedup table + artifact shared by the comparisons."""
     rows = []
     speedups: dict[str, float] = {}
     for build in builds:
@@ -437,14 +451,11 @@ def backend_comparison(
     text = format_table(
         ["conflict backend", "construction (s)", f"speedup vs {reference.backend}"],
         rows,
-        title=(
-            f"{len(queries)} queries, |S|={len(support)}, "
-            f"{workload_name} workload"
-        ),
+        title=table_title,
     )
     return FigureData(
-        f"backend-comparison-{workload_name}",
-        f"conflict backend construction times ({workload_name})",
+        figure_id,
+        title,
         text,
         {
             "seconds": {build.backend: build.seconds for build in builds},
@@ -459,4 +470,58 @@ def backend_comparison(
                 build.backend: build.diagnostics for build in builds
             },
         },
+    )
+
+
+def join_backend_comparison(
+    workload_name: str = "ssb",
+    backends: tuple[str, ...] = ("incremental", "vectorized", "auto"),
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int | None = None,
+    template: str | None = None,
+    seed: int = 0,
+) -> FigureData:
+    """Backend comparison restricted to the two-table equi-join templates.
+
+    The paper's SSB/TPC-H workloads are join-heavy; this figure times
+    hypergraph construction over exactly the two-table join queries (the
+    shapes the vectorized join kernels cover: per-side delta tensors plus
+    hash-index probes). ``template`` further restricts to queries containing
+    the given substring — e.g. ``"count(*)"`` isolates the SSB city
+    template, whose joins are decided entirely in array ops (float-SUM join
+    templates intentionally stay on the incremental path, where exact
+    accumulation order matters). ``naive`` is left out of the default
+    backend list — re-executing a join per candidate is so slow it would
+    dominate the run without adding information; the interesting ratio is
+    vectorized vs the incremental checkers.
+    """
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    join_queries = [
+        query
+        for query in workload.queries
+        if len(query.referenced_tables) == 2
+        and (template is None or template in query.text)
+    ]
+    queries = (
+        join_queries if num_queries is None else join_queries[:num_queries]
+    )
+    support = workload.support(
+        size=support_size if support_size is not None else default_support,
+        seed=seed,
+        mode="row",
+    )
+    builds = time_hypergraph_builds(support, queries, backends)
+    return _backend_comparison_figure(
+        builds,
+        reference=builds[0],
+        figure_id=f"backend-comparison-{workload_name}-join",
+        title=f"conflict backend construction times ({workload_name} join templates)",
+        table_title=(
+            f"{len(queries)} two-table join queries, |S|={len(support)}, "
+            f"{workload_name} workload"
+        ),
     )

@@ -134,6 +134,15 @@ class ConflictBackend:
             candidates.update(self.support.instances_touching_column(table, column))
         return sorted(candidates)
 
+    def prepare(self, queries: list[Query]) -> None:
+        """Warm per-workload caches before a batch of computations.
+
+        Backends that amortize setup across a workload (delta tensors per
+        table/join side, columnar base tables, compiled plans) override
+        this; the default is a no-op. Called by
+        :meth:`ConflictSetEngine.build_hypergraph`.
+        """
+
     def compute(
         self, query: Query, candidates: list[int] | None = None
     ) -> ConflictComputation:

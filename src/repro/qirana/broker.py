@@ -144,8 +144,11 @@ class QueryMarket:
         """Price many queries at once.
 
         Uncached conflict sets are computed together through
-        :meth:`build_hypergraph`, amortizing delta-tensor construction across
-        the batch — the fast path for bulk quoting traffic.
+        :meth:`build_hypergraph`, which warms the engine's per-workload
+        caches up front (one delta tensor per referenced table — hence one
+        per *join side* — columnar base tables, compiled batch plans) so
+        their construction is amortized across the batch: the fast path for
+        bulk quoting traffic.
         """
         if self.pricing is None:
             raise PricingError("no pricing installed; call optimize_pricing first")

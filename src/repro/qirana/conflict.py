@@ -124,10 +124,12 @@ class ConflictSetEngine:
     def build_hypergraph(self, queries: list[Query]) -> Hypergraph:
         """The pricing hypergraph of a workload: one hyperedge per query.
 
-        Batch-friendly: the delta tensors and columnar base tables built for
-        the first query are shared by every later one, so the construction
-        cost is amortized across the workload.
+        Batch-friendly: the backend's ``prepare`` hook warms the delta
+        tensors (one per table, hence one per join side) and columnar base
+        tables up front, so the construction cost is amortized across the
+        workload instead of being paid by the first query of each shape.
         """
+        self._backend.prepare(queries)
         edges = [self.conflict_set(query) for query in queries]
         labels = [query.text for query in queries]
         return Hypergraph(len(self.support), edges, labels=labels)

@@ -39,17 +39,10 @@ from dataclasses import dataclass
 from repro.db.aggregates import compute_aggregate
 from repro.db.database import Database
 from repro.db.expr import Scope
-from repro.db.plan import (
-    Aggregate,
-    Filter,
-    HashJoin,
-    PlanNode,
-    Project,
-    Sort,
-    TableScan,
-)
+from repro.db.plan import Aggregate, Filter, PlanNode, Project, TableScan
 from repro.db.query import Query
 from repro.db.schema import Value
+from repro.qirana.shapes import QueryShape, match_shape
 from repro.support.delta import SupportInstance
 
 #: A compiled checker: does this instance's patch change the query answer?
@@ -102,12 +95,10 @@ class _JoinTreeSource:
     above the join applies to every produced row.
     """
 
-    def __init__(self, base: Database, join_root: HashJoin, residual: Filter | None):
+    def __init__(self, base: Database, shape: QueryShape):
         self.base = base
-        leftmost, levels = _decompose_left_deep(join_root)
-        if leftmost is None:
-            raise _UnsupportedShape
-        self.leftmost_scan, self.leftmost_filter_node = leftmost
+        self.leftmost_scan = shape.leftmost.scan
+        self.leftmost_filter_node = shape.leftmost.predicate
 
         self.leftmost_table = self.leftmost_scan.table.lower()
         scope = self.leftmost_scan.output_scope(base)
@@ -126,10 +117,10 @@ class _JoinTreeSource:
             if self.leftmost_filter is None or self.leftmost_filter(row)
         ]
 
-        for join, (right_scan, right_filter_node) in levels:
+        for level in shape.levels:
+            join = level.join
+            right_scan, right_filter_node = level.right.scan, level.right.predicate
             right_table = right_scan.table.lower()
-            if right_table in tables:
-                raise _UnsupportedShape  # self-join: one patch hits two slots
             tables.add(right_table)
 
             right_scope = right_scan.output_scope(base)
@@ -170,7 +161,9 @@ class _JoinTreeSource:
         self.tables = tables
         self._scope = scope
         self.residual_eval = (
-            residual.predicate.bind(scope) if residual is not None else None
+            shape.residual.predicate.bind(scope)
+            if shape.residual is not None
+            else None
         )
         self._base_join_rows = rows
 
@@ -231,10 +224,6 @@ class _JoinTreeSource:
         return joined
 
 
-class _UnsupportedShape(Exception):
-    """Internal: the plan looked like a join tree but is not left-deep/simple."""
-
-
 def _build_key_index(rows, predicate, key_evals):
     index: dict[tuple, list[tuple[Value, ...]]] = {}
     for row in rows:
@@ -247,43 +236,15 @@ def _build_key_index(rows, predicate, key_evals):
     return index
 
 
-def _decompose_left_deep(
-    node: PlanNode,
-) -> tuple[
-    tuple[TableScan, Filter | None] | None,
-    list[tuple[HashJoin, tuple[TableScan, Filter | None]]],
-]:
-    """Split a left-deep HashJoin tree into (leftmost side, join levels)."""
-    levels: list[tuple[HashJoin, tuple[TableScan, Filter | None]]] = []
-    while isinstance(node, HashJoin):
-        right_scan, right_filter = _unwrap_side(node.right)
-        if right_scan is None:
-            return None, []
-        levels.append((node, (right_scan, right_filter)))
-        node = node.left
-    scan, scan_filter = _unwrap_side(node)
-    if scan is None:
-        return None, []
-    levels.reverse()
-    return (scan, scan_filter), levels
-
-
-def _unwrap_side(node: PlanNode) -> tuple[TableScan | None, Filter | None]:
-    """Match ``TableScan`` or ``Filter(TableScan)``."""
-    if isinstance(node, TableScan):
-        return node, None
-    if isinstance(node, Filter) and isinstance(node.child, TableScan):
-        return node.child, node
-    return None, None
-
-
 # ---------------------------------------------------------------------------
-# Plan-shape matching
+# Plan-shape matching (shared matcher + database binding)
 # ---------------------------------------------------------------------------
 
 
 @dataclass
 class _Shape:
+    """A matched :class:`QueryShape` with its source bound to a database."""
+
     project: Project
     aggregate: Aggregate | None
     source: _SingleTableSource | _JoinTreeSource
@@ -292,60 +253,24 @@ class _Shape:
 
 
 def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
-    node = plan
-    ordered = False
-    if isinstance(node, Sort):
-        # With ORDER BY the answer is a sequence, not a bag: a single row's
-        # contribution changing still decides exactly (the bag changes iff
-        # the value changes), but *multi-row* patches can reorder tie groups
-        # while preserving the bag — those are undecidable here and the
-        # checkers return None for them (full re-execution).
-        ordered = True
-        node = node.child
-    if not isinstance(node, Project):
+    """Match ``plan`` via the shared matcher and bind its source to ``base``.
+
+    The structural rules (what counts as a source, HAVING, residual filter,
+    left-deep join tree, orderedness) live in :mod:`repro.qirana.shapes`;
+    this wrapper only constructs the database-bound contribution source.
+    """
+    shape = match_shape(plan)
+    if shape is None:
         return None
-    project = node
-    node = node.child
-
-    having: Filter | None = None
-    if isinstance(node, Filter) and isinstance(node.child, Aggregate):
-        # HAVING: a filter over the aggregate's output rows. A group's
-        # output is *visible* only when the predicate passes; visibility is
-        # recomputed per group before and after the patch.
-        having = node
-        node = node.child
-
-    aggregate: Aggregate | None = None
-    if isinstance(node, Aggregate):
-        aggregate = node
-        if not {spec.func.lower() for spec in aggregate.aggregates} <= {
-            "count", "sum", "avg", "min", "max",
-        }:
-            return None
-        node = node.child
-
-    residual: Filter | None = None
-    if isinstance(node, Filter) and isinstance(node.child, HashJoin):
-        residual = node
-        node = node.child
-
-    if isinstance(node, HashJoin):
-        try:
-            source: _SingleTableSource | _JoinTreeSource = _JoinTreeSource(
-                base, node, residual
-            )
-        except _UnsupportedShape:
-            return None
-        return _Shape(project, aggregate, source, having, ordered)
-
-    predicate: Filter | None = None
-    if isinstance(node, Filter):
-        predicate = node
-        node = node.child
-    if isinstance(node, TableScan):
-        source = _SingleTableSource(base, node, predicate)
-        return _Shape(project, aggregate, source, having, ordered)
-    return None
+    if shape.single is not None:
+        source: _SingleTableSource | _JoinTreeSource = _SingleTableSource(
+            base, shape.single.scan, shape.single.predicate
+        )
+    else:
+        source = _JoinTreeSource(base, shape)
+    return _Shape(
+        shape.project, shape.aggregate, source, shape.having, shape.ordered
+    )
 
 
 def build_incremental_checker(
@@ -418,6 +343,7 @@ class _FlatChecker(_CheckerBase):
     def __init__(self, base: Database, shape: _Shape):
         super().__init__(base, shape)
         self.ordered = shape.ordered
+        self.is_join = isinstance(shape.source, _JoinTreeSource)
         scope = shape.source.scope
         self.project_evals = [item.expr.bind(scope) for item in shape.project.items]
 
@@ -449,9 +375,16 @@ class _FlatChecker(_CheckerBase):
         if old != new:
             # A bag change conflicts regardless of output order.
             return True
-        if self.ordered and any_row_changed and len(rows) > 1:
-            # ORDER BY answers are sequences: a multi-row swap can preserve
-            # the bag yet reorder a tie group. Undecidable here.
+        if self.ordered and (any_row_changed or self.is_join):
+            # ORDER BY answers are sequences: a bag-preserving change can
+            # still reorder a tie group. Single-table single-row patches
+            # never reach here (one row has one contribution at a fixed
+            # position, so an unchanged bag means an unchanged answer), but
+            # multi-row swaps can — and on a *join*, even a patch whose
+            # projected contributions look unchanged can re-attach them to
+            # different left partners at different output positions (the
+            # projected bags cannot tell value-identical partners apart),
+            # so any join-side patch is undecidable here.
             return None
         return False
 
@@ -466,6 +399,7 @@ class _GroupedChecker(_CheckerBase):
     def __init__(self, base: Database, shape: _Shape):
         super().__init__(base, shape)
         self.ordered = shape.ordered
+        self.is_join = isinstance(shape.source, _JoinTreeSource)
         aggregate = shape.aggregate
         scope = self.source.scope
         self.group_evals = [item.expr.bind(scope) for item in aggregate.group_items]
@@ -475,27 +409,28 @@ class _GroupedChecker(_CheckerBase):
             spec.arg.bind(scope) if spec.arg is not None else None
             for spec in self.specs
         ]
-        # HAVING predicate over the aggregate's output row (keys + aggs).
-        # HAVING may force extra aggregates the SELECT list never shows, so
-        # with a HAVING present the comparison uses the *projected* row of
-        # each visible group — a hidden-aggregate-only change is not an
-        # answer change.
-        if shape.having is not None:
-            aggregate_scope = aggregate.output_scope(base)
-            self.having_eval = shape.having.predicate.bind(aggregate_scope)
-            self.project_evals = [
-                item.expr.bind(aggregate_scope) for item in shape.project.items
-            ]
-        else:
-            self.having_eval = None
-            self.project_evals = None
+        # The comparison always uses the *projected* row of each visible
+        # group: HAVING may force extra aggregates the SELECT list never
+        # shows (a hidden-aggregate-only change is not an answer change),
+        # and the projection may omit the group keys — in which case two
+        # groups can swap visible rows while the answer bag is unchanged,
+        # so per-group comparison alone would report false conflicts.
+        aggregate_scope = aggregate.output_scope(base)
+        self.having_eval = (
+            shape.having.predicate.bind(aggregate_scope)
+            if shape.having is not None
+            else None
+        )
+        self.project_evals = [
+            item.expr.bind(aggregate_scope) for item in shape.project.items
+        ]
         self._build_state()
 
     def _visible(self, output: tuple | None) -> tuple | None:
-        """The comparable row of a group: projected if it passes HAVING."""
-        if output is None or self.having_eval is None:
-            return output
-        if not self.having_eval(output):
+        """The projected row of a group, or None when the group is hidden."""
+        if output is None:
+            return None
+        if self.having_eval is not None and not self.having_eval(output):
             return None
         return tuple(evaluate(output) for evaluate in self.project_evals)
 
@@ -565,6 +500,14 @@ class _GroupedChecker(_CheckerBase):
             new_keys = apply(self.source.contributions(table, new_row), +1)
             key_order_changed = key_order_changed or old_keys != new_keys
 
+        # Compare the affected groups' visible rows as *multisets*: when the
+        # projection omits the group keys, two groups can exchange visible
+        # rows (e.g. counts swapping between groups) leaving the answer bag
+        # unchanged — a per-group comparison would flag a false conflict.
+        # Unaffected groups contribute identically to both sides and cancel.
+        old_bag: Counter = Counter()
+        new_bag: Counter = Counter()
+        any_visible_change = False
         for key, (count_delta, counter_deltas) in edits.items():
             base_count = self.counts.get(key, 0)
             base_counters = self.values.get(key) or [Counter() for _ in self.specs]
@@ -581,12 +524,26 @@ class _GroupedChecker(_CheckerBase):
                         del merged[value]
                 new_counters.append(merged)
             new_output = self._group_output(key, base_count + count_delta, new_counters)
-            if self._visible(old_output) != self._visible(new_output):
-                return True
-        if self.ordered and self.has_groups and key_order_changed:
+            old_visible = self._visible(old_output)
+            new_visible = self._visible(new_output)
+            if old_visible != new_visible:
+                any_visible_change = True
+            if old_visible is not None:
+                old_bag[old_visible] += 1
+            if new_visible is not None:
+                new_bag[new_visible] += 1
+        if old_bag != new_bag:
+            # A bag change conflicts regardless of output order.
+            return True
+        if self.ordered and self.has_groups and (
+            key_order_changed or any_visible_change or self.is_join
+        ):
             # ORDER BY ties among output rows are broken by group *insertion*
-            # order (first occurrence in the source). Every group's output is
-            # unchanged, but a patch that moves contributions between groups
-            # can reorder a tie block. Undecidable here.
+            # order (first occurrence in the source output). The visible bag
+            # is unchanged, but a patch that moves contributions (or visible
+            # rows) between groups can reorder a tie block — and on a join,
+            # even key-sequence-identical contributions can re-attach to
+            # different partners, moving a group's first occurrence.
+            # Undecidable here.
             return None
         return False

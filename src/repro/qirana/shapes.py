@@ -1,0 +1,199 @@
+"""Shared plan-shape matching for the conflict backends.
+
+Both the incremental checkers (:mod:`repro.qirana.incremental`) and the
+vectorized batch engine (:mod:`repro.qirana.vectorized`) decide conflicts
+only for plans of the canonical shape::
+
+    [Sort] Project [Filter(HAVING)] [Aggregate] [Filter] <source>
+    <source> ::= TableScan | Filter(TableScan)
+               | HashJoin(<side>, <side>) ...     (left-deep, distinct tables)
+    <side>   ::= TableScan | Filter(TableScan)
+
+Historically each backend carried its own matcher and the two drifted; this
+module is the single source of truth. :func:`match_shape` performs the purely
+*structural* decomposition (no database access), returning a
+:class:`QueryShape` that both backends — and the ``auto`` dispatch heuristic —
+consume. Orderedness rules live here too: a ``Sort`` node makes the answer a
+sequence rather than a bag, which changes what the checkers may decide (the
+query's own ``ordered`` flag must still be OR-ed in by the caller, since
+programmatic plans can declare orderedness without a Sort node).
+
+Backends remain free to reject a *matched* shape for their own reasons (the
+vectorized engine does not batch HAVING, DISTINCT aggregates, or >2-table
+joins); the point is that the structural rules — what counts as a source, a
+residual filter, a HAVING filter, a left-deep join tree — are written once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Sort,
+    TableScan,
+)
+
+#: Aggregate functions the conflict checkers know how to maintain.
+SUPPORTED_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclass(frozen=True)
+class SourceSide:
+    """One side of the source: a scan with an optional pushed-down filter."""
+
+    scan: TableScan
+    predicate: Filter | None
+
+    @property
+    def table(self) -> str:
+        return self.scan.table.lower()
+
+
+@dataclass(frozen=True)
+class JoinLevel:
+    """One HashJoin level of a left-deep join tree plus its right side."""
+
+    join: HashJoin
+    right: SourceSide
+
+
+@dataclass
+class QueryShape:
+    """The canonical decomposition of a supported plan.
+
+    Exactly one of ``single`` / (``leftmost`` + ``levels``) describes the
+    source: ``single`` for one-table plans, otherwise the leftmost side plus
+    one :class:`JoinLevel` per HashJoin, bottom-up.
+    """
+
+    project: Project
+    aggregate: Aggregate | None = None
+    having: Filter | None = None
+    residual: Filter | None = None  # filter above the join, below any Aggregate
+    single: SourceSide | None = None
+    leftmost: SourceSide | None = None
+    levels: list[JoinLevel] = field(default_factory=list)
+    ordered: bool = False  # a Sort node tops the plan
+
+    @property
+    def is_join(self) -> bool:
+        return self.leftmost is not None
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Lowercased source tables, leftmost first (length 1 when single)."""
+        if self.single is not None:
+            return (self.single.table,)
+        return (self.leftmost.table,) + tuple(
+            level.right.table for level in self.levels
+        )
+
+    @property
+    def grouped(self) -> bool:
+        return self.aggregate is not None and bool(self.aggregate.group_items)
+
+
+def unwrap_side(node: PlanNode) -> SourceSide | None:
+    """Match ``TableScan`` or ``Filter(TableScan)``."""
+    if isinstance(node, TableScan):
+        return SourceSide(node, None)
+    if isinstance(node, Filter) and isinstance(node.child, TableScan):
+        return SourceSide(node.child, node)
+    return None
+
+
+def decompose_left_deep(
+    node: PlanNode,
+) -> tuple[SourceSide | None, list[JoinLevel]]:
+    """Split a left-deep HashJoin tree into (leftmost side, join levels)."""
+    levels: list[JoinLevel] = []
+    while isinstance(node, HashJoin):
+        right = unwrap_side(node.right)
+        if right is None:
+            return None, []
+        levels.append(JoinLevel(node, right))
+        node = node.left
+    leftmost = unwrap_side(node)
+    if leftmost is None:
+        return None, []
+    levels.reverse()
+    return leftmost, levels
+
+
+def match_shape(plan: PlanNode) -> QueryShape | None:
+    """Structurally decompose ``plan``, or ``None`` when unsupported.
+
+    Unsupported shapes include DISTINCT, LIMIT, cross joins, bushy or
+    self-joins, and aggregate functions outside :data:`SUPPORTED_AGGREGATES`.
+    """
+    node = plan
+    ordered = False
+    if isinstance(node, Sort):
+        # With ORDER BY the answer is a sequence, not a bag: a single row's
+        # contribution changing still decides exactly (the sequence changes
+        # iff the bag changes), but *multi-row* patches can reorder tie
+        # groups while preserving the bag — checkers must treat those as
+        # undecidable (full re-execution).
+        ordered = True
+        node = node.child
+    if not isinstance(node, Project):
+        return None
+    project = node
+    node = node.child
+
+    having: Filter | None = None
+    if isinstance(node, Filter) and isinstance(node.child, Aggregate):
+        # HAVING: a filter over the aggregate's output rows. A group's
+        # output is *visible* only when the predicate passes; visibility is
+        # recomputed per group before and after the patch.
+        having = node
+        node = node.child
+
+    aggregate: Aggregate | None = None
+    if isinstance(node, Aggregate):
+        aggregate = node
+        if not {
+            spec.func.lower() for spec in aggregate.aggregates
+        } <= SUPPORTED_AGGREGATES:
+            return None
+        node = node.child
+
+    residual: Filter | None = None
+    if isinstance(node, Filter) and isinstance(node.child, HashJoin):
+        residual = node
+        node = node.child
+
+    if isinstance(node, HashJoin):
+        leftmost, levels = decompose_left_deep(node)
+        if leftmost is None:
+            return None
+        tables = {leftmost.table}
+        for level in levels:
+            if level.right.table in tables:
+                return None  # self-join: one patch hits two source slots
+            tables.add(level.right.table)
+        return QueryShape(
+            project=project,
+            aggregate=aggregate,
+            having=having,
+            residual=residual,
+            leftmost=leftmost,
+            levels=levels,
+            ordered=ordered,
+        )
+
+    single = unwrap_side(node)
+    if single is None:
+        return None
+    return QueryShape(
+        project=project,
+        aggregate=aggregate,
+        having=having,
+        single=single,
+        ordered=ordered,
+    )

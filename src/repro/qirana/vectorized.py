@@ -1,28 +1,35 @@
 """Vectorized conflict-set backend: batch evaluation over delta tensors.
 
-For the plan shapes that dominate the paper's workloads — single-table
-selection/projection queries and scalar aggregates — whether a support
-instance changes the answer is a function of the *patched rows only*:
+For the plan shapes that dominate the paper's workloads — single-table and
+two-table equi-join selection/projection queries and (grouped) aggregates —
+whether a support instance changes the answer is a function of the *patched
+rows only*:
 
-- **flat** (``[Sort] Project [Filter] TableScan``): the bag answer changes
-  iff some patched row's (filter status, projected tuple) changes between
-  its old and new version; instances patching several rows of the table are
-  routed through an exact multiset comparison (a pairwise test would flag
-  value swaps that leave the bag unchanged).
-- **scalar aggregates** (``Project Aggregate([Filter] TableScan)`` without
-  GROUP BY/HAVING/DISTINCT): per-aggregate deltas are accumulated per
-  instance and compared against the base output. COUNT is always exact;
-  SUM/AVG are vectorized only over INT columns, where float64 accumulation
-  is exact (integers below 2**53), so the decision matches full
-  re-execution bit for bit.
+- **flat** (``[Sort] Project [Filter] <source>``): the bag answer changes iff
+  the multiset of contributions induced by the patched rows changes between
+  their old and new versions.
+- **aggregates** (``Project Aggregate([Filter] <source>)``): per-instance
+  deltas are applied against precomputed per-group base state and the
+  affected groups' visible output rows compared as multisets. COUNT is always
+  exact; SUM/AVG are delta-vectorized over INT columns (float64 accumulation
+  of integers below 2**53 is exact); MIN/MAX are decided by an order-statistic
+  walk over *sorted-group segments* of the base values; float SUM/AVG over
+  grouped single-table plans are recomputed exactly in base row order (the
+  same order full re-execution sums in), so every decision matches the naive
+  oracle bit for bit.
+- **joins**: each side has its own :class:`~repro.support.tensor.TableDeltaTensor`;
+  a patched side row's old/new contributions are found by probing a hash
+  index over the (filtered) opposite side, and the expanded contribution
+  batches are evaluated columnar — array ops instead of per-candidate
+  re-execution. Instances patching both sides of a join are re-executed.
 
 All candidates of a query are decided together: their patched rows are
-gathered from the support set's :class:`~repro.support.tensor.TableDeltaTensor`
-into old/new columnar batches of the query's referenced cells, and the
-plan's expressions are evaluated once per batch via
+gathered into old/new columnar batches of the query's referenced cells, and
+the plan's expressions are evaluated once per batch via
 :meth:`~repro.db.expr.Expr.eval_batch`. Queries whose plan shape is not
 vectorizable fall back — per query, not per engine — to the incremental
-backend.
+backend. Plan-shape rules are shared with the incremental checkers through
+:mod:`repro.qirana.shapes`.
 """
 
 from __future__ import annotations
@@ -37,12 +44,14 @@ from repro.db.columnar import (
     BatchEvaluator,
     ColumnarBatch,
     ColumnVector,
+    build_key_index,
+    hash_join_indices,
+    key_tuples,
     null_aware_neq,
-    table_batch,
     truth,
 )
+from repro.db.database import Database
 from repro.db.expr import ColumnRef, Scope
-from repro.db.plan import Aggregate, Filter, PlanNode, Project, Sort, TableScan
 from repro.db.query import Query
 from repro.db.schema import ColumnType
 from repro.exceptions import QueryError
@@ -52,153 +61,746 @@ from repro.qirana.backends import (
     IncrementalBackend,
     register_backend,
 )
+from repro.qirana.shapes import QueryShape, match_shape
 from repro.support.generator import SupportSet
+
+#: Aggregate kinds decided purely by vectorized delta arithmetic.
+_DELTA_KINDS = frozenset({"count_star", "count", "int_sum", "int_avg"})
+
+#: Aggregate kinds recomputed exactly in base row order per affected group.
+_ORDER_KINDS = frozenset({"float_sum", "float_avg"})
 
 
 @dataclass
 class _AggSpec:
-    """One compiled scalar aggregate: COUNT(*) / COUNT(e) / SUM(c) / AVG(c)."""
+    """One compiled aggregate with its decision strategy (``kind``)."""
 
-    func: str
+    func: str  # count / sum / avg / min / max
+    kind: str  # count_star | count | int_sum | int_avg | float_sum | float_avg | minmax
     arg_eval: BatchEvaluator | None  # None encodes COUNT(*)
     compared: bool  # referenced by the projection (changes are visible)
+
+
+# ---------------------------------------------------------------------------
+# Contribution sources
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Chunk:
+    """One batch of contributions: patched rows expanded through the source.
+
+    ``old_instances``/``new_instances`` give the owning instance id per
+    contribution (grouped ascending). For single-table sources old and new
+    are position-aligned (contribution == patched pair); join expansion
+    produces differently sized sides. ``old_rows``/``new_rows`` carry the
+    base-contribution position of each contribution for sources that can
+    identify it (needed by the exact in-order float recompute).
+    """
+
+    old_instances: np.ndarray
+    old_batch: ColumnarBatch
+    old_pass: np.ndarray
+    new_instances: np.ndarray
+    new_batch: ColumnarBatch
+    new_pass: np.ndarray
+    old_rows: np.ndarray | None = None
+    new_rows: np.ndarray | None = None
+    aligned: bool = False  # old/new are position-aligned pair batches
+    #: Join sources: per-pair "positions cannot move" bit — the pair's join
+    #: key and side-filter status are unchanged, so its contributions attach
+    #: to the same partners at the same output positions. None (single-table
+    #: sources) means positions are inherently stable: a row's contribution
+    #: sits at its own row position. `pair_instances` aligns the bits.
+    pair_instances: np.ndarray | None = None
+    pair_stable: np.ndarray | None = None
+
+
+def _gather_pairs(backend, table, scope, needed_slots, tensor, selected_mask, selected, rows):
+    """Old/new columnar batches of the referenced cells of selected pairs."""
+    base = backend._table_batch(table)
+    schema = backend.base.table(table).schema
+    num_slots = scope.arity
+
+    old_columns: list[ColumnVector | None] = [None] * num_slots
+    new_columns: list[ColumnVector | None] = [None] * num_slots
+    for slot in needed_slots:
+        old_columns[slot] = base.columns[slot].take(rows)
+        new_columns[slot] = old_columns[slot].copy()
+
+    inverse = np.full(tensor.num_pairs, -1, dtype=np.int64)
+    inverse[selected] = np.arange(len(selected), dtype=np.int64)
+    for column, patches in tensor.column_patches.items():
+        slot = schema.column_index(column)
+        vector = new_columns[slot]
+        if vector is None:
+            continue
+        applicable = selected_mask[patches.positions]
+        if not applicable.any():
+            continue
+        local = inverse[patches.positions[applicable]]
+        values = patches.values[applicable]
+        null = np.fromiter(
+            (value is None for value in values), dtype=bool, count=len(values)
+        )
+        if vector.is_numeric:
+            vector.values[local] = np.fromiter(
+                (np.nan if value is None else float(value) for value in values),
+                dtype=np.float64,
+                count=len(values),
+            )
+        else:
+            vector.values[local] = values
+        vector.null[local] = null
+
+    num = len(selected)
+    return (
+        ColumnarBatch(scope, old_columns, num),
+        ColumnarBatch(scope, new_columns, num),
+    )
+
+
+class _TableSource:
+    """Contributions of a one-table plan: the (filtered) rows themselves."""
+
+    is_join = False
+
+    def __init__(self, base: Database, scan, predicate):
+        self.base = base
+        self.table = scan.table.lower()
+        self.tables = (self.table,)
+        self.scope: Scope = scan.output_scope(base)
+        self.schema = base.table(scan.table).schema
+        self.filter_expr = predicate.predicate if predicate is not None else None
+        self.filter_eval = (
+            self.filter_expr.eval_batch(self.scope) if self.filter_expr else None
+        )
+        self.needed_slots: list[int] = []
+        self._base_pass: np.ndarray | None = None
+
+    def dtype(self, slot: int) -> ColumnType:
+        return self.schema.columns[slot].dtype
+
+    def finalize(self) -> None:
+        pass
+
+    def base_contributions(self, backend) -> tuple[ColumnarBatch, np.ndarray]:
+        batch = backend._table_batch(self.table)
+        if self._base_pass is None:
+            self._base_pass = (
+                truth(self.filter_eval(batch))
+                if self.filter_eval
+                else np.ones(batch.num_rows, dtype=bool)
+            )
+        return batch, self._base_pass
+
+    def pair_data(self, backend, candidate_array):
+        """(tensor, instances, rows, old/new pair batches, old/new pass)."""
+        tensor = backend.support.delta_tensor(self.table)
+        mask, selected = tensor.select_pairs(candidate_array)
+        if len(selected) == 0:
+            return None
+        instances = tensor.pair_instance[selected]
+        rows = tensor.pair_row[selected]
+        old_batch, new_batch = _gather_pairs(
+            backend, self.table, self.scope, self.needed_slots,
+            tensor, mask, selected, rows,
+        )
+        ones = np.ones(len(selected), dtype=bool)
+        old_pass = truth(self.filter_eval(old_batch)) if self.filter_eval else ones
+        new_pass = (
+            truth(self.filter_eval(new_batch)) if self.filter_eval else ones.copy()
+        )
+        return tensor, instances, rows, old_batch, new_batch, old_pass, new_pass
+
+    def chunks(self, backend, candidate_array) -> tuple[list[_Chunk], list[int]]:
+        data = self.pair_data(backend, candidate_array)
+        if data is None:
+            return [], []
+        _, instances, rows, old_batch, new_batch, old_pass, new_pass = data
+        chunk = _Chunk(
+            instances, old_batch, old_pass,
+            instances, new_batch, new_pass,
+            old_rows=rows, new_rows=rows, aligned=True,
+        )
+        return [chunk], []
+
+
+class _JoinSource:
+    """Contributions of a two-table equi-join plan.
+
+    Each side keeps a hash index over its filtered base rows keyed by the
+    join key; a patched side row's contributions are found by probing the
+    *opposite* index with its old/new key — O(matches) instead of a full
+    join — and gathered into columnar batches over the joined scope.
+    """
+
+    is_join = True
+
+    def __init__(self, base: Database, shape: QueryShape):
+        level = shape.levels[0]
+        join = level.join
+        sides = (shape.leftmost, level.right)
+        self.base = base
+        self.tables = tuple(side.table for side in sides)
+        self.side_scopes = tuple(side.scan.output_scope(base) for side in sides)
+        self.side_schemas = tuple(base.table(side.table).schema for side in sides)
+        self.scope: Scope = self.side_scopes[0].concat(self.side_scopes[1])
+        self.left_arity = self.side_scopes[0].arity
+        self.side_filter_exprs = tuple(
+            side.predicate.predicate if side.predicate is not None else None
+            for side in sides
+        )
+        self.side_filter_evals = tuple(
+            expr.eval_batch(scope) if expr is not None else None
+            for expr, scope in zip(self.side_filter_exprs, self.side_scopes)
+        )
+        self.side_key_exprs = (list(join.left_keys), list(join.right_keys))
+        self.side_key_evals = tuple(
+            [key.eval_batch(scope) for key in keys]
+            for keys, scope in zip(self.side_key_exprs, self.side_scopes)
+        )
+        # Column-only join keys resolve to table slots, making the side's
+        # key tuples and unfiltered hash index cacheable across queries.
+        self.side_key_slots: list[tuple[int, ...] | None] = []
+        for keys, scope in zip(self.side_key_exprs, self.side_scopes):
+            if all(isinstance(key, ColumnRef) for key in keys):
+                self.side_key_slots.append(
+                    tuple(scope.resolve(key.qualifier, key.name) for key in keys)
+                )
+            else:
+                self.side_key_slots.append(None)
+        self.filter_expr = (
+            shape.residual.predicate if shape.residual is not None else None
+        )
+        self.filter_eval = (
+            self.filter_expr.eval_batch(self.scope) if self.filter_expr else None
+        )
+        self.needed_slots: list[int] = []  # joined-scope slots, set by compile
+        self._side_needed: tuple[list[int], list[int]] | None = None
+        self._state: dict | None = None
+
+    def dtype(self, slot: int) -> ColumnType:
+        if slot < self.left_arity:
+            return self.side_schemas[0].columns[slot].dtype
+        return self.side_schemas[1].columns[slot - self.left_arity].dtype
+
+    def finalize(self) -> None:
+        """Split joined needed slots per side; add key/side-filter slots."""
+        side_needed: list[set[int]] = [set(), set()]
+        for slot in self.needed_slots:
+            if slot < self.left_arity:
+                side_needed[0].add(slot)
+            else:
+                side_needed[1].add(slot - self.left_arity)
+        for side in (0, 1):
+            expressions = list(self.side_key_exprs[side])
+            if self.side_filter_exprs[side] is not None:
+                expressions.append(self.side_filter_exprs[side])
+            for expression in expressions:
+                for qualifier, column in expression.referenced_columns():
+                    side_needed[side].add(
+                        self.side_scopes[side].resolve(qualifier, column)
+                    )
+        self._side_needed = (sorted(side_needed[0]), sorted(side_needed[1]))
+
+    # -- base-side state ----------------------------------------------------
+
+    def _prepare(self, backend) -> dict:
+        if self._state is not None:
+            return self._state
+        batches = [backend._table_batch(table) for table in self.tables]
+        passes = []
+        keys = []
+        indexes = []
+        for side in (0, 1):
+            evaluate = self.side_filter_evals[side]
+            passing = (
+                truth(evaluate(batches[side]))
+                if evaluate
+                else np.ones(batches[side].num_rows, dtype=bool)
+            )
+            passes.append(passing)
+            slots = self.side_key_slots[side]
+            if slots is not None:
+                # Key tuples (and, for unfiltered sides, the hash index) are
+                # a property of the table and key columns alone — shared
+                # across every query of the workload via the backend cache.
+                side_keys, unfiltered_index = backend._join_key_cache(
+                    self.tables[side], slots
+                )
+            else:
+                side_keys = key_tuples(
+                    [ev(batches[side]) for ev in self.side_key_evals[side]]
+                )
+                unfiltered_index = None
+            keys.append(side_keys)
+            if evaluate is None and unfiltered_index is not None:
+                indexes.append(unfiltered_index)
+            else:
+                indexes.append(build_key_index(side_keys, passing))
+        # Enumerate the base join by probing the side with fewer passing
+        # rows (base contribution order is irrelevant to the kernels: the
+        # grouped state is order-insensitive for joins, and per-instance
+        # comparisons never mix base order in).
+        counts = [int(passes[side].sum()) for side in (0, 1)]
+        probe = 0 if counts[0] <= counts[1] else 1
+        probe_rows, match_rows = hash_join_indices(
+            keys[probe], indexes[1 - probe], passes[probe]
+        )
+        if probe == 0:
+            left_rows, right_rows = probe_rows, match_rows
+        else:
+            left_rows, right_rows = match_rows, probe_rows
+        base_batch = self._joined_batch(0, batches[0], left_rows, right_rows, batches[1])
+        base_pass = (
+            truth(self.filter_eval(base_batch))
+            if self.filter_eval
+            else np.ones(base_batch.num_rows, dtype=bool)
+        )
+        self._state = {
+            "batches": batches,
+            "indexes": indexes,
+            "base_batch": base_batch,
+            "base_pass": base_pass,
+        }
+        return self._state
+
+    def _joined_batch(self, side, side_batch, side_positions, opp_positions, opp_batch):
+        """Joined-scope batch: patched-side rows + matching opposite rows."""
+        columns: list[ColumnVector | None] = [None] * self.scope.arity
+        side_offset = 0 if side == 0 else self.left_arity
+        opp_offset = self.left_arity if side == 0 else 0
+        for slot in self._side_needed[side]:
+            columns[side_offset + slot] = side_batch.columns[slot].take(side_positions)
+        for slot in self._side_needed[1 - side]:
+            columns[opp_offset + slot] = opp_batch.columns[slot].take(opp_positions)
+        return ColumnarBatch(self.scope, columns, len(side_positions))
+
+    def base_contributions(self, backend) -> tuple[ColumnarBatch, np.ndarray]:
+        state = self._prepare(backend)
+        return state["base_batch"], state["base_pass"]
+
+    # -- per-candidate expansion --------------------------------------------
+
+    def chunks(self, backend, candidate_array) -> tuple[list[_Chunk], list[int]]:
+        state = self._prepare(backend)
+        tensors = [backend.support.delta_tensor(table) for table in self.tables]
+        both = np.intersect1d(
+            tensors[0].touched_instances, tensors[1].touched_instances
+        )
+        both = both[np.isin(both, candidate_array)]
+        reexecute = [int(instance) for instance in both]
+
+        chunks: list[_Chunk] = []
+        for side in (0, 1):
+            tensor = tensors[side]
+            mask, selected = tensor.select_pairs(candidate_array)
+            if len(selected) and len(both):
+                keep = ~np.isin(tensor.pair_instance[selected], both)
+                selected = selected[keep]
+                mask = np.zeros(tensor.num_pairs, dtype=bool)
+                mask[selected] = True
+            if len(selected) == 0:
+                continue
+            instances = tensor.pair_instance[selected]
+            rows = tensor.pair_row[selected]
+            old_side, new_side = _gather_pairs(
+                backend, self.tables[side], self.side_scopes[side],
+                self._side_needed[side], tensor, mask, selected, rows,
+            )
+            ones = np.ones(len(selected), dtype=bool)
+            evaluate = self.side_filter_evals[side]
+            old_side_pass = truth(evaluate(old_side)) if evaluate else ones
+            new_side_pass = truth(evaluate(new_side)) if evaluate else ones.copy()
+            old_keys = key_tuples(
+                [ev(old_side) for ev in self.side_key_evals[side]]
+            )
+            new_keys = key_tuples(
+                [ev(new_side) for ev in self.side_key_evals[side]]
+            )
+            stable = np.fromiter(
+                (
+                    old_keys[position] == new_keys[position]
+                    and bool(old_side_pass[position]) == bool(new_side_pass[position])
+                    for position in range(len(selected))
+                ),
+                dtype=bool,
+                count=len(selected),
+            )
+            opp_index = state["indexes"][1 - side]
+            opp_batch = state["batches"][1 - side]
+            old_pairs, old_opp = hash_join_indices(old_keys, opp_index, old_side_pass)
+            new_pairs, new_opp = hash_join_indices(new_keys, opp_index, new_side_pass)
+            old_batch = self._joined_batch(side, old_side, old_pairs, old_opp, opp_batch)
+            new_batch = self._joined_batch(side, new_side, new_pairs, new_opp, opp_batch)
+            old_pass = (
+                truth(self.filter_eval(old_batch))
+                if self.filter_eval
+                else np.ones(old_batch.num_rows, dtype=bool)
+            )
+            new_pass = (
+                truth(self.filter_eval(new_batch))
+                if self.filter_eval
+                else np.ones(new_batch.num_rows, dtype=bool)
+            )
+            chunks.append(
+                _Chunk(
+                    instances[old_pairs], old_batch, old_pass,
+                    instances[new_pairs], new_batch, new_pass,
+                    pair_instances=instances, pair_stable=stable,
+                )
+            )
+        return chunks, reexecute
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
 
 
 @dataclass
 class _BatchQuery:
     """A query compiled for batch conflict evaluation."""
 
-    table: str
-    scan_scope: Scope
-    needed_slots: list[int]
-    filter_eval: BatchEvaluator | None
-    project_evals: list[BatchEvaluator] | None  # flat plans
-    agg_specs: list[_AggSpec] | None  # scalar-aggregate plans
+    kernel: str  # flat | flat_join | scalar | grouped
+    source: _TableSource | _JoinSource
+    project_evals: list[BatchEvaluator] | None  # flat kernels
+    group_evals: list[BatchEvaluator] | None  # grouped kernel
+    agg_specs: list[_AggSpec] | None
+    project_slots: list[int] | None  # grouped: output-scope slots, projection order
+    has_groups: bool = False
     ordered: bool = False  # ORDER BY: the answer is a sequence, not a bag
-    base_state: tuple | None = None  # lazily computed aggregate base state
-
-
-def _unwrap_source(node: PlanNode) -> tuple[TableScan, Filter | None] | None:
-    predicate: Filter | None = None
-    if isinstance(node, Filter):
-        predicate = node
-        node = node.child
-    if isinstance(node, TableScan):
-        return node, predicate
-    return None
+    base_state: list | None = None  # lazily computed scalar-aggregate state
+    grouped_state: "_GroupedState | None" = None  # lazily computed group state
 
 
 def compile_batch_query(query: Query, base) -> _BatchQuery | None:
     """Compile ``query`` for batch evaluation, or ``None`` if unsupported."""
-    node = query.plan
-    # Orderedness from the plan (Sort) or declared on the query itself.
-    ordered = query.ordered
-    if isinstance(node, Sort):
-        ordered = True
-        node = node.child
-    if not isinstance(node, Project):
+    shape = match_shape(query.plan)
+    if shape is None or shape.having is not None:
         return None
-    project = node
-    node = node.child
-
-    aggregate: Aggregate | None = None
-    if isinstance(node, Aggregate):
-        aggregate = node
-        node = node.child
-
-    source = _unwrap_source(node)
-    if source is None:
-        return None
-    scan, predicate = source
-    if not base.has_table(scan.table):
-        return None
-    scan_scope = scan.output_scope(base)
-    schema = base.table(scan.table).schema
+    ordered = shape.ordered or query.ordered
 
     try:
-        filter_eval = (
-            predicate.predicate.eval_batch(scan_scope) if predicate else None
-        )
+        if shape.single is not None:
+            if not base.has_table(shape.single.scan.table):
+                return None
+            source: _TableSource | _JoinSource = _TableSource(
+                base, shape.single.scan, shape.single.predicate
+            )
+        else:
+            if len(shape.levels) != 1:
+                return None  # batch path covers two-table equi-joins only
+            join = shape.levels[0].join
+            if not join.left_keys or len(join.left_keys) != len(join.right_keys):
+                return None
+            if not all(base.has_table(table) for table in shape.tables):
+                return None
+            source = _JoinSource(base, shape)
+
+        needed_expressions = []
+        if source.filter_expr is not None:
+            needed_expressions.append(source.filter_expr)
+        aggregate = shape.aggregate
+        project = shape.project
 
         if aggregate is None:
-            project_evals = [item.expr.eval_batch(scan_scope) for item in project.items]
-            agg_specs = None
+            project_evals = [
+                item.expr.eval_batch(source.scope) for item in project.items
+            ]
+            needed_expressions.extend(item.expr for item in project.items)
+            group_evals = agg_specs = project_slots = None
+            kernel = "flat_join" if source.is_join else "flat"
+            has_groups = False
         else:
-            if aggregate.group_items:
-                return None
-            agg_specs = _compile_aggregates(aggregate, project, scan_scope, schema, base)
+            output_scope = aggregate.output_scope(base)
+            project_slots = []
+            for item in project.items:
+                # The projection must be a simple column selection over the
+                # aggregate's output row — then a change is visible iff a
+                # *projected* output column changes.
+                if not isinstance(item.expr, ColumnRef):
+                    return None
+                project_slots.append(
+                    output_scope.resolve(item.expr.qualifier, item.expr.name)
+                )
+            agg_specs = _compile_agg_specs(aggregate, source, project_slots)
             if agg_specs is None:
                 return None
+            group_evals = [
+                item.expr.eval_batch(source.scope) for item in aggregate.group_items
+            ]
+            needed_expressions.extend(item.expr for item in aggregate.group_items)
+            needed_expressions.extend(
+                spec.arg for spec in aggregate.aggregates if spec.arg is not None
+            )
+            has_groups = bool(aggregate.group_items)
             project_evals = None
+            if not has_groups and all(
+                spec.kind in _DELTA_KINDS for spec in agg_specs
+            ):
+                kernel = "scalar"
+            else:
+                kernel = "grouped"
+
+        needed: set[int] = set()
+        for expression in needed_expressions:
+            for qualifier, column in expression.referenced_columns():
+                needed.add(source.scope.resolve(qualifier, column))
+        source.needed_slots = sorted(needed)
+        source.finalize()
     except QueryError:
         return None
 
-    needed: set[int] = set()
-    expressions = []
-    if predicate is not None:
-        expressions.append(predicate.predicate)
-    if aggregate is None:
-        expressions.extend(item.expr for item in project.items)
-    else:
-        expressions.extend(
-            spec.arg for spec in aggregate.aggregates if spec.arg is not None
-        )
-    for expression in expressions:
-        for qualifier, column in expression.referenced_columns():
-            try:
-                needed.add(scan_scope.resolve(qualifier, column))
-            except QueryError:
-                return None
-
     return _BatchQuery(
-        table=scan.table.lower(),
-        scan_scope=scan_scope,
-        needed_slots=sorted(needed),
-        filter_eval=filter_eval,
+        kernel=kernel,
+        source=source,
         project_evals=project_evals,
+        group_evals=group_evals,
         agg_specs=agg_specs,
+        project_slots=project_slots,
+        has_groups=has_groups,
         ordered=ordered,
     )
 
 
-def _compile_aggregates(
-    aggregate: Aggregate, project: Project, scan_scope: Scope, schema, base
-) -> list[_AggSpec] | None:
-    """Compile scalar aggregates, or ``None`` when any is unsupported."""
-    # The projection must be a simple column selection over the aggregate's
-    # output row — then a change is visible iff a *projected* aggregate
-    # changes. Arithmetic over aggregates would need scalar re-evaluation.
-    output_scope = aggregate.output_scope(base)
-    compared: set[int] = set()
-    for item in project.items:
-        if not isinstance(item.expr, ColumnRef):
-            return None
-        try:
-            compared.add(output_scope.resolve(item.expr.qualifier, item.expr.name))
-        except QueryError:
-            return None
-
+def _compile_agg_specs(aggregate, source, project_slots) -> list[_AggSpec] | None:
+    """Compile aggregates with per-spec decision kinds, or ``None``."""
+    num_groups = len(aggregate.group_items)
+    compared = set(project_slots)
     specs: list[_AggSpec] = []
     for index, spec in enumerate(aggregate.aggregates):
         func = spec.func.lower()
-        if spec.distinct or func not in ("count", "sum", "avg"):
+        if spec.distinct:
             return None
         if spec.arg is None:
             if func != "count":
                 return None
+            kind = "count_star"
             arg_eval = None
         else:
-            if func in ("sum", "avg"):
-                # Restrict to INT columns: float64 accumulation of integers
-                # is exact, so incremental deltas agree with re-execution.
+            arg_eval = spec.arg.eval_batch(source.scope)
+            if func == "count":
+                kind = "count"
+            elif func in ("sum", "avg"):
+                dtype = None
+                if isinstance(spec.arg, ColumnRef):
+                    slot = source.scope.resolve(spec.arg.qualifier, spec.arg.name)
+                    dtype = source.dtype(slot)
+                if dtype is ColumnType.INT:
+                    # float64 accumulation of integers is exact (below
+                    # 2**53), so incremental deltas agree with re-execution.
+                    kind = "int_sum" if func == "sum" else "int_avg"
+                elif dtype is ColumnType.TEXT:
+                    return None  # the oracle itself raises on text sums
+                elif source.is_join or num_groups == 0:
+                    # Float accumulation is order-sensitive; exact in-order
+                    # recompute is only implemented for grouped single-table
+                    # segments (scalar/joined float sums stay incremental).
+                    return None
+                else:
+                    kind = "float_sum" if func == "sum" else "float_avg"
+            else:  # min / max
+                # Restrict to columns so group values are homogeneous and the
+                # order-statistic walk compares like with like.
                 if not isinstance(spec.arg, ColumnRef):
                     return None
-                slot = scan_scope.resolve(spec.arg.qualifier, spec.arg.name)
-                if schema.columns[slot].dtype is not ColumnType.INT:
-                    return None
-            arg_eval = spec.arg.eval_batch(scan_scope)
-        specs.append(_AggSpec(func, arg_eval, compared=index in compared))
+                kind = "minmax"
+        specs.append(
+            _AggSpec(
+                func=func,
+                kind=kind,
+                arg_eval=arg_eval,
+                compared=(num_groups + index) in compared,
+            )
+        )
     return specs
+
+
+# ---------------------------------------------------------------------------
+# Grouped base state: sorted-group segments over the base contributions
+# ---------------------------------------------------------------------------
+
+
+class _GroupedState:
+    """Per-group base state for the grouped kernel.
+
+    Groups are factorized once over the base contributions; per group the
+    state keeps its contribution positions (the *segment*, in base order),
+    exact delta-friendly count/sum accumulators, ascending value lists for
+    MIN/MAX order statistics, and — for float aggregates — the base output
+    computed by summing the segment in base row order (bit-identical to
+    re-execution).
+    """
+
+    def __init__(self, plan: _BatchQuery, batch: ColumnarBatch, passing: np.ndarray):
+        self.plan = plan
+        keys = (
+            key_tuples([evaluate(batch) for evaluate in plan.group_evals])
+            if plan.group_evals
+            else [()] * batch.num_rows
+        )
+        self.key_to_gid: dict[tuple, int] = {}
+        self.keys: list[tuple] = []
+        positions_by_gid: list[list[int]] = []
+        for position in np.nonzero(passing)[0]:
+            key = keys[position]
+            gid = self.key_to_gid.get(key)
+            if gid is None:
+                gid = len(self.keys)
+                self.key_to_gid[key] = gid
+                self.keys.append(key)
+                positions_by_gid.append([])
+            positions_by_gid[gid].append(int(position))
+        self.segments: list[list[int]] = positions_by_gid
+        self.counts: list[int] = [len(segment) for segment in positions_by_gid]
+
+        #: Per aggregate: (valid counts, sums, ascending values, arg vector).
+        self.valid: list[list[int] | None] = []
+        self.sums: list[list[float] | None] = []
+        self.sorted_values: list[list[list] | None] = []
+        self.vectors: list[ColumnVector | None] = []
+        for spec in plan.agg_specs:
+            if spec.arg_eval is None:
+                self.valid.append(None)
+                self.sums.append(None)
+                self.sorted_values.append(None)
+                self.vectors.append(None)
+                continue
+            vector = spec.arg_eval(batch)
+            self.vectors.append(vector)
+            valid: list[int] = []
+            sums: list[float] = []
+            ordered_values: list[list] = []
+            for segment in positions_by_gid:
+                values = [
+                    vector.value_at(position)
+                    for position in segment
+                    if not vector.null[position]
+                ]
+                valid.append(len(values))
+                sums.append(float(sum(value for value in values)) if values and spec.kind in ("int_sum", "int_avg") else 0.0)
+                ordered_values.append(sorted(values) if spec.kind == "minmax" else [])
+            self.valid.append(valid)
+            self.sums.append(sums)
+            self.sorted_values.append(ordered_values if spec.kind == "minmax" else None)
+        self._outputs: dict[int, tuple | None] = {}
+
+    def gid_of(self, key: tuple) -> int:
+        """Group id for ``key``, creating an empty group on first sight."""
+        gid = self.key_to_gid.get(key)
+        if gid is None:
+            gid = len(self.keys)
+            self.key_to_gid[key] = gid
+            self.keys.append(key)
+            self.segments.append([])
+            self.counts.append(0)
+            for index, spec in enumerate(self.plan.agg_specs):
+                if self.valid[index] is not None:
+                    self.valid[index].append(0)
+                    self.sums[index].append(0.0)
+                if self.sorted_values[index] is not None:
+                    self.sorted_values[index].append([])
+        return gid
+
+    def base_output(self, gid: int) -> tuple | None:
+        """The visible projected row of group ``gid`` in the base (cached)."""
+        cached = self._outputs.get(gid, "miss")
+        if cached != "miss":
+            return cached
+        plan = self.plan
+        count = self.counts[gid]
+        if count == 0 and plan.has_groups:
+            output = None
+        else:
+            values = []
+            for index, spec in enumerate(plan.agg_specs):
+                values.append(self._base_aggregate(gid, index, spec))
+            output = _project_output(plan, self.keys[gid], values)
+        self._outputs[gid] = output
+        return output
+
+    def base_output_value(self, gid: int, index: int):
+        """The base value of one aggregate of one group."""
+        return self._base_aggregate(gid, index, self.plan.agg_specs[index])
+
+    def _base_aggregate(self, gid: int, index: int, spec: _AggSpec):
+        if spec.kind == "count_star":
+            return self.counts[gid]
+        valid = self.valid[index][gid]
+        if spec.kind == "count":
+            return valid
+        if valid == 0:
+            return None
+        if spec.kind == "minmax":
+            ordered = self.sorted_values[index][gid]
+            return ordered[0] if spec.func == "min" else ordered[-1]
+        if spec.kind in ("int_sum", "int_avg"):
+            total = self.sums[index][gid]
+            return total if spec.kind == "int_sum" else total / valid
+        # float_sum / float_avg: exact in-order recompute over the segment.
+        vector = self.vectors[index]
+        total = sum(
+            vector.value_at(position)
+            for position in self.segments[gid]
+            if not vector.null[position]
+        )
+        return total if spec.kind == "float_sum" else total / valid
+
+
+class _AggEdit:
+    """One instance's effect on one aggregate of one group."""
+
+    __slots__ = ("dvalid", "dsum", "removed", "added", "rows_removed", "rows_added")
+
+    def __init__(self):
+        self.dvalid = 0  # delta of non-NULL passing contributions
+        self.dsum = 0.0  # int_sum/int_avg: exact value delta
+        self.removed: list = []  # minmax: values; float kinds: (row, value)
+        self.added: list = []
+        self.rows_removed: list = []  # membership rows regardless of NULLs
+        self.rows_added: list = []
+
+
+class _GroupEdit:
+    """One instance's accumulated effect on one group."""
+
+    __slots__ = ("dcount", "aggs")
+
+    def __init__(self, specs: list[_AggSpec]):
+        self.dcount = 0
+        self.aggs = [_AggEdit() for _ in specs]
+
+
+def _project_output(plan: _BatchQuery, key: tuple, agg_values: list) -> tuple:
+    output = key + tuple(agg_values)
+    return tuple(output[slot] for slot in plan.project_slots)
+
+
+def _extreme(base_sorted: list, removed: Counter, added: list, want_max: bool):
+    """Order-statistic walk: the new MIN/MAX after removals and additions."""
+    best = None
+    if removed:
+        remaining = Counter(removed)
+        iterator = reversed(base_sorted) if want_max else iter(base_sorted)
+        for value in iterator:
+            if remaining.get(value):
+                remaining[value] -= 1
+                continue
+            best = value
+            break
+    elif base_sorted:
+        best = base_sorted[-1] if want_max else base_sorted[0]
+    for value in added:
+        if best is None or (value > best if want_max else value < best):
+            best = value
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
 
 
 class VectorizedBackend(ConflictBackend):
@@ -214,6 +816,7 @@ class VectorizedBackend(ConflictBackend):
         # so its id() cannot be recycled while the cache lives.
         self._compiled: dict[int, tuple[Query, _BatchQuery | None]] = {}
         self._table_batches: dict[str, ColumnarBatch] = {}
+        self._join_keys: dict[tuple[str, tuple[int, ...]], tuple[list, dict]] = {}
 
     # -- compilation caches -------------------------------------------------
 
@@ -233,11 +836,45 @@ class VectorizedBackend(ConflictBackend):
         return cached[1]
 
     def _table_batch(self, table: str) -> ColumnarBatch:
+        from repro.db.columnar import table_batch
+
         batch = self._table_batches.get(table)
         if batch is None:
             batch = table_batch(self.base.table(table))
             self._table_batches[table] = batch
         return batch
+
+    def _join_key_cache(self, table: str, slots: tuple[int, ...]):
+        """(key tuples, unfiltered hash index) of a table's key columns.
+
+        Shared across all queries joining on the same columns — the SSB/TPC-H
+        workloads join thousands of templates on the same handful of keys.
+        """
+        cache_key = (table, slots)
+        cached = self._join_keys.get(cache_key)
+        if cached is None:
+            batch = self._table_batch(table)
+            tuples = key_tuples([batch.columns[slot] for slot in slots])
+            cached = (tuples, build_key_index(tuples))
+            self._join_keys[cache_key] = cached
+        return cached
+
+    def prepare(self, queries) -> None:
+        """Warm per-workload caches: compiled plans, base batches, tensors.
+
+        Called by :meth:`ConflictSetEngine.build_hypergraph` (and through it
+        by the broker's ``quote_batch``) so delta tensors — one per table,
+        hence one *per join side* — and columnar base tables are built once
+        and shared by every query of the batch.
+        """
+        tables: set[str] = set()
+        for query in queries:
+            plan = self.batch_plan(query)
+            if plan is not None:
+                tables.update(plan.source.tables)
+        for table in tables:
+            self._table_batch(table)
+            self.support.delta_tensor(table)
 
     # -- the backend hook ---------------------------------------------------
 
@@ -254,7 +891,13 @@ class VectorizedBackend(ConflictBackend):
 
         start = time.perf_counter()
         try:
-            conflicting, reexecuted = self._decide(plan, candidates, query)
+            conflicting, undecided = self._decide(plan, candidates)
+            reexecuted = len(undecided)
+            if undecided:
+                baseline = query.run(self.base)
+                for instance_id in sorted(undecided):
+                    if query.run(self.support.materialize(instance_id)) != baseline:
+                        conflicting.append(instance_id)
         except QueryError:
             # Runtime type surprises (e.g. mixed-kind ordering comparisons)
             # are rare enough to pay full fallback for the whole query.
@@ -271,86 +914,37 @@ class VectorizedBackend(ConflictBackend):
             num_reexecuted=reexecuted,
         )
 
-    # -- batch decision -----------------------------------------------------
+    # -- kernel dispatch ----------------------------------------------------
 
     def _decide(
-        self, plan: _BatchQuery, candidates: list[int], query: Query
-    ) -> tuple[list[int], int]:
+        self, plan: _BatchQuery, candidates: list[int]
+    ) -> tuple[list[int], set[int]]:
+        """Conflicting instance ids plus instances needing re-execution."""
         if not candidates:
-            return [], 0
-        tensor = self.support.delta_tensor(plan.table)
+            return [], set()
         candidate_array = np.asarray(candidates, dtype=np.int64)
-        selected_mask = np.isin(tensor.pair_instance, candidate_array)
-        selected = np.nonzero(selected_mask)[0]
-        if len(selected) == 0:
-            return [], 0
-        instances = tensor.pair_instance[selected]
-        rows = tensor.pair_row[selected]
+        if plan.kernel == "flat":
+            return self._decide_flat(plan, candidate_array)
+        chunks, reexecute = plan.source.chunks(self, candidate_array)
+        undecided = set(reexecute)
+        if plan.kernel == "flat_join":
+            conflicting = self._decide_flat_join(plan, chunks, undecided)
+        elif plan.kernel == "scalar":
+            conflicting = self._decide_scalar(plan, candidate_array, chunks)
+        else:
+            conflicting = self._decide_grouped(plan, chunks, undecided)
+        return conflicting, undecided
 
-        old_batch, new_batch = self._gather(plan, tensor, selected_mask, selected, rows)
-
-        ones = np.ones(len(selected), dtype=bool)
-        old_pass = truth(plan.filter_eval(old_batch)) if plan.filter_eval else ones
-        new_pass = truth(plan.filter_eval(new_batch)) if plan.filter_eval else ones.copy()
-
-        if plan.project_evals is not None:
-            return self._decide_flat(
-                plan, tensor, instances, old_batch, new_batch, old_pass, new_pass, query
-            )
-        conflicting = self._decide_aggregate(
-            plan, candidate_array, instances, old_batch, new_batch, old_pass, new_pass
-        )
-        return conflicting, 0
-
-    def _gather(self, plan, tensor, selected_mask, selected, rows):
-        """Old/new columnar batches of the referenced cells of the pairs."""
-        base = self._table_batch(plan.table)
-        schema = self.base.table(plan.table).schema
-        num_slots = plan.scan_scope.arity
-
-        old_columns: list[ColumnVector | None] = [None] * num_slots
-        new_columns: list[ColumnVector | None] = [None] * num_slots
-        for slot in plan.needed_slots:
-            old_columns[slot] = base.columns[slot].take(rows)
-            new_columns[slot] = old_columns[slot].copy()
-
-        inverse = np.full(tensor.num_pairs, -1, dtype=np.int64)
-        inverse[selected] = np.arange(len(selected), dtype=np.int64)
-        for column, patches in tensor.column_patches.items():
-            slot = schema.column_index(column)
-            vector = new_columns[slot]
-            if vector is None:
-                continue
-            applicable = selected_mask[patches.positions]
-            if not applicable.any():
-                continue
-            local = inverse[patches.positions[applicable]]
-            values = patches.values[applicable]
-            null = np.fromiter(
-                (value is None for value in values), dtype=bool, count=len(values)
-            )
-            if vector.is_numeric:
-                vector.values[local] = np.fromiter(
-                    (
-                        np.nan if value is None else float(value)
-                        for value in values
-                    ),
-                    dtype=np.float64,
-                    count=len(values),
-                )
-            else:
-                vector.values[local] = values
-            vector.null[local] = null
-
-        num = len(selected)
-        return (
-            ColumnarBatch(plan.scan_scope, old_columns, num),
-            ColumnarBatch(plan.scan_scope, new_columns, num),
-        )
+    # -- flat single-table kernel (aligned pairwise fast path) ---------------
 
     def _decide_flat(
-        self, plan, tensor, instances, old_batch, new_batch, old_pass, new_pass, query
-    ) -> tuple[list[int], int]:
+        self, plan: _BatchQuery, candidate_array: np.ndarray
+    ) -> tuple[list[int], set[int]]:
+        data = plan.source.pair_data(self, candidate_array)
+        if data is None:
+            return [], set()
+        tensor, instances, _, old_batch, new_batch, old_pass, new_pass = data
+
         old_projected = [evaluate(old_batch) for evaluate in plan.project_evals]
         new_projected = [evaluate(new_batch) for evaluate in plan.project_evals]
 
@@ -361,8 +955,7 @@ class VectorizedBackend(ConflictBackend):
 
         flagged = np.unique(instances[pair_conflict])
         conflicting: list[int] = []
-        baseline = None
-        reexecuted = 0
+        undecided: set[int] = set()
         for instance_id in flagged:
             if tensor.pair_counts[instance_id] <= 1:
                 conflicting.append(int(instance_id))
@@ -383,57 +976,105 @@ class VectorizedBackend(ConflictBackend):
             elif plan.ordered:
                 # ORDER BY answers are sequences: a bag-preserving multi-row
                 # swap can still reorder a tie group. Re-execute to decide.
-                if baseline is None:
-                    baseline = query.run(self.base)
-                reexecuted += 1
-                if query.run(self.support.materialize(int(instance_id))) != baseline:
-                    conflicting.append(int(instance_id))
-        return conflicting, reexecuted
+                undecided.add(int(instance_id))
+        return conflicting, undecided
 
-    def _decide_aggregate(
-        self, plan, candidate_array, instances, old_batch, new_batch, old_pass, new_pass
+    # -- flat join kernel (contribution bags per instance) -------------------
+
+    def _decide_flat_join(
+        self, plan: _BatchQuery, chunks: list[_Chunk], undecided: set[int]
     ) -> list[int]:
-        base_state = self._aggregate_base_state(plan)
-        compact = np.searchsorted(candidate_array, instances)
+        conflicting: list[int] = []
+        for chunk in chunks:
+            old_tuples = _projected_tuples(plan.project_evals, chunk.old_batch)
+            new_tuples = _projected_tuples(plan.project_evals, chunk.new_batch)
+            for instance_id, (o_lo, o_hi), (n_lo, n_hi) in _instance_slices(chunk):
+                old_items = [
+                    old_tuples[position]
+                    for position in range(o_lo, o_hi)
+                    if chunk.old_pass[position]
+                ]
+                new_items = [
+                    new_tuples[position]
+                    for position in range(n_lo, n_hi)
+                    if chunk.new_pass[position]
+                ]
+                if old_items == new_items:
+                    # Value-identical contributions decide "no conflict" only
+                    # when the pairs are position-stable: a join-key change
+                    # can re-attach value-identical contributions to
+                    # *different left partners*, moving their positions and
+                    # reordering an ORDER BY tie group.
+                    if plan.ordered and not _instance_stable(chunk, instance_id):
+                        undecided.add(instance_id)
+                    continue
+                if Counter(old_items) != Counter(new_items):
+                    conflicting.append(instance_id)
+                elif plan.ordered:
+                    # Bag-preserving contribution changes can reorder an
+                    # ORDER BY tie group (join output order is left-major).
+                    undecided.add(instance_id)
+        return conflicting
+
+    # -- scalar COUNT/INT-SUM/INT-AVG kernel (pure array ops) ----------------
+
+    def _decide_scalar(
+        self, plan: _BatchQuery, candidate_array: np.ndarray, chunks: list[_Chunk]
+    ) -> list[int]:
+        base_state = self._scalar_base_state(plan)
         num_candidates = len(candidate_array)
 
+        count_deltas = [np.zeros(num_candidates) for _ in plan.agg_specs]
+        sum_deltas = [np.zeros(num_candidates) for _ in plan.agg_specs]
+        for chunk in chunks:
+            for sign, instances, batch, passing in (
+                (-1.0, chunk.old_instances, chunk.old_batch, chunk.old_pass),
+                (+1.0, chunk.new_instances, chunk.new_batch, chunk.new_pass),
+            ):
+                if len(instances) == 0:
+                    continue
+                compact = np.searchsorted(candidate_array, instances)
+                for index, spec in enumerate(plan.agg_specs):
+                    if not spec.compared:
+                        continue
+                    if spec.arg_eval is None:
+                        count_deltas[index] += sign * np.bincount(
+                            compact,
+                            weights=passing.astype(np.float64),
+                            minlength=num_candidates,
+                        )
+                        continue
+                    vector = spec.arg_eval(batch)
+                    valid = passing & ~vector.null
+                    count_deltas[index] += sign * np.bincount(
+                        compact,
+                        weights=valid.astype(np.float64),
+                        minlength=num_candidates,
+                    )
+                    if spec.kind in ("int_sum", "int_avg"):
+                        sum_deltas[index] += sign * np.bincount(
+                            compact,
+                            weights=np.where(valid, vector.values, 0.0),
+                            minlength=num_candidates,
+                        )
+
         changed_any = np.zeros(num_candidates, dtype=bool)
-        for spec, (base_count, base_sum) in zip(plan.agg_specs, base_state):
+        for index, (spec, (base_count, base_sum)) in enumerate(
+            zip(plan.agg_specs, base_state)
+        ):
             if not spec.compared:
                 continue
-            if spec.arg_eval is None:
-                delta = new_pass.astype(np.float64) - old_pass.astype(np.float64)
-                count_delta = np.bincount(
-                    compact, weights=delta, minlength=num_candidates
-                )
+            count_delta = count_deltas[index]
+            if spec.kind in ("count_star", "count"):
                 changed_any |= count_delta != 0
                 continue
-
-            old_vector = spec.arg_eval(old_batch)
-            new_vector = spec.arg_eval(new_batch)
-            old_valid = old_pass & ~old_vector.null
-            new_valid = new_pass & ~new_vector.null
-            count_delta = np.bincount(
-                compact,
-                weights=new_valid.astype(np.float64) - old_valid.astype(np.float64),
-                minlength=num_candidates,
-            )
-            if spec.func == "count":
-                changed_any |= count_delta != 0
-                continue
-
-            sum_delta = np.bincount(
-                compact,
-                weights=np.where(new_valid, new_vector.values, 0.0)
-                - np.where(old_valid, old_vector.values, 0.0),
-                minlength=num_candidates,
-            )
+            sum_delta = sum_deltas[index]
             new_count = base_count + count_delta
             presence_changed = (base_count > 0) != (new_count > 0)
             both_present = (base_count > 0) & (new_count > 0)
-            if spec.func == "sum":
+            if spec.kind == "int_sum":
                 changed_any |= presence_changed | (both_present & (sum_delta != 0))
-            else:  # avg
+            else:  # int_avg
                 with np.errstate(invalid="ignore", divide="ignore"):
                     old_average = base_sum / base_count if base_count > 0 else np.nan
                     new_average = (base_sum + sum_delta) / np.where(
@@ -444,16 +1085,11 @@ class VectorizedBackend(ConflictBackend):
                 )
         return [int(candidate) for candidate in candidate_array[changed_any]]
 
-    def _aggregate_base_state(self, plan: _BatchQuery) -> list[tuple[int, float]]:
+    def _scalar_base_state(self, plan: _BatchQuery) -> list[tuple[int, float]]:
         """Per aggregate: (non-NULL passing count, exact sum) over the base."""
         if plan.base_state is not None:
             return plan.base_state
-        batch = self._table_batch(plan.table)
-        passing = (
-            truth(plan.filter_eval(batch))
-            if plan.filter_eval
-            else np.ones(batch.num_rows, dtype=bool)
-        )
+        batch, passing = plan.source.base_contributions(self)
         state: list[tuple[int, float]] = []
         for spec in plan.agg_specs:
             if spec.arg_eval is None:
@@ -461,13 +1097,232 @@ class VectorizedBackend(ConflictBackend):
                 continue
             vector = spec.arg_eval(batch)
             valid = passing & ~vector.null
-            if spec.func == "count":
+            if spec.kind == "count":
                 total = 0.0  # COUNT needs no sum (and the column may be TEXT)
             else:
                 total = float(vector.values[valid].sum()) if valid.any() else 0.0
             state.append((int(valid.sum()), total))
         plan.base_state = state
         return state
+
+    # -- grouped kernel (GROUP BY / MIN-MAX / float segments) ----------------
+
+    def _grouped_state(self, plan: _BatchQuery) -> _GroupedState:
+        if plan.grouped_state is None:
+            batch, passing = plan.source.base_contributions(self)
+            plan.grouped_state = _GroupedState(plan, batch, passing)
+        return plan.grouped_state
+
+    def _decide_grouped(
+        self, plan: _BatchQuery, chunks: list[_Chunk], undecided: set[int]
+    ) -> list[int]:
+        state = self._grouped_state(plan)
+        conflicting: list[int] = []
+        for chunk in chunks:
+            sides = []
+            for instances, batch, passing, rows in (
+                (chunk.old_instances, chunk.old_batch, chunk.old_pass, chunk.old_rows),
+                (chunk.new_instances, chunk.new_batch, chunk.new_pass, chunk.new_rows),
+            ):
+                keys = (
+                    key_tuples([evaluate(batch) for evaluate in plan.group_evals])
+                    if plan.group_evals
+                    else [()] * batch.num_rows
+                )
+                vectors = [
+                    spec.arg_eval(batch) if spec.arg_eval is not None else None
+                    for spec in plan.agg_specs
+                ]
+                sides.append((keys, vectors, passing, rows))
+            old_side, new_side = sides
+            for instance_id, old_span, new_span in _instance_slices(chunk):
+                decision = self._decide_grouped_instance(
+                    plan, state, old_side, old_span, new_side, new_span,
+                    stable=_instance_stable(chunk, instance_id),
+                )
+                if decision is True:
+                    conflicting.append(instance_id)
+                elif decision is None:
+                    undecided.add(instance_id)
+        return conflicting
+
+    def _decide_grouped_instance(
+        self, plan, state, old_side, old_span, new_side, new_span, stable
+    ) -> bool | None:
+        """True = conflict, False = none, None = re-execute to decide."""
+        specs = plan.agg_specs
+        contributions = []
+        for (keys, vectors, passing, rows), (lo, hi), sign in (
+            (old_side, old_span, -1),
+            (new_side, new_span, +1),
+        ):
+            items = []
+            for position in range(lo, hi):
+                if not passing[position]:
+                    continue
+                values = tuple(
+                    None
+                    if vector is None
+                    else (None if vector.null[position] else vector.value_at(position))
+                    for vector in vectors
+                )
+                row = int(rows[position]) if rows is not None else None
+                items.append((keys[position], values, row))
+            contributions.append(items)
+        old_items, new_items = contributions
+        ordered_groups = plan.ordered and plan.has_groups
+        if old_items == new_items and (stable or not ordered_groups):
+            # Value-identical contributions at unstable positions cannot
+            # decide an ordered grouped query: re-attaching a group's
+            # contributions to different join partners moves its first
+            # occurrence, flipping group emission order within a tie block.
+            return False
+
+        # Accumulate edits per affected group.
+        edits: dict[int, _GroupEdit] = {}
+        for items, sign in ((old_items, -1), (new_items, +1)):
+            for key, values, row in items:
+                gid = state.gid_of(key)
+                edit = edits.get(gid)
+                if edit is None:
+                    edit = _GroupEdit(specs)
+                    edits[gid] = edit
+                edit.dcount += sign
+                for index, spec in enumerate(specs):
+                    if spec.arg_eval is None:
+                        continue
+                    value = values[index]
+                    slot = edit.aggs[index]
+                    (slot.rows_removed if sign < 0 else slot.rows_added).append(row)
+                    if value is None:
+                        continue
+                    slot.dvalid += sign
+                    if spec.kind in ("int_sum", "int_avg"):
+                        slot.dsum += sign * value
+                    elif spec.kind == "minmax":
+                        (slot.removed if sign < 0 else slot.added).append(value)
+                    elif spec.kind in _ORDER_KINDS:
+                        (slot.removed if sign < 0 else slot.added).append((row, value))
+
+        old_bag: Counter = Counter()
+        new_bag: Counter = Counter()
+        any_change = False
+        for gid, edit in edits.items():
+            old_output = state.base_output(gid)
+            new_output = self._edited_output(plan, state, gid, edit)
+            if old_output != new_output:
+                any_change = True
+            if old_output is not None:
+                old_bag[old_output] += 1
+            if new_output is not None:
+                new_bag[new_output] += 1
+        if old_bag != new_bag:
+            return True
+        if ordered_groups:
+            # GROUP BY output rows are emitted in group *insertion* order
+            # (first contribution position in the source output), which
+            # breaks ORDER BY ties; a bag-preserving swap of visible rows,
+            # of group memberships, or — on joins — of partner positions
+            # can reorder a tie block. Undecidable here — re-execute.
+            if not stable:
+                return None
+            old_key_sequence = [key for key, _, _ in old_items]
+            new_key_sequence = [key for key, _, _ in new_items]
+            if any_change or old_key_sequence != new_key_sequence:
+                return None
+        return False
+
+    def _edited_output(self, plan, state, gid, edit: "_GroupEdit") -> tuple | None:
+        new_count = state.counts[gid] + edit.dcount
+        if new_count <= 0 and plan.has_groups:
+            return None
+        values = []
+        for index, spec in enumerate(plan.agg_specs):
+            slot = edit.aggs[index]
+            if spec.kind == "count_star":
+                values.append(max(new_count, 0))
+                continue
+            new_valid = state.valid[index][gid] + slot.dvalid
+            if spec.kind == "count":
+                values.append(new_valid)
+                continue
+            if new_valid <= 0:
+                values.append(None)
+                continue
+            if spec.kind in ("int_sum", "int_avg"):
+                total = state.sums[index][gid] + slot.dsum
+                values.append(total if spec.kind == "int_sum" else total / new_valid)
+            elif spec.kind == "minmax":
+                values.append(
+                    _extreme(
+                        state.sorted_values[index][gid],
+                        Counter(slot.removed),
+                        slot.added,
+                        want_max=spec.func == "max",
+                    )
+                )
+            else:  # float_sum / float_avg: exact in-order segment recompute
+                values.append(
+                    self._float_recompute(state, gid, index, spec, slot, new_valid)
+                )
+        return _project_output(plan, state.keys[gid], values)
+
+    def _float_recompute(self, state, gid, index, spec, slot, new_valid):
+        """Recompute a float SUM/AVG in base row order (naive-exact).
+
+        ``slot.removed``/``slot.added`` are (base row, value) pairs of the
+        instance's valid old/new contributions to this group,
+        ``slot.rows_removed``/``slot.rows_added`` its membership rows
+        regardless of NULLs; when both are unchanged the base output is
+        reused (the common case: a patch to a *different* column).
+        Otherwise the group's new value sequence is the base segment with
+        the old membership rows dropped and the new valid pairs merged back
+        at their base positions, summed left to right — the exact order
+        full re-execution would use.
+        """
+        if sorted(slot.removed) == sorted(slot.added) and sorted(
+            slot.rows_removed
+        ) == sorted(slot.rows_added):
+            return state.base_output_value(gid, index)
+        vector = state.vectors[index]
+        dropped = set(slot.rows_removed)
+        merged = [
+            (position, vector.value_at(position))
+            for position in state.segments[gid]
+            if position not in dropped and not vector.null[position]
+        ]
+        merged.extend(slot.added)
+        merged.sort(key=lambda pair: pair[0])
+        total = sum(value for _, value in merged)
+        return total if spec.kind == "float_sum" else total / new_valid
+
+
+def _projected_tuples(project_evals, batch: ColumnarBatch) -> list[tuple]:
+    """All projected rows of a batch as Python tuples (None at NULLs)."""
+    if batch.num_rows == 0:
+        return []
+    return key_tuples([evaluate(batch) for evaluate in project_evals])
+
+
+def _instance_stable(chunk: _Chunk, instance_id: int) -> bool:
+    """Whether all of an instance's pairs keep their contribution positions."""
+    if chunk.pair_stable is None:
+        return True
+    lo = int(np.searchsorted(chunk.pair_instances, instance_id, side="left"))
+    hi = int(np.searchsorted(chunk.pair_instances, instance_id, side="right"))
+    return bool(chunk.pair_stable[lo:hi].all())
+
+
+def _instance_slices(chunk: _Chunk):
+    """Iterate (instance id, old slice, new slice) over a chunk's instances."""
+    old = chunk.old_instances
+    new = chunk.new_instances
+    for instance_id in np.union1d(old, new):
+        o_lo = int(np.searchsorted(old, instance_id, side="left"))
+        o_hi = int(np.searchsorted(old, instance_id, side="right"))
+        n_lo = int(np.searchsorted(new, instance_id, side="left"))
+        n_hi = int(np.searchsorted(new, instance_id, side="right"))
+        yield int(instance_id), (o_lo, o_hi), (n_lo, n_hi)
 
 
 def _contribution_bag(projected, passing, positions) -> Counter:
@@ -483,9 +1338,13 @@ def _contribution_bag(projected, passing, positions) -> Counter:
 class AutoBackend(ConflictBackend):
     """Per-query choice: batch evaluation when it can win, checkers otherwise.
 
-    The batch path pays fixed costs (candidate gather, patch application)
-    that only amortize across enough candidates; below the threshold the
-    incremental checker's per-instance work is cheaper.
+    Dispatch consults the unified shape matcher (through
+    :func:`compile_batch_query`): a query is only routed to the batch path
+    when it actually compiled, so the reported backend in
+    :class:`ConflictComputation` is the one that decided. The batch path
+    pays fixed costs (candidate gather, patch application) that only
+    amortize across enough candidates; below the threshold the incremental
+    checker's per-instance work is cheaper.
     """
 
     name = "auto"
@@ -495,6 +1354,9 @@ class AutoBackend(ConflictBackend):
         self.min_batch_candidates = min_batch_candidates
         self._incremental = IncrementalBackend(support)
         self._vectorized = VectorizedBackend(support, fallback=self._incremental)
+
+    def prepare(self, queries) -> None:
+        self._vectorized.prepare(queries)
 
     def compute(
         self, query: Query, candidates: list[int] | None = None

@@ -41,10 +41,21 @@ class TableDeltaTensor:
     pair_row: np.ndarray  #: int64[P]
     pair_counts: np.ndarray  #: int64[num_instances]
     column_patches: dict[str, ColumnPatches]  #: lowercased column -> patches
+    touched_instances: np.ndarray  #: int64, sorted unique instance ids with pairs
 
     @property
     def num_pairs(self) -> int:
         return int(len(self.pair_instance))
+
+    def select_pairs(self, candidates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pairs belonging to the given (sorted) candidate instance ids.
+
+        Returns ``(mask, positions)``: a boolean mask over the pair arrays
+        plus the selected positions — the entry point of every batch kernel,
+        and, for join plans, evaluated once per join side.
+        """
+        mask = np.isin(self.pair_instance, candidates)
+        return mask, np.nonzero(mask)[0]
 
 
 def build_delta_tensor(support, table: str) -> TableDeltaTensor:
@@ -87,4 +98,5 @@ def build_delta_tensor(support, table: str) -> TableDeltaTensor:
         pair_row=np.asarray(pair_rows, dtype=np.int64),
         pair_counts=pair_counts,
         column_patches=column_patches,
+        touched_instances=np.unique(pair_instance),
     )

@@ -76,6 +76,49 @@ class TestDiagnostics:
         assert computation.backend == "vectorized"
         assert computation.num_reexecuted == 0
 
+    def test_auto_reports_the_deciding_backend(self, mini_support, mini_db):
+        # Auto consults the unified shape matcher before claiming the batch
+        # path: a shape the vectorized engine cannot compile must be
+        # reported as decided by `incremental`, not `vectorized`.
+        engine = ConflictSetEngine(
+            mini_support, backend="auto", min_batch_candidates=1
+        )
+        batchable = engine.compute(
+            sql_query("select Continent, count(*) from Country group by Continent", mini_db)
+        )
+        assert batchable.backend == "vectorized"
+        fallback = engine.compute(
+            sql_query("select distinct Continent from Country", mini_db)
+        )
+        assert fallback.backend == "incremental"
+        assert set(engine.diagnostics) == {"vectorized", "incremental"}
+        assert engine.diagnostics["vectorized"]["queries"] == 1
+        assert engine.diagnostics["incremental"]["queries"] == 1
+
+    def test_ssb_join_and_grouped_templates_decided_by_vectorized(self):
+        # Acceptance: GROUP BY, MIN/MAX, and two-table equi-join templates
+        # are decided by the batch path, visible in the backend counters.
+        from repro.workloads import get_workload
+
+        workload = get_workload("ssb", scale=0.1)
+        support = workload.support(size=80, seed=5, mode="row")
+        engine = ConflictSetEngine(support, backend="vectorized")
+        queries = [
+            query
+            for query in workload.queries
+            if len(query.referenced_tables) == 2 and "count(*)" in query.text
+        ][:10]
+        queries += [
+            sql_query(
+                "select d_month, count(*) from DimDate group by d_month",
+                workload.database,
+            ),
+            sql_query("select max(lo_quantity) from LineOrder", workload.database),
+        ]
+        engine.build_hypergraph(queries)
+        assert engine.diagnostics["vectorized"]["queries"] == len(queries)
+        assert "incremental" not in engine.diagnostics
+
 
 class TestBatchCompilation:
     def test_flat_plan_compiles(self, mini_support, mini_db):
@@ -92,17 +135,62 @@ class TestBatchCompilation:
             assert compile_batch_query(sql_query(text, mini_db), mini_db) is not None
 
     @pytest.mark.parametrize(
+        ("text", "kernel"),
+        [
+            ("select max(Population) from Country", "grouped"),
+            ("select min(Name), max(Population) from Country", "grouped"),
+            (
+                "select Continent, count(Code) from Country group by Continent",
+                "grouped",
+            ),
+            # float SUM over grouped single-table plans: exact in-order
+            # segment recompute
+            (
+                "select Continent, sum(LifeExpectancy) from Country "
+                "group by Continent",
+                "grouped",
+            ),
+            (
+                "select Name from Country , CountryLanguage "
+                "where Code = CountryCode",
+                "flat_join",
+            ),
+            (
+                "select count(*) from Country , CountryLanguage "
+                "where Code = CountryCode",
+                "scalar",
+            ),
+            (
+                "select Continent, count(*) from Country , CountryLanguage "
+                "where Code = CountryCode group by Continent",
+                "grouped",
+            ),
+        ],
+    )
+    def test_grouped_and_join_shapes_compile(self, mini_db, text, kernel):
+        plan = compile_batch_query(sql_query(text, mini_db), mini_db)
+        assert plan is not None, text
+        assert plan.kernel == kernel, text
+
+    @pytest.mark.parametrize(
         "text",
         [
-            # float SUM/AVG: float accumulation order differs from
-            # re-execution, so these stay on the incremental path
+            # scalar float SUM/AVG: float accumulation order differs from
+            # re-execution and there is no small group segment to recompute,
+            # so these stay on the incremental path
             "select sum(LifeExpectancy) from Country",
             "select avg(LifeExpectancy) from Country",
-            "select max(Population) from Country",
+            # joined float SUM: no stable re-execution order to reproduce
+            "select sum(Percentage) from Country , CountryLanguage "
+            "where Code = CountryCode",
             "select distinct Continent from Country",
-            "select Continent, count(Code) from Country group by Continent",
+            "select Continent, count(distinct Code) from Country "
+            "group by Continent",
             "select Name from Country order by Population desc limit 2",
-            "select Name from Country , CountryLanguage where Code = CountryCode",
+            # 3-way joins stay incremental (batch path is two-table only)
+            "select City.Name from Country , City , CountryLanguage "
+            "where Code = City.CountryCode "
+            "and Code = CountryLanguage.CountryCode",
         ],
     )
     def test_unsupported_shapes_do_not_compile(self, mini_db, text):

@@ -151,9 +151,78 @@ def test_filter_project_execute_batch_matches_execute(db):
 
 
 def test_unsupported_node_raises(db):
-    plan = Aggregate(TableScan("T"), [], [])
+    from repro.db.plan import Sort, SortKey
+
+    plan = Sort(TableScan("T"), [SortKey(ColumnRef("i"))])
     with pytest.raises(QueryError):
         plan.execute_batch(db)
+
+
+def _batch_rows(batch):
+    return [
+        tuple(column.value_at(index) for column in batch.columns)
+        for index in range(batch.num_rows)
+    ]
+
+
+def test_aggregate_execute_batch_matches_execute(db):
+    from repro.db.plan import AggregateSpec
+
+    plan = Aggregate(
+        TableScan("T"),
+        [ProjectItem(ColumnRef("s"), "_g0")],
+        [
+            AggregateSpec("count", None, "_a0"),
+            AggregateSpec("count", ColumnRef("f"), "_a1"),
+            AggregateSpec("sum", ColumnRef("i"), "_a2"),
+            AggregateSpec("min", ColumnRef("f"), "_a3"),
+            AggregateSpec("max", ColumnRef("i"), "_a4"),
+        ],
+    )
+    assert _batch_rows(plan.execute_batch(db)) == plan.execute(db)
+
+
+def test_scalar_aggregate_execute_batch_empty_input(db):
+    from repro.db.plan import AggregateSpec
+
+    # SQL scalar-aggregate rule: an empty input still yields one output row.
+    plan = Aggregate(
+        Filter(TableScan("T"), Comparison(">", ColumnRef("i"), Literal(100))),
+        [],
+        [AggregateSpec("count", None, "_a0"), AggregateSpec("sum", ColumnRef("i"), "_a1")],
+    )
+    assert _batch_rows(plan.execute_batch(db)) == plan.execute(db) == [(0, None)]
+
+
+def test_hash_join_execute_batch_matches_execute():
+    from repro.db.plan import HashJoin
+
+    left = Relation(
+        TableSchema("L", (Column("k", ColumnType.INT), Column("a", ColumnType.TEXT)))
+    )
+    left.insert_many([(1, "x"), (2, "y"), (None, "z"), (1, "w")])
+    right = Relation(
+        TableSchema("R", (Column("k", ColumnType.INT), Column("b", ColumnType.FLOAT)))
+    )
+    right.insert_many([(1, 0.5), (1, 1.5), (3, 2.5), (None, 3.5)])
+    join_db = Database("join", [left, right])
+    plan = HashJoin(
+        TableScan("L"), TableScan("R"),
+        [ColumnRef("k", "l")], [ColumnRef("k", "r")],
+    )
+    # Output order matters: left-major with right matches in row order.
+    assert _batch_rows(plan.execute_batch(join_db)) == plan.execute(join_db)
+
+
+def test_hash_join_execute_batch_rejects_source_substitution(db):
+    from repro.db.plan import HashJoin
+
+    plan = HashJoin(
+        TableScan("T"), TableScan("T", alias="U"),
+        [ColumnRef("i", "t")], [ColumnRef("i", "u")],
+    )
+    with pytest.raises(QueryError, match="source"):
+        plan.execute_batch(db, source=batch_of(db))
 
 
 def test_execute_batch_with_source_substitution(db):

@@ -1,0 +1,372 @@
+"""Targeted edge cases for grouped conflict decisions, vs the naive oracle.
+
+The grouped kernels (incremental checker and vectorized segment kernel) have
+four classic failure modes, each pinned here against full re-execution:
+groups *created or destroyed* by a patch, NULL group keys, MIN/MAX ties
+under removal, and the degenerate single-group GROUP BY. Every case asserts
+exact hyperedge parity across all backends, plus — where the shape is
+batchable — that the vectorized backend actually decided it (backend
+counters in ``ConflictSetEngine.diagnostics``), not its fallback.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import sql_query
+from repro.db.relation import Relation
+from repro.db.schema import Column, ColumnType, TableSchema
+from repro.qirana.conflict import ConflictSetEngine
+from repro.support.delta import CellDelta, SupportInstance
+from repro.support.generator import SupportSet
+
+BACKENDS = ("naive", "incremental", "vectorized", "auto")
+
+
+def assert_parity(support, queries, expect_vectorized=()):
+    """All backends agree with naive; listed queries decided by the batch path."""
+    queries = [query for query in queries]
+    reference = None
+    for backend in BACKENDS:
+        engine = ConflictSetEngine(support, backend=backend)
+        edges = [engine.conflict_set(query) for query in queries]
+        if reference is None:
+            reference = edges
+        else:
+            for query, edge, expected in zip(queries, edges, reference):
+                assert edge == expected, (backend, query.text)
+        if backend == "vectorized":
+            decided = engine.diagnostics.get("vectorized", {}).get("queries", 0)
+            assert decided >= len(expect_vectorized), engine.diagnostics
+    return reference
+
+
+@pytest.fixture
+def grouped_db() -> Database:
+    items = Relation(
+        TableSchema(
+            "Items",
+            (
+                Column("id", ColumnType.INT),
+                Column("grp", ColumnType.TEXT),
+                Column("qty", ColumnType.INT),
+                Column("price", ColumnType.FLOAT),
+            ),
+            primary_key=("id",),
+        )
+    )
+    items.insert_many(
+        [
+            (1, "a", 10, 1.5),
+            (2, "a", 20, 2.5),
+            (3, "b", 10, 1.5),
+            (4, None, 30, 4.5),
+            (5, "c", 10, 1.5),  # the only "c" row: patches can destroy "c"
+        ]
+    )
+    return Database("grouped-edges", [items])
+
+
+class TestGroupPresence:
+    def test_group_created_and_destroyed_by_patch(self, grouped_db):
+        support = SupportSet(
+            grouped_db,
+            [
+                # Destroys group "c" (its only row moves to "a").
+                SupportInstance(0, (CellDelta("Items", 4, "grp", "a"),)),
+                # Creates a brand-new group "z".
+                SupportInstance(1, (CellDelta("Items", 0, "grp", "z"),)),
+                # Creates "z" while destroying "b".
+                SupportInstance(2, (CellDelta("Items", 2, "grp", "z"),)),
+            ],
+        )
+        queries = [
+            sql_query(text, grouped_db)
+            for text in [
+                "select grp, count(*) from Items group by grp",
+                "select grp, sum(qty) from Items group by grp",
+                "select grp, min(price) from Items group by grp",
+            ]
+        ]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        # Every presence change is visible in the keyed output rows.
+        assert all(edge == frozenset({0, 1, 2}) for edge in edges)
+
+    def test_filter_driven_group_presence(self, grouped_db):
+        # A patch can create/destroy a group through the WHERE clause alone.
+        support = SupportSet(
+            grouped_db,
+            [
+                SupportInstance(0, (CellDelta("Items", 4, "qty", 99),)),  # "c" leaves
+                SupportInstance(1, (CellDelta("Items", 3, "qty", 31),)),  # NULL-key row leaves
+            ],
+        )
+        queries = [
+            sql_query(
+                "select grp, count(*) from Items where qty <= 30 group by grp",
+                grouped_db,
+            )
+        ]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        assert edges[0] == frozenset({0, 1})
+
+
+class TestNullGroupKeys:
+    def test_null_key_group_is_a_real_group(self, grouped_db):
+        support = SupportSet(
+            grouped_db,
+            [
+                # Moves a row into the NULL-key group.
+                SupportInstance(0, (CellDelta("Items", 0, "grp", None),)),
+                # Moves the NULL-key row out of it.
+                SupportInstance(1, (CellDelta("Items", 3, "grp", "a"),)),
+                # Patches a value *inside* the NULL-key group.
+                SupportInstance(2, (CellDelta("Items", 3, "qty", 31),)),
+                # Irrelevant column: no conflict with the grouped queries.
+                SupportInstance(3, (CellDelta("Items", 3, "price", 9.5),)),
+            ],
+        )
+        queries = [
+            sql_query(text, grouped_db)
+            for text in [
+                "select grp, count(*) from Items group by grp",
+                "select grp, sum(qty) from Items group by grp",
+            ]
+        ]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        assert edges[0] == frozenset({0, 1})
+        assert edges[1] == frozenset({0, 1, 2})
+
+
+class TestMinMaxTies:
+    def test_removing_one_of_tied_minima_keeps_min(self, grouped_db):
+        # qty 10 appears in rows 0, 2, 4. Raising one of them leaves MIN(qty)
+        # at 10 globally; per-group it depends on the group's own ties.
+        support = SupportSet(
+            grouped_db,
+            [
+                SupportInstance(0, (CellDelta("Items", 0, "qty", 15),)),  # "a" min 10->15? no: row1=20 -> min 15
+                SupportInstance(1, (CellDelta("Items", 2, "qty", 40),)),  # "b" min 10->40
+                SupportInstance(2, (CellDelta("Items", 0, "qty", 11),)),  # scalar min stays 10
+            ],
+        )
+        scalar = sql_query("select min(qty) from Items", grouped_db)
+        grouped = sql_query("select grp, min(qty) from Items group by grp", grouped_db)
+        edges = assert_parity(support, [scalar, grouped], expect_vectorized=[scalar, grouped])
+        # Tied minima elsewhere keep the scalar MIN at 10 for every patch.
+        assert edges[0] == frozenset()
+        assert edges[1] == frozenset({0, 1, 2})
+
+    def test_tied_extremes_with_duplicate_values_in_one_group(self):
+        table = Relation(
+            TableSchema("T", (Column("g", ColumnType.TEXT), Column("v", ColumnType.INT)))
+        )
+        table.insert_many([("a", 5), ("a", 5), ("a", 9), ("b", 5)])
+        db = Database("ties", [table])
+        support = SupportSet(
+            db,
+            [
+                # Removes one of two tied minima: MIN(v) of "a" stays 5.
+                SupportInstance(0, (CellDelta("T", 0, "v", 7),)),
+                # Removes both tied minima: MIN(v) of "a" becomes 7.
+                SupportInstance(
+                    1, (CellDelta("T", 0, "v", 7), CellDelta("T", 1, "v", 8))
+                ),
+                # Swaps the tied values between rows: nothing changes.
+                SupportInstance(
+                    2, (CellDelta("T", 0, "v", 9), CellDelta("T", 2, "v", 5))
+                ),
+                # MAX tie: raising the non-max row to the max value.
+                SupportInstance(3, (CellDelta("T", 1, "v", 9),)),
+            ],
+        )
+        queries = [
+            sql_query("select g, min(v) from T group by g", db),
+            sql_query("select g, max(v) from T group by g", db),
+            sql_query("select min(v), max(v) from T", db),
+        ]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        assert edges[0] == frozenset({1})  # only the double removal moves MIN
+        assert edges[1] == frozenset()  # MAX(v) of "a" stays 9 throughout
+
+    def test_text_minmax_and_all_null_group(self):
+        table = Relation(
+            TableSchema("T", (Column("g", ColumnType.TEXT), Column("s", ColumnType.TEXT)))
+        )
+        table.insert_many([("a", "x"), ("a", None), ("b", None)])
+        db = Database("text-ties", [table])
+        support = SupportSet(
+            db,
+            [
+                # Group "b" is all-NULL: MIN(s) is NULL until a patch fills it.
+                SupportInstance(0, (CellDelta("T", 2, "s", "q"),)),
+                # Dropping the only non-NULL "a" value: MIN(s) becomes NULL.
+                SupportInstance(1, (CellDelta("T", 0, "s", None),)),
+            ],
+        )
+        queries = [sql_query("select g, min(s), max(s) from T group by g", db)]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        assert edges[0] == frozenset({0, 1})
+
+
+class TestDegenerateSingleGroup:
+    def test_group_by_constant_valued_column(self):
+        # Every row shares one group: GROUP BY is degenerate but the output
+        # still differs from the scalar aggregate (no row when all rows
+        # leave the filter, vs one row with zero count).
+        table = Relation(
+            TableSchema("T", (Column("g", ColumnType.TEXT), Column("v", ColumnType.INT)))
+        )
+        table.insert_many([("a", 1), ("a", 2)])
+        db = Database("single-group", [table])
+        support = SupportSet(
+            db,
+            [
+                SupportInstance(0, (CellDelta("T", 0, "v", 9),)),
+                # Both rows leave the filter: the grouped output loses its
+                # only row while the scalar aggregate keeps one (count 0).
+                SupportInstance(
+                    1, (CellDelta("T", 0, "v", 50), CellDelta("T", 1, "v", 60))
+                ),
+            ],
+        )
+        grouped = sql_query(
+            "select g, count(*) from T where v < 10 group by g", db
+        )
+        scalar = sql_query("select count(*) from T where v < 10", db)
+        edges = assert_parity(support, [grouped, scalar], expect_vectorized=[grouped, scalar])
+        assert edges[0] == frozenset({1})
+        assert edges[1] == frozenset({1})
+
+    def test_unprojected_group_key_swap_is_not_a_conflict(self):
+        # Regression for the bag-comparison fix: moving a row between groups
+        # swaps the two counts, and with the key unprojected the answer bag
+        # {2, 1} is unchanged — naive sees no conflict, and neither may the
+        # incremental or vectorized grouped checkers.
+        table = Relation(
+            TableSchema("T", (Column("id", ColumnType.INT), Column("g", ColumnType.TEXT)))
+        )
+        table.insert_many([(1, "a"), (2, "a"), (3, "b")])
+        db = Database("swap", [table])
+        support = SupportSet(
+            db,
+            [
+                SupportInstance(0, (CellDelta("T", 0, "g", "b"),)),  # counts swap
+                SupportInstance(1, (CellDelta("T", 2, "g", "a"),)),  # counts {3} — conflict
+            ],
+        )
+        queries = [
+            sql_query("select count(*) from T group by g", db),
+            sql_query("select g, count(*) from T group by g", db),
+        ]
+        edges = assert_parity(support, queries, expect_vectorized=queries)
+        assert edges[0] == frozenset({1})  # the swap cancels in the bag
+        assert edges[1] == frozenset({0, 1})  # projected keys make it visible
+
+
+class TestOrderedJoinPartnerReattachment:
+    """A join-key patch can re-attach value-identical contributions to
+    *different left partners*, moving their output positions — which reorders
+    ORDER BY tie groups even though every value-level comparison (projected
+    bags, per-group outputs, contribution key sequences) is unchanged. Both
+    checkers must treat such instances as undecidable and re-execute."""
+
+    def test_ordered_grouped_join_tie_flip(self):
+        fact = Relation(
+            TableSchema("T", (Column("k", ColumnType.INT), Column("g", ColumnType.TEXT)))
+        )
+        fact.insert_many([(1, "x"), (2, "y"), (3, "x")])
+        dim = Relation(TableSchema("U", (Column("k", ColumnType.INT),)))
+        dim.insert_many([(2,), (1,)])
+        db = Database("tie-flip", [fact, dim])
+        # Re-keying U[1] from 1 to 3 keeps group "x" at count 1 but attaches
+        # it to a different fact partner, flipping which group is emitted
+        # first: [('x',1),('y',1)] -> [('y',1),('x',1)] under ORDER BY c.
+        support = SupportSet(db, [SupportInstance(0, (CellDelta("U", 1, "k", 3),))])
+        queries = [
+            sql_query(
+                "select g, count(*) as c from T, U where T.k = U.k "
+                "group by g order by c",
+                db,
+            )
+        ]
+        edges = assert_parity(support, queries)
+        assert edges[0] == frozenset({0})
+
+    def test_ordered_flat_join_partner_swap(self):
+        fact = Relation(
+            TableSchema("T", (Column("k", ColumnType.INT), Column("x", ColumnType.INT)))
+        )
+        fact.insert_many([(1, 5), (2, 7), (2, 5)])
+        dim = Relation(
+            TableSchema("U", (Column("k", ColumnType.INT), Column("w", ColumnType.INT)))
+        )
+        dim.insert_many([(1, 9)])
+        db = Database("partner-swap", [fact, dim])
+        # Re-keying U[0] from 1 to 2 preserves the projected bag {(5, 9)}
+        # vs {(7,9),(5,9)}? No: old partners {T0} -> {(5,9)}, new {T1,T2}
+        # -> {(7,9),(5,9)} — bag changes, plain conflict. Instance 1
+        # instead re-keys to a partner with the *same* x value: bag
+        # unchanged, but the contribution's position moves past T1.
+        support = SupportSet(
+            db,
+            [
+                SupportInstance(0, (CellDelta("U", 0, "k", 2),)),
+                SupportInstance(1, (CellDelta("U", 0, "w", 8),)),
+            ],
+        )
+        queries = [
+            sql_query(
+                "select T.x as x, U.w as w from T, U where T.k = U.k order by x",
+                db,
+            ),
+            sql_query("select T.x as x, U.w as w from T, U where T.k = U.k", db),
+        ]
+        assert_parity(support, queries)
+
+
+class TestGroupedJoins:
+    def test_grouped_join_decided_by_vectorized(self):
+        fact = Relation(
+            TableSchema(
+                "F",
+                (Column("k", ColumnType.INT), Column("v", ColumnType.INT)),
+            )
+        )
+        fact.insert_many([(0, 1), (0, 2), (1, 3), (2, 4), (None, 9)])
+        dim = Relation(
+            TableSchema(
+                "D",
+                (Column("k", ColumnType.INT), Column("h", ColumnType.TEXT)),
+            )
+        )
+        dim.insert_many([(0, "a"), (1, "a"), (2, "b")])
+        db = Database("join-grouped", [fact, dim])
+        support = SupportSet(
+            db,
+            [
+                SupportInstance(0, (CellDelta("F", 0, "v", 7),)),  # sum under "a"
+                SupportInstance(1, (CellDelta("D", 2, "h", "a"),)),  # "b" destroyed
+                SupportInstance(2, (CellDelta("F", 4, "k", 2),)),  # row joins in
+                SupportInstance(3, (CellDelta("D", 0, "k", 5),)),  # dim rows drop out
+                # Patches on both join sides: the batch path re-executes.
+                SupportInstance(
+                    4, (CellDelta("F", 1, "v", 6), CellDelta("D", 1, "h", "b"))
+                ),
+            ],
+        )
+        queries = [
+            sql_query(
+                "select D.h, sum(F.v) from F, D where F.k = D.k group by D.h", db
+            ),
+            sql_query(
+                "select D.h, count(*) from F, D where F.k = D.k group by D.h", db
+            ),
+        ]
+        engine = ConflictSetEngine(support, backend="vectorized")
+        naive = ConflictSetEngine(support, backend="naive")
+        for query in queries:
+            assert engine.conflict_set(query) == naive.conflict_set(query), query.text
+        diagnostics = engine.diagnostics["vectorized"]
+        assert diagnostics["queries"] == len(queries)
+        # Only the both-sides instance needed re-execution.
+        assert diagnostics["reexecuted"] == len(queries)

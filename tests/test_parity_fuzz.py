@@ -1,0 +1,114 @@
+"""Randomized cross-backend parity fuzzing.
+
+Every conflict backend must produce *exactly* the hyperedge the naive
+definition produces — ``CS(Q, D) = {D' : Q(D') != Q(D)}`` — on randomly
+generated databases, support sets, and queries spanning the whole decision
+surface: filters, projections, GROUP BY, all five aggregates over
+INT/FLOAT/TEXT columns, ORDER BY, HAVING, and two-table equi-joins (see
+:func:`repro.db.testing.random_fuzz_query_text` for the grammar).
+
+Tier-1 runs a reduced case count; ``--runslow`` runs the full suite
+(>= 200 generated cases). The base seed is overridable via the
+``REPRO_FUZZ_SEED`` environment variable; on a mismatch a standalone repro
+script is written under ``tests/artifacts/parity_fuzz/`` (uploaded as a CI
+artifact on failure) and the failure message names the seed and case, so
+every differential bug is reproducible from the log alone.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.db.query import sql_query
+from repro.db.testing import (
+    random_fuzz_database,
+    random_fuzz_query_text,
+    random_support_set,
+    render_parity_repro,
+)
+from repro.exceptions import QueryError
+from repro.qirana.conflict import ConflictSetEngine
+
+BACKENDS = ("incremental", "vectorized", "auto")
+QUERIES_PER_CASE = 6
+FULL_CASES = 240
+TIER1_CASES = 60
+
+#: Override to replay a failing run: REPRO_FUZZ_SEED=<seed> pytest ...
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260727"))
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts" / "parity_fuzz"
+
+
+def _case_count(request) -> int:
+    return FULL_CASES if request.config.getoption("--runslow") else TIER1_CASES
+
+
+def _dump_repro(db, support, query_text: str, case: int, mismatches) -> Path:
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    note = (
+        f"seed={BASE_SEED} case={case} (rng seed {BASE_SEED + case})\n"
+        f"query: {query_text}\n"
+        f"mismatches: {mismatches}\n"
+    )
+    path = ARTIFACT_DIR / f"repro_seed{BASE_SEED}_case{case}.py"
+    path.write_text(render_parity_repro(db, support, query_text, note))
+    return path
+
+
+def _run_case(case: int) -> None:
+    rng = np.random.default_rng(BASE_SEED + case)
+    db = random_fuzz_database(rng)
+    support = random_support_set(
+        db, rng, size=int(rng.integers(12, 28)), max_deltas=3
+    )
+    queries = []
+    for _ in range(QUERIES_PER_CASE):
+        text = random_fuzz_query_text(rng)
+        try:
+            queries.append(sql_query(text, db))
+        except QueryError:  # pragma: no cover - grammar stays in-dialect
+            pytest.fail(f"fuzz grammar produced an unplannable query: {text}")
+
+    oracle = ConflictSetEngine(support, backend="naive")
+    engines = {backend: ConflictSetEngine(support, backend=backend) for backend in BACKENDS}
+    # Fuzz candidate sets are smaller than auto's default batch threshold;
+    # lower it so the fuzzer exercises auto's vectorized dispatch path too
+    # (shape gate + threshold + candidate forwarding), not just its
+    # incremental branch.
+    engines["auto"] = ConflictSetEngine(support, backend="auto", min_batch_candidates=1)
+    for query in queries:
+        expected = oracle.conflict_set(query)
+        mismatches = {}
+        for backend, engine in engines.items():
+            edge = engine.conflict_set(query)
+            if edge != expected:
+                mismatches[backend] = sorted(edge)
+        if mismatches:
+            path = _dump_repro(db, support, query.text, case, mismatches)
+            pytest.fail(
+                f"hyperedge parity mismatch (seed={BASE_SEED}, case={case})\n"
+                f"query: {query.text}\n"
+                f"naive: {sorted(expected)}\n"
+                f"mismatching backends: {mismatches}\n"
+                f"repro script: {path}"
+            )
+
+
+@pytest.mark.parametrize("chunk", range(12))
+def test_parity_fuzz(request, chunk):
+    """Each chunk runs 1/12th of the configured case budget."""
+    cases = _case_count(request)
+    per_chunk = cases // 12
+    for case in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        _run_case(case)
+
+
+def test_full_budget_meets_issue_floor():
+    # The --runslow configuration must cover at least 200 generated cases.
+    assert FULL_CASES >= 200
+    assert FULL_CASES % 12 == 0 and TIER1_CASES % 12 == 0
