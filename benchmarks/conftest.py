@@ -69,6 +69,19 @@ def bench_once():
     return run_once
 
 
+def _artifact_target() -> Path:
+    """Where this run's artifacts land.
+
+    CI-scale runs use the untracked ``artifacts/ci/`` so the committed
+    laptop-scale reference data stays pristine.
+    """
+    target = (
+        ARTIFACT_DIR if os.environ.get("REPRO_BENCH_FULL") else ARTIFACT_DIR / "ci"
+    )
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
 def save_artifact(artifact) -> None:
     """Export a FigureData's data as CSV under ``benchmarks/artifacts/``.
 
@@ -81,16 +94,22 @@ def save_artifact(artifact) -> None:
         export_series_csv,
     )
 
-    # CI-scale runs land in the untracked artifacts/ci/ so the committed
-    # laptop-scale reference CSVs stay pristine.
-    target = (
-        ARTIFACT_DIR if os.environ.get("REPRO_BENCH_FULL") else ARTIFACT_DIR / "ci"
-    )
-    target.mkdir(parents=True, exist_ok=True)
-    base = target / artifact.figure_id
+    base = _artifact_target() / artifact.figure_id
     if "series" in artifact.data:
         export_series_csv(artifact, base.with_suffix(".csv"))
     if "counts" in artifact.data and "bin_edges" in artifact.data:
         export_histogram_csv(artifact, base.with_suffix(".hist.csv"))
     if "runtimes" in artifact.data:
         export_runtimes_csv(artifact, base.with_suffix(".runtimes.csv"))
+
+
+def save_bench_json(artifact, filename: str) -> Path:
+    """Write a benchmark artifact's ``BENCH_*.json`` summary.
+
+    These files (wall times, speedup ratios, n/m/k/B stats, backend/strategy
+    counters) are uploaded as CI workflow artifacts so the perf trajectory
+    is tracked across PRs instead of living only in pytest asserts.
+    """
+    from repro.experiments.export import export_bench_json
+
+    return export_bench_json(artifact, _artifact_target() / filename)

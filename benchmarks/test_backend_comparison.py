@@ -11,7 +11,7 @@ checkers, which already avoid re-execution.
 
 from repro.experiments.figures import backend_comparison, join_backend_comparison
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import save_artifact, save_bench_json
 
 
 def test_backend_comparison_uniform(benchmark):
@@ -28,6 +28,7 @@ def test_backend_comparison_uniform(benchmark):
     )
     print("\n" + str(artifact))
     save_artifact(artifact)
+    save_bench_json(artifact, "BENCH_backends.json")
     # Only relative speedups are asserted (measured margin is ~20x over the
     # bar); absolute wall-clock comparisons flake on shared CI runners.
     speedups = artifact.data["speedups"]
@@ -52,6 +53,7 @@ def test_backend_comparison_ssb_join(benchmark):
     )
     print("\n" + str(artifact))
     save_artifact(artifact)
+    save_bench_json(artifact, "BENCH_backends_join.json")
     # The join path must beat the incremental checkers by 3x on the
     # CI-scale SSB template (parity asserted inside time_hypergraph_builds);
     # the vectorized backend must have decided the joins itself, not via

@@ -71,8 +71,16 @@ class BayesianInstance:
 
 
 def expected_revenue(pricing: PricingFunction, instance: BayesianInstance) -> float:
-    """``sum_e p(e) * P(v_e >= p(e))`` for a deterministic pricing."""
-    prices = pricing.price_edges(instance.hypergraph.edges)
+    """``sum_e p(e) * P(v_e >= p(e))`` for a deterministic pricing.
+
+    Edge prices come from the pricing's matrix form over the hypergraph's
+    shared CSR edge-member block (built once, reused across every scoring
+    call of an SAA/posted-price simulation); only the per-distribution
+    survival lookups stay scalar.
+    """
+    prices = pricing.price_edges_arrays(
+        *instance.hypergraph.edge_member_matrix()
+    )
     return float(
         sum(
             price * dist.survival(float(price))

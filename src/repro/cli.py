@@ -5,12 +5,18 @@ Subcommands::
     repro-pricing workloads                      # list workloads + stats
     repro-pricing algorithms                     # list pricing algorithms
     repro-pricing backends                       # list conflict-set backends
+    repro-pricing strategies                     # list revenue strategies
     repro-pricing price --workload skewed --algorithm lpip [--support 500]
-                        [--conflict-backend auto]
+                        [--conflict-backend auto] [--revenue-strategy scalar]
     repro-pricing bench-backends --workload uniform  # backend speed comparison
+    repro-pricing bench-revenue --workload uniform   # revenue engine comparison
     repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
     repro-pricing table table3                   # reproduce one table
     repro-pricing ext heuristics|limited|saa     # extension experiments
+
+The two bench commands additionally write machine-readable summaries
+(``BENCH_backends.json`` / ``BENCH_pricing.json``; ``--json PATH`` to move,
+``--no-json`` to skip) so perf is trackable across revisions.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ def main(argv: list[str] | None = None) -> int:
     commands.add_parser("workloads", help="list the paper's query workloads")
     commands.add_parser("algorithms", help="list the pricing algorithms")
     commands.add_parser("backends", help="list the conflict-set backends")
+    commands.add_parser("strategies", help="list the revenue-engine strategies")
 
     price = commands.add_parser("price", help="run one algorithm on one workload")
     price.add_argument("--workload", default="skewed",
@@ -42,6 +49,9 @@ def main(argv: list[str] | None = None) -> int:
     price.add_argument("--seed", type=int, default=1)
     price.add_argument("--conflict-backend", default="auto",
                        help="conflict-set backend (see `backends`)")
+    price.add_argument("--revenue-strategy", default=None,
+                       help="revenue-engine strategy (see `strategies`; "
+                            "default: vectorized)")
 
     bench = commands.add_parser(
         "bench-backends", help="time hypergraph construction per conflict backend"
@@ -58,6 +68,27 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--template", default=None,
                        help="with --join-only: keep only queries containing "
                             "this substring (e.g. 'count(*)')")
+    bench.add_argument("--json", dest="json_path", default="BENCH_backends.json",
+                       help="where to write the machine-readable summary")
+    bench.add_argument("--no-json", action="store_true",
+                       help="skip writing the JSON summary")
+
+    bench_rev = commands.add_parser(
+        "bench-revenue",
+        help="time a pricing algorithm per revenue-engine strategy",
+    )
+    bench_rev.add_argument("--workload", default="uniform",
+                           choices=["skewed", "uniform", "tpch", "ssb"])
+    bench_rev.add_argument("--support", type=int, default=None)
+    bench_rev.add_argument("--scale", type=float, default=None)
+    bench_rev.add_argument("--algorithm", default="ascent",
+                           help="pricing algorithm to sweep (default: the "
+                                "coordinate-ascent inner loop)")
+    bench_rev.add_argument("--valuation-k", type=float, default=300.0)
+    bench_rev.add_argument("--json", dest="json_path", default="BENCH_pricing.json",
+                           help="where to write the machine-readable summary")
+    bench_rev.add_argument("--no-json", action="store_true",
+                           help="skip writing the JSON summary")
 
     figure = commands.add_parser("figure", help="reproduce a figure panel")
     figure.add_argument("figure_id", help="e.g. fig4-skewed, fig5a-uniform-tpch, fig8-ssb")
@@ -86,8 +117,10 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": _cmd_workloads,
         "algorithms": _cmd_algorithms,
         "backends": _cmd_backends,
+        "strategies": _cmd_strategies,
         "price": _cmd_price,
         "bench-backends": _cmd_bench_backends,
+        "bench-revenue": _cmd_bench_revenue,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "explain": _cmd_explain,
@@ -124,6 +157,23 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from repro.core.evaluator import available_revenue_strategies
+
+    for name in available_revenue_strategies():
+        print(name)
+    return 0
+
+
+def _write_bench_json(artifact, args: argparse.Namespace) -> None:
+    from repro.experiments.export import export_bench_json
+
+    if getattr(args, "no_json", False):
+        return
+    path = export_bench_json(artifact, args.json_path)
+    print(f"wrote {path}")
+
+
 def _cmd_bench_backends(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
@@ -146,11 +196,30 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
             num_queries=args.queries,
         )
     print(artifact)
+    _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_bench_revenue(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    artifact = figures.revenue_comparison(
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+        algorithm=args.algorithm,
+        valuation_k=args.valuation_k,
+    )
+    print(artifact)
+    _write_bench_json(artifact, args)
     return 0
 
 
 def _cmd_price(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.core.algorithms import get_algorithm
+    from repro.core.evaluator import use_strategy
     from repro.valuations import UniformValuations
     from repro.workloads import get_workload
 
@@ -161,7 +230,13 @@ def _cmd_price(args: argparse.Namespace) -> int:
     instance = model.instance(hypergraph, rng=np.random.default_rng(args.seed))
 
     algorithm = get_algorithm(args.algorithm)
-    result = algorithm.run(instance)
+    scope = (
+        use_strategy(args.revenue_strategy)
+        if args.revenue_strategy is not None
+        else nullcontext()
+    )
+    with scope:
+        result = algorithm.run(instance)
     total = instance.total_valuation()
     print(f"workload        : {args.workload} (m={instance.num_edges}, n={instance.num_items})")
     print(f"algorithm       : {result.algorithm}")

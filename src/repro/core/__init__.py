@@ -6,6 +6,11 @@ buyer valuation per hyperedge — and the six pricing algorithms live in
 :mod:`repro.core.algorithms`.
 """
 
+from repro.core.evaluator import (
+    RevenueEvaluator,
+    available_revenue_strategies,
+    use_strategy,
+)
 from repro.core.hypergraph import Hypergraph, HypergraphStats, PricingInstance
 from repro.core.pricing import (
     ItemPricing,
@@ -22,10 +27,13 @@ __all__ = [
     "ItemPricing",
     "PricingFunction",
     "PricingInstance",
+    "RevenueEvaluator",
     "RevenueReport",
     "UniformBundlePricing",
     "XOSPricing",
+    "available_revenue_strategies",
     "compute_revenue",
     "subadditive_upper_bound",
     "sum_of_valuations",
+    "use_strategy",
 ]

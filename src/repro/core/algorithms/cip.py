@@ -22,11 +22,66 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm
-from repro.core.hypergraph import PricingInstance
+from repro.core.hypergraph import PricingInstance, csr_take_rows
 from repro.core.pricing import ItemPricing, PricingFunction
 from repro.core.revenue import revenue_of_item_weights
 from repro.exceptions import LPError, PricingError
-from repro.lp import LinExpr, LPModel, Sense
+from repro.lp import LPModel, Sense
+
+
+def solve_capacity_duals(
+    instance: PricingInstance,
+    capacities_by_item: np.ndarray,
+    name: str,
+) -> np.ndarray | None:
+    """Capacity duals of the fractional welfare LP, assembled in bulk.
+
+    Solves ``max sum_e v_e x_e`` s.t. ``sum_{e ∋ j} x_e <= cap_j`` (one row
+    per used item), ``0 <= x_e <= 1`` over the non-empty edges, and returns
+    the item-price vector read off the capacity duals (full length, zeros
+    elsewhere), or ``None`` when the LP is degenerate/unsolvable. The
+    constraint matrix is exactly the used-item rows of the hypergraph's
+    item → edge CSR block — shared by classic CIP (constant ``cap``) and
+    the limited-supply variant (``min(k, c_j)``).
+    """
+    hypergraph = instance.hypergraph
+    nonempty = np.flatnonzero(hypergraph.edge_sizes() > 0)
+    used_items = np.flatnonzero(hypergraph.degrees > 0)
+    if len(nonempty) == 0 or len(used_items) == 0:
+        return None
+    # Incidence rows reference edge ids; every edge incident to an item is
+    # non-empty by definition, so the column remap below is total.
+    column_of_edge = np.full(hypergraph.num_edges, -1, dtype=np.int64)
+    column_of_edge[nonempty] = np.arange(len(nonempty), dtype=np.int64)
+    item_indptr, item_edges = hypergraph.incidence_csr()
+    sub_indptr, sub_edges = csr_take_rows(item_indptr, item_edges, used_items)
+    model = LPModel.from_arrays(
+        num_variables=len(nonempty),
+        objective=instance.valuations[nonempty],
+        indptr=sub_indptr,
+        indices=column_of_edge[sub_edges],
+        rhs=np.asarray(capacities_by_item, dtype=np.float64)[used_items],
+        name=name,
+        sense=Sense.MAXIMIZE,
+        upper=1.0,
+    )
+    try:
+        solution = model.solve()
+    except LPError:
+        return None
+    # The block rows are the model's only constraints, so row r of the block
+    # is constraint position r: read the capacity duals positionally instead
+    # of routing each row through a name string.
+    duals = np.zeros(instance.num_items)
+    duals[used_items] = np.maximum(
+        0.0,
+        np.fromiter(
+            (solution.dual_by_index(row) for row in range(len(used_items))),
+            dtype=np.float64,
+            count=len(used_items),
+        ),
+    )
+    return duals
 
 
 def capacity_schedule(max_degree: int, epsilon: float) -> list[float]:
@@ -56,11 +111,7 @@ class CIP(PricingAlgorithm):
 
     def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
         hypergraph = instance.hypergraph
-        used_items = hypergraph.used_items()
-        nonempty_edges = [
-            index for index in range(instance.num_edges) if instance.edges[index]
-        ]
-        if not used_items or not nonempty_edges:
+        if hypergraph.max_degree == 0:
             return ItemPricing(np.zeros(instance.num_items)), {"num_programs": 0}
 
         best_weights = np.zeros(instance.num_items)
@@ -69,7 +120,11 @@ class CIP(PricingAlgorithm):
         solved = 0
 
         for capacity in capacity_schedule(hypergraph.max_degree, self.epsilon):
-            weights = self._solve_capacity(instance, used_items, nonempty_edges, capacity)
+            weights = solve_capacity_duals(
+                instance,
+                np.full(instance.num_items, capacity),
+                name=f"cip-k{capacity:g}",
+            )
             if weights is None:
                 continue
             solved += 1
@@ -84,43 +139,3 @@ class CIP(PricingAlgorithm):
             "best_capacity": best_capacity,
             "epsilon": self.epsilon,
         }
-
-    def _solve_capacity(
-        self,
-        instance: PricingInstance,
-        used_items: list[int],
-        nonempty_edges: list[int],
-        capacity: float,
-    ) -> np.ndarray | None:
-        model = LPModel(name=f"cip-k{capacity:g}", sense=Sense.MAXIMIZE)
-        allocation = {
-            index: model.add_variable(f"x{index}", lower=0.0, upper=1.0)
-            for index in nonempty_edges
-        }
-        model.set_objective(
-            LinExpr.weighted_sum(
-                (allocation[index], float(instance.valuations[index]))
-                for index in nonempty_edges
-            )
-        )
-        incidence = instance.hypergraph.incidence
-        for item in used_items:
-            edges_with_item = [
-                allocation[index] for index in incidence[item] if index in allocation
-            ]
-            if not edges_with_item:
-                continue
-            model.add_constraint(
-                LinExpr.sum_of(edges_with_item) <= capacity,
-                name=f"cap-{item}",
-            )
-
-        try:
-            solution = model.solve()
-        except LPError:
-            return None
-
-        weights = np.zeros(instance.num_items)
-        for item in used_items:
-            weights[item] = max(0.0, solution.dual(f"cap-{item}"))
-        return weights

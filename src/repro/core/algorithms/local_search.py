@@ -11,11 +11,14 @@ Revenue as a function of a single weight ``w_j`` (all others fixed) is
 piecewise linear with one breakpoint per incident edge: edge ``e`` with
 residual price ``r_e = p(e) - w_j`` sells iff ``w_j <= v_e - r_e``. The
 one-dimensional optimum therefore lies at one of the thresholds
-``t_e = v_e - r_e`` (sell edge ``e`` at exactly its valuation) or at 0, and
-scanning thresholds in descending order evaluates all of them in
-``O(d log d)`` for an item of degree ``d``. Each step never decreases
-revenue, so the search is an anytime algorithm: stop it whenever, the
-current pricing is valid and at least as good as the seed.
+``t_e = v_e - r_e`` (sell edge ``e`` at exactly its valuation) or at 0. All
+candidate thresholds for an item are scored in one pass over its
+incident-edge arrays by the revenue engine's ``line_search_gains`` kernel
+(:mod:`repro.core.evaluator`): under the ``vectorized`` strategy that is a
+sorted suffix scan — ``O(d log d)`` for an item of degree ``d`` instead of
+the scalar strategy's ``O(d^2)`` candidate-by-candidate rescan. Each step
+never decreases revenue, so the search is an anytime algorithm: stop it
+whenever, the current pricing is valid and at least as good as the seed.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm
 from repro.core.algorithms.uip import best_uniform_item_price
+from repro.core.evaluator import RevenueEvaluator, default_evaluator
 from repro.core.hypergraph import PricingInstance
 from repro.core.pricing import ItemPricing, PricingFunction
 from repro.core.revenue import PRICE_TOLERANCE
@@ -112,14 +116,25 @@ class CoordinateAscent(PricingAlgorithm):
 
 
 class _AscentState:
-    """Mutable weights plus incrementally maintained edge prices."""
+    """Mutable weights plus incrementally maintained edge prices.
 
-    def __init__(self, instance: PricingInstance, weights: np.ndarray):
+    The state binds the process-default :class:`RevenueEvaluator` at
+    construction; all breakpoint scoring goes through its
+    ``line_search_gains`` kernel, so the active revenue strategy (scalar
+    oracle vs vectorized suffix scan) decides the inner loop and is counted
+    in the evaluator's diagnostics.
+    """
+
+    def __init__(
+        self,
+        instance: PricingInstance,
+        weights: np.ndarray,
+        evaluator: RevenueEvaluator | None = None,
+    ):
         self.instance = instance
         self.weights = weights
-        self.prices = np.array(
-            [sum(weights[item] for item in edge) for edge in instance.edges]
-        )
+        self.evaluator = evaluator or default_evaluator()
+        self.prices = self.evaluator.item_weight_prices(weights, instance)
 
     def revenue(self) -> float:
         valuations = self.instance.valuations
@@ -134,22 +149,31 @@ class _AscentState:
 
     def optimize_item(self, item: int) -> None:
         """Set ``weights[item]`` to the exact one-dimensional optimum."""
-        incident = self.instance.hypergraph.incidence[item]
-        if not incident:
+        incident = self.instance.hypergraph.incident_edges(item)
+        if len(incident) == 0:
             return
         valuations = self.instance.valuations
         current = self.weights[item]
 
-        residuals = np.array([self.prices[e] for e in incident]) - current
-        thresholds = np.array([valuations[e] for e in incident]) - residuals
+        residuals = self.prices[incident] - current
+        thresholds = valuations[incident] - residuals
         # Candidate weights: every attainable "sell edge e exactly at v_e"
         # point, plus 0 (sell every incident edge whose residual allows it).
         candidates = np.unique(np.clip(thresholds, 0.0, None))
 
+        # Score the current weight and every candidate in one kernel call;
+        # the selection loop below runs over plain floats only, preserving
+        # the original tie rule (first candidate beating the running best by
+        # a relative margin wins).
+        gains = self.evaluator.line_search_gains(
+            residuals,
+            thresholds,
+            np.concatenate(([current], candidates)),
+            PRICE_TOLERANCE,
+        )
         best_weight = current
-        best_gain = self._incident_revenue(residuals, thresholds, current)
-        for candidate in candidates:
-            gain = self._incident_revenue(residuals, thresholds, candidate)
+        best_gain = gains[0]
+        for candidate, gain in zip(candidates, gains[1:]):
             if gain > best_gain * (1.0 + 1e-12):
                 best_gain = gain
                 best_weight = candidate
@@ -157,13 +181,4 @@ class _AscentState:
         if best_weight != current:
             delta = best_weight - current
             self.weights[item] = best_weight
-            for e in incident:
-                self.prices[e] += delta
-
-    @staticmethod
-    def _incident_revenue(
-        residuals: np.ndarray, thresholds: np.ndarray, weight: float
-    ) -> float:
-        """Revenue collected from the incident edges at a candidate weight."""
-        sold = weight <= thresholds * (1.0 + PRICE_TOLERANCE) + PRICE_TOLERANCE
-        return float((residuals[sold] + weight).sum())
+            self.prices[incident] += delta

@@ -26,11 +26,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.algorithms.ubp import solve_frontier_item_lp
 from repro.core.hypergraph import PricingInstance
 from repro.core.pricing import ItemPricing, PricingFunction
 from repro.core.revenue import revenue_of_item_weights
-from repro.exceptions import LPError
-from repro.lp import LinExpr, LPModel, Sense
 
 
 class LPIP(PricingAlgorithm):
@@ -76,32 +75,13 @@ class LPIP(PricingAlgorithm):
     def _solve_threshold(
         self, instance: PricingInstance, threshold: float
     ) -> np.ndarray | None:
-        frontier = [
-            index
-            for index in range(instance.num_edges)
-            if instance.valuations[index] >= threshold and instance.edges[index]
-        ]
-        if not frontier:
+        frontier = np.flatnonzero(
+            (instance.valuations >= threshold)
+            & (instance.hypergraph.edge_sizes() > 0)
+        )
+        if len(frontier) == 0:
             return None
-
-        items = sorted({item for index in frontier for item in instance.edges[index]})
-        model = LPModel(name=f"lpip-{threshold:g}", sense=Sense.MAXIMIZE)
-        weight_vars = {item: model.add_variable(f"w{item}") for item in items}
-
-        objective_terms = []
-        for index in frontier:
-            bundle_price = LinExpr.sum_of(
-                [weight_vars[item] for item in instance.edges[index]]
-            )
-            model.add_constraint(bundle_price <= float(instance.valuations[index]))
-            objective_terms.append(bundle_price)
-        model.set_objective(LinExpr.sum_of(objective_terms))
-
-        try:
-            solution = model.solve()
-        except LPError:
-            return None
-        weights = np.zeros(instance.num_items)
-        for item, variable in weight_vars.items():
-            weights[item] = max(0.0, solution.value(variable))
-        return weights
+        solved = solve_frontier_item_lp(
+            instance, frontier, name=f"lpip-{threshold:g}"
+        )
+        return None if solved is None else solved[0]

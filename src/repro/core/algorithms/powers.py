@@ -20,6 +20,7 @@ import math
 import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm
+from repro.core.evaluator import default_evaluator
 from repro.core.hypergraph import PricingInstance
 from repro.core.pricing import ItemPricing, PricingFunction
 from repro.core.revenue import PRICE_TOLERANCE
@@ -65,14 +66,17 @@ class GeometricGridItemPricing(PricingAlgorithm):
         num_candidates = 1 + max(0, math.ceil(math.log(top / floor, self.ratio)))
         candidates = top / self.ratio ** np.arange(num_candidates)
 
+        # The whole grid is scored as one vector-revenue sweep by the active
+        # revenue strategy; the scan below only applies the original
+        # first-strict-improvement tie rule over the scored grid.
+        revenues = default_evaluator().grid_revenues(
+            candidates, sizes_pos, values_pos, PRICE_TOLERANCE
+        )
         best_price = 0.0
         best_revenue = 0.0
-        for price in candidates:
-            bundle_prices = price * sizes_pos
-            sold = bundle_prices <= values_pos * (1.0 + PRICE_TOLERANCE)
-            revenue = float(bundle_prices[sold].sum())
+        for price, revenue in zip(candidates, revenues):
             if revenue > best_revenue:
-                best_revenue = revenue
+                best_revenue = float(revenue)
                 best_price = float(price)
 
         return ItemPricing.uniform(instance.num_items, best_price), {

@@ -1,10 +1,13 @@
 """Uniform bundle pricing (UBP) and its LP refinement.
 
 UBP is the folklore ``O(log m)``-approximation (Lemma 1): the optimal uniform
-price is one of the valuations, so sort the valuations descending and sweep.
-``UBPRefine`` implements the post-processing observation from Section 6.3:
-take the buyers sold by the best uniform price and solve an LP for the
-revenue-maximizing *item* pricing that still sells all of them.
+price is one of the valuations, so sort the valuations descending and sweep
+(the sweep itself is a single vectorized pass). ``UBPRefine`` implements the
+post-processing observation from Section 6.3: take the buyers sold by the
+best uniform price and solve an LP for the revenue-maximizing *item* pricing
+that still sells all of them — the LP is assembled in bulk from the
+hypergraph's CSR edge-member block (:meth:`LPModel.from_arrays`), one
+constraint row per sold edge, no per-row expression objects.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from repro.core.algorithms.base import PricingAlgorithm
 from repro.core.hypergraph import PricingInstance
 from repro.core.pricing import ItemPricing, PricingFunction, UniformBundlePricing
 from repro.exceptions import LPError
-from repro.lp import LinExpr, LPModel, Sense
+from repro.lp import LPModel, Sense
 
 
 def best_uniform_bundle_price(valuations: np.ndarray) -> tuple[float, float]:
@@ -32,6 +35,41 @@ def best_uniform_bundle_price(valuations: np.ndarray) -> tuple[float, float]:
     revenues = ordered * counts
     best = int(np.argmax(revenues))
     return float(ordered[best]), float(revenues[best])
+
+
+def solve_frontier_item_lp(
+    instance: PricingInstance, frontier: np.ndarray, name: str
+) -> tuple[np.ndarray, float] | None:
+    """Revenue-maximizing item weights forced to sell every frontier edge.
+
+    Solves ``max sum_{e in frontier} sum_{j in e} w_j`` subject to
+    ``sum_{j in e} w_j <= v_e`` for each frontier edge, ``w >= 0`` — the LP
+    shared by LPIP's thresholds and UBP's refinement. The constraint matrix
+    is exactly the frontier's rows of the hypergraph's CSR edge-member
+    block; the objective coefficient of an item is its frontier degree.
+    Returns ``(weights, lp_objective)`` with a full-length weight vector,
+    or ``None`` on solver trouble.
+    """
+    sub_indptr, sub_items = instance.hypergraph.edge_submatrix(frontier)
+    used_items, columns = np.unique(sub_items, return_inverse=True)
+    objective = np.bincount(columns, minlength=len(used_items)).astype(np.float64)
+    model = LPModel.from_arrays(
+        num_variables=len(used_items),
+        objective=objective,
+        indptr=sub_indptr,
+        indices=columns,
+        rhs=instance.valuations[frontier],
+        name=name,
+        sense=Sense.MAXIMIZE,
+        variable_prefix="w",
+    )
+    try:
+        solution = model.solve()
+    except LPError:
+        return None
+    weights = np.zeros(instance.num_items)
+    weights[used_items] = np.maximum(0.0, np.array(solution.values(model.variables)))
+    return weights, float(solution.objective)
 
 
 class UBP(PricingAlgorithm):
@@ -62,39 +100,21 @@ class UBPRefine(PricingAlgorithm):
 
     def compute_pricing(self, instance: PricingInstance) -> tuple[PricingFunction, dict]:
         price, _ = best_uniform_bundle_price(instance.valuations)
-        sold = [
-            index
-            for index in range(instance.num_edges)
-            if instance.valuations[index] >= price and instance.edges[index]
-        ]
-        if not sold:
+        sold = np.flatnonzero(
+            (instance.valuations >= price)
+            & (instance.hypergraph.edge_sizes() > 0)
+        )
+        if len(sold) == 0:
             return UniformBundlePricing(price), {"refined": False}
 
-        items = sorted({item for index in sold for item in instance.edges[index]})
-        model = LPModel(name="ubp-refine", sense=Sense.MAXIMIZE)
-        weight_vars = {item: model.add_variable(f"w{item}") for item in items}
-        objective_terms = []
-        for index in sold:
-            bundle_price = LinExpr.sum_of(
-                [weight_vars[item] for item in instance.edges[index]]
-            )
-            model.add_constraint(
-                bundle_price <= float(instance.valuations[index])
-            )
-            objective_terms.append(bundle_price)
-        model.set_objective(LinExpr.sum_of(objective_terms))
-        try:
-            solution = model.solve()
-        except LPError:
+        solved = solve_frontier_item_lp(instance, sold, name="ubp-refine")
+        if solved is None:
             # Solver trouble costs us the refinement, not the pricing: fall
             # back to the uniform bundle price the LP was refining.
             return UniformBundlePricing(price), {"refined": False}
-
-        weights = np.zeros(instance.num_items)
-        for item, variable in weight_vars.items():
-            weights[item] = max(0.0, solution.value(variable))
+        weights, lp_objective = solved
         return ItemPricing(weights), {
             "refined": True,
             "uniform_price": price,
-            "lp_objective": solution.objective,
+            "lp_objective": lp_objective,
         }

@@ -9,6 +9,15 @@ valuation per hyperedge. Key structural parameters used throughout:
 - ``m`` — number of hyperedges (buyers/queries),
 - ``k`` — size of the largest hyperedge,
 - ``B`` — maximum number of hyperedges any item belongs to (max degree).
+
+Besides the frozenset edge view, the hypergraph exposes a **CSR sparse
+incidence matrix** in both orientations — :meth:`Hypergraph.edge_member_matrix`
+(edge → items) and :meth:`Hypergraph.incidence_csr` (item → edges) — which is
+what the vectorized revenue engine (:mod:`repro.core.evaluator`), the LP bulk
+constructors (:meth:`repro.lp.model.LPModel.from_arrays`), and the simulation
+loops operate on. Both orientations are built in one vectorized pass and
+cached; within a row the column indices are ascending, so downstream array
+code is deterministic.
 """
 
 from __future__ import annotations
@@ -21,14 +30,54 @@ import numpy as np
 from repro.exceptions import PricingError
 
 
+def csr_take_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather a row subset of a CSR block as a new (indptr, indices) pair.
+
+    ``rows`` may repeat and need not be sorted; the output rows appear in the
+    given order. Used to slice the frontier/sold/used-item sub-matrices that
+    the LP bulk constructors consume.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = indptr[rows + 1] - indptr[rows]
+    sub_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(counts, out=sub_indptr[1:])
+    total = int(sub_indptr[-1])
+    if total == 0:
+        return sub_indptr, np.empty(0, dtype=indices.dtype)
+    # Position of every output entry in the source array: the row's start
+    # plus the entry's offset within its row.
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(sub_indptr[:-1], counts)
+    positions = np.repeat(indptr[rows], counts) + offsets
+    return sub_indptr, indices[positions]
+
+
 class Hypergraph:
     """An immutable hypergraph with integer items ``0..num_items-1``.
 
-    Edges are stored as frozensets; per-item incidence lists are built lazily
-    and cached (the Layering algorithm and CIP use them heavily).
+    Edges are stored as frozensets; the CSR incidence arrays (both
+    orientations) and per-item incidence lists are built lazily and cached
+    (the Layering algorithm, CIP, and the vectorized revenue engine use
+    them heavily).
+
+    Duplicate edges are **preserved as distinct hyperedges** (a multi-edge):
+    two buyers whose queries have identical conflict sets are still two
+    buyers, each with their own valuation, so no dedup happens here. Callers
+    that want set semantics must dedup before construction.
     """
 
-    __slots__ = ("num_items", "edges", "labels", "_degrees", "_incidence")
+    __slots__ = (
+        "num_items",
+        "edges",
+        "labels",
+        "_degrees",
+        "_incidence",
+        "_edge_indptr",
+        "_edge_items",
+        "_item_indptr",
+        "_item_edges",
+    )
 
     def __init__(
         self,
@@ -39,23 +88,97 @@ class Hypergraph:
         if num_items < 0:
             raise PricingError("num_items must be non-negative")
         self.num_items = num_items
-        self.edges: list[frozenset[int]] = []
-        for edge in edges:
-            edge_set = frozenset(edge)
-            for item in edge_set:
-                if not 0 <= item < num_items:
-                    raise PricingError(
-                        f"item {item} out of range [0, {num_items}) in edge "
-                        f"{len(self.edges)}"
-                    )
-            self.edges.append(edge_set)
+        # Materialize all edges before any validation so error messages
+        # always report the *full* edge count, and labels can be validated
+        # up front instead of after a half-built edge list.
+        self.edges: list[frozenset[int]] = [frozenset(edge) for edge in edges]
         if labels is not None and len(labels) != len(self.edges):
             raise PricingError(
                 f"{len(labels)} labels for {len(self.edges)} edges"
             )
+        for edge_index, edge_set in enumerate(self.edges):
+            for item in edge_set:
+                if not 0 <= item < num_items:
+                    raise PricingError(
+                        f"item {item} out of range [0, {num_items}) in edge "
+                        f"{edge_index}"
+                    )
         self.labels = list(labels) if labels is not None else None
         self._degrees: np.ndarray | None = None
         self._incidence: list[list[int]] | None = None
+        self._edge_indptr: np.ndarray | None = None
+        self._edge_items: np.ndarray | None = None
+        self._item_indptr: np.ndarray | None = None
+        self._item_edges: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # CSR incidence arrays
+    # ------------------------------------------------------------------
+
+    def _build_csr(self) -> None:
+        """Build both CSR orientations in one vectorized pass."""
+        m = len(self.edges)
+        sizes = np.fromiter(
+            (len(edge) for edge in self.edges), dtype=np.int64, count=m
+        )
+        nnz = int(sizes.sum())
+        edge_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(sizes, out=edge_indptr[1:])
+
+        flat = np.fromiter(
+            (item for edge in self.edges for item in edge),
+            dtype=np.int64,
+            count=nnz,
+        )
+        rows = np.repeat(np.arange(m, dtype=np.int64), sizes)
+        # Sort by (edge, item): items ascending within each edge.
+        order = np.lexsort((flat, rows))
+        edge_items = flat[order]
+
+        # Item -> edge orientation: a stable sort by item keeps the edge ids
+        # ascending within each item (rows are ascending pre-sort).
+        item_order = np.argsort(edge_items, kind="stable")
+        item_edges = rows[order][item_order]
+        counts = np.bincount(edge_items, minlength=self.num_items)
+        item_indptr = np.zeros(self.num_items + 1, dtype=np.int64)
+        np.cumsum(counts, out=item_indptr[1:])
+
+        self._edge_indptr = edge_indptr
+        self._edge_items = edge_items
+        self._item_indptr = item_indptr
+        self._item_edges = item_edges
+
+    def edge_member_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edge → item CSR block ``(indptr, items)``.
+
+        Row ``e`` spans ``items[indptr[e]:indptr[e+1]]`` — the members of
+        hyperedge ``e`` in ascending item order. This is the layout the
+        vectorized pricing functions consume (segment sums over the rows).
+        """
+        if self._edge_indptr is None:
+            self._build_csr()
+        return self._edge_indptr, self._edge_items
+
+    def incidence_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Item → edge CSR block ``(indptr, edge_ids)``.
+
+        Row ``j`` spans ``edge_ids[indptr[j]:indptr[j+1]]`` — the hyperedges
+        containing item ``j`` in ascending edge order (the array twin of
+        :attr:`incidence`).
+        """
+        if self._item_indptr is None:
+            self._build_csr()
+        return self._item_indptr, self._item_edges
+
+    def edge_submatrix(self, edge_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Edge → item CSR block restricted to ``edge_ids`` (in that order)."""
+        indptr, items = self.edge_member_matrix()
+        return csr_take_rows(indptr, items, edge_ids)
+
+    def incident_edges(self, item: int) -> np.ndarray:
+        """Edge ids containing ``item``, ascending (a CSR row view)."""
+        indptr, edge_ids = self.incidence_csr()
+        return edge_ids[indptr[item]:indptr[item + 1]]
 
     # ------------------------------------------------------------------
     # Structural parameters
@@ -70,11 +193,8 @@ class Hypergraph:
     def degrees(self) -> np.ndarray:
         """Array of item degrees (number of edges containing each item)."""
         if self._degrees is None:
-            degrees = np.zeros(self.num_items, dtype=np.int64)
-            for edge in self.edges:
-                for item in edge:
-                    degrees[item] += 1
-            self._degrees = degrees
+            item_indptr, _ = self.incidence_csr()
+            self._degrees = np.diff(item_indptr)
         return self._degrees
 
     @property
@@ -100,20 +220,21 @@ class Hypergraph:
     def incidence(self) -> list[list[int]]:
         """For each item, the indices of edges containing it."""
         if self._incidence is None:
-            incidence: list[list[int]] = [[] for _ in range(self.num_items)]
-            for edge_index, edge in enumerate(self.edges):
-                for item in edge:
-                    incidence[item].append(edge_index)
-            self._incidence = incidence
+            indptr, edge_ids = self.incidence_csr()
+            self._incidence = [
+                edge_ids[indptr[item]:indptr[item + 1]].tolist()
+                for item in range(self.num_items)
+            ]
         return self._incidence
 
     def edge_sizes(self) -> np.ndarray:
         """Array of hyperedge sizes in edge order."""
-        return np.array([len(edge) for edge in self.edges], dtype=np.int64)
+        indptr, _ = self.edge_member_matrix()
+        return np.diff(indptr)
 
     def used_items(self) -> list[int]:
         """Items with degree >= 1, ascending."""
-        return [item for item, degree in enumerate(self.degrees) if degree > 0]
+        return np.flatnonzero(self.degrees > 0).tolist()
 
     def edges_with_unique_item(self) -> list[int]:
         """Indices of edges containing at least one item of degree 1.

@@ -11,6 +11,14 @@ Theorem 1 of [Deep & Koutris 2017]):
 A pricing function maps bundles (sets of item indices) to non-negative
 prices. The classes are deliberately tiny — algorithms construct them and
 :func:`repro.core.revenue.compute_revenue` evaluates them over an instance.
+
+Every family also has a **matrix form**: :meth:`PricingFunction.
+price_edges_arrays` prices a whole CSR edge-member block (see
+:meth:`repro.core.hypergraph.Hypergraph.edge_member_matrix`) in one shot —
+segment sums for the additive families, a component-by-edge matrix max for
+XOS. The vectorized revenue engine evaluates pricings exclusively through
+this entry point; the base-class fallback reconstructs bundles and calls
+:meth:`price`, so third-party pricing functions stay compatible.
 """
 
 from __future__ import annotations
@@ -22,6 +30,41 @@ import numpy as np
 from repro.exceptions import PricingError
 
 Bundle = frozenset[int] | set[int]
+
+
+def segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` under a CSR ``indptr`` (empty-safe).
+
+    ``values`` may be 1-D (one sum per segment) or 2-D with the segmented
+    axis last (one row of sums per leading row, e.g. XOS components).
+    ``np.add.reduceat`` cannot express empty segments directly, so the
+    reduction runs over the non-empty rows only and empty segments stay 0.
+    """
+    segments = len(indptr) - 1
+    shape = values.shape[:-1] + (segments,)
+    out = np.zeros(shape, dtype=np.float64)
+    starts = indptr[:-1]
+    nonempty = starts < indptr[1:]
+    if np.any(nonempty):
+        out[..., nonempty] = np.add.reduceat(values, starts[nonempty], axis=-1)
+    return out
+
+
+def bundles_to_csr(
+    edges: Sequence[Bundle],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a bundle list into a CSR ``(indptr, items)`` block."""
+    sizes = np.fromiter(
+        (len(edge) for edge in edges), dtype=np.int64, count=len(edges)
+    )
+    indptr = np.zeros(len(edges) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    items = np.fromiter(
+        (item for edge in edges for item in edge),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    return indptr, items
 
 
 class PricingFunction:
@@ -37,6 +80,23 @@ class PricingFunction:
     def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
         """Vector of prices for a list of bundles."""
         return np.array([self.price(edge) for edge in edges], dtype=np.float64)
+
+    def price_edges_arrays(
+        self, indptr: np.ndarray, items: np.ndarray
+    ) -> np.ndarray:
+        """Matrix form: price every row of a CSR edge-member block.
+
+        The generic fallback reconstructs each bundle and calls
+        :meth:`price`; the built-in families override this with pure array
+        ops (the vectorized revenue engine's hot path).
+        """
+        return np.array(
+            [
+                self.price(frozenset(items[indptr[row]:indptr[row + 1]].tolist()))
+                for row in range(len(indptr) - 1)
+            ],
+            dtype=np.float64,
+        )
 
     def description(self) -> str:
         """Short description used in reports."""
@@ -63,6 +123,11 @@ class UniformBundlePricing(PricingFunction):
 
     def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
         return np.full(len(edges), self.bundle_price)
+
+    def price_edges_arrays(
+        self, indptr: np.ndarray, items: np.ndarray
+    ) -> np.ndarray:
+        return np.full(len(indptr) - 1, self.bundle_price)
 
     def description(self) -> str:
         return f"uniform-bundle(P={self.bundle_price:g})"
@@ -103,6 +168,14 @@ class ItemPricing(PricingFunction):
         weights = self.weights
         return float(sum(weights[item] for item in bundle))
 
+    def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
+        return self.price_edges_arrays(*bundles_to_csr(edges))
+
+    def price_edges_arrays(
+        self, indptr: np.ndarray, items: np.ndarray
+    ) -> np.ndarray:
+        return segment_sums(self.weights[items], indptr)
+
     def support_size(self) -> int:
         """Number of items with strictly positive weight."""
         return int(np.count_nonzero(self.weights))
@@ -134,6 +207,7 @@ class XOSPricing(PricingFunction):
         if len(sizes) != 1:
             raise PricingError("XOS components must share the item universe")
         self.components = parsed
+        self._weight_matrix: np.ndarray | None = None
 
     @property
     def num_components(self) -> int:
@@ -143,8 +217,24 @@ class XOSPricing(PricingFunction):
     def num_items(self) -> int:
         return self.components[0].num_items
 
+    def weight_matrix(self) -> np.ndarray:
+        """Component weights stacked as a ``(num_components, n)`` matrix."""
+        if self._weight_matrix is None:
+            self._weight_matrix = np.stack(
+                [component.weights for component in self.components]
+            )
+        return self._weight_matrix
+
     def price(self, bundle: Bundle) -> float:
         return max(component.price(bundle) for component in self.components)
+
+    def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
+        return self.price_edges_arrays(*bundles_to_csr(edges))
+
+    def price_edges_arrays(
+        self, indptr: np.ndarray, items: np.ndarray
+    ) -> np.ndarray:
+        return segment_sums(self.weight_matrix()[:, items], indptr).max(axis=0)
 
     def description(self) -> str:
         return f"xos(k={self.num_components})"

@@ -4,6 +4,13 @@ A single-minded buyer with valuation ``v_e`` purchases iff ``p(e) <= v_e``
 (we allow a tiny relative tolerance so LP round-off does not flip sales).
 Revenue is the sum of prices of sold edges — the unlimited-supply objective
 ``R(p)`` of Section 3.3.
+
+The actual pricing/summing is delegated to the process-wide
+:class:`~repro.core.evaluator.RevenueEvaluator` (strategy ``vectorized`` by
+default — segment sums over the hypergraph's CSR incidence arrays; strategy
+``scalar`` is the per-edge definition kept as the parity oracle). Pass an
+explicit ``evaluator`` or scope one with
+:func:`repro.core.evaluator.use_strategy` to select the strategy.
 """
 
 from __future__ import annotations
@@ -12,13 +19,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.evaluator import PRICE_TOLERANCE, RevenueEvaluator, default_evaluator
 from repro.core.hypergraph import PricingInstance
 from repro.core.pricing import PricingFunction
 
-#: Relative tolerance when comparing price to valuation. LP-based algorithms
-#: (LPIP, CIP) produce prices that should exactly equal a valuation but differ
-#: by solver round-off; the paper's CVXPY implementation has the same issue.
-PRICE_TOLERANCE = 1e-9
+__all__ = [
+    "PRICE_TOLERANCE",
+    "RevenueReport",
+    "compute_revenue",
+    "revenue_of_item_weights",
+]
 
 
 @dataclass(frozen=True)
@@ -49,30 +59,19 @@ def compute_revenue(
     pricing: PricingFunction,
     instance: PricingInstance,
     tolerance: float = PRICE_TOLERANCE,
+    evaluator: RevenueEvaluator | None = None,
 ) -> RevenueReport:
     """Evaluate ``pricing`` against every buyer of ``instance``."""
-    prices = pricing.price_edges(instance.edges)
-    valuations = instance.valuations
-    # p <= v with relative tolerance: p <= v * (1 + tol) + tol.
-    sold = prices <= valuations * (1.0 + tolerance) + tolerance
-    revenue = float(prices[sold].sum())
-    return RevenueReport(
-        revenue=revenue,
-        num_sold=int(sold.sum()),
-        num_edges=instance.num_edges,
-        prices=prices,
-        sold=sold,
-    )
+    return (evaluator or default_evaluator()).evaluate(pricing, instance, tolerance)
 
 
 def revenue_of_item_weights(
     weights: np.ndarray,
     instance: PricingInstance,
     tolerance: float = PRICE_TOLERANCE,
+    evaluator: RevenueEvaluator | None = None,
 ) -> float:
     """Fast path: revenue of an additive pricing given as a weight vector."""
-    prices = np.array(
-        [sum(weights[item] for item in edge) for edge in instance.edges]
+    return (evaluator or default_evaluator()).revenue_of_item_weights(
+        weights, instance, tolerance
     )
-    sold = prices <= instance.valuations * (1.0 + tolerance) + tolerance
-    return float(prices[sold].sum())

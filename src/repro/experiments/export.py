@@ -1,18 +1,71 @@
-"""CSV export of experiment artifacts.
+"""CSV/JSON export of experiment artifacts.
 
 Every :class:`~repro.experiments.figures.FigureData` can be dumped to a CSV
 file so the paper's plots can be regenerated with any plotting tool (the
 offline environment has no matplotlib; the benchmark suite prints text tables
-and these CSVs are the machine-readable twin).
+and these CSVs are the machine-readable twin). Benchmark-style artifacts
+additionally export as JSON (:func:`export_bench_json`) — the
+``BENCH_backends.json`` / ``BENCH_pricing.json`` files the CLI and CI
+publish so the wall-time/speedup trajectory is tracked across PRs instead
+of living only in pytest asserts.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
+
+import numpy as np
 
 from repro.experiments.figures import FigureData
 from repro.exceptions import ExperimentError
+
+#: data keys included in the benchmark JSON (everything scalar/dict-shaped;
+#: bulky arrays like sweep points stay CSV-only).
+_BENCH_KEYS = (
+    "algorithm",
+    "seconds",
+    "speedups",
+    "speedup_reference",
+    "revenues",
+    "edges",
+    "stats",
+    "diagnostics",
+)
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so ``json`` accepts them."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def export_bench_json(artifact: FigureData, path: str | Path) -> Path:
+    """Write a benchmark artifact's machine-readable summary as JSON.
+
+    The payload carries the identifying info plus wall times, speedup
+    ratios, revenues, and the n/m/k/B hypergraph stats — enough to diff the
+    perf trajectory across PRs without re-parsing text tables.
+    """
+    payload = {
+        "figure_id": artifact.figure_id,
+        "title": artifact.title,
+    }
+    for key in _BENCH_KEYS:
+        if key in artifact.data:
+            payload[key] = _jsonable(artifact.data[key])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def export_series_csv(artifact: FigureData, path: str | Path) -> Path:

@@ -29,6 +29,7 @@ from repro.experiments.runner import (
     run_parameter_sweep,
     sweep_series,
     time_hypergraph_builds,
+    time_revenue_sweeps,
 )
 from repro.qirana.conflict import ConflictSetEngine
 from repro.support.generator import SupportSet
@@ -436,6 +437,19 @@ def backend_comparison(
     )
 
 
+def _hypergraph_stat_summary(hypergraph: Hypergraph) -> dict[str, float]:
+    """The n/m/k/B row every machine-readable benchmark artifact carries."""
+    stats = hypergraph.stats()
+    return {
+        "n": stats.num_items,
+        "m": stats.num_edges,
+        "k": stats.max_edge_size,
+        "B": stats.max_degree,
+        "avg_edge_size": stats.avg_edge_size,
+        "num_empty_edges": stats.num_empty_edges,
+    }
+
+
 def _backend_comparison_figure(
     builds, reference, figure_id: str, title: str, table_title: str
 ) -> FigureData:
@@ -462,6 +476,7 @@ def _backend_comparison_figure(
             "speedups": speedups,
             "speedup_reference": reference.backend,
             "edges": builds[0].hypergraph.num_edges,
+            "stats": _hypergraph_stat_summary(builds[0].hypergraph),
             # Exportable via export_runtimes_csv (row per backend).
             "runtimes": {
                 build.backend: {"construction": build.seconds} for build in builds
@@ -524,4 +539,87 @@ def join_backend_comparison(
             f"{len(queries)} two-table join queries, |S|={len(support)}, "
             f"{workload_name} workload"
         ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Revenue-strategy comparison (beyond the paper: systems scaling)
+# ---------------------------------------------------------------------------
+
+def revenue_comparison(
+    workload_name: str = "uniform",
+    strategies: tuple[str, ...] = ("scalar", "vectorized"),
+    algorithm: str = "ascent",
+    scale: float | None = None,
+    support_size: int | None = None,
+    valuation_k: float = 300.0,
+    seed: int = 0,
+) -> FigureData:
+    """Pricing-algorithm wall time per revenue strategy on one workload.
+
+    The revenue twin of :func:`backend_comparison`: the same algorithm runs
+    once under each registered :class:`~repro.core.evaluator.RevenueStrategy`
+    (revenue parity asserted inside ``time_revenue_sweeps``), reporting wall
+    seconds, the speedup relative to the ``scalar`` oracle, and the
+    evaluator's kernel counters. The headline is coordinate ascent on the
+    uniform workload — its line-search loop is exactly the pricing inner
+    loop the CSR engine vectorizes.
+    """
+    from repro.core.algorithms import get_algorithm
+
+    _, _, hypergraph = workload_hypergraph(workload_name, scale, support_size)
+    model = UniformValuations(valuation_k)
+    instance = model.instance(hypergraph, rng=np.random.default_rng(seed))
+    sweeps = time_revenue_sweeps(
+        instance, lambda: get_algorithm(algorithm), strategies
+    )
+    by_name = {sweep.strategy: sweep for sweep in sweeps}
+    reference = by_name.get("scalar", sweeps[0])
+    rows = []
+    speedups: dict[str, float] = {}
+    for sweep in sweeps:
+        speedup = (
+            reference.seconds / sweep.seconds if sweep.seconds > 0 else float("inf")
+        )
+        speedups[sweep.strategy] = speedup
+        rows.append(
+            [
+                sweep.strategy,
+                f"{sweep.seconds:.3f}",
+                f"{speedup:.1f}x",
+                f"{sweep.revenue:.2f}",
+            ]
+        )
+    text = format_table(
+        [
+            "revenue strategy",
+            f"{algorithm} (s)",
+            f"speedup vs {reference.strategy}",
+            "revenue",
+        ],
+        rows,
+        title=(
+            f"{instance.num_edges} buyers, |S|={instance.num_items}, "
+            f"{workload_name} workload, v~U[1,{valuation_k:g}]"
+        ),
+    )
+    return FigureData(
+        f"revenue-comparison-{workload_name}-{algorithm}",
+        f"revenue strategy sweep times ({algorithm}, {workload_name})",
+        text,
+        {
+            "algorithm": algorithm,
+            "seconds": {sweep.strategy: sweep.seconds for sweep in sweeps},
+            "speedups": speedups,
+            "speedup_reference": reference.strategy,
+            "revenues": {sweep.strategy: sweep.revenue for sweep in sweeps},
+            "stats": _hypergraph_stat_summary(hypergraph),
+            # Exportable via export_runtimes_csv (row per strategy).
+            "runtimes": {
+                sweep.strategy: {algorithm: sweep.seconds} for sweep in sweeps
+            },
+            "diagnostics": {
+                sweep.strategy: sweep.diagnostics for sweep in sweeps
+            },
+        },
     )

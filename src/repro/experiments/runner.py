@@ -1,5 +1,6 @@
 """Running the algorithm suite over instances and parameter sweeps,
-plus conflict-backend comparisons over hypergraph construction."""
+plus conflict-backend comparisons over hypergraph construction and
+revenue-strategy comparisons over the pricing inner loops."""
 
 from __future__ import annotations
 
@@ -11,6 +12,7 @@ import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.bounds import subadditive_upper_bound
+from repro.core.evaluator import RevenueEvaluator, use_strategy
 from repro.core.hypergraph import Hypergraph, PricingInstance
 from repro.db.query import Query
 from repro.exceptions import PricingError
@@ -64,6 +66,59 @@ def time_hypergraph_builds(
     return builds
 
 
+@dataclass(frozen=True)
+class RevenueSweep:
+    """One timed algorithm run under one revenue strategy."""
+
+    strategy: str
+    revenue: float
+    seconds: float
+    diagnostics: dict[str, dict[str, float]]
+
+
+def time_revenue_sweeps(
+    instance: PricingInstance,
+    algorithm_factory: Callable[[], PricingAlgorithm],
+    strategies: Sequence[str] = ("scalar", "vectorized"),
+    check_parity: bool = True,
+    parity_rtol: float = 1e-6,
+) -> list[RevenueSweep]:
+    """Run the same algorithm under each revenue strategy, timed.
+
+    ``algorithm_factory`` builds a *fresh* algorithm per strategy (the base
+    class memoizes per object, which would let the second strategy reuse the
+    first's result). Each run executes inside
+    :func:`repro.core.evaluator.use_strategy`, so every revenue kernel the
+    algorithm touches — edge pricing, line searches, grid sweeps — is
+    decided *and counted* by that strategy; the returned diagnostics are the
+    proof of which path ran. With ``check_parity`` the revenues must agree
+    across strategies within ``parity_rtol`` (the strategies make identical
+    sale decisions up to float associativity; a larger gap is a bug and
+    raises).
+    """
+    sweeps: list[RevenueSweep] = []
+    for strategy in strategies:
+        algorithm = algorithm_factory()
+        with use_strategy(RevenueEvaluator(strategy)) as evaluator:
+            start = time.perf_counter()
+            result = algorithm.run(instance)
+            seconds = time.perf_counter() - start
+        sweeps.append(
+            RevenueSweep(strategy, result.revenue, seconds, evaluator.diagnostics)
+        )
+    if check_parity and sweeps:
+        reference = sweeps[0]
+        scale = max(abs(reference.revenue), 1.0)
+        for sweep in sweeps[1:]:
+            if abs(sweep.revenue - reference.revenue) > parity_rtol * scale:
+                raise PricingError(
+                    f"revenue strategy {sweep.strategy!r} disagrees with "
+                    f"{reference.strategy!r}: {sweep.revenue} vs "
+                    f"{reference.revenue}"
+                )
+    return sweeps
+
+
 @dataclass
 class ExperimentResult:
     """Results of running a suite of algorithms on one instance."""
@@ -96,8 +151,14 @@ def run_algorithms(
     algorithms: Sequence[PricingAlgorithm],
     compute_bound: bool = True,
     bound_max_cover_size: int = 32,
+    revenue_strategy: str | None = None,
 ) -> ExperimentResult:
-    """Run every algorithm on ``instance``; optionally add the LP bound."""
+    """Run every algorithm on ``instance``; optionally add the LP bound.
+
+    ``revenue_strategy`` scopes the revenue engine for the whole run (e.g.
+    ``"scalar"`` to re-check a figure against the oracle path); ``None``
+    keeps the process default (``vectorized``).
+    """
     bound = (
         subadditive_upper_bound(instance, max_cover_size=bound_max_cover_size)
         if compute_bound
@@ -108,8 +169,13 @@ def run_algorithms(
         total_valuation=instance.total_valuation(),
         subadditive_bound=bound,
     )
-    for algorithm in algorithms:
-        outcome.results[algorithm.name] = algorithm.run(instance)
+    if revenue_strategy is None:
+        for algorithm in algorithms:
+            outcome.results[algorithm.name] = algorithm.run(instance)
+    else:
+        with use_strategy(revenue_strategy):
+            for algorithm in algorithms:
+                outcome.results[algorithm.name] = algorithm.run(instance)
     return outcome
 
 

@@ -19,15 +19,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.algorithms.cip import solve_capacity_duals
 from repro.core.pricing import ItemPricing
-from repro.exceptions import LPError, PricingError
+from repro.exceptions import PricingError
 from repro.limited.market import (
     AllocationReport,
     LimitedSupplyInstance,
     allocate,
     priced_out_pricing,
 )
-from repro.lp import LinExpr, LPModel, Sense
 
 
 @dataclass
@@ -109,41 +109,13 @@ class LimitedCIP:
     def _capacity_duals(
         self, market: LimitedSupplyInstance, sweep_capacity: float
     ) -> np.ndarray | None:
-        instance = market.instance
-        nonempty = [
-            index for index in range(instance.num_edges) if instance.edges[index]
-        ]
-        used_items = instance.hypergraph.used_items()
-        if not nonempty or not used_items:
-            return None
-        model = LPModel(name=f"limited-cip-k{sweep_capacity:g}", sense=Sense.MAXIMIZE)
-        x = {
-            index: model.add_variable(f"x{index}", lower=0.0, upper=1.0)
-            for index in nonempty
-        }
-        model.set_objective(
-            LinExpr.weighted_sum(
-                (x[index], float(instance.valuations[index])) for index in nonempty
-            )
+        # The welfare LP with caps min(k, c_j), assembled in bulk from the
+        # item -> edge CSR block (shared with classic CIP).
+        return solve_capacity_duals(
+            market.instance,
+            np.minimum(sweep_capacity, market.capacities.astype(np.float64)),
+            name=f"limited-cip-k{sweep_capacity:g}",
         )
-        incidence = instance.hypergraph.incidence
-        constrained_items = []
-        for item in used_items:
-            members = [x[index] for index in incidence[item] if index in x]
-            if members:
-                cap = min(sweep_capacity, float(market.capacities[item]))
-                model.add_constraint(
-                    LinExpr.sum_of(members) <= cap, name=f"cap-{item}"
-                )
-                constrained_items.append(item)
-        try:
-            solution = model.solve()
-        except LPError:
-            return None
-        duals = np.zeros(market.num_items)
-        for item in constrained_items:
-            duals[item] = max(0.0, solution.dual(f"cap-{item}"))
-        return duals
 
 
 def _capacity_schedule(max_degree: int, epsilon: float) -> list[float]:

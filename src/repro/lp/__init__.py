@@ -14,15 +14,25 @@ Public API::
     solution.value(w[0]); solution.objective; solution.dual("edge-0")
 """
 
-from repro.lp.model import Constraint, LinExpr, LPModel, Sense, Variable
+from repro.lp.model import (
+    Constraint,
+    ConstraintBlock,
+    LinExpr,
+    LPModel,
+    Relation,
+    Sense,
+    Variable,
+)
 from repro.lp.solution import LPSolution, SolveStats
 from repro.lp.solver import ScipySolver, solve_model
 
 __all__ = [
     "Constraint",
+    "ConstraintBlock",
     "LinExpr",
     "LPModel",
     "LPSolution",
+    "Relation",
     "ScipySolver",
     "Sense",
     "SolveStats",

@@ -5,13 +5,23 @@ the pricing LPs in the paper (LPIP, CIP, the subadditive bound, and the UBP
 post-processing refinement). Expressions support ``+``, ``-``, scalar ``*``,
 and comparisons ``<=``, ``>=``, ``==`` that produce :class:`Constraint`
 objects, mirroring the CVXPY idiom used by the authors.
+
+For the LPs the revenue engine assembles thousands of times (one bundle-price
+constraint per hyperedge, one capacity constraint per item), the
+expression-per-row idiom is the bottleneck, so the model also accepts
+**constraint blocks**: CSR ``(indptr, indices, data)`` triples that flow to
+the scipy backend without ever materializing per-row ``LinExpr`` dicts.
+:meth:`LPModel.from_arrays` builds a whole model — variables, dense objective
+vector, one block — directly from the hypergraph's CSR slices.
 """
 
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.exceptions import LPError
 
@@ -194,6 +204,29 @@ class Constraint:
         return self.expr.coeffs, -self.expr.constant
 
 
+@dataclass(frozen=True)
+class ConstraintBlock:
+    """A bulk block of sparse constraint rows sharing one relation.
+
+    Row ``r`` constrains ``sum(data[k] * x[indices[k]] for k in
+    indptr[r]:indptr[r+1])`` against ``rhs[r]``. Blocks are appended to the
+    model verbatim and compiled to scipy CSR without per-row dict assembly;
+    their rows are numbered after every scalar constraint (for
+    ``dual_by_index``) and may carry names for ``dual`` lookup.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    rhs: np.ndarray
+    relation: Relation = Relation.LE
+    names: tuple[str, ...] | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rhs)
+
+
 @dataclass
 class LPModel:
     """A linear program under construction.
@@ -206,6 +239,7 @@ class LPModel:
     sense: Sense = Sense.MAXIMIZE
     variables: list[Variable] = field(default_factory=list)
     constraints: list[Constraint] = field(default_factory=list)
+    blocks: list[ConstraintBlock] = field(default_factory=list)
     objective: LinExpr = field(default_factory=LinExpr)
     _names: set[str] = field(default_factory=set, repr=False)
 
@@ -240,6 +274,91 @@ class LPModel:
         self.constraints.append(constraint)
         return constraint
 
+    def add_constraint_block(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rhs: np.ndarray,
+        data: np.ndarray | None = None,
+        relation: Relation = Relation.LE,
+        names: Sequence[str] | None = None,
+    ) -> ConstraintBlock:
+        """Register a CSR block of constraints in one call.
+
+        ``data=None`` means all-ones coefficients (the common
+        bundle-price/capacity case). ``names`` (one per row) enables
+        :meth:`LPSolution.dual` lookup for block rows.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+        if data is None:
+            data = np.ones(len(indices), dtype=np.float64)
+        else:
+            data = np.ascontiguousarray(data, dtype=np.float64)
+        if len(indptr) != len(rhs) + 1:
+            raise LPError(
+                f"block indptr has {len(indptr)} entries for {len(rhs)} rows"
+            )
+        if len(data) != len(indices) or int(indptr[-1]) != len(indices):
+            raise LPError("block indices/data lengths disagree with indptr")
+        if len(indices) and (indices.min() < 0 or indices.max() >= len(self.variables)):
+            raise LPError("block column index out of range")
+        if names is not None:
+            if len(names) != len(rhs):
+                raise LPError(f"{len(names)} names for {len(rhs)} block rows")
+            for name in names:
+                if name in self._names:
+                    raise LPError(f"duplicate constraint name: {name!r}")
+            self._names.update(names)
+            names = tuple(names)
+        block = ConstraintBlock(indptr, indices, data, rhs, relation, names)
+        self.blocks.append(block)
+        return block
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_variables: int,
+        objective: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rhs: np.ndarray,
+        data: np.ndarray | None = None,
+        *,
+        name: str = "lp",
+        sense: Sense = Sense.MAXIMIZE,
+        relation: Relation = Relation.LE,
+        lower: float | None = 0.0,
+        upper: float | None = None,
+        variable_prefix: str = "x",
+        names: Sequence[str] | None = None,
+    ) -> "LPModel":
+        """Bulk constructor: homogeneous variables, a dense objective vector,
+        and one CSR constraint block.
+
+        This is the scipy-ready shape the vectorized pricing algorithms
+        (LPIP, UBP+LP, CIP, limited-CIP) produce straight from the
+        hypergraph's CSR slices — no per-row ``LinExpr`` assembly.
+        """
+        model = cls(name=name, sense=sense)
+        model.add_variables(num_variables, prefix=variable_prefix,
+                            lower=lower, upper=upper)
+        objective = np.asarray(objective, dtype=np.float64)
+        if objective.shape != (num_variables,):
+            raise LPError(
+                f"objective vector has shape {objective.shape}, "
+                f"expected ({num_variables},)"
+            )
+        nonzero = np.flatnonzero(objective)
+        model.objective = LinExpr(
+            {int(index): float(objective[index]) for index in nonzero}
+        )
+        model.add_constraint_block(
+            indptr, indices, rhs, data, relation=relation, names=names
+        )
+        return model
+
     def set_objective(self, expr: LinExpr | Variable) -> None:
         """Set the objective expression (direction comes from ``sense``)."""
         self.objective = LinExpr.of(expr) if isinstance(expr, Variable) else expr
@@ -250,7 +369,7 @@ class LPModel:
 
     @property
     def num_constraints(self) -> int:
-        return len(self.constraints)
+        return len(self.constraints) + sum(block.num_rows for block in self.blocks)
 
     def solve(self, **kwargs) -> "LPSolution":
         """Solve with the default scipy backend. See :func:`solve_model`."""

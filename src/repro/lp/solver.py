@@ -6,6 +6,12 @@ model-level names. HiGHS reports duals for a *minimization* problem; for
 maximization models we negate the objective before solving and flip the dual
 signs back so that callers always see the "marginal value of relaxing the
 constraint toward feasibility" convention.
+
+Scalar constraints (``LinExpr`` dicts) and bulk :class:`ConstraintBlock`\\ s
+compile side by side: blocks become scipy CSR matrices directly (no per-row
+dict walk) and are vertically stacked after the scalar rows. Constraint
+*positions* — what ``dual_by_index`` addresses — number the scalar
+constraints first, then every block's rows in registration order.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import time
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import csr_matrix
+from scipy.sparse import csr_matrix, vstack
 
 from repro.exceptions import LPInfeasibleError, LPSolverError, LPUnboundedError
 from repro.lp.model import LPModel, Relation, Sense
@@ -45,25 +51,62 @@ class ScipySolver:
         if maximize:
             c = -c
 
+        # Scalar constraints first (positions 0..len-1), then block rows.
         ub_rows: list[tuple[dict[int, float], float]] = []
         ub_positions: list[int] = []
+        ub_relations: list[Relation] = []
         eq_rows: list[tuple[dict[int, float], float]] = []
         eq_positions: list[int] = []
+        position_names: list[str | None] = []
         for position, constraint in enumerate(model.constraints):
+            position_names.append(constraint.name)
             coeffs, rhs = constraint.normalized()
             if constraint.relation is Relation.LE:
                 ub_rows.append((coeffs, rhs))
                 ub_positions.append(position)
+                ub_relations.append(Relation.LE)
             elif constraint.relation is Relation.GE:
                 # a >= b  <=>  -a <= -b
                 ub_rows.append(({i: -v for i, v in coeffs.items()}, -rhs))
                 ub_positions.append(position)
+                ub_relations.append(Relation.GE)
             else:
                 eq_rows.append((coeffs, rhs))
                 eq_positions.append(position)
 
         a_ub, b_ub = _build_sparse(ub_rows, num_vars)
         a_eq, b_eq = _build_sparse(eq_rows, num_vars)
+
+        ub_stack = [a_ub] if a_ub is not None else []
+        ub_rhs_parts = [b_ub] if b_ub is not None else []
+        eq_stack = [a_eq] if a_eq is not None else []
+        eq_rhs_parts = [b_eq] if b_eq is not None else []
+        position = len(model.constraints)
+        for block in model.blocks:
+            if block.names is not None:
+                position_names.extend(block.names)
+            else:
+                position_names.extend([None] * block.num_rows)
+            sign = -1.0 if block.relation is Relation.GE else 1.0
+            matrix = csr_matrix(
+                (sign * block.data, block.indices, block.indptr),
+                shape=(block.num_rows, num_vars),
+            )
+            if block.relation is Relation.EQ:
+                eq_stack.append(matrix)
+                eq_rhs_parts.append(block.rhs)
+                eq_positions.extend(range(position, position + block.num_rows))
+            else:
+                ub_stack.append(matrix)
+                ub_rhs_parts.append(sign * block.rhs)
+                ub_positions.extend(range(position, position + block.num_rows))
+                ub_relations.extend([block.relation] * block.num_rows)
+            position += block.num_rows
+
+        a_ub = vstack(ub_stack, format="csr") if ub_stack else None
+        b_ub = np.concatenate(ub_rhs_parts) if ub_rhs_parts else None
+        a_eq = vstack(eq_stack, format="csr") if eq_stack else None
+        b_eq = np.concatenate(eq_rhs_parts) if eq_rhs_parts else None
         bounds = [(v.lower, v.upper) for v in model.variables]
 
         start = time.perf_counter()
@@ -102,21 +145,20 @@ class ScipySolver:
         ineq = getattr(result, "ineqlin", None)
         if ineq is not None and ineq.marginals is not None:
             for row, marginal in enumerate(ineq.marginals):
-                position = ub_positions[row]
                 value = sign * float(marginal)
                 # GE rows were negated on the way in; negate the dual back.
-                if model.constraints[position].relation is Relation.GE:
+                if ub_relations[row] is Relation.GE:
                     value = -value
-                duals_by_index[position] = value
+                duals_by_index[ub_positions[row]] = value
         eqlin = getattr(result, "eqlin", None)
         if eqlin is not None and eqlin.marginals is not None:
             for row, marginal in enumerate(eqlin.marginals):
                 duals_by_index[eq_positions[row]] = sign * float(marginal)
 
         duals_by_name = {
-            constraint.name: duals_by_index[position]
-            for position, constraint in enumerate(model.constraints)
-            if constraint.name is not None and position in duals_by_index
+            name: duals_by_index[position]
+            for position, name in enumerate(position_names)
+            if name is not None and position in duals_by_index
         }
 
         stats = SolveStats(

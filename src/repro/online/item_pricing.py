@@ -65,12 +65,24 @@ class OnlineItemPricingPolicy:
         self.floor = floor
 
     def price(self, bundle: frozenset[int]) -> float:
-        return float(sum(self.weights[item] for item in bundle))
+        return self.price_items(np.fromiter(bundle, dtype=np.int64, count=len(bundle)))
 
     def update(self, bundle: frozenset[int], accepted: bool) -> None:
-        if not bundle:
+        self.update_items(
+            np.fromiter(bundle, dtype=np.int64, count=len(bundle)), accepted
+        )
+
+    def price_items(self, items: np.ndarray) -> float:
+        """Posted price of a bundle given as an item-index array.
+
+        The simulation loop passes CSR row views of the instance's shared
+        edge-member matrix, so no per-step set flattening happens.
+        """
+        return float(self.weights[items].sum())
+
+    def update_items(self, items: np.ndarray, accepted: bool) -> None:
+        if len(items) == 0:
             return
-        items = list(bundle)
         factor = self.step_up if accepted else self.step_down
         self.weights[items] = np.maximum(self.weights[items] * factor, self.floor)
 
@@ -113,11 +125,15 @@ def simulate_item_pricing(
     instance: PricingInstance = stream.instance
     env = OnlineMarketEnv(stream)
     curve = np.zeros(stream.horizon)
+    # One shared CSR edge-member block for the whole stream: each arrival's
+    # bundle is a zero-copy row view instead of a frozenset walk.
+    indptr, members = instance.hypergraph.edge_member_matrix()
     for arrival in stream:
-        bundle = instance.edges[arrival.edge_index]
-        price = policy.price(bundle)
+        edge = arrival.edge_index
+        items = members[indptr[edge]:indptr[edge + 1]]
+        price = policy.price_items(items)
         accepted = env.play(arrival, price)
-        policy.update(bundle, accepted)
+        policy.update_items(items, accepted)
         curve[arrival.step] = env.revenue
 
     algorithm = offline_algorithm or LPIP(max_programs=30)

@@ -51,6 +51,10 @@ class TestHypergraph:
         with pytest.raises(PricingError, match="out of range"):
             Hypergraph(2, [{5}])
 
+    def test_out_of_range_error_names_edge_position(self):
+        with pytest.raises(PricingError, match="in edge 1"):
+            Hypergraph(2, [{0}, {5}, {1}])
+
     def test_negative_num_items_rejected(self):
         with pytest.raises(PricingError):
             Hypergraph(-1, [])
@@ -59,12 +63,89 @@ class TestHypergraph:
         with pytest.raises(PricingError):
             Hypergraph(2, [{0}], labels=["a", "b"])
 
+    def test_label_count_checked_before_item_validation(self):
+        # Regression: labels used to be validated only after the edge loop,
+        # so a generator input with a bad item raised "out of range" before
+        # the label mismatch was ever reported, and the label error could
+        # name a half-built count. Labels are now validated up front against
+        # the fully materialized edge list.
+        with pytest.raises(PricingError, match="1 labels for 2 edges"):
+            Hypergraph(2, ({0}, {9}), labels=["a"])
+
+    def test_label_count_checked_for_generator_edges(self):
+        with pytest.raises(PricingError, match="3 labels for 2 edges"):
+            Hypergraph(2, ({i} for i in range(2)), labels=["a", "b", "c"])
+
+    def test_duplicate_edges_preserved_as_multi_edges(self):
+        # Two buyers with identical conflict sets are two hyperedges.
+        hypergraph = Hypergraph(3, [{0, 1}, {0, 1}, {2}])
+        assert hypergraph.num_edges == 3
+        assert list(hypergraph.degrees) == [2, 2, 1]
+        assert hypergraph.incidence[0] == [0, 1]
+
     def test_stats(self, hypergraph):
         stats = hypergraph.stats()
         assert stats.num_edges == 4
         assert stats.max_degree == 3
         assert stats.num_empty_edges == 1
         assert stats.num_edges_with_unique_item == 2
+
+
+class TestHypergraphCSR:
+    def test_edge_member_matrix_roundtrip(self, hypergraph):
+        indptr, items = hypergraph.edge_member_matrix()
+        assert list(indptr) == [0, 2, 4, 5, 5]
+        rebuilt = [
+            frozenset(items[indptr[e]:indptr[e + 1]].tolist())
+            for e in range(hypergraph.num_edges)
+        ]
+        assert rebuilt == hypergraph.edges
+
+    def test_edge_members_sorted_within_edge(self):
+        indptr, items = Hypergraph(5, [{4, 0, 2}, {3, 1}]).edge_member_matrix()
+        assert items.tolist() == [0, 2, 4, 1, 3]
+
+    def test_incidence_csr_matches_incidence_lists(self, hypergraph):
+        indptr, edge_ids = hypergraph.incidence_csr()
+        rows = [
+            edge_ids[indptr[item]:indptr[item + 1]].tolist()
+            for item in range(hypergraph.num_items)
+        ]
+        assert rows == hypergraph.incidence
+        assert rows[1] == [0, 1, 2]  # ascending edge ids
+
+    def test_incident_edges_view(self, hypergraph):
+        assert hypergraph.incident_edges(1).tolist() == [0, 1, 2]
+        assert hypergraph.incident_edges(3).tolist() == []
+
+    def test_edge_submatrix_gathers_rows_in_order(self, hypergraph):
+        import numpy as np
+
+        sub_indptr, sub_items = hypergraph.edge_submatrix(np.array([2, 0]))
+        assert list(sub_indptr) == [0, 1, 3]
+        assert sub_items[0] == 1
+        assert sorted(sub_items[1:3].tolist()) == [0, 1]
+
+    def test_empty_hypergraph_csr(self):
+        empty = Hypergraph(0, [])
+        indptr, items = empty.edge_member_matrix()
+        assert list(indptr) == [0]
+        assert len(items) == 0
+        item_indptr, edge_ids = empty.incidence_csr()
+        assert list(item_indptr) == [0]
+        assert len(edge_ids) == 0
+
+    def test_degrees_from_csr_match_definition(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        edges = [
+            set(rng.choice(10, size=rng.integers(0, 6), replace=False).tolist())
+            for _ in range(20)
+        ]
+        hypergraph = Hypergraph(10, edges)
+        expected = [sum(1 for edge in edges if item in edge) for item in range(10)]
+        assert list(hypergraph.degrees) == expected
 
 
 class TestPricingInstance:

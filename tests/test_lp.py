@@ -1,9 +1,10 @@
 """Unit tests for the LP modeling layer and scipy backend."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import LPError, LPInfeasibleError, LPUnboundedError
-from repro.lp import LinExpr, LPModel, Sense
+from repro.lp import LinExpr, LPModel, Relation, Sense
 
 
 class TestLinExpr:
@@ -182,3 +183,118 @@ class TestSolver:
         solution = model.solve()
         assert solution.stats.status == "optimal"
         assert solution.stats.num_variables == 1
+
+
+class TestConstraintBlocks:
+    """Bulk CSR constraint blocks and the from_arrays constructor."""
+
+    def test_from_arrays_matches_expression_model(self):
+        # max 2x0 + x1 + x2  s.t.  x0+x1 <= 4, x1+x2 <= 3, x0 <= 2.5, x >= 0
+        model = LPModel.from_arrays(
+            num_variables=3,
+            objective=np.array([2.0, 1.0, 1.0]),
+            indptr=np.array([0, 2, 4, 5]),
+            indices=np.array([0, 1, 1, 2, 0]),
+            rhs=np.array([4.0, 3.0, 2.5]),
+        )
+        expected = LPModel(sense=Sense.MAXIMIZE)
+        x = expected.add_variables(3)
+        expected.add_constraint(x[0] + x[1] <= 4.0)
+        expected.add_constraint(x[1] + x[2] <= 3.0)
+        expected.add_constraint(LinExpr.of(x[0]) <= 2.5)
+        expected.set_objective(2 * x[0] + x[1] + x[2])
+        assert model.num_constraints == 3
+        assert model.solve().objective == pytest.approx(expected.solve().objective)
+
+    def test_block_with_data_coefficients(self):
+        # max x0 + x1  s.t.  2 x0 + 3 x1 <= 6
+        model = LPModel.from_arrays(
+            num_variables=2,
+            objective=np.array([1.0, 1.0]),
+            indptr=np.array([0, 2]),
+            indices=np.array([0, 1]),
+            rhs=np.array([6.0]),
+            data=np.array([2.0, 3.0]),
+        )
+        assert model.solve().objective == pytest.approx(3.0)
+
+    def test_block_duals_by_name_and_index(self):
+        # Two buyers, one capacity unit: dual = displaced value (cf. CIP).
+        model = LPModel.from_arrays(
+            num_variables=2,
+            objective=np.array([10.0, 4.0]),
+            indptr=np.array([0, 2]),
+            indices=np.array([0, 1]),
+            rhs=np.array([1.0]),
+            upper=1.0,
+            names=["item"],
+        )
+        solution = model.solve()
+        assert solution.dual("item") == pytest.approx(4.0)
+        assert solution.dual_by_index(0) == pytest.approx(4.0)
+
+    def test_scalar_constraints_and_blocks_compose(self):
+        model = LPModel(sense=Sense.MAXIMIZE)
+        x = model.add_variables(2)
+        model.add_constraint(x[0] + x[1] <= 5.0, name="cap")
+        model.add_constraint_block(
+            indptr=np.array([0, 1]),
+            indices=np.array([0]),
+            rhs=np.array([2.0]),
+            names=["solo"],
+        )
+        model.set_objective(x[0] + x[1])
+        assert model.num_constraints == 2
+        solution = model.solve()
+        assert solution.objective == pytest.approx(5.0)
+        # Block rows are numbered after the scalar constraints.
+        assert solution.dual("cap") == pytest.approx(1.0)
+        assert solution.dual("solo") == pytest.approx(0.0)
+
+    def test_ge_block_relation(self):
+        model = LPModel.from_arrays(
+            num_variables=1,
+            objective=np.array([1.0]),
+            indptr=np.array([0, 1]),
+            indices=np.array([0]),
+            rhs=np.array([7.0]),
+            sense=Sense.MINIMIZE,
+            relation=Relation.GE,
+        )
+        assert model.solve().objective == pytest.approx(7.0)
+
+    def test_block_validation_errors(self):
+        model = LPModel()
+        model.add_variables(2)
+        with pytest.raises(LPError, match="indptr"):
+            model.add_constraint_block(
+                indptr=np.array([0, 1, 2]),
+                indices=np.array([0, 1]),
+                rhs=np.array([1.0]),
+            )
+        with pytest.raises(LPError, match="out of range"):
+            model.add_constraint_block(
+                indptr=np.array([0, 1]),
+                indices=np.array([5]),
+                rhs=np.array([1.0]),
+            )
+        with pytest.raises(LPError, match="names"):
+            model.add_constraint_block(
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                rhs=np.array([1.0]),
+                names=["a", "b"],
+            )
+        model.add_constraint_block(
+            indptr=np.array([0, 1]),
+            indices=np.array([0]),
+            rhs=np.array([1.0]),
+            names=["dup"],
+        )
+        with pytest.raises(LPError, match="duplicate"):
+            model.add_constraint_block(
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                rhs=np.array([1.0]),
+                names=["dup"],
+            )

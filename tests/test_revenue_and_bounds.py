@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.bounds import greedy_cover, subadditive_upper_bound, sum_of_valuations
+from repro.core.evaluator import RevenueEvaluator
 from repro.core.hypergraph import Hypergraph, PricingInstance
 from repro.core.pricing import ItemPricing, UniformBundlePricing
 from repro.core.revenue import compute_revenue, revenue_of_item_weights
@@ -53,6 +54,61 @@ class TestRevenue:
         fast = revenue_of_item_weights(weights, instance)
         slow = compute_revenue(ItemPricing(weights), instance).revenue
         assert fast == pytest.approx(slow)
+
+
+@pytest.fixture(params=["scalar", "vectorized"])
+def evaluator(request):
+    return RevenueEvaluator(request.param)
+
+
+class TestRevenueReportEdgeCases:
+    """RevenueReport corners, pinned against both revenue strategies."""
+
+    def test_sell_through_with_zero_buyers(self, evaluator):
+        instance = PricingInstance(Hypergraph(3, []), [])
+        report = evaluator.evaluate(UniformBundlePricing(5.0), instance)
+        assert report.num_edges == 0
+        assert report.num_sold == 0
+        assert report.revenue == 0.0
+        assert report.sell_through == 0.0  # no division by zero
+
+    def test_normalized_zero_reference(self, evaluator):
+        instance = PricingInstance(Hypergraph(2, [{0}, {1}]), [3.0, 4.0])
+        report = evaluator.evaluate(ItemPricing([3.0, 4.0]), instance)
+        assert report.revenue == pytest.approx(7.0)
+        assert report.normalized(reference=0) == 0.0
+        assert report.normalized(reference=-1.0) == 0.0
+
+    def test_revenue_ties_between_bundles(self, evaluator):
+        # Two distinct bundles with identical prices sitting exactly on
+        # their valuations: both must sell (p <= v holds at equality), and
+        # the third buyer one cent below must not.
+        hypergraph = Hypergraph(4, [{0, 1}, {2, 3}, {0, 2}])
+        instance = PricingInstance(hypergraph, [3.0, 3.0, 2.99])
+        report = evaluator.evaluate(ItemPricing([1.5, 1.5, 1.5, 1.5]), instance)
+        assert report.prices.tolist() == [3.0, 3.0, 3.0]
+        assert report.sold.tolist() == [True, True, False]
+        assert report.num_sold == 2
+        assert report.revenue == pytest.approx(6.0)
+
+    def test_strategies_break_ties_identically(self):
+        hypergraph = Hypergraph(4, [{0, 1}, {2, 3}, {0, 2}, set()])
+        instance = PricingInstance(hypergraph, [3.0, 3.0, 2.99, 0.0])
+        pricing = ItemPricing([1.5, 1.5, 1.5, 1.5])
+        scalar = RevenueEvaluator("scalar").evaluate(pricing, instance)
+        vectorized = RevenueEvaluator("vectorized").evaluate(pricing, instance)
+        assert np.array_equal(scalar.prices, vectorized.prices)
+        assert np.array_equal(scalar.sold, vectorized.sold)
+        assert scalar.revenue == vectorized.revenue
+        assert scalar.num_sold == vectorized.num_sold
+
+    def test_diagnostics_count_evaluations(self, evaluator):
+        instance = PricingInstance(Hypergraph(2, [{0}, {1}]), [1.0, 2.0])
+        evaluator.evaluate(UniformBundlePricing(1.0), instance)
+        evaluator.revenue_of_item_weights(np.array([0.5, 0.5]), instance)
+        record = evaluator.diagnostics[evaluator.strategy_name]
+        assert record["evaluations"] == 2
+        assert record["edges"] == 4
 
 
 class TestSumOfValuations:

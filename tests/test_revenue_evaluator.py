@@ -1,0 +1,106 @@
+"""Unit tests for the revenue-strategy registry and evaluator facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import (
+    RevenueEvaluator,
+    RevenueStrategy,
+    ScalarRevenueStrategy,
+    available_revenue_strategies,
+    default_evaluator,
+    get_revenue_strategy,
+    register_revenue_strategy,
+    use_strategy,
+)
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import ItemPricing, UniformBundlePricing
+from repro.core.revenue import compute_revenue
+from repro.exceptions import PricingError
+
+
+@pytest.fixture
+def instance():
+    hypergraph = Hypergraph(3, [{0, 1}, {1, 2}, {2}, set()])
+    return PricingInstance(hypergraph, [5.0, 4.0, 3.0, 1.0])
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_revenue_strategies() == ["scalar", "vectorized"]
+
+    def test_unknown_strategy_errors_with_known_list(self):
+        with pytest.raises(PricingError, match="scalar"):
+            get_revenue_strategy("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PricingError, match="already registered"):
+            register_revenue_strategy("scalar", ScalarRevenueStrategy)
+
+    def test_custom_strategy_pluggable(self, instance):
+        class Doubling(ScalarRevenueStrategy):
+            name = "doubling-test"
+
+            def edge_prices(self, pricing, inst):
+                return 2.0 * super().edge_prices(pricing, inst)
+
+        register_revenue_strategy("doubling-test", Doubling)
+        try:
+            evaluator = RevenueEvaluator("doubling-test")
+            report = evaluator.evaluate(UniformBundlePricing(2.0), instance)
+            assert report.prices.tolist() == [4.0, 4.0, 4.0, 4.0]
+        finally:
+            from repro.core import evaluator as module
+
+            module._REGISTRY.pop("doubling-test")
+
+
+class TestFacade:
+    def test_strategy_name_exposed(self):
+        assert RevenueEvaluator("scalar").strategy_name == "scalar"
+        assert RevenueEvaluator().strategy_name == "vectorized"
+
+    def test_accepts_strategy_instance(self, instance):
+        evaluator = RevenueEvaluator(ScalarRevenueStrategy())
+        report = evaluator.evaluate(ItemPricing([1.0, 2.0, 3.0]), instance)
+        assert report.prices.tolist() == [3.0, 5.0, 3.0, 0.0]
+
+    def test_kernel_counters(self, instance):
+        evaluator = RevenueEvaluator("vectorized")
+        evaluator.evaluate(UniformBundlePricing(1.0), instance)
+        evaluator.line_search_gains(
+            np.array([1.0]), np.array([2.0]), np.array([0.0, 2.0])
+        )
+        evaluator.grid_revenues(
+            np.array([2.0, 1.0]), np.array([1.0, 2.0]), np.array([3.0, 3.0])
+        )
+        record = evaluator.diagnostics["vectorized"]
+        assert record["evaluations"] == 1
+        assert record["line_searches"] == 1
+        assert record["grid_sweeps"] == 1
+        assert record["wall_time_seconds"] >= 0.0
+
+
+class TestDefaultSelection:
+    def test_default_is_vectorized(self):
+        assert default_evaluator().strategy_name == "vectorized"
+
+    def test_use_strategy_scopes_and_restores(self, instance):
+        before = default_evaluator()
+        with use_strategy("scalar") as evaluator:
+            assert default_evaluator() is evaluator
+            compute_revenue(UniformBundlePricing(1.0), instance)
+            assert evaluator.diagnostics["scalar"]["evaluations"] == 1
+        assert default_evaluator() is before
+
+    def test_use_strategy_restores_on_error(self):
+        before = default_evaluator()
+        with pytest.raises(RuntimeError):
+            with use_strategy("scalar"):
+                raise RuntimeError("boom")
+        assert default_evaluator() is before
+
+    def test_explicit_evaluator_argument_wins(self, instance):
+        evaluator = RevenueEvaluator("scalar")
+        compute_revenue(UniformBundlePricing(1.0), instance, evaluator=evaluator)
+        assert evaluator.diagnostics["scalar"]["evaluations"] == 1

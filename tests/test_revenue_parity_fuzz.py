@@ -1,0 +1,249 @@
+"""Randomized scalar-vs-vectorized revenue parity fuzzing.
+
+The vectorized revenue strategy must reproduce the ``scalar`` oracle's
+decisions *bit for bit*: identical edge-price vectors, identical sold masks
+(ties at ``p(e) == v_e`` broken identically), identical revenues, and
+identical line-search / grid kernels — on randomized hypergraphs (including
+empty edges and duplicate multi-edges), valuations, and pricings from every
+family (uniform-bundle, item, uniform-item, sparse-dict item, XOS).
+
+All generated weights and valuations are multiples of 0.25 with bounded
+magnitude, so every segment sum is exact in float64 and summation order
+cannot explain away a mismatch — the same trick the conflict-set fuzzer
+uses for float aggregates. Tie cases are generated deliberately: a second
+instance per pricing copies exact scalar prices into a random subset of the
+valuations.
+
+Tier-1 runs a reduced case count; ``--runslow`` runs the full suite. The
+base seed is overridable via the ``REPRO_FUZZ_SEED`` environment variable;
+on a mismatch a standalone repro script is written under
+``tests/artifacts/revenue_fuzz/`` (uploaded as a CI artifact on failure) and
+the failure message names the seed and case.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import RevenueEvaluator
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import (
+    ItemPricing,
+    PricingFunction,
+    UniformBundlePricing,
+    XOSPricing,
+    zero_pricing,
+)
+
+FULL_CASES = 240
+TIER1_CASES = 48
+CHUNKS = 12
+
+#: Override to replay a failing run: REPRO_FUZZ_SEED=<seed> pytest ...
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260727"))
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts" / "revenue_fuzz"
+
+
+def _case_count(request) -> int:
+    return FULL_CASES if request.config.getoption("--runslow") else TIER1_CASES
+
+
+def _quarters(rng: np.random.Generator, size, low: int = 0, high: int = 400):
+    """Random multiples of 0.25 — exactly summable in float64."""
+    return rng.integers(low, high, size=size).astype(np.float64) * 0.25
+
+
+def _random_hypergraph(rng: np.random.Generator) -> Hypergraph:
+    num_items = int(rng.integers(1, 24))
+    num_edges = int(rng.integers(0, 40))
+    edges: list[frozenset[int]] = []
+    for _ in range(num_edges):
+        if edges and rng.random() < 0.1:
+            # Duplicate multi-edge: two buyers with identical conflict sets.
+            edges.append(edges[int(rng.integers(0, len(edges)))])
+            continue
+        size = int(rng.integers(0, min(num_items, 8) + 1))
+        edges.append(frozenset(rng.choice(num_items, size=size, replace=False).tolist()))
+    return Hypergraph(num_items, edges)
+
+
+def _random_pricings(
+    rng: np.random.Generator, num_items: int
+) -> list[tuple[str, PricingFunction]]:
+    """One pricing per family, each paired with repro construction code."""
+    weights = _quarters(rng, num_items)
+    sparse = {
+        int(item): float(weight)
+        for item, weight in enumerate(weights)
+        if rng.random() < 0.5
+    }
+    components = [_quarters(rng, num_items).tolist() for _ in range(int(rng.integers(1, 4)))]
+    bundle_price = float(_quarters(rng, ()))
+    uniform_weight = float(_quarters(rng, (), high=40))
+    return [
+        (f"UniformBundlePricing({bundle_price!r})", UniformBundlePricing(bundle_price)),
+        (f"ItemPricing({weights.tolist()!r})", ItemPricing(weights)),
+        (
+            f"ItemPricing.uniform({num_items}, {uniform_weight!r})",
+            ItemPricing.uniform(num_items, uniform_weight),
+        ),
+        (
+            f"ItemPricing({sparse!r}, num_items={num_items})",
+            ItemPricing(sparse, num_items=num_items),
+        ),
+        (f"XOSPricing({components!r})", XOSPricing(components)),
+        (f"zero_pricing({num_items})", zero_pricing(num_items)),
+    ]
+
+
+def _dump_repro(
+    hypergraph: Hypergraph,
+    valuations: np.ndarray,
+    pricing_code: str,
+    case: int,
+    detail: str,
+) -> Path:
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    edges = [sorted(edge) for edge in hypergraph.edges]
+    script = f'''"""Revenue parity repro: seed={BASE_SEED} case={case}.
+
+{detail}
+"""
+import numpy as np
+
+from repro.core.evaluator import RevenueEvaluator
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import (
+    ItemPricing, UniformBundlePricing, XOSPricing, zero_pricing,
+)
+
+hypergraph = Hypergraph({hypergraph.num_items}, {edges!r})
+instance = PricingInstance(hypergraph, np.array({valuations.tolist()!r}))
+pricing = {pricing_code}
+
+for strategy in ("scalar", "vectorized"):
+    report = RevenueEvaluator(strategy).evaluate(pricing, instance)
+    print(strategy, report.revenue, report.num_sold, report.prices, report.sold)
+'''
+    path = ARTIFACT_DIR / f"repro_seed{BASE_SEED}_case{case}.py"
+    path.write_text(script)
+    return path
+
+
+def _compare_reports(
+    hypergraph: Hypergraph,
+    valuations: np.ndarray,
+    pricing_code: str,
+    pricing: PricingFunction,
+    case: int,
+) -> None:
+    instance = PricingInstance(hypergraph, valuations)
+    scalar = RevenueEvaluator("scalar").evaluate(pricing, instance)
+    vectorized = RevenueEvaluator("vectorized").evaluate(pricing, instance)
+    mismatches = []
+    if not np.array_equal(scalar.prices, vectorized.prices):
+        mismatches.append(f"prices {scalar.prices} != {vectorized.prices}")
+    if not np.array_equal(scalar.sold, vectorized.sold):
+        mismatches.append(f"sold {scalar.sold} != {vectorized.sold}")
+    if scalar.revenue != vectorized.revenue:
+        mismatches.append(f"revenue {scalar.revenue!r} != {vectorized.revenue!r}")
+    if scalar.num_sold != vectorized.num_sold:
+        mismatches.append(f"num_sold {scalar.num_sold} != {vectorized.num_sold}")
+    if mismatches:
+        detail = f"pricing: {pricing_code}\n" + "\n".join(mismatches)
+        path = _dump_repro(hypergraph, valuations, pricing_code, case, detail)
+        pytest.fail(
+            f"revenue parity mismatch (seed={BASE_SEED}, case={case})\n"
+            f"{detail}\nrepro script: {path}"
+        )
+
+
+def _run_case(case: int) -> None:
+    rng = np.random.default_rng(BASE_SEED + case)
+    hypergraph = _random_hypergraph(rng)
+    valuations = _quarters(rng, hypergraph.num_edges)
+
+    for pricing_code, pricing in _random_pricings(rng, hypergraph.num_items):
+        _compare_reports(hypergraph, valuations, pricing_code, pricing, case)
+        # Deliberate ties: copy exact scalar prices into a random subset of
+        # the valuations, so p(e) == v_e bit-for-bit on those edges. Both
+        # strategies must sell (or ration) exactly the same buyers.
+        prices = RevenueEvaluator("scalar").evaluate(pricing, instance=PricingInstance(
+            hypergraph, valuations
+        )).prices
+        tied = valuations.copy()
+        mask = rng.random(hypergraph.num_edges) < 0.5
+        tied[mask] = prices[mask]
+        if np.all(np.isfinite(tied)) and np.all(tied >= 0):
+            _compare_reports(hypergraph, tied, pricing_code, pricing, case)
+
+    # Additive fast path: revenue_of_item_weights must agree bit-for-bit.
+    weights = _quarters(rng, hypergraph.num_items)
+    instance = PricingInstance(hypergraph, valuations)
+    fast_scalar = RevenueEvaluator("scalar").revenue_of_item_weights(weights, instance)
+    fast_vectorized = RevenueEvaluator("vectorized").revenue_of_item_weights(
+        weights, instance
+    )
+    assert fast_scalar == fast_vectorized, (
+        f"item-weight revenue mismatch (seed={BASE_SEED}, case={case}): "
+        f"{fast_scalar!r} != {fast_vectorized!r}"
+    )
+
+    _check_kernels(rng, case)
+
+
+def _check_kernels(rng: np.random.Generator, case: int) -> None:
+    """The line-search and grid kernels must agree candidate by candidate."""
+    scalar = RevenueEvaluator("scalar")
+    vectorized = RevenueEvaluator("vectorized")
+
+    degree = int(rng.integers(1, 40))
+    residuals = _quarters(rng, degree)
+    thresholds = _quarters(rng, degree, low=-200, high=200)
+    current = float(_quarters(rng, (), high=100))
+    candidates = np.concatenate(
+        ([current], np.unique(np.clip(thresholds, 0.0, None)))
+    )
+    gains_scalar = scalar.line_search_gains(residuals, thresholds, candidates)
+    gains_vectorized = vectorized.line_search_gains(residuals, thresholds, candidates)
+    assert np.array_equal(gains_scalar, gains_vectorized), (
+        f"line-search kernel mismatch (seed={BASE_SEED}, case={case})\n"
+        f"residuals={residuals.tolist()}\nthresholds={thresholds.tolist()}\n"
+        f"candidates={candidates.tolist()}\n"
+        f"scalar={gains_scalar.tolist()}\nvectorized={gains_vectorized.tolist()}"
+    )
+
+    num_edges = int(rng.integers(1, 64))
+    sizes = rng.integers(1, 9, size=num_edges).astype(np.float64)
+    valuations = _quarters(rng, num_edges)
+    top = float(valuations.max())
+    grid = (top if top > 0 else 1.0) / 2.0 ** np.arange(int(rng.integers(1, 24)))
+    grid_scalar = scalar.grid_revenues(grid, sizes, valuations)
+    grid_vectorized = vectorized.grid_revenues(grid, sizes, valuations)
+    assert np.array_equal(grid_scalar, grid_vectorized), (
+        f"grid kernel mismatch (seed={BASE_SEED}, case={case})\n"
+        f"sizes={sizes.tolist()}\nvaluations={valuations.tolist()}\n"
+        f"grid={grid.tolist()}\n"
+        f"scalar={grid_scalar.tolist()}\nvectorized={grid_vectorized.tolist()}"
+    )
+
+
+@pytest.mark.parametrize("chunk", range(CHUNKS))
+def test_revenue_parity_fuzz(request, chunk):
+    """Each chunk runs 1/12th of the configured case budget."""
+    cases = _case_count(request)
+    per_chunk = cases // CHUNKS
+    for case in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        _run_case(case)
+
+
+def test_budgets_meet_issue_floor():
+    # Tier-1 must cover at least 40 generated cases; --runslow at least 200.
+    assert TIER1_CASES >= 40
+    assert FULL_CASES >= 200
+    assert FULL_CASES % CHUNKS == 0 and TIER1_CASES % CHUNKS == 0
