@@ -1,4 +1,4 @@
-"""A day in a data marketplace: the paper's motivating scenario at full size.
+"""A day in a data marketplace: the paper's motivating scenario, served live.
 
 The seller lists the ``world`` dataset; data analysts (the paper's "Alice")
 issue targeted SQL queries instead of buying the whole dataset. The broker:
@@ -7,7 +7,11 @@ issue targeted SQL queries instead of buying the whole dataset. The broker:
 2. learns buyer demand (the skewed 986-query workload with an additive
    valuation model — some parts of the data are worth more than others),
 3. optimizes an arbitrage-free item pricing,
-4. serves a mixed stream of buyers, rejecting none of the arbitrage attacks.
+4. stands up a ``PricingService`` — the concurrent serving tier with a
+   canonical quote cache and micro-batched quoting — and serves a mixed
+   stream of buyers, rejecting none of the arbitrage attacks,
+5. reports what a serving tier reports: throughput, latency percentiles,
+   and cache hit rates.
 
 Run:  python examples/data_marketplace.py        (about a minute)
 """
@@ -18,6 +22,7 @@ import numpy as np
 
 from repro.core.algorithms import LPIP, UBP
 from repro.qirana import QueryMarket, verify_arbitrage_freeness
+from repro.service import LoadProfile, PricingService, run_load
 from repro.valuations import AdditiveValuations
 from repro.workloads.world import world_workload
 
@@ -30,7 +35,6 @@ def main() -> None:
           f"({', '.join(f'{r.schema.name}({len(r)})' for r in database.tables())})")
 
     support = workload.support(size=400, seed=0, cells_per_instance=2)
-    market = QueryMarket(support)
     print(f"support set: {len(support)} neighboring instances\n")
 
     # --- 2. demand research ----------------------------------------------
@@ -51,38 +55,73 @@ def main() -> None:
           f"({smart.revenue / valuations.sum():.1%} of demand)")
     print(f"uplift from query-based pricing: "
           f"{smart.revenue / max(flat.revenue, 1e-9):.2f}x\n")
-    market.set_pricing(smart.pricing)
+
+    # --- 4. the serving tier ----------------------------------------------
+    market = QueryMarket(support)
     # Prime the broker's bundle cache with the workload's conflict sets.
-    market.build_instance(workload.queries, valuations)
+    market.build_hypergraph(workload.queries)
+    with PricingService(market, max_batch_size=32) as service:
+        service.install_pricing(smart.pricing)
 
-    # --- 4. serving buyers -------------------------------------------------
-    rng = np.random.default_rng(2)
-    buyers = rng.choice(len(texts), size=25, replace=False)
-    for position, query_index in enumerate(buyers[:6]):
-        sql = texts[query_index]
-        budget = float(valuations[query_index])
-        answer, quote = market.purchase(sql, buyer=f"analyst-{position}", valuation=budget)
-        outcome = f"bought for {quote.price:.2f}" if answer else "walked away"
-        print(f"analyst-{position}: budget {budget:7.2f}, {outcome}")
-        print(f"  {sql[:90]}")
+        # A handful of named analysts buy through history-aware sessions:
+        # returning buyers pay marginal prices for overlapping queries.
+        rng = np.random.default_rng(2)
+        buyers = rng.choice(len(texts), size=25, replace=False)
+        for position, query_index in enumerate(buyers[:6]):
+            sql = texts[query_index]
+            budget = float(valuations[query_index])
+            session = service.session(f"analyst-{position}")
+            answer, quote = session.purchase(sql, valuation=budget)
+            outcome = (
+                f"bought for {quote.marginal_price:.2f}" if answer else "walked away"
+            )
+            print(f"analyst-{position}: budget {budget:7.2f}, {outcome}")
+            print(f"  {sql[:90]}")
 
-    print(f"\nledger: {len(market.transactions)} sales, "
-          f"revenue {market.revenue:.2f}")
+        print(f"\nledger: {len(service.transactions)} sales, "
+              f"revenue {service.revenue:.2f}")
 
-    # --- 5. no arbitrage ---------------------------------------------------
-    violations = verify_arbitrage_freeness(
-        market.pricing, len(support), trials=300, rng=3
-    )
-    print(f"arbitrage check over 600 sampled bundle pairs: "
-          f"{'no violations' if not violations else violations[:1]}")
+        # Anonymous traffic: a zipf-repeated request stream from 8 concurrent
+        # clients — the canonical cache and the micro-batcher at work.
+        report = run_load(
+            service,
+            texts[:200],
+            LoadProfile(num_requests=2000, num_clients=8, zipf_s=1.1, seed=3),
+        )
+        print(f"\nserving {report.requests} quote requests "
+              f"from 8 concurrent clients:")
+        print(f"  throughput: {report.throughput_rps:,.0f} req/s  "
+              f"(p50 {report.latency.p50_ms:.3f}ms, "
+              f"p99 {report.latency.p99_ms:.3f}ms)")
+        cache = report.service["quote_cache"]
+        print(f"  quote cache: {cache['hit_rate']:.1%} hit rate "
+              f"({cache['hits']} hits / {cache['misses']} misses)")
+        print(f"  micro-batches: {report.service['batches']} flushed, "
+              f"mean size {report.service['mean_batch_size']:.1f}, "
+              f"max {report.service['max_batch_size']}")
 
-    # Information arbitrage, concretely: a narrower query never costs more.
-    narrow = market.quote("select count(Name) from Country where Continent = 'Asia'")
-    broad = market.quote(
-        "select Continent, count(Name) from Country group by Continent"
-    )
-    print(f"narrow query: {narrow.price:.2f}, broader query: {broad.price:.2f} "
-          f"(subset bundle: {narrow.bundle <= broad.bundle})")
+        # --- 5. no arbitrage -----------------------------------------------
+        violations = verify_arbitrage_freeness(
+            service.pricing, len(support), trials=300, rng=3
+        )
+        print(f"\narbitrage check over 600 sampled bundle pairs: "
+              f"{'no violations' if not violations else violations[:1]}")
+
+        # Information arbitrage, concretely: a narrower query never costs
+        # more — and textual variants of it hit the same cache entry.
+        narrow = service.quote(
+            "select count(Name) from Country where Continent = 'Asia'"
+        )
+        variant = service.quote(
+            "SELECT count(Name) FROM Country c WHERE c.Continent = 'Asia'"
+        )
+        broad = service.quote(
+            "select Continent, count(Name) from Country group by Continent"
+        )
+        print(f"narrow query: {narrow.price:.2f} "
+              f"(alias/case variant, same cache entry: {variant.price:.2f}), "
+              f"broader query: {broad.price:.2f} "
+              f"(subset bundle: {narrow.bundle <= broad.bundle})")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ The package is organized bottom-up:
 - :mod:`repro.db` — in-memory relational engine + SQL-subset front-end,
 - :mod:`repro.support` — support-set ("neighboring database") generation,
 - :mod:`repro.qirana` — conflict sets, the pricing broker, arbitrage checks,
+- :mod:`repro.service` — the serving tier: concurrent, cached, micro-batched
+  query pricing plus a load-generator benchmark harness,
 - :mod:`repro.core` — hypergraphs, pricing functions, revenue, bounds, and the
   six pricing algorithms (UBP, UIP, LPIP, CIP, Layering, XOS),
 - :mod:`repro.valuations` — buyer-valuation generative models,

@@ -10,13 +10,16 @@ Subcommands::
                         [--conflict-backend auto] [--revenue-strategy scalar]
     repro-pricing bench-backends --workload uniform  # backend speed comparison
     repro-pricing bench-revenue --workload uniform   # revenue engine comparison
+    repro-pricing serve-bench --workload uniform     # service vs sequential quoting
+    repro-pricing loadgen --mode open --rate 2000    # synthetic service traffic
     repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
     repro-pricing table table3                   # reproduce one table
     repro-pricing ext heuristics|limited|saa     # extension experiments
 
-The two bench commands additionally write machine-readable summaries
-(``BENCH_backends.json`` / ``BENCH_pricing.json``; ``--json PATH`` to move,
-``--no-json`` to skip) so perf is trackable across revisions.
+The bench commands additionally write machine-readable summaries
+(``BENCH_backends.json`` / ``BENCH_pricing.json`` / ``BENCH_service.json``;
+``--json PATH`` to move, ``--no-json`` to skip) so perf is trackable across
+revisions.
 """
 
 from __future__ import annotations
@@ -90,6 +93,47 @@ def main(argv: list[str] | None = None) -> int:
     bench_rev.add_argument("--no-json", action="store_true",
                            help="skip writing the JSON summary")
 
+    serve = commands.add_parser(
+        "serve-bench",
+        help="benchmark micro-batched service quoting vs sequential quotes",
+    )
+    serve.add_argument("--workload", default="uniform",
+                       choices=["skewed", "uniform", "tpch", "ssb"])
+    serve.add_argument("--support", type=int, default=None)
+    serve.add_argument("--scale", type=float, default=None)
+    serve.add_argument("--queries", type=int, default=120,
+                       help="distinct workload queries in the request pool")
+    serve.add_argument("--requests", type=int, default=4000,
+                       help="total requests in the zipf-repeated stream")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent closed-loop clients")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="zipf skew of query repetition (0 = uniform)")
+    serve.add_argument("--batch-size", type=int, default=32,
+                       help="micro-batch flush size")
+    serve.add_argument("--batch-delay", type=float, default=0.001,
+                       help="micro-batch flush deadline (seconds)")
+    serve.add_argument("--json", dest="json_path", default="BENCH_service.json",
+                       help="where to write the machine-readable summary")
+    serve.add_argument("--no-json", action="store_true",
+                       help="skip writing the JSON summary")
+
+    load = commands.add_parser(
+        "loadgen", help="drive a pricing service with synthetic traffic"
+    )
+    load.add_argument("--workload", default="uniform",
+                      choices=["skewed", "uniform", "tpch", "ssb"])
+    load.add_argument("--support", type=int, default=300)
+    load.add_argument("--scale", type=float, default=0.15)
+    load.add_argument("--queries", type=int, default=120)
+    load.add_argument("--requests", type=int, default=2000)
+    load.add_argument("--clients", type=int, default=8)
+    load.add_argument("--zipf", type=float, default=1.1)
+    load.add_argument("--mode", default="closed", choices=["closed", "open"])
+    load.add_argument("--rate", type=float, default=None,
+                      help="open-loop arrival rate (requests/second)")
+    load.add_argument("--seed", type=int, default=0)
+
     figure = commands.add_parser("figure", help="reproduce a figure panel")
     figure.add_argument("figure_id", help="e.g. fig4-skewed, fig5a-uniform-tpch, fig8-ssb")
 
@@ -121,6 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         "price": _cmd_price,
         "bench-backends": _cmd_bench_backends,
         "bench-revenue": _cmd_bench_revenue,
+        "serve-bench": _cmd_serve_bench,
+        "loadgen": _cmd_loadgen,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "explain": _cmd_explain,
@@ -212,6 +258,52 @@ def _cmd_bench_revenue(args: argparse.Namespace) -> int:
     )
     print(artifact)
     _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    artifact = figures.service_throughput(
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+        num_queries=args.queries,
+        num_requests=args.requests,
+        zipf_s=args.zipf,
+        num_clients=args.clients,
+        max_batch_size=args.batch_size,
+        max_batch_delay=args.batch_delay,
+    )
+    print(artifact)
+    _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.qirana.broker import QueryMarket
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service import LoadProfile, PricingService, run_load
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload, scale=args.scale)
+    support = workload.support(size=args.support, seed=args.seed, mode="row")
+    texts = [query.text for query in workload.queries[: args.queries]]
+    with PricingService(QueryMarket(support)) as service:
+        service.install_pricing(uniform_calibrated_pricing(support, 100.0))
+        report = run_load(
+            service,
+            texts,
+            LoadProfile(
+                num_requests=args.requests,
+                num_clients=args.clients,
+                zipf_s=args.zipf,
+                mode=args.mode,
+                arrival_rate=args.rate,
+                seed=args.seed,
+            ),
+        )
+    print(report)
     return 0
 
 

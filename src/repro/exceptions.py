@@ -62,3 +62,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or failed to run."""
+
+
+class ServiceError(ReproError):
+    """The pricing service was misconfigured or refused a request."""

@@ -5,9 +5,9 @@ file so the paper's plots can be regenerated with any plotting tool (the
 offline environment has no matplotlib; the benchmark suite prints text tables
 and these CSVs are the machine-readable twin). Benchmark-style artifacts
 additionally export as JSON (:func:`export_bench_json`) — the
-``BENCH_backends.json`` / ``BENCH_pricing.json`` files the CLI and CI
-publish so the wall-time/speedup trajectory is tracked across PRs instead
-of living only in pytest asserts.
+``BENCH_backends.json`` / ``BENCH_pricing.json`` / ``BENCH_service.json``
+files the CLI and CI publish so the wall-time/speedup/throughput trajectory
+is tracked across PRs instead of living only in pytest asserts.
 """
 
 from __future__ import annotations
@@ -32,6 +32,8 @@ _BENCH_KEYS = (
     "edges",
     "stats",
     "diagnostics",
+    "throughput",
+    "latency",
 )
 
 

@@ -623,3 +623,168 @@ def revenue_comparison(
             },
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Pricing-service throughput (beyond the paper: the serving tier)
+# ---------------------------------------------------------------------------
+
+def service_throughput(
+    workload_name: str = "uniform",
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int = 120,
+    num_requests: int = 2000,
+    zipf_s: float = 1.1,
+    num_clients: int = 8,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.001,
+    full_price: float = 100.0,
+    mode: str = "closed",
+    arrival_rate: float | None = None,
+    seed: int = 0,
+) -> FigureData:
+    """Micro-batched concurrent quoting vs one-at-a-time ``QueryMarket.quote``.
+
+    The same Zipf-repeated request stream (``num_requests`` requests over
+    the workload's first ``num_queries`` queries) is served two ways:
+
+    - **sequential** — a bare :class:`~repro.qirana.broker.QueryMarket`,
+      one ``quote`` call at a time (every request re-plans its text; repeats
+      hit the raw-text bundle cache but still re-plan and re-price),
+    - **service** — a :class:`~repro.service.server.PricingService` under
+      ``num_clients`` concurrent closed-loop clients, with the canonical
+      quote cache and the micro-batching scheduler in front of the engine.
+
+    Each side gets its own support set sampled with the same seed, so the
+    bundles are identical and neither inherits the other's warm delta
+    tensors. Price parity across every distinct query is asserted; the
+    artifact carries wall times, speedup, throughput, latency percentiles,
+    and the cache/batch counters that prove which path served the traffic.
+    """
+    from repro.exceptions import ExperimentError
+    from repro.qirana.broker import QueryMarket
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service.loadgen import LoadProfile, run_load, zipf_schedule
+    from repro.service.server import PricingService
+
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    size = support_size if support_size is not None else default_support
+    texts = [query.text for query in workload.queries[:num_queries]]
+
+    # Sequential oracle: the plain market, one quote at a time.
+    sequential_support = workload.support(size=size, seed=seed, mode="row")
+    sequential_market = QueryMarket(sequential_support)
+    sequential_market.set_pricing(
+        uniform_calibrated_pricing(sequential_support, full_price)
+    )
+    schedule = zipf_schedule(
+        len(texts), num_requests, zipf_s, np.random.default_rng(seed)
+    )
+    sequential_start = time.perf_counter()
+    for index in schedule:
+        sequential_market.quote(texts[int(index)])
+    sequential_seconds = time.perf_counter() - sequential_start
+
+    # The service: concurrent clients, canonical cache, micro-batching.
+    # The profile is validated before the scheduler thread exists, so a bad
+    # mode/rate combination cannot leak a running service.
+    profile = LoadProfile(
+        num_requests=num_requests,
+        num_clients=num_clients,
+        zipf_s=zipf_s,
+        mode=mode,
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+    service_support = workload.support(size=size, seed=seed, mode="row")
+    service = PricingService(
+        QueryMarket(service_support),
+        max_batch_size=max_batch_size,
+        max_batch_delay=max_batch_delay,
+    )
+    service.install_pricing(uniform_calibrated_pricing(service_support, full_price))
+    try:
+        report = run_load(service, texts, profile)
+        if report.errors:
+            raise ExperimentError(
+                f"service load run failed: {report.errors} errored requests"
+            )
+        # Price parity: every distinct query must cost exactly what the
+        # sequential oracle charges (same support seed => same bundles).
+        for text in texts:
+            oracle = sequential_market.quote(text).price
+            served = service.quote(text).price
+            if served != oracle:
+                raise ExperimentError(
+                    f"service price {served!r} != sequential price {oracle!r} "
+                    f"for {text!r}"
+                )
+    finally:
+        service.close()
+
+    service_seconds = report.duration_seconds
+    speedup = sequential_seconds / service_seconds if service_seconds > 0 else float("inf")
+    stats = report.service
+    rows = [
+        [
+            "sequential",
+            f"{sequential_seconds:.3f}",
+            "1.0x",
+            f"{num_requests / sequential_seconds:,.0f}",
+        ],
+        [
+            "service",
+            f"{service_seconds:.3f}",
+            f"{speedup:.1f}x",
+            f"{report.throughput_rps:,.0f}",
+        ],
+    ]
+    cache = stats["quote_cache"]
+    text = format_table(
+        ["quoting path", "wall (s)", "speedup", "req/s"],
+        rows,
+        title=(
+            f"{num_requests} requests over {len(texts)} distinct queries "
+            f"(zipf s={zipf_s:g}), {num_clients} clients, |S|={size}, "
+            f"{workload_name} workload"
+        ),
+    )
+    text += (
+        f"\nquote cache: hit rate {cache['hit_rate']:.1%} "
+        f"({cache['hits']} hits / {cache['misses']} misses); "
+        f"micro-batches: {stats['batches']} flushed, "
+        f"mean size {stats['mean_batch_size']:.1f}, max {stats['max_batch_size']}"
+        f"\nlatency: p50 {report.latency.p50_ms:.3f}ms  "
+        f"p99 {report.latency.p99_ms:.3f}ms"
+    )
+    return FigureData(
+        f"service-throughput-{workload_name}",
+        f"pricing-service micro-batched quoting vs sequential ({workload_name})",
+        text,
+        {
+            "seconds": {
+                "sequential": sequential_seconds,
+                "service": service_seconds,
+            },
+            "speedups": {"service": speedup},
+            "speedup_reference": "sequential",
+            "throughput": {
+                "sequential_rps": num_requests / sequential_seconds,
+                "service_rps": report.throughput_rps,
+            },
+            "latency": report.latency.as_dict(),
+            "stats": {
+                "requests": num_requests,
+                "distinct_queries": len(texts),
+                "zipf_s": zipf_s,
+                "clients": num_clients,
+                "support": size,
+                "mode": profile.mode,
+            },
+            "diagnostics": {"service": stats},
+        },
+    )

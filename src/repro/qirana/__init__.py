@@ -21,6 +21,7 @@ from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
 from repro.qirana.conflict import ConflictSetEngine
 from repro.qirana.history import HistoryAwareLedger, MarginalQuote
 from repro.qirana.persistence import (
+    MarketState,
     load_market_state,
     load_pricing,
     save_market_state,
@@ -42,6 +43,7 @@ __all__ = [
     "ConflictSetEngine",
     "HistoryAwareLedger",
     "MarginalQuote",
+    "MarketState",
     "PriceQuote",
     "QueryMarket",
     "Transaction",

@@ -181,10 +181,10 @@ class QueryMarket:
         it (returns ``(None, quote)``); with no valuation the buyer always
         pays. Sales are appended to the ledger.
         """
-        quote = self.quote(query)
+        planned = self._as_query(query)
+        quote = self.quote(planned)
         if valuation is not None and quote.price > valuation:
             return None, quote
-        planned = self._as_query(query)
         answer = planned.run(self.base)
         self.transactions.append(Transaction(buyer, quote.query_text, quote.price))
         return answer, quote

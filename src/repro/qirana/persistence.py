@@ -1,13 +1,17 @@
 """Serialization of pricing functions and market state.
 
 A broker re-optimizes prices offline and ships the result to the serving
-tier; these helpers round-trip the three pricing families (and the broker's
-bundle cache) through plain JSON — no pickle, no code execution on load.
+tier; these helpers round-trip the three pricing families, the broker's
+bundle cache, the transaction ledger, and per-buyer purchase histories
+through plain JSON — no pickle, no code execution on load. The full
+:class:`MarketState` is what :meth:`repro.service.server.PricingService.
+snapshot` / ``restore`` persist across serving-tier restarts.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +24,8 @@ from repro.core.pricing import (
     XOSPricing,
 )
 from repro.exceptions import PricingError
+from repro.qirana.broker import Transaction
+from repro.qirana.history import HistoryAwareLedger
 
 
 def pricing_to_dict(pricing: PricingFunction) -> dict:
@@ -87,22 +93,76 @@ def bundles_from_dict(payload: dict) -> dict[str, frozenset[int]]:
     return {text: frozenset(items) for text, items in payload.items()}
 
 
+@dataclass(frozen=True)
+class MarketState:
+    """Everything a serving tier restores after a restart.
+
+    ``owned`` / ``total_paid`` are the
+    :class:`~repro.qirana.history.HistoryAwareLedger` fields: the union of
+    bundles each buyer holds, and what they have cumulatively paid — without
+    them a restart would re-charge returning buyers full freight.
+    """
+
+    pricing: PricingFunction
+    bundles: dict[str, frozenset[int]]
+    transactions: tuple[Transaction, ...] = ()
+    owned: dict[str, frozenset[int]] = field(default_factory=dict)
+    total_paid: dict[str, float] = field(default_factory=dict)
+
+
 def save_market_state(
     pricing: PricingFunction,
     bundles: dict[str, frozenset[int]],
     path: str | Path,
+    *,
+    transactions: list[Transaction] | tuple[Transaction, ...] = (),
+    ledger: HistoryAwareLedger | None = None,
 ) -> None:
-    """Persist everything the serving tier needs: prices + known bundles."""
+    """Persist everything the serving tier needs.
+
+    Prices and known bundles as before, plus (when given) the completed-sale
+    ledger and the history-aware ledger's per-buyer holdings/payments.
+    """
     payload = {
         "pricing": pricing_to_dict(pricing),
         "bundles": bundles_to_dict(bundles),
+        "transactions": [
+            {"buyer": t.buyer, "query_text": t.query_text, "price": t.price}
+            for t in transactions
+        ],
+        "history": {
+            "owned": (
+                {buyer: sorted(bundle) for buyer, bundle in ledger.owned.items()}
+                if ledger is not None
+                else {}
+            ),
+            "total_paid": dict(ledger.total_paid) if ledger is not None else {},
+        },
     }
     Path(path).write_text(json.dumps(payload, indent=2))
 
 
-def load_market_state(
-    path: str | Path,
-) -> tuple[PricingFunction, dict[str, frozenset[int]]]:
-    """Inverse of :func:`save_market_state`."""
+def load_market_state(path: str | Path) -> MarketState:
+    """Inverse of :func:`save_market_state`.
+
+    Files written before transactions/history were persisted load with
+    empty ledgers (missing keys default), so old snapshots stay readable.
+    """
     payload = json.loads(Path(path).read_text())
-    return pricing_from_dict(payload["pricing"]), bundles_from_dict(payload["bundles"])
+    history = payload.get("history", {})
+    return MarketState(
+        pricing=pricing_from_dict(payload["pricing"]),
+        bundles=bundles_from_dict(payload["bundles"]),
+        transactions=tuple(
+            Transaction(str(t["buyer"]), str(t["query_text"]), float(t["price"]))
+            for t in payload.get("transactions", [])
+        ),
+        owned={
+            str(buyer): frozenset(int(item) for item in items)
+            for buyer, items in history.get("owned", {}).items()
+        },
+        total_paid={
+            str(buyer): float(paid)
+            for buyer, paid in history.get("total_paid", {}).items()
+        },
+    )

@@ -1,0 +1,36 @@
+"""The serving tier: concurrent, cached, micro-batched query pricing.
+
+Where :mod:`repro.qirana` optimizes and prices a *workload*,
+:mod:`repro.service` serves a *request stream*:
+
+- :mod:`repro.service.canonical` — plan-level fingerprints so textual
+  variants of one query share a cache entry,
+- :mod:`repro.service.cache` — bounded, generation-invalidated LRU caching,
+- :mod:`repro.service.server` — :class:`PricingService`, the thread-safe
+  micro-batching facade over :class:`~repro.qirana.broker.QueryMarket`,
+- :mod:`repro.service.loadgen` / :mod:`repro.service.metrics` — synthetic
+  open/closed-loop traffic and latency accounting for benchmarks.
+"""
+
+from repro.service.cache import CacheStats, LRUCache, QuoteCache
+from repro.service.canonical import canonical_form, canonical_key
+from repro.service.loadgen import LoadProfile, LoadReport, run_load, zipf_schedule
+from repro.service.metrics import LatencyRecorder, LatencySummary
+from repro.service.server import BuyerSession, PricingService, ServiceStats
+
+__all__ = [
+    "BuyerSession",
+    "CacheStats",
+    "LRUCache",
+    "LatencyRecorder",
+    "LatencySummary",
+    "LoadProfile",
+    "LoadReport",
+    "PricingService",
+    "QuoteCache",
+    "ServiceStats",
+    "canonical_form",
+    "canonical_key",
+    "run_load",
+    "zipf_schedule",
+]

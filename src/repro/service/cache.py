@@ -1,0 +1,184 @@
+"""Bounded, counter-instrumented caches for the pricing service.
+
+Two layers sit in front of the broker:
+
+- a plan memo (:class:`LRUCache`) from raw request text to its planned query
+  and canonical fingerprint — repeat texts skip the SQL parse/plan entirely,
+- a quote cache (:class:`QuoteCache`) from canonical fingerprint to the
+  served :class:`~repro.qirana.broker.PriceQuote` — textual variants of one
+  query share a single entry.
+
+Both are strict LRU with a hard capacity (the broker's raw-text bundle cache
+is unbounded; the service layer is where boundedness lives) and count hits,
+misses, and evictions. The quote cache is additionally *generation-aware*:
+installing a new pricing bumps the generation, and entries stamped with an
+older generation are dropped on access (a lazy, O(1) invalidation — no
+stop-the-world clear while requests are in flight).
+
+Thread safety: every public method takes the cache's lock; counters and the
+LRU order stay consistent under concurrent quoting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of one cache's counters."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+    stale_drops: int
+    generation: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when the cache was never consulted)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale_drops": self.stale_drops,
+            "generation": self.generation,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """Thread-safe bounded LRU mapping with hit/miss/eviction counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._stale_drops = 0
+
+    def get(self, key, default=None):
+        """Look up ``key``, counting a hit (and refreshing recency) or a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key, value) -> None:
+        """Insert/refresh ``key``, evicting the least-recently-used overflow."""
+        with self._lock:
+            self._store(key, value)
+
+    def _store(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                stale_drops=self._stale_drops,
+                generation=self._generation(),
+            )
+
+    def _generation(self) -> int:
+        return 0
+
+
+class QuoteCache(LRUCache):
+    """LRU quote cache with generation-based invalidation.
+
+    Entries are stamped with the pricing generation current when they were
+    computed. :meth:`bump_generation` (called under the service's market
+    lock whenever a new pricing is installed) makes every older entry
+    stale; stale entries are dropped lazily on their next lookup and
+    counted separately from capacity evictions.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._gen = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._gen
+
+    def bump_generation(self) -> int:
+        """Invalidate every current entry; returns the new generation."""
+        with self._lock:
+            self._gen += 1
+            return self._gen
+
+    def get(self, key, default=None):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            generation, value = entry
+            if generation != self._gen:
+                # Stale pricing: drop the entry so the next miss re-quotes
+                # under the installed pricing.
+                del self._entries[key]
+                self._stale_drops += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value, generation: int | None = None) -> None:
+        """Store ``value`` stamped with ``generation``.
+
+        The service captures the generation *inside* the same market-lock
+        critical section that computed the quote, so a concurrent pricing
+        install can never stamp an old price as fresh; entries offered with
+        an already-stale generation are simply not stored.
+        """
+        with self._lock:
+            stamp = self._gen if generation is None else generation
+            if stamp != self._gen:
+                return
+            self._store(key, (stamp, value))
+
+    def _generation(self) -> int:
+        return self._gen

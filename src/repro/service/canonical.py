@@ -1,0 +1,336 @@
+"""Plan-level query canonicalization for the serving tier.
+
+The broker's bundle cache is keyed by raw SQL text, so ``select * from City
+where ID between 5 and 10`` and the same query with different whitespace,
+keyword case, or a table alias occupy separate entries and each pay a full
+conflict-set computation. Prices, however, are a function of the *planned*
+query alone: two texts with the same plan have the same conflict set against
+every support instance, hence the same bundle and the same price.
+
+:func:`canonical_key` fingerprints the planned query — the normalized plan
+shape plus its literals — so textual variants collapse onto one cache entry:
+
+- whitespace/keyword case vanish at parse time (the fingerprint never sees
+  the text),
+- table aliases are rewritten to the base-table name they stand for
+  (position-disambiguated when the same table is scanned twice, so distinct
+  sides of a self-join never collapse),
+- column/table identifier case is lowered,
+- AND/OR operands and symmetric comparisons are sorted into a canonical
+  order, so ``a = 1 and b = 2`` matches ``b = 2 and a = 1`` and ``1 = a``,
+- output column *names* are ignored (``select Name`` vs ``select Name as n``
+  answer-label differences never change a conflict set).
+
+Supported plans are serialized through the same canonical decomposition the
+conflict backends use (:func:`repro.qirana.shapes.match_shape`), so the
+fingerprint normalizes exactly the structure the engine prices; unmatched
+shapes (DISTINCT, LIMIT, cross joins, ...) fall back to a generic recursive
+walk of the plan tree. The key is a SHA-256 digest of the canonical form;
+:func:`canonical_form` exposes the readable serialization for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.db.database import Database
+from repro.db.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.db.plan import (
+    Aggregate,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.db.query import Query
+from repro.qirana.shapes import QueryShape, SourceSide, match_shape
+
+#: Comparison operators whose operand order carries no meaning.
+_SYMMETRIC_OPS = frozenset({"=", "!="})
+
+
+def _scan_order(plan: PlanNode) -> list[TableScan]:
+    """Every TableScan of the plan, in deterministic left-to-right order."""
+    scans: list[TableScan] = []
+    stack: list[PlanNode] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TableScan):
+            scans.append(node)
+        # children() is left-to-right; reversed() keeps DFS pre-order.
+        stack.extend(reversed(node.children()))
+    return scans
+
+
+class _AliasMap:
+    """Rewrites alias qualifiers to canonical base-table names.
+
+    Each scan's effective alias maps to its table name; when one table is
+    scanned more than once (self-joins), occurrences are disambiguated by
+    scan position (``city@0``, ``city@1``) so aliases of *different* scans
+    never collapse, while any consistent renaming of the aliases does.
+    """
+
+    def __init__(self, plan: PlanNode, catalog: Database | None):
+        self.catalog = catalog
+        scans = _scan_order(plan)
+        counts: dict[str, int] = {}
+        for scan in scans:
+            counts[scan.table.lower()] = counts.get(scan.table.lower(), 0) + 1
+        seen: dict[str, int] = {}
+        self.alias_to_name: dict[str, str] = {}
+        self.tables: list[str] = []
+        for scan in scans:
+            table = scan.table.lower()
+            occurrence = seen.get(table, 0)
+            seen[table] = occurrence + 1
+            name = table if counts[table] == 1 else f"{table}@{occurrence}"
+            self.alias_to_name[scan.effective_alias] = name
+            self.tables.append(table)
+
+    def qualifier(self, qualifier: str | None) -> str:
+        """Canonical name for a column's qualifier (``?`` when unresolvable)."""
+        if qualifier is not None:
+            return self.alias_to_name.get(qualifier.lower(), qualifier.lower())
+        if len(self.alias_to_name) == 1:
+            return next(iter(self.alias_to_name.values()))
+        return "?"
+
+    def unqualified(self, column: str) -> str:
+        """Resolve an unqualified column against the catalog when possible."""
+        if len(self.alias_to_name) == 1:
+            return next(iter(self.alias_to_name.values()))
+        if self.catalog is not None:
+            owners = sorted(
+                {
+                    name
+                    for alias, name in self.alias_to_name.items()
+                    if self.catalog.has_table(name.split("@")[0])
+                    and self.catalog.table(name.split("@")[0]).schema.has_column(column)
+                }
+            )
+            if len(owners) == 1:
+                return owners[0]
+        return "?"
+
+
+def _literal(value) -> str:
+    """Type-tagged literal rendering: 5, 5.0, and '5' stay distinct."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _expr(node: Expr, aliases: _AliasMap) -> str:
+    if isinstance(node, ColumnRef):
+        if node.qualifier is None:
+            owner = aliases.unqualified(node.name.lower())
+        else:
+            owner = aliases.qualifier(node.qualifier)
+        return f"col({owner}.{node.name.lower()})"
+    if isinstance(node, Literal):
+        return f"lit({_literal(node.value)})"
+    if isinstance(node, Comparison):
+        op, left_node, right_node = node.op, node.left, node.right
+        if op in ("<", "<="):
+            # Order comparisons canonicalize to >/>= with flipped operands,
+            # so ``5 < x`` and ``x > 5`` share a form.
+            op = ">" if op == "<" else ">="
+            left_node, right_node = right_node, left_node
+        left = _expr(left_node, aliases)
+        right = _expr(right_node, aliases)
+        if op in _SYMMETRIC_OPS:
+            left, right = sorted((left, right))
+        return f"cmp({op},{left},{right})"
+    if isinstance(node, Between):
+        return (
+            f"between({_expr(node.operand, aliases)},"
+            f"{_expr(node.low, aliases)},{_expr(node.high, aliases)})"
+        )
+    if isinstance(node, Like):
+        negation = "!" if node.negated else ""
+        return f"{negation}like({_expr(node.operand, aliases)},{node.pattern!r})"
+    if isinstance(node, InList):
+        values = ",".join(sorted(_literal(value) for value in node.values))
+        negation = "!" if node.negated else ""
+        return f"{negation}in({_expr(node.operand, aliases)},[{values}])"
+    if isinstance(node, IsNull):
+        negation = "!" if node.negated else ""
+        return f"{negation}isnull({_expr(node.operand, aliases)})"
+    if isinstance(node, (And, Or)):
+        connective = "and" if isinstance(node, And) else "or"
+        parts = sorted(_flatten(node, type(node), aliases))
+        return f"{connective}({','.join(parts)})"
+    if isinstance(node, Not):
+        return f"not({_expr(node.operand, aliases)})"
+    if isinstance(node, Arithmetic):
+        return (
+            f"arith({node.op},{_expr(node.left, aliases)},"
+            f"{_expr(node.right, aliases)})"
+        )
+    # Third-party expression nodes: fall back to class + children (sound —
+    # unknown kinds never collapse with known ones).
+    children = ",".join(_expr(child, aliases) for child in node.children())
+    return f"{type(node).__name__}({children})"
+
+
+def _flatten(node: Expr, connective: type, aliases: _AliasMap) -> list[str]:
+    """Associativity-normalized operands of a nested And/Or chain."""
+    if isinstance(node, connective):
+        return _flatten(node.left, connective, aliases) + _flatten(
+            node.right, connective, aliases
+        )
+    return [_expr(node, aliases)]
+
+
+def _predicate(predicate: Expr | None, aliases: _AliasMap) -> str:
+    """Canonical conjunct-sorted rendering of an optional filter predicate."""
+    if predicate is None:
+        return "-"
+    if isinstance(predicate, And):
+        return ",".join(sorted(_flatten(predicate, And, aliases)))
+    return _expr(predicate, aliases)
+
+
+def _side(side: SourceSide, aliases: _AliasMap) -> str:
+    table = aliases.alias_to_name[side.scan.effective_alias]
+    predicate = _predicate(
+        side.predicate.predicate if side.predicate is not None else None, aliases
+    )
+    return f"{table}[{predicate}]"
+
+
+def _shape_form(shape: QueryShape, ordered: bool, aliases: _AliasMap) -> str:
+    """Serialize the canonical decomposition the conflict backends share."""
+    if shape.single is not None:
+        source = _side(shape.single, aliases)
+    else:
+        levels = []
+        for level in shape.levels:
+            keys = ",".join(
+                # Join equality is symmetric: normalize each key pair's order.
+                "~".join(sorted((_expr(left, aliases), _expr(right, aliases))))
+                for left, right in zip(level.join.left_keys, level.join.right_keys)
+            )
+            levels.append(f"join[{keys}]{_side(level.right, aliases)}")
+        source = _side(shape.leftmost, aliases) + "".join(levels)
+    parts = [f"src({source})"]
+    if shape.residual is not None:
+        parts.append(f"where({_predicate(shape.residual.predicate, aliases)})")
+    if shape.aggregate is not None:
+        groups = ";".join(
+            _expr(item.expr, aliases) for item in shape.aggregate.group_items
+        )
+        specs = ";".join(
+            f"{spec.func.lower()}"
+            f"{'!' if spec.distinct else ''}"
+            f"({_expr(spec.arg, aliases) if spec.arg is not None else '*'})"
+            for spec in shape.aggregate.aggregates
+        )
+        parts.append(f"agg(by:{groups}|{specs})")
+    if shape.having is not None:
+        parts.append(f"having({_predicate(shape.having.predicate, aliases)})")
+    parts.append(
+        "proj(" + ";".join(_expr(item.expr, aliases) for item in shape.project.items) + ")"
+    )
+    if ordered:
+        parts.append("ordered")
+    return "|".join(parts)
+
+
+def _node_form(node: PlanNode, aliases: _AliasMap) -> str:
+    """Generic recursive serialization for shapes match_shape rejects."""
+    if isinstance(node, TableScan):
+        return f"scan({aliases.alias_to_name[node.effective_alias]})"
+    if isinstance(node, Filter):
+        return f"filter({_predicate(node.predicate, aliases)},{_node_form(node.child, aliases)})"
+    if isinstance(node, Project):
+        items = ";".join(_expr(item.expr, aliases) for item in node.items)
+        return f"project({items},{_node_form(node.child, aliases)})"
+    if isinstance(node, Aggregate):
+        groups = ";".join(_expr(item.expr, aliases) for item in node.group_items)
+        specs = ";".join(
+            f"{spec.func.lower()}"
+            f"{'!' if spec.distinct else ''}"
+            f"({_expr(spec.arg, aliases) if spec.arg is not None else '*'})"
+            for spec in node.aggregates
+        )
+        return f"aggregate(by:{groups}|{specs},{_node_form(node.child, aliases)})"
+    if isinstance(node, HashJoin):
+        keys = ",".join(
+            "~".join(sorted((_expr(left, aliases), _expr(right, aliases))))
+            for left, right in zip(node.left_keys, node.right_keys)
+        )
+        return (
+            f"hashjoin([{keys}],{_node_form(node.left, aliases)},"
+            f"{_node_form(node.right, aliases)})"
+        )
+    if isinstance(node, CrossJoin):
+        return (
+            f"crossjoin({_node_form(node.left, aliases)},"
+            f"{_node_form(node.right, aliases)})"
+        )
+    if isinstance(node, Sort):
+        keys = ";".join(
+            f"{_expr(key.expr, aliases)}:{'asc' if key.ascending else 'desc'}"
+            for key in node.keys
+        )
+        return f"sort({keys},{_node_form(node.child, aliases)})"
+    if isinstance(node, Distinct):
+        return f"distinct({_node_form(node.child, aliases)})"
+    if isinstance(node, Limit):
+        return f"limit({node.count},{_node_form(node.child, aliases)})"
+    children = ",".join(_node_form(child, aliases) for child in node.children())
+    return f"{type(node).__name__}({children})"
+
+
+def canonical_form(query: Query, catalog: Database | None = None) -> str:
+    """Readable canonical serialization of a planned query.
+
+    ``catalog`` (the market's base database) lets unqualified columns in
+    multi-table plans resolve to their owning table; without it they render
+    as ``?.column``, which is still deterministic, merely less collapsing.
+    """
+    aliases = _AliasMap(query.plan, catalog)
+    plan = query.plan
+    ordered = query.ordered
+    sort_suffix = ""
+    if isinstance(plan, Sort):
+        # match_shape folds the Sort into the `ordered` flag; the sort keys
+        # themselves still distinguish queries (different ORDER BY columns
+        # produce different answer sequences), so serialize them here.
+        keys = ";".join(
+            f"{_expr(key.expr, aliases)}:{'asc' if key.ascending else 'desc'}"
+            for key in plan.keys
+        )
+        sort_suffix = f"|sortkeys({keys})"
+    shape = match_shape(plan)
+    if shape is not None:
+        return _shape_form(shape, ordered or shape.ordered, aliases) + sort_suffix
+    body = _node_form(plan, aliases)
+    if ordered and not isinstance(plan, Sort):
+        body += "|ordered"
+    return body
+
+
+def canonical_key(query: Query, catalog: Database | None = None) -> str:
+    """SHA-256 fingerprint of :func:`canonical_form` — the cache key."""
+    return hashlib.sha256(
+        canonical_form(query, catalog).encode("utf-8")
+    ).hexdigest()

@@ -1,0 +1,195 @@
+"""Synthetic traffic generation against a :class:`PricingService`.
+
+Serving-tier behavior — cache hit rates, micro-batch coalescing, tail
+latency — only shows up under a realistic *request stream*, not a workload
+list. The load generator turns any workload's queries into such a stream:
+
+- **Zipfian repetition**: request ``i`` asks query ``rank_i`` drawn with
+  probability proportional to ``1 / rank^s`` (per-buyer query traffic is
+  heavily repeated in practice; repetition is what exercises the canonical
+  quote cache).
+- **Closed loop**: ``num_clients`` threads each issue their share of
+  requests back-to-back — the throughput-oriented mode ("how fast can N
+  buyers drain the stream").
+- **Open loop**: requests arrive on a Poisson process at ``arrival_rate``
+  requests/second regardless of completions — the latency-oriented mode
+  (queueing delay shows up in p99 instead of being hidden by back-pressure).
+
+Latencies are recorded per request (:mod:`repro.service.metrics`) and
+reduced to a :class:`LoadReport` carrying throughput, percentiles, and the
+service's cache/batch counters — the payload ``BENCH_service.json`` tracks
+across revisions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+from repro.service.metrics import LatencyRecorder, LatencySummary
+from repro.service.server import PricingService
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of a synthetic request stream."""
+
+    num_requests: int = 500
+    num_clients: int = 4
+    zipf_s: float = 1.1
+    mode: str = "closed"
+    arrival_rate: float | None = None  # requests/second, open loop only
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ServiceError(f"unknown loadgen mode {self.mode!r}")
+        if self.num_requests < 1:
+            raise ServiceError("num_requests must be >= 1")
+        if self.num_clients < 1:
+            raise ServiceError("num_clients must be >= 1")
+        if self.mode == "open" and not self.arrival_rate:
+            raise ServiceError("open-loop load needs an arrival_rate")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    requests: int
+    errors: int
+    duration_seconds: float
+    throughput_rps: float
+    latency: LatencySummary
+    service: dict = field(default_factory=dict)
+    offered_rate_rps: float | None = None
+
+    def as_dict(self) -> dict:
+        payload = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.as_dict(),
+            "service": self.service,
+        }
+        if self.offered_rate_rps is not None:
+            payload["offered_rate_rps"] = self.offered_rate_rps
+        return payload
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.mode}-loop load: {self.requests} requests "
+            f"({self.errors} errors) in {self.duration_seconds:.3f}s "
+            f"= {self.throughput_rps:,.0f} req/s",
+            f"latency: {self.latency}",
+        ]
+        if self.offered_rate_rps is not None:
+            lines.append(f"offered rate: {self.offered_rate_rps:,.0f} req/s")
+        cache = self.service.get("quote_cache")
+        if cache:
+            lines.append(
+                f"quote cache: hit rate {cache['hit_rate']:.1%} "
+                f"({cache['hits']} hits / {cache['misses']} misses, "
+                f"{cache['evictions']} evictions)"
+            )
+        if self.service.get("batches"):
+            lines.append(
+                f"micro-batches: {self.service['batches']} flushed, "
+                f"mean size {self.service['mean_batch_size']:.1f}, "
+                f"max {self.service['max_batch_size']}"
+            )
+        return "\n".join(lines)
+
+
+def zipf_schedule(
+    num_choices: int, num_requests: int, s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Request schedule: ``num_requests`` indices drawn Zipf(s) over ranks.
+
+    Rank ``k`` (0-based) is drawn with probability proportional to
+    ``1 / (k + 1) ** s``; ``s = 0`` degenerates to uniform traffic.
+    """
+    if num_choices < 1:
+        raise ServiceError("zipf_schedule needs at least one query to choose")
+    weights = 1.0 / np.arange(1, num_choices + 1, dtype=float) ** s
+    probabilities = weights / weights.sum()
+    return rng.choice(num_choices, size=num_requests, p=probabilities)
+
+
+def run_load(
+    service: PricingService,
+    texts: list[str],
+    profile: LoadProfile = LoadProfile(),
+) -> LoadReport:
+    """Drive ``service.quote`` with a synthetic stream and measure it."""
+    rng = np.random.default_rng(profile.seed)
+    schedule = zipf_schedule(len(texts), profile.num_requests, profile.zipf_s, rng)
+    recorder = LatencyRecorder()
+    error_lock = threading.Lock()
+    error_count = [0]
+
+    def issue(index: int) -> None:
+        begin = time.perf_counter()
+        try:
+            service.quote(texts[index])
+        except Exception:
+            # Any failure counts as an errored request — a narrower catch
+            # would kill the client thread and silently understate the run.
+            with error_lock:
+                error_count[0] += 1
+        recorder.record(time.perf_counter() - begin)
+
+    start = time.perf_counter()
+    if profile.mode == "closed":
+        # Each client drains a round-robin slice of the schedule
+        # back-to-back; wall time ends when the last client finishes.
+        def client_loop(client: int) -> None:
+            for index in schedule[client :: profile.num_clients]:
+                issue(int(index))
+
+        threads = [
+            threading.Thread(target=client_loop, args=(client,), daemon=True)
+            for client in range(profile.num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        offered = None
+    else:
+        # Open loop: Poisson arrivals at the offered rate, dispatched to a
+        # worker pool; latency includes any queueing behind slow requests.
+        gaps = rng.exponential(1.0 / profile.arrival_rate, size=profile.num_requests)
+        arrivals = np.cumsum(gaps)
+        with ThreadPoolExecutor(max_workers=profile.num_clients) as pool:
+            submitted = []
+            for position, index in enumerate(schedule):
+                due = start + arrivals[position]
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                submitted.append(pool.submit(issue, int(index)))
+            for task in submitted:
+                task.result()
+        offered = float(profile.arrival_rate)
+    duration = time.perf_counter() - start
+
+    total_errors = error_count[0]
+    return LoadReport(
+        mode=profile.mode,
+        requests=profile.num_requests,
+        errors=total_errors,
+        duration_seconds=duration,
+        throughput_rps=profile.num_requests / duration if duration > 0 else 0.0,
+        latency=recorder.summary(),
+        service=service.stats().as_dict(),
+        offered_rate_rps=offered,
+    )

@@ -1,0 +1,78 @@
+"""Latency/throughput instrumentation for the pricing service.
+
+The load generator (and anything else driving :class:`PricingService`) needs
+per-request latency percentiles that survive concurrent recording. A
+:class:`LatencyRecorder` is a thread-safe append-only series of seconds;
+:meth:`LatencyRecorder.summary` reduces it to the usual serving numbers
+(mean/p50/p95/p99/max) in milliseconds via one vectorized percentile call.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Request-latency percentiles, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count}  mean={self.mean_ms:.3f}ms  p50={self.p50_ms:.3f}ms  "
+            f"p95={self.p95_ms:.3f}ms  p99={self.p99_ms:.3f}ms  "
+            f"max={self.max_ms:.3f}ms"
+        )
+
+
+_EMPTY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencyRecorder:
+    """Thread-safe collection of request latencies (seconds in, ms out)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seconds: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._seconds.append(seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seconds)
+
+    def summary(self) -> LatencySummary:
+        with self._lock:
+            if not self._seconds:
+                return _EMPTY
+            millis = np.asarray(self._seconds, dtype=float) * 1e3
+        p50, p95, p99 = np.percentile(millis, [50.0, 95.0, 99.0])
+        return LatencySummary(
+            count=len(millis),
+            mean_ms=float(millis.mean()),
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            max_ms=float(millis.max()),
+        )

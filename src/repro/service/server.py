@@ -1,0 +1,467 @@
+"""``PricingService``: a concurrent, caching, micro-batching pricing front-end.
+
+:class:`~repro.qirana.broker.QueryMarket` is a single-threaded facade — the
+right tool for offline pricing optimization, but not for serving a stream of
+concurrent buyers: every ``quote`` re-plans its text, every distinct text
+pays a full conflict-set computation, and nothing guards the engine's caches
+against interleaved mutation. :class:`PricingService` is the serving tier on
+top of it:
+
+- **Canonical quote cache** — requests are planned once (a bounded raw-text
+  plan memo) and fingerprinted at the plan level
+  (:mod:`repro.service.canonical`), so whitespace/alias variants of one
+  query hit a single bounded LRU entry. Cache hits return without touching
+  the market at all.
+- **Micro-batched quoting** — cache misses are queued and coalesced by a
+  single scheduler thread into ``quote_batch`` calls (flushed when the batch
+  reaches ``max_batch_size`` or the oldest request has waited
+  ``max_batch_delay`` seconds), amortizing the engine's delta-tensor and
+  columnar setup across concurrent traffic exactly as the backend
+  ``prepare`` hook intends.
+- **Serialized market access** — one re-entrant lock guards the market, the
+  transaction ledger, and the history-aware ledger, so concurrent quotes,
+  purchases, and pricing installs interleave safely.
+- **Per-buyer sessions** — :meth:`PricingService.session` wires a buyer to
+  the service's :class:`~repro.qirana.history.HistoryAwareLedger` for
+  marginal (history-aware) quoting and purchasing.
+- **Snapshot/restore** — :meth:`snapshot` persists pricing, known bundles,
+  the transaction ledger, and per-buyer history through
+  :mod:`repro.qirana.persistence`; :meth:`restore` rehydrates a fresh
+  service over the same support set.
+
+Installing a new pricing bumps the quote cache's generation, so stale prices
+are never served after a re-optimization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.pricing import PricingFunction
+from repro.db.query import Query
+from repro.exceptions import PricingError, ServiceError
+from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
+from repro.qirana.history import HistoryAwareLedger, MarginalQuote
+from repro.qirana.persistence import load_market_state, save_market_state
+from repro.service.cache import CacheStats, LRUCache, QuoteCache
+from repro.service.canonical import canonical_key
+from repro.support.generator import SupportSet
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A snapshot of the service's caches, batching, and ledger counters."""
+
+    quotes: CacheStats
+    plans: CacheStats
+    batches: int
+    batched_requests: int
+    max_batch_size: int
+    transactions: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "quote_cache": self.quotes.as_dict(),
+            "plan_memo": self.plans.as_dict(),
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+            "transactions": self.transactions,
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued quote request awaiting a micro-batch flush."""
+
+    query: Query
+    key: str
+    future: Future
+    enqueued: float
+
+
+class PricingService:
+    """Thread-safe serving facade over a :class:`QueryMarket`.
+
+    Parameters
+    ----------
+    market:
+        The wrapped market, or a :class:`SupportSet` to build one over.
+    max_batch_size:
+        Flush the micro-batch as soon as this many misses are queued.
+    max_batch_delay:
+        Flush no later than this many seconds after the *oldest* queued
+        request arrived. Under a burst the scheduler is already busy
+        quoting, so follow-up batches flush immediately; the delay is only
+        ever paid by an isolated miss.
+    cache_capacity / plan_memo_capacity:
+        Bounds for the canonical quote cache and the raw-text plan memo.
+    start:
+        When ``False`` the scheduler thread is not started and misses are
+        quoted synchronously in the calling thread (still batched per
+        call, still cached) — deterministic single-threaded mode for tests
+        and offline scripts.
+    """
+
+    def __init__(
+        self,
+        market: QueryMarket | SupportSet,
+        *,
+        max_batch_size: int = 64,
+        max_batch_delay: float = 0.001,
+        cache_capacity: int = 4096,
+        plan_memo_capacity: int = 8192,
+        start: bool = True,
+    ):
+        if isinstance(market, SupportSet):
+            market = QueryMarket(market)
+        if max_batch_size < 1:
+            raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_batch_delay < 0:
+            raise ServiceError("max_batch_delay must be non-negative")
+        self.market = market
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay = max_batch_delay
+        self._market_lock = threading.RLock()
+        self._quotes = QuoteCache(cache_capacity)
+        self._plans = LRUCache(plan_memo_capacity)
+        self._ledger = HistoryAwareLedger(market.pricing)
+        self._cond = threading.Condition()
+        self._pending: deque[_Pending] = deque()
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        # Batch counters are written by the scheduler thread only.
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the micro-batch scheduler thread (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        with self._cond:
+            self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain_loop, name="pricing-service-batcher", daemon=True
+        )
+        self._worker.start()
+
+    def close(self) -> None:
+        """Flush queued requests, stop the scheduler, reject new submissions."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "PricingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pricing management
+    # ------------------------------------------------------------------
+
+    def install_pricing(self, pricing: PricingFunction) -> None:
+        """Install a new pricing; every cached quote is invalidated."""
+        with self._market_lock:
+            self.market.set_pricing(pricing)
+            self._ledger.pricing = pricing
+            self._quotes.bump_generation()
+
+    def optimize_pricing(
+        self,
+        queries: list[Query | str],
+        valuations,
+        algorithm: PricingAlgorithm,
+    ) -> PricingResult:
+        """Run a pricing algorithm on a workload and install the result."""
+        with self._market_lock:
+            result = self.market.optimize_pricing(queries, valuations, algorithm)
+            self._ledger.pricing = result.pricing
+            self._quotes.bump_generation()
+        return result
+
+    @property
+    def pricing(self) -> PricingFunction | None:
+        return self.market.pricing
+
+    @property
+    def ledger(self) -> HistoryAwareLedger:
+        return self._ledger
+
+    @property
+    def transactions(self) -> list[Transaction]:
+        return self.market.transactions
+
+    @property
+    def revenue(self) -> float:
+        """Total revenue collected so far (delegates to the market)."""
+        return self.market.revenue
+
+    # ------------------------------------------------------------------
+    # Buyer-facing API
+    # ------------------------------------------------------------------
+
+    def quote(self, query: Query | str) -> PriceQuote:
+        """Price a query: canonical-cache hit, or micro-batched miss."""
+        planned, key = self._canonical(query)
+        return self._quote_planned(planned, key)
+
+    def quote_many(self, queries: list[Query | str]) -> list[PriceQuote]:
+        """Price many queries; misses are submitted together for batching."""
+        resolved = [self._canonical(query) for query in queries]
+        misses: list[tuple[int, _Pending]] = []
+        results: list[PriceQuote | None] = []
+        for position, (planned, key) in enumerate(resolved):
+            cached = self._quotes.get(key)
+            if cached is not None:
+                results.append(self._restamp(cached, planned))
+            else:
+                results.append(None)
+                misses.append(
+                    (position, _Pending(planned, key, Future(), time.monotonic()))
+                )
+        if misses:
+            self._enqueue([request for _, request in misses])
+            for position, request in misses:
+                planned, _ = resolved[position]
+                results[position] = self._restamp(request.future.result(), planned)
+        return results
+
+    def purchase(
+        self,
+        query: Query | str,
+        buyer: str,
+        valuation: float | None = None,
+    ) -> tuple[object, PriceQuote]:
+        """Quote-then-sell at the fresh (history-free) price.
+
+        Mirrors :meth:`QueryMarket.purchase`: a buyer with a stated
+        ``valuation`` walks away when the price exceeds it. The answer is
+        computed and the sale appended to the ledger under the market lock,
+        so concurrent purchases never lose transactions.
+        """
+        planned, key = self._canonical(query)
+        quote = self._quote_planned(planned, key)
+        if valuation is not None and quote.price > valuation:
+            return None, quote
+        with self._market_lock:
+            answer = planned.run(self.market.base)
+            self.market.transactions.append(
+                Transaction(buyer, quote.query_text, quote.price)
+            )
+        return answer, quote
+
+    def session(self, buyer: str) -> "BuyerSession":
+        """A per-buyer session with history-aware (marginal) pricing."""
+        return BuyerSession(self, buyer)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> None:
+        """Persist pricing + bundles + transactions + buyer histories."""
+        with self._market_lock:
+            if self.market.pricing is None:
+                raise PricingError("no pricing installed; nothing to snapshot")
+            save_market_state(
+                self.market.pricing,
+                self.market._bundle_cache,
+                path,
+                transactions=self.market.transactions,
+                ledger=self._ledger,
+            )
+
+    def restore(self, path: str | Path) -> None:
+        """Rehydrate pricing, bundles, transactions, and buyer histories.
+
+        The service must wrap a market over the same support set the
+        snapshot was taken against (bundles are support-instance ids).
+        """
+        state = load_market_state(path)
+        with self._market_lock:
+            self.market.set_pricing(state.pricing)
+            self._ledger.pricing = state.pricing
+            self.market._bundle_cache.update(state.bundles)
+            self.market.transactions[:] = list(state.transactions)
+            self._ledger.owned = dict(state.owned)
+            self._ledger.total_paid = dict(state.total_paid)
+            self._quotes.bump_generation()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            quotes=self._quotes.stats(),
+            plans=self._plans.stats(),
+            batches=self._batches,
+            batched_requests=self._batched_requests,
+            max_batch_size=self._max_batch,
+            transactions=len(self.market.transactions),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _canonical(self, query: Query | str) -> tuple[Query, str]:
+        """(planned query, canonical fingerprint), memoized by raw text."""
+        if isinstance(query, Query):
+            return query, canonical_key(query, self.market.base)
+        memo = self._plans.get(query)
+        if memo is None:
+            planned = self.market._as_query(query)
+            memo = (planned, canonical_key(planned, self.market.base))
+            self._plans.put(query, memo)
+        return memo
+
+    @staticmethod
+    def _restamp(quote: PriceQuote, planned: Query) -> PriceQuote:
+        """A cached quote re-labeled with this request's text."""
+        if quote.query_text == planned.text:
+            return quote
+        return PriceQuote(planned.text, quote.price, quote.bundle)
+
+    def _quote_planned(self, planned: Query, key: str) -> PriceQuote:
+        cached = self._quotes.get(key)
+        if cached is not None:
+            return self._restamp(cached, planned)
+        return self._restamp(self._submit(planned, key).result(), planned)
+
+    def _submit(self, planned: Query, key: str) -> Future:
+        request = _Pending(planned, key, Future(), time.monotonic())
+        self._enqueue([request])
+        return request.future
+
+    def _enqueue(self, requests: list[_Pending]) -> None:
+        if self._closed:
+            raise ServiceError("pricing service is closed")
+        if self._worker is None:
+            # Synchronous mode: no scheduler thread, quote in-line (still
+            # one quote_batch call per submission round, still cached).
+            for chunk_start in range(0, len(requests), self.max_batch_size):
+                self._execute(
+                    requests[chunk_start : chunk_start + self.max_batch_size]
+                )
+            return
+        with self._cond:
+            if self._closed:
+                raise ServiceError("pricing service is closed")
+            self._pending.extend(requests)
+            self._cond.notify_all()
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Block until a micro-batch is due; ``None`` when closed and drained."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending:
+                return None  # closed and drained
+            # The batching window is anchored at the *oldest* request: if it
+            # queued while the scheduler was busy with the previous batch,
+            # its window has already elapsed and the flush is immediate.
+            deadline = self._pending[0].enqueued + self.max_batch_delay
+            while len(self._pending) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            size = min(len(self._pending), self.max_batch_size)
+            return [self._pending.popleft() for _ in range(size)]
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        try:
+            with self._market_lock:
+                quotes = self.market.quote_batch([item.query for item in batch])
+                # Captured inside the same critical section that priced the
+                # batch: a concurrent install_pricing cannot stamp these
+                # quotes with a generation they were not priced under.
+                generation = self._quotes.generation
+        except BaseException as exc:  # propagate to every waiter
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        self._batches += 1
+        self._batched_requests += len(batch)
+        self._max_batch = max(self._max_batch, len(batch))
+        for item, quote in zip(batch, quotes):
+            self._quotes.put(item.key, quote, generation=generation)
+            item.future.set_result(quote)
+
+
+class BuyerSession:
+    """History-aware buyer session: marginal quotes against owned bundles.
+
+    Returning buyers pay only for new information
+    (:class:`~repro.qirana.history.HistoryAwareLedger`); the session routes
+    bundle computation through the service's canonical cache and batcher,
+    then applies marginal pricing under the market lock.
+    """
+
+    def __init__(self, service: PricingService, buyer: str):
+        self.service = service
+        self.buyer = buyer
+
+    def quote(self, query: Query | str) -> MarginalQuote:
+        """Fresh + marginal price of a query for this buyer."""
+        fresh = self.service.quote(query)
+        with self.service._market_lock:
+            return self.service._ledger.quote(self.buyer, fresh.bundle)
+
+    def purchase(
+        self, query: Query | str, valuation: float | None = None
+    ) -> tuple[object, MarginalQuote]:
+        """Buy at the marginal price (walks away when over ``valuation``)."""
+        planned, key = self.service._canonical(query)
+        fresh = self.service._quote_planned(planned, key)
+        with self.service._market_lock:
+            marginal = self.service._ledger.quote(self.buyer, fresh.bundle)
+            if valuation is not None and marginal.marginal_price > valuation:
+                return None, marginal
+            self.service._ledger.record_purchase(self.buyer, fresh.bundle)
+            answer = planned.run(self.service.market.base)
+            self.service.market.transactions.append(
+                Transaction(self.buyer, planned.text, marginal.marginal_price)
+            )
+        return answer, marginal
+
+    @property
+    def holdings(self) -> frozenset[int]:
+        with self.service._market_lock:
+            return self.service._ledger.holdings(self.buyer)
+
+    @property
+    def total_paid(self) -> float:
+        with self.service._market_lock:
+            return self.service._ledger.total_paid.get(self.buyer, 0.0)

@@ -1,5 +1,7 @@
 """Tests for the experiment harness, report rendering and the CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -105,3 +107,31 @@ class TestCLI:
 
     def test_unknown_figure_id(self, capsys):
         assert cli_main(["figure", "fig99-bogus"]) == 2
+
+    def test_loadgen_command_small(self, capsys):
+        code = cli_main(
+            [
+                "loadgen", "--workload", "uniform", "--scale", "0.1",
+                "--support", "60", "--queries", "20", "--requests", "100",
+                "--clients", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "req/s" in output and "quote cache" in output
+
+    def test_serve_bench_command_small(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_service.json"
+        code = cli_main(
+            [
+                "serve-bench", "--workload", "uniform", "--scale", "0.1",
+                "--support", "60", "--queries", "20", "--requests", "300",
+                "--clients", "2", "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "service-throughput-uniform" in output
+        payload = json.loads(json_path.read_text())
+        assert "speedups" in payload and "latency" in payload
+        assert payload["diagnostics"]["service"]["quote_cache"]["hits"] > 0

@@ -139,9 +139,69 @@ class TestPersistence:
         }
         path = tmp_path / "market.json"
         save_market_state(item_pricing, bundles, path)
-        pricing, loaded_bundles = load_market_state(path)
-        assert loaded_bundles == bundles
-        assert pricing.price(frozenset({1, 2})) == item_pricing.price(frozenset({1, 2}))
+        state = load_market_state(path)
+        assert state.bundles == bundles
+        assert state.pricing.price(frozenset({1, 2})) == item_pricing.price(
+            frozenset({1, 2})
+        )
+        # Nothing was recorded, so the optional sections load empty.
+        assert state.transactions == ()
+        assert state.owned == {}
+        assert state.total_paid == {}
+
+    def test_market_state_roundtrips_ledgers(self, tmp_path, item_pricing):
+        """Regression: transactions + history-aware state survive a restart."""
+        from repro.qirana.broker import Transaction
+        from repro.qirana.history import HistoryAwareLedger
+
+        ledger = HistoryAwareLedger(item_pricing)
+        ledger.record_purchase("alice", frozenset({0, 1}))
+        ledger.record_purchase("alice", frozenset({1, 2}))
+        ledger.record_purchase("bob", frozenset({3}))
+        transactions = [
+            Transaction("alice", "select 1 from T", 3.0),
+            Transaction("alice", "select 2 from T", 3.0),
+            Transaction("bob", "select 3 from T", 4.0),
+        ]
+        path = tmp_path / "market.json"
+        save_market_state(
+            item_pricing,
+            {"select 1 from T": frozenset({1, 2})},
+            path,
+            transactions=transactions,
+            ledger=ledger,
+        )
+        state = load_market_state(path)
+        assert state.transactions == tuple(transactions)
+        assert state.owned == ledger.owned
+        assert state.total_paid == pytest.approx(ledger.total_paid)
+        # The restored state rebuilds a ledger whose telescoping invariant
+        # still holds — returning buyers are not re-charged.
+        restored = HistoryAwareLedger(
+            state.pricing, dict(state.owned), dict(state.total_paid)
+        )
+        assert restored.cumulative_price_consistent("alice")
+        assert restored.quote("alice", frozenset({0, 1, 2})).marginal_price == 0.0
+
+    def test_legacy_state_without_ledgers_loads(self, tmp_path, item_pricing):
+        """Snapshot files from before transactions/history stay readable."""
+        import json
+
+        from repro.qirana.persistence import bundles_to_dict, pricing_to_dict
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "pricing": pricing_to_dict(item_pricing),
+                    "bundles": bundles_to_dict({"q": frozenset({1})}),
+                }
+            )
+        )
+        state = load_market_state(path)
+        assert state.bundles == {"q": frozenset({1})}
+        assert state.transactions == ()
+        assert state.owned == {}
 
     def test_loaded_pricing_prices_quotes_identically(
         self, tmp_path, mini_support
@@ -155,10 +215,10 @@ class TestPersistence:
         path = tmp_path / "state.json"
         save_market_state(market.pricing, market._bundle_cache, path)
 
-        pricing, bundles = load_market_state(path)
+        state = load_market_state(path)
         fresh_market = QueryMarket(mini_support)
-        fresh_market.set_pricing(pricing)
-        fresh_market._bundle_cache.update(bundles)
+        fresh_market.set_pricing(state.pricing)
+        fresh_market._bundle_cache.update(state.bundles)
         for sql in queries:
             assert fresh_market.quote(sql).price == pytest.approx(
                 market.quote(sql).price

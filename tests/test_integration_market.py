@@ -93,10 +93,10 @@ class TestFullPipeline:
         market, _ = priced_market
         path = tmp_path / "state.json"
         save_market_state(market.pricing, market._bundle_cache, path)
-        pricing, bundles = load_market_state(path)
+        state = load_market_state(path)
         fresh = QueryMarket(market.support)
-        fresh.set_pricing(pricing)
-        fresh._bundle_cache.update(bundles)
+        fresh.set_pricing(state.pricing)
+        fresh._bundle_cache.update(state.bundles)
         for query in workload.queries[:8]:
             assert fresh.quote(query).price == pytest.approx(
                 market.quote(query).price

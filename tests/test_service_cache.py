@@ -1,0 +1,124 @@
+"""Unit tests for the service's bounded LRU and generation-aware caches."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.cache import LRUCache, QuoteCache
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.requests == 2
+        assert stats.hit_rate == 0.5
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes a
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_size_is_bounded(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats().evictions == 7
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServiceError, match="capacity"):
+            LRUCache(0)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert LRUCache(1).stats().hit_rate == 0.0
+
+    def test_concurrent_puts_and_gets_stay_bounded(self):
+        cache = LRUCache(16)
+
+        def worker(base: int) -> None:
+            for i in range(300):
+                cache.put((base, i % 32), i)
+                cache.get((base, (i + 1) % 32))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats()
+        assert len(cache) <= 16
+        assert stats.requests == 1200
+
+
+class TestQuoteCacheGenerations:
+    def test_fresh_entry_hits(self):
+        cache = QuoteCache(4)
+        cache.put("k", "quote")
+        assert cache.get("k") == "quote"
+
+    def test_bump_invalidates_lazily(self):
+        cache = QuoteCache(4)
+        cache.put("k", "old")
+        cache.bump_generation()
+        assert cache.get("k") is None  # stale entry dropped on access
+        stats = cache.stats()
+        assert stats.stale_drops == 1
+        assert stats.misses == 1
+        assert len(cache) == 0
+
+    def test_new_generation_entries_hit_after_bump(self):
+        cache = QuoteCache(4)
+        cache.put("k", "old")
+        cache.bump_generation()
+        cache.put("k", "new")
+        assert cache.get("k") == "new"
+
+    def test_put_with_stale_generation_is_dropped(self):
+        # The service stamps entries with the generation captured while the
+        # quote was computed; if a pricing install raced in between, the
+        # stale-priced quote must never be stored.
+        cache = QuoteCache(4)
+        generation = cache.generation
+        cache.bump_generation()
+        cache.put("k", "priced-under-old-generation", generation=generation)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_generation_is_reported_in_stats(self):
+        cache = QuoteCache(4)
+        assert cache.stats().generation == 0
+        cache.bump_generation()
+        cache.bump_generation()
+        assert cache.stats().generation == 2
+
+    def test_stats_as_dict_round_trips_counters(self):
+        cache = QuoteCache(4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        payload = cache.stats().as_dict()
+        assert payload["hits"] == 1
+        assert payload["misses"] == 1
+        assert payload["hit_rate"] == 0.5
+        assert payload["capacity"] == 4

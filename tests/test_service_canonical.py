@@ -1,0 +1,163 @@
+"""Unit tests for the plan-level query canonicalizer."""
+
+import pytest
+
+from repro.db.query import sql_query
+from repro.service.canonical import canonical_form, canonical_key
+
+
+@pytest.fixture
+def key(mini_db):
+    def compute(sql: str) -> str:
+        return canonical_key(sql_query(sql, mini_db), mini_db)
+
+    return compute
+
+
+class TestTextualVariantsCollapse:
+    def test_whitespace_and_keyword_case(self, key):
+        assert key("select Name from Country where Population > 1000") == key(
+            "SELECT   Name\nFROM Country\n  WHERE Population > 1000"
+        )
+
+    def test_identifier_case(self, key):
+        assert key("select name from country where population > 1000") == key(
+            "select Name from Country where Population > 1000"
+        )
+
+    def test_table_alias(self, key):
+        assert key(
+            "select c.Name from Country as c where c.Population > 1000"
+        ) == key("select Name from Country where Population > 1000")
+
+    def test_alias_without_as(self, key):
+        assert key("select c.Name from Country c where c.Continent = 'Asia'") == key(
+            "select Name from Country where Continent = 'Asia'"
+        )
+
+    def test_output_column_alias_is_ignored(self, key):
+        # Output labels never change a conflict set, hence never a price.
+        assert key("select Name as n from Country") == key("select Name from Country")
+
+    def test_conjunct_order(self, key):
+        assert key(
+            "select Name from Country where Population > 10 and Continent = 'Asia'"
+        ) == key(
+            "select Name from Country where Continent = 'Asia' and Population > 10"
+        )
+
+    def test_flipped_inequality(self, key):
+        assert key("select Name from Country where Population > 1000") == key(
+            "select Name from Country where 1000 < Population"
+        )
+
+    def test_symmetric_comparison_operand_order(self, key):
+        assert key("select Name from Country where Continent = 'Asia'") == key(
+            "select Name from Country where 'Asia' = Continent"
+        )
+
+    def test_join_alias_renaming(self, key):
+        left = key(
+            "select c.Name from City c, Country o "
+            "where c.CountryCode = o.Code and o.Continent = 'Asia'"
+        )
+        right = key(
+            "select x.Name from City x, Country y "
+            "where x.CountryCode = y.Code and y.Continent = 'Asia'"
+        )
+        assert left == right
+
+    def test_join_key_side_order(self, key):
+        assert key(
+            "select c.Name from City c, Country o where c.CountryCode = o.Code"
+        ) == key(
+            "select c.Name from City c, Country o where o.Code = c.CountryCode"
+        )
+
+
+class TestDistinctQueriesStayDistinct:
+    def test_different_literal(self, key):
+        assert key("select Name from Country where Population > 1000") != key(
+            "select Name from Country where Population > 1001"
+        )
+
+    def test_literal_type_tags(self, key):
+        # 1000 (int) and 1000.0 (float) are different plans on purpose.
+        assert key("select Name from Country where Population > 1000") != key(
+            "select Name from Country where Population > 1000.0"
+        )
+
+    def test_different_column(self, key):
+        assert key("select Name from Country") != key("select Code from Country")
+
+    def test_projection_order_matters(self, key):
+        assert key("select Name, Code from Country") != key(
+            "select Code, Name from Country"
+        )
+
+    def test_order_by_is_part_of_the_query(self, key):
+        unordered = key("select Name from Country")
+        ordered = key("select Name from Country order by Name")
+        descending = key("select Name from Country order by Name desc")
+        assert len({unordered, ordered, descending}) == 3
+
+    def test_aggregate_vs_plain(self, key):
+        assert key("select count(Name) from Country") != key(
+            "select Name from Country"
+        )
+
+    def test_group_by_keys_matter(self, key):
+        assert key(
+            "select Continent, count(*) from Country group by Continent"
+        ) != key("select Region, count(*) from Country group by Region")
+
+    def test_self_join_aliases_do_not_collapse(self, mini_db):
+        # Both scans are Country: positional disambiguation must keep a
+        # projection of side A distinct from a projection of side B.
+        a = sql_query(
+            "select a.Name from Country a, Country b where a.Code = b.Code",
+            mini_db,
+        )
+        b = sql_query(
+            "select b.Name from Country a, Country b where a.Code = b.Code",
+            mini_db,
+        )
+        assert canonical_key(a, mini_db) != canonical_key(b, mini_db)
+
+
+class TestFallbackShapes:
+    """Plans match_shape rejects still fingerprint deterministically."""
+
+    def test_distinct_and_limit(self, key):
+        plain = key("select Name from Country")
+        distinct = key("select distinct Name from Country")
+        limited = key("select Name from Country limit 2")
+        assert len({plain, distinct, limited}) == 3
+
+    def test_limit_count_matters(self, key):
+        assert key("select Name from Country limit 2") != key(
+            "select Name from Country limit 3"
+        )
+
+    def test_fallback_still_collapses_whitespace(self, key):
+        assert key("select distinct Name from Country") == key(
+            "SELECT DISTINCT  Name  FROM  Country"
+        )
+
+
+class TestCanonicalForm:
+    def test_readable_form_mentions_normalized_names(self, mini_db):
+        form = canonical_form(
+            sql_query("select c.Name from Country c where c.Population > 7", mini_db),
+            mini_db,
+        )
+        assert "col(country.name)" in form
+        assert "lit(int:7)" in form
+        assert "c." not in form  # the alias itself never leaks into the form
+
+    def test_form_without_catalog_is_deterministic(self, mini_db):
+        query = sql_query(
+            "select c.Name from City c, Country o where c.CountryCode = o.Code",
+            mini_db,
+        )
+        assert canonical_form(query) == canonical_form(query)

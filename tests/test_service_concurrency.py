@@ -1,0 +1,145 @@
+"""Concurrency tests: N threads hammering PricingService vs a sequential oracle.
+
+The service's claims under concurrency are (1) every served price equals
+what a single-threaded :class:`QueryMarket` would have quoted, (2) the cache
+counters stay consistent (every lookup is exactly one hit or one miss — no
+lost or double-counted updates), and (3) concurrent purchases never lose
+transactions. Threads interleave through the canonical cache, the
+micro-batch queue, and the market lock; any unsynchronized path shows up as
+a price mismatch or a counter drift here.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import PricingService, zipf_schedule
+
+QUERIES = [
+    "select Name from Country",
+    "select Code from Country where Population > 20000000",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+    "select CountryCode from CountryLanguage where Percentage > 90",
+    "select max(LifeExpectancy) from Country",
+    "select Name from Country where Continent = 'Europe'",
+]
+
+NUM_THREADS = 8
+REQUESTS_PER_THREAD = 60
+
+
+@pytest.fixture
+def oracle(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return market
+
+
+@pytest.fixture
+def service(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    with PricingService(market, max_batch_size=16, max_batch_delay=0.0005) as service:
+        yield service
+
+
+def _hammer(service, schedules, worker):
+    threads = [
+        threading.Thread(target=worker, args=(thread_id, schedule))
+        for thread_id, schedule in enumerate(schedules)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentQuoting:
+    def test_prices_match_sequential_oracle(self, service, oracle):
+        rng = np.random.default_rng(5)
+        schedules = [
+            zipf_schedule(len(QUERIES), REQUESTS_PER_THREAD, 1.0, rng)
+            for _ in range(NUM_THREADS)
+        ]
+        expected = {sql: oracle.quote(sql).price for sql in QUERIES}
+        failures: list[str] = []
+
+        def worker(thread_id: int, schedule) -> None:
+            for index in schedule:
+                sql = QUERIES[int(index)]
+                quote = service.quote(sql)
+                if quote.price != expected[sql] or quote.query_text != sql:
+                    failures.append(
+                        f"thread {thread_id}: {sql!r} -> {quote.price} "
+                        f"(expected {expected[sql]})"
+                    )
+
+        _hammer(service, schedules, worker)
+        assert not failures, failures[:5]
+
+        stats = service.stats()
+        total = NUM_THREADS * REQUESTS_PER_THREAD
+        # Counter consistency: every request consulted the quote cache
+        # exactly once, and every miss went through exactly one micro-batch.
+        assert stats.quotes.hits + stats.quotes.misses == total
+        assert stats.batched_requests == stats.quotes.misses
+        assert stats.quotes.misses >= len(QUERIES)  # each query was cold once
+        assert stats.quotes.hits > 0
+
+    def test_no_lost_transactions(self, service):
+        purchases_per_thread = 25
+
+        def worker(thread_id: int, _schedule) -> None:
+            for i in range(purchases_per_thread):
+                sql = QUERIES[(thread_id + i) % len(QUERIES)]
+                answer, _quote = service.purchase(sql, buyer=f"buyer-{thread_id}")
+                assert answer is not None
+
+        _hammer(service, [None] * NUM_THREADS, worker)
+        assert len(service.transactions) == NUM_THREADS * purchases_per_thread
+        per_buyer = {
+            buyer: sum(1 for t in service.transactions if t.buyer == buyer)
+            for buyer in {t.buyer for t in service.transactions}
+        }
+        assert all(count == purchases_per_thread for count in per_buyer.values())
+
+    def test_concurrent_sessions_keep_ledgers_consistent(self, service):
+        def worker(thread_id: int, _schedule) -> None:
+            session = service.session(f"buyer-{thread_id}")
+            for i in range(10):
+                session.purchase(QUERIES[(thread_id + i) % len(QUERIES)])
+
+        _hammer(service, [None] * NUM_THREADS, worker)
+        # Telescoping invariant per buyer survives the interleaving: what a
+        # buyer paid in total equals the one-shot price of their holdings.
+        for thread_id in range(NUM_THREADS):
+            assert service.ledger.cumulative_price_consistent(f"buyer-{thread_id}")
+
+    def test_pricing_install_mid_stream_never_serves_mixed_prices(
+        self, service, mini_support
+    ):
+        """After an install quiesces, every quote reflects the new pricing."""
+        base = uniform_calibrated_pricing(mini_support, 100.0)
+        doubled = type(base)(base.weights * 2.0)
+        barrier = threading.Barrier(NUM_THREADS + 1)
+
+        def worker(thread_id: int, _schedule) -> None:
+            barrier.wait()
+            for i in range(40):
+                service.quote(QUERIES[(thread_id + i) % len(QUERIES)])
+
+        installer = threading.Thread(
+            target=lambda: (barrier.wait(), service.install_pricing(doubled))
+        )
+        installer.start()
+        _hammer(service, [None] * NUM_THREADS, worker)
+        installer.join()
+        oracle = QueryMarket(mini_support)
+        oracle.set_pricing(doubled)
+        for sql in QUERIES:
+            assert service.quote(sql).price == oracle.quote(sql).price

@@ -1,0 +1,156 @@
+"""Smoke tests for the load generator and latency metrics (tier-1 CI).
+
+A small closed-loop and open-loop run against a real service over the mini
+database — the CI smoke for the whole serving path (plan memo, canonical
+cache, micro-batcher, metrics) at a scale that costs well under a second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import LoadProfile, PricingService, run_load, zipf_schedule
+from repro.service.metrics import LatencyRecorder
+
+QUERIES = [
+    "select Name from Country",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Code from Country where Continent = 'Europe'",
+]
+
+
+@pytest.fixture
+def service(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    with PricingService(market, max_batch_delay=0.0005) as service:
+        yield service
+
+
+class TestZipfSchedule:
+    def test_deterministic_and_in_range(self):
+        a = zipf_schedule(10, 200, 1.1, np.random.default_rng(3))
+        b = zipf_schedule(10, 200, 1.1, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 10
+        assert len(a) == 200
+
+    def test_skew_prefers_low_ranks(self):
+        schedule = zipf_schedule(50, 2000, 1.5, np.random.default_rng(0))
+        counts = np.bincount(schedule, minlength=50)
+        assert counts[0] == counts.max()
+        assert counts[0] > 10 * counts[49]
+
+    def test_zero_skew_is_uniform(self):
+        schedule = zipf_schedule(4, 4000, 0.0, np.random.default_rng(1))
+        counts = np.bincount(schedule, minlength=4)
+        assert counts.min() > 800  # ~1000 each
+
+    def test_needs_at_least_one_query(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            zipf_schedule(0, 10, 1.0, np.random.default_rng(0))
+
+
+class TestLoadProfileValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ServiceError, match="mode"):
+            LoadProfile(mode="sideways")
+
+    def test_open_loop_needs_a_rate(self):
+        with pytest.raises(ServiceError, match="arrival_rate"):
+            LoadProfile(mode="open")
+
+    def test_positive_counts(self):
+        with pytest.raises(ServiceError, match="num_requests"):
+            LoadProfile(num_requests=0)
+        with pytest.raises(ServiceError, match="num_clients"):
+            LoadProfile(num_clients=0)
+
+
+class TestClosedLoop:
+    def test_smoke_run_accounts_for_every_request(self, service):
+        profile = LoadProfile(num_requests=120, num_clients=4, zipf_s=1.1, seed=2)
+        report = run_load(service, QUERIES, profile)
+        assert report.mode == "closed"
+        assert report.requests == 120
+        assert report.errors == 0
+        assert report.latency.count == 120
+        assert report.throughput_rps > 0
+        cache = report.service["quote_cache"]
+        assert cache["hits"] + cache["misses"] == 120
+        assert cache["hits"] > 0  # repetition exercised the cache
+        assert report.service["batches"] >= 1
+        assert "req/s" in str(report)
+
+    def test_quoting_errors_are_counted_not_raised(self, mini_support):
+        # No pricing installed: every request errors, the run still reports.
+        with PricingService(QueryMarket(mini_support)) as unpriced:
+            report = run_load(
+                unpriced, QUERIES, LoadProfile(num_requests=20, num_clients=2)
+            )
+        assert report.errors == 20
+        assert report.latency.count == 20
+
+    def test_unexpected_errors_do_not_kill_client_threads(self, service, monkeypatch):
+        # A non-ReproError from the engine must count as an errored request,
+        # not silently kill the client thread (which would understate the run).
+        import threading
+
+        calls = [0]
+        call_lock = threading.Lock()
+        real_quote = service.quote
+
+        def flaky(sql):
+            with call_lock:
+                calls[0] += 1
+                fail = calls[0] % 3 == 0
+            if fail:
+                raise RuntimeError("engine bug")
+            return real_quote(sql)
+
+        monkeypatch.setattr(service, "quote", flaky)
+        report = run_load(
+            service, QUERIES, LoadProfile(num_requests=30, num_clients=3, seed=7)
+        )
+        assert report.latency.count == 30
+        assert report.errors == 10
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_record_offered_rate(self, service):
+        profile = LoadProfile(
+            num_requests=80,
+            num_clients=4,
+            mode="open",
+            arrival_rate=4000.0,
+            seed=3,
+        )
+        report = run_load(service, QUERIES, profile)
+        assert report.mode == "open"
+        assert report.offered_rate_rps == 4000.0
+        assert report.requests == 80
+        assert report.errors == 0
+        assert report.latency.count == 80
+        assert "offered rate" in str(report)
+        assert report.as_dict()["offered_rate_rps"] == 4000.0
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_zero(self):
+        summary = LatencyRecorder().summary()
+        assert summary.count == 0
+        assert summary.p99_ms == 0.0
+
+    def test_percentiles_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        for value in (0.001, 0.002, 0.003, 0.004):
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean_ms == pytest.approx(2.5)
+        assert summary.p50_ms == pytest.approx(2.5)
+        assert summary.max_ms == pytest.approx(4.0)
+        assert summary.as_dict()["p95_ms"] >= summary.p50_ms

@@ -1,0 +1,208 @@
+"""Unit tests for PricingService: caching, batching, sessions, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import ItemPricing
+from repro.exceptions import PricingError, ServiceError
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import PricingService
+
+QUERIES = [
+    "select Name from Country",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+]
+
+
+@pytest.fixture
+def market(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return market
+
+
+@pytest.fixture
+def service(market):
+    with PricingService(market, max_batch_delay=0.0005) as service:
+        yield service
+
+
+@pytest.fixture
+def sync_service(mini_support):
+    """Single-threaded service (no scheduler): deterministic counters."""
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return PricingService(market, start=False)
+
+
+class TestQuoting:
+    def test_prices_match_the_plain_market(self, service, mini_support):
+        oracle = QueryMarket(mini_support)
+        oracle.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        for sql in QUERIES:
+            served = service.quote(sql)
+            expected = oracle.quote(sql)
+            assert served.price == expected.price
+            assert served.bundle == expected.bundle
+            assert served.query_text == sql
+
+    def test_repeat_text_hits_the_cache(self, sync_service):
+        sync_service.quote(QUERIES[0])
+        sync_service.quote(QUERIES[0])
+        stats = sync_service.stats()
+        assert stats.quotes.hits == 1
+        assert stats.quotes.misses == 1
+
+    def test_textual_variants_share_one_entry(self, sync_service):
+        # The acceptance bar: whitespace/alias variants of one query are
+        # cache hits, not fresh conflict computations.
+        cold = sync_service.quote("select Name from Country where Population > 1000")
+        variants = [
+            "SELECT Name  FROM Country\nWHERE Population > 1000",
+            "select c.Name from Country as c where c.Population > 1000",
+            "select Name from Country c where 1000 < c.Population",
+        ]
+        for variant in variants:
+            quote = sync_service.quote(variant)
+            assert quote.price == cold.price
+            assert quote.bundle == cold.bundle
+            assert quote.query_text == variant
+        stats = sync_service.stats()
+        assert stats.quotes.hits == len(variants)
+        assert stats.quotes.misses == 1
+        assert stats.batches == 1  # one micro-batch computed the one miss
+
+    def test_quote_many_mixes_hits_and_misses(self, sync_service):
+        sync_service.quote(QUERIES[0])
+        quotes = sync_service.quote_many(QUERIES)
+        assert [quote.query_text for quote in quotes] == QUERIES
+        stats = sync_service.stats()
+        assert stats.quotes.hits == 1
+        assert stats.quotes.misses == len(QUERIES)
+
+    def test_unpriced_market_raises_through_the_batcher(self, mini_support):
+        with PricingService(QueryMarket(mini_support)) as service:
+            with pytest.raises(PricingError, match="no pricing installed"):
+                service.quote(QUERIES[0])
+
+    def test_closed_service_rejects_quotes(self, market):
+        service = PricingService(market)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.quote(QUERIES[0])
+
+    def test_close_is_idempotent(self, market):
+        service = PricingService(market)
+        service.close()
+        service.close()
+
+
+class TestPricingInstalls:
+    def test_install_invalidates_cached_quotes(self, sync_service, mini_support):
+        before = sync_service.quote(QUERIES[0])
+        doubled = ItemPricing(
+            uniform_calibrated_pricing(mini_support, 100.0).weights * 2.0
+        )
+        sync_service.install_pricing(doubled)
+        after = sync_service.quote(QUERIES[0])
+        assert after.price == pytest.approx(2.0 * before.price)
+        assert sync_service.stats().quotes.stale_drops == 1
+
+    def test_optimize_pricing_runs_and_invalidates(self, mini_support):
+        from repro.core.algorithms import get_algorithm
+
+        service = PricingService(QueryMarket(mini_support), start=False)
+        result = service.optimize_pricing(
+            QUERIES[:2], [30.0, 10.0], get_algorithm("lpip")
+        )
+        assert service.pricing is result.pricing
+        assert service.quote(QUERIES[0]).price >= 0.0
+
+
+class TestPurchases:
+    def test_purchase_records_transaction(self, sync_service):
+        answer, quote = sync_service.purchase(QUERIES[0], buyer="alice")
+        assert answer is not None
+        assert len(sync_service.transactions) == 1
+        assert sync_service.transactions[0].price == quote.price
+
+    def test_budget_buyer_walks_away(self, sync_service):
+        answer, quote = sync_service.purchase(
+            QUERIES[0], buyer="alice", valuation=quote_below(sync_service)
+        )
+        assert answer is None
+        assert sync_service.transactions == []
+
+    def test_session_marginal_pricing_telescopes(self, sync_service):
+        session = sync_service.session("alice")
+        first = session.quote(QUERIES[0])
+        assert first.marginal_price == first.fresh_price
+        session.purchase(QUERIES[0])
+        again = session.quote(QUERIES[0])
+        assert again.marginal_price == 0.0  # fully owned
+        session.purchase(QUERIES[2])
+        expected = sync_service.pricing.price(session.holdings)
+        assert session.total_paid == pytest.approx(expected)
+
+    def test_session_walks_away_on_marginal_price(self, sync_service):
+        session = sync_service.session("bob")
+        answer, marginal = session.purchase(QUERIES[0], valuation=-1.0)
+        assert answer is None
+        assert session.holdings == frozenset()
+        assert sync_service.transactions == []
+
+    def test_sessions_are_per_buyer(self, sync_service):
+        sync_service.session("alice").purchase(QUERIES[0])
+        bob = sync_service.session("bob").quote(QUERIES[0])
+        assert bob.marginal_price == bob.fresh_price
+
+
+def quote_below(service) -> float:
+    """A valuation strictly below the query's price (price is > 0 here)."""
+    return service.quote(QUERIES[0]).price - 1e-6
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_everything(self, sync_service, mini_support, tmp_path):
+        session = sync_service.session("alice")
+        session.purchase(QUERIES[0])
+        session.purchase(QUERIES[2])
+        sync_service.purchase(QUERIES[1], buyer="carol")
+        path = tmp_path / "service.json"
+        sync_service.snapshot(path)
+
+        fresh = PricingService(QueryMarket(mini_support), start=False)
+        fresh.restore(path)
+        # Prices identical, including marginal prices against restored
+        # holdings — a restarted tier must not re-charge returning buyers.
+        for sql in QUERIES:
+            assert fresh.quote(sql).price == sync_service.quote(sql).price
+        restored = fresh.session("alice")
+        assert restored.holdings == session.holdings
+        assert restored.total_paid == pytest.approx(session.total_paid)
+        assert restored.quote(QUERIES[0]).marginal_price == 0.0
+        assert [t.buyer for t in fresh.transactions] == [
+            t.buyer for t in sync_service.transactions
+        ]
+
+    def test_snapshot_without_pricing_raises(self, mini_support, tmp_path):
+        service = PricingService(QueryMarket(mini_support), start=False)
+        with pytest.raises(PricingError, match="nothing to snapshot"):
+            service.snapshot(tmp_path / "nope.json")
+
+
+class TestValidation:
+    def test_bad_batch_size(self, market):
+        with pytest.raises(ServiceError, match="max_batch_size"):
+            PricingService(market, max_batch_size=0, start=False)
+
+    def test_bad_batch_delay(self, market):
+        with pytest.raises(ServiceError, match="max_batch_delay"):
+            PricingService(market, max_batch_delay=-0.1, start=False)
+
+    def test_support_set_shorthand(self, mini_support):
+        service = PricingService(mini_support, start=False)
+        assert isinstance(service.market, QueryMarket)
