@@ -5,7 +5,6 @@ the designated family loses a growing (logarithmic) factor while some other
 succinct family (or the full subadditive pricing) extracts everything.
 """
 
-import numpy as np
 
 from repro.core.algorithms import LPIP, UBP, UIP
 from repro.experiments.report import format_table

@@ -5,7 +5,6 @@ item-pricing algorithms improve as the support grows (finer price
 granularity, fewer empty conflict sets).
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import figure8_support_sweep

@@ -20,7 +20,6 @@ Run:  python examples/bayesian_pricing.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.bayesian import (
     BayesianInstance,

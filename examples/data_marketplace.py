@@ -11,18 +11,31 @@ issue targeted SQL queries instead of buying the whole dataset. The broker:
    canonical quote cache and micro-batched quoting — and serves a mixed
    stream of buyers, rejecting none of the arbitrage attacks,
 5. reports what a serving tier reports: throughput, latency percentiles,
-   and cache hit rates.
+   and cache hit rates,
+6. scales out: a ``ShardedPricingService`` partitions the support set
+   across four markets/schedulers with consistent-hash routing and bounded
+   per-shard queues, serves the same traffic at the same (bit-equal)
+   prices, then snapshots its canonical quote cache so tomorrow's restart
+   opens warm.
 
 Run:  python examples/data_marketplace.py        (about a minute)
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.algorithms import LPIP, UBP
 from repro.qirana import QueryMarket, verify_arbitrage_freeness
-from repro.service import LoadProfile, PricingService, run_load
+from repro.service import (
+    LoadProfile,
+    PricingService,
+    ShardedPricingService,
+    run_load,
+)
 from repro.valuations import AdditiveValuations
 from repro.workloads.world import world_workload
 
@@ -122,6 +135,51 @@ def main() -> None:
               f"(alias/case variant, same cache entry: {variant.price:.2f}), "
               f"broader query: {broad.price:.2f} "
               f"(subset bundle: {narrow.bundle <= broad.bundle})")
+
+    # --- 6. scale-out: the sharded tier ------------------------------------
+    # Four markets over four support partitions, one scheduler each;
+    # requests route to a home shard by consistent hashing on the canonical
+    # key, misses scatter/gather partial conflict sets, and bounded
+    # per-shard queues shed (ServiceOverloadError) instead of queueing
+    # unboundedly under overload.
+    print("\nscaling out to 4 shards "
+          f"({len(support)} support instances, round-robin partitions):")
+    with ShardedPricingService(
+        support, num_shards=4, max_batch_size=32, max_queue_depth=256
+    ) as sharded:
+        sharded.install_pricing(smart.pricing)
+        report = run_load(
+            sharded,
+            texts[:200],
+            LoadProfile(num_requests=2000, num_clients=8, zipf_s=1.1, seed=3),
+        )
+        for quote, label in ((narrow, "narrow"), (broad, "broad")):
+            sharded_price = sharded.quote(quote.query_text).price
+            assert sharded_price == quote.price, (label, sharded_price)
+        print(f"  throughput: {report.throughput_rps:,.0f} req/s, "
+              f"{report.shed} shed; prices bit-equal to the single market")
+        stats = report.service
+        for shard in stats["shards"]:
+            shard_latency = report.per_shard.get(shard["shard_id"]) if report.per_shard else None
+            p99 = f", p99 {shard_latency.p99_ms:.3f}ms" if shard_latency else ""
+            print(f"  shard {shard['shard_id']}: "
+                  f"|S|={shard['support_size']}, "
+                  f"hit rate {shard['quote_cache']['hit_rate']:.1%}, "
+                  f"{shard['batcher']['batches']} batches{p99}")
+
+        # Warm-start snapshot: the canonical quote cache itself persists, so
+        # a restarted tier (here: 8 shards — resharding keeps most keys
+        # home) serves yesterday's working set without touching an engine.
+        snapshot_path = Path(tempfile.gettempdir()) / "marketplace-tier.json"
+        sharded.snapshot(snapshot_path)
+    restarted = ShardedPricingService(support, num_shards=8, start=False)
+    restarted.restore(snapshot_path)
+    warm = restarted.quote(narrow.query_text)
+    totals = restarted.stats().quote_cache_totals()
+    print(f"\nrestart (8 shards) from {snapshot_path.name}: "
+          f"first quote {warm.price:.2f} served from the restored cache "
+          f"({totals['hits']} hit / {totals['misses']} misses)")
+    snapshot_path.unlink()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,6 @@ Run:  python examples/online_pricing.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.online import (
     BuyerStream,

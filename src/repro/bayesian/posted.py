@@ -16,7 +16,6 @@ uniform bundle price can be found by optimizing the summed revenue curves.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np

@@ -11,6 +11,8 @@ Subcommands::
     repro-pricing bench-backends --workload uniform  # backend speed comparison
     repro-pricing bench-revenue --workload uniform   # revenue engine comparison
     repro-pricing serve-bench --workload uniform     # service vs sequential quoting
+    repro-pricing serve-bench --shards 4             # sharded-tier scaling bench
+    repro-pricing bench-check                        # gate BENCH_*.json vs baselines
     repro-pricing loadgen --mode open --rate 2000    # synthetic service traffic
     repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
     repro-pricing table table3                   # reproduce one table
@@ -113,10 +115,41 @@ def main(argv: list[str] | None = None) -> int:
                        help="micro-batch flush size")
     serve.add_argument("--batch-delay", type=float, default=0.001,
                        help="micro-batch flush deadline (seconds)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="benchmark the sharded tier instead: stream "
+                            "throughput at 1 shard vs this many shards "
+                            "(figures.sharded_throughput)")
+    serve.add_argument("--cache-capacity", type=int, default=48,
+                       help="with --shards: per-shard quote/bundle cache "
+                            "capacity (the scaling lever)")
+    serve.add_argument("--queue-depth", type=int, default=512,
+                       help="with --shards: per-shard admission-control "
+                            "queue bound")
     serve.add_argument("--json", dest="json_path", default="BENCH_service.json",
                        help="where to write the machine-readable summary")
     serve.add_argument("--no-json", action="store_true",
                        help="skip writing the JSON summary")
+
+    bench_check = commands.add_parser(
+        "bench-check",
+        help="fail when fresh BENCH_*.json figures regress vs committed "
+             "baselines",
+    )
+    bench_check.add_argument("--baselines", default="benchmarks/baselines",
+                             help="directory of committed baseline "
+                                  "BENCH_*.json files")
+    bench_check.add_argument("--current", default="benchmarks/artifacts/ci",
+                             help="directory the fresh run wrote its "
+                                  "BENCH_*.json files to")
+    bench_check.add_argument("--tolerance", type=float, default=0.5,
+                             help="allowed fractional drop in speedup "
+                                  "ratios before failing (default 0.5: a "
+                                  "6x baseline fails below 3x)")
+    bench_check.add_argument("--throughput-tolerance", type=float, default=None,
+                             help="also compare absolute throughput "
+                                  "figures with this tolerance (off by "
+                                  "default: absolute numbers do not "
+                                  "survive a machine change)")
 
     load = commands.add_parser(
         "loadgen", help="drive a pricing service with synthetic traffic"
@@ -166,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-backends": _cmd_bench_backends,
         "bench-revenue": _cmd_bench_revenue,
         "serve-bench": _cmd_serve_bench,
+        "bench-check": _cmd_bench_check,
         "loadgen": _cmd_loadgen,
         "figure": _cmd_figure,
         "table": _cmd_table,
@@ -264,20 +298,54 @@ def _cmd_bench_revenue(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
-    artifact = figures.service_throughput(
-        workload_name=args.workload,
-        scale=args.scale,
-        support_size=args.support,
-        num_queries=args.queries,
-        num_requests=args.requests,
-        zipf_s=args.zipf,
-        num_clients=args.clients,
-        max_batch_size=args.batch_size,
-        max_batch_delay=args.batch_delay,
-    )
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        shard_counts = (1, args.shards) if args.shards != 1 else (1,)
+        artifact = figures.sharded_throughput(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+            num_requests=args.requests,
+            zipf_s=args.zipf,
+            num_clients=args.clients,
+            shard_counts=shard_counts,
+            cache_capacity=args.cache_capacity,
+            max_batch_size=args.batch_size,
+            max_batch_delay=args.batch_delay,
+            max_queue_depth=args.queue_depth,
+        )
+    else:
+        artifact = figures.service_throughput(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+            num_requests=args.requests,
+            zipf_s=args.zipf,
+            num_clients=args.clients,
+            max_batch_size=args.batch_size,
+            max_batch_delay=args.batch_delay,
+        )
     print(artifact)
     _write_bench_json(artifact, args)
     return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.experiments.benchcheck import check_bench_dirs, render_report
+
+    comparisons, missing = check_bench_dirs(
+        args.baselines,
+        args.current,
+        tolerance=args.tolerance,
+        throughput_tolerance=args.throughput_tolerance,
+    )
+    report, ok = render_report(comparisons, missing)
+    print(report)
+    return 0 if ok else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:

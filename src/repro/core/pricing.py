@@ -53,14 +53,20 @@ def segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
 def bundles_to_csr(
     edges: Sequence[Bundle],
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten a bundle list into a CSR ``(indptr, items)`` block."""
+    """Flatten a bundle list into a CSR ``(indptr, items)`` block.
+
+    Items are ascending within each row (matching
+    :meth:`~repro.core.hypergraph.Hypergraph.edge_member_matrix`), so float
+    segment sums are canonical: a set's own iteration order depends on its
+    insertion history and must never leak into prices.
+    """
     sizes = np.fromiter(
         (len(edge) for edge in edges), dtype=np.int64, count=len(edges)
     )
     indptr = np.zeros(len(edges) + 1, dtype=np.int64)
     np.cumsum(sizes, out=indptr[1:])
     items = np.fromiter(
-        (item for edge in edges for item in edge),
+        (item for edge in edges for item in sorted(edge)),
         dtype=np.int64,
         count=int(indptr[-1]),
     )
@@ -165,8 +171,13 @@ class ItemPricing(PricingFunction):
         return len(self.weights)
 
     def price(self, bundle: Bundle) -> float:
+        # Sum in ascending item order: equal bundles must price
+        # bit-identically however their set was built (set iteration order
+        # depends on insertion history — a scatter/gathered union and a
+        # directly computed conflict set are equal but iterate differently),
+        # and ascending is what the CSR matrix form sums too.
         weights = self.weights
-        return float(sum(weights[item] for item in bundle))
+        return float(sum(weights[item] for item in sorted(bundle)))
 
     def price_edges(self, edges: Sequence[Bundle]) -> np.ndarray:
         return self.price_edges_arrays(*bundles_to_csr(edges))

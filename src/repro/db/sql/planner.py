@@ -46,7 +46,6 @@ from repro.db.sql.ast import (
     SelectColumn,
     SelectStar,
     SelectStatement,
-    TableRef,
 )
 from repro.exceptions import QueryError, UnsupportedSQLError
 

@@ -66,3 +66,13 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """The pricing service was misconfigured or refused a request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """A bounded service queue was full and the request was shed.
+
+    Raised by the admission-control path instead of queueing unboundedly
+    under open-loop overload; callers are expected to back off and retry.
+    The request was *not* partially applied: no quote was cached and no
+    transaction was recorded.
+    """

@@ -1,0 +1,178 @@
+"""Tolerance-based regression gate over the ``BENCH_*.json`` trajectory.
+
+The bench suites write machine-readable summaries (``BENCH_backends.json``,
+``BENCH_pricing.json``, ``BENCH_service.json``, ...) on every run; until
+now CI only *uploaded* them, so a PR could quietly halve a speedup without
+failing anything. ``repro-pricing bench-check`` closes that gap: it compares
+a freshly written artifact directory against the committed baselines in
+``benchmarks/baselines/`` and fails on regression.
+
+Only **ratio** metrics are compared by default — the ``speedups`` block
+(vectorized-vs-naive, service-vs-sequential, 4-shards-vs-1) — because
+ratios survive a machine change where absolute wall times and throughput do
+not. Absolute ``throughput`` entries can be opted in with a separate (very
+loose) tolerance for same-fleet comparisons.
+
+A regression is ``current < baseline * (1 - tolerance)``: with the default
+tolerance of 0.5, a benchmark whose baseline speedup is 6x fails below 3x.
+Improvements never fail (re-baseline by committing the new JSON). A
+baseline file whose current twin is *missing* is also a failure — a
+benchmark that silently stops emitting its JSON is how a perf trajectory
+dies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ExperimentError
+
+#: Metric blocks compared, with their default enablement.
+RATIO_BLOCK = "speedups"
+THROUGHPUT_BLOCK = "throughput"
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One metric compared against its baseline."""
+
+    file: str
+    metric: str
+    baseline: float
+    current: float
+    floor: float
+
+    @property
+    def regressed(self) -> bool:
+        return self.current < self.floor
+
+    def describe(self) -> str:
+        verdict = "FAIL" if self.regressed else "ok"
+        return (
+            f"[{verdict}] {self.file}: {self.metric} "
+            f"baseline={self.baseline:.3f} current={self.current:.3f} "
+            f"floor={self.floor:.3f}"
+        )
+
+
+def _numeric_items(block) -> dict[str, float]:
+    """Flatten a metric block to ``name -> float`` (non-numerics skipped)."""
+    if not isinstance(block, dict):
+        return {}
+    items = {}
+    for name, value in block.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            items[str(name)] = float(value)
+    return items
+
+
+def compare_payloads(
+    baseline: dict,
+    current: dict,
+    *,
+    file: str,
+    tolerance: float,
+    throughput_tolerance: float | None = None,
+) -> list[BenchComparison]:
+    """Compare one benchmark payload against its baseline.
+
+    Every numeric entry of the baseline's ``speedups`` block must exist in
+    the current payload and clear ``baseline * (1 - tolerance)``; a metric
+    the current payload dropped counts as a regression to 0. Throughput
+    entries are compared the same way only when ``throughput_tolerance`` is
+    given.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ExperimentError(f"tolerance must be in [0, 1), got {tolerance}")
+    plans = [(RATIO_BLOCK, tolerance)]
+    if throughput_tolerance is not None:
+        if not 0.0 <= throughput_tolerance < 1.0:
+            raise ExperimentError(
+                f"throughput tolerance must be in [0, 1), got {throughput_tolerance}"
+            )
+        plans.append((THROUGHPUT_BLOCK, throughput_tolerance))
+    comparisons = []
+    for block, block_tolerance in plans:
+        baseline_items = _numeric_items(baseline.get(block))
+        current_items = _numeric_items(current.get(block))
+        for metric, reference in sorted(baseline_items.items()):
+            comparisons.append(
+                BenchComparison(
+                    file=file,
+                    metric=f"{block}.{metric}",
+                    baseline=reference,
+                    current=current_items.get(metric, 0.0),
+                    floor=reference * (1.0 - block_tolerance),
+                )
+            )
+    return comparisons
+
+
+def check_bench_dirs(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    *,
+    tolerance: float = 0.5,
+    throughput_tolerance: float | None = None,
+    pattern: str = "BENCH_*.json",
+) -> tuple[list[BenchComparison], list[str]]:
+    """Compare every baseline ``BENCH_*.json`` against the current run.
+
+    Returns ``(comparisons, missing)``: the per-metric comparisons plus the
+    baseline files that have no current twin (each of which should fail the
+    gate — see module docstring).
+    """
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    if not baseline_dir.is_dir():
+        raise ExperimentError(f"baseline directory not found: {baseline_dir}")
+    baselines = sorted(baseline_dir.glob(pattern))
+    if not baselines:
+        raise ExperimentError(
+            f"no {pattern} baselines under {baseline_dir}; commit some first"
+        )
+    comparisons: list[BenchComparison] = []
+    missing: list[str] = []
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.is_file():
+            missing.append(baseline_path.name)
+            continue
+        comparisons.extend(
+            compare_payloads(
+                json.loads(baseline_path.read_text()),
+                json.loads(current_path.read_text()),
+                file=baseline_path.name,
+                tolerance=tolerance,
+                throughput_tolerance=throughput_tolerance,
+            )
+        )
+    return comparisons, missing
+
+
+def render_report(
+    comparisons: list[BenchComparison], missing: list[str]
+) -> tuple[str, bool]:
+    """(printable report, ok?) for a bench-check run."""
+    lines = [comparison.describe() for comparison in comparisons]
+    lines.extend(
+        f"[FAIL] {name}: baseline has no current BENCH json (benchmark "
+        f"stopped emitting?)"
+        for name in missing
+    )
+    regressions = [c for c in comparisons if c.regressed]
+    ok = not regressions and not missing
+    lines.append(
+        "bench-check: "
+        + (
+            "ok — no regressions"
+            if ok
+            else f"{len(regressions)} regression(s), {len(missing)} missing file(s)"
+        )
+        + f" across {len(comparisons)} metric(s)"
+    )
+    return "\n".join(lines), ok

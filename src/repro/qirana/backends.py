@@ -23,7 +23,6 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.core.hypergraph import Hypergraph
 from repro.db.database import Database
 from repro.db.expr import Expr
 from repro.db.plan import (

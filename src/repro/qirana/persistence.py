@@ -2,10 +2,12 @@
 
 A broker re-optimizes prices offline and ships the result to the serving
 tier; these helpers round-trip the three pricing families, the broker's
-bundle cache, the transaction ledger, and per-buyer purchase histories
-through plain JSON — no pickle, no code execution on load. The full
-:class:`MarketState` is what :meth:`repro.service.server.PricingService.
-snapshot` / ``restore`` persist across serving-tier restarts.
+bundle cache, the transaction ledger, per-buyer purchase histories, and the
+canonical quote cache through plain JSON — no pickle, no code execution on
+load. The full :class:`MarketState` is what
+:meth:`repro.service.server.PricingService.snapshot` / ``restore`` (and the
+sharded service's equivalents) persist across serving-tier restarts, so a
+restarted tier starts warm instead of recomputing its working set.
 """
 
 from __future__ import annotations
@@ -94,6 +96,23 @@ def bundles_from_dict(payload: dict) -> dict[str, frozenset[int]]:
 
 
 @dataclass(frozen=True)
+class QuoteEntry:
+    """One persisted canonical-cache entry: a priced, served quote.
+
+    ``key`` is the plan-level canonical fingerprint
+    (:func:`repro.service.canonical.canonical_key`) — a SHA-256 digest of
+    the normalized plan, so it is stable across restarts and processes and
+    a restored tier routes/caches the entry exactly where a fresh
+    computation would have.
+    """
+
+    key: str
+    query_text: str
+    price: float
+    bundle: frozenset[int]
+
+
+@dataclass(frozen=True)
 class MarketState:
     """Everything a serving tier restores after a restart.
 
@@ -101,6 +120,9 @@ class MarketState:
     :class:`~repro.qirana.history.HistoryAwareLedger` fields: the union of
     bundles each buyer holds, and what they have cumulatively paid — without
     them a restart would re-charge returning buyers full freight.
+    ``quotes`` is the canonical quote cache: persisting it lets a restarted
+    tier serve its previous working set as cache hits without touching the
+    conflict engine (warm start).
     """
 
     pricing: PricingFunction
@@ -108,6 +130,7 @@ class MarketState:
     transactions: tuple[Transaction, ...] = ()
     owned: dict[str, frozenset[int]] = field(default_factory=dict)
     total_paid: dict[str, float] = field(default_factory=dict)
+    quotes: tuple[QuoteEntry, ...] = ()
 
 
 def save_market_state(
@@ -117,11 +140,13 @@ def save_market_state(
     *,
     transactions: list[Transaction] | tuple[Transaction, ...] = (),
     ledger: HistoryAwareLedger | None = None,
+    quotes: list[QuoteEntry] | tuple[QuoteEntry, ...] = (),
 ) -> None:
     """Persist everything the serving tier needs.
 
     Prices and known bundles as before, plus (when given) the completed-sale
-    ledger and the history-aware ledger's per-buyer holdings/payments.
+    ledger, the history-aware ledger's per-buyer holdings/payments, and the
+    canonical quote-cache entries that make a restart warm.
     """
     payload = {
         "pricing": pricing_to_dict(pricing),
@@ -138,6 +163,15 @@ def save_market_state(
             ),
             "total_paid": dict(ledger.total_paid) if ledger is not None else {},
         },
+        "quotes": [
+            {
+                "key": entry.key,
+                "query_text": entry.query_text,
+                "price": entry.price,
+                "bundle": sorted(entry.bundle),
+            }
+            for entry in quotes
+        ],
     }
     Path(path).write_text(json.dumps(payload, indent=2))
 
@@ -165,4 +199,13 @@ def load_market_state(path: str | Path) -> MarketState:
             str(buyer): float(paid)
             for buyer, paid in history.get("total_paid", {}).items()
         },
+        quotes=tuple(
+            QuoteEntry(
+                key=str(entry["key"]),
+                query_text=str(entry["query_text"]),
+                price=float(entry["price"]),
+                bundle=frozenset(int(item) for item in entry["bundle"]),
+            )
+            for entry in payload.get("quotes", [])
+        ),
     )

@@ -6,31 +6,61 @@ Where :mod:`repro.qirana` optimizes and prices a *workload*,
 - :mod:`repro.service.canonical` — plan-level fingerprints so textual
   variants of one query share a cache entry,
 - :mod:`repro.service.cache` — bounded, generation-invalidated LRU caching,
+- :mod:`repro.service.batching` — :class:`MicroBatcher`, the bounded-queue
+  micro-batch scheduler with shed-instead-of-queue admission control,
 - :mod:`repro.service.server` — :class:`PricingService`, the thread-safe
   micro-batching facade over :class:`~repro.qirana.broker.QueryMarket`,
+- :mod:`repro.service.sharding` — :class:`ShardedPricingService`, the
+  support-partitioned tier: one market + scheduler per shard,
+  consistent-hash routing, scatter/gather quoting, and warm-start
+  snapshots,
 - :mod:`repro.service.loadgen` / :mod:`repro.service.metrics` — synthetic
-  open/closed-loop traffic and latency accounting for benchmarks.
+  open/closed-loop traffic and (per-shard) latency accounting for
+  benchmarks.
 """
 
+from repro.service.batching import BatcherStats, BatchRequest, MicroBatcher
 from repro.service.cache import CacheStats, LRUCache, QuoteCache
 from repro.service.canonical import canonical_form, canonical_key
 from repro.service.loadgen import LoadProfile, LoadReport, run_load, zipf_schedule
-from repro.service.metrics import LatencyRecorder, LatencySummary
+from repro.service.metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    ShardLatencyRecorder,
+)
 from repro.service.server import BuyerSession, PricingService, ServiceStats
+from repro.service.sharding import (
+    ConsistentHashRouter,
+    ShardedPricingService,
+    ShardedServiceStats,
+    ShardPartition,
+    ShardStats,
+    partition_support,
+)
 
 __all__ = [
+    "BatchRequest",
+    "BatcherStats",
     "BuyerSession",
     "CacheStats",
+    "ConsistentHashRouter",
     "LRUCache",
     "LatencyRecorder",
     "LatencySummary",
     "LoadProfile",
     "LoadReport",
+    "MicroBatcher",
     "PricingService",
     "QuoteCache",
     "ServiceStats",
+    "ShardLatencyRecorder",
+    "ShardPartition",
+    "ShardStats",
+    "ShardedPricingService",
+    "ShardedServiceStats",
     "canonical_form",
     "canonical_key",
+    "partition_support",
     "run_load",
     "zipf_schedule",
 ]

@@ -1,0 +1,293 @@
+"""Micro-batch scheduling with bounded-queue admission control.
+
+:class:`MicroBatcher` is the scheduler that used to live inside
+:class:`~repro.service.server.PricingService`, extracted so every serving
+tier — the single-market service and each shard of
+:class:`~repro.service.sharding.ShardedPricingService` — runs the same
+coalescing policy:
+
+- requests queue until the batch reaches ``max_batch_size`` or the *oldest*
+  queued request has waited ``max_batch_delay`` seconds (bursts flush
+  immediately while the worker is busy; only an isolated request pays the
+  window),
+- the queue is **bounded**: when ``max_queue_depth`` requests are already
+  waiting, new submissions are shed with a typed
+  :class:`~repro.exceptions.ServiceOverloadError` instead of queueing
+  unboundedly — the open-loop overload behaviour a serving tier needs.
+  Accepted and shed requests are counted separately so a load run can prove
+  its shed rate.
+
+The execute callback receives a list of :class:`BatchRequest` and returns
+one result per request; the batcher resolves the futures (or propagates one
+exception to every waiter in the batch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError, ServiceOverloadError
+
+
+@dataclass
+class BatchRequest:
+    """One queued request awaiting a micro-batch flush."""
+
+    payload: object
+    key: str
+    future: Future
+    enqueued: float
+
+    @classmethod
+    def make(cls, payload: object, key: str) -> "BatchRequest":
+        return cls(payload, key, Future(), time.monotonic())
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """A snapshot of one batcher's scheduling and admission counters."""
+
+    batches: int
+    batched_requests: int
+    max_batch_size: int
+    accepted: int
+    shed: int
+    queue_depth: int
+    max_queue_depth: int | None
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed submissions per offered submission (0.0 when idle)."""
+        offered = self.accepted + self.shed
+        return self.shed / offered if offered else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into bounded batches on one worker thread.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(batch) -> results`` computes one result per request, in
+        order. It runs on the worker thread (or the caller's thread in
+        synchronous mode) and may raise: the exception is delivered to every
+        future of the batch.
+    max_batch_size / max_batch_delay:
+        The flush policy (see module docstring).
+    max_queue_depth:
+        Bound on queued-but-unflushed requests. ``None`` disables admission
+        control (the pre-sharding behaviour). Submissions that would push
+        an existing backlog past the bound are rejected whole with
+        :class:`ServiceOverloadError` — a multi-request submission is never
+        partially admitted. An *empty* queue admits any submission whole
+        (the progress guarantee: a bulk workload larger than the bound —
+        ``optimize_pricing`` over hundreds of queries — is admissible and
+        drains in ``max_batch_size`` flushes, rather than being permanently
+        unadmittable), so the instantaneous queue depth is bounded by
+        ``max_queue_depth`` plus one submission.
+    start:
+        When ``False`` no worker thread runs and submissions execute
+        synchronously on the calling thread (still batched per call, never
+        shed — there is no queue to bound): the deterministic mode tests
+        and offline scripts use.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[list[BatchRequest]], Sequence[object]],
+        *,
+        max_batch_size: int = 64,
+        max_batch_delay: float = 0.001,
+        max_queue_depth: int | None = None,
+        name: str = "micro-batcher",
+        start: bool = True,
+    ):
+        if max_batch_size < 1:
+            raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_batch_delay < 0:
+            raise ServiceError("max_batch_delay must be non-negative")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
+        self._execute = execute
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay = max_batch_delay
+        self.max_queue_depth = max_queue_depth
+        self.name = name
+        self._cond = threading.Condition()
+        self._pending: deque[BatchRequest] = deque()
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        # Scheduling counters are written by the worker thread only;
+        # admission counters are written under the condition lock.
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+        self._accepted = 0
+        self._shed = 0
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        with self._cond:
+            self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain_loop, name=self.name, daemon=True
+        )
+        self._worker.start()
+
+    def close(self) -> None:
+        """Flush queued requests, stop the worker, reject new submissions."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, requests: list[BatchRequest]) -> None:
+        """Queue ``requests`` for batching (or execute them synchronously).
+
+        Raises :class:`ServiceError` when closed and
+        :class:`ServiceOverloadError` when the bounded queue cannot admit
+        the whole submission; in the latter case none of the requests were
+        queued and their futures stay unresolved.
+        """
+        if self._closed:
+            raise ServiceError(f"{self.name} is closed")
+        if self._worker is None:
+            # Synchronous mode: no worker thread, run in-line (still one
+            # execute call per max_batch_size chunk, nothing to shed).
+            with self._cond:
+                self._accepted += len(requests)
+            for start in range(0, len(requests), self.max_batch_size):
+                self._run(requests[start : start + self.max_batch_size])
+            return
+        with self._cond:
+            if self._closed:
+                raise ServiceError(f"{self.name} is closed")
+            if (
+                self.max_queue_depth is not None
+                and self._pending
+                and len(self._pending) + len(requests) > self.max_queue_depth
+            ):
+                self._shed += len(requests)
+                raise ServiceOverloadError(
+                    f"{self.name} queue is full "
+                    f"({len(self._pending)}/{self.max_queue_depth} waiting, "
+                    f"{len(requests)} offered); request shed"
+                )
+            self._accepted += len(requests)
+            self._pending.extend(requests)
+            self._cond.notify_all()
+
+    def would_shed(self, count: int) -> bool:
+        """Whether a ``count``-request submission would currently be shed.
+
+        Advisory (the answer can change before a subsequent :meth:`submit`,
+        which remains the authoritative check) — callers scattering one
+        request across several batchers use it to fail fast *before*
+        enqueueing anywhere, so a shed request does not leave work behind
+        on the queues that would have admitted it.
+        """
+        with self._cond:
+            return (
+                self._worker is not None
+                and self.max_queue_depth is not None
+                and bool(self._pending)
+                and len(self._pending) + count > self.max_queue_depth
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> BatcherStats:
+        with self._cond:
+            return BatcherStats(
+                batches=self._batches,
+                batched_requests=self._batched_requests,
+                max_batch_size=self._max_batch,
+                accepted=self._accepted,
+                shed=self._shed,
+                queue_depth=len(self._pending),
+                max_queue_depth=self.max_queue_depth,
+            )
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run(batch)
+
+    def _next_batch(self) -> list[BatchRequest] | None:
+        """Block until a micro-batch is due; ``None`` when closed and drained."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending:
+                return None  # closed and drained
+            # The batching window is anchored at the *oldest* request: if it
+            # queued while the worker was busy with the previous batch, its
+            # window has already elapsed and the flush is immediate.
+            deadline = self._pending[0].enqueued + self.max_batch_delay
+            while len(self._pending) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            size = min(len(self._pending), self.max_batch_size)
+            return [self._pending.popleft() for _ in range(size)]
+
+    def _run(self, batch: list[BatchRequest]) -> None:
+        try:
+            results = self._execute(batch)
+        except BaseException as exc:  # propagate to every waiter
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        with self._cond:
+            self._batches += 1
+            self._batched_requests += len(batch)
+            self._max_batch = max(self._max_batch, len(batch))
+        for request, result in zip(batch, results):
+            request.future.set_result(result)

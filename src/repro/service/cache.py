@@ -180,5 +180,19 @@ class QuoteCache(LRUCache):
                 return
             self._store(key, (stamp, value))
 
+    def entries(self) -> list[tuple[object, object]]:
+        """The fresh (current-generation) entries, least-recently-used first.
+
+        This is what a snapshot persists so a restarted tier starts warm;
+        stale entries are omitted (they would be dropped on access anyway)
+        and counters are untouched.
+        """
+        with self._lock:
+            return [
+                (key, value)
+                for key, (generation, value) in self._entries.items()
+                if generation == self._gen
+            ]
+
     def _generation(self) -> int:
         return self._gen

@@ -1,8 +1,9 @@
-"""Synthetic traffic generation against a :class:`PricingService`.
+"""Synthetic traffic generation against a pricing service.
 
 Serving-tier behavior — cache hit rates, micro-batch coalescing, tail
-latency — only shows up under a realistic *request stream*, not a workload
-list. The load generator turns any workload's queries into such a stream:
+latency, overload shedding — only shows up under a realistic *request
+stream*, not a workload list. The load generator turns any workload's
+queries into such a stream:
 
 - **Zipfian repetition**: request ``i`` asks query ``rank_i`` drawn with
   probability proportional to ``1 / rank^s`` (per-buyer query traffic is
@@ -13,12 +14,17 @@ list. The load generator turns any workload's queries into such a stream:
   buyers drain the stream").
 - **Open loop**: requests arrive on a Poisson process at ``arrival_rate``
   requests/second regardless of completions — the latency-oriented mode
-  (queueing delay shows up in p99 instead of being hidden by back-pressure).
+  (queueing delay shows up in p99 instead of being hidden by back-pressure,
+  and overload shows up as shed requests instead of an unbounded queue).
 
+Requests shed by admission control
+(:class:`~repro.exceptions.ServiceOverloadError`) are counted separately
+from errors — a shed is the service *working as configured* under overload.
 Latencies are recorded per request (:mod:`repro.service.metrics`) and
-reduced to a :class:`LoadReport` carrying throughput, percentiles, and the
-service's cache/batch counters — the payload ``BENCH_service.json`` tracks
-across revisions.
+reduced to a :class:`LoadReport` carrying throughput, percentiles, shed
+counts, the service's cache/batch counters, and — when the service is
+sharded — a per-home-shard latency breakdown. The report is the payload
+``BENCH_service.json`` tracks across revisions.
 """
 
 from __future__ import annotations
@@ -30,9 +36,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ServiceError
-from repro.service.metrics import LatencyRecorder, LatencySummary
-from repro.service.server import PricingService
+from repro.exceptions import ServiceError, ServiceOverloadError
+from repro.service.metrics import LatencySummary, ShardLatencyRecorder
 
 
 @dataclass(frozen=True)
@@ -69,12 +74,26 @@ class LoadReport:
     latency: LatencySummary
     service: dict = field(default_factory=dict)
     offered_rate_rps: float | None = None
+    shed: int = 0
+    per_shard: dict | None = None
+
+    @property
+    def completed(self) -> int:
+        """Requests actually served (offered minus shed minus errors)."""
+        return self.requests - self.shed - self.errors
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
 
     def as_dict(self) -> dict:
         payload = {
             "mode": self.mode,
             "requests": self.requests,
+            "completed": self.completed,
             "errors": self.errors,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
             "duration_seconds": self.duration_seconds,
             "throughput_rps": self.throughput_rps,
             "latency": self.latency.as_dict(),
@@ -82,13 +101,18 @@ class LoadReport:
         }
         if self.offered_rate_rps is not None:
             payload["offered_rate_rps"] = self.offered_rate_rps
+        if self.per_shard is not None:
+            payload["per_shard_latency"] = {
+                str(shard): summary.as_dict()
+                for shard, summary in self.per_shard.items()
+            }
         return payload
 
     def __str__(self) -> str:
         lines = [
-            f"{self.mode}-loop load: {self.requests} requests "
-            f"({self.errors} errors) in {self.duration_seconds:.3f}s "
-            f"= {self.throughput_rps:,.0f} req/s",
+            f"{self.mode}-loop load: {self.completed}/{self.requests} requests "
+            f"served ({self.shed} shed, {self.errors} errors) in "
+            f"{self.duration_seconds:.3f}s = {self.throughput_rps:,.0f} req/s",
             f"latency: {self.latency}",
         ]
         if self.offered_rate_rps is not None:
@@ -106,6 +130,9 @@ class LoadReport:
                 f"mean size {self.service['mean_batch_size']:.1f}, "
                 f"max {self.service['max_batch_size']}"
             )
+        if self.per_shard:
+            for shard, summary in self.per_shard.items():
+                lines.append(f"shard {shard}: {summary}")
         return "\n".join(lines)
 
 
@@ -125,27 +152,44 @@ def zipf_schedule(
 
 
 def run_load(
-    service: PricingService,
+    service,
     texts: list[str],
     profile: LoadProfile = LoadProfile(),
 ) -> LoadReport:
-    """Drive ``service.quote`` with a synthetic stream and measure it."""
+    """Drive ``service.quote`` with a synthetic stream and measure it.
+
+    ``service`` is a :class:`~repro.service.server.PricingService` or a
+    :class:`~repro.service.sharding.ShardedPricingService`; for the latter
+    the report additionally breaks latency down by home shard (attribution
+    happens after the timed run, so it never distorts the measurement).
+    """
     rng = np.random.default_rng(profile.seed)
     schedule = zipf_schedule(len(texts), profile.num_requests, profile.zipf_s, rng)
-    recorder = LatencyRecorder()
-    error_lock = threading.Lock()
+    recorder = ShardLatencyRecorder()
+    count_lock = threading.Lock()
     error_count = [0]
+    shed_count = [0]
 
     def issue(index: int) -> None:
         begin = time.perf_counter()
         try:
             service.quote(texts[index])
+        except ServiceOverloadError:
+            # Admission control working as configured: counted, not timed —
+            # a shed's fast-fail latency would flatter the percentiles.
+            with count_lock:
+                shed_count[0] += 1
+            return
         except Exception:
-            # Any failure counts as an errored request — a narrower catch
-            # would kill the client thread and silently understate the run.
-            with error_lock:
+            # Any other failure counts as an errored request — a narrower
+            # catch would kill the client thread and silently understate
+            # the run. Not timed, for the same reason sheds are not: only
+            # *served* requests belong in the percentiles, and
+            # latency.count must agree with the report's completed count.
+            with count_lock:
                 error_count[0] += 1
-        recorder.record(time.perf_counter() - begin)
+            return
+        recorder.record(index, time.perf_counter() - begin)
 
     start = time.perf_counter()
     if profile.mode == "closed":
@@ -182,14 +226,27 @@ def run_load(
         offered = float(profile.arrival_rate)
     duration = time.perf_counter() - start
 
-    total_errors = error_count[0]
+    per_shard = None
+    if hasattr(service, "home_shard"):
+        # Attribute each sample to its home shard now that the run is over
+        # (the plan memo is warm, so this re-derivation is miss-free).
+        shard_of_index = {
+            index: service.home_shard(texts[index])
+            for index in sorted(set(int(i) for i in schedule))
+        }
+        recorder.relabel(shard_of_index)
+        per_shard = recorder.by_label()
+
+    completed = profile.num_requests - shed_count[0] - error_count[0]
     return LoadReport(
         mode=profile.mode,
         requests=profile.num_requests,
-        errors=total_errors,
+        errors=error_count[0],
         duration_seconds=duration,
-        throughput_rps=profile.num_requests / duration if duration > 0 else 0.0,
+        throughput_rps=completed / duration if duration > 0 else 0.0,
         latency=recorder.summary(),
         service=service.stats().as_dict(),
         offered_rate_rps=offered,
+        shed=shed_count[0],
+        per_shard=per_shard,
     )

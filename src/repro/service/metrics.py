@@ -5,6 +5,11 @@ per-request latency percentiles that survive concurrent recording. A
 :class:`LatencyRecorder` is a thread-safe append-only series of seconds;
 :meth:`LatencyRecorder.summary` reduces it to the usual serving numbers
 (mean/p50/p95/p99/max) in milliseconds via one vectorized percentile call.
+
+:class:`ShardLatencyRecorder` is the sharded-tier twin: each sample carries
+a label (the request's home shard), so a load run reduces to an overall
+summary *plus* a per-shard breakdown — the "which shard is the hot one"
+view a partitioned tier is operated by.
 """
 
 from __future__ import annotations
@@ -67,12 +72,71 @@ class LatencyRecorder:
             if not self._seconds:
                 return _EMPTY
             millis = np.asarray(self._seconds, dtype=float) * 1e3
-        p50, p95, p99 = np.percentile(millis, [50.0, 95.0, 99.0])
-        return LatencySummary(
-            count=len(millis),
-            mean_ms=float(millis.mean()),
-            p50_ms=float(p50),
-            p95_ms=float(p95),
-            p99_ms=float(p99),
-            max_ms=float(millis.max()),
-        )
+        return _summarize(millis)
+
+
+def _summarize(millis: np.ndarray) -> LatencySummary:
+    p50, p95, p99 = np.percentile(millis, [50.0, 95.0, 99.0])
+    return LatencySummary(
+        count=len(millis),
+        mean_ms=float(millis.mean()),
+        p50_ms=float(p50),
+        p95_ms=float(p95),
+        p99_ms=float(p99),
+        max_ms=float(millis.max()),
+    )
+
+
+class ShardLatencyRecorder:
+    """Thread-safe labeled latencies: one stream, reducible per label.
+
+    Labels are opaque (the loadgen uses home-shard ids); ``None`` samples
+    only contribute to the overall summary. Labels may be attached *after*
+    recording via :meth:`relabel` — the loadgen records by request position
+    during the timed run and maps positions to home shards afterwards, so
+    shard attribution never adds work inside the measured region.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._samples: list[tuple[object, float]] = []
+
+    def record(self, label, seconds: float) -> None:
+        with self._lock:
+            self._samples.append((label, seconds))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def relabel(self, mapping: dict) -> None:
+        """Replace each label with ``mapping[label]`` (missing: unchanged)."""
+        with self._lock:
+            self._samples = [
+                (mapping.get(label, label), seconds)
+                for label, seconds in self._samples
+            ]
+
+    def summary(self) -> LatencySummary:
+        """The overall (all-labels) latency summary."""
+        with self._lock:
+            if not self._samples:
+                return _EMPTY
+            millis = np.array(
+                [seconds for _, seconds in self._samples], dtype=float
+            ) * 1e3
+        return _summarize(millis)
+
+    def by_label(self) -> dict:
+        """Per-label :class:`LatencySummary` (``None``-labeled samples skipped)."""
+        with self._lock:
+            samples = list(self._samples)
+        grouped: dict[object, list[float]] = {}
+        for label, seconds in samples:
+            if label is None:
+                continue
+            grouped.setdefault(label, []).append(seconds)
+        return {
+            label: _summarize(np.asarray(values, dtype=float) * 1e3)
+            for label, values in sorted(grouped.items(), key=lambda kv: str(kv[0]))
+        }

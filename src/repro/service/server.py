@@ -13,42 +13,51 @@ top of it:
   query hit a single bounded LRU entry. Cache hits return without touching
   the market at all.
 - **Micro-batched quoting** — cache misses are queued and coalesced by a
-  single scheduler thread into ``quote_batch`` calls (flushed when the batch
-  reaches ``max_batch_size`` or the oldest request has waited
-  ``max_batch_delay`` seconds), amortizing the engine's delta-tensor and
-  columnar setup across concurrent traffic exactly as the backend
-  ``prepare`` hook intends.
+  :class:`~repro.service.batching.MicroBatcher` into ``quote_batch`` calls
+  (flushed when the batch reaches ``max_batch_size`` or the oldest request
+  has waited ``max_batch_delay`` seconds), amortizing the engine's
+  delta-tensor and columnar setup across concurrent traffic exactly as the
+  backend ``prepare`` hook intends.
+- **Admission control** — the miss queue is bounded (``max_queue_depth``):
+  under open-loop overload new misses are shed with a typed
+  :class:`~repro.exceptions.ServiceOverloadError` instead of queueing
+  unboundedly, and accepted/shed counters surface in :meth:`stats`.
 - **Serialized market access** — one re-entrant lock guards the market, the
   transaction ledger, and the history-aware ledger, so concurrent quotes,
   purchases, and pricing installs interleave safely.
 - **Per-buyer sessions** — :meth:`PricingService.session` wires a buyer to
   the service's :class:`~repro.qirana.history.HistoryAwareLedger` for
-  marginal (history-aware) quoting and purchasing.
-- **Snapshot/restore** — :meth:`snapshot` persists pricing, known bundles,
-  the transaction ledger, and per-buyer history through
-  :mod:`repro.qirana.persistence`; :meth:`restore` rehydrates a fresh
-  service over the same support set.
+  marginal (history-aware) pricing and purchasing.
+- **Warm-start snapshot/restore** — :meth:`snapshot` persists pricing,
+  known bundles, the transaction ledger, per-buyer history, *and the
+  canonical quote cache* through :mod:`repro.qirana.persistence`;
+  :meth:`restore` rehydrates a fresh service over the same support set with
+  its previous working set already cached, so the first requests after a
+  restart are hits, not conflict-set recomputations.
 
 Installing a new pricing bumps the quote cache's generation, so stale prices
 are never served after a re-optimization.
+
+For a tier that partitions the support set across several markets and
+schedulers, see :class:`repro.service.sharding.ShardedPricingService`.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
-from concurrent.futures import Future
 from dataclasses import dataclass
 from pathlib import Path
 
+import threading
+
 from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.pricing import PricingFunction
+from repro.db.database import Database
 from repro.db.query import Query
-from repro.exceptions import PricingError, ServiceError
+from repro.exceptions import PricingError
 from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
 from repro.qirana.history import HistoryAwareLedger, MarginalQuote
-from repro.qirana.persistence import load_market_state, save_market_state
+from repro.qirana.persistence import QuoteEntry, load_market_state, save_market_state
+from repro.service.batching import BatcherStats, BatchRequest, MicroBatcher
 from repro.service.cache import CacheStats, LRUCache, QuoteCache
 from repro.service.canonical import canonical_key
 from repro.support.generator import SupportSet
@@ -60,14 +69,32 @@ class ServiceStats:
 
     quotes: CacheStats
     plans: CacheStats
-    batches: int
-    batched_requests: int
-    max_batch_size: int
+    batcher: BatcherStats
     transactions: int
 
     @property
+    def batches(self) -> int:
+        return self.batcher.batches
+
+    @property
+    def batched_requests(self) -> int:
+        return self.batcher.batched_requests
+
+    @property
+    def max_batch_size(self) -> int:
+        return self.batcher.max_batch_size
+
+    @property
     def mean_batch_size(self) -> float:
-        return self.batched_requests / self.batches if self.batches else 0.0
+        return self.batcher.mean_batch_size
+
+    @property
+    def accepted(self) -> int:
+        return self.batcher.accepted
+
+    @property
+    def shed(self) -> int:
+        return self.batcher.shed
 
     def as_dict(self) -> dict:
         return {
@@ -77,21 +104,86 @@ class ServiceStats:
             "batched_requests": self.batched_requests,
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": self.mean_batch_size,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_rate": self.batcher.shed_rate,
             "transactions": self.transactions,
         }
 
 
-@dataclass
-class _Pending:
-    """One queued quote request awaiting a micro-batch flush."""
+class CanonicalServingMixin:
+    """The canonicalization + buyer surface both serving tiers share.
 
-    query: Query
-    key: str
-    future: Future
-    enqueued: float
+    :class:`PricingService` and
+    :class:`~repro.service.sharding.ShardedPricingService` differ in how a
+    planned query becomes a priced quote (:meth:`_quote_planned`) and how
+    raw text is planned (:meth:`_plan`), but canonical fingerprinting, the
+    plan memo, quote re-stamping, purchases, and history-aware sessions are
+    identical — and :class:`BuyerSession` already depends on this exact
+    protocol (``_canonical``, ``_quote_planned``, ``_market_lock``,
+    ``_ledger``, ``base``, ``_append_transaction``).
+
+    Hosts must provide: ``base``, ``_plans``, ``_market_lock``, ``_ledger``,
+    ``_plan(text) -> Query``, ``_quote_planned(planned, key) -> PriceQuote``,
+    and ``_append_transaction(transaction)``.
+    """
+
+    def _plan(self, text: str) -> Query:
+        raise NotImplementedError
+
+    def _canonical(self, query: Query | str) -> tuple[Query, str]:
+        """(planned query, canonical fingerprint), memoized by raw text."""
+        if isinstance(query, Query):
+            return query, canonical_key(query, self.base)
+        memo = self._plans.get(query)
+        if memo is None:
+            planned = self._plan(query)
+            memo = (planned, canonical_key(planned, self.base))
+            self._plans.put(query, memo)
+        return memo
+
+    @staticmethod
+    def _restamp(quote: PriceQuote, planned: Query) -> PriceQuote:
+        """A cached quote re-labeled with this request's text."""
+        if quote.query_text == planned.text:
+            return quote
+        return PriceQuote(planned.text, quote.price, quote.bundle)
+
+    def quote(self, query: Query | str) -> PriceQuote:
+        """Price a query: canonical-cache hit, or batched/scattered miss."""
+        planned, key = self._canonical(query)
+        return self._quote_planned(planned, key)
+
+    def purchase(
+        self,
+        query: Query | str,
+        buyer: str,
+        valuation: float | None = None,
+    ) -> tuple[object, PriceQuote]:
+        """Quote-then-sell at the fresh (history-free) price.
+
+        Mirrors :meth:`QueryMarket.purchase`: a buyer with a stated
+        ``valuation`` walks away when the price exceeds it. The answer is
+        computed and the sale appended to the ledger under the market lock,
+        so concurrent purchases never lose transactions.
+        """
+        planned, key = self._canonical(query)
+        quote = self._quote_planned(planned, key)
+        if valuation is not None and quote.price > valuation:
+            return None, quote
+        with self._market_lock:
+            answer = planned.run(self.base)
+            self._append_transaction(
+                Transaction(buyer, quote.query_text, quote.price)
+            )
+        return answer, quote
+
+    def session(self, buyer: str) -> "BuyerSession":
+        """A per-buyer session with history-aware (marginal) pricing."""
+        return BuyerSession(self, buyer)
 
 
-class PricingService:
+class PricingService(CanonicalServingMixin):
     """Thread-safe serving facade over a :class:`QueryMarket`.
 
     Parameters
@@ -105,6 +197,10 @@ class PricingService:
         request arrived. Under a burst the scheduler is already busy
         quoting, so follow-up batches flush immediately; the delay is only
         ever paid by an isolated miss.
+    max_queue_depth:
+        Bound on queued-but-unflushed misses; submissions past the bound
+        are shed with :class:`~repro.exceptions.ServiceOverloadError`.
+        ``None`` disables admission control.
     cache_capacity / plan_memo_capacity:
         Bounds for the canonical quote cache and the raw-text plan memo.
     start:
@@ -120,33 +216,38 @@ class PricingService:
         *,
         max_batch_size: int = 64,
         max_batch_delay: float = 0.001,
+        max_queue_depth: int | None = 1024,
         cache_capacity: int = 4096,
         plan_memo_capacity: int = 8192,
         start: bool = True,
     ):
         if isinstance(market, SupportSet):
             market = QueryMarket(market)
-        if max_batch_size < 1:
-            raise ServiceError(f"max_batch_size must be >= 1, got {max_batch_size}")
-        if max_batch_delay < 0:
-            raise ServiceError("max_batch_delay must be non-negative")
         self.market = market
-        self.max_batch_size = max_batch_size
-        self.max_batch_delay = max_batch_delay
         self._market_lock = threading.RLock()
         self._quotes = QuoteCache(cache_capacity)
         self._plans = LRUCache(plan_memo_capacity)
         self._ledger = HistoryAwareLedger(market.pricing)
-        self._cond = threading.Condition()
-        self._pending: deque[_Pending] = deque()
-        self._closed = False
-        self._worker: threading.Thread | None = None
-        # Batch counters are written by the scheduler thread only.
-        self._batches = 0
-        self._batched_requests = 0
-        self._max_batch = 0
-        if start:
-            self.start()
+        self._batcher = MicroBatcher(
+            self._execute,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            max_queue_depth=max_queue_depth,
+            name="pricing-service-batcher",
+            start=start,
+        )
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._batcher.max_batch_size
+
+    @property
+    def max_batch_delay(self) -> float:
+        return self._batcher.max_batch_delay
+
+    @property
+    def max_queue_depth(self) -> int | None:
+        return self._batcher.max_queue_depth
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -154,23 +255,11 @@ class PricingService:
 
     def start(self) -> None:
         """Start the micro-batch scheduler thread (idempotent)."""
-        if self._worker is not None and self._worker.is_alive():
-            return
-        with self._cond:
-            self._closed = False
-        self._worker = threading.Thread(
-            target=self._drain_loop, name="pricing-service-batcher", daemon=True
-        )
-        self._worker.start()
+        self._batcher.start()
 
     def close(self) -> None:
         """Flush queued requests, stop the scheduler, reject new submissions."""
-        with self._cond:
-            self._closed = True
-            self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.join()
-            self._worker = None
+        self._batcher.close()
 
     def __enter__(self) -> "PricingService":
         return self
@@ -207,6 +296,11 @@ class PricingService:
         return self.market.pricing
 
     @property
+    def base(self) -> Database:
+        """The seller's database."""
+        return self.market.base
+
+    @property
     def ledger(self) -> HistoryAwareLedger:
         return self._ledger
 
@@ -223,15 +317,10 @@ class PricingService:
     # Buyer-facing API
     # ------------------------------------------------------------------
 
-    def quote(self, query: Query | str) -> PriceQuote:
-        """Price a query: canonical-cache hit, or micro-batched miss."""
-        planned, key = self._canonical(query)
-        return self._quote_planned(planned, key)
-
     def quote_many(self, queries: list[Query | str]) -> list[PriceQuote]:
         """Price many queries; misses are submitted together for batching."""
         resolved = [self._canonical(query) for query in queries]
-        misses: list[tuple[int, _Pending]] = []
+        misses: list[tuple[int, BatchRequest]] = []
         results: list[PriceQuote | None] = []
         for position, (planned, key) in enumerate(resolved):
             cached = self._quotes.get(key)
@@ -239,50 +328,20 @@ class PricingService:
                 results.append(self._restamp(cached, planned))
             else:
                 results.append(None)
-                misses.append(
-                    (position, _Pending(planned, key, Future(), time.monotonic()))
-                )
+                misses.append((position, BatchRequest.make(planned, key)))
         if misses:
-            self._enqueue([request for _, request in misses])
+            self._batcher.submit([request for _, request in misses])
             for position, request in misses:
                 planned, _ = resolved[position]
                 results[position] = self._restamp(request.future.result(), planned)
         return results
-
-    def purchase(
-        self,
-        query: Query | str,
-        buyer: str,
-        valuation: float | None = None,
-    ) -> tuple[object, PriceQuote]:
-        """Quote-then-sell at the fresh (history-free) price.
-
-        Mirrors :meth:`QueryMarket.purchase`: a buyer with a stated
-        ``valuation`` walks away when the price exceeds it. The answer is
-        computed and the sale appended to the ledger under the market lock,
-        so concurrent purchases never lose transactions.
-        """
-        planned, key = self._canonical(query)
-        quote = self._quote_planned(planned, key)
-        if valuation is not None and quote.price > valuation:
-            return None, quote
-        with self._market_lock:
-            answer = planned.run(self.market.base)
-            self.market.transactions.append(
-                Transaction(buyer, quote.query_text, quote.price)
-            )
-        return answer, quote
-
-    def session(self, buyer: str) -> "BuyerSession":
-        """A per-buyer session with history-aware (marginal) pricing."""
-        return BuyerSession(self, buyer)
 
     # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
 
     def snapshot(self, path: str | Path) -> None:
-        """Persist pricing + bundles + transactions + buyer histories."""
+        """Persist pricing + bundles + transactions + histories + quotes."""
         with self._market_lock:
             if self.market.pricing is None:
                 raise PricingError("no pricing installed; nothing to snapshot")
@@ -292,13 +351,20 @@ class PricingService:
                 path,
                 transactions=self.market.transactions,
                 ledger=self._ledger,
+                quotes=[
+                    QuoteEntry(key, quote.query_text, quote.price, quote.bundle)
+                    for key, quote in self._quotes.entries()
+                ],
             )
 
     def restore(self, path: str | Path) -> None:
-        """Rehydrate pricing, bundles, transactions, and buyer histories.
+        """Rehydrate pricing, bundles, ledgers, and the quote cache (warm).
 
         The service must wrap a market over the same support set the
         snapshot was taken against (bundles are support-instance ids).
+        Restored quotes were priced under the restored pricing, so they are
+        re-stamped fresh: the previous working set serves as cache hits
+        without touching the conflict engine.
         """
         state = load_market_state(path)
         with self._market_lock:
@@ -309,6 +375,11 @@ class PricingService:
             self._ledger.owned = dict(state.owned)
             self._ledger.total_paid = dict(state.total_paid)
             self._quotes.bump_generation()
+            for entry in state.quotes:
+                self._quotes.put(
+                    entry.key,
+                    PriceQuote(entry.query_text, entry.price, entry.bundle),
+                )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -318,9 +389,7 @@ class PricingService:
         return ServiceStats(
             quotes=self._quotes.stats(),
             plans=self._plans.stats(),
-            batches=self._batches,
-            batched_requests=self._batched_requests,
-            max_batch_size=self._max_batch,
+            batcher=self._batcher.stats(),
             transactions=len(self.market.transactions),
         )
 
@@ -328,96 +397,31 @@ class PricingService:
     # Internals
     # ------------------------------------------------------------------
 
-    def _canonical(self, query: Query | str) -> tuple[Query, str]:
-        """(planned query, canonical fingerprint), memoized by raw text."""
-        if isinstance(query, Query):
-            return query, canonical_key(query, self.market.base)
-        memo = self._plans.get(query)
-        if memo is None:
-            planned = self.market._as_query(query)
-            memo = (planned, canonical_key(planned, self.market.base))
-            self._plans.put(query, memo)
-        return memo
-
-    @staticmethod
-    def _restamp(quote: PriceQuote, planned: Query) -> PriceQuote:
-        """A cached quote re-labeled with this request's text."""
-        if quote.query_text == planned.text:
-            return quote
-        return PriceQuote(planned.text, quote.price, quote.bundle)
+    def _plan(self, text: str) -> Query:
+        return self.market._as_query(text)
 
     def _quote_planned(self, planned: Query, key: str) -> PriceQuote:
         cached = self._quotes.get(key)
         if cached is not None:
             return self._restamp(cached, planned)
-        return self._restamp(self._submit(planned, key).result(), planned)
+        request = BatchRequest.make(planned, key)
+        self._batcher.submit([request])
+        return self._restamp(request.future.result(), planned)
 
-    def _submit(self, planned: Query, key: str) -> Future:
-        request = _Pending(planned, key, Future(), time.monotonic())
-        self._enqueue([request])
-        return request.future
+    def _append_transaction(self, transaction: Transaction) -> None:
+        """Record a completed sale (caller holds the market lock)."""
+        self.market.transactions.append(transaction)
 
-    def _enqueue(self, requests: list[_Pending]) -> None:
-        if self._closed:
-            raise ServiceError("pricing service is closed")
-        if self._worker is None:
-            # Synchronous mode: no scheduler thread, quote in-line (still
-            # one quote_batch call per submission round, still cached).
-            for chunk_start in range(0, len(requests), self.max_batch_size):
-                self._execute(
-                    requests[chunk_start : chunk_start + self.max_batch_size]
-                )
-            return
-        with self._cond:
-            if self._closed:
-                raise ServiceError("pricing service is closed")
-            self._pending.extend(requests)
-            self._cond.notify_all()
-
-    def _drain_loop(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            self._execute(batch)
-
-    def _next_batch(self) -> list[_Pending] | None:
-        """Block until a micro-batch is due; ``None`` when closed and drained."""
-        with self._cond:
-            while not self._pending and not self._closed:
-                self._cond.wait()
-            if not self._pending:
-                return None  # closed and drained
-            # The batching window is anchored at the *oldest* request: if it
-            # queued while the scheduler was busy with the previous batch,
-            # its window has already elapsed and the flush is immediate.
-            deadline = self._pending[0].enqueued + self.max_batch_delay
-            while len(self._pending) < self.max_batch_size and not self._closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            size = min(len(self._pending), self.max_batch_size)
-            return [self._pending.popleft() for _ in range(size)]
-
-    def _execute(self, batch: list[_Pending]) -> None:
-        try:
-            with self._market_lock:
-                quotes = self.market.quote_batch([item.query for item in batch])
-                # Captured inside the same critical section that priced the
-                # batch: a concurrent install_pricing cannot stamp these
-                # quotes with a generation they were not priced under.
-                generation = self._quotes.generation
-        except BaseException as exc:  # propagate to every waiter
-            for item in batch:
-                item.future.set_exception(exc)
-            return
-        self._batches += 1
-        self._batched_requests += len(batch)
-        self._max_batch = max(self._max_batch, len(batch))
+    def _execute(self, batch: list[BatchRequest]) -> list[PriceQuote]:
+        with self._market_lock:
+            quotes = self.market.quote_batch([item.payload for item in batch])
+            # Captured inside the same critical section that priced the
+            # batch: a concurrent install_pricing cannot stamp these quotes
+            # with a generation they were not priced under.
+            generation = self._quotes.generation
         for item, quote in zip(batch, quotes):
             self._quotes.put(item.key, quote, generation=generation)
-            item.future.set_result(quote)
+        return quotes
 
 
 class BuyerSession:
@@ -426,10 +430,13 @@ class BuyerSession:
     Returning buyers pay only for new information
     (:class:`~repro.qirana.history.HistoryAwareLedger`); the session routes
     bundle computation through the service's canonical cache and batcher,
-    then applies marginal pricing under the market lock.
+    then applies marginal pricing under the market lock. The ``service`` may
+    be a :class:`PricingService` or a
+    :class:`~repro.service.sharding.ShardedPricingService` — both expose the
+    same canonicalization, quoting, ledger, and transaction surface.
     """
 
-    def __init__(self, service: PricingService, buyer: str):
+    def __init__(self, service, buyer: str):
         self.service = service
         self.buyer = buyer
 
@@ -450,8 +457,8 @@ class BuyerSession:
             if valuation is not None and marginal.marginal_price > valuation:
                 return None, marginal
             self.service._ledger.record_purchase(self.buyer, fresh.bundle)
-            answer = planned.run(self.service.market.base)
-            self.service.market.transactions.append(
+            answer = planned.run(self.service.base)
+            self.service._append_transaction(
                 Transaction(self.buyer, planned.text, marginal.marginal_price)
             )
         return answer, marginal

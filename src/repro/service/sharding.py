@@ -1,0 +1,710 @@
+"""``ShardedPricingService``: support-partitioned, shard-per-scheduler serving.
+
+A single :class:`~repro.service.server.PricingService` funnels every cache
+miss through one market and one scheduler thread, and its caches live in one
+process's memory budget. This module scales the serving tier *horizontally*
+the way a deployed pricing tier would — by partitioning the support set:
+
+- **Support partitions** — :func:`partition_support` splits the support set
+  into ``K`` round-robin shards, each a re-indexed
+  :class:`~repro.support.generator.SupportSet` that remembers its
+  local-to-global instance mapping. Conflict-set membership is decided per
+  instance (``D' in CS(Q) iff Q(D') != Q(D)``), so the union of per-shard
+  partial conflict sets *is* the full conflict set: scatter/gather is exact,
+  and prices are bit-equal to the unsharded oracle.
+- **One market + scheduler per shard** — each shard runs its own
+  :class:`~repro.qirana.broker.QueryMarket` over its partition and its own
+  :class:`~repro.service.batching.MicroBatcher`, so partial conflict sets
+  for concurrent misses are micro-batched per shard (and, on multi-core
+  hardware, computed in parallel across shards).
+- **Consistent-hash routing** — every request has a *home shard*, chosen by
+  :class:`ConsistentHashRouter` over its canonical key (a SHA-256 plan
+  fingerprint, stable across restarts and processes). The home shard owns
+  the request's quote-cache entry and its admission/latency accounting, so
+  cache locality survives resharding: changing ``K`` re-homes only ~``1/K``
+  of the keyspace instead of shuffling everything.
+- **Bounded per-shard caches** — quote and bundle caches are bounded *per
+  shard* (a deployed shard is a node with a fixed memory budget), so adding
+  shards grows the tier's aggregate cache capacity linearly. That is the
+  single-core scaling mechanism the throughput benchmark measures: a
+  working set that thrashes one shard's caches (evict → recompute the
+  conflict set) fits comfortably in four shards' caches.
+- **Admission control** — per-shard queues are bounded; overload sheds with
+  :class:`~repro.exceptions.ServiceOverloadError` and per-shard
+  accepted/shed counters instead of queueing unboundedly.
+- **Warm-start snapshots** — :meth:`ShardedPricingService.snapshot`
+  persists the canonical quote cache (plus pricing, transactions, and buyer
+  histories) through :mod:`repro.qirana.persistence`; :meth:`restore`
+  re-homes every entry through the ring and re-seeds each shard's partial
+  bundle cache, so a restarted tier — even one restarted with a *different*
+  shard count — serves its previous working set as cache hits.
+
+Pricing itself stays global (one pricing function, one transaction ledger,
+one history-aware ledger), guarded by a single lock that is only held for
+the O(bundle) price application — never during conflict computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import PricingFunction
+from repro.db.database import Database
+from repro.db.query import Query, sql_query
+from repro.exceptions import PricingError, ServiceError, ServiceOverloadError
+from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
+from repro.qirana.history import HistoryAwareLedger
+from repro.qirana.persistence import QuoteEntry, load_market_state, save_market_state
+from repro.service.batching import BatcherStats, BatchRequest, MicroBatcher
+from repro.service.cache import CacheStats, LRUCache, QuoteCache
+from repro.service.server import CanonicalServingMixin
+from repro.support.generator import SupportSet
+
+__all__ = [
+    "ConsistentHashRouter",
+    "ShardPartition",
+    "ShardStats",
+    "ShardedPricingService",
+    "ShardedServiceStats",
+    "partition_support",
+]
+
+
+# ---------------------------------------------------------------------------
+# Support partitioning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """One shard's slice of the support set.
+
+    ``support`` is a re-indexed :class:`SupportSet` (instance ids are
+    consecutive shard-local ids); ``global_ids[local]`` maps back to the
+    instance's id in the full support set, which is the id space bundles,
+    pricings, and ledgers speak.
+    """
+
+    shard_id: int
+    num_shards: int
+    support: SupportSet
+    global_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.support)
+
+    def to_global(self, local_bundle: frozenset[int]) -> frozenset[int]:
+        """Map a shard-local conflict set to global instance ids."""
+        return frozenset(int(self.global_ids[local]) for local in local_bundle)
+
+
+def partition_support(support: SupportSet, num_shards: int) -> list[ShardPartition]:
+    """Round-robin partition of ``support`` into ``num_shards`` shards.
+
+    Round-robin keeps every shard's per-table/per-column touch distribution
+    statistically identical to the full support's, so per-shard candidate
+    pruning and batch kernels behave the same at ``1/K`` scale.
+    """
+    if num_shards < 1:
+        raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > len(support):
+        raise ServiceError(
+            f"cannot split {len(support)} support instances into "
+            f"{num_shards} shards"
+        )
+    partitions = []
+    for shard in range(num_shards):
+        members = support.instances[shard::num_shards]
+        reindexed = [
+            dataclasses.replace(instance, instance_id=local)
+            for local, instance in enumerate(members)
+        ]
+        partitions.append(
+            ShardPartition(
+                shard_id=shard,
+                num_shards=num_shards,
+                support=SupportSet(support.base, reindexed),
+                global_ids=np.arange(shard, len(support), num_shards, dtype=np.int64),
+            )
+        )
+    return partitions
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash routing
+# ---------------------------------------------------------------------------
+
+
+def _ring_hash(token: str) -> int:
+    """A stable 64-bit ring position (SHA-256, not the per-process hash())."""
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRouter:
+    """Key -> shard assignment on a SHA-256 hash ring with virtual nodes.
+
+    Each shard owns ``replicas`` points on a 64-bit ring; a key routes to
+    the shard owning the first point at or after the key's own ring
+    position (wrapping). The mapping is deterministic across processes and
+    restarts, and adding or removing one shard re-homes only the arcs that
+    shard's points cover (~``1/K`` of the keyspace) — the property that
+    keeps persisted caches mostly warm through a reshard.
+    """
+
+    def __init__(self, num_shards: int, *, replicas: int = 64):
+        if num_shards < 1:
+            raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        points = [
+            (_ring_hash(f"shard-{shard}-replica-{replica}"), shard)
+            for shard in range(num_shards)
+            for replica in range(replicas)
+        ]
+        points.sort()
+        self._hashes = np.array([point for point, _ in points], dtype=np.uint64)
+        self._shards = np.array([shard for _, shard in points], dtype=np.int64)
+
+    def route(self, key: str) -> int:
+        """The home shard of ``key``."""
+        position = np.uint64(_ring_hash(key))
+        index = int(np.searchsorted(self._hashes, position, side="left"))
+        return int(self._shards[index % len(self._shards)])
+
+
+# ---------------------------------------------------------------------------
+# Per-shard worker
+# ---------------------------------------------------------------------------
+
+
+class _ShardWorker:
+    """One shard: a market over its partition plus a micro-batch scheduler.
+
+    The worker computes *partial* conflict sets (already mapped to global
+    instance ids) and memoizes them in a bounded LRU keyed by the canonical
+    fingerprint. It never prices anything — pricing is global and applied by
+    the front-end under the pricing lock.
+    """
+
+    def __init__(
+        self,
+        partition: ShardPartition,
+        *,
+        conflict_backend: str = "auto",
+        bundle_cache_capacity: int = 4096,
+        max_batch_size: int = 64,
+        max_batch_delay: float = 0.001,
+        max_queue_depth: int | None = 256,
+        start: bool = True,
+    ):
+        self.partition = partition
+        self.market = QueryMarket(partition.support, conflict_backend=conflict_backend)
+        self._bundles = LRUCache(bundle_cache_capacity)
+        self.batcher = MicroBatcher(
+            self._execute,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            max_queue_depth=max_queue_depth,
+            name=f"pricing-shard-{partition.shard_id}",
+            start=start,
+        )
+
+    def submit(self, requests: list[BatchRequest]) -> None:
+        """Queue sub-requests (payload: planned query, key: canonical)."""
+        self.batcher.submit(requests)
+
+    def seed(self, key: str, partial_bundle: frozenset[int]) -> None:
+        """Warm the partial-bundle cache (snapshot restore)."""
+        self._bundles.put(key, partial_bundle)
+
+    def _execute(self, batch: list[BatchRequest]) -> list[frozenset[int]]:
+        # Deduplicate within the flush: concurrent misses on one canonical
+        # key scatter independently but are computed once per shard, and
+        # each unique key consults the cache exactly once (the hit/miss
+        # counters feed BENCH_service.json — no synthetic read-back hits).
+        resolved: dict[str, frozenset[int]] = {}
+        missing: dict[str, Query] = {}
+        for request in batch:
+            if request.key in resolved or request.key in missing:
+                continue
+            partial = self._bundles.get(request.key)
+            if partial is None:
+                missing[request.key] = request.payload
+            else:
+                resolved[request.key] = partial
+        if missing:
+            hypergraph = self.market.engine.build_hypergraph(list(missing.values()))
+            for key, edge in zip(missing, hypergraph.edges):
+                partial = self.partition.to_global(edge)
+                self._bundles.put(key, partial)
+                # Answer from the computed value, not a cache read-back: an
+                # LRU smaller than the flush may already have evicted it.
+                resolved[key] = partial
+        return [resolved[request.key] for request in batch]
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's cache, scheduling, and admission counters."""
+
+    shard_id: int
+    support_size: int
+    quotes: CacheStats
+    bundles: CacheStats
+    batcher: BatcherStats
+    requests_accepted: int
+    requests_shed: int
+
+    @property
+    def shed_rate(self) -> float:
+        offered = self.requests_accepted + self.requests_shed
+        return self.requests_shed / offered if offered else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "support_size": self.support_size,
+            "quote_cache": self.quotes.as_dict(),
+            "bundle_cache": self.bundles.as_dict(),
+            "batcher": self.batcher.as_dict(),
+            "requests_accepted": self.requests_accepted,
+            "requests_shed": self.requests_shed,
+            "shed_rate": self.shed_rate,
+        }
+
+
+@dataclass(frozen=True)
+class ShardedServiceStats:
+    """A snapshot of the whole sharded tier: per-shard plus aggregates."""
+
+    shards: tuple[ShardStats, ...]
+    plans: CacheStats
+    transactions: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def accepted(self) -> int:
+        return sum(shard.requests_accepted for shard in self.shards)
+
+    @property
+    def shed(self) -> int:
+        return sum(shard.requests_shed for shard in self.shards)
+
+    @property
+    def shed_rate(self) -> float:
+        offered = self.accepted + self.shed
+        return self.shed / offered if offered else 0.0
+
+    def quote_cache_totals(self) -> dict:
+        """Aggregate quote-cache counters across shards."""
+        hits = sum(shard.quotes.hits for shard in self.shards)
+        misses = sum(shard.quotes.misses for shard in self.shards)
+        return {
+            "capacity": sum(shard.quotes.capacity for shard in self.shards),
+            "size": sum(shard.quotes.size for shard in self.shards),
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(shard.quotes.evictions for shard in self.shards),
+            "stale_drops": sum(shard.quotes.stale_drops for shard in self.shards),
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "shards": [shard.as_dict() for shard in self.shards],
+            "quote_cache": self.quote_cache_totals(),
+            "plan_memo": self.plans.as_dict(),
+            "requests_accepted": self.accepted,
+            "requests_shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "transactions": self.transactions,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The sharded service
+# ---------------------------------------------------------------------------
+
+
+class ShardedPricingService(CanonicalServingMixin):
+    """Support-partitioned serving tier: K markets, K schedulers, one price.
+
+    Parameters
+    ----------
+    support:
+        The full support set; it is partitioned round-robin into
+        ``num_shards`` shards.
+    num_shards / replicas:
+        Shard count and virtual nodes per shard on the consistent-hash
+        ring.
+    conflict_backend:
+        Backend name for every shard market (``auto`` re-decides per shard:
+        small partitions may prefer the incremental checkers).
+    cache_capacity / bundle_cache_capacity:
+        **Per-shard** bounds for the canonical quote cache and the partial
+        conflict-set cache (``bundle_cache_capacity`` defaults to
+        ``cache_capacity``). Per-shard budgets are the point: adding shards
+        adds aggregate cache, exactly like adding nodes to a cache tier.
+    max_batch_size / max_batch_delay / max_queue_depth:
+        Per-shard micro-batching and admission-control knobs (see
+        :class:`~repro.service.batching.MicroBatcher`).
+    start:
+        When ``False`` no scheduler threads run and misses are computed
+        synchronously (deterministic test mode).
+    """
+
+    def __init__(
+        self,
+        support: SupportSet,
+        *,
+        num_shards: int = 4,
+        replicas: int = 64,
+        conflict_backend: str = "auto",
+        max_batch_size: int = 64,
+        max_batch_delay: float = 0.001,
+        max_queue_depth: int | None = 256,
+        cache_capacity: int = 4096,
+        bundle_cache_capacity: int | None = None,
+        plan_memo_capacity: int = 8192,
+        start: bool = True,
+    ):
+        self.support = support
+        self.partitions = partition_support(support, num_shards)
+        self.num_shards = num_shards
+        self._router = ConsistentHashRouter(num_shards, replicas=replicas)
+        if bundle_cache_capacity is None:
+            bundle_cache_capacity = cache_capacity
+        self._workers = [
+            _ShardWorker(
+                partition,
+                conflict_backend=conflict_backend,
+                bundle_cache_capacity=bundle_cache_capacity,
+                max_batch_size=max_batch_size,
+                max_batch_delay=max_batch_delay,
+                max_queue_depth=max_queue_depth,
+                start=start,
+            )
+            for partition in self.partitions
+        ]
+        self._quote_caches = [QuoteCache(cache_capacity) for _ in self.partitions]
+        self._plans = LRUCache(plan_memo_capacity)
+        # global -> owning shard, for re-seeding partial caches on restore.
+        self._shard_of = np.empty(len(support), dtype=np.int64)
+        for partition in self.partitions:
+            self._shard_of[partition.global_ids] = partition.shard_id
+        # Pricing, ledgers, and transactions are tier-global; the lock is
+        # held only for price application and ledger mutation, never during
+        # conflict computation.
+        self._market_lock = threading.RLock()
+        self._pricing: PricingFunction | None = None
+        self._ledger = HistoryAwareLedger(None)
+        self.transactions: list[Transaction] = []
+        # Per-home-shard admission accounting (a request is accepted when
+        # every shard admitted its sub-request).
+        self._requests_accepted = [0] * num_shards
+        self._requests_shed = [0] * num_shards
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard's scheduler thread (idempotent)."""
+        for worker in self._workers:
+            worker.batcher.start()
+
+    def close(self) -> None:
+        """Flush and stop every shard's scheduler."""
+        for worker in self._workers:
+            worker.batcher.close()
+
+    def __enter__(self) -> "ShardedPricingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pricing management
+    # ------------------------------------------------------------------
+
+    @property
+    def pricing(self) -> PricingFunction | None:
+        return self._pricing
+
+    @property
+    def base(self) -> Database:
+        """The seller's database."""
+        return self.support.base
+
+    @property
+    def ledger(self) -> HistoryAwareLedger:
+        return self._ledger
+
+    @property
+    def revenue(self) -> float:
+        """Total revenue collected so far."""
+        return sum(transaction.price for transaction in self.transactions)
+
+    def install_pricing(self, pricing: PricingFunction) -> None:
+        """Install a new pricing; every shard's cached quotes invalidate."""
+        with self._market_lock:
+            self._pricing = pricing
+            self._ledger.pricing = pricing
+            for cache in self._quote_caches:
+                cache.bump_generation()
+
+    def optimize_pricing(
+        self,
+        queries: list[Query | str],
+        valuations,
+        algorithm: PricingAlgorithm,
+    ) -> PricingResult:
+        """Price a workload on the sharded engine and install the result.
+
+        The workload's hypergraph is built by the same scatter/gather path
+        that serves quotes, so the partial-bundle caches come out warm.
+        """
+        instance = self.build_instance(queries, valuations)
+        result = algorithm.run(instance)
+        self.install_pricing(result.pricing)
+        return result
+
+    def build_instance(
+        self,
+        queries: list[Query | str],
+        valuations,
+        name: str = "sharded-market",
+    ) -> PricingInstance:
+        """Scatter/gather a workload into a pricing instance."""
+        if len(queries) != len(valuations):
+            raise PricingError(
+                f"{len(queries)} queries but {len(valuations)} valuations"
+            )
+        resolved = [self._canonical(query) for query in queries]
+        gathers = self._scatter(resolved)
+        edges = [self._gather(requests) for requests in gathers]
+        hypergraph = Hypergraph(len(self.support), edges)
+        return PricingInstance(
+            hypergraph, np.asarray(valuations, dtype=float), name
+        )
+
+    # ------------------------------------------------------------------
+    # Buyer-facing API
+    # ------------------------------------------------------------------
+
+    def quote_many(self, queries: list[Query | str]) -> list[PriceQuote]:
+        """Price many queries; misses scatter together for batching."""
+        resolved = [self._canonical(query) for query in queries]
+        results: list[PriceQuote | None] = []
+        misses: list[tuple[int, Query, str]] = []
+        for position, (planned, key) in enumerate(resolved):
+            cached = self._quote_caches[self._router.route(key)].get(key)
+            if cached is not None:
+                results.append(self._restamp(cached, planned))
+            else:
+                results.append(None)
+                misses.append((position, planned, key))
+        if misses:
+            if self._pricing is None:
+                raise PricingError(
+                    "no pricing installed; call install_pricing first"
+                )
+            gathers = self._scatter(
+                [(planned, key) for _, planned, key in misses]
+            )
+            for (position, planned, key), requests in zip(misses, gathers):
+                bundle = self._gather(requests)
+                results[position] = self._price_and_cache(planned, key, bundle)
+        return results
+
+    def home_shard(self, query: Query | str) -> int:
+        """The shard owning this query's cache entry and accounting."""
+        _, key = self._canonical(query)
+        return self._router.route(key)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> None:
+        """Persist pricing, transactions, histories, and every shard's quotes."""
+        with self._market_lock:
+            if self._pricing is None:
+                raise PricingError("no pricing installed; nothing to snapshot")
+            entries = [
+                QuoteEntry(key, quote.query_text, quote.price, quote.bundle)
+                for cache in self._quote_caches
+                for key, quote in cache.entries()
+            ]
+            save_market_state(
+                self._pricing,
+                {entry.query_text: entry.bundle for entry in entries},
+                path,
+                transactions=self.transactions,
+                ledger=self._ledger,
+                quotes=entries,
+            )
+
+    def restore(self, path: str | Path) -> None:
+        """Rehydrate the tier warm — even under a different shard count.
+
+        Every persisted quote re-routes through the ring to its (possibly
+        new) home shard's cache, and its bundle is split back into per-shard
+        partials, so neither the pricing path nor the conflict engines see
+        the restored working set again.
+        """
+        state = load_market_state(path)
+        with self._market_lock:
+            self._pricing = state.pricing
+            self._ledger.pricing = state.pricing
+            self.transactions[:] = list(state.transactions)
+            self._ledger.owned = dict(state.owned)
+            self._ledger.total_paid = dict(state.total_paid)
+            for cache in self._quote_caches:
+                cache.bump_generation()
+            for entry in state.quotes:
+                home = self._router.route(entry.key)
+                self._quote_caches[home].put(
+                    entry.key,
+                    PriceQuote(entry.query_text, entry.price, entry.bundle),
+                )
+                self._seed_partials(entry.key, entry.bundle)
+
+    def _seed_partials(self, key: str, bundle: frozenset[int]) -> None:
+        members = np.fromiter(bundle, dtype=np.int64, count=len(bundle))
+        owners = self._shard_of[members] if len(members) else members
+        for worker in self._workers:
+            shard = worker.partition.shard_id
+            partial = frozenset(
+                int(instance) for instance in members[owners == shard]
+            )
+            worker.seed(key, partial)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ShardedServiceStats:
+        with self._market_lock:
+            accepted = list(self._requests_accepted)
+            shed = list(self._requests_shed)
+        return ShardedServiceStats(
+            shards=tuple(
+                ShardStats(
+                    shard_id=worker.partition.shard_id,
+                    support_size=len(worker.partition),
+                    quotes=self._quote_caches[index].stats(),
+                    bundles=worker._bundles.stats(),
+                    batcher=worker.batcher.stats(),
+                    requests_accepted=accepted[index],
+                    requests_shed=shed[index],
+                )
+                for index, worker in enumerate(self._workers)
+            ),
+            plans=self._plans.stats(),
+            transactions=len(self.transactions),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _plan(self, text: str) -> Query:
+        return sql_query(text, self.base)
+
+    def _quote_planned(self, planned: Query, key: str) -> PriceQuote:
+        cached = self._quote_caches[self._router.route(key)].get(key)
+        if cached is not None:
+            return self._restamp(cached, planned)
+        if self._pricing is None:
+            raise PricingError("no pricing installed; call install_pricing first")
+        (requests,) = self._scatter([(planned, key)])
+        bundle = self._gather(requests)
+        return self._price_and_cache(planned, key, bundle)
+
+    def _scatter(
+        self, resolved: list[tuple[Query, str]]
+    ) -> list[list[BatchRequest]]:
+        """Submit one sub-request per (query, shard); returns per-query rows.
+
+        Admission is per shard and all-or-nothing per submission: when any
+        shard sheds, the whole scatter fails with
+        :class:`ServiceOverloadError` and the shed is charged to each
+        query's *home* shard. Every shard's queue is pre-checked before
+        anything is enqueued, so under sustained overload a shed request
+        fails cheaply instead of leaving K-1 shards' worth of partial
+        conflict-set work behind; the pre-check is advisory (queues move
+        concurrently) and :meth:`MicroBatcher.submit` stays the
+        authoritative bound — on the rare race, sub-requests already queued
+        on earlier shards still complete and warm their partial caches, so
+        no state is lost.
+        """
+        rows = [
+            [BatchRequest.make(planned, key) for _ in self._workers]
+            for planned, key in resolved
+        ]
+        homes = [self._router.route(key) for _, key in resolved]
+        try:
+            for worker in self._workers:
+                if worker.batcher.would_shed(len(rows)):
+                    raise ServiceOverloadError(
+                        f"{worker.batcher.name} queue is full; request shed "
+                        f"before scatter"
+                    )
+            for index, worker in enumerate(self._workers):
+                worker.submit([row[index] for row in rows])
+        except ServiceOverloadError:
+            with self._market_lock:
+                for home in homes:
+                    self._requests_shed[home] += 1
+            raise
+        with self._market_lock:
+            for home in homes:
+                self._requests_accepted[home] += 1
+        return rows
+
+    def _gather(self, requests: list[BatchRequest]) -> frozenset[int]:
+        """Union the partial conflict sets of one scattered query."""
+        partials = [request.future.result() for request in requests]
+        return frozenset().union(*partials)
+
+    def _price_and_cache(
+        self, planned: Query, key: str, bundle: frozenset[int]
+    ) -> PriceQuote:
+        cache = self._quote_caches[self._router.route(key)]
+        with self._market_lock:
+            if self._pricing is None:
+                raise PricingError(
+                    "no pricing installed; call install_pricing first"
+                )
+            price = self._pricing.price(bundle)
+            # Captured inside the pricing critical section: a concurrent
+            # install_pricing cannot stamp this quote as fresh.
+            generation = cache.generation
+        quote = PriceQuote(planned.text, price, bundle)
+        cache.put(key, quote, generation=generation)
+        return quote
+
+    def _append_transaction(self, transaction: Transaction) -> None:
+        """Record a completed sale (caller holds the market lock)."""
+        self.transactions.append(transaction)

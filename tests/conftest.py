@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import shutil
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -10,6 +13,29 @@ from repro.db.database import Database
 from repro.db.relation import Relation
 from repro.db.schema import Column, ColumnType, TableSchema
 from repro.support.generator import NeighborSampler
+
+#: Where the parity/revenue fuzzers drop standalone repro scripts on a
+#: mismatch. CI uploads these on failure only, but the upload step globs the
+#: whole directories — stale repros from a previous local run must not ride
+#: along and masquerade as this run's failure.
+_FUZZ_ARTIFACT_DIRS = (
+    Path(__file__).resolve().parent / "artifacts" / "parity_fuzz",
+    Path(__file__).resolve().parent / "artifacts" / "revenue_fuzz",
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _clear_stale_fuzz_repros():
+    """Delete leftover fuzz repro scripts once, at session start.
+
+    The fuzz suites re-create their artifact directory when (and only when)
+    they actually have a mismatch to report, so after this fixture the
+    directories' contents are exactly this session's failures.
+    """
+    for directory in _FUZZ_ARTIFACT_DIRS:
+        if directory.is_dir():
+            shutil.rmtree(directory)
+    yield
 
 
 @pytest.fixture

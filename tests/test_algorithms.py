@@ -21,7 +21,7 @@ from repro.core.algorithms.layering import minimal_cover, unique_items
 from repro.core.algorithms.ubp import best_uniform_bundle_price
 from repro.core.algorithms.uip import best_uniform_item_price
 from repro.core.hypergraph import Hypergraph, PricingInstance
-from repro.core.pricing import ItemPricing, UniformBundlePricing, XOSPricing
+from repro.core.pricing import UniformBundlePricing, XOSPricing
 from repro.exceptions import PricingError
 
 

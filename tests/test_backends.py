@@ -1,6 +1,5 @@
 """Conflict-backend registry, engine facade, and diagnostics."""
 
-import numpy as np
 import pytest
 
 from repro.db.query import sql_query

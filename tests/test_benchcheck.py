@@ -1,0 +1,151 @@
+"""bench-check tests: the BENCH_*.json regression gate and its CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ExperimentError
+from repro.experiments.benchcheck import (
+    check_bench_dirs,
+    compare_payloads,
+    render_report,
+)
+
+
+def payload(speedups, throughput=None):
+    data = {"figure_id": "x", "speedups": speedups}
+    if throughput is not None:
+        data["throughput"] = throughput
+    return data
+
+
+class TestComparePayloads:
+    def test_within_tolerance_passes(self):
+        comparisons = compare_payloads(
+            payload({"vectorized": 10.0}),
+            payload({"vectorized": 6.0}),
+            file="BENCH_x.json",
+            tolerance=0.5,
+        )
+        assert len(comparisons) == 1
+        assert not comparisons[0].regressed
+        assert comparisons[0].floor == pytest.approx(5.0)
+
+    def test_injected_regression_fails(self):
+        comparisons = compare_payloads(
+            payload({"vectorized": 10.0}),
+            payload({"vectorized": 4.0}),
+            file="BENCH_x.json",
+            tolerance=0.5,
+        )
+        assert comparisons[0].regressed
+
+    def test_dropped_metric_counts_as_regression(self):
+        comparisons = compare_payloads(
+            payload({"vectorized": 10.0, "shards=4": 2.0}),
+            payload({"vectorized": 10.0}),
+            file="BENCH_x.json",
+            tolerance=0.5,
+        )
+        dropped = {c.metric: c for c in comparisons}["speedups.shards=4"]
+        assert dropped.current == 0.0 and dropped.regressed
+
+    def test_improvement_never_fails(self):
+        comparisons = compare_payloads(
+            payload({"service": 3.0}),
+            payload({"service": 30.0}),
+            file="BENCH_x.json",
+            tolerance=0.1,
+        )
+        assert not comparisons[0].regressed
+
+    def test_throughput_compared_only_when_opted_in(self):
+        baseline = payload({"s": 2.0}, throughput={"shards=4": 9000.0})
+        current = payload({"s": 2.0}, throughput={"shards=4": 100.0})
+        default = compare_payloads(
+            baseline, current, file="f", tolerance=0.5
+        )
+        assert [c.metric for c in default] == ["speedups.s"]
+        opted = compare_payloads(
+            baseline, current, file="f", tolerance=0.5, throughput_tolerance=0.9
+        )
+        assert any(c.metric == "throughput.shards=4" and c.regressed for c in opted)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ExperimentError, match="tolerance"):
+            compare_payloads(payload({}), payload({}), file="f", tolerance=1.5)
+
+
+class TestCheckBenchDirs:
+    def _write(self, directory, name, data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data))
+
+    def test_green_run(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        self._write(tmp_path / "cur", "BENCH_a.json", payload({"v": 7.5}))
+        comparisons, missing = check_bench_dirs(
+            tmp_path / "base", tmp_path / "cur", tolerance=0.5
+        )
+        report, ok = render_report(comparisons, missing)
+        assert ok and not missing
+        assert "no regressions" in report
+
+    def test_missing_current_file_fails(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        (tmp_path / "cur").mkdir()
+        comparisons, missing = check_bench_dirs(
+            tmp_path / "base", tmp_path / "cur"
+        )
+        report, ok = render_report(comparisons, missing)
+        assert missing == ["BENCH_a.json"] and not ok
+        assert "stopped emitting" in report
+
+    def test_no_baselines_is_an_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        with pytest.raises(ExperimentError, match="baselines"):
+            check_bench_dirs(tmp_path / "base", tmp_path / "cur")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        self._write(tmp_path / "cur", "BENCH_a.json", payload({"v": 7.0}))
+        code = main(
+            [
+                "bench-check",
+                "--baselines", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # Inject a regression: the same gate must now fail.
+        self._write(tmp_path / "cur", "BENCH_a.json", payload({"v": 1.0}))
+        code = main(
+            [
+                "bench-check",
+                "--baselines", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_committed_baselines_exist_for_tier1_benchmarks(self):
+        """The repo ships baselines for every tier-1 BENCH json."""
+        from pathlib import Path
+
+        baseline_dir = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
+        names = {path.name for path in baseline_dir.glob("BENCH_*.json")}
+        assert {
+            "BENCH_backends.json",
+            "BENCH_backends_join.json",
+            "BENCH_pricing.json",
+            "BENCH_service.json",
+            "BENCH_service_batching.json",
+        } <= names
+        for path in baseline_dir.glob("BENCH_*.json"):
+            data = json.loads(path.read_text())
+            assert data.get("speedups"), f"{path.name} has no speedups block"

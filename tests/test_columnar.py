@@ -5,7 +5,6 @@ including NULL semantics; ``PlanNode.execute_batch`` must agree with
 ``execute`` on the flat shapes it supports and raise cleanly elsewhere.
 """
 
-import numpy as np
 import pytest
 
 from repro.db.columnar import (
@@ -28,7 +27,6 @@ from repro.db.expr import (
     Literal,
     Not,
     Or,
-    Scope,
 )
 from repro.db.plan import Aggregate, Filter, Project, ProjectItem, TableScan
 from repro.db.query import sql_query

@@ -1,6 +1,5 @@
 """Tests for conflict-set computation (semantics + pruning)."""
 
-import numpy as np
 import pytest
 
 from repro.db.query import sql_query

@@ -6,7 +6,7 @@ import pytest
 from repro.core.algorithms import Layering, LPIP
 from repro.db.query import sql_query
 from repro.qirana.conflict import ConflictSetEngine
-from repro.support.designer import SupportDesigner, designed_support
+from repro.support.designer import designed_support
 from repro.core.hypergraph import PricingInstance
 
 QUERIES = [

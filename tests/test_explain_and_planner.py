@@ -1,6 +1,5 @@
 """Tests for EXPLAIN output and planner rewrites it makes visible."""
 
-import pytest
 
 from repro.db.explain import explain, format_expr
 from repro.db.expr import (

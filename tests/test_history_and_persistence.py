@@ -183,6 +183,22 @@ class TestPersistence:
         assert restored.cumulative_price_consistent("alice")
         assert restored.quote("alice", frozenset({0, 1, 2})).marginal_price == 0.0
 
+    def test_market_state_roundtrips_quote_cache(self, tmp_path, item_pricing):
+        """The canonical quote cache survives a restart (warm start)."""
+        from repro.qirana.persistence import QuoteEntry
+
+        entries = [
+            QuoteEntry("a" * 64, "select 1 from T", 3.25, frozenset({0, 2})),
+            QuoteEntry("b" * 64, "select 2 from T", 0.0, frozenset()),
+        ]
+        path = tmp_path / "market.json"
+        save_market_state(item_pricing, {}, path, quotes=entries)
+        state = load_market_state(path)
+        assert state.quotes == tuple(entries)
+        # Prices round-trip bit-exactly (JSON floats are repr-faithful).
+        assert state.quotes[0].price == 3.25
+        assert state.quotes[1].bundle == frozenset()
+
     def test_legacy_state_without_ledgers_loads(self, tmp_path, item_pricing):
         """Snapshot files from before transactions/history stay readable."""
         import json
@@ -202,6 +218,7 @@ class TestPersistence:
         assert state.bundles == {"q": frozenset({1})}
         assert state.transactions == ()
         assert state.owned == {}
+        assert state.quotes == ()
 
     def test_loaded_pricing_prices_quotes_identically(
         self, tmp_path, mini_support

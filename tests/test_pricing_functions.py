@@ -37,6 +37,37 @@ class TestUniformBundlePricing:
 
 
 class TestItemPricing:
+    def test_equal_bundles_price_bit_identically(self):
+        """Regression: prices are a function of the *set*, not its history.
+
+        Equal frozensets can iterate in different orders depending on how
+        they were built (insertion order shapes the hash table), so a
+        scatter/gathered union and a directly computed conflict set used to
+        price apart by a few ulps. Prices must sum in canonical (ascending)
+        order in both the scalar and the CSR form.
+        """
+        rng = np.random.default_rng(5)
+        pricing = ItemPricing(rng.uniform(0.0, 1.0, 400))
+        members = [int(i) for i in rng.choice(400, size=120, replace=False)]
+        constructions = [
+            frozenset(members),
+            frozenset(reversed(members)),
+            frozenset(sorted(members)),
+            # Incremental unions in odd chunk sizes (the sharded gather).
+            frozenset().union(
+                *(frozenset(members[start : start + 7])
+                  for start in range(0, len(members), 7))
+            ),
+        ]
+        reference = float(sum(pricing.weights[item] for item in sorted(members)))
+        csr_reference = float(pricing.price_edges([constructions[0]])[0])
+        for bundle in constructions:
+            assert bundle == constructions[0]
+            assert pricing.price(bundle) == reference
+            # The CSR form may round differently (pairwise summation) but
+            # must be equally construction-order-independent.
+            assert float(pricing.price_edges([bundle])[0]) == csr_reference
+
     def test_additive_price(self):
         pricing = ItemPricing([1.0, 2.0, 3.0])
         assert pricing.price({0, 2}) == 4.0

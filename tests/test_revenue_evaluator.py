@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.evaluator import (
     RevenueEvaluator,
-    RevenueStrategy,
     ScalarRevenueStrategy,
     available_revenue_strategies,
     default_evaluator,

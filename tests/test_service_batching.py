@@ -1,0 +1,161 @@
+"""MicroBatcher unit tests: coalescing, admission control, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError, ServiceOverloadError
+from repro.service.batching import BatchRequest, MicroBatcher
+
+
+def echo(batch):
+    return [request.payload for request in batch]
+
+
+def make_requests(*payloads):
+    return [BatchRequest.make(payload, f"key-{payload}") for payload in payloads]
+
+
+class TestSynchronousMode:
+    def test_executes_inline_in_chunks(self):
+        calls = []
+
+        def execute(batch):
+            calls.append(len(batch))
+            return echo(batch)
+
+        batcher = MicroBatcher(execute, max_batch_size=2, start=False)
+        requests = make_requests(*range(5))
+        batcher.submit(requests)
+        assert [r.future.result(timeout=0) for r in requests] == list(range(5))
+        assert calls == [2, 2, 1]
+        stats = batcher.stats()
+        assert stats.batches == 3
+        assert stats.batched_requests == 5
+        assert stats.max_batch_size == 2
+        assert stats.accepted == 5
+
+    def test_sync_mode_never_sheds(self):
+        batcher = MicroBatcher(echo, max_queue_depth=1, start=False)
+        requests = make_requests(*range(10))
+        batcher.submit(requests)  # no queue, nothing to bound
+        assert batcher.stats().shed == 0
+
+    def test_execute_exception_reaches_every_future(self):
+        def explode(batch):
+            raise ValueError("boom")
+
+        batcher = MicroBatcher(explode, start=False)
+        requests = make_requests("a", "b")
+        batcher.submit(requests)
+        for request in requests:
+            with pytest.raises(ValueError, match="boom"):
+                request.future.result(timeout=0)
+
+
+class TestThreadedMode:
+    def test_coalesces_concurrent_submissions(self):
+        release = threading.Event()
+        sizes = []
+
+        def execute(batch):
+            if not release.wait(timeout=5):
+                raise TimeoutError("gate never opened")
+            sizes.append(len(batch))
+            return echo(batch)
+
+        batcher = MicroBatcher(execute, max_batch_size=8, max_batch_delay=0.05)
+        try:
+            first = make_requests(0)
+            batcher.submit(first)  # occupies the worker at the gate
+            time.sleep(0.01)
+            rest = make_requests(*range(1, 7))
+            for request in rest:
+                batcher.submit([request])
+            release.set()
+            results = [r.future.result(timeout=5) for r in first + rest]
+        finally:
+            release.set()
+            batcher.close()
+        assert results == list(range(7))
+        # The six follow-ups queued while the worker was busy coalesce into
+        # one flush (their window had already elapsed).
+        assert sizes[0] in (1, 7)
+        assert max(sizes) >= 6
+
+    def test_bounded_queue_sheds_whole_submissions(self):
+        release = threading.Event()
+
+        def execute(batch):
+            if not release.wait(timeout=5):
+                raise TimeoutError("gate never opened")
+            return echo(batch)
+
+        batcher = MicroBatcher(
+            execute, max_batch_size=1, max_batch_delay=0.0, max_queue_depth=2
+        )
+        try:
+            admitted = make_requests("running")
+            batcher.submit(admitted)  # popped by the worker, gated
+            time.sleep(0.01)
+            queued = make_requests("q1", "q2")
+            batcher.submit(queued)  # fills the queue to its bound
+            with pytest.raises(ServiceOverloadError, match="queue is full"):
+                batcher.submit(make_requests("overflow"))
+            # A multi-request submission is all-or-nothing.
+            with pytest.raises(ServiceOverloadError):
+                batcher.submit(make_requests("o1", "o2", "o3"))
+            stats = batcher.stats()
+            assert stats.accepted == 3
+            assert stats.shed == 4
+            assert stats.queue_depth <= 2
+            assert stats.shed_rate == pytest.approx(4 / 7)
+            release.set()
+            # Shed requests left no trace; admitted ones all complete.
+            for request in admitted + queued:
+                assert request.future.result(timeout=5) == request.payload
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_empty_queue_admits_oversized_submission(self):
+        """Progress guarantee: a submission larger than the bound is not
+        permanently unadmittable — an empty queue admits it whole (the
+        offline bulk paths submit whole workloads in one call)."""
+        batcher = MicroBatcher(echo, max_batch_size=4, max_queue_depth=2)
+        try:
+            requests = make_requests(*range(10))
+            batcher.submit(requests)
+            assert [r.future.result(timeout=5) for r in requests] == list(range(10))
+            assert batcher.stats().shed == 0
+        finally:
+            batcher.close()
+
+    def test_close_flushes_pending_then_rejects(self):
+        batcher = MicroBatcher(echo, max_batch_delay=0.2)
+        requests = make_requests(*range(4))
+        batcher.submit(requests)
+        batcher.close()
+        assert [r.future.result(timeout=0) for r in requests] == list(range(4))
+        with pytest.raises(ServiceError, match="closed"):
+            batcher.submit(make_requests("late"))
+
+    def test_restart_after_close(self):
+        batcher = MicroBatcher(echo)
+        batcher.close()
+        batcher.start()
+        request = make_requests("again")
+        batcher.submit(request)
+        assert request[0].future.result(timeout=5) == "again"
+        batcher.close()
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ServiceError, match="max_batch_size"):
+            MicroBatcher(echo, max_batch_size=0, start=False)
+        with pytest.raises(ServiceError, match="max_batch_delay"):
+            MicroBatcher(echo, max_batch_delay=-1, start=False)
+        with pytest.raises(ServiceError, match="max_queue_depth"):
+            MicroBatcher(echo, max_queue_depth=0, start=False)

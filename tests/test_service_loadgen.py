@@ -87,12 +87,16 @@ class TestClosedLoop:
 
     def test_quoting_errors_are_counted_not_raised(self, mini_support):
         # No pricing installed: every request errors, the run still reports.
+        # Errored requests are counted but not timed — only *served*
+        # requests belong in the percentiles, so latency.count tracks the
+        # completed count.
         with PricingService(QueryMarket(mini_support)) as unpriced:
             report = run_load(
                 unpriced, QUERIES, LoadProfile(num_requests=20, num_clients=2)
             )
         assert report.errors == 20
-        assert report.latency.count == 20
+        assert report.completed == 0
+        assert report.latency.count == 0
 
     def test_unexpected_errors_do_not_kill_client_threads(self, service, monkeypatch):
         # A non-ReproError from the engine must count as an errored request,
@@ -115,8 +119,11 @@ class TestClosedLoop:
         report = run_load(
             service, QUERIES, LoadProfile(num_requests=30, num_clients=3, seed=7)
         )
-        assert report.latency.count == 30
         assert report.errors == 10
+        # Only the 20 served requests are timed: a fast-fail error must not
+        # flatter the latency percentiles.
+        assert report.completed == 20
+        assert report.latency.count == 20
 
 
 class TestOpenLoop:

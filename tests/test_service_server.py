@@ -1,6 +1,5 @@
 """Unit tests for PricingService: caching, batching, sessions, persistence."""
 
-import numpy as np
 import pytest
 
 from repro.core.pricing import ItemPricing
@@ -193,6 +192,92 @@ class TestSnapshotRestore:
         with pytest.raises(PricingError, match="nothing to snapshot"):
             service.snapshot(tmp_path / "nope.json")
 
+    def test_restore_starts_warm(self, sync_service, mini_support, tmp_path):
+        """The quote cache is persisted: a restarted tier serves hits only."""
+        for sql in QUERIES:
+            sync_service.quote(sql)
+        path = tmp_path / "service.json"
+        sync_service.snapshot(path)
+
+        fresh = PricingService(QueryMarket(mini_support), start=False)
+        fresh.restore(path)
+        for sql in QUERIES:
+            assert fresh.quote(sql).price == sync_service.quote(sql).price
+        stats = fresh.stats()
+        assert stats.quotes.hits == len(QUERIES)
+        assert stats.quotes.misses == 0
+        # No miss ever reached the batcher, so no conflict set was computed.
+        assert stats.batcher.batches == 0
+
+    def test_restored_quotes_invalidate_on_install(
+        self, sync_service, mini_support, tmp_path
+    ):
+        sync_service.quote(QUERIES[0])
+        path = tmp_path / "service.json"
+        sync_service.snapshot(path)
+        fresh = PricingService(QueryMarket(mini_support), start=False)
+        fresh.restore(path)
+        fresh.install_pricing(uniform_calibrated_pricing(mini_support, 50.0))
+        assert fresh.quote(QUERIES[0]).price == pytest.approx(
+            sync_service.quote(QUERIES[0]).price / 2.0
+        )
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_sheds(self, mini_support):
+        import threading
+
+        from repro.exceptions import ServiceOverloadError
+
+        market = QueryMarket(mini_support)
+        market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        service = PricingService(
+            market, max_batch_size=1, max_batch_delay=0.0, max_queue_depth=1
+        )
+        gate = threading.Event()
+        original = service._execute
+
+        def gated(batch):
+            gate.wait(timeout=5)
+            return original(batch)
+
+        service._batcher._execute = gated
+        distinct = [
+            f"select Name from Country where Population > {bound}"
+            for bound in range(100, 108)
+        ]
+        served, shed = [], []
+
+        def client(sql):
+            try:
+                served.append(service.quote(sql).price)
+            except ServiceOverloadError:
+                shed.append(sql)
+
+        threads = [
+            threading.Thread(target=client, args=(sql,), daemon=True)
+            for sql in distinct
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=0.05)
+        finally:
+            gate.set()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+            service.close()
+        assert shed and served
+        assert len(served) + len(shed) == len(distinct)
+        assert stats.shed == len(shed)
+        assert stats.accepted == len(served)
+
+    def test_admission_disabled_with_none(self, mini_support):
+        service = PricingService(mini_support, max_queue_depth=None, start=False)
+        assert service.max_queue_depth is None
+
 
 class TestValidation:
     def test_bad_batch_size(self, market):
@@ -202,6 +287,10 @@ class TestValidation:
     def test_bad_batch_delay(self, market):
         with pytest.raises(ServiceError, match="max_batch_delay"):
             PricingService(market, max_batch_delay=-0.1, start=False)
+
+    def test_bad_queue_depth(self, market):
+        with pytest.raises(ServiceError, match="max_queue_depth"):
+            PricingService(market, max_queue_depth=0, start=False)
 
     def test_support_set_shorthand(self, mini_support):
         service = PricingService(mini_support, start=False)

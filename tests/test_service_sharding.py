@@ -1,0 +1,494 @@
+"""Sharded serving-tier tests: partitioning, routing, parity, overload, warmth.
+
+The sharded tier's claims:
+
+1. **Exact scatter/gather** — the union of per-shard partial conflict sets
+   equals the unsharded conflict set, so prices are bit-equal to a plain
+   ``QueryMarket`` over the full support, under any shard count and under
+   N-thread load.
+2. **Deterministic routing** — the home shard of a canonical key is a pure
+   function of (key, shard count): identical across service instances and
+   across restarts, and mostly stable under resharding.
+3. **Bounded overload** — per-shard queues shed with
+   ``ServiceOverloadError`` instead of growing unboundedly; accepted/shed
+   counters account for every offered request and no accepted request is
+   lost.
+4. **Warm restarts** — a restored tier serves its persisted working set as
+   cache hits without touching any shard's conflict engine, even when the
+   shard count changed across the restart.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PricingError, ServiceError, ServiceOverloadError
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import (
+    ConsistentHashRouter,
+    LoadProfile,
+    ShardedPricingService,
+    partition_support,
+    run_load,
+    zipf_schedule,
+)
+
+QUERIES = [
+    "select Name from Country",
+    "select Code from Country where Population > 20000000",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+    "select CountryCode from CountryLanguage where Percentage > 90",
+    "select max(LifeExpectancy) from Country",
+    "select Name from Country where Continent = 'Europe'",
+]
+
+
+@pytest.fixture
+def oracle(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return market
+
+
+@pytest.fixture
+def pricing(mini_support):
+    return uniform_calibrated_pricing(mini_support, 100.0)
+
+
+def make_service(mini_support, pricing, **kwargs):
+    kwargs.setdefault("num_shards", 3)
+    kwargs.setdefault("start", False)
+    service = ShardedPricingService(mini_support, **kwargs)
+    service.install_pricing(pricing)
+    return service
+
+
+class TestPartitioning:
+    def test_round_robin_covers_every_instance_once(self, mini_support):
+        partitions = partition_support(mini_support, 3)
+        seen = sorted(
+            int(global_id)
+            for partition in partitions
+            for global_id in partition.global_ids
+        )
+        assert seen == list(range(len(mini_support)))
+        # Shard-local ids are consecutive and the deltas are preserved.
+        for partition in partitions:
+            for local, instance in enumerate(partition.support.instances):
+                assert instance.instance_id == local
+                original = mini_support.instance(int(partition.global_ids[local]))
+                assert instance.deltas == original.deltas
+
+    def test_to_global_maps_local_bundles(self, mini_support):
+        partition = partition_support(mini_support, 4)[1]
+        local = frozenset(range(len(partition)))
+        assert partition.to_global(local) == frozenset(
+            int(g) for g in partition.global_ids
+        )
+
+    def test_more_shards_than_instances_rejected(self, mini_support):
+        with pytest.raises(ServiceError, match="shards"):
+            partition_support(mini_support, len(mini_support) + 1)
+        with pytest.raises(ServiceError, match="num_shards"):
+            partition_support(mini_support, 0)
+
+
+class TestRouting:
+    def test_routing_is_deterministic_across_instances(self):
+        keys = [f"key-{i:04d}" for i in range(500)]
+        first = ConsistentHashRouter(4)
+        second = ConsistentHashRouter(4)
+        assert [first.route(k) for k in keys] == [second.route(k) for k in keys]
+
+    def test_every_shard_owns_part_of_the_keyspace(self):
+        router = ConsistentHashRouter(4)
+        homes = {router.route(f"key-{i:04d}") for i in range(500)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_resharding_moves_a_minority_of_keys(self):
+        keys = [f"key-{i:05d}" for i in range(2000)]
+        four = ConsistentHashRouter(4)
+        five = ConsistentHashRouter(5)
+        moved = sum(four.route(k) != five.route(k) for k in keys)
+        # Consistent hashing: adding a fifth shard re-homes ~1/5 of the
+        # keyspace, not ~4/5 like modulo hashing would.
+        assert moved / len(keys) < 0.5
+
+    def test_home_shard_same_across_service_restarts(self, mini_support, pricing):
+        first = make_service(mini_support, pricing)
+        second = make_service(mini_support, pricing)
+        for sql in QUERIES:
+            assert first.home_shard(sql) == second.home_shard(sql)
+
+    def test_textual_variants_share_a_home_shard(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        assert service.home_shard(
+            "select Name from Country"
+        ) == service.home_shard("SELECT  Name   FROM  country")
+
+
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_prices_and_bundles_match_unsharded_oracle(
+        self, mini_support, pricing, oracle, num_shards
+    ):
+        service = make_service(mini_support, pricing, num_shards=num_shards)
+        for sql in QUERIES:
+            served = service.quote(sql)
+            expected = oracle.quote(sql)
+            assert served.price == expected.price
+            assert served.bundle == expected.bundle
+            assert served.query_text == sql
+
+    def test_quote_many_and_repeat_hits(self, mini_support, pricing, oracle):
+        service = make_service(mini_support, pricing)
+        quotes = service.quote_many(QUERIES)
+        for sql, quote in zip(QUERIES, quotes):
+            assert quote.price == oracle.quote(sql).price
+        again = [service.quote(sql) for sql in QUERIES]
+        stats = service.stats()
+        totals = stats.quote_cache_totals()
+        assert totals["hits"] == len(QUERIES)
+        assert totals["misses"] == len(QUERIES)
+        assert [q.price for q in again] == [q.price for q in quotes]
+
+    def test_parity_under_thread_load(self, mini_support, pricing, oracle):
+        requests_per_thread, num_threads = 40, 8
+        schedule = zipf_schedule(
+            len(QUERIES),
+            requests_per_thread * num_threads,
+            1.0,
+            np.random.default_rng(7),
+        )
+        with ShardedPricingService(
+            mini_support, num_shards=3, max_batch_size=8, max_batch_delay=0.0005
+        ) as service:
+            service.install_pricing(pricing)
+            failures = []
+
+            def client(thread_id: int) -> None:
+                for index in schedule[thread_id::num_threads]:
+                    try:
+                        quote = service.quote(QUERIES[int(index)])
+                        expected = oracle.quote(QUERIES[int(index)])
+                        if quote.price != expected.price:
+                            failures.append((QUERIES[int(index)], quote.price))
+                    except Exception as exc:  # noqa: BLE001 - collected below
+                        failures.append((QUERIES[int(index)], repr(exc)))
+
+            threads = [
+                threading.Thread(target=client, args=(t,), daemon=True)
+                for t in range(num_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert not failures
+        totals = stats.quote_cache_totals()
+        # Counter consistency: every request consulted its home cache
+        # exactly once, and every miss was explicitly admitted.
+        assert totals["hits"] + totals["misses"] == len(schedule)
+        assert stats.accepted == totals["misses"]
+        assert stats.shed == 0
+
+    def test_loadgen_reports_per_shard_latency(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        report = run_load(
+            service,
+            QUERIES,
+            LoadProfile(num_requests=80, num_clients=1, zipf_s=0.0, seed=3),
+        )
+        assert report.errors == 0 and report.shed == 0
+        assert report.per_shard  # home-shard breakdown present
+        assert sum(s.count for s in report.per_shard.values()) == 80
+        homes = {service.home_shard(sql) for sql in QUERIES}
+        assert set(report.per_shard) <= homes
+
+    def test_quote_without_pricing_raises(self, mini_support):
+        service = ShardedPricingService(mini_support, num_shards=2, start=False)
+        with pytest.raises(PricingError, match="no pricing installed"):
+            service.quote(QUERIES[0])
+
+    def test_install_invalidates_every_shard(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        before = {sql: service.quote(sql).price for sql in QUERIES}
+        service.install_pricing(uniform_calibrated_pricing(mini_support, 50.0))
+        after = {sql: service.quote(sql).price for sql in QUERIES}
+        for sql in QUERIES:
+            assert after[sql] == pytest.approx(before[sql] / 2.0)
+        stats = service.stats()
+        # Each previously cached key was lazily dropped once on re-access.
+        assert sum(s.quotes.stale_drops for s in stats.shards) == len(QUERIES)
+
+
+class TestTransactionsAndSessions:
+    def test_purchase_records_transactions(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        answer, quote = service.purchase(QUERIES[0], buyer="alice")
+        assert answer is not None
+        assert service.revenue == pytest.approx(quote.price)
+        assert service.transactions[0].buyer == "alice"
+
+    def test_concurrent_purchases_never_lose_transactions(
+        self, mini_support, pricing
+    ):
+        with ShardedPricingService(mini_support, num_shards=2) as service:
+            service.install_pricing(pricing)
+            threads = [
+                threading.Thread(
+                    target=lambda b=buyer: [
+                        service.purchase(sql, buyer=f"buyer-{b}")
+                        for sql in QUERIES
+                    ],
+                    daemon=True,
+                )
+                for buyer in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(service.transactions) == 6 * len(QUERIES)
+
+    def test_session_marginal_pricing_telescopes(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        session = service.session("alice")
+        total = 0.0
+        for sql in QUERIES[:4]:
+            _, marginal = session.purchase(sql)
+            total += marginal.marginal_price
+        assert total == pytest.approx(pricing.price(session.holdings))
+        assert session.total_paid == pytest.approx(total)
+
+
+class TestOverloadShedding:
+    def _gated_service(self, mini_support, pricing, gate, **kwargs):
+        kwargs.setdefault("num_shards", 2)
+        kwargs.setdefault("max_batch_size", 1)
+        kwargs.setdefault("max_batch_delay", 0.0)
+        kwargs.setdefault("max_queue_depth", 2)
+        service = ShardedPricingService(mini_support, **kwargs)
+        service.install_pricing(pricing)
+        for worker in service._workers:
+            original = worker.batcher._execute
+
+            def gated(batch, _original=original):
+                gate.wait()
+                return _original(batch)
+
+            worker.batcher._execute = gated
+        return service
+
+    def test_full_queues_shed_with_typed_error(self, mini_support, pricing, oracle):
+        distinct = [
+            f"select Name from Country where Population > {bound}"
+            for bound in range(1000, 1000 + 16)
+        ]
+        gate = threading.Event()
+        service = self._gated_service(mini_support, pricing, gate)
+        served: dict[str, float] = {}
+        shed: list[str] = []
+        lock = threading.Lock()
+
+        def client(sql: str) -> None:
+            try:
+                quote = service.quote(sql)
+                with lock:
+                    served[sql] = quote.price
+            except ServiceOverloadError:
+                with lock:
+                    shed.append(sql)
+
+        threads = [
+            threading.Thread(target=client, args=(sql,), daemon=True)
+            for sql in distinct
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            # Give every client time to reach admission while the shard
+            # workers are gated shut; bounded queues must reject the rest.
+            for thread in threads:
+                thread.join(timeout=0.05)
+        finally:
+            gate.set()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+            service.close()
+        assert shed, "bounded queues never shed under a gated worker"
+        assert served, "admission control shed every request"
+        assert len(served) + len(shed) == len(distinct)
+        # No accepted request was lost or mispriced.
+        for sql, price in served.items():
+            assert price == oracle.quote(sql).price
+        # Counter proof: service-level accepted/shed account for every
+        # offered request (sheds are charged to the home shard, whether the
+        # pre-scatter check or a worker queue refused), and worker queues
+        # never exceeded their bound.
+        assert stats.accepted == len(served)
+        assert stats.shed == len(shed)
+        assert sum(s.requests_shed for s in stats.shards) == len(shed)
+        for shard in stats.shards:
+            assert shard.batcher.queue_depth <= 2
+
+    def test_sync_mode_never_sheds(self, mini_support, pricing):
+        service = make_service(mini_support, pricing, max_queue_depth=1)
+        for sql in QUERIES:
+            service.quote(sql)
+        assert service.stats().shed == 0
+
+    def test_open_loop_overload_sheds_and_recovers(self, mini_support, pricing):
+        """End-to-end: a gated tier sheds open-loop arrivals, then recovers."""
+        gate = threading.Event()
+        service = self._gated_service(
+            mini_support, pricing, gate, max_queue_depth=1
+        )
+        distinct = [
+            f"select Name from City where Population > {bound}"
+            for bound in range(100, 100 + 30)
+        ]
+        try:
+            report = None
+
+            def unblock():
+                # Let the first arrivals pile up, then open the gate so the
+                # run drains and the report reflects both regimes.
+                gate.set()
+
+            timer = threading.Timer(0.05, unblock)
+            timer.start()
+            report = run_load(
+                service,
+                distinct,
+                LoadProfile(
+                    num_requests=30,
+                    num_clients=8,
+                    zipf_s=0.0,
+                    mode="open",
+                    arrival_rate=5000.0,
+                    seed=1,
+                ),
+            )
+            timer.cancel()
+        finally:
+            gate.set()
+            service.close()
+        assert report.errors == 0
+        assert report.shed > 0, report
+        assert report.completed == 30 - report.shed
+        assert report.service["requests_shed"] == report.shed
+        # After recovery the tier still serves: shed requests retried now
+        # succeed (admission control shed, it did not poison anything).
+        reopened = ShardedPricingService(mini_support, num_shards=2, start=False)
+        reopened.install_pricing(pricing)
+        for sql in distinct:
+            assert reopened.quote(sql).price > 0.0
+
+
+class TestWarmSnapshots:
+    def test_restore_serves_working_set_without_recomputing(
+        self, mini_support, pricing, oracle, tmp_path
+    ):
+        service = make_service(mini_support, pricing)
+        session = service.session("alice")
+        session.purchase(QUERIES[0])
+        for sql in QUERIES:
+            service.quote(sql)
+        path = tmp_path / "tier.json"
+        service.snapshot(path)
+
+        restored = ShardedPricingService(mini_support, num_shards=3, start=False)
+        restored.restore(path)
+        for sql in QUERIES:
+            quote = restored.quote(sql)
+            assert quote.price == oracle.quote(sql).price
+        stats = restored.stats()
+        totals = stats.quote_cache_totals()
+        # 100% warm: every post-restart request is a cache hit and no shard
+        # scheduler nor conflict engine ever ran.
+        assert totals["hits"] == len(QUERIES)
+        assert totals["misses"] == 0
+        assert all(s.batcher.batches == 0 for s in stats.shards)
+        assert all(s.batcher.accepted == 0 for s in stats.shards)
+        # Ledger and transactions survived too.
+        assert restored.transactions == service.transactions
+        assert restored.session("alice").holdings == session.holdings
+
+    def test_restore_across_reshard_stays_warm(
+        self, mini_support, pricing, oracle, tmp_path
+    ):
+        service = make_service(mini_support, pricing, num_shards=2)
+        for sql in QUERIES:
+            service.quote(sql)
+        path = tmp_path / "tier.json"
+        service.snapshot(path)
+
+        resharded = ShardedPricingService(mini_support, num_shards=5, start=False)
+        resharded.restore(path)
+        for sql in QUERIES:
+            assert resharded.quote(sql).price == oracle.quote(sql).price
+        totals = resharded.stats().quote_cache_totals()
+        assert totals["misses"] == 0, totals
+
+    def test_partial_bundle_caches_are_reseeded(
+        self, mini_support, pricing, tmp_path
+    ):
+        service = make_service(mini_support, pricing, num_shards=2)
+        quote = service.quote(QUERIES[1])
+        path = tmp_path / "tier.json"
+        service.snapshot(path)
+        restored = ShardedPricingService(mini_support, num_shards=4, start=False)
+        restored.restore(path)
+        # The global bundle was split back into per-shard partials whose
+        # union reproduces it (so even a quote-cache eviction would not
+        # trigger a conflict recomputation).
+        _, key = restored._canonical(QUERIES[1])
+        partials = [
+            worker._bundles.get(key) for worker in restored._workers
+        ]
+        assert all(partial is not None for partial in partials)
+        assert frozenset().union(*partials) == quote.bundle
+
+    def test_snapshot_without_pricing_raises(self, mini_support, tmp_path):
+        service = ShardedPricingService(mini_support, num_shards=2, start=False)
+        with pytest.raises(PricingError, match="nothing to snapshot"):
+            service.snapshot(tmp_path / "tier.json")
+
+
+class TestOptimizePricing:
+    def test_bulk_optimize_larger_than_queue_bound(self, mini_support):
+        """Regression: the offline bulk path must not be shed by admission
+        control — a workload bigger than max_queue_depth is admissible."""
+        from repro.core.algorithms import UBP
+
+        distinct = [
+            f"select Name from Country where Population > {bound}"
+            for bound in range(500, 500 + 12)
+        ]
+        with ShardedPricingService(
+            mini_support, num_shards=2, max_queue_depth=4
+        ) as service:
+            result = service.optimize_pricing(distinct, [3.0] * 12, UBP())
+            assert result.revenue >= 0.0
+            assert service.stats().shed == 0
+
+    def test_optimize_matches_unsharded_market(self, mini_support):
+        from repro.core.algorithms import UBP
+
+        texts = QUERIES[:5]
+        valuations = [12.0, 7.0, 9.0, 4.0, 11.0]
+        market = QueryMarket(mini_support)
+        expected = market.optimize_pricing(texts, valuations, UBP())
+
+        service = ShardedPricingService(mini_support, num_shards=3, start=False)
+        result = service.optimize_pricing(texts, valuations, UBP())
+        assert result.revenue == pytest.approx(expected.revenue)
+        for sql in texts:
+            assert service.quote(sql).price == market.quote(sql).price

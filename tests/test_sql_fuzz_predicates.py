@@ -15,7 +15,6 @@ import re
 from dataclasses import dataclass
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.db.query import sql_query

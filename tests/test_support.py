@@ -1,6 +1,5 @@
 """Unit tests for support-set deltas and the neighbor sampler."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SupportError

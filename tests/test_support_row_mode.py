@@ -60,7 +60,6 @@ class TestRowMode:
         """A query reading one row conflicts iff that row's instance exists."""
         from repro.db.query import sql_query
         from repro.qirana.conflict import ConflictSetEngine
-        from repro.support.generator import SupportSet
 
         sampler = NeighborSampler(mini_db, rng=1, mode="row")
         support = sampler.generate(100)

@@ -7,7 +7,7 @@ exhibit the claimed revenue gap for the corresponding pricing family.
 import numpy as np
 import pytest
 
-from repro.core.algorithms import UBP, UIP, LPIP, Layering
+from repro.core.algorithms import UBP, UIP, LPIP
 from repro.workloads.synthetic import (
     harmonic_instance,
     laminar_instance,

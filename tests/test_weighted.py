@@ -1,6 +1,5 @@
 """Tests for Qirana's calibrated weighted pricing baselines."""
 
-import numpy as np
 import pytest
 
 from repro.core.hypergraph import Hypergraph

@@ -1,6 +1,5 @@
 """Tests for the four paper workloads (small scales for speed)."""
 
-import numpy as np
 import pytest
 
 from repro.db.query import sql_query
