@@ -73,10 +73,39 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--template", default=None,
                        help="with --join-only: keep only queries containing "
                             "this substring (e.g. 'count(*)')")
+    bench.add_argument("--tables", type=int, default=2,
+                       help="with --join-only: join width to time (e.g. 3 "
+                            "for the cascaded three-way kernels)")
+    bench.add_argument("--having-min", type=int, default=None,
+                       help="with --join-only: keep grouped templates and "
+                            "append 'having count(*) >= N' to each (times "
+                            "the HAVING visibility-mask kernel)")
     bench.add_argument("--json", dest="json_path", default="BENCH_backends.json",
                        help="where to write the machine-readable summary")
     bench.add_argument("--no-json", action="store_true",
                        help="skip writing the JSON summary")
+
+    bench_templates = commands.add_parser(
+        "bench-templates",
+        help="time miss-path plan resolution with vs without the "
+             "shape-keyed template cache",
+    )
+    bench_templates.add_argument("--workload", default="ssb",
+                                 choices=["skewed", "uniform", "tpch", "ssb"])
+    bench_templates.add_argument("--support", type=int, default=None)
+    bench_templates.add_argument("--scale", type=float, default=None)
+    bench_templates.add_argument("--queries", type=int, default=None,
+                                 help="distinct workload queries in the pool")
+    bench_templates.add_argument("--requests", type=int, default=700,
+                                 help="length of the replayed query stream")
+    bench_templates.add_argument("--zipf", type=float, default=1.1,
+                                 help="Zipf skew of the stream (0 = uniform)")
+    bench_templates.add_argument("--json", dest="json_path",
+                                 default="BENCH_template_cache.json",
+                                 help="where to write the machine-readable "
+                                      "summary")
+    bench_templates.add_argument("--no-json", action="store_true",
+                                 help="skip writing the JSON summary")
 
     bench_rev = commands.add_parser(
         "bench-revenue",
@@ -197,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "strategies": _cmd_strategies,
         "price": _cmd_price,
         "bench-backends": _cmd_bench_backends,
+        "bench-templates": _cmd_bench_templates,
         "bench-revenue": _cmd_bench_revenue,
         "serve-bench": _cmd_serve_bench,
         "bench-check": _cmd_bench_check,
@@ -257,9 +287,17 @@ def _write_bench_json(artifact, args: argparse.Namespace) -> None:
 def _cmd_bench_backends(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
-    if args.template is not None and not args.join_only:
-        print("error: --template requires --join-only", file=sys.stderr)
-        return 2
+    if not args.join_only:
+        for name, flag in (
+            (args.template, "--template"),
+            (args.having_min, "--having-min"),
+        ):
+            if name is not None:
+                print(f"error: {flag} requires --join-only", file=sys.stderr)
+                return 2
+        if args.tables != 2:
+            print("error: --tables requires --join-only", file=sys.stderr)
+            return 2
     if args.join_only:
         artifact = figures.join_backend_comparison(
             workload_name=args.workload,
@@ -267,6 +305,8 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
             support_size=args.support,
             num_queries=args.queries,
             template=args.template,
+            num_tables=args.tables,
+            having_min=args.having_min,
         )
     else:
         artifact = figures.backend_comparison(
@@ -275,6 +315,22 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
             support_size=args.support,
             num_queries=args.queries,
         )
+    print(artifact)
+    _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_bench_templates(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    artifact = figures.template_cache_speedup(
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+        num_queries=args.queries,
+        num_requests=args.requests,
+        zipf_s=args.zipf,
+    )
     print(artifact)
     _write_bench_json(artifact, args)
     return 0

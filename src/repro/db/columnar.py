@@ -155,6 +155,24 @@ class ColumnarBatch:
 BatchEvaluator = Callable[[ColumnarBatch], ColumnVector]
 
 
+class LiteralBindings:
+    """The mutable literal vector a parameterized template reads at call time.
+
+    A template compiles once with each stripped Literal node assigned a
+    position in this vector (see ``param_slots`` on :func:`compile_expr`);
+    executing the Nth literal-variant then *binds* its extracted literals
+    here instead of recompiling — the compiled closures read the slot on
+    every evaluation. The holder is shared by every evaluator of one
+    template, so installing a variant's vector re-targets all of them at
+    once. Not safe for concurrent evaluation of different variants.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: tuple[Value, ...] = ()):
+        self.values = tuple(values)
+
+
 def table_batch(relation, scope: Scope | None = None) -> ColumnarBatch:
     """Columnarize a whole relation (all rows, all columns)."""
     schema = relation.schema
@@ -239,11 +257,34 @@ def _compare(op: str, a: ColumnVector, b: ColumnVector) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
-def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
+def _literal_vector(value: Value, n: int) -> ColumnVector:
+    """A constant broadcast to ``n`` rows (NULL, numeric, or object)."""
+    if value is None:
+        return ColumnVector(np.full(n, np.nan), np.ones(n, dtype=bool))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return ColumnVector(np.full(n, float(value)), np.zeros(n, dtype=bool))
+    data = np.empty(n, dtype=object)
+    data[:] = value
+    return ColumnVector(data, np.zeros(n, dtype=bool))
+
+
+def compile_expr(
+    expression: Expr,
+    scope: Scope,
+    bindings: LiteralBindings | None = None,
+    param_slots: dict[int, int] | None = None,
+) -> BatchEvaluator:
     """Compile ``expression`` against ``scope`` into a batch evaluator.
 
     The batched twin of :meth:`Expr.bind`; every expression type is
     supported, so batch-evaluability is decided at the plan level, not here.
+
+    ``param_slots`` maps ``id(literal_node)`` to a position in ``bindings``:
+    a Literal listed there compiles into a closure that reads
+    ``bindings.values[slot]`` at evaluation time instead of baking the value
+    in, which is how one compiled template serves every literal-variant.
+    Literals not listed (and every structural value: LIKE patterns, IN-list
+    members) are baked in exactly as before.
     """
     if isinstance(expression, ColumnRef):
         slot = scope.resolve(expression.qualifier, expression.name)
@@ -260,34 +301,30 @@ def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
         return eval_column
 
     if isinstance(expression, Literal):
+        slot = None if param_slots is None else param_slots.get(id(expression))
+        if slot is not None:
+
+            def eval_param(batch: ColumnarBatch, slot=slot) -> ColumnVector:
+                return _literal_vector(bindings.values[slot], batch.num_rows)
+
+            return eval_param
         value = expression.value
 
         def eval_literal(batch: ColumnarBatch) -> ColumnVector:
-            n = batch.num_rows
-            if value is None:
-                return ColumnVector(
-                    np.full(n, np.nan), np.ones(n, dtype=bool)
-                )
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                return ColumnVector(
-                    np.full(n, float(value)), np.zeros(n, dtype=bool)
-                )
-            data = np.empty(n, dtype=object)
-            data[:] = value
-            return ColumnVector(data, np.zeros(n, dtype=bool))
+            return _literal_vector(value, batch.num_rows)
 
         return eval_literal
 
     if isinstance(expression, Comparison):
         op = expression.op
-        left = compile_expr(expression.left, scope)
-        right = compile_expr(expression.right, scope)
+        left = compile_expr(expression.left, scope, bindings, param_slots)
+        right = compile_expr(expression.right, scope, bindings, param_slots)
         return lambda batch: _bool_vector(_compare(op, left(batch), right(batch)))
 
     if isinstance(expression, Between):
-        operand = compile_expr(expression.operand, scope)
-        low = compile_expr(expression.low, scope)
-        high = compile_expr(expression.high, scope)
+        operand = compile_expr(expression.operand, scope, bindings, param_slots)
+        low = compile_expr(expression.low, scope, bindings, param_slots)
+        high = compile_expr(expression.high, scope, bindings, param_slots)
 
         def eval_between(batch: ColumnarBatch) -> ColumnVector:
             value = operand(batch)
@@ -298,7 +335,7 @@ def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
         return eval_between
 
     if isinstance(expression, Like):
-        operand = compile_expr(expression.operand, scope)
+        operand = compile_expr(expression.operand, scope, bindings, param_slots)
         regex = re.compile(_like_to_regex(expression.pattern), re.IGNORECASE | re.DOTALL)
         negated = expression.negated
 
@@ -325,7 +362,7 @@ def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
         return eval_like
 
     if isinstance(expression, InList):
-        operand = compile_expr(expression.operand, scope)
+        operand = compile_expr(expression.operand, scope, bindings, param_slots)
         members = set(expression.values)
         numeric_members = np.array(
             sorted(
@@ -353,30 +390,30 @@ def compile_expr(expression: Expr, scope: Scope) -> BatchEvaluator:
         return eval_in
 
     if isinstance(expression, IsNull):
-        operand = compile_expr(expression.operand, scope)
+        operand = compile_expr(expression.operand, scope, bindings, param_slots)
         negated = expression.negated
         return lambda batch: _bool_vector(
             ~operand(batch).null if negated else operand(batch).null.copy()
         )
 
     if isinstance(expression, And):
-        left = compile_expr(expression.left, scope)
-        right = compile_expr(expression.right, scope)
+        left = compile_expr(expression.left, scope, bindings, param_slots)
+        right = compile_expr(expression.right, scope, bindings, param_slots)
         return lambda batch: _bool_vector(truth(left(batch)) & truth(right(batch)))
 
     if isinstance(expression, Or):
-        left = compile_expr(expression.left, scope)
-        right = compile_expr(expression.right, scope)
+        left = compile_expr(expression.left, scope, bindings, param_slots)
+        right = compile_expr(expression.right, scope, bindings, param_slots)
         return lambda batch: _bool_vector(truth(left(batch)) | truth(right(batch)))
 
     if isinstance(expression, Not):
-        operand = compile_expr(expression.operand, scope)
+        operand = compile_expr(expression.operand, scope, bindings, param_slots)
         return lambda batch: _bool_vector(~truth(operand(batch)))
 
     if isinstance(expression, Arithmetic):
         op = expression.op
-        left = compile_expr(expression.left, scope)
-        right = compile_expr(expression.right, scope)
+        left = compile_expr(expression.left, scope, bindings, param_slots)
+        right = compile_expr(expression.right, scope, bindings, param_slots)
 
         def eval_arithmetic(batch: ColumnarBatch) -> ColumnVector:
             a = left(batch)

@@ -99,10 +99,12 @@ def random_fuzz_database(
     """A two-table database for conflict-backend parity fuzzing.
 
     ``T(id, k, g, x, y, s)`` joins ``U(k, h, w)`` on the small-domain key
-    ``k``; NULLs are sprinkled through keys, group columns, and aggregate
-    inputs. Float values are multiples of 0.25, so float sums are exact in
-    binary regardless of accumulation order — decisions then depend on the
-    data, not on which order a backend happens to add values in.
+    ``k``, and ``U`` joins ``V(h, v, z)`` on ``h`` — the three-table chain
+    exercises the cascaded join kernels. NULLs are sprinkled through keys,
+    group columns, and aggregate inputs. Float values are multiples of 0.25,
+    so float sums are exact in binary regardless of accumulation order —
+    decisions then depend on the data, not on which order a backend happens
+    to add values in.
     """
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     fact = Relation(
@@ -152,7 +154,27 @@ def random_fuzz_database(
                 int(rng.integers(0, 7)),
             )
         )
-    return Database("fuzz", [fact, dim])
+    outer = Relation(
+        TableSchema(
+            "V",
+            (
+                Column("h", ColumnType.TEXT),
+                Column("v", ColumnType.INT),
+                Column("z", ColumnType.FLOAT),
+            ),
+        )
+    )
+    for _ in range(int(rng.integers(3, 9))):
+        outer.insert(
+            (
+                None
+                if rng.random() < 0.08
+                else FUZZ_TEXT_DOMAIN[int(rng.integers(3))],
+                int(rng.integers(0, 7)),
+                None if rng.random() < 0.1 else float(int(rng.integers(0, 32))) / 4.0,
+            )
+        )
+    return Database("fuzz", [fact, dim, outer])
 
 
 def random_fuzz_value(rng: np.random.Generator, column: Column):
@@ -264,12 +286,14 @@ def random_fuzz_query_text(rng: np.random.Generator | int | None = None) -> str:
     selections/projections, scalar aggregates, GROUP BY (with the group key
     sometimes *not* projected — the collision case), all five aggregate
     functions over INT/FLOAT/TEXT columns, ORDER BY, HAVING, DISTINCT,
-    LIMIT, and two-table equi-joins in flat, scalar, and grouped forms.
-    Extend it here (one new branch per feature) and every parity suite that
-    samples it picks the new shapes up automatically.
+    LIMIT, two-table equi-joins in flat, scalar, and grouped forms
+    (including joined float SUM/AVG and HAVING), and three-table join
+    chains ``T -> U -> V`` in all three forms. Extend it here (one new
+    branch per feature) and every parity suite that samples it picks the
+    new shapes up automatically.
     """
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    kind = int(rng.integers(12))
+    kind = int(rng.integers(16))
     atoms = [_fuzz_fact_atom(rng) for _ in range(int(rng.integers(3)))]
     where = _fuzz_where(rng, atoms)
 
@@ -304,36 +328,84 @@ def random_fuzz_query_text(rng: np.random.Generator | int | None = None) -> str:
             f"select {', '.join(selected)} from T{where} "
             f"group by {', '.join(keys)}{having}{order}"
         )
+    three_way = kind >= 12
     join_atoms = ["T.k = U.k"]
+    if three_way:
+        join_atoms.append("U.h = V.h")
     join_atoms += [_fuzz_fact_atom(rng, "T.") for _ in range(int(rng.integers(3)))]
     if rng.random() < 0.5:
         join_atoms.append(f"U.w {('<', '>=')[int(rng.integers(2))]} {int(rng.integers(0, 7))}")
     if rng.random() < 0.3:
         join_atoms.append(f"U.h = '{FUZZ_TEXT_DOMAIN[int(rng.integers(3))]}'")
+    if three_way and rng.random() < 0.4:
+        join_atoms.append(f"V.v {('<', '>=')[int(rng.integers(2))]} {int(rng.integers(0, 7))}")
     where = " where " + " and ".join(join_atoms)
+    tables = "T, U, V" if three_way else "T, U"
     if kind == 8:
         order = " order by x" if rng.random() < 0.4 else ""
         return f"select T.x as x, U.w as w from T, U{where}{order}"
     if kind == 9:
-        aggs = ["count(*)", "count(U.h)", "sum(T.x)", "avg(T.x)", "sum(U.w)"]
+        # Joined scalar aggregates, including float SUM/AVG — decided via
+        # order-stable contribution enumeration.
+        aggs = [
+            "count(*)", "count(U.h)", "sum(T.x)", "avg(T.x)", "sum(U.w)",
+            "sum(T.y)", "avg(T.y)",
+        ]
         picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
         return f"select {', '.join(aggs[int(i)] for i in picks)} from T, U{where}"
-    key = ("U.h", "T.g", "U.k")[int(rng.integers(3))]
-    aggs = ["count(*)", "sum(T.x)", "min(T.y)", "max(U.w)", "count(T.s)"]
+    if kind in (10, 11):
+        key = ("U.h", "T.g", "U.k")[int(rng.integers(3))]
+        aggs = [
+            "count(*)", "sum(T.x)", "min(T.y)", "max(U.w)", "count(T.s)",
+            "sum(T.y)", "avg(T.y)",
+        ]
+        picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
+        selected = [aggs[int(i)] for i in picks]
+        if rng.random() >= 0.3:
+            selected = [key] + selected
+        having = ""
+        if rng.random() < 0.3:
+            having = f" having count(*) >= {int(rng.integers(1, 4))}"
+        order = ""
+        if rng.random() < 0.35:
+            # Ordered grouped joins: ORDER BY ties are broken by group
+            # emission order, which depends on join contribution *positions*
+            # — the case where value-level comparisons alone are unsound.
+            selected = selected + ["count(*) as c"]
+            order = " order by c"
+        return (
+            f"select {', '.join(selected)} from T, U{where} "
+            f"group by {key}{having}{order}"
+        )
+    if kind == 12:  # flat three-way chain
+        order = " order by x" if rng.random() < 0.4 else ""
+        return f"select T.x as x, U.w as w, V.v as v from {tables}{where}{order}"
+    if kind == 13:  # scalar aggregates over the chain, floats from both ends
+        aggs = [
+            "count(*)", "sum(T.x)", "avg(T.x)", "sum(T.y)", "avg(T.y)",
+            "sum(V.z)", "count(V.h)",
+        ]
+        picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
+        return f"select {', '.join(aggs[int(i)] for i in picks)} from {tables}{where}"
+    # kinds 14/15: grouped three-way, with HAVING or ordered output
+    key = ("U.h", "T.g", "V.v")[int(rng.integers(3))]
+    aggs = [
+        "count(*)", "sum(T.x)", "sum(T.y)", "min(T.y)", "max(U.w)", "sum(V.z)",
+    ]
     picks = rng.choice(len(aggs), size=1 + int(rng.integers(2)), replace=False)
     selected = [aggs[int(i)] for i in picks]
     if rng.random() >= 0.3:
         selected = [key] + selected
+    having = ""
     order = ""
-    if rng.random() < 0.35:
-        # Ordered grouped joins: ORDER BY ties are broken by group emission
-        # order, which depends on join contribution *positions* — the case
-        # where value-level comparisons alone are unsound.
+    if kind == 14 and rng.random() < 0.6:
+        having = f" having count(*) >= {int(rng.integers(1, 4))}"
+    if kind == 15 and rng.random() < 0.6:
         selected = selected + ["count(*) as c"]
         order = " order by c"
     return (
-        f"select {', '.join(selected)} from T, U{where} "
-        f"group by {key}{order}"
+        f"select {', '.join(selected)} from {tables}{where} "
+        f"group by {key}{having}{order}"
     )
 
 

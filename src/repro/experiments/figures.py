@@ -495,22 +495,27 @@ def join_backend_comparison(
     support_size: int | None = None,
     num_queries: int | None = None,
     template: str | None = None,
+    num_tables: int = 2,
+    having_min: int | None = None,
     seed: int = 0,
 ) -> FigureData:
-    """Backend comparison restricted to the two-table equi-join templates.
+    """Backend comparison restricted to the ``num_tables``-way join templates.
 
     The paper's SSB/TPC-H workloads are join-heavy; this figure times
-    hypergraph construction over exactly the two-table join queries (the
-    shapes the vectorized join kernels cover: per-side delta tensors plus
-    hash-index probes). ``template`` further restricts to queries containing
-    the given substring — e.g. ``"count(*)"`` isolates the SSB city
-    template, whose joins are decided entirely in array ops (float-SUM join
-    templates intentionally stay on the incremental path, where exact
-    accumulation order matters). ``naive`` is left out of the default
-    backend list — re-executing a join per candidate is so slow it would
-    dominate the run without adding information; the interesting ratio is
-    vectorized vs the incremental checkers.
+    hypergraph construction over exactly the ``num_tables``-table join
+    queries (the shapes the vectorized join kernels cover: per-side delta
+    tensors plus cascaded hash-index probes through the left-deep levels).
+    ``template`` further restricts to queries containing the given substring
+    — e.g. ``"count(*)"`` isolates the SSB city template. ``having_min``
+    restricts to the grouped templates and appends
+    ``having count(*) >= having_min`` to each, exercising the HAVING
+    visibility-mask kernel. ``naive`` is left out of the default backend
+    list — re-executing a join per candidate is so slow it would dominate
+    the run without adding information; the interesting ratio is vectorized
+    vs the incremental checkers.
     """
+    from repro.db.query import sql_query
+
     default_scale, default_support = DEFAULT_SCALES[workload_name]
     workload = _cached_workload(
         workload_name, scale if scale is not None else default_scale
@@ -518,9 +523,20 @@ def join_backend_comparison(
     join_queries = [
         query
         for query in workload.queries
-        if len(query.referenced_tables) == 2
+        if len(query.referenced_tables) == num_tables
         and (template is None or template in query.text)
     ]
+    flavor = f"{num_tables}-table join"
+    if having_min is not None:
+        join_queries = [
+            sql_query(
+                f"{query.text} having count(*) >= {having_min}",
+                workload.database,
+            )
+            for query in join_queries
+            if "group by" in query.text.lower()
+        ]
+        flavor += f" having count(*) >= {having_min}"
     queries = (
         join_queries if num_queries is None else join_queries[:num_queries]
     )
@@ -530,15 +546,128 @@ def join_backend_comparison(
         mode="row",
     )
     builds = time_hypergraph_builds(support, queries, backends)
+    suffix = "-join" if num_tables == 2 else f"-join{num_tables}"
+    if having_min is not None:
+        suffix += "-having"
     return _backend_comparison_figure(
         builds,
         reference=builds[0],
-        figure_id=f"backend-comparison-{workload_name}-join",
-        title=f"conflict backend construction times ({workload_name} join templates)",
+        figure_id=f"backend-comparison-{workload_name}{suffix}",
+        title=f"conflict backend construction times ({workload_name} {flavor} templates)",
         table_title=(
-            f"{len(queries)} two-table join queries, |S|={len(support)}, "
+            f"{len(queries)} {flavor} queries, |S|={len(support)}, "
             f"{workload_name} workload"
         ),
+    )
+
+
+def template_cache_speedup(
+    workload_name: str = "ssb",
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int | None = None,
+    num_requests: int = 700,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> FigureData:
+    """Miss-path plan resolution with vs without the template cache.
+
+    A pricing service's expensive misses are *new literal variants* of known
+    templates: they miss the canonical quote cache and hit the conflict
+    backend's plan-resolution path. With the shape-keyed
+    :class:`~repro.service.cache.TemplateCache`, the Nth variant of a
+    template binds its literal vector into the cached compiled plan instead
+    of re-matching the shape's kernels and recompiling every closure.
+
+    This figure replays the same Zipf-repeated stream of workload queries —
+    each request planned fresh, as service text arrives — through two vectorized
+    backends over one support set: template cache enabled vs disabled
+    (capacity 0, every lookup a miss). Only plan resolution is timed; the
+    artifact carries the cache counters that prove the hit path served the
+    enabled run.
+    """
+    from repro.db.query import sql_query
+    from repro.qirana.vectorized import VectorizedBackend
+
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    texts = [query.text for query in workload.queries]
+    if num_queries is not None:
+        texts = texts[:num_queries]
+    support = workload.support(
+        size=support_size if support_size is not None else default_support,
+        seed=seed,
+        mode="row",
+    )
+    rng = np.random.default_rng(seed)
+    if zipf_s > 0:
+        weights = 1.0 / np.arange(1, len(texts) + 1) ** zipf_s
+        weights /= weights.sum()
+        schedule = rng.choice(len(texts), size=num_requests, p=weights)
+    else:
+        schedule = rng.integers(0, len(texts), size=num_requests)
+
+    # Every request is planned fresh (a service quotes *text*), so the
+    # per-Query-object plan memo cannot serve repeats — only the
+    # fingerprint-keyed template cache can.
+    requests = [sql_query(texts[int(index)], workload.database) for index in schedule]
+
+    seconds: dict[str, float] = {}
+    stats: dict[str, dict] = {}
+    for label, cache_size in (("uncached", 0), ("cached", None)):
+        backend = (
+            VectorizedBackend(support, template_cache_size=cache_size)
+            if cache_size is not None
+            else VectorizedBackend(support)
+        )
+        start = time.perf_counter()
+        for query in requests:
+            backend.batch_plan(query)
+        seconds[label] = time.perf_counter() - start
+        stats[label] = backend.template_stats()
+
+    speedup = (
+        seconds["uncached"] / seconds["cached"]
+        if seconds["cached"] > 0
+        else float("inf")
+    )
+    cached = stats["cached"]
+    rows = [
+        ["uncached (capacity 0)", f"{seconds['uncached']:.3f}", "1.0x"],
+        ["cached", f"{seconds['cached']:.3f}", f"{speedup:.1f}x"],
+    ]
+    text = format_table(
+        ["template cache", "plan resolution (s)", "speedup"],
+        rows,
+        title=(
+            f"{num_requests} requests over {len(texts)} distinct queries "
+            f"(zipf s={zipf_s:g}), |S|={len(support)}, "
+            f"{workload_name} workload"
+        ),
+    )
+    text += (
+        f"\ntemplate cache: hit rate {cached['hit_rate']:.1%} "
+        f"({cached['hits']} hits / {cached['misses']} misses, "
+        f"{cached['evictions']} evictions)"
+    )
+    return FigureData(
+        f"template-cache-{workload_name}",
+        f"shape-keyed template cache: miss-path plan resolution ({workload_name})",
+        text,
+        {
+            "seconds": seconds,
+            "speedups": {"cached": speedup},
+            "speedup_reference": "uncached",
+            "stats": {
+                "requests": num_requests,
+                "distinct_queries": len(texts),
+                "zipf_s": zipf_s,
+                "support": len(support),
+            },
+            "diagnostics": {"template_cache": stats},
+        },
     )
 
 
@@ -761,6 +890,13 @@ def service_throughput(
         f"\nlatency: p50 {report.latency.p50_ms:.3f}ms  "
         f"p99 {report.latency.p99_ms:.3f}ms"
     )
+    templates = stats.get("template_cache")
+    if templates is not None:
+        text += (
+            f"\ntemplate cache: hit rate {templates['hit_rate']:.1%} "
+            f"({templates['hits']} hits / {templates['misses']} misses, "
+            f"{templates['evictions']} evictions)"
+        )
     return FigureData(
         f"service-throughput-{workload_name}",
         f"pricing-service micro-batched quoting vs sequential ({workload_name})",

@@ -109,6 +109,13 @@ class ConflictComputation:
     backend: str = ""
     setup_seconds: float = 0.0
     num_reexecuted: int = 0
+    #: Why a dispatching backend routed this query off the batch path
+    #: (e.g. ``unmatched-shape``, ``distinct-agg``, ``below-threshold``);
+    #: ``None`` when the reporting backend was the first choice.
+    fallback_reason: str | None = None
+    #: The batch kernel that decided the query (``flat``, ``grouped_join3``,
+    #: ...); ``None`` for non-batch backends.
+    kernel: str | None = None
 
 
 class ConflictBackend:

@@ -107,6 +107,8 @@ class ConflictSetEngine:
                 "reexecuted": 0,
                 "wall_time_seconds": 0.0,
                 "setup_seconds": 0.0,
+                "fallback_reasons": {},
+                "kernels": {},
             },
         )
         record["queries"] += 1
@@ -115,7 +117,28 @@ class ConflictSetEngine:
         record["reexecuted"] += computation.num_reexecuted
         record["wall_time_seconds"] += computation.wall_time_seconds
         record["setup_seconds"] += computation.setup_seconds
+        if computation.fallback_reason is not None:
+            reasons = record["fallback_reasons"]
+            reasons[computation.fallback_reason] = (
+                reasons.get(computation.fallback_reason, 0) + 1
+            )
+        if computation.kernel is not None:
+            kernels = record["kernels"]
+            kernels[computation.kernel] = kernels.get(computation.kernel, 0) + 1
         return computation
+
+    def template_cache_stats(self) -> dict[str, float] | None:
+        """Hit/miss/eviction counters of the backend's template cache.
+
+        ``None`` for backends without one (naive, incremental). Reported
+        alongside :attr:`diagnostics` by the benchmark harness and the
+        pricing service, but kept out of ``diagnostics`` itself so that
+        mapping stays homogeneous (one record per deciding backend).
+        """
+        template_stats = getattr(self._backend, "template_stats", None)
+        if template_stats is None:
+            return None
+        return template_stats()
 
     def conflict_set(self, query: Query) -> frozenset[int]:
         """Just the hyperedge ``CS(Q, D)``."""

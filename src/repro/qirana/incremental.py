@@ -42,7 +42,7 @@ from repro.db.expr import Scope
 from repro.db.plan import Aggregate, Filter, PlanNode, Project, TableScan
 from repro.db.query import Query
 from repro.db.schema import Value
-from repro.qirana.shapes import QueryShape, match_shape
+from repro.qirana.shapes import QueryShape, resolve_shape
 from repro.support.delta import SupportInstance
 
 #: A compiled checker: does this instance's patch change the query answer?
@@ -259,7 +259,7 @@ def _match_shape(plan: PlanNode, base: Database) -> _Shape | None:
     left-deep join tree, orderedness) live in :mod:`repro.qirana.shapes`;
     this wrapper only constructs the database-bound contribution source.
     """
-    shape = match_shape(plan)
+    shape = resolve_shape(plan)
     if shape is None:
         return None
     if shape.single is not None:

@@ -19,9 +19,12 @@ query's own ``ordered`` flag must still be OR-ed in by the caller, since
 programmatic plans can declare orderedness without a Sort node).
 
 Backends remain free to reject a *matched* shape for their own reasons (the
-vectorized engine does not batch HAVING, DISTINCT aggregates, or >2-table
-joins); the point is that the structural rules — what counts as a source, a
-residual filter, a HAVING filter, a left-deep join tree — are written once.
+vectorized engine does not batch DISTINCT aggregates or TEXT sums); the
+point is that the structural rules — what counts as a source, a residual
+filter, a HAVING filter, a left-deep join tree — are written once.
+:func:`resolve_shape` memoizes the decomposition per plan object so the
+canonicalizer, the template compiler, and the dispatch heuristic share one
+structural walk per miss instead of re-matching the same plan.
 """
 
 from __future__ import annotations
@@ -96,6 +99,30 @@ class QueryShape:
     @property
     def grouped(self) -> bool:
         return self.aggregate is not None and bool(self.aggregate.group_items)
+
+
+#: Plans pinned alongside their decomposition so ``id()`` stays unambiguous.
+_SHAPE_MEMO: dict[int, tuple[PlanNode, "QueryShape | None"]] = {}
+_SHAPE_MEMO_CAP = 4096
+
+
+def resolve_shape(plan: PlanNode) -> QueryShape | None:
+    """Memoized :func:`match_shape` keyed on plan identity.
+
+    The canonicalizer, the template compiler, and the conflict backends all
+    decompose the same planned query on a cache miss; this memo makes the
+    structural walk happen once per plan object. Entries pin the plan so a
+    recycled ``id()`` can never alias a dead plan; callers must treat the
+    returned :class:`QueryShape` as immutable.
+    """
+    cached = _SHAPE_MEMO.get(id(plan))
+    if cached is not None and cached[0] is plan:
+        return cached[1]
+    shape = match_shape(plan)
+    if len(_SHAPE_MEMO) >= _SHAPE_MEMO_CAP:
+        _SHAPE_MEMO.clear()
+    _SHAPE_MEMO[id(plan)] = (plan, shape)
+    return shape
 
 
 def unwrap_side(node: PlanNode) -> SourceSide | None:

@@ -1,42 +1,60 @@
 """Vectorized conflict-set backend: batch evaluation over delta tensors.
 
-For the plan shapes that dominate the paper's workloads — single-table and
-two-table equi-join selection/projection queries and (grouped) aggregates —
-whether a support instance changes the answer is a function of the *patched
-rows only*:
+For the plan shapes that dominate the paper's workloads — selection/projection
+queries and (grouped, HAVING-filtered, ordered) aggregates over a single table
+or a left-deep tree of equi-joins — whether a support instance changes the
+answer is a function of the *patched rows only*:
 
-- **flat** (``[Sort] Project [Filter] <source>``): the bag answer changes iff
-  the multiset of contributions induced by the patched rows changes between
-  their old and new versions.
-- **aggregates** (``Project Aggregate([Filter] <source>)``): per-instance
-  deltas are applied against precomputed per-group base state and the
-  affected groups' visible output rows compared as multisets. COUNT is always
-  exact; SUM/AVG are delta-vectorized over INT columns (float64 accumulation
-  of integers below 2**53 is exact); MIN/MAX are decided by an order-statistic
-  walk over *sorted-group segments* of the base values; float SUM/AVG over
-  grouped single-table plans are recomputed exactly in base row order (the
-  same order full re-execution sums in), so every decision matches the naive
-  oracle bit for bit.
-- **joins**: each side has its own :class:`~repro.support.tensor.TableDeltaTensor`;
-  a patched side row's old/new contributions are found by probing a hash
-  index over the (filtered) opposite side, and the expanded contribution
-  batches are evaluated columnar — array ops instead of per-candidate
-  re-execution. Instances patching both sides of a join are re-executed.
+- **flat** (``[Sort] Project [Filter] <source>``): the answer changes iff the
+  keyed multiset of contributions induced by the patched rows changes between
+  their old and new versions. Each contribution carries an *order key* — its
+  position in the left-major lexicographic enumeration the scalar executor
+  uses — so ordered answers are decided exactly whenever positions are
+  preserved.
+- **aggregates** (``[Sort] Project [Filter(HAVING)] Aggregate([Filter]
+  <source>)``): per-instance deltas are applied against precomputed per-group
+  base state and the affected groups' visible output rows compared as
+  multisets. COUNT is always exact; SUM/AVG are delta-vectorized over INT
+  columns (float64 accumulation of integers below 2**53 is exact); MIN/MAX
+  are decided by an order-statistic walk over *sorted-group segments* of the
+  base values; float SUM/AVG — over single tables *and* joins — are
+  recomputed exactly in contribution order-key order, the same order full
+  re-execution sums in, so every decision matches the naive oracle bit for
+  bit. HAVING is a visibility mask: a group's output row enters the answer
+  bag only when the predicate passes over its full aggregate output tuple.
+- **joins**: each side has its own
+  :class:`~repro.support.tensor.TableDeltaTensor`; a patched side row's
+  old/new contributions are found by probing hash indexes through the join
+  tree — the prefix index of its level to find left partners, then the right
+  indexes of every downstream level (a cascade, for 3-way and deeper trees) —
+  and the expanded contribution batches are evaluated columnar. Instances
+  patching more than one side are re-executed.
+
+Templates: plans are compiled through a shape-keyed *template cache*
+(:class:`~repro.service.cache.TemplateCache`). The fingerprint is the
+canonical serialization with literals stripped
+(:func:`~repro.service.canonical.template_fingerprint`); compiled evaluators
+read literal values through a shared :class:`~repro.db.columnar.LiteralBindings`
+vector, so the Nth literal-variant of a template skips shape matching and
+batch compilation entirely — binding installs its literal vector and clones
+the per-variant state holders. Entries are stamped with the support set's
+``data_version`` and invalidate lazily when it changes.
 
 All candidates of a query are decided together: their patched rows are
 gathered into old/new columnar batches of the query's referenced cells, and
 the plan's expressions are evaluated once per batch via
-:meth:`~repro.db.expr.Expr.eval_batch`. Queries whose plan shape is not
+:func:`~repro.db.columnar.compile_expr`. Queries whose plan shape is not
 vectorizable fall back — per query, not per engine — to the incremental
-backend. Plan-shape rules are shared with the incremental checkers through
-:mod:`repro.qirana.shapes`.
+backend, tagging the computation with a *fallback reason*. Plan-shape rules
+are shared with the incremental checkers through :mod:`repro.qirana.shapes`.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -44,11 +62,14 @@ from repro.db.columnar import (
     BatchEvaluator,
     ColumnarBatch,
     ColumnVector,
+    LiteralBindings,
     build_key_index,
+    compile_expr,
     hash_join_indices,
     key_tuples,
     null_aware_neq,
     truth,
+    vector_from_values,
 )
 from repro.db.database import Database
 from repro.db.expr import ColumnRef, Scope
@@ -61,14 +82,17 @@ from repro.qirana.backends import (
     IncrementalBackend,
     register_backend,
 )
-from repro.qirana.shapes import QueryShape, match_shape
+from repro.qirana.shapes import QueryShape, resolve_shape
 from repro.support.generator import SupportSet
 
 #: Aggregate kinds decided purely by vectorized delta arithmetic.
 _DELTA_KINDS = frozenset({"count_star", "count", "int_sum", "int_avg"})
 
-#: Aggregate kinds recomputed exactly in base row order per affected group.
+#: Aggregate kinds recomputed exactly in contribution order per group.
 _ORDER_KINDS = frozenset({"float_sum", "float_avg"})
+
+#: Join products larger than this cannot be order-keyed in int64.
+_MAX_ORDER_KEY = 2**62
 
 
 @dataclass
@@ -93,9 +117,10 @@ class _Chunk:
     ``old_instances``/``new_instances`` give the owning instance id per
     contribution (grouped ascending). For single-table sources old and new
     are position-aligned (contribution == patched pair); join expansion
-    produces differently sized sides. ``old_rows``/``new_rows`` carry the
-    base-contribution position of each contribution for sources that can
-    identify it (needed by the exact in-order float recompute).
+    produces differently sized sides. ``old_rows``/``new_rows`` carry each
+    contribution's *order key* — its position in the left-major lexicographic
+    enumeration of the source — which the ordered and float kernels use to
+    reason about output positions exactly.
     """
 
     old_instances: np.ndarray
@@ -107,13 +132,6 @@ class _Chunk:
     old_rows: np.ndarray | None = None
     new_rows: np.ndarray | None = None
     aligned: bool = False  # old/new are position-aligned pair batches
-    #: Join sources: per-pair "positions cannot move" bit — the pair's join
-    #: key and side-filter status are unchanged, so its contributions attach
-    #: to the same partners at the same output positions. None (single-table
-    #: sources) means positions are inherently stable: a row's contribution
-    #: sits at its own row position. `pair_instances` aligns the bits.
-    pair_instances: np.ndarray | None = None
-    pair_stable: np.ndarray | None = None
 
 
 def _gather_pairs(backend, table, scope, needed_slots, tensor, selected_mask, selected, rows):
@@ -164,8 +182,9 @@ class _TableSource:
     """Contributions of a one-table plan: the (filtered) rows themselves."""
 
     is_join = False
+    num_sides = 1
 
-    def __init__(self, base: Database, scan, predicate):
+    def __init__(self, base: Database, scan, predicate, bindings=None, param_slots=None):
         self.base = base
         self.table = scan.table.lower()
         self.tables = (self.table,)
@@ -173,10 +192,18 @@ class _TableSource:
         self.schema = base.table(scan.table).schema
         self.filter_expr = predicate.predicate if predicate is not None else None
         self.filter_eval = (
-            self.filter_expr.eval_batch(self.scope) if self.filter_expr else None
+            compile_expr(self.filter_expr, self.scope, bindings, param_slots)
+            if self.filter_expr
+            else None
         )
         self.needed_slots: list[int] = []
         self._base_pass: np.ndarray | None = None
+
+    def clone(self) -> "_TableSource":
+        """A shallow copy with fresh per-variant base state."""
+        dup = copy.copy(self)
+        dup._base_pass = None
+        return dup
 
     def dtype(self, slot: int) -> ColumnType:
         return self.schema.columns[slot].dtype
@@ -193,6 +220,11 @@ class _TableSource:
                 else np.ones(batch.num_rows, dtype=bool)
             )
         return batch, self._base_pass
+
+    def base_order_keys(self, backend) -> np.ndarray:
+        """A contribution's order key is its own base row position."""
+        batch, _ = self.base_contributions(backend)
+        return np.arange(batch.num_rows, dtype=np.int64)
 
     def pair_data(self, backend, candidate_array):
         """(tensor, instances, rows, old/new pair batches, old/new pass)."""
@@ -226,214 +258,601 @@ class _TableSource:
         return [chunk], []
 
 
-class _JoinSource:
-    """Contributions of a two-table equi-join plan.
+class _TreeJoinSource:
+    """Contributions of a left-deep equi-join tree (2-way and deeper).
 
-    Each side keeps a hash index over its filtered base rows keyed by the
-    join key; a patched side row's contributions are found by probing the
-    *opposite* index with its old/new key — O(matches) instead of a full
-    join — and gathered into columnar batches over the joined scope.
+    The base join is enumerated strictly left-major — probe the accumulated
+    prefix through each level's right index — which is exactly the order
+    ``HashJoin.execute`` produces, so every contribution gets an *order key*
+    ``sum(row_s * stride_s)`` that equals its output position rank. A patched
+    side row's contributions are found by probing its level's *prefix index*
+    for left partners and then cascading through the right indexes of every
+    downstream level.
     """
 
     is_join = True
 
-    def __init__(self, base: Database, shape: QueryShape):
-        level = shape.levels[0]
-        join = level.join
-        sides = (shape.leftmost, level.right)
+    def __init__(self, base: Database, shape: QueryShape, bindings=None, param_slots=None):
+        sides = (shape.leftmost,) + tuple(level.right for level in shape.levels)
         self.base = base
+        self.num_sides = len(sides)
         self.tables = tuple(side.table for side in sides)
         self.side_scopes = tuple(side.scan.output_scope(base) for side in sides)
         self.side_schemas = tuple(base.table(side.table).schema for side in sides)
-        self.scope: Scope = self.side_scopes[0].concat(self.side_scopes[1])
-        self.left_arity = self.side_scopes[0].arity
+        self.side_offsets: list[int] = []
+        self.prefix_scopes: list[Scope] = []
+        offset = 0
+        scope: Scope | None = None
+        for side_scope in self.side_scopes:
+            self.side_offsets.append(offset)
+            offset += side_scope.arity
+            scope = side_scope if scope is None else scope.concat(side_scope)
+            self.prefix_scopes.append(scope)
+        self.scope: Scope = scope
         self.side_filter_exprs = tuple(
             side.predicate.predicate if side.predicate is not None else None
             for side in sides
         )
         self.side_filter_evals = tuple(
-            expr.eval_batch(scope) if expr is not None else None
-            for expr, scope in zip(self.side_filter_exprs, self.side_scopes)
+            compile_expr(expr, side_scope, bindings, param_slots)
+            if expr is not None
+            else None
+            for expr, side_scope in zip(self.side_filter_exprs, self.side_scopes)
         )
-        self.side_key_exprs = (list(join.left_keys), list(join.right_keys))
-        self.side_key_evals = tuple(
-            [key.eval_batch(scope) for key in keys]
-            for keys, scope in zip(self.side_key_exprs, self.side_scopes)
-        )
-        # Column-only join keys resolve to table slots, making the side's
-        # key tuples and unfiltered hash index cacheable across queries.
-        self.side_key_slots: list[tuple[int, ...] | None] = []
-        for keys, scope in zip(self.side_key_exprs, self.side_scopes):
-            if all(isinstance(key, ColumnRef) for key in keys):
-                self.side_key_slots.append(
-                    tuple(scope.resolve(key.qualifier, key.name) for key in keys)
-                )
+        # Per join level i: the prefix of sides 0..i joins side i+1. Left
+        # keys compile against the *prefix* scope — its slots are a prefix of
+        # the full scope's, so the compiled evaluators work on full-scope
+        # batches unchanged.
+        self.level_left_exprs: list[list] = []
+        self.level_left_evals: list[list[BatchEvaluator]] = []
+        self.level_right_exprs: list[list] = []
+        self.level_right_evals: list[list[BatchEvaluator]] = []
+        self.level_right_slots: list[tuple[int, ...] | None] = []
+        for position, level in enumerate(shape.levels):
+            join = level.join
+            right_scope = self.side_scopes[position + 1]
+            self.level_left_exprs.append(list(join.left_keys))
+            self.level_left_evals.append([
+                compile_expr(key, self.prefix_scopes[position], bindings, param_slots)
+                for key in join.left_keys
+            ])
+            self.level_right_exprs.append(list(join.right_keys))
+            self.level_right_evals.append([
+                compile_expr(key, right_scope, bindings, param_slots)
+                for key in join.right_keys
+            ])
+            # Column-only right keys resolve to table slots, making the
+            # side's key tuples and unfiltered hash index cacheable.
+            if all(isinstance(key, ColumnRef) for key in join.right_keys):
+                self.level_right_slots.append(tuple(
+                    right_scope.resolve(key.qualifier, key.name)
+                    for key in join.right_keys
+                ))
             else:
-                self.side_key_slots.append(None)
+                self.level_right_slots.append(None)
+        # Level-0 left keys live entirely on the leftmost side, so
+        # column-only ones share the per-table key/index cache too.
+        self.left_key_slots: tuple[int, ...] | None = None
+        if all(isinstance(key, ColumnRef) for key in self.level_left_exprs[0]):
+            self.left_key_slots = tuple(
+                self.side_scopes[0].resolve(key.qualifier, key.name)
+                for key in self.level_left_exprs[0]
+            )
+        # Per level: left keys as (side, local-slot) pairs when every key is
+        # a bare column, else None. All-column levels make the *unfiltered*
+        # join enumeration a property of (tables, key slots) alone — shared
+        # across every literal variant via the backend's cascade cache.
+        self.level_left_slot_keys: list[tuple[tuple[int, int], ...] | None] = []
+        for position in range(self.num_sides - 1):
+            keys = self.level_left_exprs[position]
+            if all(isinstance(key, ColumnRef) for key in keys):
+                prefix_scope = self.prefix_scopes[position]
+                self.level_left_slot_keys.append(tuple(
+                    self._side_of_slot(
+                        prefix_scope.resolve(key.qualifier, key.name)
+                    )
+                    for key in keys
+                ))
+            else:
+                self.level_left_slot_keys.append(None)
+        self.cascade_key: tuple | None = None
+        if all(pairs is not None for pairs in self.level_left_slot_keys) and all(
+            slots is not None for slots in self.level_right_slots
+        ):
+            self.cascade_key = (
+                self.tables,
+                tuple(self.level_left_slot_keys),
+                tuple(self.level_right_slots),
+            )
         self.filter_expr = (
             shape.residual.predicate if shape.residual is not None else None
         )
         self.filter_eval = (
-            self.filter_expr.eval_batch(self.scope) if self.filter_expr else None
+            compile_expr(self.filter_expr, self.scope, bindings, param_slots)
+            if self.filter_expr
+            else None
+        )
+        # Order-key strides: stride_s is the product of all downstream table
+        # sizes, so keys are unique and lexicographic order == key order.
+        strides = [1] * self.num_sides
+        for position in range(self.num_sides - 2, -1, -1):
+            strides[position] = strides[position + 1] * max(
+                1, len(base.table(self.tables[position + 1]))
+            )
+        total = strides[0] * max(1, len(base.table(self.tables[0])))
+        self.overflow = total >= _MAX_ORDER_KEY
+        self.strides = (
+            None if self.overflow else np.asarray(strides, dtype=np.int64)
         )
         self.needed_slots: list[int] = []  # joined-scope slots, set by compile
-        self._side_needed: tuple[list[int], list[int]] | None = None
+        self._side_needed: tuple[list[int], ...] | None = None
+        self._level_left_slot_pairs: list[list[tuple[int, int]]] | None = None
+        self._gather_slot_pairs: list[tuple[int, int]] | None = None
         self._state: dict | None = None
 
+    def clone(self) -> "_TreeJoinSource":
+        """A shallow copy with fresh per-variant join state."""
+        dup = copy.copy(self)
+        dup._state = None
+        return dup
+
+    def _side_of_slot(self, slot: int) -> tuple[int, int]:
+        for side in range(self.num_sides - 1, -1, -1):
+            if slot >= self.side_offsets[side]:
+                return side, slot - self.side_offsets[side]
+        raise QueryError(f"slot {slot} outside joined scope")
+
     def dtype(self, slot: int) -> ColumnType:
-        if slot < self.left_arity:
-            return self.side_schemas[0].columns[slot].dtype
-        return self.side_schemas[1].columns[slot - self.left_arity].dtype
+        side, local = self._side_of_slot(slot)
+        return self.side_schemas[side].columns[local].dtype
 
     def finalize(self) -> None:
         """Split joined needed slots per side; add key/side-filter slots."""
-        side_needed: list[set[int]] = [set(), set()]
+        side_needed: list[set[int]] = [set() for _ in range(self.num_sides)]
         for slot in self.needed_slots:
-            if slot < self.left_arity:
-                side_needed[0].add(slot)
-            else:
-                side_needed[1].add(slot - self.left_arity)
-        for side in (0, 1):
-            expressions = list(self.side_key_exprs[side])
-            if self.side_filter_exprs[side] is not None:
-                expressions.append(self.side_filter_exprs[side])
-            for expression in expressions:
-                for qualifier, column in expression.referenced_columns():
-                    side_needed[side].add(
-                        self.side_scopes[side].resolve(qualifier, column)
+            side, local = self._side_of_slot(slot)
+            side_needed[side].add(local)
+        for side in range(self.num_sides):
+            expr = self.side_filter_exprs[side]
+            if expr is None:
+                continue
+            for qualifier, column in expr.referenced_columns():
+                side_needed[side].add(
+                    self.side_scopes[side].resolve(qualifier, column)
+                )
+        level_left_slot_pairs: list[list[tuple[int, int]]] = []
+        for position in range(self.num_sides - 1):
+            pairs: list[tuple[int, int]] = []
+            prefix_scope = self.prefix_scopes[position]
+            for key in self.level_left_exprs[position]:
+                for qualifier, column in key.referenced_columns():
+                    side, local = self._side_of_slot(
+                        prefix_scope.resolve(qualifier, column)
                     )
-        self._side_needed = (sorted(side_needed[0]), sorted(side_needed[1]))
+                    side_needed[side].add(local)
+                    pairs.append((side, local))
+            level_left_slot_pairs.append(pairs)
+            for key in self.level_right_exprs[position]:
+                for qualifier, column in key.referenced_columns():
+                    side_needed[position + 1].add(
+                        self.side_scopes[position + 1].resolve(qualifier, column)
+                    )
+        self._side_needed = tuple(sorted(needed) for needed in side_needed)
+        self._level_left_slot_pairs = level_left_slot_pairs
+        self._gather_slot_pairs = [
+            (side, local)
+            for side in range(self.num_sides)
+            for local in self._side_needed[side]
+        ]
+
+    def _rows_batch(
+        self, backend, sub_rows, slot_pairs,
+        patched_side=-1, side_batch=None, pair_positions=None,
+    ) -> ColumnarBatch:
+        """Full-scope batch of the join tuples in ``sub_rows``.
+
+        Columns of ``patched_side`` (if any) come from ``side_batch`` at
+        ``pair_positions`` — the patched values — every other side's from the
+        base table at the tuple's row index. ``sub_rows`` may cover only a
+        prefix of the sides as long as ``slot_pairs`` stays within it.
+        """
+        columns: list[ColumnVector | None] = [None] * self.scope.arity
+        for side, local in slot_pairs:
+            full = self.side_offsets[side] + local
+            if columns[full] is not None:
+                continue
+            if side == patched_side:
+                columns[full] = side_batch.columns[local].take(pair_positions)
+            else:
+                columns[full] = (
+                    backend._table_batch(self.tables[side])
+                    .columns[local]
+                    .take(sub_rows[:, side])
+                )
+        return ColumnarBatch(self.scope, columns, len(sub_rows))
 
     # -- base-side state ----------------------------------------------------
+
+    def _build_cascade(self, backend) -> dict:
+        """The *unfiltered* left-major join enumeration and its indexes.
+
+        Pure join structure — base tables, key columns — with no per-query
+        filters applied, so every literal variant of a template (and every
+        other query over the same join chain) shares one enumeration via
+        the backend's cascade cache. Only built when ``cascade_key`` is set
+        (every join key a bare column).
+        """
+        num = self.num_sides
+        left_keys0, left_index0 = backend._join_key_cache(
+            self.tables[0],
+            tuple(local for _, local in self.level_left_slot_keys[0]),
+        )
+        right_indexes = []
+        for position in range(num - 1):
+            _, index = backend._join_key_cache(
+                self.tables[position + 1], self.level_right_slots[position]
+            )
+            right_indexes.append(index)
+        level_prefixes = [
+            np.arange(len(left_keys0), dtype=np.int64)[:, None]
+        ]  # prefix entering level i (sides 0..i); level 0 is the identity
+        left_indexes = [left_index0]
+        if num == 2:
+            # Probe whichever side is smaller; one lexsort restores the
+            # left-major order the order keys require.
+            right_keys0, right_index0 = backend._join_key_cache(
+                self.tables[1], self.level_right_slots[0]
+            )
+            if len(right_keys0) < len(left_keys0):
+                probe_positions, match_rows = hash_join_indices(
+                    right_keys0, left_index0
+                )
+                rows = np.column_stack([match_rows, probe_positions])
+                if len(rows):
+                    rows = rows[np.lexsort((rows[:, 1], rows[:, 0]))]
+            else:
+                probe_positions, match_rows = hash_join_indices(
+                    left_keys0, right_index0
+                )
+                rows = np.column_stack([probe_positions, match_rows])
+        else:
+            probe_positions, match_rows = hash_join_indices(
+                left_keys0, right_indexes[0]
+            )
+            prefix = np.column_stack([probe_positions, match_rows])
+            for position in range(1, num - 1):
+                vectors = [
+                    backend._table_batch(self.tables[side])
+                    .columns[local]
+                    .take(prefix[:, side])
+                    for side, local in self.level_left_slot_keys[position]
+                ]
+                left_keys = key_tuples(vectors)
+                level_prefixes.append(prefix)
+                left_indexes.append(build_key_index(left_keys))
+                probe_positions, match_rows = hash_join_indices(
+                    left_keys, right_indexes[position]
+                )
+                prefix = np.hstack([prefix[probe_positions], match_rows[:, None]])
+            rows = prefix
+        return {
+            "rows": rows,
+            "level_prefixes": level_prefixes,
+            "left_indexes": left_indexes,
+            "right_indexes": right_indexes,
+        }
 
     def _prepare(self, backend) -> dict:
         if self._state is not None:
             return self._state
         batches = [backend._table_batch(table) for table in self.tables]
+        has_side_filters = any(
+            evaluate is not None for evaluate in self.side_filter_evals
+        )
         passes = []
-        keys = []
-        indexes = []
-        for side in (0, 1):
+        for side in range(self.num_sides):
             evaluate = self.side_filter_evals[side]
-            passing = (
+            passes.append(
                 truth(evaluate(batches[side]))
                 if evaluate
                 else np.ones(batches[side].num_rows, dtype=bool)
             )
-            passes.append(passing)
-            slots = self.side_key_slots[side]
-            if slots is not None:
-                # Key tuples (and, for unfiltered sides, the hash index) are
-                # a property of the table and key columns alone — shared
-                # across every query of the workload via the backend cache.
-                side_keys, unfiltered_index = backend._join_key_cache(
-                    self.tables[side], slots
-                )
+        if self.cascade_key is not None:
+            # Shared unfiltered enumeration; this query's side filters are
+            # numpy masks over it. The prefix/right indexes stay unfiltered
+            # — _expand post-filters matches with prefix_pass/passes.
+            cascade = backend._cascade(self)
+            rows = cascade["rows"]
+            prefix_pass = None
+            if has_side_filters:
+                keep = passes[0][rows[:, 0]]
+                for side in range(1, self.num_sides):
+                    keep &= passes[side][rows[:, side]]
+                base_rows = rows[keep]
+                prefix_pass = []
+                for position, prefix in enumerate(cascade["level_prefixes"]):
+                    mask = passes[0][prefix[:, 0]]
+                    for side in range(1, position + 1):
+                        mask &= passes[side][prefix[:, side]]
+                    prefix_pass.append(mask)
             else:
-                side_keys = key_tuples(
-                    [ev(batches[side]) for ev in self.side_key_evals[side]]
-                )
-                unfiltered_index = None
-            keys.append(side_keys)
-            if evaluate is None and unfiltered_index is not None:
-                indexes.append(unfiltered_index)
-            else:
-                indexes.append(build_key_index(side_keys, passing))
-        # Enumerate the base join by probing the side with fewer passing
-        # rows (base contribution order is irrelevant to the kernels: the
-        # grouped state is order-insensitive for joins, and per-instance
-        # comparisons never mix base order in).
-        counts = [int(passes[side].sum()) for side in (0, 1)]
-        probe = 0 if counts[0] <= counts[1] else 1
-        probe_rows, match_rows = hash_join_indices(
-            keys[probe], indexes[1 - probe], passes[probe]
-        )
-        if probe == 0:
-            left_rows, right_rows = probe_rows, match_rows
+                base_rows = rows
+            right_indexes = cascade["right_indexes"]
+            left_indexes = cascade["left_indexes"]
+            level_prefixes = cascade["level_prefixes"]
         else:
-            left_rows, right_rows = match_rows, probe_rows
-        base_batch = self._joined_batch(0, batches[0], left_rows, right_rows, batches[1])
+            prefix_pass = None
+            right_indexes = []
+            for position in range(self.num_sides - 1):
+                side = position + 1
+                slots = self.level_right_slots[position]
+                if slots is not None:
+                    # Key tuples (and, for unfiltered sides, the hash index)
+                    # are a property of the table and key columns alone —
+                    # shared across the workload via the backend cache.
+                    side_keys, unfiltered_index = backend._join_key_cache(
+                        self.tables[side], slots
+                    )
+                else:
+                    side_keys = key_tuples(
+                        [ev(batches[side]) for ev in self.level_right_evals[position]]
+                    )
+                    unfiltered_index = None
+                if self.side_filter_evals[side] is None and unfiltered_index is not None:
+                    right_indexes.append(unfiltered_index)
+                else:
+                    right_indexes.append(build_key_index(side_keys, passes[side]))
+            # Level-0 left index: since the level-0 "prefix" is just the
+            # leftmost side's rows, index positions can be the row indices
+            # themselves (identity prefix) — which makes the cached per-table
+            # index directly usable and skips re-keying the table per query.
+            if self.left_key_slots is not None:
+                left_keys0, unfiltered_left = backend._join_key_cache(
+                    self.tables[0], self.left_key_slots
+                )
+                if self.side_filter_evals[0] is None:
+                    left_index0 = unfiltered_left
+                else:
+                    left_index0 = build_key_index(left_keys0, passes[0])
+            else:
+                left_keys0 = key_tuples(
+                    [ev(batches[0]) for ev in self.level_left_evals[0]]
+                )
+                left_index0 = build_key_index(left_keys0, passes[0])
+            level_prefixes = [
+                np.arange(batches[0].num_rows, dtype=np.int64)[:, None]
+            ]  # prefix entering level i (sides 0..i)
+            left_indexes = [left_index0]
+
+            # Base enumeration must come out left-major lexicographic by row
+            # indices — HashJoin.execute's order — so order keys rank output
+            # positions. Two-way joins probe whichever side is smaller and
+            # restore the order with one lexsort; deeper trees cascade the
+            # prefix through each right index (already in order).
+            if self.num_sides == 2:
+                slots = self.level_right_slots[0]
+                if slots is not None:
+                    right_keys0, _ = backend._join_key_cache(self.tables[1], slots)
+                else:
+                    right_keys0 = key_tuples(
+                        [ev(batches[1]) for ev in self.level_right_evals[0]]
+                    )
+                counts = [int(passes[0].sum()), int(passes[1].sum())]
+                if counts[1] < counts[0]:
+                    probe_positions, match_rows = hash_join_indices(
+                        right_keys0, left_index0, passes[1]
+                    )
+                    base_rows = np.column_stack([match_rows, probe_positions])
+                    if len(base_rows):
+                        order = np.lexsort((base_rows[:, 1], base_rows[:, 0]))
+                        base_rows = base_rows[order]
+                else:
+                    probe_positions, match_rows = hash_join_indices(
+                        left_keys0, right_indexes[0], passes[0]
+                    )
+                    base_rows = np.column_stack([probe_positions, match_rows])
+            else:
+                probe_positions, match_rows = hash_join_indices(
+                    left_keys0, right_indexes[0], passes[0]
+                )
+                prefix = np.column_stack([probe_positions, match_rows])
+                for position in range(1, self.num_sides - 1):
+                    prefix_batch = self._rows_batch(
+                        backend, prefix, self._level_left_slot_pairs[position]
+                    )
+                    left_keys = key_tuples(
+                        [ev(prefix_batch) for ev in self.level_left_evals[position]]
+                    )
+                    level_prefixes.append(prefix)
+                    left_indexes.append(build_key_index(left_keys))
+                    probe_positions, match_rows = hash_join_indices(
+                        left_keys, right_indexes[position]
+                    )
+                    prefix = np.hstack(
+                        [prefix[probe_positions], match_rows[:, None]]
+                    )
+                base_rows = prefix
+        base_batch = self._rows_batch(backend, base_rows, self._gather_slot_pairs)
         base_pass = (
             truth(self.filter_eval(base_batch))
             if self.filter_eval
             else np.ones(base_batch.num_rows, dtype=bool)
         )
+        order_keys = (base_rows * self.strides[None, :]).sum(axis=1)
         self._state = {
             "batches": batches,
-            "indexes": indexes,
+            "passes": passes,
+            "right_indexes": right_indexes,
+            "left_indexes": left_indexes,
+            "level_prefixes": level_prefixes,
+            "prefix_pass": prefix_pass,
             "base_batch": base_batch,
             "base_pass": base_pass,
+            "order_keys": order_keys,
         }
         return self._state
-
-    def _joined_batch(self, side, side_batch, side_positions, opp_positions, opp_batch):
-        """Joined-scope batch: patched-side rows + matching opposite rows."""
-        columns: list[ColumnVector | None] = [None] * self.scope.arity
-        side_offset = 0 if side == 0 else self.left_arity
-        opp_offset = self.left_arity if side == 0 else 0
-        for slot in self._side_needed[side]:
-            columns[side_offset + slot] = side_batch.columns[slot].take(side_positions)
-        for slot in self._side_needed[1 - side]:
-            columns[opp_offset + slot] = opp_batch.columns[slot].take(opp_positions)
-        return ColumnarBatch(self.scope, columns, len(side_positions))
 
     def base_contributions(self, backend) -> tuple[ColumnarBatch, np.ndarray]:
         state = self._prepare(backend)
         return state["base_batch"], state["base_pass"]
 
+    def base_order_keys(self, backend) -> np.ndarray:
+        return self._prepare(backend)["order_keys"]
+
     # -- per-candidate expansion --------------------------------------------
+
+    def _expand(self, backend, state, side, pair_rows, side_batch, side_pass):
+        """All join tuples containing each patched row of ``side``.
+
+        Returns (pair positions, sub_rows): which pair each tuple came from
+        and its per-side base row indices (column ``side`` is the patched
+        row's base position; its *values* come from ``side_batch``). Tuples
+        come out grouped by pair in pair order, so instance ids stay
+        ascending.
+        """
+        num = self.num_sides
+        # With a shared cascade, prefix/right indexes are *unfiltered*; this
+        # query's side filters are applied by masking probe matches instead.
+        # ``side_pass=None`` requests the fully unfiltered expansion (for
+        # the backend's expansion cache) — no side filters applied at all.
+        prefix_pass = state.get("prefix_pass") if side_pass is not None else None
+        if side == 0:
+            pair_positions = (
+                np.arange(len(pair_rows), dtype=np.int64)
+                if side_pass is None
+                else np.nonzero(side_pass)[0].astype(np.int64)
+            )
+            sub_rows = np.full((len(pair_positions), num), -1, dtype=np.int64)
+            sub_rows[:, 0] = pair_rows[pair_positions]
+        else:
+            right_keys = key_tuples(
+                [ev(side_batch) for ev in self.level_right_evals[side - 1]]
+            )
+            pair_positions, prefix_positions = hash_join_indices(
+                right_keys, state["left_indexes"][side - 1], side_pass
+            )
+            if prefix_pass is not None and len(pair_positions):
+                keep = prefix_pass[side - 1][prefix_positions]
+                pair_positions = pair_positions[keep]
+                prefix_positions = prefix_positions[keep]
+            sub_rows = np.full((len(pair_positions), num), -1, dtype=np.int64)
+            if len(pair_positions):
+                sub_rows[:, :side] = state["level_prefixes"][side - 1][prefix_positions]
+                sub_rows[:, side] = pair_rows[pair_positions]
+        for position in range(side, num - 1):
+            if len(pair_positions) == 0:
+                break
+            level_batch = self._rows_batch(
+                backend, sub_rows, self._level_left_slot_pairs[position],
+                patched_side=side, side_batch=side_batch,
+                pair_positions=pair_positions,
+            )
+            left_keys = key_tuples(
+                [ev(level_batch) for ev in self.level_left_evals[position]]
+            )
+            probe_positions, match_rows = hash_join_indices(
+                left_keys, state["right_indexes"][position]
+            )
+            if prefix_pass is not None and len(probe_positions):
+                keep = state["passes"][position + 1][match_rows]
+                probe_positions = probe_positions[keep]
+                match_rows = match_rows[keep]
+            pair_positions = pair_positions[probe_positions]
+            sub_rows = sub_rows[probe_positions]
+            sub_rows[:, position + 1] = match_rows
+        return pair_positions, sub_rows
+
+    def _expand_cached(
+        self, backend, state, side, pair_rows, side_batch, side_pass,
+        which, selected,
+    ):
+        """Expand through the backend's shared expansion cache.
+
+        With a cascade key, the *unfiltered* expansion of a side's candidate
+        pairs is query-independent: old values are the base table's, new
+        values come from the shared delta tensor, and every join key is a
+        bare column. Queries over the same join chain (every literal variant
+        of a template, for one) reuse the probe work and apply their side
+        filters as masks over the cached tuples.
+        """
+        if self.cascade_key is None:
+            return self._expand(
+                backend, state, side, pair_rows, side_batch, side_pass
+            )
+        cache_key = (self.cascade_key, side, which)
+        stamp = backend.support.data_version
+        cached = backend._expansions.get(cache_key)
+        if (
+            cached is not None
+            and cached[0] == stamp
+            and np.array_equal(cached[1], selected)
+        ):
+            pair_positions, sub_rows = cached[2], cached[3]
+        else:
+            pair_positions, sub_rows = self._expand(
+                backend, state, side, pair_rows, side_batch, None
+            )
+            backend._expansions[cache_key] = (
+                stamp, selected.copy(), pair_positions, sub_rows,
+            )
+        keep = side_pass[pair_positions]
+        for other in range(self.num_sides):
+            if other != side and self.side_filter_evals[other] is not None:
+                keep &= state["passes"][other][sub_rows[:, other]]
+        if keep.all():
+            return pair_positions, sub_rows
+        return pair_positions[keep], sub_rows[keep]
 
     def chunks(self, backend, candidate_array) -> tuple[list[_Chunk], list[int]]:
         state = self._prepare(backend)
         tensors = [backend.support.delta_tensor(table) for table in self.tables]
-        both = np.intersect1d(
-            tensors[0].touched_instances, tensors[1].touched_instances
+        touched = np.concatenate(
+            [tensor.touched_instances for tensor in tensors]
         )
-        both = both[np.isin(both, candidate_array)]
-        reexecute = [int(instance) for instance in both]
+        values, counts = np.unique(touched, return_counts=True)
+        multi = values[counts >= 2]
+        multi = multi[np.isin(multi, candidate_array)]
+        reexecute = [int(instance) for instance in multi]
 
         chunks: list[_Chunk] = []
-        for side in (0, 1):
+        for side in range(self.num_sides):
             tensor = tensors[side]
             mask, selected = tensor.select_pairs(candidate_array)
-            if len(selected) and len(both):
-                keep = ~np.isin(tensor.pair_instance[selected], both)
+            if len(selected) and len(multi):
+                keep = ~np.isin(tensor.pair_instance[selected], multi)
                 selected = selected[keep]
                 mask = np.zeros(tensor.num_pairs, dtype=bool)
                 mask[selected] = True
             if len(selected) == 0:
                 continue
             instances = tensor.pair_instance[selected]
-            rows = tensor.pair_row[selected]
+            pair_rows = tensor.pair_row[selected]
             old_side, new_side = _gather_pairs(
                 backend, self.tables[side], self.side_scopes[side],
-                self._side_needed[side], tensor, mask, selected, rows,
+                self._side_needed[side], tensor, mask, selected, pair_rows,
             )
             ones = np.ones(len(selected), dtype=bool)
             evaluate = self.side_filter_evals[side]
             old_side_pass = truth(evaluate(old_side)) if evaluate else ones
-            new_side_pass = truth(evaluate(new_side)) if evaluate else ones.copy()
-            old_keys = key_tuples(
-                [ev(old_side) for ev in self.side_key_evals[side]]
+            new_side_pass = (
+                truth(evaluate(new_side)) if evaluate else ones.copy()
             )
-            new_keys = key_tuples(
-                [ev(new_side) for ev in self.side_key_evals[side]]
+            old_pairs, old_tuple_rows = self._expand_cached(
+                backend, state, side, pair_rows, old_side, old_side_pass,
+                "old", selected,
             )
-            stable = np.fromiter(
-                (
-                    old_keys[position] == new_keys[position]
-                    and bool(old_side_pass[position]) == bool(new_side_pass[position])
-                    for position in range(len(selected))
-                ),
-                dtype=bool,
-                count=len(selected),
+            new_pairs, new_tuple_rows = self._expand_cached(
+                backend, state, side, pair_rows, new_side, new_side_pass,
+                "new", selected,
             )
-            opp_index = state["indexes"][1 - side]
-            opp_batch = state["batches"][1 - side]
-            old_pairs, old_opp = hash_join_indices(old_keys, opp_index, old_side_pass)
-            new_pairs, new_opp = hash_join_indices(new_keys, opp_index, new_side_pass)
-            old_batch = self._joined_batch(side, old_side, old_pairs, old_opp, opp_batch)
-            new_batch = self._joined_batch(side, new_side, new_pairs, new_opp, opp_batch)
+            old_batch = self._rows_batch(
+                backend, old_tuple_rows, self._gather_slot_pairs,
+                patched_side=side, side_batch=old_side, pair_positions=old_pairs,
+            )
+            new_batch = self._rows_batch(
+                backend, new_tuple_rows, self._gather_slot_pairs,
+                patched_side=side, side_batch=new_side, pair_positions=new_pairs,
+            )
             old_pass = (
                 truth(self.filter_eval(old_batch))
                 if self.filter_eval
@@ -444,11 +863,13 @@ class _JoinSource:
                 if self.filter_eval
                 else np.ones(new_batch.num_rows, dtype=bool)
             )
+            old_order = (old_tuple_rows * self.strides[None, :]).sum(axis=1)
+            new_order = (new_tuple_rows * self.strides[None, :]).sum(axis=1)
             chunks.append(
                 _Chunk(
                     instances[old_pairs], old_batch, old_pass,
                     instances[new_pairs], new_batch, new_pass,
-                    pair_instances=instances, pair_stable=stable,
+                    old_rows=old_order, new_rows=new_order,
                 )
             )
         return chunks, reexecute
@@ -464,50 +885,109 @@ class _BatchQuery:
     """A query compiled for batch conflict evaluation."""
 
     kernel: str  # flat | flat_join | scalar | grouped
-    source: _TableSource | _JoinSource
+    source: _TableSource | _TreeJoinSource
     project_evals: list[BatchEvaluator] | None  # flat kernels
     group_evals: list[BatchEvaluator] | None  # grouped kernel
     agg_specs: list[_AggSpec] | None
     project_slots: list[int] | None  # grouped: output-scope slots, projection order
     has_groups: bool = False
     ordered: bool = False  # ORDER BY: the answer is a sequence, not a bag
+    having_eval: BatchEvaluator | None = None  # visibility mask over outputs
+    having_slots: tuple[int, ...] = ()  # output slots HAVING references
+    output_scope: Scope | None = None  # aggregate output scope (HAVING eval)
+    bindings: LiteralBindings | None = None  # shared literal vector (template)
+    literals: tuple = ()  # this variant's literal values, canonical order
     base_state: list | None = None  # lazily computed scalar-aggregate state
     grouped_state: "_GroupedState | None" = None  # lazily computed group state
 
+    @property
+    def kernel_label(self) -> str:
+        """Kernel name qualified with the join width for 3-way and deeper."""
+        num_sides = self.source.num_sides
+        if num_sides >= 3:
+            return f"{self.kernel}_join{num_sides}"
+        return self.kernel
 
-def compile_batch_query(query: Query, base) -> _BatchQuery | None:
-    """Compile ``query`` for batch evaluation, or ``None`` if unsupported."""
-    shape = match_shape(query.plan)
-    if shape is None or shape.having is not None:
-        return None
+
+@dataclass
+class BatchTemplate:
+    """One compiled template: a pristine plan plus its literal bindings.
+
+    ``bind`` produces a per-variant plan — a shallow copy with fresh lazy
+    state holders, sharing the compiled evaluators — whose ``literals`` are
+    installed into the shared bindings vector on every compute. Negative
+    templates (``plan is None``) cache the compile-failure ``reason``: every
+    rejection condition is literal-independent, so variants share the
+    verdict.
+    """
+
+    fingerprint: str
+    plan: _BatchQuery | None
+    reason: str | None
+    bindings: LiteralBindings | None
+    num_params: int
+
+    def bind(self, literals: tuple) -> _BatchQuery | None:
+        if self.plan is None or len(literals) != self.num_params:
+            return None
+        plan = copy.copy(self.plan)
+        plan.source = self.plan.source.clone()
+        plan.base_state = None
+        plan.grouped_state = None
+        plan.literals = tuple(literals)
+        return plan
+
+
+def compile_batch_query(
+    query: Query,
+    base,
+    bindings: LiteralBindings | None = None,
+    param_slots: dict[int, int] | None = None,
+    shape: QueryShape | None = None,
+) -> tuple[_BatchQuery | None, str | None]:
+    """Compile ``query`` for batch evaluation: (plan, None) or (None, reason).
+
+    ``bindings``/``param_slots`` parameterize the compilation for template
+    reuse (see :class:`BatchTemplate`); without them literals are baked in.
+    """
+    if shape is None:
+        shape = resolve_shape(query.plan)
+    if shape is None:
+        return None, "unmatched-shape"
     ordered = shape.ordered or query.ordered
 
     try:
         if shape.single is not None:
             if not base.has_table(shape.single.scan.table):
-                return None
-            source: _TableSource | _JoinSource = _TableSource(
-                base, shape.single.scan, shape.single.predicate
+                return None, "missing-table"
+            source: _TableSource | _TreeJoinSource = _TableSource(
+                base, shape.single.scan, shape.single.predicate,
+                bindings, param_slots,
             )
         else:
-            if len(shape.levels) != 1:
-                return None  # batch path covers two-table equi-joins only
-            join = shape.levels[0].join
-            if not join.left_keys or len(join.left_keys) != len(join.right_keys):
-                return None
+            for level in shape.levels:
+                join = level.join
+                if not join.left_keys or len(join.left_keys) != len(join.right_keys):
+                    return None, "no-join-keys"
             if not all(base.has_table(table) for table in shape.tables):
-                return None
-            source = _JoinSource(base, shape)
+                return None, "missing-table"
+            source = _TreeJoinSource(base, shape, bindings, param_slots)
+            if source.overflow:
+                return None, "order-key-overflow"
 
         needed_expressions = []
         if source.filter_expr is not None:
             needed_expressions.append(source.filter_expr)
         aggregate = shape.aggregate
         project = shape.project
+        having_eval = None
+        having_slots: tuple[int, ...] = ()
+        output_scope = None
 
         if aggregate is None:
             project_evals = [
-                item.expr.eval_batch(source.scope) for item in project.items
+                compile_expr(item.expr, source.scope, bindings, param_slots)
+                for item in project.items
             ]
             needed_expressions.extend(item.expr for item in project.items)
             group_evals = agg_specs = project_slots = None
@@ -519,26 +999,44 @@ def compile_batch_query(query: Query, base) -> _BatchQuery | None:
             for item in project.items:
                 # The projection must be a simple column selection over the
                 # aggregate's output row — then a change is visible iff a
-                # *projected* output column changes.
+                # *projected* output column changes (or HAVING visibility
+                # flips).
                 if not isinstance(item.expr, ColumnRef):
-                    return None
+                    return None, "agg-projection"
                 project_slots.append(
                     output_scope.resolve(item.expr.qualifier, item.expr.name)
                 )
-            agg_specs = _compile_agg_specs(aggregate, source, project_slots)
+            agg_specs, reason = _compile_agg_specs(
+                aggregate, source, project_slots, bindings, param_slots
+            )
             if agg_specs is None:
-                return None
+                return None, reason
             group_evals = [
-                item.expr.eval_batch(source.scope) for item in aggregate.group_items
+                compile_expr(item.expr, source.scope, bindings, param_slots)
+                for item in aggregate.group_items
             ]
             needed_expressions.extend(item.expr for item in aggregate.group_items)
             needed_expressions.extend(
                 spec.arg for spec in aggregate.aggregates if spec.arg is not None
             )
+            if shape.having is not None:
+                # HAVING is evaluated over the aggregate's *output* scope —
+                # no extra source slots; its aggregate inputs are already in
+                # the spec list (the planner materializes hidden aggregates).
+                having_eval = compile_expr(
+                    shape.having.predicate, output_scope, bindings, param_slots
+                )
+                having_slots = tuple(sorted({
+                    output_scope.resolve(qualifier, column)
+                    for qualifier, column
+                    in shape.having.predicate.referenced_columns()
+                }))
             has_groups = bool(aggregate.group_items)
             project_evals = None
-            if not has_groups and all(
-                spec.kind in _DELTA_KINDS for spec in agg_specs
+            if (
+                not has_groups
+                and shape.having is None
+                and all(spec.kind in _DELTA_KINDS for spec in agg_specs)
             ):
                 kernel = "scalar"
             else:
@@ -551,9 +1049,9 @@ def compile_batch_query(query: Query, base) -> _BatchQuery | None:
         source.needed_slots = sorted(needed)
         source.finalize()
     except QueryError:
-        return None
+        return None, "compile-error"
 
-    return _BatchQuery(
+    plan = _BatchQuery(
         kernel=kernel,
         source=source,
         project_evals=project_evals,
@@ -562,25 +1060,32 @@ def compile_batch_query(query: Query, base) -> _BatchQuery | None:
         project_slots=project_slots,
         has_groups=has_groups,
         ordered=ordered,
+        having_eval=having_eval,
+        having_slots=having_slots,
+        output_scope=output_scope,
+        bindings=bindings,
     )
+    return plan, None
 
 
-def _compile_agg_specs(aggregate, source, project_slots) -> list[_AggSpec] | None:
-    """Compile aggregates with per-spec decision kinds, or ``None``."""
+def _compile_agg_specs(
+    aggregate, source, project_slots, bindings=None, param_slots=None
+) -> tuple[list[_AggSpec] | None, str | None]:
+    """Compile aggregates with per-spec decision kinds, or (None, reason)."""
     num_groups = len(aggregate.group_items)
     compared = set(project_slots)
     specs: list[_AggSpec] = []
     for index, spec in enumerate(aggregate.aggregates):
         func = spec.func.lower()
         if spec.distinct:
-            return None
+            return None, "distinct-agg"
         if spec.arg is None:
             if func != "count":
-                return None
+                return None, "unsupported-agg"
             kind = "count_star"
             arg_eval = None
         else:
-            arg_eval = spec.arg.eval_batch(source.scope)
+            arg_eval = compile_expr(spec.arg, source.scope, bindings, param_slots)
             if func == "count":
                 kind = "count"
             elif func in ("sum", "avg"):
@@ -593,19 +1098,17 @@ def _compile_agg_specs(aggregate, source, project_slots) -> list[_AggSpec] | Non
                     # 2**53), so incremental deltas agree with re-execution.
                     kind = "int_sum" if func == "sum" else "int_avg"
                 elif dtype is ColumnType.TEXT:
-                    return None  # the oracle itself raises on text sums
-                elif source.is_join or num_groups == 0:
-                    # Float accumulation is order-sensitive; exact in-order
-                    # recompute is only implemented for grouped single-table
-                    # segments (scalar/joined float sums stay incremental).
-                    return None
+                    return None, "text-sum"  # the oracle itself raises
                 else:
+                    # Float (or derived) accumulation is order-sensitive:
+                    # recomputed exactly in contribution order-key order,
+                    # for single tables and joins alike.
                     kind = "float_sum" if func == "sum" else "float_avg"
             else:  # min / max
                 # Restrict to columns so group values are homogeneous and the
                 # order-statistic walk compares like with like.
                 if not isinstance(spec.arg, ColumnRef):
-                    return None
+                    return None, "non-column-minmax"
                 kind = "minmax"
         specs.append(
             _AggSpec(
@@ -615,7 +1118,7 @@ def _compile_agg_specs(aggregate, source, project_slots) -> list[_AggSpec] | Non
                 compared=(num_groups + index) in compared,
             )
         )
-    return specs
+    return specs, None
 
 
 # ---------------------------------------------------------------------------
@@ -630,12 +1133,20 @@ class _GroupedState:
     state keeps its contribution positions (the *segment*, in base order),
     exact delta-friendly count/sum accumulators, ascending value lists for
     MIN/MAX order statistics, and — for float aggregates — the base output
-    computed by summing the segment in base row order (bit-identical to
-    re-execution).
+    computed by summing the segment in base order-key order (bit-identical
+    to re-execution). ``order_keys`` maps contribution positions to their
+    order keys; segments are ascending in both.
     """
 
-    def __init__(self, plan: _BatchQuery, batch: ColumnarBatch, passing: np.ndarray):
+    def __init__(
+        self,
+        plan: _BatchQuery,
+        batch: ColumnarBatch,
+        passing: np.ndarray,
+        order_keys: np.ndarray,
+    ):
         self.plan = plan
+        self.order_keys = order_keys
         keys = (
             key_tuples([evaluate(batch) for evaluate in plan.group_evals])
             if plan.group_evals
@@ -686,6 +1197,17 @@ class _GroupedState:
             self.sums.append(sums)
             self.sorted_values.append(ordered_values if spec.kind == "minmax" else None)
         self._outputs: dict[int, tuple | None] = {}
+        self._segment_arrays: dict[int, np.ndarray] = {}
+        self._visible: dict[tuple, bool] = {}  # HAVING verdicts per subtuple
+        self._float_totals: dict[tuple[int, int], float] = {}  # base sums
+
+    def segment_array(self, gid: int) -> np.ndarray:
+        """The group's segment as an int64 position array (memoized)."""
+        array = self._segment_arrays.get(gid)
+        if array is None:
+            array = np.asarray(self.segments[gid], dtype=np.int64)
+            self._segment_arrays[gid] = array
+        return array
 
     def gid_of(self, key: tuple) -> int:
         """Group id for ``key``, creating an empty group on first sight."""
@@ -717,7 +1239,7 @@ class _GroupedState:
             values = []
             for index, spec in enumerate(plan.agg_specs):
                 values.append(self._base_aggregate(gid, index, spec))
-            output = _project_output(plan, self.keys[gid], values)
+            output = _visible_output(plan, self.keys[gid], values, self._visible)
         self._outputs[gid] = output
         return output
 
@@ -740,12 +1262,16 @@ class _GroupedState:
             total = self.sums[index][gid]
             return total if spec.kind == "int_sum" else total / valid
         # float_sum / float_avg: exact in-order recompute over the segment.
-        vector = self.vectors[index]
-        total = sum(
-            vector.value_at(position)
-            for position in self.segments[gid]
-            if not vector.null[position]
-        )
+        # Segments are ascending in order key, so a left-to-right sum over
+        # the gathered values is the re-execution order; gather with numpy,
+        # accumulate as Python floats (np.sum's pairwise order differs).
+        total = self._float_totals.get((gid, index))
+        if total is None:
+            vector = self.vectors[index]
+            positions = self.segment_array(gid)
+            keep = ~vector.null[positions]
+            total = sum(vector.values[positions[keep]].tolist())
+            self._float_totals[(gid, index)] = total
         return total if spec.kind == "float_sum" else total / valid
 
 
@@ -757,25 +1283,66 @@ class _AggEdit:
     def __init__(self):
         self.dvalid = 0  # delta of non-NULL passing contributions
         self.dsum = 0.0  # int_sum/int_avg: exact value delta
-        self.removed: list = []  # minmax: values; float kinds: (row, value)
+        self.removed: list = []  # minmax: values; float kinds: (order key, value)
         self.added: list = []
-        self.rows_removed: list = []  # membership rows regardless of NULLs
+        self.rows_removed: list = []  # membership order keys regardless of NULLs
         self.rows_added: list = []
 
 
 class _GroupEdit:
     """One instance's accumulated effect on one group."""
 
-    __slots__ = ("dcount", "aggs")
+    __slots__ = ("dcount", "aggs", "keys_removed", "keys_added")
 
     def __init__(self, specs: list[_AggSpec]):
         self.dcount = 0
         self.aggs = [_AggEdit() for _ in specs]
+        self.keys_removed: list[int] = []  # order keys of removed contributions
+        self.keys_added: list[int] = []
 
 
 def _project_output(plan: _BatchQuery, key: tuple, agg_values: list) -> tuple:
     output = key + tuple(agg_values)
     return tuple(output[slot] for slot in plan.project_slots)
+
+
+def _visible_output(
+    plan: _BatchQuery, key: tuple, agg_values: list, memo: dict | None = None
+) -> tuple | None:
+    """The projected output row, or None when HAVING hides the group.
+
+    Visibility is decided over the *full* aggregate output tuple — group key
+    plus every aggregate, including hidden ones the HAVING rewriter added —
+    via a one-row columnar batch, reusing the same compiled predicate every
+    variant binds. ``memo`` (per-variant: the predicate reads that variant's
+    bound literals) short-circuits repeated rows — edits keep producing the
+    same handful of outputs per group.
+    """
+    if plan.having_eval is not None:
+        row = key + tuple(agg_values)
+        # Visibility depends only on the output slots the predicate reads
+        # (and the variant's bound literals — ``memo`` is per-variant), so
+        # the verdict is memoized on that subtuple: e.g. a count(*)
+        # threshold keys on the count alone, hitting even while a float
+        # sum in the row changes with every edit.
+        memo_key = (
+            tuple(row[slot] for slot in plan.having_slots)
+            if memo is not None
+            else None
+        )
+        visible = memo.get(memo_key) if memo is not None else None
+        if visible is None:
+            batch = ColumnarBatch(
+                plan.output_scope,
+                [vector_from_values([value]) for value in row],
+                1,
+            )
+            visible = bool(truth(plan.having_eval(batch))[0])
+            if memo is not None:
+                memo[memo_key] = visible
+        if not visible:
+            return None
+    return _project_output(plan, key, agg_values)
 
 
 def _extreme(base_sorted: list, removed: Counter, added: list, want_max: bool):
@@ -803,37 +1370,124 @@ def _extreme(base_sorted: list, removed: Counter, added: list, want_max: bool):
 # ---------------------------------------------------------------------------
 
 
+#: Lazily imported to avoid a cycle (repro.service imports the broker, which
+#: imports this module).
+_TEMPLATE_FINGERPRINT = None
+
+
+def _template_fingerprint(query, catalog, shape):
+    global _TEMPLATE_FINGERPRINT
+    if _TEMPLATE_FINGERPRINT is None:
+        from repro.service.canonical import template_fingerprint
+
+        _TEMPLATE_FINGERPRINT = template_fingerprint
+    return _TEMPLATE_FINGERPRINT(query, catalog, shape)
+
+
 class VectorizedBackend(ConflictBackend):
     """Columnar batch backend with per-query fallback to ``incremental``."""
 
     name = "vectorized"
-
-    def __init__(self, support: SupportSet, fallback: ConflictBackend | None = None):
-        super().__init__(support)
-        self._fallback = fallback or IncrementalBackend(support)
-        # Keyed by query identity, not text: programmatic queries may share
-        # text with different plans. The query object is pinned in the value
-        # so its id() cannot be recycled while the cache lives.
-        self._compiled: dict[int, tuple[Query, _BatchQuery | None]] = {}
-        self._table_batches: dict[str, ColumnarBatch] = {}
-        self._join_keys: dict[tuple[str, tuple[int, ...]], tuple[list, dict]] = {}
-
-    # -- compilation caches -------------------------------------------------
 
     #: Compiled-plan cache bound: compilation is cheap relative to conflict
     #: computation, so wholesale clearing at the cap keeps a long-lived
     #: market (a stream of unique ad-hoc queries) from growing unboundedly.
     MAX_COMPILED_PLANS = 4096
 
+    #: Default bound on distinct templates kept compiled (LRU).
+    TEMPLATE_CACHE_SIZE = 512
+
+    def __init__(
+        self,
+        support: SupportSet,
+        fallback: ConflictBackend | None = None,
+        template_cache_size: int | None = None,
+    ):
+        super().__init__(support)
+        self._fallback = fallback or IncrementalBackend(support)
+        # Keyed by query identity, not text: programmatic queries may share
+        # text with different plans. The query object is pinned in the value
+        # so its id() cannot be recycled while the cache lives.
+        self._compiled: dict[
+            int, tuple[Query, _BatchQuery | None, str | None]
+        ] = {}
+        self._table_batches: dict[str, ColumnarBatch] = {}
+        self._join_keys: dict[tuple[str, tuple[int, ...]], tuple[list, dict]] = {}
+        self._cascades: dict[tuple, dict] = {}
+        #: (cascade key, side, old/new) -> (data version, selected pairs,
+        #: unfiltered expansion). One entry per key: candidate sets rarely
+        #: differ across queries of one build, and a mismatch just recomputes.
+        self._expansions: dict[tuple, tuple] = {}
+        from repro.service.cache import TemplateCache  # deferred: cycle
+
+        size = (
+            self.TEMPLATE_CACHE_SIZE
+            if template_cache_size is None
+            else template_cache_size
+        )
+        self._templates = TemplateCache(size)
+
+    # -- compilation caches -------------------------------------------------
+
     def batch_plan(self, query: Query) -> _BatchQuery | None:
+        return self._plan_info(query)[0]
+
+    def template_stats(self) -> dict:
+        """Template-cache counters (hits/misses/evictions/stale drops)."""
+        return self._templates.stats().as_dict()
+
+    def _plan_info(self, query: Query) -> tuple[_BatchQuery | None, str | None]:
         cached = self._compiled.get(id(query))
-        if cached is None:
-            if len(self._compiled) >= self.MAX_COMPILED_PLANS:
-                self._compiled.clear()
-            plan = compile_batch_query(query, self.base)
-            self._compiled[id(query)] = (query, plan)
-            return plan
-        return cached[1]
+        if cached is not None and cached[0] is query:
+            return cached[1], cached[2]
+        if len(self._compiled) >= self.MAX_COMPILED_PLANS:
+            self._compiled.clear()
+        plan, reason = self._build_plan(query)
+        self._compiled[id(query)] = (query, plan, reason)
+        return plan, reason
+
+    def _build_plan(self, query: Query) -> tuple[_BatchQuery | None, str | None]:
+        """Compile through the template cache: fingerprint, bind, or build."""
+        shape = resolve_shape(query.plan)
+        if shape is None:
+            return None, "unmatched-shape"
+        stamp = self.support.data_version
+        stripped = _template_fingerprint(query, self.base, shape)
+        if stripped is None:
+            # Not parameterizable (e.g. a Literal node shared between two
+            # canonical positions): compile standalone, skip the cache.
+            return compile_batch_query(query, self.base, shape=shape)
+        digest, literal_nodes = stripped
+        values = tuple(node.value for node in literal_nodes)
+        template = self._templates.get(digest, stamp=stamp)
+        if template is not None:
+            if template.plan is None:
+                return None, template.reason
+            bound = template.bind(values)
+            if bound is not None:
+                return bound, None
+            return compile_batch_query(query, self.base, shape=shape)
+        bindings = LiteralBindings(values)
+        param_slots = {
+            id(node): position for position, node in enumerate(literal_nodes)
+        }
+        plan, reason = compile_batch_query(
+            query, self.base, bindings=bindings, param_slots=param_slots,
+            shape=shape,
+        )
+        template = BatchTemplate(
+            fingerprint=digest,
+            plan=plan,
+            reason=reason,
+            bindings=bindings if plan is not None else None,
+            num_params=len(values),
+        )
+        self._templates.put(digest, template, stamp=stamp)
+        if plan is None:
+            return None, reason
+        # The representative variant binds too: every variant gets its own
+        # per-variant state, the template's pristine plan is never executed.
+        return template.bind(values), None
 
     def _table_batch(self, table: str) -> ColumnarBatch:
         from repro.db.columnar import table_batch
@@ -859,6 +1513,19 @@ class VectorizedBackend(ConflictBackend):
             self._join_keys[cache_key] = cached
         return cached
 
+    def _cascade(self, source) -> dict:
+        """Shared unfiltered join enumeration for an all-column join chain.
+
+        Keyed on (tables, key slots) alone — every literal variant of a
+        join template, and every other query over the same chain, reuses
+        one enumeration and masks it with its own filters.
+        """
+        cascade = self._cascades.get(source.cascade_key)
+        if cascade is None:
+            cascade = source._build_cascade(self)
+            self._cascades[source.cascade_key] = cascade
+        return cascade
+
     def prepare(self, queries) -> None:
         """Warm per-workload caches: compiled plans, base batches, tensors.
 
@@ -882,9 +1549,18 @@ class VectorizedBackend(ConflictBackend):
         self, query: Query, candidates: list[int] | None = None
     ) -> ConflictComputation:
         setup_start = time.perf_counter()
-        plan = self.batch_plan(query)
+        plan, reason = self._plan_info(query)
         if plan is None:
-            return self._fallback.compute(query, candidates)
+            return replace(
+                self._fallback.compute(query, candidates),
+                fallback_reason=reason,
+            )
+        if plan.bindings is not None:
+            # Re-target every compiled evaluator of the template at this
+            # variant's literal vector. Computes are serialized per backend
+            # (the service prices under its market lock), so the shared
+            # holder is safe to swap.
+            plan.bindings.values = plan.literals
         if candidates is None:
             candidates = self.candidate_instances(query)
         setup = time.perf_counter() - setup_start
@@ -901,7 +1577,10 @@ class VectorizedBackend(ConflictBackend):
         except QueryError:
             # Runtime type surprises (e.g. mixed-kind ordering comparisons)
             # are rare enough to pay full fallback for the whole query.
-            return self._fallback.compute(query, candidates)
+            return replace(
+                self._fallback.compute(query, candidates),
+                fallback_reason="runtime-error",
+            )
         elapsed = time.perf_counter() - start
         return ConflictComputation(
             conflict_set=frozenset(conflicting),
@@ -912,6 +1591,7 @@ class VectorizedBackend(ConflictBackend):
             backend=self.name,
             setup_seconds=setup,
             num_reexecuted=reexecuted,
+            kernel=plan.kernel_label,
         )
 
     # -- kernel dispatch ----------------------------------------------------
@@ -979,7 +1659,7 @@ class VectorizedBackend(ConflictBackend):
                 undecided.add(int(instance_id))
         return conflicting, undecided
 
-    # -- flat join kernel (contribution bags per instance) -------------------
+    # -- flat join kernel (order-keyed contribution sequences) ----------------
 
     def _decide_flat_join(
         self, plan: _BatchQuery, chunks: list[_Chunk], undecided: set[int]
@@ -989,29 +1669,32 @@ class VectorizedBackend(ConflictBackend):
             old_tuples = _projected_tuples(plan.project_evals, chunk.old_batch)
             new_tuples = _projected_tuples(plan.project_evals, chunk.new_batch)
             for instance_id, (o_lo, o_hi), (n_lo, n_hi) in _instance_slices(chunk):
-                old_items = [
-                    old_tuples[position]
-                    for position in range(o_lo, o_hi)
-                    if chunk.old_pass[position]
-                ]
-                new_items = [
-                    new_tuples[position]
-                    for position in range(n_lo, n_hi)
-                    if chunk.new_pass[position]
-                ]
+                old_items = sorted(
+                    (
+                        (int(chunk.old_rows[position]), old_tuples[position])
+                        for position in range(o_lo, o_hi)
+                        if chunk.old_pass[position]
+                    ),
+                    key=lambda item: item[0],
+                )
+                new_items = sorted(
+                    (
+                        (int(chunk.new_rows[position]), new_tuples[position])
+                        for position in range(n_lo, n_hi)
+                        if chunk.new_pass[position]
+                    ),
+                    key=lambda item: item[0],
+                )
                 if old_items == new_items:
-                    # Value-identical contributions decide "no conflict" only
-                    # when the pairs are position-stable: a join-key change
-                    # can re-attach value-identical contributions to
-                    # *different left partners*, moving their positions and
-                    # reordering an ORDER BY tie group.
-                    if plan.ordered and not _instance_stable(chunk, instance_id):
-                        undecided.add(instance_id)
+                    # Identical contributions at identical order keys: every
+                    # output position is preserved, ordered or not.
                     continue
-                if Counter(old_items) != Counter(new_items):
+                if Counter(item[1] for item in old_items) != Counter(
+                    item[1] for item in new_items
+                ):
                     conflicting.append(instance_id)
                 elif plan.ordered:
-                    # Bag-preserving contribution changes can reorder an
+                    # Bag-preserving contribution moves can reorder an
                     # ORDER BY tie group (join output order is left-major).
                     undecided.add(instance_id)
         return conflicting
@@ -1105,12 +1788,13 @@ class VectorizedBackend(ConflictBackend):
         plan.base_state = state
         return state
 
-    # -- grouped kernel (GROUP BY / MIN-MAX / float segments) ----------------
+    # -- grouped kernel (GROUP BY / HAVING / MIN-MAX / float segments) --------
 
     def _grouped_state(self, plan: _BatchQuery) -> _GroupedState:
         if plan.grouped_state is None:
             batch, passing = plan.source.base_contributions(self)
-            plan.grouped_state = _GroupedState(plan, batch, passing)
+            order_keys = plan.source.base_order_keys(self)
+            plan.grouped_state = _GroupedState(plan, batch, passing, order_keys)
         return plan.grouped_state
 
     def _decide_grouped(
@@ -1120,13 +1804,19 @@ class VectorizedBackend(ConflictBackend):
         conflicting: list[int] = []
         for chunk in chunks:
             sides = []
-            for instances, batch, passing, rows in (
-                (chunk.old_instances, chunk.old_batch, chunk.old_pass, chunk.old_rows),
-                (chunk.new_instances, chunk.new_batch, chunk.new_pass, chunk.new_rows),
+            raw = []
+            for batch, passing, rows in (
+                (chunk.old_batch, chunk.old_pass, chunk.old_rows),
+                (chunk.new_batch, chunk.new_pass, chunk.new_rows),
             ):
-                keys = (
-                    key_tuples([evaluate(batch) for evaluate in plan.group_evals])
+                group_vectors = (
+                    [evaluate(batch) for evaluate in plan.group_evals]
                     if plan.group_evals
+                    else []
+                )
+                keys = (
+                    key_tuples(group_vectors)
+                    if group_vectors
                     else [()] * batch.num_rows
                 )
                 vectors = [
@@ -1134,11 +1824,14 @@ class VectorizedBackend(ConflictBackend):
                     for spec in plan.agg_specs
                 ]
                 sides.append((keys, vectors, passing, rows))
+                raw.append((group_vectors, vectors, passing))
             old_side, new_side = sides
+            changed_ids = _changed_instance_ids(chunk, raw)
             for instance_id, old_span, new_span in _instance_slices(chunk):
+                if changed_ids is not None and instance_id not in changed_ids:
+                    continue  # bulk-verified identical contributions
                 decision = self._decide_grouped_instance(
-                    plan, state, old_side, old_span, new_side, new_span,
-                    stable=_instance_stable(chunk, instance_id),
+                    plan, state, old_side, old_span, new_side, new_span
                 )
                 if decision is True:
                     conflicting.append(instance_id)
@@ -1147,14 +1840,14 @@ class VectorizedBackend(ConflictBackend):
         return conflicting
 
     def _decide_grouped_instance(
-        self, plan, state, old_side, old_span, new_side, new_span, stable
+        self, plan, state, old_side, old_span, new_side, new_span
     ) -> bool | None:
         """True = conflict, False = none, None = re-execute to decide."""
         specs = plan.agg_specs
         contributions = []
-        for (keys, vectors, passing, rows), (lo, hi), sign in (
-            (old_side, old_span, -1),
-            (new_side, new_span, +1),
+        for (keys, vectors, passing, order_keys), (lo, hi) in (
+            (old_side, old_span),
+            (new_side, new_span),
         ):
             items = []
             for position in range(lo, hi):
@@ -1166,34 +1859,35 @@ class VectorizedBackend(ConflictBackend):
                     else (None if vector.null[position] else vector.value_at(position))
                     for vector in vectors
                 )
-                row = int(rows[position]) if rows is not None else None
-                items.append((keys[position], values, row))
+                items.append((keys[position], values, int(order_keys[position])))
+            items.sort(key=lambda item: item[2])
             contributions.append(items)
         old_items, new_items = contributions
-        ordered_groups = plan.ordered and plan.has_groups
-        if old_items == new_items and (stable or not ordered_groups):
-            # Value-identical contributions at unstable positions cannot
-            # decide an ordered grouped query: re-attaching a group's
-            # contributions to different join partners moves its first
-            # occurrence, flipping group emission order within a tie block.
+        if old_items == new_items:
+            # Identical contributions at identical order keys: group
+            # memberships, aggregate inputs, and emission ranks are all
+            # preserved — nothing about the answer can change.
             return False
 
         # Accumulate edits per affected group.
         edits: dict[int, _GroupEdit] = {}
         for items, sign in ((old_items, -1), (new_items, +1)):
-            for key, values, row in items:
+            for key, values, order_key in items:
                 gid = state.gid_of(key)
                 edit = edits.get(gid)
                 if edit is None:
                     edit = _GroupEdit(specs)
                     edits[gid] = edit
                 edit.dcount += sign
+                (edit.keys_removed if sign < 0 else edit.keys_added).append(order_key)
                 for index, spec in enumerate(specs):
                     if spec.arg_eval is None:
                         continue
                     value = values[index]
                     slot = edit.aggs[index]
-                    (slot.rows_removed if sign < 0 else slot.rows_added).append(row)
+                    (slot.rows_removed if sign < 0 else slot.rows_added).append(
+                        order_key
+                    )
                     if value is None:
                         continue
                     slot.dvalid += sign
@@ -1202,7 +1896,9 @@ class VectorizedBackend(ConflictBackend):
                     elif spec.kind == "minmax":
                         (slot.removed if sign < 0 else slot.added).append(value)
                     elif spec.kind in _ORDER_KINDS:
-                        (slot.removed if sign < 0 else slot.added).append((row, value))
+                        (slot.removed if sign < 0 else slot.added).append(
+                            (order_key, value)
+                        )
 
         old_bag: Counter = Counter()
         new_bag: Counter = Counter()
@@ -1218,19 +1914,37 @@ class VectorizedBackend(ConflictBackend):
                 new_bag[new_output] += 1
         if old_bag != new_bag:
             return True
-        if ordered_groups:
-            # GROUP BY output rows are emitted in group *insertion* order
-            # (first contribution position in the source output), which
-            # breaks ORDER BY ties; a bag-preserving swap of visible rows,
-            # of group memberships, or — on joins — of partner positions
-            # can reorder a tie block. Undecidable here — re-execute.
-            if not stable:
+        if plan.ordered and plan.has_groups:
+            # GROUP BY output rows are emitted in group first-contribution
+            # order, which breaks ORDER BY ties. The bag is preserved; the
+            # sequence is too iff every visible edited group's output is
+            # unchanged *and* its emission rank — the minimum order key of
+            # its membership — is unchanged.
+            if any_change:
                 return None
-            old_key_sequence = [key for key, _, _ in old_items]
-            new_key_sequence = [key for key, _, _ in new_items]
-            if any_change or old_key_sequence != new_key_sequence:
-                return None
+            for gid, edit in edits.items():
+                if state.base_output(gid) is None:
+                    continue
+                if self._emission_min_changed(state, gid, edit):
+                    return None
         return False
+
+    def _emission_min_changed(self, state, gid, edit: "_GroupEdit") -> bool:
+        """Whether the group's first-contribution order key moved."""
+        order_keys = state.order_keys
+        segment = state.segments[gid]
+        base_min = int(order_keys[segment[0]]) if segment else None
+        removed = set(edit.keys_removed)
+        new_min = None
+        for position in segment:  # ascending order keys
+            key = int(order_keys[position])
+            if key not in removed:
+                new_min = key
+                break
+        for key in edit.keys_added:
+            if new_min is None or key < new_min:
+                new_min = key
+        return new_min != base_min
 
     def _edited_output(self, plan, state, gid, edit: "_GroupEdit") -> tuple | None:
         new_count = state.counts[gid] + edit.dcount
@@ -1261,39 +1975,49 @@ class VectorizedBackend(ConflictBackend):
                         want_max=spec.func == "max",
                     )
                 )
-            else:  # float_sum / float_avg: exact in-order segment recompute
+            else:  # float_sum / float_avg: exact order-keyed recompute
                 values.append(
                     self._float_recompute(state, gid, index, spec, slot, new_valid)
                 )
-        return _project_output(plan, state.keys[gid], values)
+        return _visible_output(plan, state.keys[gid], values, state._visible)
 
     def _float_recompute(self, state, gid, index, spec, slot, new_valid):
-        """Recompute a float SUM/AVG in base row order (naive-exact).
+        """Recompute a float SUM/AVG in order-key order (naive-exact).
 
-        ``slot.removed``/``slot.added`` are (base row, value) pairs of the
+        ``slot.removed``/``slot.added`` are (order key, value) pairs of the
         instance's valid old/new contributions to this group,
-        ``slot.rows_removed``/``slot.rows_added`` its membership rows
+        ``slot.rows_removed``/``slot.rows_added`` its membership order keys
         regardless of NULLs; when both are unchanged the base output is
         reused (the common case: a patch to a *different* column).
         Otherwise the group's new value sequence is the base segment with
-        the old membership rows dropped and the new valid pairs merged back
-        at their base positions, summed left to right — the exact order
-        full re-execution would use.
+        the old membership keys dropped and the new valid pairs merged back
+        at their order keys, summed left to right — the exact order full
+        re-execution sums in, since order keys rank the left-major
+        enumeration and patches never add or remove base rows.
         """
         if sorted(slot.removed) == sorted(slot.added) and sorted(
             slot.rows_removed
         ) == sorted(slot.rows_added):
             return state.base_output_value(gid, index)
         vector = state.vectors[index]
-        dropped = set(slot.rows_removed)
-        merged = [
-            (position, vector.value_at(position))
-            for position in state.segments[gid]
-            if position not in dropped and not vector.null[position]
-        ]
-        merged.extend(slot.added)
-        merged.sort(key=lambda pair: pair[0])
-        total = sum(value for _, value in merged)
+        positions = state.segment_array(gid)
+        keys = state.order_keys[positions]
+        keep = ~vector.null[positions]
+        # Dropped sets are tiny (one patch's membership keys): a compare per
+        # key beats np.isin's sort-based machinery at this size.
+        for dropped in set(slot.rows_removed):
+            keep &= keys != dropped
+        kept_keys = keys[keep]
+        kept_values = vector.values[positions[keep]]
+        # Sum strictly left to right in order-key order — bit-identical to
+        # full re-execution (np.sum's pairwise accumulation is not).
+        if slot.added:
+            merged = list(zip(kept_keys.tolist(), kept_values.tolist()))
+            merged.extend(slot.added)
+            merged.sort(key=lambda pair: pair[0])
+            total = sum(value for _, value in merged)
+        else:
+            total = sum(kept_values.tolist())
         return total if spec.kind == "float_sum" else total / new_valid
 
 
@@ -1304,25 +2028,57 @@ def _projected_tuples(project_evals, batch: ColumnarBatch) -> list[tuple]:
     return key_tuples([evaluate(batch) for evaluate in project_evals])
 
 
-def _instance_stable(chunk: _Chunk, instance_id: int) -> bool:
-    """Whether all of an instance's pairs keep their contribution positions."""
-    if chunk.pair_stable is None:
-        return True
-    lo = int(np.searchsorted(chunk.pair_instances, instance_id, side="left"))
-    hi = int(np.searchsorted(chunk.pair_instances, instance_id, side="right"))
-    return bool(chunk.pair_stable[lo:hi].all())
+def _changed_instance_ids(chunk: _Chunk, raw) -> set[int] | None:
+    """Instances whose contributions differ between old and new, in bulk.
+
+    Only usable when the old and new tuple sets align exactly — same
+    instances, same order keys position for position (the common case: the
+    patch left every join key intact). Then an instance's contributions are
+    identical iff no position of its span flips a filter pass or changes a
+    group key / aggregate argument — all checked vectorized over the whole
+    chunk, skipping the per-instance decision loop for unchanged instances
+    (which would reach its ``old_items == new_items`` early exit anyway).
+    Returns None when the sides don't align; the caller falls back to
+    per-instance decisions for every instance.
+    """
+    old = chunk.old_instances
+    new = chunk.new_instances
+    if len(old) != len(new) or len(old) == 0:
+        return None
+    if not np.array_equal(old, new) or not np.array_equal(
+        chunk.old_rows, chunk.new_rows
+    ):
+        return None
+    (old_groups, old_aggs, old_pass), (new_groups, new_aggs, new_pass) = raw
+    diff = old_pass != new_pass
+    both = old_pass & new_pass
+    for old_vec, new_vec in zip(old_groups + old_aggs, new_groups + new_aggs):
+        if old_vec is None:
+            continue
+        neq = (old_vec.null != new_vec.null) | (
+            ~old_vec.null & ~new_vec.null & (old_vec.values != new_vec.values)
+        )
+        diff |= both & neq
+    identifiers, starts = np.unique(old, return_index=True)
+    changed = np.add.reduceat(diff.astype(np.intp), starts) > 0
+    return set(identifiers[changed].tolist())
 
 
 def _instance_slices(chunk: _Chunk):
     """Iterate (instance id, old slice, new slice) over a chunk's instances."""
     old = chunk.old_instances
     new = chunk.new_instances
-    for instance_id in np.union1d(old, new):
-        o_lo = int(np.searchsorted(old, instance_id, side="left"))
-        o_hi = int(np.searchsorted(old, instance_id, side="right"))
-        n_lo = int(np.searchsorted(new, instance_id, side="left"))
-        n_hi = int(np.searchsorted(new, instance_id, side="right"))
-        yield int(instance_id), (o_lo, o_hi), (n_lo, n_hi)
+    identifiers = np.union1d(old, new)
+    o_lo = np.searchsorted(old, identifiers, side="left")
+    o_hi = np.searchsorted(old, identifiers, side="right")
+    n_lo = np.searchsorted(new, identifiers, side="left")
+    n_hi = np.searchsorted(new, identifiers, side="right")
+    for position, instance_id in enumerate(identifiers.tolist()):
+        yield (
+            int(instance_id),
+            (int(o_lo[position]), int(o_hi[position])),
+            (int(n_lo[position]), int(n_hi[position])),
+        )
 
 
 def _contribution_bag(projected, passing, positions) -> Counter:
@@ -1338,36 +2094,57 @@ def _contribution_bag(projected, passing, positions) -> Counter:
 class AutoBackend(ConflictBackend):
     """Per-query choice: batch evaluation when it can win, checkers otherwise.
 
-    Dispatch consults the unified shape matcher (through
-    :func:`compile_batch_query`): a query is only routed to the batch path
-    when it actually compiled, so the reported backend in
-    :class:`ConflictComputation` is the one that decided. The batch path
-    pays fixed costs (candidate gather, patch application) that only
-    amortize across enough candidates; below the threshold the incremental
-    checker's per-instance work is cheaper.
+    Dispatch consults the unified shape matcher (through the vectorized
+    backend's template-cached plan info): a query is only routed to the batch
+    path when it actually compiled, so the reported backend in
+    :class:`ConflictComputation` is the one that decided — and when it is
+    not, the computation carries the reason (``distinct-agg``,
+    ``below-threshold``, ...). The batch path pays fixed costs (candidate
+    gather, patch application) that only amortize across enough candidates;
+    below the threshold the incremental checker's per-instance work is
+    cheaper.
     """
 
     name = "auto"
 
-    def __init__(self, support: SupportSet, min_batch_candidates: int = 48):
+    def __init__(
+        self,
+        support: SupportSet,
+        min_batch_candidates: int = 48,
+        template_cache_size: int | None = None,
+    ):
         super().__init__(support)
         self.min_batch_candidates = min_batch_candidates
         self._incremental = IncrementalBackend(support)
-        self._vectorized = VectorizedBackend(support, fallback=self._incremental)
+        self._vectorized = VectorizedBackend(
+            support,
+            fallback=self._incremental,
+            template_cache_size=template_cache_size,
+        )
 
     def prepare(self, queries) -> None:
         self._vectorized.prepare(queries)
 
+    def template_stats(self) -> dict:
+        return self._vectorized.template_stats()
+
     def compute(
         self, query: Query, candidates: list[int] | None = None
     ) -> ConflictComputation:
-        if self._vectorized.batch_plan(query) is None:
-            return self._incremental.compute(query, candidates)
+        plan, reason = self._vectorized._plan_info(query)
+        if plan is None:
+            return replace(
+                self._incremental.compute(query, candidates),
+                fallback_reason=reason,
+            )
         if candidates is None:
             candidates = self.candidate_instances(query)
         if len(candidates) >= self.min_batch_candidates:
             return self._vectorized.compute(query, candidates)
-        return self._incremental.compute(query, candidates)
+        return replace(
+            self._incremental.compute(query, candidates),
+            fallback_reason="below-threshold",
+        )
 
 
 register_backend(VectorizedBackend.name, VectorizedBackend)

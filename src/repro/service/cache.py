@@ -15,6 +15,13 @@ installing a new pricing bumps the generation, and entries stamped with an
 older generation are dropped on access (a lazy, O(1) invalidation — no
 stop-the-world clear while requests are in flight).
 
+A third cache lives below the broker: the vectorized conflict backend's
+:class:`TemplateCache`, keyed by shape fingerprint (canonical form with
+literals stripped) and holding compiled batch templates. It reuses the same
+LRU/counter machinery, with the stamp supplied by the caller — the support
+set's ``data_version`` — so entries compiled against dropped delta tensors
+invalidate lazily the same way stale quotes do.
+
 Thread safety: every public method takes the cache's lock; counters and the
 LRU order stay consistent under concurrent quoting.
 """
@@ -196,3 +203,53 @@ class QuoteCache(LRUCache):
 
     def _generation(self) -> int:
         return self._gen
+
+
+class TemplateCache(LRUCache):
+    """LRU cache of compiled query templates, stamped with a data version.
+
+    Unlike :class:`QuoteCache`, the stamp is *caller-supplied* on every
+    access (the support set's ``data_version``): the cache has no authority
+    over when support-derived state — delta tensors, hash indexes — becomes
+    stale, it only refuses to return an entry compiled under a different
+    stamp. Stale entries are dropped lazily on lookup and counted as
+    ``stale_drops``; a ``capacity`` of 0 disables the cache entirely (every
+    lookup is a miss, nothing is stored), which the benchmarks use to
+    measure the uncached miss path.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity == 0:
+            # Bypass the >= 1 check: a disabled cache stores nothing.
+            super().__init__(1)
+            self.capacity = 0
+        else:
+            super().__init__(capacity)
+        self._stamp = 0
+
+    def get(self, key, stamp: int = 0, default=None):
+        with self._lock:
+            self._stamp = stamp
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            entry_stamp, value = entry
+            if entry_stamp != stamp:
+                del self._entries[key]
+                self._stale_drops += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value, stamp: int = 0) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._stamp = stamp
+            self._store(key, (stamp, value))
+
+    def _generation(self) -> int:
+        return self._stamp

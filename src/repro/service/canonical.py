@@ -61,7 +61,7 @@ from repro.db.plan import (
     TableScan,
 )
 from repro.db.query import Query
-from repro.qirana.shapes import QueryShape, SourceSide, match_shape
+from repro.qirana.shapes import QueryShape, SourceSide, resolve_shape
 
 #: Comparison operators whose operand order carries no meaning.
 _SYMMETRIC_OPS = frozenset({"=", "!="})
@@ -320,7 +320,7 @@ def canonical_form(query: Query, catalog: Database | None = None) -> str:
             for key in plan.keys
         )
         sort_suffix = f"|sortkeys({keys})"
-    shape = match_shape(plan)
+    shape = resolve_shape(plan)
     if shape is not None:
         return _shape_form(shape, ordered or shape.ordered, aliases) + sort_suffix
     body = _node_form(plan, aliases)
@@ -334,3 +334,224 @@ def canonical_key(query: Query, catalog: Database | None = None) -> str:
     return hashlib.sha256(
         canonical_form(query, catalog).encode("utf-8")
     ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Template fingerprinting: the canonical form with literals stripped
+# ----------------------------------------------------------------------
+#
+# Literal-variants of one query template (same shape, different constants)
+# share a *template fingerprint*: every Literal renders as a type-tagged hole
+# (``lit(int:?)``) and the stripped nodes are collected in canonical order —
+# wherever the canonical form sorts (AND/OR conjuncts, symmetric
+# comparisons), the template renderer sorts by the *stripped* strings, so two
+# variants written in different conjunct orders extract their literal vectors
+# at matching positions. Ties between stripped-identical operands are broken
+# by original order, which is sound because every sorted connective commutes.
+#
+# Structural (never parameterized): LIKE patterns, IN-list values, LIMIT
+# counts, and ORDER BY keys — the batch compiler specializes on those, so
+# differing values are genuinely different templates. Literal *types* are
+# part of the hole tag so an ``int`` variant never binds into a template
+# compiled for ``str`` holes.
+
+#: sort key for (stripped form, literal nodes) pairs.
+def _strip(pair: tuple[str, list]) -> str:
+    return pair[0]
+
+
+def _texpr(node: Expr, aliases: _AliasMap) -> tuple[str, list[Literal]]:
+    """(canonical form with literal holes, stripped Literal nodes in order)."""
+    if isinstance(node, ColumnRef):
+        return _expr(node, aliases), []
+    if isinstance(node, Literal):
+        return f"lit({type(node.value).__name__}:?)", [node]
+    if isinstance(node, Comparison):
+        op, left_node, right_node = node.op, node.left, node.right
+        if op in ("<", "<="):
+            op = ">" if op == "<" else ">="
+            left_node, right_node = right_node, left_node
+        left = _texpr(left_node, aliases)
+        right = _texpr(right_node, aliases)
+        if op in _SYMMETRIC_OPS:
+            left, right = sorted((left, right), key=_strip)
+        return f"cmp({op},{left[0]},{right[0]})", left[1] + right[1]
+    if isinstance(node, Between):
+        operand = _texpr(node.operand, aliases)
+        low = _texpr(node.low, aliases)
+        high = _texpr(node.high, aliases)
+        return (
+            f"between({operand[0]},{low[0]},{high[0]})",
+            operand[1] + low[1] + high[1],
+        )
+    if isinstance(node, Like):
+        operand = _texpr(node.operand, aliases)
+        negation = "!" if node.negated else ""
+        return f"{negation}like({operand[0]},{node.pattern!r})", operand[1]
+    if isinstance(node, InList):
+        operand = _texpr(node.operand, aliases)
+        values = ",".join(sorted(_literal(value) for value in node.values))
+        negation = "!" if node.negated else ""
+        return f"{negation}in({operand[0]},[{values}])", operand[1]
+    if isinstance(node, IsNull):
+        operand = _texpr(node.operand, aliases)
+        negation = "!" if node.negated else ""
+        return f"{negation}isnull({operand[0]})", operand[1]
+    if isinstance(node, (And, Or)):
+        connective = "and" if isinstance(node, And) else "or"
+        parts = sorted(_tflatten(node, type(node), aliases), key=_strip)
+        literals = [lit for part in parts for lit in part[1]]
+        return f"{connective}({','.join(part[0] for part in parts)})", literals
+    if isinstance(node, Not):
+        operand = _texpr(node.operand, aliases)
+        return f"not({operand[0]})", operand[1]
+    if isinstance(node, Arithmetic):
+        left = _texpr(node.left, aliases)
+        right = _texpr(node.right, aliases)
+        return f"arith({node.op},{left[0]},{right[0]})", left[1] + right[1]
+    # Unknown expression kinds keep their literals baked in (structural).
+    return _expr(node, aliases), []
+
+
+def _tflatten(
+    node: Expr, connective: type, aliases: _AliasMap
+) -> list[tuple[str, list[Literal]]]:
+    if isinstance(node, connective):
+        return _tflatten(node.left, connective, aliases) + _tflatten(
+            node.right, connective, aliases
+        )
+    return [_texpr(node, aliases)]
+
+
+def _tpredicate(
+    predicate: Expr | None, aliases: _AliasMap
+) -> tuple[str, list[Literal]]:
+    if predicate is None:
+        return "-", []
+    if isinstance(predicate, And):
+        parts = sorted(_tflatten(predicate, And, aliases), key=_strip)
+        literals = [lit for part in parts for lit in part[1]]
+        return ",".join(part[0] for part in parts), literals
+    return _texpr(predicate, aliases)
+
+
+def _tside(side: SourceSide, aliases: _AliasMap) -> tuple[str, list[Literal]]:
+    table = aliases.alias_to_name[side.scan.effective_alias]
+    predicate, literals = _tpredicate(
+        side.predicate.predicate if side.predicate is not None else None, aliases
+    )
+    return f"{table}[{predicate}]", literals
+
+
+def _tshape_form(
+    shape: QueryShape, ordered: bool, aliases: _AliasMap
+) -> tuple[str, list[Literal]]:
+    """Literal-stripped twin of :func:`_shape_form` (same section order)."""
+    literals: list[Literal] = []
+    if shape.single is not None:
+        source, side_literals = _tside(shape.single, aliases)
+        literals.extend(side_literals)
+    else:
+        source, leftmost_literals = _tside(shape.leftmost, aliases)
+        literals.extend(leftmost_literals)
+        for level in shape.levels:
+            key_parts = []
+            for left, right in zip(level.join.left_keys, level.join.right_keys):
+                pair = sorted(
+                    (_texpr(left, aliases), _texpr(right, aliases)), key=_strip
+                )
+                key_parts.append("~".join(part[0] for part in pair))
+                literals.extend(lit for part in pair for lit in part[1])
+            right_form, right_literals = _tside(level.right, aliases)
+            literals.extend(right_literals)
+            source += f"join[{','.join(key_parts)}]{right_form}"
+    parts = [f"src({source})"]
+    if shape.residual is not None:
+        form, residual_literals = _tpredicate(shape.residual.predicate, aliases)
+        literals.extend(residual_literals)
+        parts.append(f"where({form})")
+    if shape.aggregate is not None:
+        group_forms = []
+        for item in shape.aggregate.group_items:
+            form, item_literals = _texpr(item.expr, aliases)
+            group_forms.append(form)
+            literals.extend(item_literals)
+        spec_forms = []
+        for spec in shape.aggregate.aggregates:
+            if spec.arg is not None:
+                arg_form, arg_literals = _texpr(spec.arg, aliases)
+                literals.extend(arg_literals)
+            else:
+                arg_form = "*"
+            spec_forms.append(
+                f"{spec.func.lower()}{'!' if spec.distinct else ''}({arg_form})"
+            )
+        parts.append(f"agg(by:{';'.join(group_forms)}|{';'.join(spec_forms)})")
+    if shape.having is not None:
+        form, having_literals = _tpredicate(shape.having.predicate, aliases)
+        literals.extend(having_literals)
+        parts.append(f"having({form})")
+    proj_forms = []
+    for item in shape.project.items:
+        form, item_literals = _texpr(item.expr, aliases)
+        proj_forms.append(form)
+        literals.extend(item_literals)
+    parts.append(f"proj({';'.join(proj_forms)})")
+    if ordered:
+        parts.append("ordered")
+    return "|".join(parts), literals
+
+
+def template_form(
+    query: Query,
+    catalog: Database | None = None,
+    shape: QueryShape | None = None,
+) -> tuple[str, list[Literal]] | None:
+    """(literal-stripped canonical form, stripped Literal nodes in order).
+
+    Returns ``None`` for plans :func:`~repro.qirana.shapes.match_shape`
+    rejects (templates only exist for shapes the conflict backends
+    decompose) and for the degenerate case of one Literal node shared
+    between two canonical positions, which could not bind two values.
+    Pass ``shape`` when the caller already resolved it to skip the memo
+    lookup.
+    """
+    plan = query.plan
+    aliases = _AliasMap(plan, catalog)
+    sort_suffix = ""
+    if isinstance(plan, Sort):
+        # Sort keys are structural: the batch engine never evaluates them,
+        # so a literal inside ORDER BY must not become a bindable hole.
+        keys = ";".join(
+            f"{_expr(key.expr, aliases)}:{'asc' if key.ascending else 'desc'}"
+            for key in plan.keys
+        )
+        sort_suffix = f"|sortkeys({keys})"
+    if shape is None:
+        shape = resolve_shape(plan)
+    if shape is None:
+        return None
+    form, literals = _tshape_form(shape, query.ordered or shape.ordered, aliases)
+    if len({id(node) for node in literals}) != len(literals):
+        return None
+    return form + sort_suffix, literals
+
+
+def template_fingerprint(
+    query: Query,
+    catalog: Database | None = None,
+    shape: QueryShape | None = None,
+) -> tuple[str, list[Literal]] | None:
+    """(SHA-256 of :func:`template_form`, stripped Literal nodes in order).
+
+    Literal-variants of one template share the digest; the node list is the
+    canonical binding order — position ``i`` of one variant's extracted
+    vector binds the hole that position ``i`` of any other variant's vector
+    fills.
+    """
+    stripped = template_form(query, catalog, shape)
+    if stripped is None:
+        return None
+    form, literals = stripped
+    digest = hashlib.sha256(form.encode("utf-8")).hexdigest()
+    return digest, literals

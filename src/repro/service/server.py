@@ -71,6 +71,9 @@ class ServiceStats:
     plans: CacheStats
     batcher: BatcherStats
     transactions: int
+    #: Counters of the conflict engine's compiled-template cache (shape
+    #: fingerprint -> batch plan); ``None`` when the backend has no cache.
+    templates: dict | None = None
 
     @property
     def batches(self) -> int:
@@ -108,6 +111,7 @@ class ServiceStats:
             "shed": self.shed,
             "shed_rate": self.batcher.shed_rate,
             "transactions": self.transactions,
+            "template_cache": self.templates,
         }
 
 
@@ -391,6 +395,7 @@ class PricingService(CanonicalServingMixin):
             plans=self._plans.stats(),
             batcher=self._batcher.stats(),
             transactions=len(self.market.transactions),
+            templates=self.market.engine.template_cache_stats(),
         )
 
     # ------------------------------------------------------------------

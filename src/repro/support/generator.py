@@ -47,6 +47,16 @@ class SupportSet:
                 self._by_column.setdefault(pair, []).append(instance.instance_id)
         self._materialized: dict[int, Database] = {}
         self._delta_tensors: dict[str, object] = {}
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """A stamp that changes whenever cached support-derived state resets.
+
+        Template caches key compiled plans to the tensors current at compile
+        time; a bumped version (``clear_cache``) lazily invalidates them.
+        """
+        return self._data_version
 
     def __len__(self) -> int:
         return len(self.instances)
@@ -90,6 +100,7 @@ class SupportSet:
         """Drop materialized databases and delta tensors (memory relief)."""
         self._materialized.clear()
         self._delta_tensors.clear()
+        self._data_version += 1
 
     def restrict(self, size: int) -> "SupportSet":
         """A prefix support set of the first ``size`` instances.

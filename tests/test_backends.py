@@ -122,7 +122,9 @@ class TestDiagnostics:
 class TestBatchCompilation:
     def test_flat_plan_compiles(self, mini_support, mini_db):
         query = sql_query("select Name from City where Population > 1000", mini_db)
-        assert compile_batch_query(query, mini_db) is not None
+        plan, reason = compile_batch_query(query, mini_db)
+        assert plan is not None
+        assert reason is None
 
     def test_scalar_int_aggregates_compile(self, mini_db):
         for text in [
@@ -131,7 +133,8 @@ class TestBatchCompilation:
             "select sum(Population) from City",
             "select avg(Population) from City",
         ]:
-            assert compile_batch_query(sql_query(text, mini_db), mini_db) is not None
+            plan, _ = compile_batch_query(sql_query(text, mini_db), mini_db)
+            assert plan is not None, text
 
     @pytest.mark.parametrize(
         ("text", "kernel"),
@@ -142,11 +145,18 @@ class TestBatchCompilation:
                 "select Continent, count(Code) from Country group by Continent",
                 "grouped",
             ),
-            # float SUM over grouped single-table plans: exact in-order
-            # segment recompute
+            # float SUM/AVG: exact order-stable contribution enumeration,
+            # scalar and grouped, single-table and joined
+            ("select sum(LifeExpectancy) from Country", "grouped"),
+            ("select avg(LifeExpectancy) from Country", "grouped"),
             (
                 "select Continent, sum(LifeExpectancy) from Country "
                 "group by Continent",
+                "grouped",
+            ),
+            (
+                "select sum(Percentage) from Country , CountryLanguage "
+                "where Code = CountryCode",
                 "grouped",
             ),
             (
@@ -164,36 +174,72 @@ class TestBatchCompilation:
                 "where Code = CountryCode group by Continent",
                 "grouped",
             ),
+            # 3-way left-deep chains: cascaded hash-index probes
+            (
+                "select City.Name from Country , City , CountryLanguage "
+                "where Code = City.CountryCode "
+                "and Code = CountryLanguage.CountryCode",
+                "flat_join_join3",
+            ),
+            (
+                "select count(*) from Country , City , CountryLanguage "
+                "where Code = City.CountryCode "
+                "and Code = CountryLanguage.CountryCode",
+                "scalar_join3",
+            ),
+            # HAVING: visibility mask over grouped output
+            (
+                "select Continent, count(*) from Country group by Continent "
+                "having count(*) > 1",
+                "grouped",
+            ),
+            # ordered output: decided via order-stable contribution keys
+            (
+                "select Continent, count(*) from Country group by Continent "
+                "order by Continent",
+                "grouped",
+            ),
+            (
+                "select Name from Country , CountryLanguage "
+                "where Code = CountryCode order by Name",
+                "flat_join",
+            ),
         ],
     )
     def test_grouped_and_join_shapes_compile(self, mini_db, text, kernel):
-        plan = compile_batch_query(sql_query(text, mini_db), mini_db)
-        assert plan is not None, text
-        assert plan.kernel == kernel, text
+        plan, reason = compile_batch_query(sql_query(text, mini_db), mini_db)
+        assert plan is not None, (text, reason)
+        assert plan.kernel_label == kernel, text
 
     @pytest.mark.parametrize(
-        "text",
+        ("text", "expected_reason"),
         [
-            # scalar float SUM/AVG: float accumulation order differs from
-            # re-execution and there is no small group segment to recompute,
-            # so these stay on the incremental path
-            "select sum(LifeExpectancy) from Country",
-            "select avg(LifeExpectancy) from Country",
-            # joined float SUM: no stable re-execution order to reproduce
-            "select sum(Percentage) from Country , CountryLanguage "
-            "where Code = CountryCode",
-            "select distinct Continent from Country",
-            "select Continent, count(distinct Code) from Country "
-            "group by Continent",
-            "select Name from Country order by Population desc limit 2",
-            # 3-way joins stay incremental (batch path is two-table only)
-            "select City.Name from Country , City , CountryLanguage "
-            "where Code = City.CountryCode "
-            "and Code = CountryLanguage.CountryCode",
+            (
+                "select distinct Continent from Country",
+                "unmatched-shape",
+            ),
+            (
+                "select Continent, count(distinct Code) from Country "
+                "group by Continent",
+                "distinct-agg",
+            ),
+            # LIMIT is structural and unsupported by the shape matcher
+            (
+                "select Name from Country order by Population desc limit 2",
+                "unmatched-shape",
+            ),
+            # self-join: one patch hits two source slots at once
+            (
+                "select a.Name from Country a , Country b "
+                "where a.Code = b.Code",
+                "unmatched-shape",
+            ),
         ],
     )
-    def test_unsupported_shapes_do_not_compile(self, mini_db, text):
-        assert compile_batch_query(sql_query(text, mini_db), mini_db) is None
+    def test_unsupported_shapes_do_not_compile(self, mini_db, text, expected_reason):
+        plan, reason = compile_batch_query(sql_query(text, mini_db), mini_db)
+        assert plan is None, text
+        assert reason == expected_reason, text
 
     def test_fallback_still_correct(self, mini_support, mini_db):
         query = sql_query("select distinct Continent from Country", mini_db)

@@ -1,0 +1,230 @@
+"""Template fingerprints and the shape-keyed compiled-template cache.
+
+The miss path of the vectorized backend is: canonical template fingerprint
+(literals stripped) -> TemplateCache lookup -> batch compilation + kernel
+dispatch. These tests pin the fingerprint equivalence classes (literal
+variants share one, structural differences must not) and the cache's
+hit/invalidate behavior against the support set's ``data_version``.
+"""
+
+import pytest
+
+from repro.db.query import sql_query
+from repro.qirana.conflict import ConflictSetEngine
+from repro.qirana.vectorized import VectorizedBackend
+from repro.service.cache import TemplateCache
+from repro.service.canonical import template_fingerprint
+
+
+@pytest.fixture
+def fingerprint(mini_db):
+    def compute(sql: str):
+        result = template_fingerprint(sql_query(sql, mini_db), mini_db)
+        return None if result is None else result[0]
+
+    return compute
+
+
+class TestTemplateFingerprint:
+    def test_literal_variants_share_a_fingerprint(self, fingerprint):
+        assert fingerprint(
+            "select Name from Country where Population > 1000"
+        ) == fingerprint("select Name from Country where Population > 999999")
+
+    def test_textual_variants_share_a_fingerprint(self, fingerprint):
+        assert fingerprint(
+            "select c.Name from Country c where c.Population > 7"
+        ) == fingerprint("SELECT Name FROM Country WHERE Population > 8")
+
+    def test_multi_literal_variants_share(self, fingerprint):
+        assert fingerprint(
+            "select Name from Country where Population > 10 and LifeExpectancy < 70"
+        ) == fingerprint(
+            "select Name from Country where Population > 99 and LifeExpectancy < 80"
+        )
+
+    def test_literal_type_is_structural(self, fingerprint):
+        # An int hole and a float hole bind different column comparisons;
+        # they must not share a template.
+        assert fingerprint(
+            "select Name from Country where Population > 10"
+        ) != fingerprint("select Name from Country where Population > 10.5")
+
+    def test_table_position_differences_do_not_share(self, fingerprint):
+        assert fingerprint(
+            "select Name from Country where Population > 5"
+        ) != fingerprint("select Name from City where Population > 5")
+
+    def test_aggregate_kind_differences_do_not_share(self, fingerprint):
+        assert fingerprint("select sum(Population) from Country") != fingerprint(
+            "select avg(Population) from Country"
+        )
+        assert fingerprint("select min(Population) from Country") != fingerprint(
+            "select max(Population) from Country"
+        )
+
+    def test_grouping_is_structural(self, fingerprint):
+        assert fingerprint(
+            "select Continent, count(*) from Country group by Continent"
+        ) != fingerprint(
+            "select Region, count(*) from Country group by Region"
+        )
+
+    def test_having_literal_is_bindable(self, fingerprint):
+        assert fingerprint(
+            "select Continent, count(*) from Country group by Continent "
+            "having count(*) > 1"
+        ) == fingerprint(
+            "select Continent, count(*) from Country group by Continent "
+            "having count(*) > 5"
+        )
+
+    def test_order_keys_are_structural(self, fingerprint):
+        ordered = fingerprint(
+            "select Continent, count(*) from Country group by Continent "
+            "order by Continent"
+        )
+        unordered = fingerprint(
+            "select Continent, count(*) from Country group by Continent"
+        )
+        assert ordered != unordered
+
+    def test_in_list_literals_are_structural(self, fingerprint):
+        # IN-lists of different lengths could not bind one literal vector;
+        # the whole list stays part of the template's structure.
+        assert fingerprint(
+            "select Name from Country where Continent in ('Asia', 'Europe')"
+        ) != fingerprint(
+            "select Name from Country where Continent in ('Asia', 'Europe', 'Africa')"
+        )
+
+    def test_self_join_has_no_template(self, mini_db):
+        query = sql_query(
+            "select a.Name from Country a , Country b where a.Code = b.Code",
+            mini_db,
+        )
+        assert template_fingerprint(query, mini_db) is None
+
+    def test_binding_order_is_canonical(self, mini_db):
+        # Both variants must list their literal nodes in the same canonical
+        # position order, so slot i of one variant's vector means the same
+        # hole as slot i of the other's.
+        a = template_fingerprint(
+            sql_query(
+                "select Name from Country "
+                "where Population > 10 and LifeExpectancy < 70",
+                mini_db,
+            ),
+            mini_db,
+        )
+        b = template_fingerprint(
+            sql_query(
+                "select Name from Country "
+                "where LifeExpectancy < 80 and Population > 99",
+                mini_db,
+            ),
+            mini_db,
+        )
+        assert a is not None and b is not None
+        assert a[0] == b[0]
+        assert [node.value for node in a[1]] == [10, 70]
+        assert [node.value for node in b[1]] == [99, 80]
+
+
+class TestTemplateCacheUnit:
+    def test_stale_stamp_drops_entry(self):
+        cache = TemplateCache(4)
+        cache.put("k", "v", stamp=1)
+        assert cache.get("k", stamp=1) == "v"
+        assert cache.get("k", stamp=2) is None
+        stats = cache.stats()
+        assert stats.stale_drops == 1
+        assert cache.get("k", stamp=1) is None  # the entry is gone
+
+    def test_capacity_zero_disables_storage(self):
+        cache = TemplateCache(0)
+        cache.put("k", "v", stamp=1)
+        assert cache.get("k", stamp=1) is None
+        assert cache.get("k", stamp=1) is None
+        stats = cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == 2
+        assert stats.size == 0
+
+
+class TestBackendTemplateCache:
+    VARIANTS = [
+        "select Name from City where Population > %d" % bound
+        for bound in (100, 2000, 50000, 1000000)
+    ]
+
+    def test_literal_variants_hit_the_cache(self, mini_support, mini_db):
+        backend = VectorizedBackend(mini_support)
+        for text in self.VARIANTS:
+            backend.compute(sql_query(text, mini_db))
+        stats = backend.template_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(self.VARIANTS) - 1
+
+    def test_variant_conflict_sets_match_naive(self, mini_support, mini_db):
+        backend = VectorizedBackend(mini_support)
+        naive = ConflictSetEngine(mini_support, backend="naive")
+        for text in self.VARIANTS:
+            query = sql_query(text, mini_db)
+            assert backend.compute(query).conflict_set == naive.conflict_set(
+                query
+            ), text
+
+    def test_support_cache_clear_invalidates_templates(
+        self, mini_support, mini_db
+    ):
+        backend = VectorizedBackend(mini_support)
+        backend.compute(sql_query(self.VARIANTS[0], mini_db))
+        mini_support.clear_cache()  # bumps data_version: tensors are gone
+        computation = backend.compute(sql_query(self.VARIANTS[1], mini_db))
+        stats = backend.template_stats()
+        assert stats["stale_drops"] == 1
+        assert stats["misses"] == 2
+        # And the recompiled template still decides correctly.
+        naive = ConflictSetEngine(mini_support, backend="naive")
+        assert computation.conflict_set == naive.conflict_set(
+            sql_query(self.VARIANTS[1], mini_db)
+        )
+
+    def test_unsupported_shapes_are_negative_cached(self, mini_support, mini_db):
+        backend = VectorizedBackend(mini_support)
+        for bound in (1, 2):
+            # count(distinct ...) matches the shape but never compiles; the
+            # failure reason is literal-independent, so the second literal
+            # variant hits the cached negative entry instead of re-failing
+            # compilation.
+            computation = backend.compute(
+                sql_query(
+                    "select Continent, count(distinct Code) from Country "
+                    f"where Population > {bound} group by Continent",
+                    mini_db,
+                )
+            )
+            assert computation.fallback_reason == "distinct-agg"
+        stats = backend.template_stats()
+        assert stats["hits"] >= 1
+
+    def test_disabled_cache_still_computes_correctly(self, mini_support, mini_db):
+        backend = VectorizedBackend(mini_support, template_cache_size=0)
+        naive = ConflictSetEngine(mini_support, backend="naive")
+        for text in self.VARIANTS:
+            query = sql_query(text, mini_db)
+            assert backend.compute(query).conflict_set == naive.conflict_set(
+                query
+            )
+        stats = backend.template_stats()
+        assert stats["hits"] == 0
+
+    def test_engine_exposes_template_stats(self, mini_support, mini_db):
+        engine = ConflictSetEngine(mini_support, backend="vectorized")
+        engine.compute(sql_query(self.VARIANTS[0], mini_db))
+        stats = engine.template_cache_stats()
+        assert stats is not None
+        assert stats["misses"] >= 1
+        naive = ConflictSetEngine(mini_support, backend="naive")
+        assert naive.template_cache_stats() is None
