@@ -12,6 +12,8 @@ Subcommands::
     repro-pricing bench-revenue --workload uniform   # revenue engine comparison
     repro-pricing serve-bench --workload uniform     # service vs sequential quoting
     repro-pricing serve-bench --shards 4             # sharded-tier scaling bench
+    repro-pricing serve-bench --http                 # in-process vs over-the-wire
+    repro-pricing serve --port 8080                  # HTTP tier until SIGTERM
     repro-pricing bench-check                        # gate BENCH_*.json vs baselines
     repro-pricing loadgen --mode open --rate 2000    # synthetic service traffic
     repro-pricing figure fig5a-uniform-skewed    # reproduce one figure panel
@@ -154,10 +156,38 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--queue-depth", type=int, default=512,
                        help="with --shards: per-shard admission-control "
                             "queue bound")
+    serve.add_argument("--http", action="store_true",
+                       help="benchmark the HTTP front-end instead: the same "
+                            "zipf stream in process vs over loopback "
+                            "sockets (figures.http_throughput; JSON goes "
+                            "to BENCH_http.json unless --json overrides)")
     serve.add_argument("--json", dest="json_path", default="BENCH_service.json",
                        help="where to write the machine-readable summary")
     serve.add_argument("--no-json", action="store_true",
                        help="skip writing the JSON summary")
+
+    server_cmd = commands.add_parser(
+        "serve",
+        help="serve a pricing tier over HTTP until SIGTERM/SIGINT "
+             "(graceful drain; optional warm-start snapshot)",
+    )
+    server_cmd.add_argument("--workload", default="uniform",
+                            choices=["skewed", "uniform", "tpch", "ssb"])
+    server_cmd.add_argument("--support", type=int, default=300)
+    server_cmd.add_argument("--scale", type=float, default=0.15)
+    server_cmd.add_argument("--host", default="127.0.0.1")
+    server_cmd.add_argument("--port", type=int, default=8080,
+                            help="listen port (0 picks a free one)")
+    server_cmd.add_argument("--shards", type=int, default=None,
+                            help="serve a sharded tier with this many shards "
+                                 "(default: the single-market service)")
+    server_cmd.add_argument("--full-price", type=float, default=100.0)
+    server_cmd.add_argument("--seed", type=int, default=0)
+    server_cmd.add_argument("--snapshot", default=None,
+                            help="write the warm state here on drain")
+    server_cmd.add_argument("--restore", default=None,
+                            help="restore a warm-state snapshot before "
+                                 "serving (a rolling restart's second half)")
 
     bench_check = commands.add_parser(
         "bench-check",
@@ -179,6 +209,12 @@ def main(argv: list[str] | None = None) -> int:
                                   "figures with this tolerance (off by "
                                   "default: absolute numbers do not "
                                   "survive a machine change)")
+    bench_check.add_argument("--allow-missing", action="append", default=[],
+                             metavar="NAME",
+                             help="baseline file this leg legitimately "
+                                  "cannot produce (repeatable; e.g. "
+                                  "BENCH_http.json on a leg without "
+                                  "sockets) — still compared when present")
 
     load = commands.add_parser(
         "loadgen", help="drive a pricing service with synthetic traffic"
@@ -229,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-templates": _cmd_bench_templates,
         "bench-revenue": _cmd_bench_revenue,
         "serve-bench": _cmd_serve_bench,
+        "serve": _cmd_serve,
         "bench-check": _cmd_bench_check,
         "loadgen": _cmd_loadgen,
         "figure": _cmd_figure,
@@ -354,6 +391,27 @@ def _cmd_bench_revenue(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
+    if args.http:
+        if args.shards is not None:
+            print("error: --http and --shards are separate benchmarks",
+                  file=sys.stderr)
+            return 2
+        if args.json_path == "BENCH_service.json":
+            args.json_path = "BENCH_http.json"
+        artifact = figures.http_throughput(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+            num_requests=args.requests,
+            zipf_s=args.zipf,
+            num_clients=args.clients,
+            max_batch_size=args.batch_size,
+            max_batch_delay=args.batch_delay,
+        )
+        print(artifact)
+        _write_bench_json(artifact, args)
+        return 0
     if args.shards is not None:
         if args.shards < 1:
             print("error: --shards must be >= 1", file=sys.stderr)
@@ -390,6 +448,49 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.qirana.broker import QueryMarket
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service.http import PricingHTTPServer
+    from repro.service.server import PricingService
+    from repro.service.sharding import ShardedPricingService
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload, scale=args.scale)
+    support = workload.support(size=args.support, seed=args.seed, mode="row")
+    if args.shards is not None:
+        service = ShardedPricingService(support, num_shards=args.shards)
+    else:
+        service = PricingService(QueryMarket(support))
+    if args.restore is not None:
+        service.restore(args.restore)
+        print(f"restored warm state from {args.restore}", flush=True)
+    else:
+        service.install_pricing(
+            uniform_calibrated_pricing(support, args.full_price)
+        )
+    server = PricingHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot,
+    )
+
+    async def main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(f"serving {args.workload} on {server.url} "
+              f"(SIGTERM drains{' + snapshots' if args.snapshot else ''})",
+              flush=True)
+        await server.serve_until_drained()
+
+    asyncio.run(main())
+    print("drained", flush=True)
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from repro.experiments.benchcheck import check_bench_dirs, render_report
 
@@ -398,6 +499,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         args.current,
         tolerance=args.tolerance,
         throughput_tolerance=args.throughput_tolerance,
+        allow_missing=args.allow_missing,
     )
     report, ok = render_report(comparisons, missing)
     print(report)

@@ -68,6 +68,17 @@ class ServiceError(ReproError):
     """The pricing service was misconfigured or refused a request."""
 
 
+class SnapshotError(ReproError):
+    """A persisted market-state snapshot could not be read or parsed.
+
+    Raised (naming the offending path) instead of the bare ``KeyError`` /
+    ``JSONDecodeError`` / ``OSError`` a truncated or corrupt snapshot file
+    would otherwise surface. A failed :meth:`restore` leaves the serving
+    tier exactly as it was: the state is parsed in full *before* anything
+    is mutated.
+    """
+
+
 class ServiceOverloadError(ServiceError):
     """A bounded service queue was full and the request was shed.
 

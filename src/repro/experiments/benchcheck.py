@@ -119,12 +119,17 @@ def check_bench_dirs(
     tolerance: float = 0.5,
     throughput_tolerance: float | None = None,
     pattern: str = "BENCH_*.json",
+    allow_missing: tuple[str, ...] | list[str] = (),
 ) -> tuple[list[BenchComparison], list[str]]:
     """Compare every baseline ``BENCH_*.json`` against the current run.
 
     Returns ``(comparisons, missing)``: the per-metric comparisons plus the
     baseline files that have no current twin (each of which should fail the
-    gate — see module docstring).
+    gate — see module docstring). ``allow_missing`` names baseline files a
+    leg legitimately cannot produce (e.g. ``BENCH_http.json`` where sockets
+    are unavailable): those are skipped without failing — but when a current
+    twin *does* exist it is still compared, so the exemption never hides a
+    real regression.
     """
     baseline_dir = Path(baseline_dir)
     current_dir = Path(current_dir)
@@ -135,12 +140,19 @@ def check_bench_dirs(
         raise ExperimentError(
             f"no {pattern} baselines under {baseline_dir}; commit some first"
         )
+    allowed = set(allow_missing)
+    unknown = allowed - {path.name for path in baselines}
+    if unknown:
+        raise ExperimentError(
+            f"--allow-missing names files with no baseline: {sorted(unknown)}"
+        )
     comparisons: list[BenchComparison] = []
     missing: list[str] = []
     for baseline_path in baselines:
         current_path = current_dir / baseline_path.name
         if not current_path.is_file():
-            missing.append(baseline_path.name)
+            if baseline_path.name not in allowed:
+                missing.append(baseline_path.name)
             continue
         comparisons.extend(
             compare_payloads(

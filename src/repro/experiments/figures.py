@@ -1097,3 +1097,192 @@ def sharded_throughput(
             "diagnostics": diagnostics,
         },
     )
+
+
+def http_throughput(
+    workload_name: str = "uniform",
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int = 120,
+    num_requests: int = 1500,
+    zipf_s: float = 1.1,
+    num_clients: int = 8,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.001,
+    full_price: float = 100.0,
+    mode: str = "closed",
+    arrival_rate: float | None = None,
+    seed: int = 0,
+    max_workers: int = 8,
+) -> FigureData:
+    """Serving over the wire vs in process: what does HTTP transport cost?
+
+    The same Zipf-repeated stream is replayed twice against two identically
+    seeded :class:`~repro.service.server.PricingService` instances:
+
+    - **in-process** — clients call ``service.quote`` directly (the
+      :func:`service_throughput` serving path and this figure's oracle),
+    - **http** — clients drive a :class:`~repro.service.http.PricingHTTPServer`
+      over real loopback sockets through
+      :class:`~repro.service.loadgen.HTTPServiceClient` (persistent
+      keep-alive connections, one per client thread).
+
+    Bit-equal price parity is asserted for every distinct query: the number
+    that crosses the wire must be exactly the number the in-process oracle
+    quotes. The tracked ratio is **wire retention** — HTTP throughput as a
+    fraction of in-process throughput — a machine-portable number (both
+    sides run on the same host) that regresses when the front-end starts
+    adding per-request overhead. The ``/metrics`` exposition is scraped and
+    parsed after the run, so the artifact also proves the observability
+    surface stays machine-readable under load.
+    """
+    from repro.exceptions import ExperimentError
+    from repro.qirana.broker import QueryMarket
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service.http import serve_in_thread
+    from repro.service.loadgen import (
+        HTTPServiceClient,
+        LoadProfile,
+        run_load,
+    )
+    from repro.service.observability import parse_exposition
+    from repro.service.server import PricingService
+
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    size = support_size if support_size is not None else default_support
+    texts = [query.text for query in workload.queries[:num_queries]]
+    profile = LoadProfile(
+        num_requests=num_requests,
+        num_clients=num_clients,
+        zipf_s=zipf_s,
+        mode=mode,
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+
+    def build_service() -> PricingService:
+        support = workload.support(size=size, seed=seed, mode="row")
+        service = PricingService(
+            QueryMarket(support),
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+        )
+        service.install_pricing(uniform_calibrated_pricing(support, full_price))
+        return service
+
+    # In-process oracle: same tier, no wire.
+    inprocess = build_service()
+    try:
+        inprocess_report = run_load(inprocess, texts, profile)
+        if inprocess_report.errors:
+            raise ExperimentError(
+                f"in-process load run failed: {inprocess_report.errors} "
+                f"errored requests"
+            )
+        oracle_prices = {text: inprocess.quote(text).price for text in texts}
+    finally:
+        inprocess.close()
+
+    # Over the wire: an identical tier behind the asyncio front-end.
+    http_service = build_service()
+    server = serve_in_thread(http_service, max_workers=max_workers)
+    try:
+        client = HTTPServiceClient(*server.address)
+        with client:
+            http_report = run_load(client, texts, profile)
+            if http_report.errors:
+                raise ExperimentError(
+                    f"http load run failed: {http_report.errors} "
+                    f"errored requests"
+                )
+            # Bit-equal parity: the wire must not perturb a single price.
+            for text in texts:
+                served = client.quote(text).price
+                if served != oracle_prices[text]:
+                    raise ExperimentError(
+                        f"http price {served!r} != in-process price "
+                        f"{oracle_prices[text]!r} for {text!r}"
+                    )
+            exposition = client.metrics()
+    finally:
+        server.shutdown()
+
+    samples = parse_exposition(exposition)
+    scraped = {
+        name: sum(sample.value for sample in family)
+        for name, family in samples.items()
+        if name.endswith("_total")
+    }
+    http_stats = http_service.stats().as_dict()
+
+    inprocess_rps = inprocess_report.throughput_rps
+    http_rps = http_report.throughput_rps
+    retention = http_rps / inprocess_rps if inprocess_rps > 0 else float("inf")
+    rows = [
+        [
+            "in-process",
+            f"{inprocess_report.duration_seconds:.3f}",
+            f"{inprocess_rps:,.0f}",
+            f"{inprocess_report.latency.p50_ms:.3f}",
+            f"{inprocess_report.latency.p99_ms:.3f}",
+        ],
+        [
+            "http",
+            f"{http_report.duration_seconds:.3f}",
+            f"{http_rps:,.0f}",
+            f"{http_report.latency.p50_ms:.3f}",
+            f"{http_report.latency.p99_ms:.3f}",
+        ],
+    ]
+    text = format_table(
+        ["serving path", "wall (s)", "req/s", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=(
+            f"{num_requests} requests over {len(texts)} distinct queries "
+            f"(zipf s={zipf_s:g}), {num_clients} clients, |S|={size}, "
+            f"{workload_name} workload"
+        ),
+    )
+    cache = http_stats["quote_cache"]
+    text += (
+        f"\nwire retention: {retention:.1%} of in-process throughput"
+        f"\nhttp-side quote cache: hit rate {cache['hit_rate']:.1%} "
+        f"({cache['hits']} hits / {cache['misses']} misses)"
+        f"\nmetrics scrape: {len(samples)} families, "
+        f"{sum(len(family) for family in samples.values())} samples parsed"
+    )
+    return FigureData(
+        f"http-throughput-{workload_name}",
+        f"pricing tier over HTTP vs in process ({workload_name})",
+        text,
+        {
+            "seconds": {
+                "in_process": inprocess_report.duration_seconds,
+                "http": http_report.duration_seconds,
+            },
+            "speedups": {"wire_retention": retention},
+            "speedup_reference": "in_process",
+            "throughput": {
+                "in_process_rps": inprocess_rps,
+                "http_rps": http_rps,
+            },
+            "latency": http_report.latency.as_dict(),
+            "stats": {
+                "requests": num_requests,
+                "distinct_queries": len(texts),
+                "zipf_s": zipf_s,
+                "clients": num_clients,
+                "support": size,
+                "mode": profile.mode,
+            },
+            "diagnostics": {
+                "in_process": inprocess_report.as_dict(),
+                "http": http_report.as_dict(),
+                "http_service": http_stats,
+                "scraped_counters": scraped,
+            },
+        },
+    )

@@ -25,7 +25,7 @@ from repro.core.pricing import (
     UniformBundlePricing,
     XOSPricing,
 )
-from repro.exceptions import PricingError
+from repro.exceptions import PricingError, SnapshotError
 from repro.qirana.broker import Transaction
 from repro.qirana.history import HistoryAwareLedger
 
@@ -181,8 +181,36 @@ def load_market_state(path: str | Path) -> MarketState:
 
     Files written before transactions/history were persisted load with
     empty ledgers (missing keys default), so old snapshots stay readable.
+    A truncated, corrupt, or unreadable file raises a typed
+    :class:`~repro.exceptions.SnapshotError` naming the path — never a
+    bare ``KeyError``/``JSONDecodeError`` — and raises it *before* any
+    caller state could have been touched, so ``restore`` is all-or-nothing.
     """
-    payload = json.loads(Path(path).read_text())
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"corrupt snapshot {path}: not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise SnapshotError(
+            f"corrupt snapshot {path}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    try:
+        return _market_state_from_payload(payload)
+    except (KeyError, TypeError, ValueError, AttributeError, PricingError) as exc:
+        raise SnapshotError(
+            f"corrupt snapshot {path}: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _market_state_from_payload(payload: dict) -> MarketState:
     history = payload.get("history", {})
     return MarketState(
         pricing=pricing_from_dict(payload["pricing"]),

@@ -14,19 +14,38 @@ Where :mod:`repro.qirana` optimizes and prices a *workload*,
   support-partitioned tier: one market + scheduler per shard,
   consistent-hash routing, scatter/gather quoting, and warm-start
   snapshots,
+- :mod:`repro.service.http` — :class:`PricingHTTPServer`, the asyncio
+  HTTP/JSON front-end (``/quote``, ``/purchase``, ``/healthz``,
+  ``/readyz``, ``/metrics``) with graceful drain + warm rolling restarts,
+- :mod:`repro.service.observability` — Prometheus text exposition of the
+  tier's counters and the front-end's latency histograms,
 - :mod:`repro.service.loadgen` / :mod:`repro.service.metrics` — synthetic
-  open/closed-loop traffic and (per-shard) latency accounting for
+  open/closed-loop traffic (in-process or over the wire via
+  :class:`HTTPServiceClient`) and (per-shard) latency accounting for
   benchmarks.
 """
 
 from repro.service.batching import BatcherStats, BatchRequest, MicroBatcher
 from repro.service.cache import CacheStats, LRUCache, QuoteCache
 from repro.service.canonical import canonical_form, canonical_key
-from repro.service.loadgen import LoadProfile, LoadReport, run_load, zipf_schedule
+from repro.service.http import PricingHTTPServer, serve_in_thread
+from repro.service.loadgen import (
+    HTTPQuote,
+    HTTPServiceClient,
+    LoadProfile,
+    LoadReport,
+    run_load,
+    zipf_schedule,
+)
 from repro.service.metrics import (
     LatencyRecorder,
     LatencySummary,
     ShardLatencyRecorder,
+)
+from repro.service.observability import (
+    LatencyHistogram,
+    parse_exposition,
+    render_metrics,
 )
 from repro.service.server import BuyerSession, PricingService, ServiceStats
 from repro.service.sharding import (
@@ -44,12 +63,16 @@ __all__ = [
     "BuyerSession",
     "CacheStats",
     "ConsistentHashRouter",
+    "HTTPQuote",
+    "HTTPServiceClient",
     "LRUCache",
+    "LatencyHistogram",
     "LatencyRecorder",
     "LatencySummary",
     "LoadProfile",
     "LoadReport",
     "MicroBatcher",
+    "PricingHTTPServer",
     "PricingService",
     "QuoteCache",
     "ServiceStats",
@@ -60,7 +83,10 @@ __all__ = [
     "ShardedServiceStats",
     "canonical_form",
     "canonical_key",
+    "parse_exposition",
     "partition_support",
+    "render_metrics",
     "run_load",
+    "serve_in_thread",
     "zipf_schedule",
 ]

@@ -156,24 +156,50 @@ class MicroBatcher:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start the worker thread (idempotent)."""
-        if self._worker is not None and self._worker.is_alive():
-            return
+        """Start the worker thread (idempotent, safe to call concurrently)."""
         with self._cond:
+            if self._worker is not None and self._worker.is_alive():
+                return
             self._closed = False
-        self._worker = threading.Thread(
-            target=self._drain_loop, name=self.name, daemon=True
-        )
-        self._worker.start()
+            worker = threading.Thread(
+                target=self._drain_loop, name=self.name, daemon=True
+            )
+            self._worker = worker
+        worker.start()
 
     def close(self) -> None:
-        """Flush queued requests, stop the worker, reject new submissions."""
+        """Flush queued requests, stop the worker, reject new submissions.
+
+        Idempotent and race-safe: requests queued concurrently with the
+        close either run in the worker's final flush or fail with a typed
+        :class:`ServiceError` — a future handed to :meth:`submit` is never
+        left unresolved. Callers already blocked on ``future.result()``
+        are therefore guaranteed to wake.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.join()
-            self._worker = None
+            worker = self._worker
+        if worker is not None:
+            worker.join()
+        with self._cond:
+            if self._worker is worker:
+                self._worker = None
+            # The worker exits only when the queue is drained, but a
+            # submission that won the admission race against a previous
+            # close (or a worker that died abnormally) can leave requests
+            # behind; fail them rather than strand their futures.
+            leftovers = list(self._pending)
+            self._pending.clear()
+        self._fail_requests(
+            leftovers, ServiceError(f"{self.name} closed before the request ran")
+        )
+
+    @staticmethod
+    def _fail_requests(requests: Sequence[BatchRequest], error: BaseException) -> None:
+        for request in requests:
+            if not request.future.done():
+                request.future.set_exception(error)
 
     # ------------------------------------------------------------------
     # Submission
@@ -187,33 +213,38 @@ class MicroBatcher:
         the whole submission; in the latter case none of the requests were
         queued and their futures stay unresolved.
         """
-        if self._closed:
-            raise ServiceError(f"{self.name} is closed")
-        if self._worker is None:
-            # Synchronous mode: no worker thread, run in-line (still one
-            # execute call per max_batch_size chunk, nothing to shed).
-            with self._cond:
-                self._accepted += len(requests)
-            for start in range(0, len(requests), self.max_batch_size):
-                self._run(requests[start : start + self.max_batch_size])
-            return
         with self._cond:
+            # Closed-ness and worker liveness are decided under the lock:
+            # an unlocked fast path can race close() into queueing behind a
+            # worker that will never drain (a future that blocks forever).
             if self._closed:
                 raise ServiceError(f"{self.name} is closed")
-            if (
-                self.max_queue_depth is not None
-                and self._pending
-                and len(self._pending) + len(requests) > self.max_queue_depth
-            ):
-                self._shed += len(requests)
-                raise ServiceOverloadError(
-                    f"{self.name} queue is full "
-                    f"({len(self._pending)}/{self.max_queue_depth} waiting, "
-                    f"{len(requests)} offered); request shed"
+            worker = self._worker
+            if worker is not None and not worker.is_alive():
+                raise ServiceError(
+                    f"{self.name} worker thread died; restart the batcher"
                 )
+            if worker is not None:
+                if (
+                    self.max_queue_depth is not None
+                    and self._pending
+                    and len(self._pending) + len(requests) > self.max_queue_depth
+                ):
+                    self._shed += len(requests)
+                    raise ServiceOverloadError(
+                        f"{self.name} queue is full "
+                        f"({len(self._pending)}/{self.max_queue_depth} waiting, "
+                        f"{len(requests)} offered); request shed"
+                    )
+                self._accepted += len(requests)
+                self._pending.extend(requests)
+                self._cond.notify_all()
+                return
+            # Synchronous mode: no worker thread, run in-line (still one
+            # execute call per max_batch_size chunk, nothing to shed).
             self._accepted += len(requests)
-            self._pending.extend(requests)
-            self._cond.notify_all()
+        for start in range(0, len(requests), self.max_batch_size):
+            self._run(requests[start : start + self.max_batch_size])
 
     def would_shed(self, count: int) -> bool:
         """Whether a ``count``-request submission would currently be shed.
@@ -253,11 +284,23 @@ class MicroBatcher:
     # ------------------------------------------------------------------
 
     def _drain_loop(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            self._run(batch)
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                self._run(batch)
+        finally:
+            # Normal exit leaves nothing behind; an abnormal death (an
+            # exception escaping the scheduling machinery itself) must not
+            # strand queued futures.
+            with self._cond:
+                leftovers = list(self._pending)
+                self._pending.clear()
+            self._fail_requests(
+                leftovers,
+                ServiceError(f"{self.name} worker exited with requests queued"),
+            )
 
     def _next_batch(self) -> list[BatchRequest] | None:
         """Block until a micro-batch is due; ``None`` when closed and drained."""
@@ -282,12 +325,23 @@ class MicroBatcher:
         try:
             results = self._execute(batch)
         except BaseException as exc:  # propagate to every waiter
-            for request in batch:
-                request.future.set_exception(exc)
+            self._fail_requests(batch, exc)
             return
         with self._cond:
             self._batches += 1
             self._batched_requests += len(batch)
             self._max_batch = max(self._max_batch, len(batch))
+        if len(results) != len(batch):
+            # A buggy execute callback must not strand the unmatched tail
+            # of the batch on futures nobody will ever resolve.
+            self._fail_requests(
+                batch,
+                ServiceError(
+                    f"{self.name} execute returned {len(results)} results "
+                    f"for a batch of {len(batch)}"
+                ),
+            )
+            return
         for request, result in zip(batch, results):
-            request.future.set_result(result)
+            if not request.future.done():
+                request.future.set_result(result)

@@ -1,0 +1,526 @@
+"""An asyncio HTTP/JSON front-end for the pricing tiers.
+
+The serving tiers (:class:`~repro.service.server.PricingService`,
+:class:`~repro.service.sharding.ShardedPricingService`) are in-process
+facades; heavy traffic arrives over a network. :class:`PricingHTTPServer`
+puts a real wire in front of either tier using nothing but stdlib
+``asyncio`` streams — no web framework, no new dependency:
+
+- ``POST /quote`` — body ``{"query": "<sql>"}``; with an ``X-Buyer``
+  header the quote goes through :meth:`session(buyer)
+  <repro.service.server.CanonicalServingMixin.session>` and the response
+  carries the marginal (history-aware) price alongside the fresh one.
+- ``POST /purchase`` — body ``{"query": ..., "buyer": ..., "valuation"?}``
+  (``X-Buyer`` may supply the buyer); with a buyer header the sale is
+  history-aware (marginal pricing + holdings update), otherwise it is a
+  fresh-price sale. The answer's columns/rows ride along when the buyer
+  pays.
+- ``GET /healthz`` — liveness: 200 whenever the process serves.
+- ``GET /readyz`` — readiness: 200 while accepting pricing traffic, 503
+  the moment a drain starts (load balancers stop routing here *before*
+  in-flight requests finish).
+- ``GET /metrics`` — the Prometheus text exposition of the tier's
+  counters plus this front-end's per-shard request-latency histograms
+  (:mod:`repro.service.observability`).
+
+**Concurrency bridge.** Handlers run on the event loop; the pricing call
+itself blocks on a micro-batch future, so it is bridged onto a bounded
+``ThreadPoolExecutor``. Concurrent HTTP requests therefore land in the
+*same* :class:`~repro.service.batching.MicroBatcher` flushes as in-process
+callers — the wire adds transport, not a second scheduling policy.
+
+**Graceful drain / rolling restart.** :meth:`PricingHTTPServer.shutdown`
+(or SIGTERM, via :meth:`install_signal_handlers`) runs the drain sequence:
+mark not-ready (``/readyz`` flips immediately), wait for in-flight
+requests to complete, flush + close the batchers, snapshot the warm state
+(pricing, ledgers, canonical quote cache) to ``snapshot_path``, then stop
+listening. A replacement process restores the snapshot and serves the
+previous working set as cache hits — the zero-lost-requests,
+100%-warm restart the tests assert.
+
+Admission control maps onto the wire: a shed
+(:class:`~repro.exceptions.ServiceOverloadError`) returns ``429``;
+library errors (:class:`~repro.exceptions.ReproError`) return ``400``;
+draining returns ``503``; anything unexpected returns ``500`` without
+killing the connection loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exceptions import ReproError, ServiceError, ServiceOverloadError
+from repro.service.observability import LatencyHistogram, render_metrics
+
+__all__ = ["PricingHTTPServer", "serve_in_thread"]
+
+_MAX_BODY_BYTES = 1 << 20
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and tuples so ``json.dumps`` accepts them."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+class PricingHTTPServer:
+    """Serve a pricing tier over HTTP/1.1 with drain-aware lifecycle.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.service.server.PricingService` or
+        :class:`~repro.service.sharding.ShardedPricingService`. The server
+        owns the drain: :meth:`shutdown` closes the service's batchers.
+    host / port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    snapshot_path:
+        Where the drain sequence persists the warm state. ``None`` skips
+        the snapshot step (drain still flushes and stops cleanly).
+    max_workers:
+        Size of the thread pool bridging handlers onto the blocking
+        micro-batched pricing calls.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_path=None,
+        max_workers: int = 8,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.snapshot_path = snapshot_path
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="pricing-http"
+        )
+        self._ready = False
+        self._draining = False
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        num_shards = getattr(service, "num_shards", 1)
+        #: Per-home-shard request-latency histograms, scraped by /metrics.
+        self.latency = {str(shard): LatencyHistogram() for shard in range(num_shards)}
+        #: (endpoint, status) -> count, scraped by /metrics.
+        self.http_requests: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (sets :attr:`port`)."""
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ready = True
+
+    async def drain(self) -> None:
+        """The graceful-drain sequence (idempotent).
+
+        1. flip :attr:`ready` — ``/readyz`` answers 503 from this moment,
+           while in-flight requests are still being served,
+        2. wait for in-flight pricing requests to complete,
+        3. flush + close the service's micro-batchers,
+        4. snapshot the warm state to ``snapshot_path`` (when configured
+           and a pricing is installed),
+        5. stop listening and release the worker pool.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        self._ready = False
+        await self._idle.wait()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, self._drain_blocking)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Feed EOF to parked keep-alive connections so their handler tasks
+        # exit normally instead of being cancelled when the loop closes.
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        self._pool.shutdown(wait=False)
+        self._stopped.set()
+
+    def _drain_blocking(self) -> None:
+        self.service.close()
+        if self.snapshot_path is not None and self.service.pricing is not None:
+            self.service.snapshot(self.snapshot_path)
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain (signal or :meth:`shutdown`) completes."""
+        await self._stopped.wait()
+
+    def install_signal_handlers(self, *signals_: int) -> None:
+        """Route SIGTERM/SIGINT (by default) into the drain sequence."""
+        loop = asyncio.get_running_loop()
+        for signum in signals_ or (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    # -- background-thread mode (tests, benchmarks, loadgen) ------------
+
+    def start_in_thread(self, timeout: float = 10.0) -> "PricingHTTPServer":
+        """Run the server on a dedicated event-loop thread; returns when bound."""
+        if self._thread is not None:
+            raise ServiceError("http server already started")
+
+        async def main() -> None:
+            try:
+                await self.start()
+            except BaseException as exc:  # surface bind failures to the caller
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.serve_until_drained()
+
+        def run() -> None:
+            asyncio.run(main())
+
+        self._thread = threading.Thread(
+            target=run, name="pricing-http-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServiceError("http server failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain from any thread; joins the server thread when one exists."""
+        loop = self._loop
+        if loop is None or self._stopped is None:
+            return
+        if self._thread is not None and threading.current_thread() is not self._thread:
+            future = asyncio.run_coroutine_threadsafe(self.drain(), loop)
+            future.result(timeout)
+            self._thread.join(timeout)
+            self._thread = None
+        else:
+            asyncio.ensure_future(self.drain())
+
+    def __enter__(self) -> "PricingHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, target, version, headers, body = request
+                status, content_type, payload = await self._dispatch(
+                    method, target, headers, body
+                )
+                endpoint = target.split("?", 1)[0]
+                self.http_requests[(endpoint, status)] = (
+                    self.http_requests.get((endpoint, status), 0) + 1
+                )
+                keep_alive = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                writer.write(
+                    self._response_bytes(status, content_type, payload, keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+            asyncio.CancelledError,
+        ):
+            return
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, version = request_line.decode("latin-1").split()
+        except ValueError:
+            return ("GET", "/malformed", "HTTP/1.0", {}, b"")
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > _MAX_BODY_BYTES:
+            return (method, target, version, headers, b"\x00oversized")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, version, headers, body
+
+    def _response_bytes(
+        self, status: int, content_type: str, payload: bytes, keep_alive: bool
+    ) -> bytes:
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + payload
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, str, bytes]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return self._json_error(405, "healthz is GET-only")
+            return 200, "text/plain; charset=utf-8", b"ok\n"
+        if path == "/readyz":
+            if method != "GET":
+                return self._json_error(405, "readyz is GET-only")
+            if self._ready:
+                return 200, "text/plain; charset=utf-8", b"ready\n"
+            return 503, "text/plain; charset=utf-8", b"draining\n"
+        if path == "/metrics":
+            if method != "GET":
+                return self._json_error(405, "metrics is GET-only")
+            text = render_metrics(
+                self.service,
+                latency=self.latency,
+                http_requests=dict(self.http_requests),
+                ready=self._ready,
+            )
+            return 200, "text/plain; version=0.0.4; charset=utf-8", text.encode()
+        if path in ("/quote", "/purchase"):
+            if method != "POST":
+                return self._json_error(405, f"{path} is POST-only")
+            if body.startswith(b"\x00oversized"):
+                return self._json_error(413, "request body too large")
+            if not self._ready:
+                return self._json_error(503, "service is draining")
+            return await self._priced_request(path, headers, body)
+        return self._json_error(404, f"unknown path {path!r}")
+
+    async def _priced_request(
+        self, path: str, headers: dict[str, str], body: bytes
+    ) -> tuple[int, str, bytes]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return self._json_error(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict) or not isinstance(payload.get("query"), str):
+            return self._json_error(400, 'request body needs a "query" string')
+        header_buyer = headers.get("x-buyer")
+        buyer = header_buyer or payload.get("buyer")
+        if buyer is not None and not isinstance(buyer, str):
+            return self._json_error(400, "buyer must be a string")
+        valuation = payload.get("valuation")
+        if valuation is not None and not isinstance(valuation, (int, float)):
+            return self._json_error(400, "valuation must be a number")
+        # An X-Buyer header opts into the history-aware session surface
+        # (marginal pricing); a body-only buyer on /purchase is a plain
+        # fresh-price sale.
+        handler = functools.partial(
+            self._do_quote if path == "/quote" else self._do_purchase,
+            history=header_buyer is not None,
+        )
+        loop = asyncio.get_running_loop()
+        # The ready-check/inflight-increment pair runs without an await in
+        # between, so a drain never misses a request it should wait for.
+        self._inflight += 1
+        self._idle.clear()
+        begin = time.perf_counter()
+        try:
+            response = await loop.run_in_executor(
+                self._pool, handler, payload["query"], buyer, valuation
+            )
+        except ServiceOverloadError as exc:
+            return self._json_error(429, str(exc))
+        except ReproError as exc:
+            return self._json_error(400, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — the wire must not die
+            return self._json_error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            elapsed = time.perf_counter() - begin
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+            self._observe(payload["query"], elapsed)
+        return (
+            200,
+            "application/json",
+            json.dumps(_jsonable(response)).encode(),
+        )
+
+    def _observe(self, text: str, seconds: float) -> None:
+        home = getattr(self.service, "home_shard", None)
+        label = "0"
+        if home is not None:
+            try:
+                label = str(home(text))
+            except Exception:  # noqa: BLE001 — attribution must not fail a request
+                label = "0"
+        histogram = self.latency.get(label)
+        if histogram is not None:
+            histogram.observe(seconds)
+
+    # -- blocking handlers (worker-pool threads) ------------------------
+
+    def _do_quote(
+        self, text: str, buyer: str | None, valuation, *, history: bool
+    ) -> dict:
+        if buyer and history:
+            marginal = self.service.session(buyer).quote(text)
+            return {
+                "query": text,
+                "buyer": buyer,
+                "price": marginal.fresh_price,
+                "marginal_price": marginal.marginal_price,
+                "refund": marginal.refund,
+            }
+        quote = self.service.quote(text)
+        return {
+            "query": text,
+            "price": quote.price,
+            "bundle_size": len(quote.bundle),
+        }
+
+    def _do_purchase(
+        self, text: str, buyer: str | None, valuation, *, history: bool
+    ) -> dict:
+        if not buyer:
+            raise ServiceError(
+                'purchase needs a buyer (X-Buyer header or "buyer" field)'
+            )
+        if history:
+            answer, marginal = self.service.session(buyer).purchase(text, valuation)
+            price, paid = marginal.fresh_price, marginal.marginal_price
+        else:
+            answer, quote = self.service.purchase(text, buyer, valuation)
+            price = paid = quote.price
+        response = {
+            "query": text,
+            "buyer": buyer,
+            "price": price,
+            "paid": paid if answer is not None else 0.0,
+            "purchased": answer is not None,
+        }
+        if history:
+            response["marginal_price"] = paid
+        if answer is not None:
+            response["answer"] = {
+                "columns": list(answer.columns),
+                "rows": [list(row) for row in answer.rows],
+            }
+        return response
+
+    @staticmethod
+    def _json_error(status: int, message: str) -> tuple[int, str, bytes]:
+        return (
+            status,
+            "application/json",
+            json.dumps({"error": message}).encode(),
+        )
+
+
+def serve_in_thread(
+    service,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    snapshot_path=None,
+    max_workers: int = 8,
+) -> PricingHTTPServer:
+    """Start a :class:`PricingHTTPServer` on a background event-loop thread.
+
+    Returns once the socket is bound (the actual port is on the handle).
+    Call :meth:`PricingHTTPServer.shutdown` — or use the handle as a
+    context manager — to drain and stop.
+    """
+    server = PricingHTTPServer(
+        service,
+        host=host,
+        port=port,
+        snapshot_path=snapshot_path,
+        max_workers=max_workers,
+    )
+    return server.start_in_thread()

@@ -29,6 +29,8 @@ sharded — a per-home-shard latency breakdown. The report is the payload
 
 from __future__ import annotations
 
+import http.client
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -235,9 +237,16 @@ def run_load(
             for index in sorted(set(int(i) for i in schedule))
         }
         recorder.relabel(shard_of_index)
-        per_shard = recorder.by_label()
+        # Idle shards (a narrow working set can leave some without a single
+        # request) report the zero summary instead of vanishing.
+        per_shard = recorder.by_label(
+            expected=range(getattr(service, "num_shards", 0))
+        )
 
     completed = profile.num_requests - shed_count[0] - error_count[0]
+    # An HTTPServiceClient has no stats() — its counters live on the far
+    # side of the wire (scrape /metrics for them).
+    stats = getattr(service, "stats", None)
     return LoadReport(
         mode=profile.mode,
         requests=profile.num_requests,
@@ -245,8 +254,113 @@ def run_load(
         duration_seconds=duration,
         throughput_rps=completed / duration if duration > 0 else 0.0,
         latency=recorder.summary(),
-        service=service.stats().as_dict(),
+        service=stats().as_dict() if callable(stats) else {},
         offered_rate_rps=offered,
         shed=shed_count[0],
         per_shard=per_shard,
     )
+
+
+@dataclass(frozen=True)
+class HTTPQuote:
+    """A quote as it came over the wire."""
+
+    query_text: str
+    price: float
+    bundle_size: int
+
+
+class HTTPServiceClient:
+    """Drive a :class:`~repro.service.http.PricingHTTPServer` like a service.
+
+    Exposes the same ``quote(text)`` surface :func:`run_load` drives, so
+    the identical zipf stream can be replayed in-process and over real
+    sockets and the two reports compared like for like. Each client thread
+    keeps one persistent ``http.client.HTTPConnection`` (keep-alive, the
+    way a real frontend pools connections); a ``429`` is re-raised as
+    :class:`~repro.exceptions.ServiceOverloadError` so admission control
+    counts as shed traffic, any other non-200 as
+    :class:`~repro.exceptions.ServiceError` (an errored request).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+        self._connections: list[http.client.HTTPConnection] = []
+        self._connections_lock = threading.Lock()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+            with self._connections_lock:
+                self._connections.append(connection)
+        return connection
+
+    def request(self, method: str, path: str, payload=None, headers=None):
+        """One HTTP round-trip; returns ``(status, parsed-or-raw body)``."""
+        connection = self._connection()
+        body = None if payload is None else json.dumps(payload).encode()
+        all_headers = {"Content-Type": "application/json", **(headers or {})}
+        connection.request(method, path, body=body, headers=all_headers)
+        response = connection.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        parsed = json.loads(raw) if "json" in content_type else raw.decode()
+        return response.status, parsed
+
+    def quote(self, text: str, buyer: str | None = None) -> HTTPQuote:
+        headers = {"X-Buyer": buyer} if buyer else None
+        status, payload = self.request(
+            "POST", "/quote", {"query": text}, headers=headers
+        )
+        if status == 429:
+            raise ServiceOverloadError(payload.get("error", "shed"))
+        if status != 200:
+            raise ServiceError(
+                f"/quote returned {status}: {payload!r}"
+            )
+        return HTTPQuote(
+            query_text=payload["query"],
+            price=float(payload["price"]),
+            bundle_size=int(payload.get("bundle_size", 0)),
+        )
+
+    def purchase(self, text: str, buyer: str, valuation: float | None = None):
+        body = {"query": text, "buyer": buyer}
+        if valuation is not None:
+            body["valuation"] = valuation
+        status, payload = self.request("POST", "/purchase", body)
+        if status == 429:
+            raise ServiceOverloadError(payload.get("error", "shed"))
+        if status != 200:
+            raise ServiceError(f"/purchase returned {status}: {payload!r}")
+        return payload
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text from ``/metrics``."""
+        status, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"/metrics returned {status}")
+        return payload
+
+    def ready(self) -> bool:
+        status, _ = self.request("GET", "/readyz")
+        return status == 200
+
+    def close(self) -> None:
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "HTTPServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

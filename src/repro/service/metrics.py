@@ -76,6 +76,10 @@ class LatencyRecorder:
 
 
 def _summarize(millis: np.ndarray) -> LatencySummary:
+    if millis.size == 0:
+        # np.percentile raises (and mean divides by zero) on an empty
+        # array; an idle shard's summary is simply the zero summary.
+        return _EMPTY
     p50, p95, p99 = np.percentile(millis, [50.0, 95.0, 99.0])
     return LatencySummary(
         count=len(millis),
@@ -127,11 +131,20 @@ class ShardLatencyRecorder:
             ) * 1e3
         return _summarize(millis)
 
-    def by_label(self) -> dict:
-        """Per-label :class:`LatencySummary` (``None``-labeled samples skipped)."""
+    def by_label(self, expected=None) -> dict:
+        """Per-label :class:`LatencySummary` (``None``-labeled samples skipped).
+
+        ``expected`` optionally names labels that must appear even when
+        they received no samples — an idle shard in a 4-shard tier serving
+        a 1-key working set reports the zero (``count == 0``) summary
+        instead of silently vanishing from the breakdown.
+        """
         with self._lock:
             samples = list(self._samples)
         grouped: dict[object, list[float]] = {}
+        if expected is not None:
+            for label in expected:
+                grouped.setdefault(label, [])
         for label, seconds in samples:
             if label is None:
                 continue

@@ -1,0 +1,397 @@
+"""Prometheus-style observability for the serving tier.
+
+A deployed pricing tier is operated from dashboards, not from Python
+``stats()`` calls; this module turns the counters the service already
+tracks — canonical quote-cache hits/misses/evictions/stale-drops, plan-memo
+counters, micro-batch accepted/shed, the conflict engine's template cache,
+transactions — plus the HTTP front-end's per-shard request-latency
+histograms into the Prometheus text exposition format (version 0.0.4), the
+lingua franca of pull-based monitoring.
+
+Three pieces:
+
+- :class:`LatencyHistogram` — a thread-safe fixed-bucket histogram
+  (cumulative ``le`` counts, sum, count). Buckets are **explicit** and
+  chosen for a sub-millisecond cache-hit path with a long miss tail; a
+  scrape renders the classic ``_bucket``/``_sum``/``_count`` triple.
+- :func:`render_metrics` — one text exposition for any serving tier:
+  duck-types :class:`~repro.service.server.PricingService` (flat counters,
+  ``shard="0"``) vs :class:`~repro.service.sharding.ShardedPricingService`
+  (per-shard labels), so the metric *names* are identical whichever tier is
+  behind the wire. Names are stable across scrapes — dashboards key on
+  them — and asserted so in the test suite.
+- :func:`parse_exposition` — a small parser for the same format, used by
+  tests, the CI smoke, and the HTTP benchmark to prove a scrape
+  round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "MetricSample",
+    "parse_exposition",
+    "render_metrics",
+]
+
+#: Explicit histogram buckets, in seconds. The hit path of a warm tier is
+#: tens of microseconds; a cold conflict-set miss is tens of milliseconds.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram (seconds).
+
+    ``buckets`` are upper bounds in ascending order; an implicit ``+Inf``
+    bucket always exists. :meth:`snapshot` returns *cumulative* bucket
+    counts (each ``le`` bound counts every observation at or below it),
+    which is exactly what the Prometheus exposition wants.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            position = len(self.buckets)
+            for index, bound in enumerate(self.buckets):
+                if seconds <= bound:
+                    position = index
+                    break
+            self._counts[position] += 1
+            self._sum += seconds
+            self._count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        cumulative = []
+        running = 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        return cumulative, total_sum, total_count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Exposition:
+    """Accumulates HELP/TYPE headers and samples in a stable order."""
+
+    def __init__(self):
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict[str, str], value: float) -> None:
+        self._lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def _cache_samples(
+    out: _Exposition, prefix: str, help_noun: str, stats_dict: dict, labels: dict
+) -> None:
+    """Counters + gauges of one ``CacheStats.as_dict()`` payload."""
+    for metric, kind, help_verb in (
+        ("hits", "counter", "lookups served from"),
+        ("misses", "counter", "lookups that missed"),
+        ("evictions", "counter", "capacity evictions from"),
+        ("stale_drops", "counter", "stale entries dropped from"),
+    ):
+        name = f"{prefix}_{metric}_total"
+        out.declare(name, kind, f"{help_verb} the {help_noun}.")
+        out.sample(name, labels, float(stats_dict.get(metric, 0)))
+    name = f"{prefix}_size"
+    out.declare(name, "gauge", f"Current entries in the {help_noun}.")
+    out.sample(name, labels, float(stats_dict.get("size", 0)))
+
+
+def _template_cache_stats(service) -> dict | None:
+    """The conflict engine's template-cache counters, if the tier has any.
+
+    ``PricingService`` exposes them through ``stats().templates``; the
+    sharded tier runs one engine per shard, so its counters are aggregated
+    across shards here (cache *capacity* is per shard, counts add).
+    """
+    workers = getattr(service, "_workers", None)
+    if workers is not None:
+        totals: dict[str, float] = {}
+        seen = False
+        for worker in workers:
+            stats = worker.market.engine.template_cache_stats()
+            if stats is None:
+                continue
+            seen = True
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0.0) + value
+        return totals if seen else None
+    market = getattr(service, "market", None)
+    if market is None:
+        return None
+    return market.engine.template_cache_stats()
+
+
+def render_metrics(
+    service,
+    *,
+    latency: dict[object, LatencyHistogram] | None = None,
+    http_requests: dict[tuple[str, int], int] | None = None,
+    ready: bool | None = None,
+) -> str:
+    """One Prometheus text exposition for a serving tier.
+
+    ``service`` is a :class:`~repro.service.server.PricingService` or a
+    :class:`~repro.service.sharding.ShardedPricingService`; ``latency``
+    maps shard labels to the HTTP front-end's request
+    :class:`LatencyHistogram` instances, ``http_requests`` carries the
+    front-end's ``(endpoint, status) -> count`` counters, and ``ready`` is
+    the readiness gauge (flips to 0 during drain). All three are optional
+    so the exposition is also usable for an in-process tier.
+    """
+    stats = service.stats()
+    out = _Exposition()
+
+    shards = getattr(stats, "shards", None)
+    if shards is None:
+        payload = stats.as_dict()
+        shard_rows = [("0", payload["quote_cache"], payload)]
+        plan_memo = payload["plan_memo"]
+        transactions = payload["transactions"]
+    else:
+        payload = stats.as_dict()
+        shard_rows = [
+            (
+                str(shard["shard_id"]),
+                shard["quote_cache"],
+                {
+                    "accepted": shard["requests_accepted"],
+                    "shed": shard["requests_shed"],
+                    "batches": shard["batcher"]["batches"],
+                    "batched_requests": shard["batcher"]["batched_requests"],
+                },
+            )
+            for shard in payload["shards"]
+        ]
+        plan_memo = payload["plan_memo"]
+        transactions = payload["transactions"]
+
+    for shard_label, quote_cache, counters in shard_rows:
+        labels = {"shard": shard_label}
+        _cache_samples(
+            out, "repro_quote_cache", "canonical quote cache", quote_cache, labels
+        )
+        for metric, help_text in (
+            ("accepted", "Requests admitted by the micro-batch queue."),
+            ("shed", "Requests shed by admission control."),
+            ("batches", "Micro-batches flushed."),
+            ("batched_requests", "Requests served through micro-batches."),
+        ):
+            name = f"repro_requests_{metric}_total"
+            if metric in ("batches", "batched_requests"):
+                name = f"repro_batch_{metric.replace('batched_', '')}_total"
+            out.declare(name, "counter", help_text)
+            out.sample(name, labels, float(counters.get(metric, 0)))
+
+    _cache_samples(out, "repro_plan_memo", "raw-text plan memo", plan_memo, {})
+
+    templates = _template_cache_stats(service)
+    if templates is not None:
+        _cache_samples(
+            out,
+            "repro_template_cache",
+            "compiled-template cache",
+            templates,
+            {},
+        )
+
+    out.declare(
+        "repro_transactions_total", "counter", "Completed sales on the ledger."
+    )
+    out.sample("repro_transactions_total", {}, float(transactions))
+
+    if ready is not None:
+        out.declare(
+            "repro_service_ready",
+            "gauge",
+            "1 while the tier accepts new requests, 0 while draining.",
+        )
+        out.sample("repro_service_ready", {}, 1.0 if ready else 0.0)
+
+    if http_requests is not None:
+        name = "repro_http_requests_total"
+        out.declare(name, "counter", "HTTP requests served, by endpoint and status.")
+        for (endpoint, status), count in sorted(http_requests.items()):
+            out.sample(
+                name, {"endpoint": endpoint, "status": str(status)}, float(count)
+            )
+
+    if latency is not None:
+        name = "repro_request_duration_seconds"
+        out.declare(
+            name,
+            "histogram",
+            "End-to-end HTTP pricing-request latency, by home shard.",
+        )
+        for shard_label in sorted(latency, key=str):
+            histogram = latency[shard_label]
+            labels = {"shard": str(shard_label)}
+            cumulative, total_sum, total_count = histogram.snapshot()
+            bounds = list(histogram.buckets) + [math.inf]
+            for bound, count in zip(bounds, cumulative):
+                out.sample(
+                    f"{name}_bucket",
+                    {**labels, "le": _format_value(bound)},
+                    float(count),
+                )
+            out.sample(f"{name}_sum", labels, total_sum)
+            out.sample(f"{name}_count", labels, float(total_count))
+
+    return out.render()
+
+
+# ---------------------------------------------------------------------------
+# Parsing (tests / smoke / bench)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One parsed exposition sample."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
+    labels = []
+    position = 0
+    while position < len(body):
+        equals = body.index("=", position)
+        name = body[position:equals].strip().lstrip(",").strip()
+        if body[equals + 1] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        cursor = equals + 2
+        value_chars = []
+        while body[cursor] != '"':
+            if body[cursor] == "\\":
+                cursor += 1
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(body[cursor], body[cursor])
+                )
+            else:
+                value_chars.append(body[cursor])
+            cursor += 1
+        labels.append((name, "".join(value_chars)))
+        position = cursor + 1
+    return tuple(labels)
+
+
+def parse_exposition(text: str) -> dict[str, list[MetricSample]]:
+    """Parse a Prometheus text exposition into samples grouped by name.
+
+    Raises ``ValueError`` on malformed lines, so a test that calls this is
+    simultaneously a format check. ``# HELP`` / ``# TYPE`` comments are
+    validated for shape and skipped.
+    """
+    samples: dict[str, list[MetricSample]] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"malformed comment line: {line!r}")
+            if parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            body = line[line.index("{") + 1 : line.rindex("}")]
+            labels = _parse_labels(body)
+            value_text = line[line.rindex("}") + 1 :].strip()
+        else:
+            name, value_text = line.rsplit(None, 1)
+            labels = ()
+        value = math.inf if value_text == "+Inf" else float(value_text)
+        samples.setdefault(name, []).append(MetricSample(name, labels, value))
+    for name in samples:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+        if base not in types:
+            raise ValueError(f"sample {name!r} has no # TYPE declaration")
+    return samples

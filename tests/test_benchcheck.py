@@ -102,6 +102,64 @@ class TestCheckBenchDirs:
         assert missing == ["BENCH_a.json"] and not ok
         assert "stopped emitting" in report
 
+    def test_allow_missing_skips_named_file_only(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        self._write(tmp_path / "base", "BENCH_http.json", payload({"w": 0.4}))
+        self._write(tmp_path / "cur", "BENCH_a.json", payload({"v": 7.5}))
+        # BENCH_http.json is absent but exempted (a leg without sockets);
+        # BENCH_a.json is still fully compared.
+        comparisons, missing = check_bench_dirs(
+            tmp_path / "base",
+            tmp_path / "cur",
+            allow_missing=["BENCH_http.json"],
+        )
+        report, ok = render_report(comparisons, missing)
+        assert ok and not missing
+        assert [c.file for c in comparisons] == ["BENCH_a.json"]
+        # An *unlisted* absence still fails the gate.
+        comparisons, missing = check_bench_dirs(
+            tmp_path / "base", tmp_path / "cur"
+        )
+        assert missing == ["BENCH_http.json"]
+
+    def test_allow_missing_still_compares_when_present(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_http.json", payload({"w": 0.8}))
+        self._write(tmp_path / "cur", "BENCH_http.json", payload({"w": 0.1}))
+        comparisons, missing = check_bench_dirs(
+            tmp_path / "base",
+            tmp_path / "cur",
+            allow_missing=["BENCH_http.json"],
+        )
+        # The exemption covers absence, never a regression in a file that
+        # did get produced.
+        _, ok = render_report(comparisons, missing)
+        assert not ok
+
+    def test_allow_missing_typo_is_an_error(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        (tmp_path / "cur").mkdir()
+        with pytest.raises(ExperimentError, match="no baseline"):
+            check_bench_dirs(
+                tmp_path / "base",
+                tmp_path / "cur",
+                allow_missing=["BENCH_htpp.json"],
+            )
+
+    def test_allow_missing_cli_flag(self, tmp_path, capsys):
+        self._write(tmp_path / "base", "BENCH_a.json", payload({"v": 8.0}))
+        self._write(tmp_path / "base", "BENCH_http.json", payload({"w": 0.4}))
+        self._write(tmp_path / "cur", "BENCH_a.json", payload({"v": 7.5}))
+        code = main(
+            [
+                "bench-check",
+                "--baselines", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--allow-missing", "BENCH_http.json",
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
     def test_no_baselines_is_an_error(self, tmp_path):
         (tmp_path / "base").mkdir()
         (tmp_path / "cur").mkdir()
@@ -142,6 +200,7 @@ class TestCheckBenchDirs:
         assert {
             "BENCH_backends.json",
             "BENCH_backends_join.json",
+            "BENCH_http.json",
             "BENCH_pricing.json",
             "BENCH_service.json",
             "BENCH_service_batching.json",

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.pricing import ItemPricing, UniformBundlePricing, XOSPricing
-from repro.exceptions import PricingError
+from repro.exceptions import PricingError, SnapshotError
 from repro.qirana.history import HistoryAwareLedger
 from repro.qirana.persistence import (
     load_market_state,
@@ -240,3 +240,57 @@ class TestPersistence:
             assert fresh_market.quote(sql).price == pytest.approx(
                 market.quote(sql).price
             )
+
+
+class TestSnapshotErrors:
+    """A bad snapshot raises a typed SnapshotError that names the path."""
+
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "nowhere.json"
+        with pytest.raises(SnapshotError, match="cannot read snapshot") as info:
+            load_market_state(path)
+        assert str(path) in str(info.value)
+
+    def test_truncated_file(self, tmp_path, item_pricing):
+        path = tmp_path / "market.json"
+        save_market_state(item_pricing, {"q": frozenset({1})}, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # a crash mid-write
+        with pytest.raises(SnapshotError, match="not valid JSON") as info:
+            load_market_state(path)
+        assert str(path) in str(info.value)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "market.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotError, match="expected a JSON object"):
+            load_market_state(path)
+
+    def test_missing_required_key(self, tmp_path):
+        path = tmp_path / "market.json"
+        path.write_text('{"bundles": {}}')
+        with pytest.raises(SnapshotError, match="KeyError") as info:
+            load_market_state(path)
+        assert str(path) in str(info.value)
+
+    def test_unknown_pricing_family(self, tmp_path):
+        path = tmp_path / "market.json"
+        path.write_text('{"pricing": {"family": "quantum"}, "bundles": {}}')
+        with pytest.raises(SnapshotError, match="unknown pricing family"):
+            load_market_state(path)
+
+    def test_mistyped_quote_entry(self, tmp_path, item_pricing):
+        import json as json_module
+
+        path = tmp_path / "market.json"
+        save_market_state(item_pricing, {}, path)
+        payload = json_module.loads(path.read_text())
+        payload["quotes"] = [{"key": "k"}]  # entry missing its fields
+        path.write_text(json_module.dumps(payload))
+        with pytest.raises(SnapshotError, match="corrupt snapshot"):
+            load_market_state(path)
+
+    def test_snapshot_error_is_a_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(SnapshotError, ReproError)

@@ -1,0 +1,185 @@
+"""Prometheus exposition tests: histogram, rendering, parsing, stability."""
+
+import math
+import threading
+
+import pytest
+
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import PricingService, ShardedPricingService
+from repro.service.observability import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    parse_exposition,
+    render_metrics,
+)
+
+QUERIES = [
+    "select Name from Country",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+]
+
+#: Counter/gauge names dashboards key on — renaming any of these is a
+#: breaking change to every scrape config pointed at /metrics.
+STABLE_NAMES = {
+    "repro_quote_cache_hits_total",
+    "repro_quote_cache_misses_total",
+    "repro_quote_cache_evictions_total",
+    "repro_quote_cache_stale_drops_total",
+    "repro_quote_cache_size",
+    "repro_requests_accepted_total",
+    "repro_requests_shed_total",
+    "repro_batch_batches_total",
+    "repro_batch_requests_total",
+    "repro_plan_memo_hits_total",
+    "repro_plan_memo_misses_total",
+    "repro_transactions_total",
+}
+
+
+@pytest.fixture
+def service(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return PricingService(market, start=False)
+
+
+class TestLatencyHistogram:
+    def test_counts_are_cumulative(self):
+        histogram = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        for seconds in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            histogram.observe(seconds)
+        cumulative, total_sum, count = histogram.snapshot()
+        assert cumulative == [1, 3, 4, 5]  # le=0.001, 0.01, 0.1, +Inf
+        assert count == 5
+        assert total_sum == pytest.approx(5.0605)
+        assert len(histogram) == 5
+
+    def test_boundary_observation_lands_at_or_below(self):
+        histogram = LatencyHistogram(buckets=(0.001, 0.01))
+        histogram.observe(0.001)  # le is inclusive
+        cumulative, _, _ = histogram.snapshot()
+        assert cumulative == [1, 1, 1]
+
+    def test_concurrent_observers_lose_nothing(self):
+        histogram = LatencyHistogram()
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(0.0002) for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        _, _, count = histogram.snapshot()
+        assert count == 4000
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            LatencyHistogram(buckets=(0.1, 0.01))
+        with pytest.raises(ValueError, match="non-empty"):
+            LatencyHistogram(buckets=())
+
+
+class TestRenderAndParse:
+    def test_exposition_parses_and_carries_the_counters(self, service):
+        service.quote(QUERIES[0])
+        service.quote(QUERIES[0])
+        service.purchase(QUERIES[1], buyer="alice")
+        text = render_metrics(service)
+        samples = parse_exposition(text)
+        def value(name):
+            return {s.labels_dict.get("shard", ""): s.value for s in samples[name]}
+        assert value("repro_quote_cache_hits_total") == {"0": 1.0}
+        assert value("repro_quote_cache_misses_total") == {"0": 2.0}
+        assert samples["repro_transactions_total"][0].value == 1.0
+
+    def test_metric_names_stable_across_scrapes(self, service):
+        first = set(parse_exposition(render_metrics(service)))
+        service.quote(QUERIES[0])
+        service.purchase(QUERIES[1], buyer="bob")
+        second = set(parse_exposition(render_metrics(service)))
+        # Traffic must never add/remove families mid-flight — dashboards
+        # key on names; the whole stable set is present on every scrape.
+        assert first == second
+        assert STABLE_NAMES <= first
+
+    def test_sharded_tier_renders_same_names_per_shard(self, mini_support):
+        service = ShardedPricingService(mini_support, num_shards=2, start=False)
+        service.install_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        try:
+            for sql in QUERIES:
+                service.quote(sql)
+            samples = parse_exposition(render_metrics(service))
+        finally:
+            service.close()
+        assert STABLE_NAMES <= set(samples)
+        shards = {s.labels_dict["shard"] for s in samples["repro_quote_cache_hits_total"]}
+        assert shards == {"0", "1"}
+
+    def test_histogram_block_renders_the_classic_triple(self, service):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0002)
+        histogram.observe(0.3)
+        text = render_metrics(
+            service,
+            latency={"0": histogram},
+            http_requests={("/quote", 200): 2},
+            ready=True,
+        )
+        samples = parse_exposition(text)
+        buckets = samples["repro_request_duration_seconds_bucket"]
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+        by_le = {s.labels_dict["le"]: s.value for s in buckets}
+        assert by_le["+Inf"] == 2.0
+        assert by_le["0.5"] == 2.0
+        assert by_le["0.25"] == 1.0
+        assert samples["repro_request_duration_seconds_count"][0].value == 2.0
+        assert samples["repro_request_duration_seconds_sum"][0].value == pytest.approx(
+            0.3002
+        )
+        assert samples["repro_service_ready"][0].value == 1.0
+        http = samples["repro_http_requests_total"][0]
+        assert http.labels_dict == {"endpoint": "/quote", "status": "200"}
+
+    def test_ready_gauge_flips(self, service):
+        ready = parse_exposition(render_metrics(service, ready=True))
+        draining = parse_exposition(render_metrics(service, ready=False))
+        assert ready["repro_service_ready"][0].value == 1.0
+        assert draining["repro_service_ready"][0].value == 0.0
+
+
+class TestParser:
+    def test_rejects_undeclared_samples(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_exposition("mystery_total 3\n")
+
+    def test_rejects_malformed_comments(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_exposition("# NONSENSE\n")
+
+    def test_label_escapes_round_trip(self):
+        text = (
+            "# HELP x_total t.\n"
+            "# TYPE x_total counter\n"
+            'x_total{q="a\\"b\\\\c\\nd"} 1\n'
+        )
+        sample = parse_exposition(text)["x_total"][0]
+        assert sample.labels_dict["q"] == 'a"b\\c\nd'
+
+    def test_inf_bound_parses(self):
+        text = (
+            "# HELP h t.\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1.5\n"
+            "h_count 4\n"
+        )
+        samples = parse_exposition(text)
+        assert samples["h_bucket"][0].labels_dict["le"] == "+Inf"
+        assert samples["h_bucket"][0].value == 4.0
+        assert math.isfinite(samples["h_sum"][0].value)

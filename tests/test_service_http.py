@@ -1,0 +1,331 @@
+"""HTTP front-end tests: wire parity, lifecycle, drain, rolling restart."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import (
+    HTTPServiceClient,
+    PricingService,
+    ShardedPricingService,
+    serve_in_thread,
+)
+from repro.service.observability import parse_exposition
+
+QUERIES = [
+    "select Name from Country",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+]
+
+
+def build_service(support, **kwargs):
+    market = QueryMarket(support)
+    market.set_pricing(uniform_calibrated_pricing(support, 100.0))
+    return PricingService(market, **kwargs)
+
+
+@pytest.fixture
+def server(mini_support):
+    handle = serve_in_thread(build_service(mini_support))
+    yield handle
+    handle.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    with HTTPServiceClient(*server.address) as client:
+        yield client
+
+
+class TestWireParity:
+    def test_quote_matches_in_process_oracle(self, server, client, mini_support):
+        oracle = QueryMarket(mini_support)
+        oracle.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        for sql in QUERIES:
+            served = client.quote(sql)
+            expected = oracle.quote(sql)
+            assert served.price == expected.price  # bit-equal, not approx
+            assert served.bundle_size == len(expected.bundle)
+            assert served.query_text == sql
+
+    def test_purchase_round_trip_carries_the_answer(self, client):
+        payload = client.purchase(QUERIES[0], "alice")
+        assert payload["purchased"] is True
+        assert payload["paid"] == payload["price"] > 0
+        assert payload["buyer"] == "alice"
+        assert payload["answer"]["columns"] == ["Name"]
+        assert len(payload["answer"]["rows"]) > 0
+
+    def test_priced_out_buyer_walks_away(self, client):
+        quote = client.quote(QUERIES[0])
+        payload = client.purchase(QUERIES[0], "cheap", valuation=quote.price / 2)
+        assert payload["purchased"] is False
+        assert payload["paid"] == 0.0
+        assert "answer" not in payload
+
+    def test_x_buyer_header_opts_into_marginal_pricing(self, server, client):
+        status, first = client.request(
+            "POST",
+            "/purchase",
+            {"query": QUERIES[0]},
+            headers={"X-Buyer": "carol"},
+        )
+        assert status == 200 and first["purchased"]
+        # The same buyer re-buying the same query owes nothing marginal.
+        status, again = client.request(
+            "POST",
+            "/purchase",
+            {"query": QUERIES[0]},
+            headers={"X-Buyer": "carol"},
+        )
+        assert status == 200
+        assert again["marginal_price"] == 0.0
+        assert again["price"] == first["price"]  # fresh price unchanged
+
+    def test_header_session_quote_carries_both_prices(self, server, client):
+        client.request(
+            "POST", "/purchase", {"query": QUERIES[0]}, headers={"X-Buyer": "dave"}
+        )
+        status, payload = client.request(
+            "POST", "/quote", {"query": QUERIES[0]}, headers={"X-Buyer": "dave"}
+        )
+        assert status == 200
+        assert payload["marginal_price"] == 0.0
+        assert payload["price"] > 0
+        assert payload["refund"] == payload["price"]
+
+    def test_concurrent_wire_clients_all_complete(self, server, client):
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    assert client.quote(QUERIES[0]).price > 0
+            except Exception as exc:  # noqa: BLE001 — collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestHTTPSurface:
+    def test_health_and_readiness(self, client):
+        assert client.request("GET", "/healthz") == (200, "ok\n")
+        assert client.ready()
+
+    def test_unknown_path_is_404(self, client):
+        status, payload = client.request("GET", "/nope")
+        assert status == 404
+        assert "unknown path" in payload["error"]
+
+    def test_wrong_methods_are_405(self, client):
+        assert client.request("POST", "/healthz")[0] == 405
+        assert client.request("GET", "/quote")[0] == 405
+
+    def test_malformed_json_is_400(self, server):
+        import http.client as http_client
+
+        connection = http_client.HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.request("POST", "/quote", body=b"{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "not valid JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_missing_query_is_400(self, client):
+        status, payload = client.request("POST", "/quote", {"sql": "oops"})
+        assert status == 400
+        assert '"query"' in payload["error"]
+
+    def test_purchase_without_buyer_is_400(self, client):
+        status, payload = client.request("POST", "/purchase", {"query": QUERIES[0]})
+        assert status == 400
+        assert "buyer" in payload["error"]
+
+    def test_unparseable_sql_is_400_not_500(self, client):
+        status, payload = client.request(
+            "POST", "/quote", {"query": "selec oops from"}
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_oversized_body_is_413(self, server):
+        import http.client as http_client
+
+        connection = http_client.HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.request("POST", "/quote", body=b"x" * (2 << 20))
+            assert connection.getresponse().status == 413
+        finally:
+            connection.close()
+
+    def test_metrics_scrape_parses_with_stable_names(self, server, client):
+        client.quote(QUERIES[0])
+        client.quote(QUERIES[0])
+        first = parse_exposition(client.metrics())
+        hits = {s.labels_dict["shard"]: s.value for s in first["repro_quote_cache_hits_total"]}
+        assert hits == {"0": 1.0}
+        statuses = {
+            (s.labels_dict["endpoint"], s.labels_dict["status"])
+            for s in first["repro_http_requests_total"]
+        }
+        assert ("/quote", "200") in statuses
+        client.purchase(QUERIES[1], "erin")
+        second = parse_exposition(client.metrics())
+        # Counter *names* never change between scrapes (dashboards key on
+        # them); only values move.
+        assert set(first) == set(second)
+        buckets = second["repro_request_duration_seconds_bucket"]
+        assert buckets[-1].value == 3.0  # two quotes + one purchase observed
+
+    def test_double_start_raises(self, server):
+        with pytest.raises(ServiceError, match="already started"):
+            server.start_in_thread()
+
+
+class GatedService:
+    """Delegate that blocks ``quote`` until released — drain-window probe."""
+
+    def __init__(self, inner, gate):
+        self._inner = inner
+        self._gate = gate
+        self.entered = threading.Event()
+
+    def quote(self, text):
+        self.entered.set()
+        if not self._gate.wait(timeout=10):
+            raise TimeoutError("gate never opened")
+        return self._inner.quote(text)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestDrain:
+    def test_readiness_flips_before_inflight_completes(self, mini_support):
+        gate = threading.Event()
+        service = GatedService(build_service(mini_support), gate)
+        server = serve_in_thread(service)
+        client = HTTPServiceClient(*server.address, timeout=30)
+        probe = HTTPServiceClient(*server.address, timeout=10)
+        result = {}
+
+        def slow_quote():
+            result["quote"] = client.quote(QUERIES[0])
+
+        inflight = threading.Thread(target=slow_quote)
+        inflight.start()
+        assert service.entered.wait(timeout=10)
+
+        drainer = threading.Thread(target=server.shutdown)
+        drainer.start()
+        deadline = time.monotonic() + 10
+        while probe.ready() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        # Readiness flipped while the in-flight request is still running...
+        assert not probe.ready()
+        assert not server.ready
+        assert not drainer.is_alive() or result.get("quote") is None
+        # ...and new pricing traffic is refused with 503.
+        status, payload = probe.request("POST", "/quote", {"query": QUERIES[1]})
+        assert status == 503
+        assert "draining" in payload["error"]
+
+        gate.set()
+        inflight.join(timeout=30)
+        drainer.join(timeout=30)
+        # The accepted in-flight request was served, not dropped.
+        assert result["quote"].price > 0
+        probe.close()
+        client.close()
+
+    def test_drain_is_idempotent(self, mini_support):
+        server = serve_in_thread(build_service(mini_support))
+        server.shutdown()
+        server.shutdown()  # second drain is a no-op, not an error
+        assert not server.ready
+
+
+class TestRollingRestart:
+    def test_zero_lost_requests_and_warm_cache(self, mini_support, tmp_path):
+        snapshot = tmp_path / "warm.json"
+        first = serve_in_thread(
+            build_service(mini_support), snapshot_path=str(snapshot)
+        )
+        with HTTPServiceClient(*first.address) as client:
+            before = {}
+            accepted = 0
+            for sql in QUERIES * 3:  # repeats exercise the cache pre-restart
+                before[sql] = client.quote(sql).price
+                accepted += 1
+        first.shutdown()
+        assert snapshot.is_file()
+        assert accepted == len(QUERIES) * 3  # every accepted request answered
+
+        # The replacement process: fresh service over the same support,
+        # restored from the drain snapshot, serving on a new socket.
+        restored_service = PricingService(QueryMarket(mini_support))
+        restored_service.restore(snapshot)
+        second = serve_in_thread(restored_service)
+        try:
+            with HTTPServiceClient(*second.address) as client:
+                for sql in QUERIES:
+                    assert client.quote(sql).price == before[sql]  # bit-equal
+                samples = parse_exposition(client.metrics())
+            by_name = {
+                name: sum(s.value for s in family)
+                for name, family in samples.items()
+            }
+            # Hit-counter proof of warmth: the previous working set served
+            # entirely from the restored cache — zero misses after restart.
+            assert by_name["repro_quote_cache_misses_total"] == 0.0
+            assert by_name["repro_quote_cache_hits_total"] == len(QUERIES)
+        finally:
+            second.shutdown()
+
+    def test_drain_without_pricing_skips_snapshot(self, mini_support, tmp_path):
+        snapshot = tmp_path / "never.json"
+        service = PricingService(QueryMarket(mini_support))  # no pricing
+        server = serve_in_thread(service, snapshot_path=str(snapshot))
+        server.shutdown()
+        assert not snapshot.exists()
+
+
+class TestShardedOverTheWire:
+    def test_sharded_tier_serves_and_labels_latency(self, mini_support):
+        service = ShardedPricingService(mini_support, num_shards=2)
+        service.install_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        server = serve_in_thread(service)
+        try:
+            with HTTPServiceClient(*server.address) as client:
+                for sql in QUERIES:
+                    assert client.quote(sql).price > 0
+                samples = parse_exposition(client.metrics())
+            cache_shards = {
+                s.labels_dict["shard"]
+                for s in samples["repro_quote_cache_hits_total"]
+            }
+            assert cache_shards == {"0", "1"}
+            observed = {
+                s.labels_dict["shard"]
+                for s in samples["repro_request_duration_seconds_count"]
+                if s.value > 0
+            }
+            # Latency lands in each request's home-shard histogram.
+            expected = {str(service.home_shard(sql)) for sql in QUERIES}
+            assert observed == expected
+        finally:
+            server.shutdown()

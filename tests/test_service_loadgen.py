@@ -161,3 +161,52 @@ class TestLatencyRecorder:
         assert summary.p50_ms == pytest.approx(2.5)
         assert summary.max_ms == pytest.approx(4.0)
         assert summary.as_dict()["p95_ms"] >= summary.p50_ms
+
+
+class TestShardLatencyRecorder:
+    def test_idle_expected_labels_report_zero_summary(self):
+        from repro.service.metrics import ShardLatencyRecorder
+
+        recorder = ShardLatencyRecorder()
+        recorder.record(0, 0.002)
+        recorder.record(0, 0.004)
+        breakdown = recorder.by_label(expected=range(4))
+        # Every expected shard appears; the idle ones carry the zero
+        # summary instead of crashing np.percentile on an empty array.
+        assert sorted(breakdown) == [0, 1, 2, 3]
+        assert breakdown[0].count == 2
+        for shard in (1, 2, 3):
+            assert breakdown[shard].count == 0
+            assert breakdown[shard].p99_ms == 0.0
+
+    def test_fully_idle_recorder_summarizes(self):
+        from repro.service.metrics import ShardLatencyRecorder
+
+        recorder = ShardLatencyRecorder()
+        assert recorder.summary().count == 0
+        breakdown = recorder.by_label(expected=range(2))
+        assert breakdown[0].count == 0 and breakdown[1].count == 0
+
+    def test_idle_shards_survive_a_real_load_run(self, mini_support):
+        """A one-query working set leaves shards idle; the report still
+        carries a summary for every shard of the tier."""
+        from repro.service import ShardedPricingService
+
+        service = ShardedPricingService(mini_support, num_shards=4)
+        service.install_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+        try:
+            report = run_load(
+                service,
+                [QUERIES[0]],
+                LoadProfile(num_requests=12, num_clients=2, zipf_s=0.0),
+            )
+        finally:
+            service.close()
+        assert report.errors == 0
+        assert report.per_shard is not None
+        assert sorted(report.per_shard) == [0, 1, 2, 3]
+        counts = [summary.count for summary in report.per_shard.values()]
+        assert sum(counts) == 12
+        assert counts.count(0) == 3  # one home shard, three idle
+        # The dict form renders too (BENCH json path).
+        assert len(report.as_dict()["per_shard_latency"]) == 4

@@ -209,6 +209,28 @@ class TestSnapshotRestore:
         # No miss ever reached the batcher, so no conflict set was computed.
         assert stats.batcher.batches == 0
 
+    def test_failed_restore_leaves_state_untouched(
+        self, sync_service, mini_support, tmp_path
+    ):
+        """Restore is all-or-nothing: a corrupt snapshot changes nothing."""
+        from repro.exceptions import SnapshotError
+
+        session = sync_service.session("alice")
+        session.purchase(QUERIES[0])
+        before_price = sync_service.quote(QUERIES[1]).price
+        before_holdings = session.holdings
+        before_transactions = len(sync_service.transactions)
+
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text('{"pricing": {"family": "quantum"}, "bundles": {}}')
+        with pytest.raises(SnapshotError, match=str(corrupt.name)):
+            sync_service.restore(corrupt)
+        # Pricing, ledger, and cache all still answer exactly as before.
+        assert sync_service.quote(QUERIES[1]).price == before_price
+        assert sync_service.session("alice").holdings == before_holdings
+        assert len(sync_service.transactions) == before_transactions
+        assert sync_service.session("alice").quote(QUERIES[0]).marginal_price == 0.0
+
     def test_restored_quotes_invalidate_on_install(
         self, sync_service, mini_support, tmp_path
     ):

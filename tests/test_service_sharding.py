@@ -456,6 +456,28 @@ class TestWarmSnapshots:
         assert all(partial is not None for partial in partials)
         assert frozenset().union(*partials) == quote.bundle
 
+    def test_failed_restore_leaves_tier_untouched(
+        self, mini_support, pricing, tmp_path
+    ):
+        """A corrupt snapshot raises SnapshotError; no shard state moves."""
+        from repro.exceptions import SnapshotError
+
+        service = make_service(mini_support, pricing, num_shards=2)
+        before = {sql: service.quote(sql).price for sql in QUERIES}
+        before_hits = service.stats().quote_cache_totals()["hits"]
+
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text('{"pricing": {"family": "item"')  # truncated
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            service.restore(corrupt)
+        for sql in QUERIES:
+            assert service.quote(sql).price == before[sql]
+        # The post-failure quotes were cache hits against the *old* state —
+        # the failed restore did not bump the cache generation.
+        totals = service.stats().quote_cache_totals()
+        assert totals["hits"] == before_hits + len(QUERIES)
+        assert totals["stale_drops"] == 0
+
     def test_snapshot_without_pricing_raises(self, mini_support, tmp_path):
         service = ShardedPricingService(mini_support, num_shards=2, start=False)
         with pytest.raises(PricingError, match="nothing to snapshot"):
