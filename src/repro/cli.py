@@ -109,6 +109,29 @@ def main(argv: list[str] | None = None) -> int:
     bench_templates.add_argument("--no-json", action="store_true",
                                  help="skip writing the JSON summary")
 
+    bench_updates = commands.add_parser(
+        "bench-updates",
+        help="time incremental delta maintenance vs rebuild-from-scratch "
+             "on a churn stream of market deltas",
+    )
+    bench_updates.add_argument("--workload", default="uniform",
+                               choices=["skewed", "uniform", "tpch", "ssb"])
+    bench_updates.add_argument("--support", type=int, default=500)
+    bench_updates.add_argument("--scale", type=float, default=None)
+    bench_updates.add_argument("--queries", type=int, default=80,
+                               help="tracked workload queries the market "
+                                    "keeps priced across deltas")
+    bench_updates.add_argument("--steps", type=int, default=24,
+                               help="deltas in the churn stream (patches, "
+                                    "adds, retires, inserts)")
+    bench_updates.add_argument("--seed", type=int, default=0)
+    bench_updates.add_argument("--json", dest="json_path",
+                               default="BENCH_updates.json",
+                               help="where to write the machine-readable "
+                                    "summary")
+    bench_updates.add_argument("--no-json", action="store_true",
+                               help="skip writing the JSON summary")
+
     bench_rev = commands.add_parser(
         "bench-revenue",
         help="time a pricing algorithm per revenue-engine strategy",
@@ -189,6 +212,27 @@ def main(argv: list[str] | None = None) -> int:
                             help="restore a warm-state snapshot before "
                                  "serving (a rolling restart's second half)")
 
+    delta_cmd = commands.add_parser(
+        "apply-delta",
+        help="stage, apply, or cancel a market delta on a running "
+             "pricing server (POST /delta)",
+    )
+    delta_cmd.add_argument("--url", default="http://127.0.0.1:8080",
+                           help="base URL of the running server")
+    delta_cmd.add_argument("--action", default="apply",
+                           choices=["accept", "apply", "cancel"])
+    delta_cmd.add_argument("--delta", default=None,
+                           help="inline JSON delta op, e.g. "
+                                '\'{"kind": "patch_base", "table": "part", '
+                                '"row_index": 0, "column": "p_size", '
+                                '"value": 7}\'')
+    delta_cmd.add_argument("--delta-file", default=None,
+                           help="path to a JSON file holding the delta op")
+    delta_cmd.add_argument("--delta-id", type=int, default=None,
+                           help="staged delta id (apply/cancel)")
+    delta_cmd.add_argument("--timeout", type=float, default=10.0,
+                           help="HTTP timeout in seconds")
+
     bench_check = commands.add_parser(
         "bench-check",
         help="fail when fresh BENCH_*.json figures regress vs committed "
@@ -263,7 +307,9 @@ def main(argv: list[str] | None = None) -> int:
         "price": _cmd_price,
         "bench-backends": _cmd_bench_backends,
         "bench-templates": _cmd_bench_templates,
+        "bench-updates": _cmd_bench_updates,
         "bench-revenue": _cmd_bench_revenue,
+        "apply-delta": _cmd_apply_delta,
         "serve-bench": _cmd_serve_bench,
         "serve": _cmd_serve,
         "bench-check": _cmd_bench_check,
@@ -370,6 +416,71 @@ def _cmd_bench_templates(args: argparse.Namespace) -> int:
     )
     print(artifact)
     _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_bench_updates(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    artifact = figures.update_churn_speedup(
+        workload_name=args.workload,
+        scale=args.scale,
+        support_size=args.support,
+        num_queries=args.queries,
+        num_steps=args.steps,
+        seed=args.seed,
+    )
+    print(artifact)
+    _write_bench_json(artifact, args)
+    return 0
+
+
+def _cmd_apply_delta(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    delta = None
+    if args.delta_file is not None:
+        with open(args.delta_file, encoding="utf-8") as handle:
+            delta = json.load(handle)
+    elif args.delta is not None:
+        delta = json.loads(args.delta)
+
+    if args.action == "accept" and delta is None:
+        print("apply-delta: --action accept needs --delta or --delta-file",
+              file=sys.stderr)
+        return 2
+    if args.action == "cancel" and args.delta_id is None:
+        print("apply-delta: --action cancel needs --delta-id", file=sys.stderr)
+        return 2
+    if args.action == "apply" and delta is None and args.delta_id is None:
+        print("apply-delta: --action apply needs --delta, --delta-file, "
+              "or --delta-id", file=sys.stderr)
+        return 2
+
+    payload: dict = {"action": args.action}
+    if delta is not None:
+        payload["delta"] = delta
+    if args.delta_id is not None:
+        payload["delta_id"] = args.delta_id
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/delta",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        print(f"HTTP {exc.code}: {exc.read().decode('utf-8', 'replace')}",
+              file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"apply-delta: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(body, indent=2, sort_keys=True))
     return 0
 
 

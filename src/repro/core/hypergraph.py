@@ -54,7 +54,7 @@ def csr_take_rows(
 
 
 class Hypergraph:
-    """An immutable hypergraph with integer items ``0..num_items-1``.
+    """A hypergraph with integer items ``0..num_items-1``.
 
     Edges are stored as frozensets; the CSR incidence arrays (both
     orientations) and per-item incidence lists are built lazily and cached
@@ -65,6 +65,14 @@ class Hypergraph:
     two buyers whose queries have identical conflict sets are still two
     buyers, each with their own valuation, so no dedup happens here. Callers
     that want set semantics must dedup before construction.
+
+    The structure is append/tombstone mutable for the online-delta path:
+    :meth:`append_edges` adds hyperedges at the end (edge ids are stable),
+    :meth:`tombstone_edges` empties edges in place (an empty edge is already
+    a legal, price-zero hyperedge, so every derived view stays consistent),
+    and :meth:`compact` reclaims tombstoned slots once their fraction grows.
+    The edge-orientation CSR block is maintained incrementally; the
+    item-orientation views are invalidated and rebuilt lazily on next use.
     """
 
     __slots__ = (
@@ -77,6 +85,7 @@ class Hypergraph:
         "_edge_items",
         "_item_indptr",
         "_item_edges",
+        "_tombstoned",
     )
 
     def __init__(
@@ -110,6 +119,155 @@ class Hypergraph:
         self._edge_items: np.ndarray | None = None
         self._item_indptr: np.ndarray | None = None
         self._item_edges: np.ndarray | None = None
+        self._tombstoned: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Online mutation (delta subsystem)
+    # ------------------------------------------------------------------
+
+    def _invalidate_item_views(self) -> None:
+        """Drop the lazily rebuilt item-orientation caches after a mutation."""
+        self._degrees = None
+        self._incidence = None
+        self._item_indptr = None
+        self._item_edges = None
+
+    def add_items(self, count: int) -> None:
+        """Grow the item universe by ``count`` fresh (degree-0) items."""
+        if count < 0:
+            raise PricingError("cannot add a negative number of items")
+        if count == 0:
+            return
+        self.num_items += count
+        # item_indptr has one row per item, so it must be rebuilt; the
+        # edge-orientation block is unaffected (no edge mentions a new item).
+        self._invalidate_item_views()
+
+    def append_edges(
+        self,
+        edges: Iterable[Iterable[int]],
+        labels: Sequence[str] | None = None,
+    ) -> list[int]:
+        """Append hyperedges in place, returning their new edge ids.
+
+        Existing edge ids are stable. The edge → item CSR block is extended
+        incrementally (each new row's items sorted ascending, matching
+        :meth:`_build_csr`); the item-orientation views are invalidated and
+        rebuilt lazily.
+        """
+        new_edges = [frozenset(edge) for edge in edges]
+        if (self.labels is None) != (labels is None):
+            raise PricingError(
+                "labels must be provided iff the hypergraph is labelled"
+            )
+        if labels is not None and len(labels) != len(new_edges):
+            raise PricingError(
+                f"{len(labels)} labels for {len(new_edges)} appended edges"
+            )
+        start = len(self.edges)
+        for offset, edge_set in enumerate(new_edges):
+            for item in edge_set:
+                if not 0 <= item < self.num_items:
+                    raise PricingError(
+                        f"item {item} out of range [0, {self.num_items}) in "
+                        f"appended edge {start + offset}"
+                    )
+        if self._edge_indptr is not None and new_edges:
+            sizes = np.fromiter(
+                (len(edge) for edge in new_edges),
+                dtype=np.int64,
+                count=len(new_edges),
+            )
+            nnz = int(sizes.sum())
+            if nnz:
+                flat = np.fromiter(
+                    (item for edge in new_edges for item in edge),
+                    dtype=np.int64,
+                    count=nnz,
+                )
+                rows = np.repeat(np.arange(len(new_edges), dtype=np.int64), sizes)
+                order = np.lexsort((flat, rows))
+                self._edge_items = np.concatenate([self._edge_items, flat[order]])
+            tail = self._edge_indptr[-1] + np.cumsum(sizes)
+            self._edge_indptr = np.concatenate([self._edge_indptr, tail])
+        self.edges.extend(new_edges)
+        if labels is not None:
+            self.labels.extend(labels)
+        self._invalidate_item_views()
+        return list(range(start, start + len(new_edges)))
+
+    def tombstone_edges(self, edge_ids: Iterable[int]) -> None:
+        """Empty the given edges in place (ids stay allocated).
+
+        A tombstoned edge behaves exactly like a query whose conflict set is
+        empty — every derived view (stats, pricing kernels, LP constructors)
+        already handles empty edges, so no special-casing is needed
+        downstream. Tombstoning an already-tombstoned edge is an error;
+        tombstoning an organically empty edge is allowed (it marks the slot
+        reclaimable by :meth:`compact`).
+        """
+        ids = sorted({int(edge_id) for edge_id in edge_ids})
+        for edge_id in ids:
+            if not 0 <= edge_id < len(self.edges):
+                raise PricingError(
+                    f"edge {edge_id} out of range [0, {len(self.edges)})"
+                )
+            if edge_id in self._tombstoned:
+                raise PricingError(f"edge {edge_id} is already tombstoned")
+        if not ids:
+            return
+        if self._edge_indptr is not None:
+            sizes = np.diff(self._edge_indptr)
+            keep = np.ones(len(self._edge_items), dtype=bool)
+            for edge_id in ids:
+                keep[self._edge_indptr[edge_id]:self._edge_indptr[edge_id + 1]] = (
+                    False
+                )
+                sizes[edge_id] = 0
+            self._edge_items = self._edge_items[keep]
+            indptr = np.zeros(len(self.edges) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            self._edge_indptr = indptr
+        for edge_id in ids:
+            self.edges[edge_id] = frozenset()
+            self._tombstoned.add(edge_id)
+        self._invalidate_item_views()
+
+    @property
+    def num_tombstoned(self) -> int:
+        """Number of tombstoned (reclaimable) edge slots."""
+        return len(self._tombstoned)
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Fraction of edge slots that are tombstones (compaction trigger)."""
+        if not self.edges:
+            return 0.0
+        return len(self._tombstoned) / len(self.edges)
+
+    def compact(self) -> dict[int, int]:
+        """Drop tombstoned edge slots, returning the old → new edge-id map.
+
+        Organically empty edges (queries that conflict with nothing) are
+        kept — only slots explicitly tombstoned are reclaimed. All CSR
+        caches are invalidated and rebuilt lazily.
+        """
+        if not self._tombstoned:
+            return {index: index for index in range(len(self.edges))}
+        keep = [
+            index
+            for index in range(len(self.edges))
+            if index not in self._tombstoned
+        ]
+        mapping = {old: new for new, old in enumerate(keep)}
+        self.edges = [self.edges[index] for index in keep]
+        if self.labels is not None:
+            self.labels = [self.labels[index] for index in keep]
+        self._tombstoned = set()
+        self._edge_indptr = None
+        self._edge_items = None
+        self._invalidate_item_views()
+        return mapping
 
     # ------------------------------------------------------------------
     # CSR incidence arrays

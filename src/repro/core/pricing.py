@@ -254,3 +254,44 @@ class XOSPricing(PricingFunction):
 def zero_pricing(num_items: int) -> ItemPricing:
     """The all-zero item pricing (sells everything, revenue zero)."""
     return ItemPricing(np.zeros(num_items))
+
+
+def extend_pricing(
+    pricing: PricingFunction,
+    num_items: int,
+    new_item_weight: float | None = None,
+) -> PricingFunction:
+    """Extend a pricing function's item universe to ``num_items`` items.
+
+    Used by the online-delta path when support instances are added: weights
+    of existing items are untouched, so every bundle without new items keeps
+    a bit-identical price. New items default to the mean existing weight
+    (a neutral prior until the seller re-optimizes); bundle-uniform pricing
+    is item-agnostic and passes through unchanged. Tabular set pricings are
+    explicit functions of a fixed universe and cannot be extended.
+    """
+    if isinstance(pricing, UniformBundlePricing):
+        return pricing
+    if isinstance(pricing, ItemPricing):
+        current = len(pricing.weights)
+        if current >= num_items:
+            return pricing
+        if new_item_weight is None:
+            fill = float(pricing.weights.mean()) if current else 0.0
+        else:
+            fill = float(new_item_weight)
+        extended = np.concatenate(
+            [pricing.weights, np.full(num_items - current, fill)]
+        )
+        return ItemPricing(extended)
+    if isinstance(pricing, XOSPricing):
+        return XOSPricing(
+            [
+                extend_pricing(component, num_items, new_item_weight)
+                for component in pricing.components
+            ]
+        )
+    raise PricingError(
+        f"pricing family {type(pricing).__name__!r} cannot extend to new "
+        f"items; re-optimize instead"
+    )

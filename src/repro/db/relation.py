@@ -16,7 +16,8 @@ from repro.exceptions import SchemaError
 class Relation:
     """An in-memory table.
 
-    Mutation is only supported through :meth:`insert` (bulk load) and the
+    Mutation is only supported through :meth:`insert` (bulk load),
+    :meth:`set_cell` (the online base-patch path), and the
     copy-on-write helpers used by the support machinery
     (:meth:`with_cell_replaced`, :meth:`with_row_deleted`,
     :meth:`with_row_inserted`), which return new relations sharing row storage
@@ -62,6 +63,30 @@ class Relation:
             column if isinstance(column, int) else self.schema.column_index(column)
         )
         return self._rows[row_index][column_index]
+
+    def set_cell(self, row_index: int, column: str | int, value: Value) -> None:
+        """Replace one cell in place (the online base-patch path).
+
+        Unlike :meth:`with_cell_replaced` this mutates the shared row
+        storage, so every holder of this relation — in particular the
+        conflict backends, which capture the base database by reference —
+        observes the change without a rebuild.
+        """
+        column_index = (
+            column if isinstance(column, int) else self.schema.column_index(column)
+        )
+        if not 0 <= row_index < len(self._rows):
+            raise SchemaError(
+                f"row index {row_index} out of range for table {self.schema.name!r}"
+            )
+        if not self.schema.columns[column_index].dtype.accepts(value):
+            raise SchemaError(
+                f"value {value!r} invalid for column "
+                f"{self.schema.name}.{self.schema.columns[column_index].name}"
+            )
+        row = list(self._rows[row_index])
+        row[column_index] = value
+        self._rows[row_index] = tuple(row)
 
     def column_values(self, column: str | int) -> list[Value]:
         """All values of one column, in row order."""

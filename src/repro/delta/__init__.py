@@ -1,0 +1,46 @@
+"""Staged online market mutations (accept → validate → apply / cancel).
+
+See :mod:`repro.delta.types` for the op vocabulary,
+:mod:`repro.delta.log` for the staged log with monotone version stamps, and
+:mod:`repro.delta.apply` for validation and the in-place apply path.
+"""
+
+from repro.delta.apply import DeltaEffect, apply_to_support, validate_op
+from repro.delta.log import (
+    APPLIED,
+    CANCELLED,
+    REJECTED,
+    STAGED,
+    DeltaLog,
+    DeltaLogCounters,
+    DeltaRecord,
+)
+from repro.delta.types import (
+    AddInstance,
+    DeltaOp,
+    InsertBaseRows,
+    PatchBase,
+    RetireInstances,
+    delta_from_dict,
+    delta_to_dict,
+)
+
+__all__ = [
+    "APPLIED",
+    "CANCELLED",
+    "REJECTED",
+    "STAGED",
+    "AddInstance",
+    "DeltaEffect",
+    "DeltaLog",
+    "DeltaLogCounters",
+    "DeltaOp",
+    "DeltaRecord",
+    "InsertBaseRows",
+    "PatchBase",
+    "RetireInstances",
+    "apply_to_support",
+    "delta_from_dict",
+    "delta_to_dict",
+    "validate_op",
+]

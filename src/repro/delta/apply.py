@@ -1,0 +1,210 @@
+"""Validate and apply market deltas to a support set.
+
+The validate stage is all-or-nothing: a :class:`DeltaValidationError` means
+the market was not touched. The apply stage mutates the support set (and
+through it the shared base database) *in place* and returns a
+:class:`DeltaEffect` — the exact invalidation footprint the layers above
+use for surgical cache invalidation and touched-edge re-pricing.
+
+Soundness of the footprint rests on the column-pruning lemma the conflict
+backends already rely on: a support instance can conflict with ``Q`` only
+if it patches a (table, column) pair ``Q`` references, and a base patch can
+change ``Q(D)`` only if ``Q`` references the patched pair. Base-row inserts
+can change any query over the table (e.g. a MIN over an untouched column),
+so they invalidate by whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.delta.types import (
+    AddInstance,
+    DeltaOp,
+    InsertBaseRows,
+    PatchBase,
+    RetireInstances,
+)
+from repro.exceptions import DeltaValidationError, SchemaError, SupportError
+from repro.support.delta import SupportInstance
+from repro.support.generator import SupportSet
+
+
+@dataclass(frozen=True)
+class DeltaEffect:
+    """The invalidation footprint of one applied delta.
+
+    ``column_pairs`` lists the (table, column) pairs whose referencing
+    queries may change; ``whole_tables`` lists tables where *any* reference
+    invalidates (base-row inserts). Cached entries whose referenced columns
+    are disjoint from both stay bit-exact.
+    """
+
+    kind: str
+    column_pairs: frozenset[tuple[str, str]] = frozenset()
+    whole_tables: frozenset[str] = frozenset()
+    added_ids: tuple[int, ...] = ()
+    retired_ids: tuple[int, ...] = ()
+    base_changed: bool = False
+    data_version: int | None = field(default=None, compare=False)
+
+    @property
+    def touched_tables(self) -> frozenset[str]:
+        return frozenset(table for table, _ in self.column_pairs) | self.whole_tables
+
+    def invalidates(
+        self, columns: frozenset[tuple[str, str]] | None
+    ) -> bool:
+        """Whether an entry with the given referenced columns may change.
+
+        ``None`` means the entry's footprint is unknown (e.g. restored from
+        a snapshot without metadata) — invalidate conservatively.
+        """
+        if columns is None:
+            return True
+        if self.column_pairs & columns:
+            return True
+        if self.whole_tables and any(
+            table in self.whole_tables for table, _ in columns
+        ):
+            return True
+        return False
+
+
+def _require_table(support: SupportSet, table: str):
+    if not support.base.has_table(table):
+        raise DeltaValidationError(f"unknown table {table!r}")
+    return support.base.table(table)
+
+
+def _validate_cell(support: SupportSet, table: str, row_index: int, column: str, value) -> None:
+    relation = _require_table(support, table)
+    if not relation.schema.has_column(column):
+        raise DeltaValidationError(
+            f"table {table!r} has no column {column!r}"
+        )
+    if not 0 <= row_index < len(relation):
+        raise DeltaValidationError(
+            f"row index {row_index} out of range for table {table!r} "
+            f"({len(relation)} rows)"
+        )
+    dtype = relation.schema.column(column).dtype
+    if not dtype.accepts(value):
+        raise DeltaValidationError(
+            f"value {value!r} invalid for column {table}.{column}"
+        )
+
+
+def validate_op(op: DeltaOp, support: SupportSet) -> None:
+    """Raise :class:`DeltaValidationError` unless ``op`` is safe to apply."""
+    if isinstance(op, AddInstance):
+        if not op.deltas:
+            raise DeltaValidationError("add_instance requires cell deltas")
+        seen = set()
+        for delta in op.deltas:
+            _validate_cell(support, delta.table, delta.row_index, delta.column, delta.value)
+            relation = support.base.table(delta.table)
+            if delta.value == relation.cell(delta.row_index, delta.column):
+                raise DeltaValidationError(
+                    f"delta on {delta.table}[{delta.row_index}].{delta.column} "
+                    f"equals the base value {delta.value!r} (no-op neighbor)"
+                )
+            if delta.key() in seen:
+                raise DeltaValidationError(
+                    f"duplicate delta for cell {delta.key()}"
+                )
+            seen.add(delta.key())
+        return
+    if isinstance(op, RetireInstances):
+        if not op.instance_ids:
+            raise DeltaValidationError("retire_instances requires instance ids")
+        if len(set(op.instance_ids)) != len(op.instance_ids):
+            raise DeltaValidationError("duplicate instance ids in retire")
+        for instance_id in op.instance_ids:
+            if not 0 <= instance_id < len(support):
+                raise DeltaValidationError(
+                    f"instance {instance_id} out of range [0, {len(support)})"
+                )
+            if support.is_retired(instance_id):
+                raise DeltaValidationError(
+                    f"instance {instance_id} is already retired"
+                )
+        return
+    if isinstance(op, PatchBase):
+        _validate_cell(support, op.table, op.row_index, op.column, op.value)
+        relation = support.base.table(op.table)
+        if op.value == relation.cell(op.row_index, op.column):
+            raise DeltaValidationError(
+                f"patch of {op.table}[{op.row_index}].{op.column} equals the "
+                f"current value {op.value!r}"
+            )
+        # A live neighbor whose delta on this cell equals the new base value
+        # would become a no-op neighbor — exactly what SupportInstance
+        # construction forbids. Refuse rather than silently degrade.
+        key = (op.table.lower(), op.column.lower())
+        for instance_id in support.instances_touching_column(op.table, op.column):
+            for delta in support.instance(instance_id).deltas:
+                if (
+                    (delta.table.lower(), delta.column.lower()) == key
+                    and delta.row_index == op.row_index
+                    and delta.value == op.value
+                ):
+                    raise DeltaValidationError(
+                        f"patch would make instance {instance_id}'s delta on "
+                        f"{op.table}[{op.row_index}].{op.column} a no-op"
+                    )
+        return
+    if isinstance(op, InsertBaseRows):
+        relation = _require_table(support, op.table)
+        if not op.rows:
+            raise DeltaValidationError("insert_base_rows requires rows")
+        for row in op.rows:
+            try:
+                relation.schema.validate_row(tuple(row))
+            except SchemaError as exc:
+                raise DeltaValidationError(
+                    f"row {row!r} invalid for table {op.table!r}: {exc}"
+                ) from exc
+        return
+    raise DeltaValidationError(f"unknown delta op {op!r}")
+
+
+def apply_to_support(op: DeltaOp, support: SupportSet) -> DeltaEffect:
+    """Apply a *validated* op in place and return its footprint."""
+    if isinstance(op, AddInstance):
+        instance_id = len(support)
+        try:
+            instance = SupportInstance(instance_id, tuple(op.deltas))
+        except SupportError as exc:
+            raise DeltaValidationError(str(exc)) from exc
+        support.append_instances([instance])
+        return DeltaEffect(
+            kind=op.kind,
+            column_pairs=instance.touched_columns,
+            added_ids=(instance_id,),
+        )
+    if isinstance(op, RetireInstances):
+        pairs: set[tuple[str, str]] = set()
+        for instance_id in op.instance_ids:
+            pairs.update(support.instance(instance_id).touched_columns)
+        support.retire_instances(list(op.instance_ids))
+        return DeltaEffect(
+            kind=op.kind,
+            column_pairs=frozenset(pairs),
+            retired_ids=tuple(sorted(op.instance_ids)),
+        )
+    if isinstance(op, PatchBase):
+        support.patch_base(op.table, op.row_index, op.column, op.value)
+        return DeltaEffect(
+            kind=op.kind,
+            column_pairs=op.touched_columns,
+            base_changed=True,
+        )
+    if isinstance(op, InsertBaseRows):
+        support.insert_base_rows(op.table, list(op.rows))
+        return DeltaEffect(
+            kind=op.kind,
+            whole_tables=frozenset({op.table.lower()}),
+            base_changed=True,
+        )
+    raise DeltaValidationError(f"unknown delta op {op!r}")

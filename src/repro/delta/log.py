@@ -1,0 +1,146 @@
+"""The staged delta log: accept → validate → apply / cancel.
+
+A :class:`DeltaLog` is the market's mutation inbox. ``accept`` stages a
+typed op and returns a delta id; the serving tier later ``apply``-ies it
+(validating first) or the submitter ``cancel``-s it. Every applied delta is
+stamped with a monotonically increasing ``data_version`` — the high-water
+mark persisted in snapshots so a warm restore can refuse state older than
+the live log.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.delta.types import DeltaOp
+from repro.exceptions import DeltaError
+
+STAGED = "staged"
+APPLIED = "applied"
+CANCELLED = "cancelled"
+REJECTED = "rejected"
+
+
+@dataclass
+class DeltaRecord:
+    """One staged mutation and its lifecycle state."""
+
+    delta_id: int
+    op: DeltaOp
+    status: str = STAGED
+    data_version: int | None = None  #: stamp assigned when applied
+    error: str | None = None  #: validation message when rejected
+
+
+@dataclass
+class DeltaLogCounters:
+    """Lifetime counters, exported through service stats and ``/metrics``."""
+
+    accepted: int = 0
+    applied: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "applied": self.applied,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass
+class DeltaLog:
+    """Thread-safe staged mutation log with monotone version stamps."""
+
+    start_version: int = 0
+    _records: dict[int, DeltaRecord] = field(default_factory=dict, repr=False)
+    _next_id: int = field(default=1, repr=False)
+    _applied_version: int = field(init=False, repr=False)
+    _counters: DeltaLogCounters = field(
+        default_factory=DeltaLogCounters, repr=False
+    )
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        self._applied_version = self.start_version
+
+    @property
+    def applied_version(self) -> int:
+        """The data version of the most recently applied delta."""
+        return self._applied_version
+
+    @property
+    def counters(self) -> DeltaLogCounters:
+        return self._counters
+
+    def accept(self, op: DeltaOp) -> int:
+        """Stage a delta, returning its id."""
+        with self._lock:
+            delta_id = self._next_id
+            self._next_id += 1
+            self._records[delta_id] = DeltaRecord(delta_id=delta_id, op=op)
+            self._counters.accepted += 1
+            return delta_id
+
+    def get(self, delta_id: int) -> DeltaRecord:
+        with self._lock:
+            record = self._records.get(delta_id)
+        if record is None:
+            raise DeltaError(f"unknown delta id {delta_id}")
+        return record
+
+    def staged_op(self, delta_id: int) -> DeltaOp:
+        """The op of a still-staged delta (typed error otherwise)."""
+        record = self.get(delta_id)
+        if record.status != STAGED:
+            raise DeltaError(
+                f"delta {delta_id} is {record.status}, not {STAGED}"
+            )
+        return record.op
+
+    def cancel(self, delta_id: int) -> DeltaRecord:
+        """Cancel a staged delta; applied/cancelled deltas cannot be."""
+        with self._lock:
+            record = self._records.get(delta_id)
+            if record is None:
+                raise DeltaError(f"unknown delta id {delta_id}")
+            if record.status != STAGED:
+                raise DeltaError(
+                    f"cannot cancel delta {delta_id}: it is {record.status}"
+                )
+            record.status = CANCELLED
+            self._counters.cancelled += 1
+            return record
+
+    def mark_applied(self, delta_id: int) -> int:
+        """Stamp a staged delta as applied; returns its data version."""
+        with self._lock:
+            record = self._records.get(delta_id)
+            if record is None:
+                raise DeltaError(f"unknown delta id {delta_id}")
+            if record.status != STAGED:
+                raise DeltaError(
+                    f"cannot apply delta {delta_id}: it is {record.status}"
+                )
+            self._applied_version += 1
+            record.status = APPLIED
+            record.data_version = self._applied_version
+            self._counters.applied += 1
+            return self._applied_version
+
+    def mark_rejected(self, delta_id: int, error: str) -> None:
+        """Record a validation failure; the delta stays in the log."""
+        with self._lock:
+            record = self._records.get(delta_id)
+            if record is None:
+                raise DeltaError(f"unknown delta id {delta_id}")
+            if record.status != STAGED:
+                raise DeltaError(
+                    f"cannot reject delta {delta_id}: it is {record.status}"
+                )
+            record.status = REJECTED
+            record.error = error
+            self._counters.rejected += 1

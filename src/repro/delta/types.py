@@ -1,0 +1,175 @@
+"""Typed market deltas — the staged mutation vocabulary.
+
+Four operations cover the online dynamics of a Qirana-style market:
+
+- :class:`AddInstance` — grow the support set with a fresh neighbor,
+- :class:`RetireInstances` — withdraw support instances (ids stay allocated),
+- :class:`PatchBase` — change one cell of the seller's live database,
+- :class:`InsertBaseRows` — append rows to a base table.
+
+Each op is an immutable value object with a JSON round-trip
+(:func:`delta_to_dict` / :func:`delta_from_dict`) used by the HTTP tier and
+the CLI. Validation and application live in :mod:`repro.delta.apply`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from repro.db.schema import Value
+from repro.exceptions import DeltaError
+from repro.support.delta import CellDelta
+
+
+@dataclass(frozen=True)
+class AddInstance:
+    """Add one support instance, described by its cell deltas.
+
+    The instance id is assigned at apply time (the next consecutive id of
+    the live support set), so staged deltas are position-independent.
+    """
+
+    kind: ClassVar[str] = "add_instance"
+    deltas: tuple[CellDelta, ...]
+
+    @property
+    def touched_columns(self) -> frozenset[tuple[str, str]]:
+        return frozenset(
+            (delta.table.lower(), delta.column.lower()) for delta in self.deltas
+        )
+
+
+@dataclass(frozen=True)
+class RetireInstances:
+    """Withdraw support instances; their ids stay allocated, never reused."""
+
+    kind: ClassVar[str] = "retire_instances"
+    instance_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PatchBase:
+    """Replace one cell of the live base database."""
+
+    kind: ClassVar[str] = "patch_base"
+    table: str
+    row_index: int
+    column: str
+    value: Value
+
+    @property
+    def touched_columns(self) -> frozenset[tuple[str, str]]:
+        return frozenset({(self.table.lower(), self.column.lower())})
+
+
+@dataclass(frozen=True)
+class InsertBaseRows:
+    """Append rows to one base table."""
+
+    kind: ClassVar[str] = "insert_base_rows"
+    table: str
+    rows: tuple[tuple[Value, ...], ...]
+
+
+DeltaOp = Union[AddInstance, RetireInstances, PatchBase, InsertBaseRows]
+
+_KINDS = {
+    AddInstance.kind: AddInstance,
+    RetireInstances.kind: RetireInstances,
+    PatchBase.kind: PatchBase,
+    InsertBaseRows.kind: InsertBaseRows,
+}
+
+
+def delta_to_dict(op: DeltaOp) -> dict:
+    """JSON-safe payload of a delta op (inverse of :func:`delta_from_dict`)."""
+    if isinstance(op, AddInstance):
+        return {
+            "kind": op.kind,
+            "deltas": [
+                {
+                    "table": delta.table,
+                    "row_index": delta.row_index,
+                    "column": delta.column,
+                    "value": delta.value,
+                }
+                for delta in op.deltas
+            ],
+        }
+    if isinstance(op, RetireInstances):
+        return {"kind": op.kind, "instance_ids": list(op.instance_ids)}
+    if isinstance(op, PatchBase):
+        return {
+            "kind": op.kind,
+            "table": op.table,
+            "row_index": op.row_index,
+            "column": op.column,
+            "value": op.value,
+        }
+    if isinstance(op, InsertBaseRows):
+        return {
+            "kind": op.kind,
+            "table": op.table,
+            "rows": [list(row) for row in op.rows],
+        }
+    raise DeltaError(f"unknown delta op {op!r}")
+
+
+def _require(payload: dict, key: str, kinds, kind: str):
+    if key not in payload:
+        raise DeltaError(f"delta payload of kind {kind!r} is missing {key!r}")
+    value = payload[key]
+    if not isinstance(value, kinds):
+        raise DeltaError(
+            f"delta payload field {key!r} has invalid type "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def delta_from_dict(payload: dict) -> DeltaOp:
+    """Parse a delta op from its JSON payload, raising typed errors."""
+    if not isinstance(payload, dict):
+        raise DeltaError("delta payload must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise DeltaError(
+            f"unknown delta kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    if kind == AddInstance.kind:
+        raw_deltas = _require(payload, "deltas", list, kind)
+        if not raw_deltas:
+            raise DeltaError("add_instance requires at least one cell delta")
+        deltas = []
+        for entry in raw_deltas:
+            if not isinstance(entry, dict):
+                raise DeltaError("each cell delta must be a JSON object")
+            deltas.append(
+                CellDelta(
+                    table=_require(entry, "table", str, kind),
+                    row_index=_require(entry, "row_index", int, kind),
+                    column=_require(entry, "column", str, kind),
+                    value=entry.get("value"),
+                )
+            )
+        return AddInstance(deltas=tuple(deltas))
+    if kind == RetireInstances.kind:
+        ids = _require(payload, "instance_ids", list, kind)
+        if not ids or not all(isinstance(i, int) for i in ids):
+            raise DeltaError("retire_instances requires a list of instance ids")
+        return RetireInstances(instance_ids=tuple(ids))
+    if kind == PatchBase.kind:
+        return PatchBase(
+            table=_require(payload, "table", str, kind),
+            row_index=_require(payload, "row_index", int, kind),
+            column=_require(payload, "column", str, kind),
+            value=payload.get("value"),
+        )
+    rows = _require(payload, "rows", list, kind)
+    if not rows or not all(isinstance(row, list) for row in rows):
+        raise DeltaError("insert_base_rows requires a list of row lists")
+    return InsertBaseRows(
+        table=_require(payload, "table", str, kind),
+        rows=tuple(tuple(row) for row in rows),
+    )

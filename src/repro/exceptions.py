@@ -68,6 +68,20 @@ class ServiceError(ReproError):
     """The pricing service was misconfigured or refused a request."""
 
 
+class DeltaError(ReproError):
+    """A market delta could not be staged, applied, or cancelled."""
+
+
+class DeltaValidationError(DeltaError):
+    """A staged delta failed validation and must not be applied.
+
+    Raised by the validate stage of the delta log (e.g. a base patch that
+    would turn a support instance's delta into a no-op, an out-of-range row
+    index, or a retire of an already-retired instance). The delta stays in
+    the log in ``rejected`` state; the market is untouched.
+    """
+
+
 class SnapshotError(ReproError):
     """A persisted market-state snapshot could not be read or parsed.
 

@@ -671,6 +671,281 @@ def template_cache_speedup(
     )
 
 
+def update_churn_speedup(
+    workload_name: str = "uniform",
+    scale: float | None = None,
+    support_size: int = 400,
+    num_queries: int = 30,
+    num_steps: int = 24,
+    seed: int = 0,
+) -> FigureData:
+    """Incremental delta maintenance vs rebuild-from-scratch on a churn stream.
+
+    A live market absorbs a stream of online deltas (base-cell patches,
+    support adds/retires, base-row inserts) through
+    :meth:`~repro.qirana.broker.QueryMarket.apply_delta`: the support set
+    mutates in place, only bundles whose referenced columns intersect the
+    delta's footprint are recomputed, and changed edges are tombstoned +
+    appended in the live CSR hypergraph. The rebuild control re-derives the
+    whole market after every delta — fresh support indexes and delta
+    tensors, fresh conflict engine, full hypergraph over every tracked
+    query — which is what a system without incremental maintenance must do.
+
+    After every step the two markets are compared query-by-query: prices
+    must be *bit-equal* (``==`` on float64, not approximate) and bundles
+    identical, or the figure raises. A third, untimed pass replays the same
+    stream through a :class:`~repro.service.PricingService` to prove the
+    surgical cache invalidation keeps footprint-disjoint quote entries warm:
+    the artifact carries the hit/drop counters.
+    """
+    import itertools
+
+    from repro.core.pricing import extend_pricing
+    from repro.db.schema import ColumnType
+    from repro.delta import (
+        AddInstance,
+        InsertBaseRows,
+        PatchBase,
+        RetireInstances,
+        apply_to_support,
+        validate_op,
+    )
+    from repro.exceptions import DeltaValidationError, ExperimentError
+    from repro.qirana.broker import QueryMarket
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service import PricingService
+    from repro.support.delta import CellDelta
+
+    default_scale, _ = DEFAULT_SCALES[workload_name]
+    resolved_scale = scale if scale is not None else default_scale
+    # Three independent copies of the workload: deltas mutate the base
+    # database in place, so the process-wide ``_cached_workload`` databases
+    # must never be handed to this figure.
+    live_workload = get_workload(workload_name, scale=resolved_scale)
+    oracle_workload = get_workload(workload_name, scale=resolved_scale)
+    service_workload = get_workload(workload_name, scale=resolved_scale)
+    texts = [query.text for query in live_workload.queries[:num_queries]]
+
+    live_support = live_workload.support(size=support_size, seed=seed, mode="row")
+    # The oracle shares the live run's *frozen instance objects*: the
+    # sampler draws values from base cells, so regenerating instances over
+    # the mutated base would describe a different market entirely.
+    orig_instances = list(live_support.instances)
+    base_pricing = uniform_calibrated_pricing(live_support, 100.0)
+
+    market = QueryMarket(live_support)
+    market.set_pricing(base_pricing)
+    market.build_hypergraph(texts)
+
+    # The oracle's persistent support only *carries* the mutations between
+    # steps; each timed rebuild starts from a fresh SupportSet so the
+    # control pays the full cost (indexes, delta tensors, conflict sets).
+    oracle_db = oracle_workload.database
+    oracle_state = SupportSet(oracle_db, list(orig_instances))
+    oracle_pricing = base_pricing
+
+    tables = [
+        name
+        for name in live_support.base.table_names
+        if len(live_support.base.table(name)) > 0
+    ]
+    rng = np.random.default_rng(seed + 1)
+    ticks = itertools.count(1)
+
+    def bumped(dtype: ColumnType, current):
+        """A fresh value of ``dtype`` guaranteed to differ from ``current``."""
+        tick = next(ticks)
+        if dtype is ColumnType.INT:
+            return (int(current) if isinstance(current, int) else 0) + tick
+        if dtype is ColumnType.FLOAT:
+            base = float(current) if isinstance(current, (int, float)) else 0.0
+            return base + tick + 0.5
+        return f"{current}~{tick}" if isinstance(current, str) else f"churn-{tick}"
+
+    def draw_patch() -> PatchBase:
+        for _ in range(64):
+            table = tables[int(rng.integers(len(tables)))]
+            relation = live_support.base.table(table)
+            column = relation.schema.columns[
+                int(rng.integers(len(relation.schema.columns)))
+            ]
+            row = int(rng.integers(len(relation)))
+            op = PatchBase(
+                table, row, column.name,
+                bumped(column.dtype, relation.cell(row, column.name)),
+            )
+            try:
+                validate_op(op, live_support)
+            except DeltaValidationError:
+                continue
+            return op
+        raise ExperimentError("could not draw a valid base patch in 64 tries")
+
+    def draw_add() -> AddInstance:
+        for _ in range(64):
+            donor = orig_instances[int(rng.integers(len(orig_instances)))]
+            deltas = tuple(
+                CellDelta(
+                    delta.table,
+                    delta.row_index,
+                    delta.column,
+                    bumped(
+                        live_support.base.table(delta.table)
+                        .schema.column(delta.column)
+                        .dtype,
+                        delta.value,
+                    ),
+                )
+                for delta in donor.deltas
+            )
+            op = AddInstance(deltas)
+            try:
+                validate_op(op, live_support)
+            except DeltaValidationError:
+                continue
+            return op
+        raise ExperimentError("could not draw a valid add_instance in 64 tries")
+
+    def draw_retire() -> RetireInstances | PatchBase:
+        live_ids = [
+            instance_id
+            for instance_id in range(len(live_support))
+            if instance_id not in live_support.retired_ids
+        ]
+        if len(live_ids) <= support_size // 2:
+            return draw_patch()  # keep the market populated
+        return RetireInstances((live_ids[int(rng.integers(len(live_ids)))],))
+
+    def draw_insert() -> InsertBaseRows:
+        table = tables[int(rng.integers(len(tables)))]
+        schema = live_support.base.table(table).schema
+        row = []
+        for column in schema.columns:
+            tick = next(ticks)
+            if column.dtype is ColumnType.INT:
+                row.append(10_000_000 + tick)
+            elif column.dtype is ColumnType.FLOAT:
+                row.append(10_000_000.5 + tick)
+            else:
+                row.append(f"new-{tick}")
+        return InsertBaseRows(table, (tuple(row),))
+
+    drawers = {
+        "patch": draw_patch,
+        "add": draw_add,
+        "retire": draw_retire,
+        "insert": draw_insert,
+    }
+    cycle = ("patch", "add", "patch", "retire", "add", "patch", "insert", "patch")
+
+    ops = []
+    kind_counts: dict[str, int] = {}
+    incremental_seconds = 0.0
+    rebuild_seconds = 0.0
+    checks = 0
+    for step in range(num_steps):
+        op = drawers[cycle[step % len(cycle)]]()
+        ops.append(op)
+        kind_counts[op.kind] = kind_counts.get(op.kind, 0) + 1
+
+        start = time.perf_counter()
+        market.apply_delta(op)
+        incremental_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        apply_to_support(op, oracle_state)
+        if isinstance(op, AddInstance):
+            oracle_pricing = extend_pricing(oracle_pricing, len(oracle_state))
+        rebuilt = SupportSet(oracle_db, list(oracle_state.instances))
+        rebuilt.retire_instances(sorted(oracle_state.retired_ids))
+        oracle = QueryMarket(rebuilt)
+        oracle.set_pricing(oracle_pricing)
+        oracle.build_hypergraph(texts)
+        oracle_quotes = [oracle.quote(text) for text in texts]
+        rebuild_seconds += time.perf_counter() - start
+
+        # Bit-equality (outside both timings): every quote of the
+        # incrementally-maintained market must match the rebuilt oracle's
+        # exactly — same bundle, same float64 price.
+        for text, expected in zip(texts, oracle_quotes):
+            served = market.quote(text)
+            if served.bundle != expected.bundle or served.price != expected.price:
+                raise ExperimentError(
+                    f"divergence at step {step} ({op.kind}) on {text!r}: "
+                    f"incremental {served.price!r}/{sorted(served.bundle)} vs "
+                    f"rebuild {expected.price!r}/{sorted(expected.bundle)}"
+                )
+            checks += 1
+
+    # Cache-survival proof (untimed): the same stream through a pricing
+    # service. Entries whose referenced columns are disjoint from a delta's
+    # footprint must survive it and serve warm hits afterwards.
+    service_support = service_workload.support(
+        size=support_size, seed=seed, mode="row"
+    )
+    service_market = QueryMarket(service_support)
+    service_market.set_pricing(base_pricing)
+    service = PricingService(service_market, start=False)
+    for text in texts:
+        service.quote(text)
+    for op in ops:
+        service.apply_delta(op)
+        for text in texts:
+            service.quote(text)
+    quote_stats = service.stats().quotes
+
+    speedup = (
+        rebuild_seconds / incremental_seconds
+        if incremental_seconds > 0
+        else float("inf")
+    )
+    rows = [
+        ["rebuild from scratch", f"{rebuild_seconds:.3f}", "1.0x"],
+        ["incremental apply_delta", f"{incremental_seconds:.3f}", f"{speedup:.1f}x"],
+    ]
+    text = format_table(
+        ["maintenance strategy", "churn stream (s)", "speedup"],
+        rows,
+        title=(
+            f"{num_steps} deltas ({', '.join(f'{v} {k}' for k, v in sorted(kind_counts.items()))}) "
+            f"over {len(texts)} tracked queries, |S|={support_size}, "
+            f"{workload_name} workload"
+        ),
+    )
+    text += (
+        f"\nbit-equal checks: {checks} quote comparisons, all exact"
+        f"\nquote cache under churn: {quote_stats.hits} hits served by "
+        f"surviving entries, {quote_stats.delta_drops} delta-invalidated, "
+        f"{quote_stats.misses} misses"
+    )
+    return FigureData(
+        f"updates-churn-{workload_name}",
+        f"incremental delta maintenance vs rebuild ({workload_name})",
+        text,
+        {
+            "seconds": {
+                "rebuild": rebuild_seconds,
+                "incremental": incremental_seconds,
+            },
+            "speedups": {"incremental": speedup},
+            "speedup_reference": "rebuild",
+            "stats": {
+                "steps": num_steps,
+                "queries": len(texts),
+                "support": support_size,
+                "final_support": len(live_support),
+                "retired": len(live_support.retired_ids),
+                "kinds": kind_counts,
+            },
+            "diagnostics": {
+                "bit_equal": True,
+                "bitequal_checks": checks,
+                "quote_cache": quote_stats.as_dict(),
+            },
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Revenue-strategy comparison (beyond the paper: systems scaling)
 # ---------------------------------------------------------------------------

@@ -20,7 +20,7 @@ the CLI, and downstream code can plug in new ones via
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.db.database import Database
@@ -147,6 +147,16 @@ class ConflictBackend:
         table/join side, columnar base tables, compiled plans) override
         this; the default is a no-op. Called by
         :meth:`ConflictSetEngine.build_hypergraph`.
+        """
+
+    def invalidate_tables(self, tables: Iterable[str]) -> None:
+        """Drop any cached state derived from the given base tables.
+
+        Called by the delta subsystem after the shared base database is
+        mutated in place. Backends that rebuild all state per compute (the
+        naive and incremental checkers) need nothing; columnar backends
+        override this to drop per-table batches, join indexes, and compiled
+        plans that embed base-derived masks.
         """
 
     def compute(

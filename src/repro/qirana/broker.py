@@ -21,12 +21,14 @@ import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.hypergraph import Hypergraph, PricingInstance
-from repro.core.pricing import PricingFunction, UniformBundlePricing
+from repro.core.pricing import PricingFunction, UniformBundlePricing, extend_pricing
 from repro.db.database import Database
 from repro.db.query import Query, sql_query
 from repro.db.result import QueryResult
+from repro.delta.apply import DeltaEffect, apply_to_support, validate_op
+from repro.delta.types import DeltaOp
 from repro.exceptions import PricingError
-from repro.qirana.conflict import ConflictSetEngine
+from repro.qirana.conflict import ConflictSetEngine, referenced_columns
 from repro.support.generator import SupportSet
 
 
@@ -48,6 +50,24 @@ class Transaction:
     price: float
 
 
+@dataclass(frozen=True)
+class MarketDeltaReport:
+    """What one applied delta changed, for the serving tier.
+
+    ``updated_prices`` maps every affected cached query text to its
+    post-delta price (computed through the CSR row-gather kernels over the
+    live hypergraph), so quote caches can be re-seeded instead of
+    cold-started. Texts absent from the report kept bit-identical bundles
+    and prices.
+    """
+
+    effect: DeltaEffect
+    affected_texts: tuple[str, ...]
+    updated_bundles: dict[str, frozenset[int]]
+    updated_prices: dict[str, float]
+    compacted: bool = False
+
+
 @dataclass
 class QueryMarket:
     """A Qirana-style data market session.
@@ -58,12 +78,25 @@ class QueryMarket:
     production traffic.
     """
 
+    #: Compact the live hypergraph once this fraction of edges is tombstoned.
+    COMPACT_THRESHOLD = 0.5
+
     support: SupportSet
     pricing: PricingFunction | None = None
     conflict_backend: str = "auto"
     transactions: list[Transaction] = field(default_factory=list)
     _engine: ConflictSetEngine = field(init=False, repr=False)
     _bundle_cache: dict[str, frozenset[int]] = field(default_factory=dict, repr=False)
+    #: Referenced (table, column) pairs per cached text — the surgical
+    #: invalidation footprint. Missing entries (e.g. snapshot-restored
+    #: bundles) are treated as touching everything.
+    _bundle_columns: dict[str, frozenset[tuple[str, str]]] = field(
+        default_factory=dict, repr=False
+    )
+    #: The cumulative live hypergraph over every cached text, maintained by
+    #: append/tombstone as deltas arrive; ``_edge_of`` maps text -> edge id.
+    _live_graph: Hypergraph | None = field(default=None, repr=False)
+    _edge_of: dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self._engine = ConflictSetEngine(self.support, backend=self.conflict_backend)
@@ -99,7 +132,7 @@ class QueryMarket:
         planned = [self._as_query(query) for query in queries]
         hypergraph = self._engine.build_hypergraph(planned)
         for query, edge in zip(planned, hypergraph.edges):
-            self._bundle_cache[query.text] = edge
+            self._track_bundle(query, edge)
         return hypergraph
 
     def build_instance(
@@ -127,6 +160,140 @@ class QueryMarket:
         result = algorithm.run(instance)
         self.pricing = result.pricing
         return result
+
+    # ------------------------------------------------------------------
+    # Online deltas
+    # ------------------------------------------------------------------
+
+    @property
+    def live_hypergraph(self) -> Hypergraph | None:
+        """The cumulative hypergraph over every cached text (None if cold)."""
+        return self._live_graph
+
+    def apply_delta(self, op: DeltaOp) -> MarketDeltaReport:
+        """Validate and apply a market delta, maintaining all derived state.
+
+        The work is proportional to the delta's footprint, not the market:
+
+        - the support set / shared base mutates in place (conflict backends
+          observe it by reference; base-touching deltas additionally drop
+          the backend's per-table columnar caches),
+        - only bundles whose referenced columns intersect the delta's
+          footprint are recomputed — retires shrink bundles exactly
+          (``CS(Q, D)`` loses precisely its retired members), adds decide
+          only the new instance's membership per affected text, base
+          changes recompute the affected conflict sets in one batch,
+        - changed edges are tombstoned + appended in the live CSR
+          hypergraph (compacted past :attr:`COMPACT_THRESHOLD`), and every
+          affected bundle is re-priced through the CSR row-gather kernels.
+        """
+        validate_op(op, self.support)
+        effect = apply_to_support(op, self.support)
+        if effect.base_changed:
+            self._engine.invalidate_tables(effect.touched_tables)
+        graph = self._live_graph
+        if graph is not None and graph.num_items < len(self.support):
+            graph.add_items(len(self.support) - graph.num_items)
+        if effect.added_ids and self.pricing is not None:
+            self.pricing = extend_pricing(self.pricing, len(self.support))
+
+        affected = [
+            text
+            for text in self._bundle_cache
+            if effect.invalidates(self._bundle_columns.get(text))
+        ]
+        updated_bundles = self._updated_bundles(effect, affected)
+        if graph is None and updated_bundles:
+            # Cold market with restored bundles: start the live graph now so
+            # the updated edges (and their re-pricing) have a home.
+            graph = self._live_graph = Hypergraph(len(self.support), [], labels=[])
+
+        compacted = False
+        if graph is not None:
+            stale = [
+                self._edge_of[text]
+                for text in updated_bundles
+                if text in self._edge_of
+            ]
+            if stale:
+                graph.tombstone_edges(stale)
+            for text, bundle in updated_bundles.items():
+                self._edge_of[text] = graph.append_edges(
+                    [bundle], [text]
+                )[0]
+            if graph.tombstone_fraction > self.COMPACT_THRESHOLD:
+                mapping = graph.compact()
+                self._edge_of = {
+                    text: mapping[edge_id]
+                    for text, edge_id in self._edge_of.items()
+                }
+                compacted = True
+        self._bundle_cache.update(updated_bundles)
+
+        updated_prices: dict[str, float] = {}
+        if self.pricing is not None and affected and graph is not None:
+            priced = [text for text in affected if text in self._edge_of]
+            if priced:
+                edge_ids = np.asarray(
+                    [self._edge_of[text] for text in priced], dtype=np.int64
+                )
+                indptr, items = graph.edge_submatrix(edge_ids)
+                prices = self.pricing.price_edges_arrays(indptr, items)
+                updated_prices = {
+                    text: float(price) for text, price in zip(priced, prices)
+                }
+        return MarketDeltaReport(
+            effect=effect,
+            affected_texts=tuple(affected),
+            updated_bundles=updated_bundles,
+            updated_prices=updated_prices,
+            compacted=compacted,
+        )
+
+    def _updated_bundles(
+        self, effect: DeltaEffect, affected: list[str]
+    ) -> dict[str, frozenset[int]]:
+        """Post-delta bundles for every affected text whose edge changed."""
+        updated: dict[str, frozenset[int]] = {}
+        if effect.retired_ids:
+            retired = frozenset(effect.retired_ids)
+            # Exact shrink: retiring instances removes precisely them from
+            # every conflict set (no other membership can change). Scan all
+            # cached bundles, not just column-affected ones: conservative
+            # entries without metadata must shed retired members too.
+            for text, bundle in self._bundle_cache.items():
+                if bundle & retired:
+                    updated[text] = bundle - retired
+            return updated
+        if effect.added_ids:
+            # Existing members keep their membership (their deltas and
+            # Q(D) are unchanged); only the new instances can join, so
+            # decide just them per affected text.
+            added = sorted(effect.added_ids)
+            for text in affected:
+                planned = self._as_query(text)
+                self._bundle_columns[text] = frozenset(
+                    referenced_columns(planned, self.base)
+                )
+                joining = self._engine.backend.compute(
+                    planned, candidates=added
+                ).conflict_set
+                if joining:
+                    updated[text] = self._bundle_cache[text] | joining
+            return updated
+        if effect.base_changed and affected:
+            # Q(D) itself changed for these texts: recompute their conflict
+            # sets in one batch (warming tensors/batches once).
+            planned = [self._as_query(text) for text in affected]
+            self._engine.backend.prepare(planned)
+            for query in planned:
+                self._bundle_columns[query.text] = frozenset(
+                    referenced_columns(query, self.base)
+                )
+                bundle = self._engine.conflict_set(query)
+                if bundle != self._bundle_cache[query.text]:
+                    updated[query.text] = bundle
+        return updated
 
     # ------------------------------------------------------------------
     # Buyer-facing API
@@ -207,8 +374,27 @@ class QueryMarket:
         bundle = self._bundle_cache.get(query.text)
         if bundle is None:
             bundle = self._engine.conflict_set(query)
-            self._bundle_cache[query.text] = bundle
+            self._track_bundle(query, bundle)
         return bundle
+
+    def _track_bundle(self, query: Query, edge: frozenset[int]) -> None:
+        """Record a computed bundle in the cache and the live hypergraph."""
+        text = query.text
+        self._bundle_cache[text] = edge
+        self._bundle_columns[text] = frozenset(
+            referenced_columns(query, self.base)
+        )
+        graph = self._live_graph
+        if graph is None:
+            graph = self._live_graph = Hypergraph(len(self.support), [], labels=[])
+        if graph.num_items < len(self.support):
+            graph.add_items(len(self.support) - graph.num_items)
+        edge_id = self._edge_of.get(text)
+        if edge_id is None:
+            self._edge_of[text] = graph.append_edges([edge], [text])[0]
+        elif graph.edges[edge_id] != edge:
+            graph.tombstone_edges([edge_id])
+            self._edge_of[text] = graph.append_edges([edge], [text])[0]
 
 
 def market_hypergraph(

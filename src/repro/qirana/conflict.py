@@ -127,6 +127,10 @@ class ConflictSetEngine:
             kernels[computation.kernel] = kernels.get(computation.kernel, 0) + 1
         return computation
 
+    def invalidate_tables(self, tables) -> None:
+        """Drop backend caches derived from mutated base tables (delta path)."""
+        self._backend.invalidate_tables(tables)
+
     def template_cache_stats(self) -> dict[str, float] | None:
         """Hit/miss/eviction counters of the backend's template cache.
 

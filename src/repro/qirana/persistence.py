@@ -131,6 +131,9 @@ class MarketState:
     owned: dict[str, frozenset[int]] = field(default_factory=dict)
     total_paid: dict[str, float] = field(default_factory=dict)
     quotes: tuple[QuoteEntry, ...] = ()
+    #: High-water data version of the delta log at snapshot time. A warm
+    #: restore refuses snapshots older than the live log (stale bundles).
+    data_version: int = 0
 
 
 def save_market_state(
@@ -141,6 +144,7 @@ def save_market_state(
     transactions: list[Transaction] | tuple[Transaction, ...] = (),
     ledger: HistoryAwareLedger | None = None,
     quotes: list[QuoteEntry] | tuple[QuoteEntry, ...] = (),
+    data_version: int = 0,
 ) -> None:
     """Persist everything the serving tier needs.
 
@@ -172,6 +176,7 @@ def save_market_state(
             }
             for entry in quotes
         ],
+        "data_version": data_version,
     }
     Path(path).write_text(json.dumps(payload, indent=2))
 
@@ -236,4 +241,5 @@ def _market_state_from_payload(payload: dict) -> MarketState:
             )
             for entry in payload.get("quotes", [])
         ),
+        data_version=int(payload.get("data_version", 0)),
     )

@@ -1526,6 +1526,33 @@ class VectorizedBackend(ConflictBackend):
             self._cascades[source.cascade_key] = cascade
         return cascade
 
+    def invalidate_tables(self, tables) -> None:
+        """Drop base-derived caches touching the given tables (delta path).
+
+        Per-table columnar batches and join-key indexes are dropped only
+        for the mutated tables; cascades are keyed on their full table
+        chain, so any cascade mentioning a mutated table goes. Compiled
+        plans embed :class:`_TableSource` objects whose cached base-pass
+        masks are now stale, so the id-keyed plan cache is cleared
+        wholesale (template entries are data-version stamped and drop on
+        next access; expansions likewise, cleared here for promptness).
+        """
+        keys = {table.lower() for table in tables}
+        if not keys:
+            return
+        for table in list(self._table_batches):
+            if table.lower() in keys:
+                del self._table_batches[table]
+        for cache_key in list(self._join_keys):
+            if cache_key[0].lower() in keys:
+                del self._join_keys[cache_key]
+        for cascade_key in list(self._cascades):
+            chain = cascade_key[0]
+            if any(table.lower() in keys for table in chain):
+                del self._cascades[cascade_key]
+        self._expansions.clear()
+        self._compiled.clear()
+
     def prepare(self, queries) -> None:
         """Warm per-workload caches: compiled plans, base batches, tensors.
 
@@ -2124,6 +2151,10 @@ class AutoBackend(ConflictBackend):
 
     def prepare(self, queries) -> None:
         self._vectorized.prepare(queries)
+
+    def invalidate_tables(self, tables) -> None:
+        self._vectorized.invalidate_tables(tables)
+        self._incremental.invalidate_tables(tables)
 
     def template_stats(self) -> dict:
         return self._vectorized.template_stats()

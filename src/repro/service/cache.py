@@ -29,7 +29,7 @@ LRU order stay consistent under concurrent quoting.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.exceptions import ServiceError
@@ -46,6 +46,8 @@ class CacheStats:
     evictions: int
     stale_drops: int
     generation: int
+    #: Entries dropped by surgical (column-level) delta invalidation.
+    delta_drops: int = 0
 
     @property
     def requests(self) -> int:
@@ -64,6 +66,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "stale_drops": self.stale_drops,
+            "delta_drops": self.delta_drops,
             "generation": self.generation,
             "hit_rate": self.hit_rate,
         }
@@ -82,6 +85,7 @@ class LRUCache:
         self._misses = 0
         self._evictions = 0
         self._stale_drops = 0
+        self._delta_drops = 0
 
     def get(self, key, default=None):
         """Look up ``key``, counting a hit (and refreshing recency) or a miss."""
@@ -123,6 +127,7 @@ class LRUCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 stale_drops=self._stale_drops,
+                delta_drops=self._delta_drops,
                 generation=self._generation(),
             )
 
@@ -131,23 +136,57 @@ class LRUCache:
 
 
 class QuoteCache(LRUCache):
-    """LRU quote cache with generation-based invalidation.
+    """LRU quote cache with generation + surgical column-level invalidation.
 
     Entries are stamped with the pricing generation current when they were
-    computed. :meth:`bump_generation` (called under the service's market
-    lock whenever a new pricing is installed) makes every older entry
-    stale; stale entries are dropped lazily on their next lookup and
-    counted separately from capacity evictions.
+    computed, plus (optionally) the referenced (table, column) pairs of the
+    cached query — the footprint the delta subsystem invalidates against.
+
+    Two invalidation paths coexist:
+
+    - :meth:`bump_generation` — the wholesale path: every older entry
+      becomes stale and is dropped lazily on access. Kept for restores,
+      where no per-entry metadata survives.
+    - :meth:`invalidate` — the surgical path used by market deltas *and*
+      pricing installs (via :meth:`reprice`): only entries whose referenced
+      columns intersect the delta's footprint are dropped (entries without
+      metadata drop conservatively), counted as ``delta_drops``. Each call
+      advances a *delta epoch*; a bounded history of recent footprints lets
+      :meth:`put` decide whether a quote computed before a concurrent
+      invalidation is still exact (its columns are disjoint from every
+      footprint since) or must be discarded.
     """
+
+    #: How many invalidation footprints to retain for the put-race check.
+    INVALIDATION_HISTORY = 64
 
     def __init__(self, capacity: int):
         super().__init__(capacity)
         self._gen = 0
+        self._delta_epoch = 0
+        #: (epoch, column_pairs, whole_tables) of recent invalidations.
+        self._invalidations: deque[tuple[int, frozenset, frozenset]] = deque(
+            maxlen=self.INVALIDATION_HISTORY
+        )
 
     @property
     def generation(self) -> int:
         with self._lock:
             return self._gen
+
+    @property
+    def delta_epoch(self) -> int:
+        with self._lock:
+            return self._delta_epoch
+
+    def stamps(self) -> tuple[int, int]:
+        """(generation, delta epoch) in one consistent snapshot.
+
+        Captured inside the same critical section that computes a quote so
+        :meth:`put` can later decide whether the world moved underneath it.
+        """
+        with self._lock:
+            return self._gen, self._delta_epoch
 
     def bump_generation(self) -> int:
         """Invalidate every current entry; returns the new generation."""
@@ -155,13 +194,70 @@ class QuoteCache(LRUCache):
             self._gen += 1
             return self._gen
 
+    def invalidate(
+        self,
+        column_pairs: frozenset,
+        whole_tables: frozenset = frozenset(),
+    ) -> int:
+        """Surgically drop entries touching the given footprint.
+
+        Entries whose referenced columns intersect ``column_pairs`` (or
+        name a table in ``whole_tables``), and entries without metadata,
+        are removed eagerly; everything else survives bit-exact (the
+        column-pruning lemma: a delta outside a query's referenced columns
+        cannot change its conflict set, hence neither its price). Returns
+        the number of dropped entries.
+        """
+        column_pairs = frozenset(column_pairs)
+        whole_tables = frozenset(whole_tables)
+        with self._lock:
+            self._delta_epoch += 1
+            self._invalidations.append(
+                (self._delta_epoch, column_pairs, whole_tables)
+            )
+            doomed = [
+                key
+                for key, (_, columns, _) in self._entries.items()
+                if self._footprint_hits(columns, column_pairs, whole_tables)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._delta_drops += len(doomed)
+            return len(doomed)
+
+    @staticmethod
+    def _footprint_hits(columns, column_pairs, whole_tables) -> bool:
+        if columns is None:
+            return True
+        if column_pairs and (columns & column_pairs):
+            return True
+        if whole_tables and any(table in whole_tables for table, _ in columns):
+            return True
+        return False
+
+    def reprice(self, fn) -> int:
+        """Atomically rewrite every entry's value through ``fn`` (installs).
+
+        A pricing install changes prices, not conflict sets, so
+        conflict-set-valid entries need re-pricing, not eviction: the
+        generation bumps (refusing in-flight puts computed under the old
+        pricing) and every entry is re-stamped with ``fn(value)`` under the
+        new generation in one critical section. Returns the number of
+        repriced entries.
+        """
+        with self._lock:
+            self._gen += 1
+            for key, (_, columns, value) in list(self._entries.items()):
+                self._entries[key] = (self._gen, columns, fn(value))
+            return len(self._entries)
+
     def get(self, key, default=None):
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return default
-            generation, value = entry
+            generation, _, value = entry
             if generation != self._gen:
                 # Stale pricing: drop the entry so the next miss re-quotes
                 # under the installed pricing.
@@ -173,19 +269,50 @@ class QuoteCache(LRUCache):
             self._hits += 1
             return value
 
-    def put(self, key, value, generation: int | None = None) -> None:
-        """Store ``value`` stamped with ``generation``.
+    def put(
+        self,
+        key,
+        value,
+        generation: int | None = None,
+        columns: frozenset | None = None,
+        delta_epoch: int | None = None,
+    ) -> None:
+        """Store ``value`` stamped with ``generation`` and its footprint.
 
-        The service captures the generation *inside* the same market-lock
-        critical section that computed the quote, so a concurrent pricing
-        install can never stamp an old price as fresh; entries offered with
-        an already-stale generation are simply not stored.
+        The service captures generation and delta epoch *inside* the same
+        market-lock critical section that computed the quote, so a
+        concurrent pricing install can never stamp an old price as fresh.
+        A quote computed before a concurrent surgical invalidation is kept
+        only when its ``columns`` are provably disjoint from every
+        footprint invalidated since its epoch; otherwise it is discarded
+        (including when the bounded history no longer reaches back far
+        enough).
         """
         with self._lock:
             stamp = self._gen if generation is None else generation
             if stamp != self._gen:
                 return
-            self._store(key, (stamp, value))
+            if delta_epoch is not None and delta_epoch != self._delta_epoch:
+                if not self._survives_since(columns, delta_epoch):
+                    return
+            self._store(key, (stamp, columns, value))
+
+    def _survives_since(self, columns, delta_epoch: int) -> bool:
+        """Whether a quote from ``delta_epoch`` is still exact now."""
+        if columns is None:
+            return False
+        if self._invalidations:
+            oldest = self._invalidations[0][0]
+            if oldest > delta_epoch + 1:
+                return False  # history truncated: cannot prove disjointness
+        elif delta_epoch != self._delta_epoch:
+            return False
+        for epoch, column_pairs, whole_tables in self._invalidations:
+            if epoch <= delta_epoch:
+                continue
+            if self._footprint_hits(columns, column_pairs, whole_tables):
+                return False
+        return True
 
     def entries(self) -> list[tuple[object, object]]:
         """The fresh (current-generation) entries, least-recently-used first.
@@ -197,7 +324,7 @@ class QuoteCache(LRUCache):
         with self._lock:
             return [
                 (key, value)
-                for key, (generation, value) in self._entries.items()
+                for key, (generation, _, value) in self._entries.items()
                 if generation == self._gen
             ]
 

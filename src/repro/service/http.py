@@ -15,6 +15,13 @@ puts a real wire in front of either tier using nothing but stdlib
   history-aware (marginal pricing + holdings update), otherwise it is a
   fresh-price sale. The answer's columns/rows ride along when the buyer
   pays.
+- ``POST /delta`` — staged online market mutations (see
+  :mod:`repro.delta`): ``{"action": "accept"|"apply"|"cancel", "delta":
+  {...} | "delta_id": N}``. ``accept`` stages a delta and returns its id,
+  ``apply`` (the default) validates and applies a staged id or an inline
+  payload, ``cancel`` withdraws a staged delta. Validation failures are
+  400s with the typed error; the tier's delta counters ride along in
+  ``/metrics``.
 - ``GET /healthz`` — liveness: 200 whenever the process serves.
 - ``GET /readyz`` — readiness: 200 while accepting pricing traffic, 503
   the moment a drain starts (load balancers stop routing here *before*
@@ -378,6 +385,14 @@ class PricingHTTPServer:
             if not self._ready:
                 return self._json_error(503, "service is draining")
             return await self._priced_request(path, headers, body)
+        if path == "/delta":
+            if method != "POST":
+                return self._json_error(405, "delta is POST-only")
+            if body.startswith(b"\x00oversized"):
+                return self._json_error(413, "request body too large")
+            if not self._ready:
+                return self._json_error(503, "service is draining")
+            return await self._delta_request(body)
         return self._json_error(404, f"unknown path {path!r}")
 
     async def _priced_request(
@@ -430,6 +445,79 @@ class PricingHTTPServer:
             "application/json",
             json.dumps(_jsonable(response)).encode(),
         )
+
+    async def _delta_request(self, body: bytes) -> tuple[int, str, bytes]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return self._json_error(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            return self._json_error(400, "request body must be a JSON object")
+        action = payload.get("action", "apply")
+        if action not in ("accept", "apply", "cancel"):
+            return self._json_error(
+                400, f'action must be "accept", "apply", or "cancel", got {action!r}'
+            )
+        loop = asyncio.get_running_loop()
+        # Counted as in-flight like priced requests: a drain waits for a
+        # delta mid-apply instead of snapshotting a half-mutated market.
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            response = await loop.run_in_executor(
+                self._pool, self._do_delta, action, payload
+            )
+        except ReproError as exc:
+            return self._json_error(400, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — the wire must not die
+            return self._json_error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        return 200, "application/json", json.dumps(_jsonable(response)).encode()
+
+    def _do_delta(self, action: str, payload: dict) -> dict:
+        delta = payload.get("delta")
+        delta_id = payload.get("delta_id")
+        if delta_id is not None and (
+            isinstance(delta_id, bool) or not isinstance(delta_id, int)
+        ):
+            raise ServiceError('"delta_id" must be an integer')
+        if action == "accept":
+            if not isinstance(delta, dict):
+                raise ServiceError('accept needs a "delta" object')
+            staged = self.service.accept_delta(delta)
+            return {"action": "accept", "delta_id": staged, "status": "staged"}
+        if action == "cancel":
+            if delta_id is None:
+                raise ServiceError('cancel needs a staged "delta_id"')
+            record = self.service.cancel_delta(delta_id)
+            return {
+                "action": "cancel",
+                "delta_id": record.delta_id,
+                "status": record.status,
+            }
+        if delta_id is not None:
+            target = delta_id
+        elif isinstance(delta, dict):
+            target = delta
+        else:
+            raise ServiceError('apply needs a "delta" object or a staged "delta_id"')
+        result = self.service.apply_delta(target)
+        # PricingService returns a MarketDeltaReport, the sharded tier the
+        # bare DeltaEffect; the wire exposes the common effect surface.
+        effect = getattr(result, "effect", result)
+        return {
+            "action": "apply",
+            "status": "applied",
+            "data_version": self.service.data_version,
+            "kind": effect.kind,
+            "column_pairs": sorted(list(pair) for pair in effect.column_pairs),
+            "whole_tables": sorted(effect.whole_tables),
+            "added_ids": list(effect.added_ids),
+            "retired_ids": list(effect.retired_ids),
+        }
 
     def _observe(self, text: str, seconds: float) -> None:
         home = getattr(self.service, "home_shard", None)

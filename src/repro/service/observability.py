@@ -162,6 +162,7 @@ def _cache_samples(
         ("misses", "counter", "lookups that missed"),
         ("evictions", "counter", "capacity evictions from"),
         ("stale_drops", "counter", "stale entries dropped from"),
+        ("delta_drops", "counter", "delta-invalidated entries dropped from"),
     ):
         name = f"{prefix}_{metric}_total"
         out.declare(name, kind, f"{help_verb} the {help_noun}.")
@@ -274,6 +275,23 @@ def render_metrics(
         "repro_transactions_total", "counter", "Completed sales on the ledger."
     )
     out.sample("repro_transactions_total", {}, float(transactions))
+
+    deltas = payload.get("deltas")
+    if deltas is not None:
+        for metric in ("accepted", "applied", "cancelled", "rejected"):
+            name = f"repro_deltas_{metric}_total"
+            out.declare(
+                name, "counter", f"Market deltas {metric} by the staged log."
+            )
+            out.sample(name, {}, float(deltas.get(metric, 0)))
+        out.declare(
+            "repro_data_version",
+            "gauge",
+            "High-water data version of applied market deltas.",
+        )
+        out.sample(
+            "repro_data_version", {}, float(payload.get("data_version", 0))
+        )
 
     if ready is not None:
         out.declare(

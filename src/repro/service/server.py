@@ -53,8 +53,15 @@ from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.pricing import PricingFunction
 from repro.db.database import Database
 from repro.db.query import Query
-from repro.exceptions import PricingError
-from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
+from repro.delta.log import DeltaLog, DeltaRecord
+from repro.delta.types import DeltaOp, delta_from_dict
+from repro.exceptions import DeltaValidationError, PricingError, SnapshotError
+from repro.qirana.broker import (
+    MarketDeltaReport,
+    PriceQuote,
+    QueryMarket,
+    Transaction,
+)
 from repro.qirana.history import HistoryAwareLedger, MarginalQuote
 from repro.qirana.persistence import QuoteEntry, load_market_state, save_market_state
 from repro.service.batching import BatcherStats, BatchRequest, MicroBatcher
@@ -74,6 +81,10 @@ class ServiceStats:
     #: Counters of the conflict engine's compiled-template cache (shape
     #: fingerprint -> batch plan); ``None`` when the backend has no cache.
     templates: dict | None = None
+    #: Delta-log lifecycle counters (accepted/applied/cancelled/rejected).
+    deltas: dict | None = None
+    #: High-water data version of the applied delta log.
+    data_version: int = 0
 
     @property
     def batches(self) -> int:
@@ -112,6 +123,8 @@ class ServiceStats:
             "shed_rate": self.batcher.shed_rate,
             "transactions": self.transactions,
             "template_cache": self.templates,
+            "deltas": self.deltas,
+            "data_version": self.data_version,
         }
 
 
@@ -232,6 +245,7 @@ class PricingService(CanonicalServingMixin):
         self._quotes = QuoteCache(cache_capacity)
         self._plans = LRUCache(plan_memo_capacity)
         self._ledger = HistoryAwareLedger(market.pricing)
+        self._delta_log = DeltaLog()
         self._batcher = MicroBatcher(
             self._execute,
             max_batch_size=max_batch_size,
@@ -276,11 +290,21 @@ class PricingService(CanonicalServingMixin):
     # ------------------------------------------------------------------
 
     def install_pricing(self, pricing: PricingFunction) -> None:
-        """Install a new pricing; every cached quote is invalidated."""
+        """Install a new pricing; cached quotes are re-priced, not dropped.
+
+        An install changes prices but not conflict sets, so every cached
+        entry's bundle is still exact — the cache is atomically rewritten
+        with prices under the new function (and its generation bumped, so
+        quotes still in flight under the old pricing are refused).
+        """
         with self._market_lock:
             self.market.set_pricing(pricing)
             self._ledger.pricing = pricing
-            self._quotes.bump_generation()
+            self._quotes.reprice(
+                lambda quote: PriceQuote(
+                    quote.query_text, pricing.price(quote.bundle), quote.bundle
+                )
+            )
 
     def optimize_pricing(
         self,
@@ -291,9 +315,67 @@ class PricingService(CanonicalServingMixin):
         """Run a pricing algorithm on a workload and install the result."""
         with self._market_lock:
             result = self.market.optimize_pricing(queries, valuations, algorithm)
-            self._ledger.pricing = result.pricing
-            self._quotes.bump_generation()
+            pricing = result.pricing
+            self._ledger.pricing = pricing
+            self._quotes.reprice(
+                lambda quote: PriceQuote(
+                    quote.query_text, pricing.price(quote.bundle), quote.bundle
+                )
+            )
         return result
+
+    # ------------------------------------------------------------------
+    # Online deltas
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        return self._delta_log
+
+    @property
+    def data_version(self) -> int:
+        """High-water data version of applied deltas."""
+        return self._delta_log.applied_version
+
+    def accept_delta(self, op: DeltaOp | dict) -> int:
+        """Stage a delta for later apply/cancel; returns its id."""
+        if isinstance(op, dict):
+            op = delta_from_dict(op)
+        return self._delta_log.accept(op)
+
+    def cancel_delta(self, delta_id: int) -> DeltaRecord:
+        """Cancel a staged delta (typed error if not staged)."""
+        return self._delta_log.cancel(delta_id)
+
+    def apply_delta(self, delta: DeltaOp | dict | int) -> MarketDeltaReport:
+        """Validate and apply a delta under the market lock.
+
+        Accepts a staged delta id, a raw op, or a JSON payload (raw ops are
+        auto-accepted into the log first, so every applied mutation leaves
+        an audit record). Quotes in flight complete against the pre-delta
+        version: pricing holds the same market lock, and quotes computed
+        before the delta but cached after it are admitted only when their
+        referenced columns are provably disjoint from the delta's footprint.
+        """
+        if isinstance(delta, int):
+            delta_id = delta
+            op = self._delta_log.staged_op(delta_id)
+        else:
+            op = delta_from_dict(delta) if isinstance(delta, dict) else delta
+            delta_id = self._delta_log.accept(op)
+        with self._market_lock:
+            try:
+                report = self.market.apply_delta(op)
+            except DeltaValidationError as exc:
+                self._delta_log.mark_rejected(delta_id, str(exc))
+                raise
+            self._delta_log.mark_applied(delta_id)
+            # Adding instances may have extended the installed pricing's
+            # item universe; keep the marginal-pricing ledger in step.
+            self._ledger.pricing = self.market.pricing
+            effect = report.effect
+            self._quotes.invalidate(effect.column_pairs, effect.whole_tables)
+        return report
 
     @property
     def pricing(self) -> PricingFunction | None:
@@ -359,6 +441,7 @@ class PricingService(CanonicalServingMixin):
                     QuoteEntry(key, quote.query_text, quote.price, quote.bundle)
                     for key, quote in self._quotes.entries()
                 ],
+                data_version=self._delta_log.applied_version,
             )
 
     def restore(self, path: str | Path) -> None:
@@ -369,9 +452,20 @@ class PricingService(CanonicalServingMixin):
         Restored quotes were priced under the restored pricing, so they are
         re-stamped fresh: the previous working set serves as cache hits
         without touching the conflict engine.
+
+        A snapshot whose delta high-water mark is older than the live log's
+        is refused with a typed :class:`SnapshotError` — restoring it would
+        silently serve pre-delta bundles and prices.
         """
         state = load_market_state(path)
+        if state.data_version < self._delta_log.applied_version:
+            raise SnapshotError(
+                f"snapshot {str(path)!r} has data version "
+                f"{state.data_version}, older than the live delta log "
+                f"({self._delta_log.applied_version}); refusing to restore"
+            )
         with self._market_lock:
+            self._delta_log = DeltaLog(start_version=state.data_version)
             self.market.set_pricing(state.pricing)
             self._ledger.pricing = state.pricing
             self.market._bundle_cache.update(state.bundles)
@@ -396,6 +490,8 @@ class PricingService(CanonicalServingMixin):
             batcher=self._batcher.stats(),
             transactions=len(self.market.transactions),
             templates=self.market.engine.template_cache_stats(),
+            deltas=self._delta_log.counters.as_dict(),
+            data_version=self._delta_log.applied_version,
         )
 
     # ------------------------------------------------------------------
@@ -422,10 +518,21 @@ class PricingService(CanonicalServingMixin):
             quotes = self.market.quote_batch([item.payload for item in batch])
             # Captured inside the same critical section that priced the
             # batch: a concurrent install_pricing cannot stamp these quotes
-            # with a generation they were not priced under.
-            generation = self._quotes.generation
-        for item, quote in zip(batch, quotes):
-            self._quotes.put(item.key, quote, generation=generation)
+            # with a generation they were not priced under, and a concurrent
+            # apply_delta advances the epoch these puts are checked against.
+            generation, delta_epoch = self._quotes.stamps()
+            columns = [
+                self.market._bundle_columns.get(item.payload.text)
+                for item in batch
+            ]
+        for item, quote, pairs in zip(batch, quotes, columns):
+            self._quotes.put(
+                item.key,
+                quote,
+                generation=generation,
+                columns=pairs,
+                delta_epoch=delta_epoch,
+            )
         return quotes
 
 

@@ -32,6 +32,13 @@ the way a deployed pricing tier would — by partitioning the support set:
 - **Admission control** — per-shard queues are bounded; overload sheds with
   :class:`~repro.exceptions.ServiceOverloadError` and per-shard
   accepted/shed counters instead of queueing unboundedly.
+- **Online deltas** — :meth:`ShardedPricingService.apply_delta` scatters a
+  staged market mutation (see :mod:`repro.delta`) across the shards under
+  the market lock plus every shard's compute lock: adds route to their
+  round-robin home shard, retires map to the owning shard's local ids, and
+  base changes notify every partition over the shared database. Per-shard
+  quote and partial-bundle caches are invalidated *surgically* — only
+  entries whose referenced columns intersect the delta's footprint drop.
 - **Warm-start snapshots** — :meth:`ShardedPricingService.snapshot`
   persists the canonical quote cache (plus pricing, transactions, and buyer
   histories) through :mod:`repro.qirana.persistence`; :meth:`restore`
@@ -56,10 +63,26 @@ import numpy as np
 
 from repro.core.algorithms.base import PricingAlgorithm, PricingResult
 from repro.core.hypergraph import Hypergraph, PricingInstance
-from repro.core.pricing import PricingFunction
+from repro.core.pricing import PricingFunction, extend_pricing
 from repro.db.database import Database
 from repro.db.query import Query, sql_query
-from repro.exceptions import PricingError, ServiceError, ServiceOverloadError
+from repro.delta import (
+    DeltaEffect,
+    DeltaLog,
+    DeltaOp,
+    DeltaRecord,
+    apply_to_support,
+    delta_from_dict,
+    validate_op,
+)
+from repro.exceptions import (
+    DeltaValidationError,
+    PricingError,
+    ServiceError,
+    ServiceOverloadError,
+    SnapshotError,
+)
+from repro.qirana.backends import referenced_columns
 from repro.qirana.broker import PriceQuote, QueryMarket, Transaction
 from repro.qirana.history import HistoryAwareLedger
 from repro.qirana.persistence import QuoteEntry, load_market_state, save_market_state
@@ -120,6 +143,7 @@ def partition_support(support: SupportSet, num_shards: int) -> list[ShardPartiti
             f"cannot split {len(support)} support instances into "
             f"{num_shards} shards"
         )
+    retired = support.retired_ids
     partitions = []
     for shard in range(num_shards):
         members = support.instances[shard::num_shards]
@@ -127,11 +151,22 @@ def partition_support(support: SupportSet, num_shards: int) -> list[ShardPartiti
             dataclasses.replace(instance, instance_id=local)
             for local, instance in enumerate(members)
         ]
+        shard_support = SupportSet(support.base, reindexed)
+        # Retirement must survive partitioning: a tier built over an
+        # already-mutated support (restart, oracle rebuild) must not
+        # resurrect retired instances inside its shards.
+        local_retired = [
+            local
+            for local in range(len(members))
+            if shard + local * num_shards in retired
+        ]
+        if local_retired:
+            shard_support.retire_instances(local_retired)
         partitions.append(
             ShardPartition(
                 shard_id=shard,
                 num_shards=num_shards,
-                support=SupportSet(support.base, reindexed),
+                support=shard_support,
                 global_ids=np.arange(shard, len(support), num_shards, dtype=np.int64),
             )
         )
@@ -209,7 +244,16 @@ class _ShardWorker:
     ):
         self.partition = partition
         self.market = QueryMarket(partition.support, conflict_backend=conflict_backend)
-        self._bundles = LRUCache(bundle_cache_capacity)
+        # QuoteCache, not plain LRU: partial bundles carry their query's
+        # referenced-column footprint so market deltas can invalidate them
+        # surgically (entries seeded from snapshots have no footprint and
+        # drop conservatively).
+        self._bundles = QuoteCache(bundle_cache_capacity)
+        #: Serializes conflict computation against market deltas: a delta
+        #: holds every shard's compute lock, so in-flight flushes finish
+        #: against the pre-delta partition and later flushes see the
+        #: post-delta one — never a half-mutated support set.
+        self.compute_lock = threading.Lock()
         self.batcher = MicroBatcher(
             self._execute,
             max_batch_size=max_batch_size,
@@ -232,24 +276,31 @@ class _ShardWorker:
         # key scatter independently but are computed once per shard, and
         # each unique key consults the cache exactly once (the hit/miss
         # counters feed BENCH_service.json — no synthetic read-back hits).
-        resolved: dict[str, frozenset[int]] = {}
-        missing: dict[str, Query] = {}
-        for request in batch:
-            if request.key in resolved or request.key in missing:
-                continue
-            partial = self._bundles.get(request.key)
-            if partial is None:
-                missing[request.key] = request.payload
-            else:
-                resolved[request.key] = partial
-        if missing:
-            hypergraph = self.market.engine.build_hypergraph(list(missing.values()))
-            for key, edge in zip(missing, hypergraph.edges):
-                partial = self.partition.to_global(edge)
-                self._bundles.put(key, partial)
-                # Answer from the computed value, not a cache read-back: an
-                # LRU smaller than the flush may already have evicted it.
-                resolved[key] = partial
+        with self.compute_lock:
+            resolved: dict[str, frozenset[int]] = {}
+            missing: dict[str, Query] = {}
+            for request in batch:
+                if request.key in resolved or request.key in missing:
+                    continue
+                partial = self._bundles.get(request.key)
+                if partial is None:
+                    missing[request.key] = request.payload
+                else:
+                    resolved[request.key] = partial
+            if missing:
+                hypergraph = self.market.engine.build_hypergraph(
+                    list(missing.values())
+                )
+                for (key, planned), edge in zip(missing.items(), hypergraph.edges):
+                    partial = self.partition.to_global(edge)
+                    columns = frozenset(
+                        referenced_columns(planned, self.market.base)
+                    )
+                    self._bundles.put(key, partial, columns=columns)
+                    # Answer from the computed value, not a cache read-back:
+                    # an LRU smaller than the flush may already have evicted
+                    # it.
+                    resolved[key] = partial
         return [resolved[request.key] for request in batch]
 
 
@@ -295,6 +346,10 @@ class ShardedServiceStats:
     shards: tuple[ShardStats, ...]
     plans: CacheStats
     transactions: int
+    #: Delta-log counters (accepted/applied/cancelled/rejected).
+    deltas: dict | None = None
+    #: High-water data version of applied market deltas.
+    data_version: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -324,6 +379,7 @@ class ShardedServiceStats:
             "misses": misses,
             "evictions": sum(shard.quotes.evictions for shard in self.shards),
             "stale_drops": sum(shard.quotes.stale_drops for shard in self.shards),
+            "delta_drops": sum(shard.quotes.delta_drops for shard in self.shards),
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 
@@ -337,6 +393,8 @@ class ShardedServiceStats:
             "requests_shed": self.shed,
             "shed_rate": self.shed_rate,
             "transactions": self.transactions,
+            "deltas": self.deltas,
+            "data_version": self.data_version,
         }
 
 
@@ -417,6 +475,7 @@ class ShardedPricingService(CanonicalServingMixin):
         self._market_lock = threading.RLock()
         self._pricing: PricingFunction | None = None
         self._ledger = HistoryAwareLedger(None)
+        self._delta_log = DeltaLog()
         self.transactions: list[Transaction] = []
         # Per-home-shard admission accounting (a request is accepted when
         # every shard admitted its sub-request).
@@ -466,12 +525,23 @@ class ShardedPricingService(CanonicalServingMixin):
         return sum(transaction.price for transaction in self.transactions)
 
     def install_pricing(self, pricing: PricingFunction) -> None:
-        """Install a new pricing; every shard's cached quotes invalidate."""
+        """Install a new pricing; every shard's cached quotes re-price.
+
+        An install changes prices, not conflict sets, so each shard's
+        cached quotes are rewritten in place under the new pricing instead
+        of being dropped — the working set stays warm across an install.
+        """
         with self._market_lock:
             self._pricing = pricing
             self._ledger.pricing = pricing
             for cache in self._quote_caches:
-                cache.bump_generation()
+                cache.reprice(
+                    lambda quote: PriceQuote(
+                        quote.query_text,
+                        pricing.price(quote.bundle),
+                        quote.bundle,
+                    )
+                )
 
     def optimize_pricing(
         self,
@@ -516,31 +586,157 @@ class ShardedPricingService(CanonicalServingMixin):
         """Price many queries; misses scatter together for batching."""
         resolved = [self._canonical(query) for query in queries]
         results: list[PriceQuote | None] = []
-        misses: list[tuple[int, Query, str]] = []
+        misses: list[tuple[int, Query, str, tuple[int, int]]] = []
         for position, (planned, key) in enumerate(resolved):
-            cached = self._quote_caches[self._router.route(key)].get(key)
+            cache = self._quote_caches[self._router.route(key)]
+            cached = cache.get(key)
             if cached is not None:
                 results.append(self._restamp(cached, planned))
             else:
                 results.append(None)
-                misses.append((position, planned, key))
+                # Stamps captured before the scatter: if a delta lands while
+                # the shards compute, the cache put can tell whether this
+                # quote's footprint was invalidated in between.
+                misses.append((position, planned, key, cache.stamps()))
         if misses:
             if self._pricing is None:
                 raise PricingError(
                     "no pricing installed; call install_pricing first"
                 )
             gathers = self._scatter(
-                [(planned, key) for _, planned, key in misses]
+                [(planned, key) for _, planned, key, _ in misses]
             )
-            for (position, planned, key), requests in zip(misses, gathers):
+            for (position, planned, key, stamps), requests in zip(misses, gathers):
                 bundle = self._gather(requests)
-                results[position] = self._price_and_cache(planned, key, bundle)
+                results[position] = self._price_and_cache(
+                    planned, key, bundle, stamps
+                )
         return results
 
     def home_shard(self, query: Query | str) -> int:
         """The shard owning this query's cache entry and accounting."""
         _, key = self._canonical(query)
         return self._router.route(key)
+
+    # ------------------------------------------------------------------
+    # Online deltas
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        return self._delta_log
+
+    @property
+    def data_version(self) -> int:
+        """High-water data version of applied deltas."""
+        return self._delta_log.applied_version
+
+    def accept_delta(self, op: DeltaOp | dict) -> int:
+        """Stage a delta for later apply/cancel; returns its id."""
+        if isinstance(op, dict):
+            op = delta_from_dict(op)
+        return self._delta_log.accept(op)
+
+    def cancel_delta(self, delta_id: int) -> DeltaRecord:
+        """Cancel a staged delta (typed error if not staged)."""
+        return self._delta_log.cancel(delta_id)
+
+    def apply_delta(self, delta: DeltaOp | dict | int) -> DeltaEffect:
+        """Validate and apply a delta across every shard, atomically.
+
+        Accepts a staged delta id, a raw op, or a JSON payload (raw ops are
+        auto-accepted into the log first). The delta holds the tier's market
+        lock *and* every shard's compute lock, so each in-flight scatter
+        either finished computing against the pre-delta partitions (its
+        cache put is policed by the delta epoch) or starts after the
+        mutation is complete on every shard — never against a half-mutated
+        tier.
+        """
+        if isinstance(delta, int):
+            delta_id = delta
+            op = self._delta_log.staged_op(delta_id)
+        else:
+            op = delta_from_dict(delta) if isinstance(delta, dict) else delta
+            delta_id = self._delta_log.accept(op)
+        with self._market_lock:
+            for worker in self._workers:
+                worker.compute_lock.acquire()
+            try:
+                try:
+                    validate_op(op, self.support)
+                except DeltaValidationError as exc:
+                    self._delta_log.mark_rejected(delta_id, str(exc))
+                    raise
+                effect = self._apply_to_shards(op)
+                self._delta_log.mark_applied(delta_id)
+                if effect.added_ids and self._pricing is not None:
+                    # New instances extend the installed pricing's item
+                    # universe; existing weights are untouched, so every
+                    # surviving cached price stays bit-identical.
+                    self._pricing = extend_pricing(
+                        self._pricing, len(self.support)
+                    )
+                    self._ledger.pricing = self._pricing
+                for worker, cache in zip(self._workers, self._quote_caches):
+                    worker._bundles.invalidate(
+                        effect.column_pairs, effect.whole_tables
+                    )
+                    cache.invalidate(effect.column_pairs, effect.whole_tables)
+            finally:
+                for worker in self._workers:
+                    worker.compute_lock.release()
+        return effect
+
+    def _apply_to_shards(self, op: DeltaOp) -> DeltaEffect:
+        """Mutate the full support and scatter the change to the shards."""
+        effect = apply_to_support(op, self.support)
+        if effect.base_changed:
+            # The base Database object is shared by every partition, so the
+            # full-support apply above already mutated the rows each shard
+            # sees; shards only need notification (drop materialized rows,
+            # bump data versions) plus backend-side invalidation of cached
+            # table batches and compiled plans.
+            for worker in self._workers:
+                worker.partition.support.note_base_change()
+                worker.market.engine.invalidate_tables(effect.touched_tables)
+        for global_id in effect.added_ids:
+            self._add_to_shard(global_id)
+        if effect.retired_ids:
+            self._retire_from_shards(effect.retired_ids)
+        return effect
+
+    def _add_to_shard(self, global_id: int) -> None:
+        """Route a freshly added instance to its round-robin home shard."""
+        shard = global_id % self.num_shards
+        partition = self.partitions[shard]
+        instance = self.support.instances[global_id]
+        local = len(partition.support.instances)
+        partition.support.append_instances(
+            [dataclasses.replace(instance, instance_id=local)]
+        )
+        # ShardPartition is frozen; swap in a copy with the grown id map.
+        # The worker's market keeps pricing the same (mutated-in-place)
+        # SupportSet object, and global_ids stays sorted ascending (new
+        # global ids always exceed existing ones), preserving the
+        # searchsorted lookup in _retire_from_shards.
+        updated = dataclasses.replace(
+            partition,
+            global_ids=np.append(partition.global_ids, np.int64(global_id)),
+        )
+        self.partitions[shard] = updated
+        self._workers[shard].partition = updated
+        self._shard_of = np.append(self._shard_of, np.int64(shard))
+
+    def _retire_from_shards(self, retired_ids) -> None:
+        """Retire global instances on whichever shards own them."""
+        by_shard: dict[int, list[int]] = {}
+        for global_id in retired_ids:
+            shard = int(self._shard_of[global_id])
+            partition = self.partitions[shard]
+            local = int(np.searchsorted(partition.global_ids, global_id))
+            by_shard.setdefault(shard, []).append(local)
+        for shard, local_ids in by_shard.items():
+            self.partitions[shard].support.retire_instances(local_ids)
 
     # ------------------------------------------------------------------
     # Snapshot / restore
@@ -563,6 +759,7 @@ class ShardedPricingService(CanonicalServingMixin):
                 transactions=self.transactions,
                 ledger=self._ledger,
                 quotes=entries,
+                data_version=self._delta_log.applied_version,
             )
 
     def restore(self, path: str | Path) -> None:
@@ -574,7 +771,14 @@ class ShardedPricingService(CanonicalServingMixin):
         the restored working set again.
         """
         state = load_market_state(path)
+        if state.data_version < self._delta_log.applied_version:
+            raise SnapshotError(
+                f"snapshot data version {state.data_version} is older than "
+                f"the live market ({self._delta_log.applied_version}); its "
+                f"bundles predate applied deltas and must not be served"
+            )
         with self._market_lock:
+            self._delta_log = DeltaLog(start_version=state.data_version)
             self._pricing = state.pricing
             self._ledger.pricing = state.pricing
             self.transactions[:] = list(state.transactions)
@@ -623,6 +827,8 @@ class ShardedPricingService(CanonicalServingMixin):
             ),
             plans=self._plans.stats(),
             transactions=len(self.transactions),
+            deltas=self._delta_log.counters.as_dict(),
+            data_version=self._delta_log.applied_version,
         )
 
     # ------------------------------------------------------------------
@@ -633,14 +839,16 @@ class ShardedPricingService(CanonicalServingMixin):
         return sql_query(text, self.base)
 
     def _quote_planned(self, planned: Query, key: str) -> PriceQuote:
-        cached = self._quote_caches[self._router.route(key)].get(key)
+        cache = self._quote_caches[self._router.route(key)]
+        cached = cache.get(key)
         if cached is not None:
             return self._restamp(cached, planned)
         if self._pricing is None:
             raise PricingError("no pricing installed; call install_pricing first")
+        stamps = cache.stamps()
         (requests,) = self._scatter([(planned, key)])
         bundle = self._gather(requests)
-        return self._price_and_cache(planned, key, bundle)
+        return self._price_and_cache(planned, key, bundle, stamps)
 
     def _scatter(
         self, resolved: list[tuple[Query, str]]
@@ -689,7 +897,11 @@ class ShardedPricingService(CanonicalServingMixin):
         return frozenset().union(*partials)
 
     def _price_and_cache(
-        self, planned: Query, key: str, bundle: frozenset[int]
+        self,
+        planned: Query,
+        key: str,
+        bundle: frozenset[int],
+        stamps: tuple[int, int] | None = None,
     ) -> PriceQuote:
         cache = self._quote_caches[self._router.route(key)]
         with self._market_lock:
@@ -699,10 +911,21 @@ class ShardedPricingService(CanonicalServingMixin):
                 )
             price = self._pricing.price(bundle)
             # Captured inside the pricing critical section: a concurrent
-            # install_pricing cannot stamp this quote as fresh.
+            # install_pricing cannot stamp this quote as fresh. The delta
+            # epoch, by contrast, comes from *before* the scatter (when
+            # given): the bundle was computed against that epoch's market,
+            # and the put below keeps it only if no delta since touched the
+            # query's referenced columns.
             generation = cache.generation
+            delta_epoch = stamps[1] if stamps is not None else None
         quote = PriceQuote(planned.text, price, bundle)
-        cache.put(key, quote, generation=generation)
+        cache.put(
+            key,
+            quote,
+            generation=generation,
+            columns=frozenset(referenced_columns(planned, self.base)),
+            delta_epoch=delta_epoch,
+        )
         return quote
 
     def _append_transaction(self, transaction: Transaction) -> None:

@@ -48,6 +48,7 @@ class SupportSet:
         self._materialized: dict[int, Database] = {}
         self._delta_tensors: dict[str, object] = {}
         self._data_version = 0
+        self._retired: set[int] = set()
 
     @property
     def data_version(self) -> int:
@@ -75,6 +76,8 @@ class SupportSet:
 
     def materialize(self, instance_id: int) -> Database:
         """The neighbor database for ``instance_id`` (cached)."""
+        if instance_id in self._retired:
+            raise SupportError(f"instance {instance_id} is retired")
         cached = self._materialized.get(instance_id)
         if cached is None:
             cached = self.instances[instance_id].materialize(self.base)
@@ -100,6 +103,125 @@ class SupportSet:
         """Drop materialized databases and delta tensors (memory relief)."""
         self._materialized.clear()
         self._delta_tensors.clear()
+        self._data_version += 1
+
+    # ------------------------------------------------------------------
+    # Online mutation (delta subsystem)
+    # ------------------------------------------------------------------
+
+    @property
+    def retired_ids(self) -> frozenset[int]:
+        """Ids of retired instances (allocated but no longer live)."""
+        return frozenset(self._retired)
+
+    def is_retired(self, instance_id: int) -> bool:
+        return instance_id in self._retired
+
+    @property
+    def live_size(self) -> int:
+        """Number of non-retired instances."""
+        return len(self.instances) - len(self._retired)
+
+    def append_instances(self, instances: list[SupportInstance]) -> list[int]:
+        """Append fresh instances, maintaining indexes and cached tensors.
+
+        Ids must continue the consecutive sequence (the next id is
+        ``len(self)``). Cached delta tensors are extended incrementally —
+        tables the new instances touch gain their pairs, all others only
+        grow their ``pair_counts``.
+        """
+        from repro.support.tensor import extend_delta_tensor, grow_delta_tensor
+
+        next_id = len(self.instances)
+        for offset, instance in enumerate(instances):
+            if instance.instance_id != next_id + offset:
+                raise SupportError(
+                    f"appended instance ids must be consecutive, expected "
+                    f"{next_id + offset}, got {instance.instance_id}"
+                )
+        self.instances.extend(instances)
+        touched: set[str] = set()
+        for instance in instances:
+            for table in instance.touched_tables:
+                self._by_table.setdefault(table, []).append(instance.instance_id)
+                touched.add(table)
+            for pair in instance.touched_columns:
+                self._by_column.setdefault(pair, []).append(instance.instance_id)
+        for key, tensor in list(self._delta_tensors.items()):
+            if key in touched:
+                self._delta_tensors[key] = extend_delta_tensor(
+                    tensor, instances, len(self.instances)
+                )
+            else:
+                self._delta_tensors[key] = grow_delta_tensor(
+                    tensor, len(self.instances)
+                )
+        self._data_version += 1
+        return [instance.instance_id for instance in instances]
+
+    def retire_instances(self, instance_ids: list[int]) -> None:
+        """Retire instances in place (ids stay allocated, never reused).
+
+        Retired instances disappear from the pruning indexes and cached
+        tensors, so no conflict engine can ever decide them as candidates
+        again; existing hyperedges must be updated by the caller (the market
+        drops retired items from every touched edge).
+        """
+        ids = sorted({int(instance_id) for instance_id in instance_ids})
+        for instance_id in ids:
+            if not 0 <= instance_id < len(self.instances):
+                raise SupportError(
+                    f"instance {instance_id} out of range "
+                    f"[0, {len(self.instances)})"
+                )
+            if instance_id in self._retired:
+                raise SupportError(f"instance {instance_id} is already retired")
+        from repro.support.tensor import retire_from_delta_tensor
+
+        for instance_id in ids:
+            instance = self.instances[instance_id]
+            for table in instance.touched_tables:
+                bucket = self._by_table.get(table)
+                if bucket is not None and instance_id in bucket:
+                    bucket.remove(instance_id)
+            for pair in instance.touched_columns:
+                bucket = self._by_column.get(pair)
+                if bucket is not None and instance_id in bucket:
+                    bucket.remove(instance_id)
+            self._materialized.pop(instance_id, None)
+            self._retired.add(instance_id)
+        for key, tensor in list(self._delta_tensors.items()):
+            self._delta_tensors[key] = retire_from_delta_tensor(tensor, ids)
+        self._data_version += 1
+
+    def patch_base(self, table: str, row_index: int, column: str, value) -> None:
+        """Patch one base cell in place and refresh derived caches.
+
+        The shared :class:`Database` object is mutated directly, so conflict
+        backends holding ``support.base`` by reference observe the change.
+        Cached delta tensors stay valid (they encode *instance* deltas and
+        row indices, neither of which a cell patch changes); materialized
+        neighbors embed base rows and are dropped.
+        """
+        self.base.table(table).set_cell(row_index, column, value)
+        self.note_base_change()
+
+    def insert_base_rows(self, table: str, rows) -> None:
+        """Append validated rows to a base table in place."""
+        self.base.table(table).insert_many(rows)
+        self.note_base_change()
+
+    def note_base_change(self) -> None:
+        """Record that the shared base database was mutated elsewhere.
+
+        Sharded serving mutates the one shared base once and then notifies
+        each shard's :class:`SupportSet` view through this hook. Cached
+        delta tensors survive (patches keep row counts, inserts only append
+        rows, so stored row indices stay valid); materialized neighbors are
+        rebuilt lazily and the data version bumps so stamped template
+        entries drop on next access.
+        """
+        self._materialized.clear()
         self._data_version += 1
 
     def restrict(self, size: int) -> "SupportSet":

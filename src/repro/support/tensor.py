@@ -58,17 +58,15 @@ class TableDeltaTensor:
         return mask, np.nonzero(mask)[0]
 
 
-def build_delta_tensor(support, table: str) -> TableDeltaTensor:
-    """The delta tensor of ``table`` for every instance of ``support``."""
-    key = table.lower()
+def _pairs_of(instances, table_key: str):
+    """Accumulate the (instance, row) pairs + per-column patches of a table."""
     pair_instances: list[int] = []
     pair_rows: list[int] = []
     per_column: dict[str, tuple[list[int], list[object]]] = {}
-
-    for instance in support:
+    for instance in instances:
         first_pair: dict[int, int] = {}
         for delta in instance.deltas:
-            if delta.table.lower() != key:
+            if delta.table.lower() != table_key:
                 continue
             position = first_pair.get(delta.row_index)
             if position is None:
@@ -80,7 +78,10 @@ def build_delta_tensor(support, table: str) -> TableDeltaTensor:
             positions, values = per_column.setdefault(column, ([], []))
             positions.append(position)
             values.append(delta.value)
+    return pair_instances, pair_rows, per_column
 
+
+def _column_patches_from(per_column) -> dict[str, ColumnPatches]:
     column_patches = {}
     for column, (positions, values) in per_column.items():
         value_array = np.empty(len(values), dtype=object)
@@ -88,7 +89,24 @@ def build_delta_tensor(support, table: str) -> TableDeltaTensor:
         column_patches[column] = ColumnPatches(
             np.asarray(positions, dtype=np.int64), value_array
         )
+    return column_patches
 
+
+def build_delta_tensor(support, table: str) -> TableDeltaTensor:
+    """The delta tensor of ``table`` for every *live* instance of ``support``.
+
+    Retired instances (see :meth:`SupportSet.retire_instances`) keep their
+    ids allocated but contribute no pairs, so they can never be decided as
+    conflicting by the batch kernels.
+    """
+    key = table.lower()
+    retired = getattr(support, "retired_ids", frozenset())
+    live = (
+        instance
+        for instance in support
+        if instance.instance_id not in retired
+    )
+    pair_instances, pair_rows, per_column = _pairs_of(live, key)
     pair_instance = np.asarray(pair_instances, dtype=np.int64)
     pair_counts = np.bincount(pair_instance, minlength=len(support)).astype(np.int64)
     return TableDeltaTensor(
@@ -96,6 +114,116 @@ def build_delta_tensor(support, table: str) -> TableDeltaTensor:
         num_instances=len(support),
         pair_instance=pair_instance,
         pair_row=np.asarray(pair_rows, dtype=np.int64),
+        pair_counts=pair_counts,
+        column_patches=_column_patches_from(per_column),
+        touched_instances=np.unique(pair_instance),
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance (online delta subsystem)
+# ----------------------------------------------------------------------
+
+
+def grow_delta_tensor(tensor: TableDeltaTensor, num_instances: int) -> TableDeltaTensor:
+    """The same tensor re-sized for a larger support set (no new pairs).
+
+    Used when instances are appended that do not touch ``tensor.table`` —
+    only ``pair_counts`` grows (with zeros).
+    """
+    if num_instances < tensor.num_instances:
+        raise ValueError("a delta tensor can only grow")
+    if num_instances == tensor.num_instances:
+        return tensor
+    pair_counts = np.zeros(num_instances, dtype=np.int64)
+    pair_counts[: tensor.num_instances] = tensor.pair_counts
+    return TableDeltaTensor(
+        table=tensor.table,
+        num_instances=num_instances,
+        pair_instance=tensor.pair_instance,
+        pair_row=tensor.pair_row,
+        pair_counts=pair_counts,
+        column_patches=tensor.column_patches,
+        touched_instances=tensor.touched_instances,
+    )
+
+
+def extend_delta_tensor(
+    tensor: TableDeltaTensor, instances, num_instances: int
+) -> TableDeltaTensor:
+    """Append the pairs of freshly added ``instances`` to an existing tensor.
+
+    The new instances' ids must all exceed every id already present (they are
+    appended at the end of the support set), which keeps the pair arrays
+    grouped by ascending instance id without a re-sort.
+    """
+    pair_instances, pair_rows, per_column = _pairs_of(instances, tensor.table)
+    if not pair_instances:
+        return grow_delta_tensor(tensor, num_instances)
+    base_pairs = tensor.num_pairs
+    if len(tensor.pair_instance) and min(pair_instances) <= int(
+        tensor.pair_instance[-1]
+    ):
+        raise ValueError("extended instances must have ids beyond the tensor's")
+    pair_instance = np.concatenate(
+        [tensor.pair_instance, np.asarray(pair_instances, dtype=np.int64)]
+    )
+    pair_row = np.concatenate(
+        [tensor.pair_row, np.asarray(pair_rows, dtype=np.int64)]
+    )
+    pair_counts = np.bincount(pair_instance, minlength=num_instances).astype(np.int64)
+    column_patches = dict(tensor.column_patches)
+    for column, patches in _column_patches_from(per_column).items():
+        shifted = ColumnPatches(patches.positions + base_pairs, patches.values)
+        existing = column_patches.get(column)
+        if existing is None:
+            column_patches[column] = shifted
+        else:
+            column_patches[column] = ColumnPatches(
+                np.concatenate([existing.positions, shifted.positions]),
+                np.concatenate([existing.values, shifted.values]),
+            )
+    return TableDeltaTensor(
+        table=tensor.table,
+        num_instances=num_instances,
+        pair_instance=pair_instance,
+        pair_row=pair_row,
+        pair_counts=pair_counts,
+        column_patches=column_patches,
+        touched_instances=np.unique(pair_instance),
+    )
+
+
+def retire_from_delta_tensor(
+    tensor: TableDeltaTensor, instance_ids
+) -> TableDeltaTensor:
+    """Drop the pairs of retired instances (ids stay allocated).
+
+    Column-patch positions index into the pair arrays, so they are remapped
+    through the kept-pair prefix sum.
+    """
+    ids = np.asarray(sorted({int(i) for i in instance_ids}), dtype=np.int64)
+    keep = ~np.isin(tensor.pair_instance, ids)
+    if keep.all():
+        return tensor
+    new_position = np.cumsum(keep) - 1  # old pair position -> new position
+    column_patches = {}
+    for column, patches in tensor.column_patches.items():
+        kept = keep[patches.positions]
+        if not kept.any():
+            continue
+        column_patches[column] = ColumnPatches(
+            new_position[patches.positions[kept]], patches.values[kept]
+        )
+    pair_instance = tensor.pair_instance[keep]
+    pair_counts = np.bincount(
+        pair_instance, minlength=tensor.num_instances
+    ).astype(np.int64)
+    return TableDeltaTensor(
+        table=tensor.table,
+        num_instances=tensor.num_instances,
+        pair_instance=pair_instance,
+        pair_row=tensor.pair_row[keep],
         pair_counts=pair_counts,
         column_patches=column_patches,
         touched_instances=np.unique(pair_instance),

@@ -55,8 +55,26 @@ def country_schema() -> TableSchema:
 
 
 @pytest.fixture
-def mini_db(country_schema) -> Database:
+def mini_db_factory(country_schema):
+    """Builder for independent copies of the mini-world database.
+
+    The delta differential tests mutate one copy in place and rebuild an
+    oracle over a second, so a single shared ``mini_db`` would alias them.
+    """
+
+    def build() -> Database:
+        return _build_mini_db(country_schema)
+
+    return build
+
+
+@pytest.fixture
+def mini_db(mini_db_factory) -> Database:
     """Four countries, four cities, three languages — small but join-able."""
+    return mini_db_factory()
+
+
+def _build_mini_db(country_schema) -> Database:
     country = Relation(country_schema)
     country.insert_many(
         [
@@ -111,6 +129,46 @@ def mini_db(country_schema) -> Database:
 def mini_support(mini_db):
     sampler = NeighborSampler(mini_db, rng=np.random.default_rng(11))
     return sampler.generate(40)
+
+
+@pytest.fixture
+def delta_rebuild_oracle(mini_db_factory):
+    """Rebuild-from-scratch market over an identically-mutated mini db.
+
+    ``build(instances, retired, applied, base_pricing, texts)`` replays the
+    base mutations of ``applied`` onto a fresh database copy, wraps the
+    caller's frozen instance objects in a new support set, and replays the
+    live tier's per-add ``extend_pricing`` evolution — the bit-exact oracle
+    the delta differential and concurrency tests compare against.
+    """
+    from repro.core.pricing import extend_pricing
+    from repro.delta import AddInstance, InsertBaseRows, PatchBase
+    from repro.qirana.broker import QueryMarket
+    from repro.support.generator import SupportSet
+
+    def build(instances, retired, applied, base_pricing, texts):
+        db = mini_db_factory()
+        support = SupportSet(db, list(instances))
+        pricing = base_pricing
+        size = len(support) - sum(
+            1 for op in applied if isinstance(op, AddInstance)
+        )
+        for op in applied:
+            if isinstance(op, PatchBase):
+                db.table(op.table).set_cell(op.row_index, op.column, op.value)
+            elif isinstance(op, InsertBaseRows):
+                for row in op.rows:
+                    db.table(op.table).insert(tuple(row))
+            elif isinstance(op, AddInstance):
+                size += 1
+                pricing = extend_pricing(pricing, size)
+        support.retire_instances(sorted(retired))
+        market = QueryMarket(support)
+        market.set_pricing(pricing)
+        market.build_hypergraph(texts)
+        return market
+
+    return build
 
 
 @pytest.fixture

@@ -1,0 +1,292 @@
+"""Randomized delta-churn parity fuzzing against a rebuild-from-scratch oracle.
+
+The incremental delta path (:meth:`QueryMarket.apply_delta`) claims that
+after any sequence of valid market deltas every quote is **bit-equal** to a
+market rebuilt from scratch over an identically-mutated database. This
+suite fuzzes that claim: random fuzz databases and support sets (the same
+generators as the cross-backend parity fuzzer, so primary keys, join keys,
+NULLs, and TEXT columns are all in play), random query workloads from the
+full fuzz grammar, and random churn streams of all four delta kinds drawn
+dtype-aware against the evolving state.
+
+The oracle shares the live run's frozen instance objects and replays the
+base mutations onto a fresh copy of the same database — regenerating
+instances over the mutated base would describe a different market. Every
+few cases the same stream is replayed through a 2-shard
+:class:`ShardedPricingService` to cover the scatter/partition delta path.
+
+Tier-1 runs a reduced case count; ``--runslow`` runs the full suite. The
+base seed is overridable via ``REPRO_FUZZ_SEED``; failures name the seed,
+case, step, and op so every divergence is reproducible from the log alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import extend_pricing
+from repro.db.schema import ColumnType
+from repro.db.testing import (
+    random_fuzz_database,
+    random_fuzz_query_text,
+    random_support_set,
+)
+from repro.delta import (
+    AddInstance,
+    InsertBaseRows,
+    PatchBase,
+    RetireInstances,
+    validate_op,
+)
+from repro.exceptions import DeltaValidationError, QueryError
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service.sharding import ShardedPricingService
+from repro.support.delta import CellDelta
+from repro.support.generator import SupportSet
+
+QUERIES_PER_CASE = 5
+STEPS_PER_CASE = 6
+FULL_CASES = 60
+TIER1_CASES = 20
+
+#: Override to replay a failing run: REPRO_FUZZ_SEED=<seed> pytest ...
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260727"))
+
+
+def _case_count(request) -> int:
+    return FULL_CASES if request.config.getoption("--runslow") else TIER1_CASES
+
+
+class _ChurnDrawer:
+    """Dtype-aware random delta ops, always valid against the live support.
+
+    A strictly increasing tick makes every drawn value fresh: patches never
+    equal the current cell, added instances never duplicate a base cell,
+    inserted rows never collide with existing primary keys. Float values
+    stay multiples of 0.25, so sums remain exact regardless of accumulation
+    order (matching the fuzz database's convention).
+    """
+
+    def __init__(self, support, rng: np.random.Generator):
+        self.support = support
+        self.rng = rng
+        self._tick = 0
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def _bumped(self, dtype: ColumnType, current):
+        tick = self._next_tick()
+        if dtype is ColumnType.INT:
+            return (int(current) if isinstance(current, int) else 0) + tick
+        if dtype is ColumnType.FLOAT:
+            base = float(current) if isinstance(current, (int, float)) else 0.0
+            return base + tick + 0.25
+        return f"{current}~{tick}" if isinstance(current, str) else f"c{tick}"
+
+    def _tables(self) -> list[str]:
+        return [
+            name
+            for name in self.support.base.table_names
+            if len(self.support.base.table(name)) > 0
+        ]
+
+    def patch(self) -> PatchBase:
+        for _ in range(64):
+            tables = self._tables()
+            table = tables[int(self.rng.integers(len(tables)))]
+            relation = self.support.base.table(table)
+            column = relation.schema.columns[
+                int(self.rng.integers(len(relation.schema.columns)))
+            ]
+            row = int(self.rng.integers(len(relation)))
+            op = PatchBase(
+                table, row, column.name,
+                self._bumped(column.dtype, relation.cell(row, column.name)),
+            )
+            try:
+                validate_op(op, self.support)
+            except DeltaValidationError:
+                continue
+            return op
+        pytest.fail("churn drawer could not produce a valid patch in 64 tries")
+
+    def add(self) -> AddInstance:
+        for _ in range(64):
+            tables = self._tables()
+            table = tables[int(self.rng.integers(len(tables)))]
+            relation = self.support.base.table(table)
+            column = relation.schema.columns[
+                int(self.rng.integers(len(relation.schema.columns)))
+            ]
+            row = int(self.rng.integers(len(relation)))
+            delta = CellDelta(
+                table, row, column.name,
+                self._bumped(column.dtype, relation.cell(row, column.name)),
+            )
+            op = AddInstance((delta,))
+            try:
+                validate_op(op, self.support)
+            except DeltaValidationError:
+                continue
+            return op
+        pytest.fail("churn drawer could not produce a valid add in 64 tries")
+
+    def retire(self) -> RetireInstances | PatchBase:
+        live = [
+            instance_id
+            for instance_id in range(len(self.support))
+            if instance_id not in self.support.retired_ids
+        ]
+        if len(live) <= 4:  # keep the market populated
+            return self.patch()
+        return RetireInstances((live[int(self.rng.integers(len(live)))],))
+
+    def insert(self) -> InsertBaseRows:
+        tables = self._tables()
+        table = tables[int(self.rng.integers(len(tables)))]
+        schema = self.support.base.table(table).schema
+        row = []
+        for column in schema.columns:
+            tick = self._next_tick()
+            if column.dtype is ColumnType.INT:
+                row.append(1_000_000 + tick)
+            elif column.dtype is ColumnType.FLOAT:
+                row.append(1_000_000.25 + tick)
+            else:
+                row.append(f"new{tick}")
+        return InsertBaseRows(table, (tuple(row),))
+
+    def draw(self) -> PatchBase | AddInstance | RetireInstances | InsertBaseRows:
+        kind = int(self.rng.integers(5))
+        if kind <= 1:
+            return self.patch()
+        if kind == 2:
+            return self.add()
+        if kind == 3:
+            return self.retire()
+        return self.insert()
+
+
+def _rebuild_oracle(db_seed, instances, retired, applied, base_pricing, texts):
+    db = random_fuzz_database(np.random.default_rng(db_seed))
+    support = SupportSet(db, list(instances))
+    pricing = base_pricing
+    size = len(support) - sum(1 for op in applied if isinstance(op, AddInstance))
+    for op in applied:
+        if isinstance(op, PatchBase):
+            db.table(op.table).set_cell(op.row_index, op.column, op.value)
+        elif isinstance(op, InsertBaseRows):
+            for row in op.rows:
+                db.table(op.table).insert(tuple(row))
+        elif isinstance(op, AddInstance):
+            size += 1
+            pricing = extend_pricing(pricing, size)
+    support.retire_instances(sorted(retired))
+    market = QueryMarket(support)
+    market.set_pricing(pricing)
+    market.build_hypergraph(texts)
+    return market
+
+
+def _run_case(case: int) -> None:
+    rng = np.random.default_rng(BASE_SEED + case)
+    db_seed = int(rng.integers(2**31))
+    live_db = random_fuzz_database(np.random.default_rng(db_seed))
+    support = random_support_set(
+        live_db, rng, size=int(rng.integers(12, 28)), max_deltas=3
+    )
+    orig_instances = list(support.instances)
+
+    texts = []
+    for _ in range(QUERIES_PER_CASE):
+        text = random_fuzz_query_text(rng)
+        try:
+            market_probe = QueryMarket(support)
+            market_probe._as_query(text)
+        except QueryError:  # pragma: no cover - grammar stays in-dialect
+            pytest.fail(f"fuzz grammar produced an unplannable query: {text}")
+        texts.append(text)
+
+    base_pricing = uniform_calibrated_pricing(support, 100.0)
+    market = QueryMarket(support)
+    market.set_pricing(base_pricing)
+    market.build_hypergraph(texts)
+
+    # Every few cases, replay the same stream through the sharded tier over
+    # a third identical database copy (its support shares the same frozen
+    # instance objects), covering the scatter/partition delta path.
+    sharded = None
+    if case % 4 == 0:
+        sharded_db = random_fuzz_database(np.random.default_rng(db_seed))
+        sharded_support = SupportSet(sharded_db, list(orig_instances))
+        sharded = ShardedPricingService(
+            sharded_support, num_shards=2, start=False
+        )
+        sharded.install_pricing(base_pricing)
+        for text in texts:
+            sharded.quote(text)
+
+    drawer = _ChurnDrawer(support, rng)
+    applied: list = []
+    retired: set[int] = set()
+    for step in range(STEPS_PER_CASE):
+        op = drawer.draw()
+        report = market.apply_delta(op)
+        applied.append(op)
+        retired.update(report.effect.retired_ids)
+        if sharded is not None:
+            sharded.apply_delta(op)
+
+        all_instances = orig_instances + [
+            support.instance(i)
+            for i in range(len(orig_instances), len(support))
+        ]
+        oracle = _rebuild_oracle(
+            db_seed, all_instances, retired, applied, base_pricing, texts
+        )
+        for text in texts:
+            served = market.quote(text)
+            expected = oracle.quote(text)
+            if served.bundle != expected.bundle or served.price != expected.price:
+                pytest.fail(
+                    f"churn parity mismatch (seed={BASE_SEED}, case={case}, "
+                    f"step={step}, op={op!r})\n"
+                    f"query: {text}\n"
+                    f"incremental: {served.price!r} {sorted(served.bundle)}\n"
+                    f"rebuild: {expected.price!r} {sorted(expected.bundle)}"
+                )
+            if sharded is not None:
+                shard_quote = sharded.quote(text)
+                if (
+                    shard_quote.bundle != expected.bundle
+                    or shard_quote.price != expected.price
+                ):
+                    pytest.fail(
+                        f"sharded churn mismatch (seed={BASE_SEED}, "
+                        f"case={case}, step={step}, op={op!r})\n"
+                        f"query: {text}\n"
+                        f"sharded: {shard_quote.price!r} "
+                        f"{sorted(shard_quote.bundle)}\n"
+                        f"rebuild: {expected.price!r} {sorted(expected.bundle)}"
+                    )
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_delta_churn_fuzz(request, chunk):
+    """Each chunk runs a quarter of the configured case budget."""
+    cases = _case_count(request)
+    per_chunk = cases // 4
+    for case in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        _run_case(case)
+
+
+def test_tier1_budget_meets_issue_floor():
+    # The tier-1 configuration must cover at least 20 generated cases.
+    assert TIER1_CASES >= 20
+    assert FULL_CASES % 4 == 0 and TIER1_CASES % 4 == 0

@@ -1,0 +1,415 @@
+"""The staged delta subsystem: log lifecycle, wire format, validation,
+differential correctness against a rebuilt oracle, and snapshot versioning.
+
+The differential tests are the subsystem's core claim: after *every* delta,
+each quote of the incrementally-maintained market is **bit-equal** (exact
+``==`` on float64, identical bundles) to a market rebuilt from scratch over
+an identically-mutated copy of the database. The oracle shares the live
+run's frozen instance objects — the sampler draws values from base cells,
+so regenerating instances over the mutated base would describe a different
+market entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.delta import (
+    APPLIED,
+    CANCELLED,
+    STAGED,
+    AddInstance,
+    DeltaLog,
+    InsertBaseRows,
+    PatchBase,
+    RetireInstances,
+    delta_from_dict,
+    delta_to_dict,
+    validate_op,
+)
+from repro.exceptions import (
+    DeltaError,
+    DeltaValidationError,
+    SnapshotError,
+)
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import PricingService
+from repro.service.sharding import ShardedPricingService
+from repro.support.delta import CellDelta
+from repro.support.generator import NeighborSampler, SupportSet
+
+QUERIES = [
+    "select Name from Country",
+    "select Code from Country where Population > 20000000",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+    "select CountryCode from CountryLanguage where Percentage > 90",
+    "select max(LifeExpectancy) from Country",
+    "select Name from Country where Continent = 'Europe'",
+]
+
+#: One delta of every kind, exercising every invalidation class: a patched
+#: referenced column, a support add, retires, and a whole-table insert.
+CHURN = [
+    PatchBase("Country", 1, "Population", 99_000_000),
+    AddInstance((CellDelta("City", 2, "Population", 4_000_000),)),
+    RetireInstances((2, 7)),
+    InsertBaseRows("CountryLanguage", (("IND", "Hindi", 39.9),)),
+    PatchBase("Country", 0, "LifeExpectancy", 80.5),
+]
+
+
+def make_support(db):
+    return NeighborSampler(db, rng=np.random.default_rng(11)).generate(40)
+
+
+class TestDeltaLog:
+    def test_lifecycle_and_counters(self):
+        log = DeltaLog()
+        op = CHURN[0]
+        delta_id = log.accept(op)
+        assert log.get(delta_id).status == STAGED
+        assert log.staged_op(delta_id) is op
+        version = log.mark_applied(delta_id)
+        assert version == 1
+        assert log.applied_version == 1
+        assert log.get(delta_id).status == APPLIED
+        assert log.get(delta_id).data_version == 1
+
+        second = log.accept(CHURN[1])
+        assert log.cancel(second).status == CANCELLED
+        third = log.accept(CHURN[2])
+        log.mark_rejected(third, "boom")
+        assert log.get(third).error == "boom"
+        assert log.applied_version == 1  # only applies advance the version
+        assert log.counters.as_dict() == {
+            "accepted": 3,
+            "applied": 1,
+            "cancelled": 1,
+            "rejected": 1,
+        }
+
+    def test_versions_are_monotone_from_start_version(self):
+        log = DeltaLog(start_version=7)
+        assert log.applied_version == 7
+        first = log.accept(CHURN[0])
+        second = log.accept(CHURN[4])
+        assert log.mark_applied(first) == 8
+        assert log.mark_applied(second) == 9
+
+    def test_terminal_states_are_sticky(self):
+        log = DeltaLog()
+        delta_id = log.accept(CHURN[0])
+        log.mark_applied(delta_id)
+        with pytest.raises(DeltaError, match="applied"):
+            log.cancel(delta_id)
+        with pytest.raises(DeltaError, match="applied"):
+            log.staged_op(delta_id)
+        cancelled = log.accept(CHURN[1])
+        log.cancel(cancelled)
+        with pytest.raises(DeltaError, match="cancelled"):
+            log.mark_applied(cancelled)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(DeltaError, match="unknown delta id"):
+            DeltaLog().get(99)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("op", CHURN, ids=lambda op: op.kind)
+    def test_round_trip(self, op):
+        assert delta_from_dict(delta_to_dict(op)) == op
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(DeltaError, match="unknown delta kind"):
+            delta_from_dict({"kind": "drop_table"})
+
+    def test_missing_field_raises(self):
+        with pytest.raises(DeltaError, match="missing"):
+            delta_from_dict({"kind": "patch_base", "table": "Country"})
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(DeltaError, match="invalid type"):
+            delta_from_dict(
+                {"kind": "patch_base", "table": "Country", "row_index": "one",
+                 "column": "Population", "value": 1}
+            )
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(DeltaError, match="JSON object"):
+            delta_from_dict(["patch_base"])
+
+
+class TestValidation:
+    def test_unknown_table(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="unknown table"):
+            validate_op(PatchBase("Nowhere", 0, "X", 1), mini_support)
+
+    def test_unknown_column(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="no column"):
+            validate_op(PatchBase("Country", 0, "Altitude", 1), mini_support)
+
+    def test_row_out_of_range(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="out of range"):
+            validate_op(PatchBase("Country", 40, "Population", 1), mini_support)
+
+    def test_dtype_mismatch(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="invalid for column"):
+            validate_op(
+                PatchBase("Country", 0, "Population", "many"), mini_support
+            )
+
+    def test_noop_patch_refused(self, mini_support):
+        current = mini_support.base.table("Country").cell(0, "Population")
+        with pytest.raises(DeltaValidationError, match="equals the current"):
+            validate_op(
+                PatchBase("Country", 0, "Population", current), mini_support
+            )
+
+    def test_add_equal_to_base_refused(self, mini_support):
+        base_value = mini_support.base.table("City").cell(1, "Population")
+        op = AddInstance((CellDelta("City", 1, "Population", base_value),))
+        with pytest.raises(DeltaValidationError, match="no-op neighbor"):
+            validate_op(op, mini_support)
+
+    def test_duplicate_cell_in_add_refused(self, mini_support):
+        delta = CellDelta("City", 1, "Population", 42)
+        other = CellDelta("City", 1, "Population", 43)
+        with pytest.raises(DeltaValidationError, match="duplicate delta"):
+            validate_op(AddInstance((delta, other)), mini_support)
+
+    def test_retire_out_of_range(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="out of range"):
+            validate_op(RetireInstances((len(mini_support),)), mini_support)
+
+    def test_double_retire_refused(self, mini_support):
+        mini_support.retire_instances([3])
+        with pytest.raises(DeltaValidationError, match="already retired"):
+            validate_op(RetireInstances((3,)), mini_support)
+
+    def test_patch_creating_noop_neighbor_refused(self, mini_support):
+        # Find a live instance delta and patch the base to its value: the
+        # neighbor would become indistinguishable from the base.
+        instance = mini_support.instance(0)
+        delta = instance.deltas[0]
+        op = PatchBase(delta.table, delta.row_index, delta.column, delta.value)
+        with pytest.raises(DeltaValidationError, match="no-op"):
+            validate_op(op, mini_support)
+
+    def test_invalid_insert_row_refused(self, mini_support):
+        with pytest.raises(DeltaValidationError, match="invalid for table"):
+            validate_op(
+                InsertBaseRows("City", ((1, "OnlyTwoValues"),)), mini_support
+            )
+
+
+def rebuild_oracle(db_factory, instances, retired, churn_upto, base_pricing):
+    """A market rebuilt from scratch over an identically-mutated fresh db.
+
+    ``instances`` are the live run's frozen instance objects (base deltas
+    replayed below recreate the base they were sampled against), and the
+    pricing replays the live tier's per-add ``extend_pricing`` evolution so
+    price comparisons are bit-exact.
+    """
+    from repro.core.pricing import extend_pricing
+
+    db = db_factory()
+    support = SupportSet(db, list(instances))
+    pricing = base_pricing
+    size = len(support) - sum(
+        1 for op in churn_upto if isinstance(op, AddInstance)
+    )
+    for op in churn_upto:
+        if isinstance(op, PatchBase):
+            db.table(op.table).set_cell(op.row_index, op.column, op.value)
+        elif isinstance(op, InsertBaseRows):
+            for row in op.rows:
+                db.table(op.table).insert(tuple(row))
+        elif isinstance(op, AddInstance):
+            size += 1
+            pricing = extend_pricing(pricing, size)
+    support.retire_instances(sorted(retired))
+    market = QueryMarket(support)
+    market.set_pricing(pricing)
+    market.build_hypergraph(QUERIES)
+    return market
+
+
+class TestMarketDifferential:
+    def test_every_delta_kind_matches_rebuild(self, mini_db_factory):
+        live_db = mini_db_factory()
+        support = make_support(live_db)
+        orig_instances = list(support.instances)
+        base_pricing = uniform_calibrated_pricing(support, 100.0)
+        market = QueryMarket(support)
+        market.set_pricing(base_pricing)
+        market.build_hypergraph(QUERIES)
+
+        applied: list = []
+        retired: set[int] = set()
+        for op in CHURN:
+            report = market.apply_delta(op)
+            applied.append(op)
+            retired.update(report.effect.retired_ids)
+            all_instances = orig_instances + [
+                support.instance(i)
+                for i in range(len(orig_instances), len(support))
+            ]
+            oracle = rebuild_oracle(
+                mini_db_factory, all_instances, retired, applied, base_pricing
+            )
+            for sql in QUERIES:
+                served = market.quote(sql)
+                expected = oracle.quote(sql)
+                assert served.bundle == expected.bundle, (op.kind, sql)
+                assert served.price == expected.price, (op.kind, sql)
+
+    def test_rejected_delta_leaves_market_untouched(self, mini_db_factory):
+        support = make_support(mini_db_factory())
+        market = QueryMarket(support)
+        market.set_pricing(uniform_calibrated_pricing(support, 100.0))
+        before = {sql: market.quote(sql) for sql in QUERIES}
+        with pytest.raises(DeltaValidationError):
+            market.apply_delta(RetireInstances((999,)))
+        for sql in QUERIES:
+            after = market.quote(sql)
+            assert after.price == before[sql].price
+            assert after.bundle == before[sql].bundle
+
+
+def make_tier(kind, support, pricing):
+    if kind == "single":
+        market = QueryMarket(support)
+        market.set_pricing(pricing)
+        return PricingService(market, start=False)
+    service = ShardedPricingService(support, num_shards=3, start=False)
+    service.install_pricing(pricing)
+    return service
+
+
+@pytest.mark.parametrize("tier", ["single", "sharded"])
+class TestServiceTierDifferential:
+    def test_churn_stream_matches_rebuild(self, tier, mini_db_factory):
+        live_db = mini_db_factory()
+        support = make_support(live_db)
+        orig_instances = list(support.instances)
+        base_pricing = uniform_calibrated_pricing(support, 100.0)
+        service = make_tier(tier, support, base_pricing)
+        for sql in QUERIES:  # warm every cache before the churn begins
+            service.quote(sql)
+
+        applied: list = []
+        retired: set[int] = set()
+        for op in CHURN:
+            result = service.apply_delta(op)
+            effect = getattr(result, "effect", result)
+            applied.append(op)
+            retired.update(effect.retired_ids)
+            all_instances = orig_instances + [
+                support.instance(i)
+                for i in range(len(orig_instances), len(support))
+            ]
+            oracle = rebuild_oracle(
+                mini_db_factory, all_instances, retired, applied, base_pricing
+            )
+            for sql in QUERIES:
+                served = service.quote(sql)
+                expected = oracle.quote(sql)
+                assert served.bundle == expected.bundle, (op.kind, sql)
+                assert served.price == expected.price, (op.kind, sql)
+
+    def test_stats_expose_log_counters_and_version(self, tier, mini_db_factory):
+        support = make_support(mini_db_factory())
+        service = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        staged = service.accept_delta(delta_to_dict(CHURN[0]))
+        service.apply_delta(staged)
+        cancelled = service.accept_delta(CHURN[4])
+        service.cancel_delta(cancelled)
+        with pytest.raises(DeltaValidationError):
+            service.apply_delta(RetireInstances((999,)))
+        stats = service.stats()
+        assert stats.deltas == {
+            "accepted": 3,
+            "applied": 1,
+            "cancelled": 1,
+            "rejected": 1,
+        }
+        assert stats.data_version == 1
+        assert service.data_version == 1
+
+
+@pytest.mark.parametrize("tier", ["single", "sharded"])
+class TestSnapshotVersioning:
+    def test_round_trip_preserves_data_version(
+        self, tier, mini_db_factory, tmp_path
+    ):
+        support = make_support(mini_db_factory())
+        service = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        service.apply_delta(CHURN[0])
+        service.apply_delta(CHURN[1])
+        before = {sql: service.quote(sql) for sql in QUERIES}
+        path = tmp_path / "tier.json"
+        service.snapshot(path)
+
+        # The restored tier serves over the *mutated* support: build the
+        # fresh service around the same (post-delta) support object, as a
+        # rolling restart on the same node would.
+        fresh = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        fresh.restore(path)
+        assert fresh.data_version == 2
+        for sql in QUERIES:
+            assert fresh.quote(sql).price == before[sql].price
+        # Versions keep climbing from the restored high-water mark.
+        fresh.apply_delta(CHURN[4])
+        assert fresh.data_version == 3
+
+    def test_restore_refuses_snapshots_older_than_live(
+        self, tier, mini_db_factory, tmp_path
+    ):
+        """Regression: bundles from before an applied delta must not serve."""
+        support = make_support(mini_db_factory())
+        service = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        service.quote(QUERIES[0])
+        stale = tmp_path / "stale.json"
+        service.snapshot(stale)  # data_version 0
+
+        service.apply_delta(CHURN[0])  # live is now version 1
+        before = service.quote(QUERIES[1])
+        with pytest.raises(SnapshotError, match="older than the live"):
+            service.restore(stale)
+        # The refused restore left the live tier untouched.
+        assert service.data_version == 1
+        assert service.quote(QUERIES[1]).price == before.price
+
+    def test_legacy_snapshot_without_version_restores_cold(
+        self, tier, mini_db_factory, tmp_path
+    ):
+        """Pre-delta-era snapshots (no data_version) still restore at v0."""
+        import json
+
+        support = make_support(mini_db_factory())
+        service = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        path = tmp_path / "legacy.json"
+        service.snapshot(path)
+        payload = json.loads(path.read_text())
+        payload.pop("data_version", None)
+        path.write_text(json.dumps(payload))
+
+        fresh = make_tier(
+            tier, support, uniform_calibrated_pricing(support, 100.0)
+        )
+        fresh.restore(path)
+        assert fresh.data_version == 0

@@ -120,6 +120,136 @@ class TestConcurrentQuoting:
         for thread_id in range(NUM_THREADS):
             assert service.ledger.cumulative_price_consistent(f"buyer-{thread_id}")
 
+    def _churn(self):
+        from repro.delta import (
+            AddInstance,
+            InsertBaseRows,
+            PatchBase,
+            RetireInstances,
+        )
+        from repro.support.delta import CellDelta
+
+        return [
+            PatchBase("Country", 1, "Population", 99_000_000),
+            AddInstance((CellDelta("City", 2, "Population", 4_000_000),)),
+            RetireInstances((2, 7)),
+            InsertBaseRows("CountryLanguage", (("IND", "Hindi", 39.9),)),
+            PatchBase("Country", 0, "LifeExpectancy", 80.5),
+        ]
+
+    def test_quotes_under_churn_match_some_version_boundary(
+        self, service, mini_support, delta_rebuild_oracle
+    ):
+        """Every quote served during churn is a *consistent* market version.
+
+        A delta mid-stream may race quote traffic, but a served (price,
+        bundle) pair must equal what some prefix of the delta stream would
+        quote — never a torn mix of two versions. In-flight quotes
+        completing against the pre-delta market are exactly version k-1.
+        """
+        import time
+
+        churn = self._churn()
+        orig_instances = list(mini_support.instances)
+        base_pricing = uniform_calibrated_pricing(mini_support, 100.0)
+        served: list[tuple[str, float, frozenset]] = []
+        barrier = threading.Barrier(NUM_THREADS + 1)
+
+        def worker(thread_id: int, _schedule) -> None:
+            barrier.wait()
+            for i in range(60):
+                sql = QUERIES[(thread_id + i) % len(QUERIES)]
+                quote = service.quote(sql)
+                served.append((sql, quote.price, quote.bundle))
+
+        def mutate() -> None:
+            barrier.wait()
+            for op in churn:
+                service.apply_delta(op)
+                time.sleep(0.002)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        _hammer(service, [None] * NUM_THREADS, worker)
+        mutator.join()
+
+        # Rebuild the oracle at every version boundary 0..len(churn); the
+        # added instances live in the (shared, append-only) support list.
+        all_instances = orig_instances + [
+            mini_support.instance(i)
+            for i in range(len(orig_instances), len(mini_support))
+        ]
+        acceptable: dict[str, set] = {sql: set() for sql in QUERIES}
+        for prefix in range(len(churn) + 1):
+            applied = churn[:prefix]
+            retired = {
+                instance_id
+                for op in applied
+                if op.kind == "retire_instances"
+                for instance_id in op.instance_ids
+            }
+            adds = sum(1 for op in applied if op.kind == "add_instance")
+            instances = all_instances[: len(orig_instances) + adds]
+            oracle = delta_rebuild_oracle(
+                instances, retired, applied, base_pricing, QUERIES
+            )
+            for sql in QUERIES:
+                quote = oracle.quote(sql)
+                acceptable[sql].add((quote.price, quote.bundle))
+
+        torn = [
+            entry for entry in served
+            if (entry[1], entry[2]) not in acceptable[entry[0]]
+        ]
+        assert not torn, torn[:5]
+        # And after the stream drains, the tier has converged on the final
+        # version: every fresh quote equals the fully-mutated oracle's.
+        final = delta_rebuild_oracle(
+            all_instances,
+            {2, 7},
+            churn,
+            base_pricing,
+            QUERIES,
+        )
+        for sql in QUERIES:
+            assert service.quote(sql).price == final.quote(sql).price
+            assert service.quote(sql).bundle == final.quote(sql).bundle
+        assert service.data_version == len(churn)
+
+    def test_purchases_under_churn_keep_ledgers_consistent(self, service):
+        """Deltas racing purchases never tear the per-buyer ledgers."""
+        import time
+
+        churn = self._churn()
+        barrier = threading.Barrier(NUM_THREADS + 1)
+        purchases_per_thread = 20
+
+        def worker(thread_id: int, _schedule) -> None:
+            barrier.wait()
+            session = service.session(f"buyer-{thread_id}")
+            for i in range(purchases_per_thread):
+                session.purchase(QUERIES[(thread_id + i) % len(QUERIES)])
+
+        def mutate() -> None:
+            barrier.wait()
+            for op in churn:
+                service.apply_delta(op)
+                time.sleep(0.002)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        _hammer(service, [None] * NUM_THREADS, worker)
+        mutator.join()
+
+        assert len(service.transactions) == NUM_THREADS * purchases_per_thread
+        # Support adds only *extend* the item-pricing universe (existing
+        # weights untouched), so the telescoping invariant must survive the
+        # interleaved deltas for every buyer.
+        for thread_id in range(NUM_THREADS):
+            assert service.ledger.cumulative_price_consistent(
+                f"buyer-{thread_id}"
+            )
+
     def test_pricing_install_mid_stream_never_serves_mixed_prices(
         self, service, mini_support
     ):

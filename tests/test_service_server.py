@@ -100,7 +100,9 @@ class TestQuoting:
 
 
 class TestPricingInstalls:
-    def test_install_invalidates_cached_quotes(self, sync_service, mini_support):
+    def test_install_reprices_cached_quotes_in_place(
+        self, sync_service, mini_support
+    ):
         before = sync_service.quote(QUERIES[0])
         doubled = ItemPricing(
             uniform_calibrated_pricing(mini_support, 100.0).weights * 2.0
@@ -108,7 +110,12 @@ class TestPricingInstalls:
         sync_service.install_pricing(doubled)
         after = sync_service.quote(QUERIES[0])
         assert after.price == pytest.approx(2.0 * before.price)
-        assert sync_service.stats().quotes.stale_drops == 1
+        # An install changes prices, not conflict sets: the cached entry is
+        # re-priced under the new pricing rather than dropped, so the second
+        # quote is a warm hit at the new price.
+        stats = sync_service.stats().quotes
+        assert stats.stale_drops == 0
+        assert stats.hits == 1
 
     def test_optimize_pricing_runs_and_invalidates(self, mini_support):
         from repro.core.algorithms import get_algorithm

@@ -215,7 +215,7 @@ class TestScatterGatherParity:
         with pytest.raises(PricingError, match="no pricing installed"):
             service.quote(QUERIES[0])
 
-    def test_install_invalidates_every_shard(self, mini_support, pricing):
+    def test_install_reprices_every_shard_in_place(self, mini_support, pricing):
         service = make_service(mini_support, pricing)
         before = {sql: service.quote(sql).price for sql in QUERIES}
         service.install_pricing(uniform_calibrated_pricing(mini_support, 50.0))
@@ -223,8 +223,12 @@ class TestScatterGatherParity:
         for sql in QUERIES:
             assert after[sql] == pytest.approx(before[sql] / 2.0)
         stats = service.stats()
-        # Each previously cached key was lazily dropped once on re-access.
-        assert sum(s.quotes.stale_drops for s in stats.shards) == len(QUERIES)
+        # An install re-prices cached quotes in place (conflict sets are
+        # unchanged), so every post-install quote is a warm hit at the new
+        # price — no entry is dropped and the misses all predate the install.
+        assert sum(s.quotes.stale_drops for s in stats.shards) == 0
+        assert sum(s.quotes.hits for s in stats.shards) == len(QUERIES)
+        assert sum(s.quotes.misses for s in stats.shards) == len(QUERIES)
 
 
 class TestTransactionsAndSessions:
@@ -514,3 +518,163 @@ class TestOptimizePricing:
         assert result.revenue == pytest.approx(expected.revenue)
         for sql in texts:
             assert service.quote(sql).price == market.quote(sql).price
+
+
+class TestConcurrentDeltas:
+    """apply_delta racing scatter/gather traffic across every shard."""
+
+    def _churn(self):
+        from repro.delta import (
+            AddInstance,
+            InsertBaseRows,
+            PatchBase,
+            RetireInstances,
+        )
+        from repro.support.delta import CellDelta
+
+        return [
+            PatchBase("Country", 1, "Population", 99_000_000),
+            AddInstance((CellDelta("City", 2, "Population", 4_000_000),)),
+            RetireInstances((2, 7)),
+            InsertBaseRows("CountryLanguage", (("IND", "Hindi", 39.9),)),
+            PatchBase("Country", 0, "LifeExpectancy", 80.5),
+        ]
+
+    def test_quotes_under_churn_match_some_version_boundary(
+        self, mini_support, pricing, delta_rebuild_oracle
+    ):
+        """Served (price, bundle) pairs are always a consistent version.
+
+        The delta path takes the market lock plus every shard's compute
+        lock, so a scatter mid-flight completes against the pre-delta
+        market (version k-1) and post-delta quotes see version k — but
+        never a torn mix of the two.
+        """
+        import threading
+        import time
+
+        churn = self._churn()
+        orig_instances = list(mini_support.instances)
+        served: list[tuple[str, float, frozenset]] = []
+        num_threads = 6
+        barrier = threading.Barrier(num_threads + 1)
+
+        with ShardedPricingService(
+            mini_support, num_shards=3, max_batch_delay=0.0005
+        ) as service:
+            service.install_pricing(pricing)
+
+            def worker(thread_id: int) -> None:
+                barrier.wait()
+                for i in range(50):
+                    if i % 5 == 0:  # exercise the batched scatter path too
+                        for quote in service.quote_many(QUERIES[:4]):
+                            served.append(
+                                (quote.query_text, quote.price, quote.bundle)
+                            )
+                    sql = QUERIES[(thread_id + i) % len(QUERIES)]
+                    quote = service.quote(sql)
+                    served.append((sql, quote.price, quote.bundle))
+
+            def mutate() -> None:
+                barrier.wait()
+                for op in churn:
+                    service.apply_delta(op)
+                    time.sleep(0.002)
+
+            threads = [
+                threading.Thread(target=worker, args=(thread_id,))
+                for thread_id in range(num_threads)
+            ]
+            mutator = threading.Thread(target=mutate)
+            for thread in threads:
+                thread.start()
+            mutator.start()
+            for thread in threads:
+                thread.join()
+            mutator.join()
+
+            all_instances = orig_instances + [
+                mini_support.instance(i)
+                for i in range(len(orig_instances), len(mini_support))
+            ]
+            acceptable: dict[str, set] = {sql: set() for sql in QUERIES}
+            for prefix in range(len(churn) + 1):
+                applied = churn[:prefix]
+                retired = {
+                    instance_id
+                    for op in applied
+                    if op.kind == "retire_instances"
+                    for instance_id in op.instance_ids
+                }
+                adds = sum(1 for op in applied if op.kind == "add_instance")
+                instances = all_instances[: len(orig_instances) + adds]
+                oracle = delta_rebuild_oracle(
+                    instances, retired, applied, pricing, QUERIES
+                )
+                for sql in QUERIES:
+                    quote = oracle.quote(sql)
+                    acceptable[sql].add((quote.price, quote.bundle))
+
+            torn = [
+                entry for entry in served
+                if (entry[1], entry[2]) not in acceptable[entry[0]]
+            ]
+            assert not torn, torn[:5]
+
+            final = delta_rebuild_oracle(
+                all_instances, {2, 7}, churn, pricing, QUERIES
+            )
+            for sql in QUERIES:
+                assert service.quote(sql).price == final.quote(sql).price
+                assert service.quote(sql).bundle == final.quote(sql).bundle
+            assert service.data_version == len(churn)
+            assert service.stats().deltas["applied"] == len(churn)
+
+    def test_concurrent_appliers_serialize_cleanly(
+        self, mini_support, pricing, delta_rebuild_oracle
+    ):
+        """Two deltas applied from racing threads both land, atomically.
+
+        The ops commute (different tables), so whichever order the lock
+        grants, the final market must equal the rebuilt two-delta oracle.
+        """
+        import threading
+
+        from repro.delta import PatchBase
+
+        ops = [
+            PatchBase("Country", 1, "Population", 99_000_000),
+            PatchBase("City", 0, "Population", 123_456),
+        ]
+        orig_instances = list(mini_support.instances)
+        service = ShardedPricingService(mini_support, num_shards=3, start=False)
+        service.install_pricing(pricing)
+        for sql in QUERIES:
+            service.quote(sql)
+
+        barrier = threading.Barrier(2)
+        errors: list[Exception] = []
+
+        def apply(op) -> None:
+            barrier.wait()
+            try:
+                service.apply_delta(op)
+            except Exception as exc:  # pragma: no cover - failure evidence
+                errors.append(exc)
+
+        threads = [threading.Thread(target=apply, args=(op,)) for op in ops]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors
+        assert service.data_version == 2
+        assert service.stats().deltas["applied"] == 2
+        oracle = delta_rebuild_oracle(
+            orig_instances, set(), ops, pricing, QUERIES
+        )
+        for sql in QUERIES:
+            assert service.quote(sql).price == oracle.quote(sql).price
+            assert service.quote(sql).bundle == oracle.quote(sql).bundle
