@@ -1,0 +1,110 @@
+"""Process-shard scaling benchmark: true multi-core conflict computation.
+
+The claim: with caches big enough to never evict and an open-loop stream
+fast enough that compute is the bottleneck, the process-per-shard tier
+(:class:`~repro.service.multicore.ProcessShardedPricingService`) scales
+with cores in a way the GIL-bound thread tier cannot — ``>= 1.8x`` wall
+time at 4 worker processes vs 1 on a 4-core runner. Prices stay bit-equal
+to the in-process :class:`~repro.service.sharding.ShardedPricingService`
+oracle and home-shard routing is identical (both asserted inside the
+figure at every shard count).
+
+The speedup assertion is gated on ``os.cpu_count() >= 4``: on a 1-core
+box the processes time-slice one core and the wall times are flat, but
+the parity, zero-shed, zero-restart, and worker-counter proofs still run
+everywhere, and ``BENCH_multicore.json`` is still written so the
+dedicated ``multicore-scaling`` CI job can gate it with
+``repro-pricing bench-check --pattern BENCH_multicore.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import multicore_throughput
+from repro.service.multicore import fork_available
+
+from benchmarks.conftest import save_bench_json
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method (POSIX only)"
+)
+
+#: The lowest acceptable 4-process/1-process speedup on a >= 4-core host.
+#: ~2.2x measured on the 4-core CI runner at these parameters; 1.8 leaves
+#: margin for runner noise while still catching a tier that serializes
+#: its workers (a broken scatter would measure ~1.0x).
+MIN_SPEEDUP_AT_4 = 1.8
+
+#: Deliberately miss-heavy: 600 distinct queries under near-uniform zipf
+#: (s=0.1) over 720 requests touch ~414 distinct queries, each paying one
+#: conflict-set computation over |S|=12000; per-shard caches never evict
+#: at capacity 1024. The 2400 req/s offered rate keeps the open-loop
+#: schedule ahead of compute, so wall time measures compute throughput.
+CI_KWARGS = {
+    "workload_name": "uniform",
+    "scale": 0.2,
+    "support_size": 12000,
+    "num_queries": 600,
+    "num_requests": 720,
+    "zipf_s": 0.1,
+    "num_clients": 12,
+    "arrival_rate": 2400.0,
+    "process_shard_counts": (1, 2, 4),
+    "cache_capacity": 1024,
+}
+
+FULL_KWARGS = {**CI_KWARGS, "process_shard_counts": (1, 2, 4, 8)}
+
+
+def _check(artifact, shard_counts: tuple[int, ...]) -> None:
+    top = shard_counts[-1]
+    speedups = artifact.data["speedups"]
+    # The hard scaling gate needs real cores; the figure already asserted
+    # bit-equal prices, identical routing, zero sheds, and zero restarts
+    # at every count, so everything below is host-independent.
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 4 and top >= 4:
+        assert speedups["process_shards=4"] >= MIN_SPEEDUP_AT_4, speedups
+    for count in shard_counts:
+        tier = artifact.data["diagnostics"][f"process_shards={count}"]["service"]
+        assert tier["worker_restarts"] == 0, tier
+        assert tier["requests_shed"] == 0, tier
+        assert tier["requests_accepted"] > 0, tier
+        # Misses were computed *in the worker processes*: every shard's
+        # coordinator-side scheduler flushed batches, and its worker's
+        # own counters saw them arrive over the pipe.
+        assert len(tier["shards"]) == count, tier
+        for shard in tier["shards"]:
+            assert shard["pid"] > 0, shard
+            assert shard["restarts"] == 0, shard
+            assert shard["batcher"]["batches"] >= 1, shard
+            assert shard["worker"] is not None, shard
+            assert shard["worker"]["batches"] >= 1, shard
+            assert shard["worker"]["batched_requests"] >= 1, shard
+        # The quote cache was consulted (repeats in the zipf stream hit).
+        cache = tier["quote_cache"]
+        assert cache["hits"] + cache["misses"] > 0, cache
+    report = artifact.data["diagnostics"][f"process_shards={top}"]
+    assert report["errors"] == 0, report
+    assert "per_shard_latency" in report, sorted(report)
+
+
+def test_multicore_throughput_uniform(benchmark):
+    artifact = benchmark.pedantic(
+        multicore_throughput, kwargs=CI_KWARGS, rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_bench_json(artifact, "BENCH_multicore.json")
+    _check(artifact, CI_KWARGS["process_shard_counts"])
+
+
+@pytest.mark.slow
+def test_multicore_throughput_uniform_full(benchmark):
+    """1/2/4/8-worker variant, part of the workflow_dispatch --runslow job."""
+    artifact = benchmark.pedantic(
+        multicore_throughput, kwargs=FULL_KWARGS, rounds=1, iterations=1
+    )
+    print("\n" + str(artifact))
+    save_bench_json(artifact, "BENCH_multicore_full.json")
+    _check(artifact, FULL_KWARGS["process_shard_counts"])

@@ -184,6 +184,12 @@ def main(argv: list[str] | None = None) -> int:
                             "zipf stream in process vs over loopback "
                             "sockets (figures.http_throughput; JSON goes "
                             "to BENCH_http.json unless --json overrides)")
+    serve.add_argument("--process-shards", type=int, default=None,
+                       help="benchmark the process-per-shard tier instead: "
+                            "open-loop throughput at 1 worker process vs "
+                            "this many (figures.multicore_throughput; JSON "
+                            "goes to BENCH_multicore.json unless --json "
+                            "overrides)")
     serve.add_argument("--json", dest="json_path", default="BENCH_service.json",
                        help="where to write the machine-readable summary")
     serve.add_argument("--no-json", action="store_true",
@@ -253,6 +259,11 @@ def main(argv: list[str] | None = None) -> int:
                                   "figures with this tolerance (off by "
                                   "default: absolute numbers do not "
                                   "survive a machine change)")
+    bench_check.add_argument("--pattern", default="BENCH_*.json",
+                             help="glob of baseline files to compare "
+                                  "(default BENCH_*.json; a dedicated CI "
+                                  "job narrows this to its own figure, "
+                                  "e.g. BENCH_multicore.json)")
     bench_check.add_argument("--allow-missing", action="append", default=[],
                              metavar="NAME",
                              help="baseline file this leg legitimately "
@@ -502,11 +513,40 @@ def _cmd_bench_revenue(args: argparse.Namespace) -> int:
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
-    if args.http:
-        if args.shards is not None:
-            print("error: --http and --shards are separate benchmarks",
-                  file=sys.stderr)
+    exclusive = [args.http, args.shards is not None,
+                 args.process_shards is not None]
+    if sum(exclusive) > 1:
+        print("error: --http, --shards, and --process-shards are separate "
+              "benchmarks", file=sys.stderr)
+        return 2
+    if args.process_shards is not None:
+        if args.process_shards < 1:
+            print("error: --process-shards must be >= 1", file=sys.stderr)
             return 2
+        if args.json_path == "BENCH_service.json":
+            args.json_path = "BENCH_multicore.json"
+        if args.process_shards >= 4:
+            counts = (1, 2, args.process_shards)
+        elif args.process_shards != 1:
+            counts = (1, args.process_shards)
+        else:
+            counts = (1,)
+        artifact = figures.multicore_throughput(
+            workload_name=args.workload,
+            scale=args.scale,
+            support_size=args.support,
+            num_queries=args.queries,
+            num_requests=args.requests,
+            zipf_s=args.zipf,
+            num_clients=args.clients,
+            process_shard_counts=counts,
+            max_batch_size=args.batch_size,
+            max_batch_delay=args.batch_delay,
+        )
+        print(artifact)
+        _write_bench_json(artifact, args)
+        return 0
+    if args.http:
         if args.json_path == "BENCH_service.json":
             args.json_path = "BENCH_http.json"
         artifact = figures.http_throughput(
@@ -610,6 +650,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         args.current,
         tolerance=args.tolerance,
         throughput_tolerance=args.throughput_tolerance,
+        pattern=args.pattern,
         allow_missing=args.allow_missing,
     )
     report, ok = render_report(comparisons, missing)

@@ -93,6 +93,28 @@ class SnapshotError(ReproError):
     """
 
 
+class SharedMemoryError(ServiceError):
+    """A shared-memory segment could not be created, attached, or mapped.
+
+    Raised by :mod:`repro.service.shm` instead of the bare
+    ``FileNotFoundError`` / ``ValueError`` the stdlib surfaces — most
+    importantly for the attach-after-unlink race: a worker attaching a
+    segment its coordinator already released gets this error (naming the
+    segment) rather than a cryptic ENOENT from ``shm_open``.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """A shard's worker process died while a request was in flight.
+
+    Raised on the coordinator when the pipe to a worker breaks or a
+    heartbeat goes unanswered. The coordinator's supervision loop re-forks
+    the shard from its own (current) partition state and replays the pinned
+    bundle seeds, then retries; callers only see this error when the
+    replacement worker fails too.
+    """
+
+
 class ServiceOverloadError(ServiceError):
     """A bounded service queue was full and the request was shed.
 

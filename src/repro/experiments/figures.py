@@ -15,6 +15,7 @@ qualitative shape — which algorithm wins where — does; see EXPERIMENTS.md.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -1559,5 +1560,206 @@ def http_throughput(
                 "http_service": http_stats,
                 "scraped_counters": scraped,
             },
+        },
+    )
+
+
+def multicore_throughput(
+    workload_name: str = "uniform",
+    scale: float | None = None,
+    support_size: int | None = None,
+    num_queries: int = 600,
+    num_requests: int = 720,
+    zipf_s: float = 0.1,
+    num_clients: int = 12,
+    process_shard_counts: tuple[int, ...] = (1, 2, 4),
+    cache_capacity: int = 1024,
+    max_batch_size: int = 32,
+    max_batch_delay: float = 0.001,
+    arrival_rate: float = 2400.0,
+    conflict_backend: str = "auto",
+    full_price: float = 100.0,
+    seed: int = 0,
+) -> FigureData:
+    """Process-shard scaling of :class:`ProcessShardedPricingService`.
+
+    The same open-loop Zipf stream is served at each process-shard count
+    (fresh support per run, same seed — identical instances, bundles, and
+    prices). Unlike :func:`sharded_throughput`, which measures *cache
+    capacity* scaling, this stream is deliberately miss-heavy with caches
+    large enough to never evict: nearly every distinct query pays one
+    conflict-set computation, so the bottleneck is worker compute and the
+    lever is cores. Every miss scatters to all ``K`` workers, each
+    computing conflicts over ``1/K`` of the support in its own process —
+    on a multi-core host the per-miss critical path shrinks by ``~K``,
+    which is exactly the scaling a GIL-bound thread tier cannot show.
+
+    Parity is asserted at every shard count against the in-process
+    :class:`ShardedPricingService` oracle at the *largest* shard count:
+    bit-equal prices for every distinct query, identical home-shard
+    routing, zero sheds (the admission queue is unbounded here — this
+    figure measures compute, not admission policy), zero worker restarts,
+    and worker-side batch counters proving the misses were computed in
+    the worker processes. ``BENCH_multicore.json`` carries the wall
+    times, speedups, and per-shard coordinator + worker counters.
+    """
+    from repro.exceptions import ExperimentError
+    from repro.qirana.weighted import uniform_calibrated_pricing
+    from repro.service.loadgen import LoadProfile, run_load
+    from repro.service.multicore import ProcessShardedPricingService, fork_available
+    from repro.service.sharding import ShardedPricingService
+
+    if not process_shard_counts:
+        raise ExperimentError(
+            "process_shard_counts must name at least one shard count"
+        )
+    if not fork_available():
+        raise ExperimentError(
+            "multicore_throughput requires the fork start method"
+        )
+    default_scale, default_support = DEFAULT_SCALES[workload_name]
+    workload = _cached_workload(
+        workload_name, scale if scale is not None else default_scale
+    )
+    size = support_size if support_size is not None else default_support
+    texts = [query.text for query in workload.queries[:num_queries]]
+    profile = LoadProfile(
+        num_requests=num_requests,
+        num_clients=num_clients,
+        zipf_s=zipf_s,
+        mode="open",
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+
+    # The parity oracle is the in-process sharded tier at the top shard
+    # count: same partitioning, same routing ring, same scatter/gather
+    # algebra — only the execution substrate differs (threads vs
+    # processes), so prices and home shards must match bit for bit.
+    oracle_support = workload.support(size=size, seed=seed, mode="row")
+    oracle = ShardedPricingService(
+        oracle_support,
+        num_shards=process_shard_counts[-1],
+        conflict_backend=conflict_backend,
+        max_queue_depth=None,
+        start=False,
+    )
+    oracle.install_pricing(uniform_calibrated_pricing(oracle_support, full_price))
+    oracle_prices = {text: oracle.quote(text).price for text in texts}
+    oracle_homes = {text: oracle.home_shard(text) for text in texts}
+    oracle.close()
+
+    seconds: dict[str, float] = {}
+    throughput: dict[str, float] = {}
+    diagnostics: dict[str, dict] = {}
+    latencies: dict[str, dict] = {}
+    reports = {}
+    for num_shards in process_shard_counts:
+        support = workload.support(size=size, seed=seed, mode="row")
+        service = ProcessShardedPricingService(
+            support,
+            num_shards=num_shards,
+            conflict_backend=conflict_backend,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            max_queue_depth=None,
+            cache_capacity=cache_capacity,
+        )
+        label = f"process_shards={num_shards}"
+        try:
+            service.install_pricing(
+                uniform_calibrated_pricing(support, full_price)
+            )
+            report = run_load(service, texts, profile)
+            if report.errors:
+                raise ExperimentError(
+                    f"{label} load run failed: {report.errors} errored requests"
+                )
+            for text in texts:
+                served = service.quote(text).price
+                if served != oracle_prices[text]:
+                    raise ExperimentError(
+                        f"{label} price {served!r} != oracle price "
+                        f"{oracle_prices[text]!r} for {text!r}"
+                    )
+                if num_shards == process_shard_counts[-1]:
+                    home = service.home_shard(text)
+                    if home != oracle_homes[text]:
+                        raise ExperimentError(
+                            f"{label} routed {text!r} to shard {home}, the "
+                            f"in-process oracle to {oracle_homes[text]}"
+                        )
+            tier = service.stats()
+            if tier.worker_restarts:
+                raise ExperimentError(
+                    f"{label} re-forked {tier.worker_restarts} workers "
+                    f"mid-benchmark; the scaling numbers are not comparable"
+                )
+            if tier.shed:
+                raise ExperimentError(
+                    f"{label} shed {tier.shed} requests with admission "
+                    f"control disabled"
+                )
+        finally:
+            service.close()
+        reports[label] = report
+        seconds[label] = report.duration_seconds
+        throughput[label] = report.throughput_rps
+        diagnostics[label] = report.as_dict()
+        latencies[label] = report.latency.as_dict()
+
+    reference = f"process_shards={process_shard_counts[0]}"
+    speedups = {
+        label: seconds[reference] / seconds[label] if seconds[label] > 0 else float("inf")
+        for label in seconds
+        if label != reference
+    }
+    rows = []
+    for num_shards in process_shard_counts:
+        label = f"process_shards={num_shards}"
+        report = reports[label]
+        cache = report.service["quote_cache"]
+        rows.append(
+            [
+                label,
+                f"{seconds[label]:.3f}",
+                ("1.0x" if label == reference else f"{speedups[label]:.1f}x"),
+                f"{throughput[label]:,.0f}",
+                f"{cache['hit_rate']:.1%}",
+                str(report.service["worker_restarts"]),
+            ]
+        )
+    text = format_table(
+        ["serving tier", "wall (s)", "speedup", "req/s", "hit rate", "restarts"],
+        rows,
+        title=(
+            f"{num_requests} open-loop requests over {len(texts)} distinct "
+            f"queries (zipf s={zipf_s:g}, {arrival_rate:g} req/s offered), "
+            f"{num_clients} clients, |S|={size}, {workload_name} workload"
+        ),
+    )
+    return FigureData(
+        f"multicore-throughput-{workload_name}",
+        f"process-per-shard pricing-service scaling ({workload_name})",
+        text,
+        {
+            "seconds": seconds,
+            "speedups": speedups,
+            "speedup_reference": reference,
+            "throughput": throughput,
+            "latency": latencies[f"process_shards={process_shard_counts[-1]}"],
+            "stats": {
+                "requests": num_requests,
+                "distinct_queries": len(texts),
+                "zipf_s": zipf_s,
+                "clients": num_clients,
+                "support": size,
+                "cache_capacity_per_shard": cache_capacity,
+                "process_shard_counts": list(process_shard_counts),
+                "arrival_rate": arrival_rate,
+                "mode": profile.mode,
+                "cpu_count": os.cpu_count(),
+            },
+            "diagnostics": diagnostics,
         },
     )

@@ -14,6 +14,11 @@ Where :mod:`repro.qirana` optimizes and prices a *workload*,
   support-partitioned tier: one market + scheduler per shard,
   consistent-hash routing, scatter/gather quoting, and warm-start
   snapshots,
+- :mod:`repro.service.multicore` — :class:`ProcessShardedPricingService`,
+  the same partitioned tier across worker *processes* over shared-memory
+  tensors (:mod:`repro.service.shm`) and a pipe RPC protocol
+  (:mod:`repro.service.worker`): true multi-core conflict computation
+  with crash supervision,
 - :mod:`repro.service.http` — :class:`PricingHTTPServer`, the asyncio
   HTTP/JSON front-end (``/quote``, ``/purchase``, ``/healthz``,
   ``/readyz``, ``/metrics``) with graceful drain + warm rolling restarts,
@@ -42,6 +47,12 @@ from repro.service.metrics import (
     LatencySummary,
     ShardLatencyRecorder,
 )
+from repro.service.multicore import (
+    MulticoreServiceStats,
+    ProcessShardedPricingService,
+    ProcessShardStats,
+    fork_available,
+)
 from repro.service.observability import (
     LatencyHistogram,
     parse_exposition,
@@ -56,6 +67,7 @@ from repro.service.sharding import (
     ShardStats,
     partition_support,
 )
+from repro.service.shm import SegmentRegistry
 
 __all__ = [
     "BatchRequest",
@@ -72,9 +84,13 @@ __all__ = [
     "LoadProfile",
     "LoadReport",
     "MicroBatcher",
+    "MulticoreServiceStats",
     "PricingHTTPServer",
     "PricingService",
+    "ProcessShardStats",
+    "ProcessShardedPricingService",
     "QuoteCache",
+    "SegmentRegistry",
     "ServiceStats",
     "ShardLatencyRecorder",
     "ShardPartition",
@@ -83,6 +99,7 @@ __all__ = [
     "ShardedServiceStats",
     "canonical_form",
     "canonical_key",
+    "fork_available",
     "parse_exposition",
     "partition_support",
     "render_metrics",

@@ -24,14 +24,34 @@ exception to every waiter in the batch).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import weakref
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 from dataclasses import dataclass
 
 from repro.exceptions import ServiceError, ServiceOverloadError
+
+#: Every live batcher, so a forked child can repair inherited state.
+_LIVE_BATCHERS: weakref.WeakSet = weakref.WeakSet()
+
+
+def _reset_batchers_after_fork() -> None:
+    for batcher in list(_LIVE_BATCHERS):
+        batcher._reset_in_child()
+
+
+if hasattr(os, "register_at_fork"):
+    # A fork can happen while some batcher's condition lock is held by a
+    # thread that does not exist in the child, and the child inherits a
+    # reference to a worker thread that is not running there. Both would
+    # deadlock (or hang interpreter teardown) the first time the child
+    # touches the batcher — the process-per-shard tier forks exactly such
+    # children. Reset every batcher to a coherent idle state in the child.
+    os.register_at_fork(after_in_child=_reset_batchers_after_fork)
 
 
 @dataclass
@@ -148,6 +168,7 @@ class MicroBatcher:
         self._max_batch = 0
         self._accepted = 0
         self._shed = 0
+        _LIVE_BATCHERS.add(self)
         if start:
             self.start()
 
@@ -194,6 +215,22 @@ class MicroBatcher:
         self._fail_requests(
             leftovers, ServiceError(f"{self.name} closed before the request ran")
         )
+
+    def _reset_in_child(self) -> None:
+        """Repair this batcher inside a freshly forked child process.
+
+        The parent's worker thread (daemon, so it cannot hang interpreter
+        exit) does not run in the child, and the inherited condition lock
+        may have been captured mid-acquire by a thread that no longer
+        exists. Fresh primitives, an empty queue, and no phantom worker
+        leave the child's copy coherently idle: restartable, or
+        synchronous if never started. Inherited queued futures belong to
+        parent-side callers and are dropped, not failed — their real
+        copies resolve in the parent.
+        """
+        self._cond = threading.Condition()
+        self._pending = deque()
+        self._worker = None
 
     @staticmethod
     def _fail_requests(requests: Sequence[BatchRequest], error: BaseException) -> None:

@@ -1,0 +1,950 @@
+"""``ProcessShardedPricingService``: one worker *process* per shard.
+
+:class:`~repro.service.sharding.ShardedPricingService` scales cache capacity
+and scheduling, but all of its shard markets compute under one GIL — the
+conflict-set inner loop cannot use more than one core per Python process.
+This module runs the same support-partitioned tier across real processes:
+
+- **Fork over shared tensors** — the coordinator partitions the support,
+  lays every partition's delta-tensor pair arrays out in POSIX shared
+  memory (:mod:`repro.service.shm`), and forks one worker per shard.
+  Workers re-attach the named segments on startup, so parent and children
+  address one copy of the big arrays; everything else (base rows, patch
+  values) rides fork's copy-on-write.
+- **Pipe RPC, ids only** — scatter ships canonical-key fingerprints and
+  query texts to every worker; gather receives sorted int64 arrays of
+  *global* instance ids (the shard's partial conflict set). No pickled
+  tensors, no support sets on the wire (:mod:`repro.service.worker`).
+- **Coordinator-side policy** — consistent-hash routing, per-home-shard
+  quote caches, micro-batching (one coordinator-side
+  :class:`~repro.service.batching.MicroBatcher` per worker coalesces
+  misses into one RPC), admission control, tier-global pricing under the
+  same O(bundle) market lock as the in-process tiers, snapshots, and the
+  delta log all stay in the coordinator — workers only compute.
+- **Supervision** — every RPC doubles as a liveness probe (poll + process
+  aliveness + heartbeat timeout ⇒ typed
+  :class:`~repro.exceptions.WorkerCrashError`), and a heartbeat thread
+  sweeps for silently dead workers. A dead shard is re-forked from the
+  coordinator's *current* partition mirror (deltas included by
+  construction) and its pinned bundle seeds are replayed, so the
+  replacement serves bit-equal prices.
+- **Cross-process deltas** — :meth:`apply_delta` validates against the
+  full support, mutates the coordinator mirror, then fans the wire op out
+  to every worker while holding every worker's RPC lock: in-flight
+  computes finish against the pre-delta partitions, later ones see the
+  post-delta state on every shard — the same version boundary the
+  in-process tier guarantees with compute locks.
+
+The in-process sharded tier remains the parity oracle: same partitioning,
+same routing, same scatter/gather algebra, bit-equal prices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.algorithms.base import PricingAlgorithm, PricingResult
+from repro.core.hypergraph import Hypergraph, PricingInstance
+from repro.core.pricing import PricingFunction, extend_pricing
+from repro.db.database import Database
+from repro.db.query import Query, sql_query
+from repro.delta import (
+    DeltaEffect,
+    DeltaLog,
+    DeltaOp,
+    DeltaRecord,
+    apply_to_support,
+    delta_from_dict,
+    delta_to_dict,
+    validate_op,
+)
+from repro.exceptions import (
+    DeltaValidationError,
+    PricingError,
+    ServiceError,
+    ServiceOverloadError,
+    SnapshotError,
+    WorkerCrashError,
+)
+from repro.qirana.backends import referenced_columns
+from repro.qirana.broker import PriceQuote, Transaction
+from repro.qirana.history import HistoryAwareLedger
+from repro.qirana.persistence import QuoteEntry, load_market_state, save_market_state
+from repro.service.batching import BatchRequest, MicroBatcher
+from repro.service.cache import CacheStats, LRUCache, QuoteCache
+from repro.service.server import CanonicalServingMixin
+from repro.service.sharding import (
+    ConsistentHashRouter,
+    ShardStats,
+    ShardedServiceStats,
+    partition_support,
+)
+from repro.service.shm import SegmentRegistry, share_tensor
+from repro.service.worker import WorkerRequest, resurrect_error, worker_main
+from repro.support.generator import SupportSet
+
+__all__ = [
+    "MulticoreServiceStats",
+    "ProcessShardStats",
+    "ProcessShardedPricingService",
+    "fork_available",
+]
+
+#: Liveness-probe cadence inside a blocking RPC wait (seconds).
+_POLL_INTERVAL = 0.05
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (the tier requires it).
+
+    The tier inherits partitions and copy-on-write state through ``fork``;
+    ``spawn``-only platforms (Windows) cannot run it.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProcessShardStats(ShardStats):
+    """One process shard's counters: coordinator side plus the worker's own."""
+
+    #: The worker process id (-1 when unknown).
+    pid: int = -1
+    #: Times this shard's worker was re-forked after a crash.
+    restarts: int = 0
+    #: Compute batches / batched requests the worker itself served.
+    worker: dict | None = None
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["pid"] = self.pid
+        payload["restarts"] = self.restarts
+        payload["worker"] = self.worker
+        return payload
+
+
+@dataclass(frozen=True)
+class MulticoreServiceStats(ShardedServiceStats):
+    """Tier snapshot with the supervision counters the process tier adds."""
+
+    worker_restarts: int = 0
+
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["worker_restarts"] = self.worker_restarts
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# Worker handle (coordinator side)
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """The coordinator's end of one shard: process, pipe, RPC framing.
+
+    ``lock`` serializes pipe access (one request/response frame at a time);
+    it is re-entrant so the delta fan-out can respawn a crashed worker while
+    already holding it. ``generation`` lets concurrent crash observers agree
+    on who respawns: a respawn is a no-op unless the caller saw the current
+    generation.
+    """
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.process = None
+        self.conn = None
+        self.lock = threading.RLock()
+        self.generation = 0
+        self.restarts = 0
+        self._next_id = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def adopt(self, process, conn, *, restart: bool) -> None:
+        self.process = process
+        self.conn = conn
+        self.generation += 1
+        if restart:
+            self.restarts += 1
+
+    def call(self, kind: str, payload=None, *, timeout: float | None = None):
+        """One RPC round trip; raises :class:`WorkerCrashError` on death.
+
+        Every call is a liveness probe: while waiting for the response the
+        worker process's aliveness is checked each poll interval, so a
+        SIGKILLed worker surfaces within ~50ms instead of hanging the
+        caller on a pipe that will never speak again.
+        """
+        with self.lock:
+            self._next_id += 1
+            request_id = self._next_id
+            try:
+                self.conn.send(WorkerRequest(kind, request_id, payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"shard {self.shard_id} worker pipe is broken "
+                    f"(send {kind!r}): {exc}"
+                ) from exc
+            waited = 0.0
+            while not self.conn.poll(_POLL_INTERVAL):
+                waited += _POLL_INTERVAL
+                if not self.alive:
+                    raise WorkerCrashError(
+                        f"shard {self.shard_id} worker died with "
+                        f"{kind!r} in flight"
+                    )
+                if timeout is not None and waited >= timeout:
+                    raise WorkerCrashError(
+                        f"shard {self.shard_id} worker missed the "
+                        f"{timeout:g}s heartbeat deadline for {kind!r}"
+                    )
+            try:
+                response = self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"shard {self.shard_id} worker hung up mid-response "
+                    f"({kind!r})"
+                ) from exc
+        if response.request_id != request_id:
+            raise WorkerCrashError(
+                f"shard {self.shard_id} worker protocol desync: expected "
+                f"response {request_id}, got {response.request_id}"
+            )
+        if not response.ok:
+            raise resurrect_error(response)
+        return response.result
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Graceful stop, escalating to SIGTERM/SIGKILL (idempotent)."""
+        process = self.process
+        if process is None:
+            return
+        try:
+            self.call("shutdown", timeout=timeout)
+        except (WorkerCrashError, ServiceError):
+            pass
+        process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout)
+        self.close_pipe()
+
+    def close_pipe(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# The process-sharded service
+# ---------------------------------------------------------------------------
+
+
+class ProcessShardedPricingService(CanonicalServingMixin):
+    """Support-partitioned serving across worker processes: true multi-core.
+
+    Parameters mirror :class:`ShardedPricingService`; the additions:
+
+    heartbeat_interval:
+        Cadence of the supervision sweep that re-forks silently dead
+        workers (seconds; ``0`` disables the sweep — crashes are then
+        detected only by in-flight RPCs).
+    heartbeat_timeout:
+        How long a control RPC (ping/stats/seed/delta) may go unanswered
+        before the worker is declared dead. Compute RPCs have no deadline
+        (a cold conflict-set build is legitimately slow) but still detect
+        process death each poll interval.
+    """
+
+    def __init__(
+        self,
+        support: SupportSet,
+        *,
+        num_shards: int = 4,
+        replicas: int = 64,
+        conflict_backend: str = "auto",
+        max_batch_size: int = 64,
+        max_batch_delay: float = 0.001,
+        max_queue_depth: int | None = 256,
+        cache_capacity: int = 4096,
+        bundle_cache_capacity: int | None = None,
+        plan_memo_capacity: int = 8192,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 30.0,
+        start: bool = True,
+    ):
+        if not fork_available():
+            raise ServiceError(
+                "ProcessShardedPricingService requires the fork start "
+                "method; this platform only offers "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self.support = support
+        self.partitions = partition_support(support, num_shards)
+        self.num_shards = num_shards
+        self.conflict_backend = conflict_backend
+        self.heartbeat_timeout = heartbeat_timeout
+        self._router = ConsistentHashRouter(num_shards, replicas=replicas)
+        if bundle_cache_capacity is None:
+            bundle_cache_capacity = cache_capacity
+        self._bundle_cache_capacity = bundle_cache_capacity
+        self._plan_memo_capacity = plan_memo_capacity
+        # Shared-memory layout: every partition's delta tensors are built
+        # now, copied into owned segments, and the shm-backed views are
+        # installed back into the partitions — the state workers attach to.
+        self._registry = SegmentRegistry()
+        self._layouts: list[dict[str, object]] = []
+        for partition in self.partitions:
+            layouts: dict[str, object] = {}
+            for table in sorted(partition.support._by_table):
+                layout, shared = share_tensor(
+                    partition.support.delta_tensor(table), self._registry
+                )
+                partition.support._delta_tensors[table] = shared
+                layouts[table] = layout
+            self._layouts.append(layouts)
+        # Workers fork *before* any coordinator thread starts: the children
+        # must never inherit a running scheduler's half-held locks.
+        self._handles = [_WorkerHandle(shard) for shard in range(num_shards)]
+        for shard in range(num_shards):
+            self._fork_worker(shard, restart=False)
+        self._batchers = [
+            MicroBatcher(
+                self._make_execute(shard),
+                max_batch_size=max_batch_size,
+                max_batch_delay=max_batch_delay,
+                max_queue_depth=max_queue_depth,
+                name=f"pricing-proc-shard-{shard}",
+                start=start,
+            )
+            for shard in range(num_shards)
+        ]
+        self._quote_caches = [QuoteCache(cache_capacity) for _ in self.partitions]
+        self._plans = LRUCache(plan_memo_capacity)
+        self._shard_of = np.empty(len(support), dtype=np.int64)
+        for partition in self.partitions:
+            self._shard_of[partition.global_ids] = partition.shard_id
+        self._market_lock = threading.RLock()
+        self._pricing: PricingFunction | None = None
+        self._ledger = HistoryAwareLedger(None)
+        self._delta_log = DeltaLog()
+        self.transactions: list[Transaction] = []
+        self._requests_accepted = [0] * num_shards
+        self._requests_shed = [0] * num_shards
+        #: Replayed into a re-forked worker: snapshot-seeded partials.
+        self._pinned: list[dict[str, np.ndarray]] = [{} for _ in range(num_shards)]
+        self._closed = False
+        self._stop_supervisor = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        if heartbeat_interval > 0:
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                args=(heartbeat_interval,),
+                name="pricing-proc-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _fork_worker(self, shard: int, *, restart: bool) -> None:
+        """Fork shard ``shard`` from the coordinator's current partition.
+
+        The child inherits the partition mirror as of this instant — every
+        applied delta included — so a re-fork needs no delta replay. The
+        shared-tensor layouts are passed only while still current (a
+        structural delta replaces the cached tensors with process-local
+        arrays, after which attaching the original segments would resurrect
+        the pre-delta pairs).
+        """
+        handle = self._handles[shard]
+        parent_conn, child_conn = self._ctx.Pipe()
+        config = {
+            "shard_id": shard,
+            "num_shards": self.num_shards,
+            "conflict_backend": self.conflict_backend,
+            "bundle_cache_capacity": self._bundle_cache_capacity,
+            "plan_memo_capacity": self._plan_memo_capacity,
+            "layouts": self._layouts[shard],
+        }
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.partitions[shard], config),
+            name=f"pricing-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.adopt(process, parent_conn, restart=restart)
+
+    def _respawn(self, shard: int, generation: int) -> None:
+        """Re-fork a dead shard and replay its pinned state (idempotent).
+
+        ``generation`` is the handle generation the caller observed when it
+        saw the crash: if another thread already respawned, this call is a
+        no-op. Runs under the market lock so the fork captures a consistent
+        partition mirror (no delta mid-mutation).
+        """
+        with self._market_lock:
+            handle = self._handles[shard]
+            with handle.lock:
+                if handle.generation != generation:
+                    return  # someone else already re-forked this shard
+                if self._closed:
+                    raise ServiceError(
+                        f"shard {shard} worker died after the tier closed"
+                    )
+                handle.close_pipe()
+                process = handle.process
+                if process is not None and process.is_alive():
+                    process.kill()
+                if process is not None:
+                    process.join(5.0)
+                self._fork_worker(shard, restart=True)
+                pinned = list(self._pinned[shard].items())
+                if pinned:
+                    handle.call("seed", pinned, timeout=self.heartbeat_timeout)
+
+    def _supervise(self, interval: float) -> None:
+        """Heartbeat sweep: re-fork any worker found dead between RPCs."""
+        while not self._stop_supervisor.wait(interval):
+            for shard, handle in enumerate(self._handles):
+                if self._closed:
+                    return
+                if not handle.alive:
+                    try:
+                        self._respawn(shard, handle.generation)
+                    except ServiceError:
+                        pass  # closed concurrently, or next sweep retries
+
+    def ping(self, shard: int) -> bool:
+        """Heartbeat one worker (True when it answered in time)."""
+        try:
+            return (
+                self._handles[shard].call(
+                    "ping", timeout=self.heartbeat_timeout
+                )
+                == "pong"
+            )
+        except WorkerCrashError:
+            return False
+
+    def start(self) -> None:
+        """Start every coordinator-side scheduler thread (idempotent)."""
+        for batcher in self._batchers:
+            batcher.start()
+
+    def close(self) -> None:
+        """Drain schedulers, stop workers, release every shared segment."""
+        with self._market_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join()
+        # Schedulers first: their final flushes still need live workers.
+        for batcher in self._batchers:
+            batcher.close()
+        for handle in self._handles:
+            handle.shutdown()
+        self._registry.close()
+
+    def __enter__(self) -> "ProcessShardedPricingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pricing management
+    # ------------------------------------------------------------------
+
+    @property
+    def pricing(self) -> PricingFunction | None:
+        return self._pricing
+
+    @property
+    def base(self) -> Database:
+        """The seller's database (coordinator copy)."""
+        return self.support.base
+
+    @property
+    def ledger(self) -> HistoryAwareLedger:
+        return self._ledger
+
+    @property
+    def revenue(self) -> float:
+        return sum(transaction.price for transaction in self.transactions)
+
+    def install_pricing(self, pricing: PricingFunction) -> None:
+        """Install a new pricing; cached quotes re-price in place.
+
+        Pricing is coordinator-only state — workers never price — so an
+        install needs no fan-out at all.
+        """
+        with self._market_lock:
+            self._pricing = pricing
+            self._ledger.pricing = pricing
+            for cache in self._quote_caches:
+                cache.reprice(
+                    lambda quote: PriceQuote(
+                        quote.query_text,
+                        pricing.price(quote.bundle),
+                        quote.bundle,
+                    )
+                )
+
+    def optimize_pricing(
+        self,
+        queries: list[Query | str],
+        valuations,
+        algorithm: PricingAlgorithm,
+    ) -> PricingResult:
+        """Price a workload through the scatter/gather path and install it."""
+        instance = self.build_instance(queries, valuations)
+        result = algorithm.run(instance)
+        self.install_pricing(result.pricing)
+        return result
+
+    def build_instance(
+        self,
+        queries: list[Query | str],
+        valuations,
+        name: str = "process-sharded-market",
+    ) -> PricingInstance:
+        """Scatter/gather a workload into a pricing instance."""
+        if len(queries) != len(valuations):
+            raise PricingError(
+                f"{len(queries)} queries but {len(valuations)} valuations"
+            )
+        resolved = [self._canonical(query) for query in queries]
+        gathers = self._scatter(resolved)
+        edges = [self._gather(requests) for requests in gathers]
+        hypergraph = Hypergraph(len(self.support), edges)
+        return PricingInstance(
+            hypergraph, np.asarray(valuations, dtype=float), name
+        )
+
+    # ------------------------------------------------------------------
+    # Buyer-facing API
+    # ------------------------------------------------------------------
+
+    def quote_many(self, queries: list[Query | str]) -> list[PriceQuote]:
+        """Price many queries; misses scatter together for batching."""
+        resolved = [self._canonical(query) for query in queries]
+        results: list[PriceQuote | None] = []
+        misses: list[tuple[int, Query, str, tuple[int, int]]] = []
+        for position, (planned, key) in enumerate(resolved):
+            cache = self._quote_caches[self._router.route(key)]
+            cached = cache.get(key)
+            if cached is not None:
+                results.append(self._restamp(cached, planned))
+            else:
+                results.append(None)
+                misses.append((position, planned, key, cache.stamps()))
+        if misses:
+            if self._pricing is None:
+                raise PricingError(
+                    "no pricing installed; call install_pricing first"
+                )
+            gathers = self._scatter(
+                [(planned, key) for _, planned, key, _ in misses]
+            )
+            for (position, planned, key, stamps), requests in zip(misses, gathers):
+                bundle = self._gather(requests)
+                results[position] = self._price_and_cache(
+                    planned, key, bundle, stamps
+                )
+        return results
+
+    def home_shard(self, query: Query | str) -> int:
+        """The shard owning this query's cache entry and accounting."""
+        _, key = self._canonical(query)
+        return self._router.route(key)
+
+    # ------------------------------------------------------------------
+    # Online deltas
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        return self._delta_log
+
+    @property
+    def data_version(self) -> int:
+        return self._delta_log.applied_version
+
+    def accept_delta(self, op: DeltaOp | dict) -> int:
+        """Stage a delta for later apply/cancel; returns its id."""
+        if isinstance(op, dict):
+            op = delta_from_dict(op)
+        return self._delta_log.accept(op)
+
+    def cancel_delta(self, delta_id: int) -> DeltaRecord:
+        """Cancel a staged delta (typed error if not staged)."""
+        return self._delta_log.cancel(delta_id)
+
+    def apply_delta(self, delta: DeltaOp | dict | int) -> DeltaEffect:
+        """Validate once, mutate the coordinator, fan out to every worker.
+
+        The fan-out holds the market lock *and* every worker's RPC lock:
+        each in-flight compute finished against the pre-delta partition on
+        every shard (its cache put is policed by the delta epoch), and any
+        compute submitted afterwards waits until every worker acked the
+        mutation — the cross-process version boundary. A worker that dies
+        mid-fan-out is re-forked from the already-mutated coordinator
+        mirror, so the replacement is post-delta by construction and the
+        op is *not* re-sent to it.
+        """
+        if isinstance(delta, int):
+            delta_id = delta
+            op = self._delta_log.staged_op(delta_id)
+        else:
+            op = delta_from_dict(delta) if isinstance(delta, dict) else delta
+            delta_id = self._delta_log.accept(op)
+        with self._market_lock:
+            for handle in self._handles:
+                handle.lock.acquire()
+            try:
+                try:
+                    validate_op(op, self.support)
+                except DeltaValidationError as exc:
+                    self._delta_log.mark_rejected(delta_id, str(exc))
+                    raise
+                effect = self._apply_to_coordinator(op)
+                self._delta_log.mark_applied(delta_id)
+                if effect.added_ids and self._pricing is not None:
+                    self._pricing = extend_pricing(
+                        self._pricing, len(self.support)
+                    )
+                    self._ledger.pricing = self._pricing
+                if effect.added_ids or effect.retired_ids:
+                    # Structural deltas replaced every partition's cached
+                    # tensors with process-local arrays; the original
+                    # segments describe a stale pair layout and must not be
+                    # re-attached by future re-forks.
+                    self._layouts = [{} for _ in range(self.num_shards)]
+                payload = {
+                    "op": delta_to_dict(op),
+                    "column_pairs": sorted(effect.column_pairs),
+                    "whole_tables": sorted(effect.whole_tables),
+                    "added": list(effect.added_ids),
+                    "retired": list(effect.retired_ids),
+                    "base_changed": effect.base_changed,
+                }
+                for shard, handle in enumerate(self._handles):
+                    try:
+                        handle.call(
+                            "apply_delta",
+                            payload,
+                            timeout=self.heartbeat_timeout,
+                        )
+                    except WorkerCrashError:
+                        self._respawn(shard, handle.generation)
+                for cache in self._quote_caches:
+                    cache.invalidate(effect.column_pairs, effect.whole_tables)
+            finally:
+                for handle in reversed(self._handles):
+                    handle.lock.release()
+        return effect
+
+    def _apply_to_coordinator(self, op: DeltaOp) -> DeltaEffect:
+        """Mutate the full support and the partition mirrors in this process."""
+        effect = apply_to_support(op, self.support)
+        if effect.base_changed:
+            # Partitions share the coordinator's Database object, so the
+            # rows already changed; they only need cache notification.
+            for partition in self.partitions:
+                partition.support.note_base_change()
+        for global_id in effect.added_ids:
+            self._add_to_partition(global_id)
+        if effect.retired_ids:
+            self._retire_from_partitions(effect.retired_ids)
+        return effect
+
+    def _add_to_partition(self, global_id: int) -> None:
+        shard = global_id % self.num_shards
+        partition = self.partitions[shard]
+        instance = self.support.instances[global_id]
+        local = len(partition.support.instances)
+        partition.support.append_instances(
+            [dataclasses.replace(instance, instance_id=local)]
+        )
+        self.partitions[shard] = dataclasses.replace(
+            partition,
+            global_ids=np.append(partition.global_ids, np.int64(global_id)),
+        )
+        self._shard_of = np.append(self._shard_of, np.int64(shard))
+
+    def _retire_from_partitions(self, retired_ids) -> None:
+        by_shard: dict[int, list[int]] = {}
+        for global_id in retired_ids:
+            shard = int(self._shard_of[global_id])
+            partition = self.partitions[shard]
+            local = int(np.searchsorted(partition.global_ids, global_id))
+            by_shard.setdefault(shard, []).append(local)
+        for shard, local_ids in by_shard.items():
+            self.partitions[shard].support.retire_instances(local_ids)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> None:
+        """Persist pricing, transactions, histories, and cached quotes."""
+        with self._market_lock:
+            if self._pricing is None:
+                raise PricingError("no pricing installed; nothing to snapshot")
+            entries = [
+                QuoteEntry(key, quote.query_text, quote.price, quote.bundle)
+                for cache in self._quote_caches
+                for key, quote in cache.entries()
+            ]
+            save_market_state(
+                self._pricing,
+                {entry.query_text: entry.bundle for entry in entries},
+                path,
+                transactions=self.transactions,
+                ledger=self._ledger,
+                quotes=entries,
+                data_version=self._delta_log.applied_version,
+            )
+
+    def restore(self, path: str | Path) -> None:
+        """Rehydrate warm: re-home quotes, seed and *pin* worker partials.
+
+        The per-shard partial bundles are both seeded into the live workers
+        and pinned on the coordinator, so a worker that crashes later gets
+        them replayed into its replacement.
+        """
+        state = load_market_state(path)
+        if state.data_version < self._delta_log.applied_version:
+            raise SnapshotError(
+                f"snapshot data version {state.data_version} is older than "
+                f"the live market ({self._delta_log.applied_version}); its "
+                f"bundles predate applied deltas and must not be served"
+            )
+        with self._market_lock:
+            self._delta_log = DeltaLog(start_version=state.data_version)
+            self._pricing = state.pricing
+            self._ledger.pricing = state.pricing
+            self.transactions[:] = list(state.transactions)
+            self._ledger.owned = dict(state.owned)
+            self._ledger.total_paid = dict(state.total_paid)
+            for cache in self._quote_caches:
+                cache.bump_generation()
+            for entry in state.quotes:
+                home = self._router.route(entry.key)
+                self._quote_caches[home].put(
+                    entry.key,
+                    PriceQuote(entry.query_text, entry.price, entry.bundle),
+                )
+                self._pin_partials(entry.key, entry.bundle)
+            for shard, handle in enumerate(self._handles):
+                pinned = list(self._pinned[shard].items())
+                if not pinned:
+                    continue
+                try:
+                    handle.call("seed", pinned, timeout=self.heartbeat_timeout)
+                except WorkerCrashError:
+                    self._respawn(shard, handle.generation)
+
+    def _pin_partials(self, key: str, bundle: frozenset[int]) -> None:
+        members = np.fromiter(bundle, dtype=np.int64, count=len(bundle))
+        members.sort()
+        owners = self._shard_of[members] if len(members) else members
+        for shard in range(self.num_shards):
+            self._pinned[shard][key] = members[owners == shard]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> MulticoreServiceStats:
+        with self._market_lock:
+            accepted = list(self._requests_accepted)
+            shed = list(self._requests_shed)
+        shards = []
+        for shard, handle in enumerate(self._handles):
+            try:
+                worker = handle.call("stats", timeout=self.heartbeat_timeout)
+            except (WorkerCrashError, ServiceError):
+                worker = None
+            bundles = (
+                _cache_stats_from(worker["bundles"])
+                if worker is not None
+                else CacheStats(0, 0, 0, 0, 0, 0, 0)
+            )
+            shards.append(
+                ProcessShardStats(
+                    shard_id=shard,
+                    support_size=len(self.partitions[shard]),
+                    quotes=self._quote_caches[shard].stats(),
+                    bundles=bundles,
+                    batcher=self._batchers[shard].stats(),
+                    requests_accepted=accepted[shard],
+                    requests_shed=shed[shard],
+                    pid=handle.process.pid if handle.process else -1,
+                    restarts=handle.restarts,
+                    worker=worker,
+                )
+            )
+        return MulticoreServiceStats(
+            shards=tuple(shards),
+            plans=self._plans.stats(),
+            transactions=len(self.transactions),
+            deltas=self._delta_log.counters.as_dict(),
+            data_version=self._delta_log.applied_version,
+            worker_restarts=sum(handle.restarts for handle in self._handles),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _plan(self, text: str) -> Query:
+        return sql_query(text, self.base)
+
+    def _quote_planned(self, planned: Query, key: str) -> PriceQuote:
+        cache = self._quote_caches[self._router.route(key)]
+        cached = cache.get(key)
+        if cached is not None:
+            return self._restamp(cached, planned)
+        if self._pricing is None:
+            raise PricingError("no pricing installed; call install_pricing first")
+        stamps = cache.stamps()
+        (requests,) = self._scatter([(planned, key)])
+        bundle = self._gather(requests)
+        return self._price_and_cache(planned, key, bundle, stamps)
+
+    def _make_execute(self, shard: int):
+        """The coordinator-side flush of shard ``shard``: one compute RPC.
+
+        Dedupes canonical keys within the flush (the worker computes each
+        key once) and retries exactly once through a respawn when the
+        worker died mid-call — the replacement was forked from the same
+        partition state, so the retried answer is bit-equal.
+        """
+
+        def execute(batch: list[BatchRequest]) -> list[frozenset[int]]:
+            items: list[tuple[str, str]] = []
+            seen: set[str] = set()
+            for request in batch:
+                if request.key not in seen:
+                    seen.add(request.key)
+                    items.append((request.key, request.payload.text))
+            handle = self._handles[shard]
+            generation = handle.generation
+            try:
+                arrays = handle.call("compute", items)
+            except WorkerCrashError:
+                self._respawn(shard, generation)
+                arrays = self._handles[shard].call("compute", items)
+            resolved = {
+                key: frozenset(int(member) for member in array)
+                for (key, _), array in zip(items, arrays)
+            }
+            return [resolved[request.key] for request in batch]
+
+        return execute
+
+    def _scatter(
+        self, resolved: list[tuple[Query, str]]
+    ) -> list[list[BatchRequest]]:
+        """One sub-request per (query, shard); same admission story as the
+        in-process tier (pre-check every queue, all-or-nothing, sheds
+        charged to the home shard)."""
+        rows = [
+            [BatchRequest.make(planned, key) for _ in self._batchers]
+            for planned, key in resolved
+        ]
+        homes = [self._router.route(key) for _, key in resolved]
+        try:
+            for batcher in self._batchers:
+                if batcher.would_shed(len(rows)):
+                    raise ServiceOverloadError(
+                        f"{batcher.name} queue is full; request shed "
+                        f"before scatter"
+                    )
+            for index, batcher in enumerate(self._batchers):
+                batcher.submit([row[index] for row in rows])
+        except ServiceOverloadError:
+            with self._market_lock:
+                for home in homes:
+                    self._requests_shed[home] += 1
+            raise
+        with self._market_lock:
+            for home in homes:
+                self._requests_accepted[home] += 1
+        return rows
+
+    def _gather(self, requests: list[BatchRequest]) -> frozenset[int]:
+        """Union the partial conflict sets of one scattered query."""
+        partials = [request.future.result() for request in requests]
+        return frozenset().union(*partials)
+
+    def _price_and_cache(
+        self,
+        planned: Query,
+        key: str,
+        bundle: frozenset[int],
+        stamps: tuple[int, int] | None = None,
+    ) -> PriceQuote:
+        cache = self._quote_caches[self._router.route(key)]
+        with self._market_lock:
+            if self._pricing is None:
+                raise PricingError(
+                    "no pricing installed; call install_pricing first"
+                )
+            price = self._pricing.price(bundle)
+            generation = cache.generation
+            delta_epoch = stamps[1] if stamps is not None else None
+        quote = PriceQuote(planned.text, price, bundle)
+        cache.put(
+            key,
+            quote,
+            generation=generation,
+            columns=frozenset(referenced_columns(planned, self.base)),
+            delta_epoch=delta_epoch,
+        )
+        return quote
+
+    def _append_transaction(self, transaction: Transaction) -> None:
+        """Record a completed sale (caller holds the market lock)."""
+        self.transactions.append(transaction)
+
+
+def _cache_stats_from(payload: dict) -> CacheStats:
+    """Rebuild a :class:`CacheStats` from a worker's wire dict."""
+    return CacheStats(
+        capacity=payload["capacity"],
+        size=payload["size"],
+        hits=payload["hits"],
+        misses=payload["misses"],
+        evictions=payload["evictions"],
+        stale_drops=payload["stale_drops"],
+        generation=payload["generation"],
+        delta_drops=payload["delta_drops"],
+    )

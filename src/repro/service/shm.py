@@ -1,0 +1,343 @@
+"""Shared-memory layout for NumPy arrays crossing a process boundary.
+
+The process-per-shard tier (:mod:`repro.service.multicore`) must not pickle
+its big tensors across the coordinator/worker pipe: the delta tensors of a
+large support set are tens of megabytes, and every worker needs the same
+bytes. This module gives them one copy in POSIX shared memory:
+
+- :func:`share_array` copies a NumPy array into a named
+  ``multiprocessing.shared_memory`` segment and returns an
+  :class:`ArraySegment` header (segment name + dtype + shape) plus a view
+  backed by the segment. Headers are tiny and picklable — *they* cross the
+  pipe, the bytes never do.
+- :func:`attach_array` maps a header back to an array in another process
+  (attach-on-fork). Attaching a segment the owner already unlinked raises a
+  typed :class:`~repro.exceptions.SharedMemoryError` instead of the
+  stdlib's bare ``FileNotFoundError``.
+- :class:`SegmentRegistry` refcounts every handle a process holds. The
+  *owning* registry (the one that created the segment) unlinks it when its
+  last reference is released; attaching registries merely unmap. Releasing
+  is idempotent and finalizer-backed, so a crashed worker or an abandoned
+  registry cannot leak ``/dev/shm`` entries past garbage collection.
+
+Only fixed-width dtypes can live in shared memory. Object-dtype arrays (the
+delta tensors' patch *values*) are refused with a typed error — the tier
+leaves them in process memory, where fork's copy-on-write already shares
+them.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import SharedMemoryError
+
+__all__ = [
+    "ArraySegment",
+    "SegmentRegistry",
+    "TensorLayout",
+    "attach_tensor",
+    "share_tensor",
+]
+
+
+@dataclass(frozen=True)
+class ArraySegment:
+    """The picklable header of one shared NumPy array.
+
+    ``name`` is the POSIX shared-memory segment name; ``dtype``/``shape``
+    reconstruct the array view on attach. The header is what scatter ships
+    across the pipe — never the bytes.
+    """
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """Shared-memory headers for one table's :class:`TableDeltaTensor`.
+
+    The int64 pair arrays and per-column patch *positions* are shareable;
+    the object-dtype patch *values* are not (see module docstring) and stay
+    in process memory, inherited copy-on-write by forked workers.
+    """
+
+    table: str
+    num_instances: int
+    pair_instance: ArraySegment
+    pair_row: ArraySegment
+    pair_counts: ArraySegment
+    touched_instances: ArraySegment
+    patch_positions: dict[str, ArraySegment]
+
+    def segments(self) -> list[ArraySegment]:
+        return [
+            self.pair_instance,
+            self.pair_row,
+            self.pair_counts,
+            self.touched_instances,
+            *self.patch_positions.values(),
+        ]
+
+
+class _Handle:
+    """One process's mapping of one segment: the shm object plus a refcount."""
+
+    __slots__ = ("shm", "refs", "owner")
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self.shm = shm
+        self.refs = 1
+        self.owner = owner
+
+
+class SegmentRegistry:
+    """Refcounted bookkeeping of every segment this process maps.
+
+    One registry per tier per process: the coordinator's registry owns the
+    segments it created (and unlinks them on the last release); each
+    worker's registry only attaches and unmaps. ``close()`` releases
+    everything and is also registered as a ``weakref`` finalizer, so an
+    abandoned registry cleans up on collection instead of leaking
+    ``/dev/shm`` entries.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._handles: dict[str, _Handle] = {}
+        self._finalizer = weakref.finalize(
+            self, SegmentRegistry._close_handles, self._handles, self._lock
+        )
+
+    # ------------------------------------------------------------------
+    # Creation (owner side)
+    # ------------------------------------------------------------------
+
+    def share_array(
+        self, array: np.ndarray, *, label: str = "array"
+    ) -> tuple[ArraySegment, np.ndarray]:
+        """Copy ``array`` into a fresh owned segment; return (header, view).
+
+        The returned view is backed by the segment, so the owning process
+        and every forked child read the same bytes. Object-dtype arrays
+        cannot be laid out in shared memory and raise a typed error.
+        """
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise SharedMemoryError(
+                f"cannot share object-dtype array {label!r}: only fixed-width "
+                f"dtypes have a defined shared-memory layout"
+            )
+        name = f"repro-{label}-{secrets.token_hex(8)}"
+        try:
+            # Zero-length arrays still need a 1-byte segment: shm_open
+            # refuses size 0, and the view below slices back to 0 items.
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, array.nbytes)
+            )
+        except OSError as exc:
+            raise SharedMemoryError(
+                f"could not create shared segment {name!r}: {exc}"
+            ) from exc
+        segment = ArraySegment(shm.name, str(array.dtype), tuple(array.shape))
+        view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        with self._lock:
+            self._handles[shm.name] = _Handle(shm, owner=True)
+        return segment, view
+
+    # ------------------------------------------------------------------
+    # Attachment (worker side)
+    # ------------------------------------------------------------------
+
+    def attach_array(self, segment: ArraySegment) -> np.ndarray:
+        """Map a header back to its array (refcounted per process)."""
+        with self._lock:
+            handle = self._handles.get(segment.name)
+            if handle is not None:
+                handle.refs += 1
+                shm = handle.shm
+            else:
+                try:
+                    shm = shared_memory.SharedMemory(name=segment.name)
+                except FileNotFoundError as exc:
+                    raise SharedMemoryError(
+                        f"shared segment {segment.name!r} does not exist — "
+                        f"it was never created here or its owner already "
+                        f"unlinked it"
+                    ) from exc
+                # SharedMemory registers attaches with the resource tracker
+                # too (3.11+), but the tier's attachers are forked children
+                # sharing the owner's tracker process: the re-registration
+                # is an idempotent set-add there, and the single unregister
+                # happens when the owning registry unlinks. Unregistering
+                # here would strip the owner's registration instead.
+                self._handles[segment.name] = _Handle(shm, owner=False)
+        if shm.size < segment.nbytes:
+            self.release(segment.name)
+            raise SharedMemoryError(
+                f"shared segment {segment.name!r} holds {shm.size} bytes but "
+                f"the header describes {segment.nbytes}"
+            )
+        return np.ndarray(segment.shape, dtype=np.dtype(segment.dtype), buffer=shm.buf)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def release(self, name: str) -> None:
+        """Drop one reference; the last one unmaps (and unlinks if owned)."""
+        with self._lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                return
+            handle.refs -= 1
+            if handle.refs > 0:
+                return
+            del self._handles[name]
+        _close_handle(handle)
+
+    def close(self) -> None:
+        """Release every handle unconditionally (idempotent)."""
+        self._finalizer()
+
+    def active_segments(self) -> list[str]:
+        """Names this process still has mapped — the leak-test probe."""
+        with self._lock:
+            return sorted(self._handles)
+
+    @staticmethod
+    def _close_handles(handles: dict[str, _Handle], lock: threading.Lock) -> None:
+        with lock:
+            doomed = list(handles.values())
+            handles.clear()
+        for handle in doomed:
+            _close_handle(handle)
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _close_handle(handle: _Handle) -> None:
+    try:
+        handle.shm.close()
+    except OSError:
+        pass
+    if handle.owner:
+        try:
+            handle.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Delta-tensor layout
+# ---------------------------------------------------------------------------
+
+
+def share_tensor(tensor, registry: SegmentRegistry):
+    """Lay a :class:`TableDeltaTensor` out in shared memory.
+
+    Returns ``(layout, shared_tensor)``: the picklable :class:`TensorLayout`
+    plus a tensor whose int64 arrays are views into the registry's owned
+    segments (patch values stay as the original in-process object arrays).
+    Installing ``shared_tensor`` into the partition's ``_delta_tensors``
+    *before* forking means parent and children address one copy of the pair
+    arrays.
+    """
+    from repro.support.tensor import ColumnPatches, TableDeltaTensor
+
+    label = f"tensor-{tensor.table}"
+    pair_instance, pair_instance_view = registry.share_array(
+        tensor.pair_instance, label=f"{label}-pi"
+    )
+    pair_row, pair_row_view = registry.share_array(
+        tensor.pair_row, label=f"{label}-pr"
+    )
+    pair_counts, pair_counts_view = registry.share_array(
+        tensor.pair_counts, label=f"{label}-pc"
+    )
+    touched, touched_view = registry.share_array(
+        tensor.touched_instances, label=f"{label}-ti"
+    )
+    patch_positions: dict[str, ArraySegment] = {}
+    column_patches: dict[str, ColumnPatches] = {}
+    for column, patches in tensor.column_patches.items():
+        segment, view = registry.share_array(
+            patches.positions, label=f"{label}-{column}"
+        )
+        patch_positions[column] = segment
+        column_patches[column] = ColumnPatches(view, patches.values)
+    layout = TensorLayout(
+        table=tensor.table,
+        num_instances=tensor.num_instances,
+        pair_instance=pair_instance,
+        pair_row=pair_row,
+        pair_counts=pair_counts,
+        touched_instances=touched,
+        patch_positions=patch_positions,
+    )
+    shared = TableDeltaTensor(
+        table=tensor.table,
+        num_instances=tensor.num_instances,
+        pair_instance=pair_instance_view,
+        pair_row=pair_row_view,
+        pair_counts=pair_counts_view,
+        column_patches=column_patches,
+        touched_instances=touched_view,
+    )
+    return layout, shared
+
+
+def attach_tensor(
+    layout: TensorLayout,
+    values_by_column: dict[str, np.ndarray],
+    registry: SegmentRegistry,
+):
+    """Rebuild a :class:`TableDeltaTensor` from shared segments.
+
+    ``values_by_column`` supplies the object-dtype patch values the layout
+    cannot carry — a forked worker passes the arrays it inherited
+    copy-on-write. Raises :class:`SharedMemoryError` if any segment was
+    already unlinked.
+    """
+    from repro.support.tensor import ColumnPatches, TableDeltaTensor
+
+    missing = set(layout.patch_positions) - set(values_by_column)
+    if missing:
+        raise SharedMemoryError(
+            f"tensor layout for table {layout.table!r} patches columns "
+            f"{sorted(missing)} but no in-process values were supplied"
+        )
+    return TableDeltaTensor(
+        table=layout.table,
+        num_instances=layout.num_instances,
+        pair_instance=registry.attach_array(layout.pair_instance),
+        pair_row=registry.attach_array(layout.pair_row),
+        pair_counts=registry.attach_array(layout.pair_counts),
+        column_patches={
+            column: ColumnPatches(
+                registry.attach_array(segment), values_by_column[column]
+            )
+            for column, segment in layout.patch_positions.items()
+        },
+        touched_instances=registry.attach_array(layout.touched_instances),
+    )

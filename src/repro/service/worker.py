@@ -1,0 +1,301 @@
+"""The shard worker process of :class:`ProcessShardedPricingService`.
+
+One worker owns one shard: a :class:`~repro.qirana.broker.QueryMarket` over
+the shard's partition plus a bounded partial-bundle cache, driven by a
+single-threaded request/response loop over a ``multiprocessing`` pipe. The
+protocol ships only small, picklable values — query texts, canonical-key
+fingerprints, conflict-set id arrays, delta wire dicts — never tensors or
+support sets; the big arrays live in shared memory (:mod:`repro.service.shm`)
+or were inherited copy-on-write at fork time.
+
+Request kinds:
+
+``compute``
+    ``[(key, text), ...]`` → one sorted int64 array of *global* instance
+    ids per entry (the shard's partial conflict set). Deduplicated within
+    the batch and memoized per canonical key, mirroring the in-process
+    shard worker exactly.
+``apply_delta``
+    A validated delta (wire dict) plus its coordinator-computed routing
+    (footprint, added-id homes, retired ids). Applied to the worker's own
+    partition copy; single-threaded dispatch *is* the version boundary —
+    every compute answered before the ack ran pre-delta, every one after it
+    post-delta. Acks the shard's new support ``data_version``.
+``seed``
+    ``[(key, ids), ...]`` partial-bundle warm-up (snapshot restore and
+    crash replay).
+``stats`` / ``ping`` / ``shutdown``
+    Counters snapshot, heartbeat, graceful exit.
+
+Errors never kill the loop: the response carries the exception's class name
+and message, and the coordinator re-raises the matching typed error from
+:mod:`repro.exceptions` (:func:`resurrect_error`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import exceptions
+from repro.exceptions import ReproError, ServiceError
+
+__all__ = [
+    "WorkerRequest",
+    "WorkerResponse",
+    "resurrect_error",
+    "worker_main",
+]
+
+
+@dataclass(frozen=True)
+class WorkerRequest:
+    """One framed request on the coordinator → worker pipe."""
+
+    kind: str
+    request_id: int
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class WorkerResponse:
+    """One framed response on the worker → coordinator pipe."""
+
+    request_id: int
+    ok: bool
+    result: object = None
+    error_type: str = ""
+    error_message: str = ""
+
+
+def resurrect_error(response: WorkerResponse) -> ReproError:
+    """Rebuild a typed exception from a worker's error response.
+
+    The class is looked up by name in :mod:`repro.exceptions`; anything
+    unknown (a worker-side ``KeyError``, say) degrades to
+    :class:`ServiceError` with the original type folded into the message,
+    so the coordinator never re-raises an arbitrary class from the wire.
+    """
+    error_class = getattr(exceptions, response.error_type, None)
+    if isinstance(error_class, type) and issubclass(error_class, ReproError):
+        return error_class(response.error_message)
+    return ServiceError(
+        f"shard worker failed with {response.error_type}: "
+        f"{response.error_message}"
+    )
+
+
+class _WorkerState:
+    """Everything one worker process owns: market, caches, counters."""
+
+    def __init__(self, partition, config):
+        from repro.qirana.broker import QueryMarket
+        from repro.service.cache import LRUCache, QuoteCache
+        from repro.service.shm import SegmentRegistry, attach_tensor
+
+        self.partition = partition
+        self.shard_id = config["shard_id"]
+        self.num_shards = config["num_shards"]
+        self.registry = SegmentRegistry()
+        # Re-attach every shared tensor by name and install the attached
+        # views: the worker's mapping is then explicitly its own (counted in
+        # its registry) rather than an accident of fork, and a segment the
+        # coordinator already unlinked fails loudly with the typed error.
+        for table, layout in config.get("layouts", {}).items():
+            inherited = partition.support._delta_tensors.get(table)
+            values = (
+                {
+                    column: patches.values
+                    for column, patches in inherited.column_patches.items()
+                }
+                if inherited is not None
+                else {}
+            )
+            partition.support._delta_tensors[table] = attach_tensor(
+                layout, values, self.registry
+            )
+        self.market = QueryMarket(
+            partition.support, conflict_backend=config["conflict_backend"]
+        )
+        self._bundles = QuoteCache(config["bundle_cache_capacity"])
+        self._plans = LRUCache(config["plan_memo_capacity"])
+        self.batches = 0
+        self.batched_requests = 0
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+
+    def _plan(self, text: str):
+        from repro.db.query import sql_query
+
+        planned = self._plans.get(text)
+        if planned is None:
+            planned = sql_query(text, self.market.base)
+            self._plans.put(text, planned)
+        return planned
+
+    def compute(self, items: list[tuple[str, str]]) -> list[np.ndarray]:
+        """Partial conflict sets (global ids) for ``[(key, text), ...]``."""
+        from repro.qirana.backends import referenced_columns
+
+        self.batches += 1
+        self.batched_requests += len(items)
+        resolved: dict[str, np.ndarray] = {}
+        missing: dict[str, object] = {}
+        for key, text in items:
+            if key in resolved or key in missing:
+                continue
+            partial = self._bundles.get(key)
+            if partial is None:
+                missing[key] = self._plan(text)
+            else:
+                resolved[key] = partial
+        if missing:
+            hypergraph = self.market.engine.build_hypergraph(list(missing.values()))
+            for (key, planned), edge in zip(missing.items(), hypergraph.edges):
+                local = np.fromiter(edge, dtype=np.int64, count=len(edge))
+                partial = np.sort(self.partition.global_ids[local])
+                columns = frozenset(referenced_columns(planned, self.market.base))
+                self._bundles.put(key, partial, columns=columns)
+                resolved[key] = partial
+        return [resolved[key] for key, _ in items]
+
+    # ------------------------------------------------------------------
+    # apply_delta
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, payload: dict) -> dict:
+        """Mirror a coordinator-validated delta onto this shard's copy.
+
+        The coordinator already validated the op against the full support
+        and computed its effect; this side re-plays the shard-local part:
+        base mutations hit the worker's (fork-private) database copy, adds
+        route here only when this shard is the round-robin home, retires
+        map global → local through the partition's id map.
+        """
+        from repro.delta import delta_from_dict
+        from repro.delta.types import AddInstance, InsertBaseRows, PatchBase
+        from repro.support.delta import SupportInstance
+
+        op = delta_from_dict(payload["op"])
+        support = self.partition.support
+        if isinstance(op, PatchBase):
+            support.patch_base(op.table, op.row_index, op.column, op.value)
+        elif isinstance(op, InsertBaseRows):
+            support.insert_base_rows(op.table, [tuple(row) for row in op.rows])
+        elif isinstance(op, AddInstance):
+            for global_id in payload["added"]:
+                if global_id % self.num_shards != self.shard_id:
+                    continue
+                local = len(support.instances)
+                support.append_instances(
+                    [SupportInstance(local, tuple(op.deltas))]
+                )
+                self.partition = dataclasses.replace(
+                    self.partition,
+                    global_ids=np.append(
+                        self.partition.global_ids, np.int64(global_id)
+                    ),
+                )
+        else:  # RetireInstances
+            local_ids = [
+                int(np.searchsorted(self.partition.global_ids, global_id))
+                for global_id in payload["retired"]
+                if self._owns(global_id)
+            ]
+            if local_ids:
+                support.retire_instances(local_ids)
+        whole_tables = frozenset(payload["whole_tables"])
+        column_pairs = frozenset(
+            (table, column) for table, column in payload["column_pairs"]
+        )
+        if payload["base_changed"]:
+            self.market.engine.invalidate_tables(
+                frozenset(table for table, _ in column_pairs) | whole_tables
+            )
+        self._bundles.invalidate(column_pairs, whole_tables)
+        return {
+            "data_version": support.data_version,
+            "live_size": support.live_size,
+        }
+
+    def _owns(self, global_id: int) -> bool:
+        ids = self.partition.global_ids
+        index = int(np.searchsorted(ids, global_id))
+        return index < len(ids) and int(ids[index]) == global_id
+
+    # ------------------------------------------------------------------
+    # seed / stats
+    # ------------------------------------------------------------------
+
+    def seed(self, entries: list[tuple[str, object]]) -> int:
+        for key, ids in entries:
+            self._bundles.put(key, np.asarray(ids, dtype=np.int64))
+        return len(entries)
+
+    def stats(self) -> dict:
+        return {
+            "bundles": self._bundles.stats().as_dict(),
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "support_size": len(self.partition.support),
+            "live_size": self.partition.support.live_size,
+            "data_version": self.partition.support.data_version,
+        }
+
+    def close(self) -> None:
+        self.registry.close()
+
+
+def worker_main(conn, partition, config: dict) -> None:
+    """The worker process entry point: serve the pipe until shutdown/EOF.
+
+    Runs in a freshly forked child. Every request is handled on this one
+    thread, so requests are processed — and deltas take effect — in exact
+    arrival order: the version-boundary guarantee the coordinator's
+    fan-out relies on.
+    """
+    state = _WorkerState(partition, config)
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                return  # coordinator went away; nothing to ack
+            try:
+                if request.kind == "compute":
+                    result = state.compute(request.payload)
+                elif request.kind == "apply_delta":
+                    result = state.apply_delta(request.payload)
+                elif request.kind == "seed":
+                    result = state.seed(request.payload)
+                elif request.kind == "stats":
+                    result = state.stats()
+                elif request.kind == "ping":
+                    result = "pong"
+                elif request.kind == "shutdown":
+                    conn.send(WorkerResponse(request.request_id, ok=True))
+                    return
+                else:
+                    raise ServiceError(f"unknown worker request {request.kind!r}")
+                response = WorkerResponse(request.request_id, ok=True, result=result)
+            except Exception as exc:
+                response = WorkerResponse(
+                    request.request_id,
+                    ok=False,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc),
+                )
+            try:
+                conn.send(response)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        state.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,487 @@
+"""Process-per-shard tier tests: shared memory, parity, crashes, deltas.
+
+The tier's claims, on top of everything the thread-sharded tier already
+proves (:mod:`tests.test_service_sharding` — same partitioning, routing,
+and scatter/gather algebra):
+
+1. **Shared-memory lifecycle** — tensors cross the process boundary as
+   named segments with refcounted, finalizer-backed cleanup: no leaked
+   ``/dev/shm`` entries after close *or* crash, typed errors for
+   object-dtype arrays and attach-after-unlink.
+2. **Cross-process parity** — prices and bundles are bit-equal to an
+   unsharded :class:`~repro.qirana.broker.QueryMarket` oracle, with the
+   conflict sets demonstrably computed in the worker processes.
+3. **Crash supervision** — a SIGKILLed worker is re-forked (by the next
+   RPC or by the heartbeat sweep) and its replacement serves bit-equal
+   prices, including replayed snapshot-seeded partials.
+4. **Delta fan-out** — a delta applied on the coordinator reaches every
+   worker before the next compute: worker data versions advance in step
+   and post-delta prices match a fresh oracle over the mutated support.
+5. **Fork-safe schedulers** — a forked child inherits every
+   :class:`MicroBatcher` in a coherent idle state (daemon worker gone,
+   queue empty, fresh lock) and can exit cleanly.
+"""
+
+import gc
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    PricingError,
+    ServiceError,
+    ServiceOverloadError,
+    SharedMemoryError,
+)
+from repro.qirana.broker import QueryMarket
+from repro.qirana.weighted import uniform_calibrated_pricing
+from repro.service import (
+    MicroBatcher,
+    ProcessShardedPricingService,
+    SegmentRegistry,
+    fork_available,
+)
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method (POSIX only)"
+)
+
+QUERIES = [
+    "select Name from Country",
+    "select Code from Country where Population > 20000000",
+    "select avg(Population) from Country",
+    "select Name from City where Population > 1000000",
+    "select Continent, count(*) from Country group by Continent",
+    "select CountryCode from CountryLanguage where Percentage > 90",
+    "select max(LifeExpectancy) from Country",
+    "select Name from Country where Continent = 'Europe'",
+]
+
+
+@pytest.fixture
+def oracle(mini_support):
+    market = QueryMarket(mini_support)
+    market.set_pricing(uniform_calibrated_pricing(mini_support, 100.0))
+    return market
+
+
+@pytest.fixture
+def pricing(mini_support):
+    return uniform_calibrated_pricing(mini_support, 100.0)
+
+
+def make_service(mini_support, pricing, **kwargs):
+    kwargs.setdefault("num_shards", 3)
+    kwargs.setdefault("start", False)
+    # Deterministic crash detection by default: the next RPC re-forks, no
+    # background sweep racing the assertions. Supervisor tests opt back in.
+    kwargs.setdefault("heartbeat_interval", 0.0)
+    kwargs.setdefault("heartbeat_timeout", 10.0)
+    service = ProcessShardedPricingService(mini_support, **kwargs)
+    service.install_pricing(pricing)
+    return service
+
+
+def _repro_shm_entries() -> list[str]:
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm to inspect on this platform")
+    return sorted(name for name in os.listdir("/dev/shm") if "repro-" in name)
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestSharedMemoryLifecycle:
+    def test_share_attach_roundtrip_is_one_copy(self):
+        owner, attacher = SegmentRegistry(), SegmentRegistry()
+        try:
+            array = np.arange(24, dtype=np.int64).reshape(4, 6)
+            segment, owner_view = owner.share_array(array, label="roundtrip")
+            attached = attacher.attach_array(segment)
+            np.testing.assert_array_equal(attached, array)
+            # Same bytes, not a copy: a write through one mapping is
+            # visible through the other.
+            owner_view[2, 3] = -77
+            assert attached[2, 3] == -77
+        finally:
+            attacher.close()
+            owner.close()
+        assert owner.active_segments() == []
+        assert not any(segment.name in name for name in _repro_shm_entries())
+
+    def test_zero_length_arrays_share(self):
+        with SegmentRegistry() as registry:
+            segment, view = registry.share_array(
+                np.empty(0, dtype=np.int64), label="empty"
+            )
+            assert view.shape == (0,)
+            assert registry.attach_array(segment).shape == (0,)
+
+    def test_object_dtype_refused_with_typed_error(self):
+        with SegmentRegistry() as registry:
+            values = np.empty(3, dtype=object)
+            with pytest.raises(SharedMemoryError, match="object-dtype"):
+                registry.share_array(values, label="patch-values")
+
+    def test_attach_after_unlink_raises_typed_error(self):
+        owner = SegmentRegistry()
+        segment, _ = owner.share_array(np.ones(5), label="doomed")
+        owner.close()
+        with SegmentRegistry() as attacher:
+            with pytest.raises(SharedMemoryError, match="already unlinked"):
+                attacher.attach_array(segment)
+
+    def test_finalizer_cleans_up_abandoned_registry(self):
+        registry = SegmentRegistry()
+        segment, _ = registry.share_array(np.ones(7), label="abandoned")
+        assert any(segment.name in name for name in _repro_shm_entries())
+        del registry
+        gc.collect()
+        assert not any(segment.name in name for name in _repro_shm_entries())
+
+    def test_service_close_releases_every_segment(self, mini_support, pricing):
+        before = _repro_shm_entries()
+        service = make_service(mini_support, pricing)
+        try:
+            assert service._registry.active_segments()
+            for sql in QUERIES[:3]:
+                service.quote(sql)
+        finally:
+            service.close()
+        assert service._registry.active_segments() == []
+        assert _repro_shm_entries() == before
+
+    def test_close_is_idempotent(self, mini_support, pricing):
+        service = make_service(mini_support, pricing)
+        service.close()
+        service.close()
+
+
+class TestCrossProcessParity:
+    def test_prices_and_bundles_match_unsharded_oracle(
+        self, mini_support, pricing, oracle
+    ):
+        with make_service(mini_support, pricing) as service:
+            for sql in QUERIES:
+                quote = service.quote(sql)
+                expected = oracle.quote(sql)
+                assert quote.price == expected.price
+                assert quote.bundle == expected.bundle
+            # Repeats are coordinator cache hits — no worker round trip.
+            tier = service.stats()
+            accepted_before = tier.accepted
+            for sql in QUERIES:
+                service.quote(sql)
+            assert service.stats().accepted == accepted_before
+
+    def test_conflict_sets_are_computed_in_worker_processes(
+        self, mini_support, pricing
+    ):
+        with make_service(mini_support, pricing) as service:
+            for sql in QUERIES:
+                service.quote(sql)
+            tier = service.stats()
+            for shard in tier.shards:
+                assert shard.pid > 0
+                assert shard.pid != os.getpid()
+                assert shard.worker is not None
+                assert shard.worker["batches"] >= 1
+                assert shard.worker["batched_requests"] >= len(QUERIES)
+
+    def test_purchase_records_transaction(self, mini_support, pricing, oracle):
+        with make_service(mini_support, pricing) as service:
+            answer, quote = service.purchase(QUERIES[0], buyer="alice")
+            assert quote.price == oracle.quote(QUERIES[0]).price
+            assert len(service.transactions) == 1
+            assert service.revenue == quote.price
+
+    def test_quote_without_pricing_raises(self, mini_support):
+        service = ProcessShardedPricingService(
+            mini_support, num_shards=2, start=False, heartbeat_interval=0.0
+        )
+        try:
+            with pytest.raises(PricingError, match="no pricing installed"):
+                service.quote(QUERIES[0])
+        finally:
+            service.close()
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_reforked_with_bit_equal_prices(
+        self, mini_support, pricing, oracle
+    ):
+        with make_service(mini_support, pricing) as service:
+            before = {sql: service.quote(sql).price for sql in QUERIES[:4]}
+            victim = service.stats().shards[1].pid
+            os.kill(victim, signal.SIGKILL)
+            # Fresh queries force a scatter to every shard, including the
+            # dead one: the compute RPC detects the death and re-forks.
+            for sql in QUERIES[4:]:
+                assert service.quote(sql).price == oracle.quote(sql).price
+            tier = service.stats()
+            assert tier.worker_restarts >= 1
+            assert tier.shards[1].pid not in (-1, victim)
+            # The pre-crash working set still serves bit-equal.
+            for sql, price in before.items():
+                assert service.quote(sql).price == price
+
+    def test_ping_detects_death_and_recovery(self, mini_support, pricing):
+        with make_service(mini_support, pricing) as service:
+            assert all(service.ping(shard) for shard in range(3))
+            victim = service.stats().shards[0].pid
+            os.kill(victim, signal.SIGKILL)
+            assert _wait_until(lambda: not service.ping(0))
+            service.quote(QUERIES[0])  # any compute re-forks the shard
+            assert service.ping(0)
+
+    def test_supervisor_reforks_silently_dead_worker(
+        self, mini_support, pricing, oracle
+    ):
+        with make_service(
+            mini_support, pricing, heartbeat_interval=0.05
+        ) as service:
+            victim = service.stats().shards[2].pid
+            os.kill(victim, signal.SIGKILL)
+            # No RPC touches the shard: only the sweep can notice.
+            assert _wait_until(
+                lambda: service._handles[2].restarts >= 1
+            ), "heartbeat sweep never re-forked the dead worker"
+            for sql in QUERIES:
+                assert service.quote(sql).price == oracle.quote(sql).price
+
+
+class TestDeltaFanout:
+    def test_patch_base_reaches_every_worker_before_next_compute(
+        self, mini_support, pricing
+    ):
+        from repro.delta import PatchBase
+
+        with make_service(mini_support, pricing) as service:
+            for sql in QUERIES:
+                service.quote(sql)
+            effect = service.apply_delta(
+                PatchBase("Country", 1, "Population", 99_000_000)
+            )
+            assert effect.base_changed
+            assert service.data_version == 1
+            tier = service.stats()
+            for shard in tier.shards:
+                assert shard.worker is not None
+                assert shard.worker["data_version"] == 1
+            # Post-delta prices match a fresh oracle over the mutated
+            # support — the workers recomputed against the patched rows.
+            oracle = QueryMarket(service.support)
+            oracle.set_pricing(service.pricing)
+            for sql in QUERIES:
+                quote = service.quote(sql)
+                expected = oracle.quote(sql)
+                assert quote.price == expected.price
+                assert quote.bundle == expected.bundle
+
+    def test_structural_deltas_keep_parity_and_survive_a_crash(
+        self, mini_support, pricing
+    ):
+        from repro.delta import AddInstance, RetireInstances
+        from repro.support.delta import CellDelta
+
+        with make_service(mini_support, pricing) as service:
+            service.apply_delta(
+                AddInstance((CellDelta("City", 2, "Population", 4_000_000),))
+            )
+            service.apply_delta(RetireInstances((2, 7)))
+            assert service.data_version == 2
+            oracle = QueryMarket(service.support)
+            oracle.set_pricing(service.pricing)
+            for sql in QUERIES:
+                assert service.quote(sql).bundle == oracle.quote(sql).bundle
+            # A crash after a structural delta exercises the stale-layout
+            # guard: the replacement forks from the mutated mirror instead
+            # of re-attaching the pre-delta segments. Fresh queries force
+            # a scatter (the warm working set would hit the cache and
+            # never touch a worker).
+            victim = service.stats().shards[0].pid
+            os.kill(victim, signal.SIGKILL)
+            fresh = [
+                f"select Name from Country where Population > {bound}"
+                for bound in (5_000_000, 15_000_000, 45_000_000)
+            ]
+            for sql in fresh:
+                assert service.quote(sql).bundle == oracle.quote(sql).bundle
+            assert service.stats().worker_restarts >= 1
+
+    def test_worker_mirrors_live_size(self, mini_support, pricing):
+        from repro.delta import RetireInstances
+
+        with make_service(mini_support, pricing) as service:
+            total_before = sum(
+                shard.worker["live_size"] for shard in service.stats().shards
+            )
+            assert total_before == mini_support.live_size
+            service.apply_delta(RetireInstances((1, 5, 9)))
+            total_after = sum(
+                shard.worker["live_size"] for shard in service.stats().shards
+            )
+            assert total_after == mini_support.live_size == total_before - 3
+
+
+class TestOverloadShedding:
+    def test_full_queues_shed_with_typed_error(
+        self, mini_support, pricing, oracle
+    ):
+        gate = threading.Event()
+        service = make_service(
+            mini_support,
+            pricing,
+            num_shards=2,
+            start=True,
+            max_batch_size=1,
+            max_batch_delay=0.0,
+            max_queue_depth=2,
+        )
+        for batcher in service._batchers:
+            original = batcher._execute
+
+            def gated(batch, _original=original):
+                gate.wait()
+                return _original(batch)
+
+            batcher._execute = gated
+        distinct = [
+            f"select Name from Country where Population > {bound}"
+            for bound in range(1000, 1016)
+        ]
+        served: dict[str, float] = {}
+        shed: list[str] = []
+        lock = threading.Lock()
+
+        def client(sql: str) -> None:
+            try:
+                quote = service.quote(sql)
+                with lock:
+                    served[sql] = quote.price
+            except ServiceOverloadError:
+                with lock:
+                    shed.append(sql)
+
+        threads = [
+            threading.Thread(target=client, args=(sql,), daemon=True)
+            for sql in distinct
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=0.05)
+        finally:
+            gate.set()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+            service.close()
+        assert shed, "bounded queues never shed under a gated scheduler"
+        assert served, "admission control shed every request"
+        assert len(served) + len(shed) == len(distinct)
+        assert stats.shed == len(shed)
+        for sql, price in served.items():
+            assert price == oracle.quote(sql).price
+
+
+class TestWarmSnapshots:
+    def test_restore_serves_working_set_without_recomputing(
+        self, mini_support, pricing, oracle, tmp_path
+    ):
+        with make_service(mini_support, pricing) as service:
+            for sql in QUERIES:
+                service.quote(sql)
+            path = tmp_path / "tier.json"
+            service.snapshot(path)
+        with make_service(mini_support, pricing) as restored:
+            restored.restore(path)
+            for sql in QUERIES:
+                assert restored.quote(sql).price == oracle.quote(sql).price
+            tier = restored.stats()
+            totals = tier.quote_cache_totals()
+            assert totals["hits"] == len(QUERIES)
+            assert totals["misses"] == 0
+            # The partials were seeded into the live workers too.
+            for shard in tier.shards:
+                assert shard.worker["bundles"]["size"] > 0
+
+    def test_pinned_partials_replayed_into_a_reforked_worker(
+        self, mini_support, pricing, oracle, tmp_path
+    ):
+        with make_service(mini_support, pricing) as service:
+            for sql in QUERIES:
+                service.quote(sql)
+            path = tmp_path / "tier.json"
+            service.snapshot(path)
+        with make_service(mini_support, pricing) as restored:
+            restored.restore(path)
+            victim = restored.stats().shards[1].pid
+            os.kill(victim, signal.SIGKILL)
+            # A *fresh* query (the warm set would hit the cache) scatters
+            # to every worker, detecting the death and re-forking.
+            restored.quote("select Name from City where Population > 500000")
+            tier = restored.stats()
+            assert tier.worker_restarts >= 1
+            # The replacement worker got the pinned partials replayed, so
+            # even a quote-cache eviction could not force a recompute of
+            # the snapshot's working set.
+            assert tier.shards[1].worker["bundles"]["size"] > 0
+            for sql in QUERIES:
+                assert restored.quote(sql).price == oracle.quote(sql).price
+
+
+class TestForkSafeBatchers:
+    def test_worker_thread_is_daemon(self):
+        batcher = MicroBatcher(lambda batch: [None] * len(batch))
+        try:
+            assert batcher._worker is not None
+            assert batcher._worker.daemon is True
+        finally:
+            batcher.close()
+
+    def test_forked_child_resets_batchers_and_exits_cleanly(self):
+        import multiprocessing
+
+        batcher = MicroBatcher(lambda batch: [r.payload for r in batch])
+        try:
+
+            def child() -> None:
+                # os.register_at_fork repaired the inherited batcher: no
+                # phantom worker thread, nothing queued, a fresh lock. A
+                # synchronous submit proves the repaired state is usable,
+                # and a clean exit proves nothing hangs teardown.
+                assert batcher._worker is None
+                assert not batcher._pending
+                from repro.service.batching import BatchRequest
+
+                request = BatchRequest.make("payload", "key")
+                batcher.submit([request])
+                assert request.future.result(timeout=1.0) == "payload"
+                os._exit(0)
+
+            ctx = multiprocessing.get_context("fork")
+            process = ctx.Process(target=child)
+            process.start()
+            process.join(10.0)
+            assert process.exitcode == 0
+        finally:
+            batcher.close()
+
+    def test_closed_service_rejects_quotes(self, mini_support, pricing):
+        service = make_service(mini_support, pricing, num_shards=2)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.quote(QUERIES[0])
